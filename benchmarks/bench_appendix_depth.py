@@ -1,0 +1,16 @@
+"""Appendix C (Tab. 8 / Fig. 10) — multiplication depth analysis."""
+
+from repro.experiments.appendix_depth import (
+    print_appendix_depth,
+    run_measured_depths,
+)
+
+
+def bench_appendix_depth(benchmark, artifact):
+    measured = benchmark.pedantic(
+        lambda: run_measured_depths(n=1024), rounds=1, iterations=1
+    )
+    artifact("appendix_depth.txt", print_appendix_depth())
+    # measured CKKS level consumption equals the analytic depth, per form
+    for form, v in measured.items():
+        assert v["measured"] == v["analytic"], form

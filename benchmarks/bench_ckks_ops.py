@@ -1,0 +1,55 @@
+"""CKKS primitive microbenchmarks (the latency substrate of Fig. 1/Tab. 4).
+
+These are true pytest-benchmark microbenches (multiple rounds) for the
+homomorphic primitives whose counts the analytic cost model multiplies.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ckks import CkksParams
+from repro.fhe.latency import shared_runtime
+
+PARAMS = CkksParams(n=2048, scale_bits=25, depth=8)
+
+
+@pytest.fixture(scope="module")
+def runtime():
+    ctx, keys, ev = shared_runtime(PARAMS)
+    rng = np.random.default_rng(0)
+    x = rng.uniform(-1, 1, ctx.slots)
+    a = ev.encrypt(x)
+    b = ev.encrypt(x)
+    return ctx, ev, a, b
+
+
+def bench_ckks_encrypt(benchmark, runtime):
+    ctx, ev, a, b = runtime
+    x = np.random.default_rng(1).uniform(-1, 1, ctx.slots)
+    benchmark(lambda: ev.encrypt(x))
+
+
+def bench_ckks_add(benchmark, runtime):
+    _, ev, a, b = runtime
+    benchmark(lambda: ev.add(a, b))
+
+
+def bench_ckks_mul_relin(benchmark, runtime):
+    _, ev, a, b = runtime
+    benchmark(lambda: ev.mul(a, b))
+
+
+def bench_ckks_mul_plain(benchmark, runtime):
+    _, ev, a, b = runtime
+    benchmark(lambda: ev.mul_plain(a, 0.5))
+
+
+def bench_ckks_rescale(benchmark, runtime):
+    _, ev, a, b = runtime
+    prod = ev.mul(a, b)
+    benchmark(lambda: ev.rescale(prod))
+
+
+def bench_ckks_decrypt(benchmark, runtime):
+    _, ev, a, b = runtime
+    benchmark(lambda: ev.decrypt(a))

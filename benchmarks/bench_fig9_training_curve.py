@@ -1,0 +1,14 @@
+"""Fig. 9 — training curve: baseline vs SMART-PAF (f1²∘g1²)."""
+
+from repro.experiments.fig9 import print_fig9, run_fig9
+
+
+def bench_fig9_training_curves(benchmark, artifact):
+    result = benchmark.pedantic(lambda: run_fig9(seed=0), rounds=1, iterations=1)
+    artifact("fig9.txt", print_fig9(result))
+    # Shape: SMART-PAF's final accuracy >= the baseline strategy's.
+    assert result["smartpaf"]["final"] >= result["baseline"]["final"] - 0.03
+    # SMART-PAF's curve records progressive replacement events.
+    labels = [e for _, e in result["smartpaf"]["events"]]
+    assert any(l.startswith("replace:") for l in labels)
+    assert any(l == "SWA" for l in labels)

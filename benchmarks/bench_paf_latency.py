@@ -1,0 +1,50 @@
+"""Per-PAF encrypted-ReLU latency (the §5.1 latency evaluation) and the
+analytic cost model cross-check."""
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.ckks import CkksParams
+from repro.fhe import analytic_relu_cost, measure_op_micros, measure_relu_latency, paf_op_counts
+from repro.paf import get_paf, minimax_alpha10_deg27
+
+PARAMS = CkksParams(n=2048, scale_bits=25, depth=12)
+FORMS = ["f1f1g1g1", "alpha7", "f2g3", "f2g2", "f1g2"]
+
+
+@pytest.mark.parametrize("form", FORMS)
+def bench_paf_relu_latency(benchmark, form):
+    paf = get_paf(form)
+    result = benchmark.pedantic(
+        lambda: measure_relu_latency(paf, PARAMS), rounds=1, iterations=1
+    )
+    assert result.levels_consumed == paf.mult_depth + 1
+
+
+def bench_paf_cost_model(benchmark, artifact):
+    micros = benchmark.pedantic(
+        lambda: measure_op_micros(PARAMS), rounds=1, iterations=1
+    )
+    rows = []
+    pafs = [minimax_alpha10_deg27()] + [get_paf(f) for f in FORMS]
+    for paf in pafs:
+        counts = paf_op_counts(paf)
+        rows.append(
+            [
+                paf.name,
+                counts["ct_mult"],
+                counts["pt_mult"],
+                counts["rescale"],
+                analytic_relu_cost(paf, micros),
+            ]
+        )
+    artifact(
+        "paf_cost_model.txt",
+        format_table(
+            ["form", "ct mults", "pt mults", "rescales", "est. seconds"],
+            rows,
+            title="Analytic encrypted-ReLU cost model (op counts x measured per-op)",
+        ),
+    )
+    # cost model ordering matches depth ordering: alpha10 most expensive
+    assert rows[0][-1] == max(r[-1] for r in rows)

@@ -1,0 +1,10 @@
+"""Tab. 2 — PAF form inventory: degree and multiplication depth."""
+
+from repro.experiments.table2 import PAPER_TABLE2, print_table2, run_table2
+
+
+def bench_table2(benchmark, artifact):
+    result = benchmark(run_table2)
+    artifact("table2.txt", print_table2())
+    got = {k: (v["degree"], v["mult_depth"]) for k, v in result.items()}
+    assert got == PAPER_TABLE2

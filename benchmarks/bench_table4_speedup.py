@@ -1,0 +1,17 @@
+"""Tab. 4 — latency + accuracy vs the 27-degree minimax baseline."""
+
+from repro.experiments.table4 import print_table4, run_table4
+
+
+def bench_table4_speedup(benchmark, artifact):
+    result = benchmark.pedantic(
+        lambda: run_table4(seed=0, with_accuracy=True), rounds=1, iterations=1
+    )
+    artifact("table4.txt", print_table4(result))
+    rows = result["rows"]
+    # every low-degree form is faster than the 27-degree baseline
+    for form, r in rows.items():
+        assert r["speedup"] > 1.0, (form, r)
+    # speedup ordering follows multiplication depth (lower depth, faster)
+    by_depth = sorted(rows.values(), key=lambda r: r["mult_depth"])
+    assert by_depth[0]["speedup"] >= by_depth[-1]["speedup"]

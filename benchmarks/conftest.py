@@ -1,0 +1,29 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one paper table/figure (quick-scale by default;
+``REPRO_SCALE=full`` for larger runs) and prints the same rows/series the
+paper reports.  Heavy experiment runners use ``benchmark.pedantic`` with a
+single round — the quantity of interest is the artefact, not microsecond
+stability.
+"""
+
+import os
+import sys
+
+import pytest
+
+# Ensure artefact directory exists for printed tables.
+ART_DIR = os.path.join(os.path.dirname(__file__), "out")
+os.makedirs(ART_DIR, exist_ok=True)
+
+
+def save_artifact(name: str, text: str) -> None:
+    """Print a table and persist it under benchmarks/out/."""
+    print("\n" + text)
+    with open(os.path.join(ART_DIR, name), "w") as fh:
+        fh.write(text + "\n")
+
+
+@pytest.fixture
+def artifact():
+    return save_artifact

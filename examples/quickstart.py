@@ -1,0 +1,53 @@
+"""Quickstart: approximate sign/ReLU with a composite PAF and run it
+under CKKS homomorphic encryption.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.ckks import CkksContext, CkksParams, CkksEvaluator, eval_paf_relu, keygen
+from repro.ckks.security import security_report
+from repro.paf import get_paf, paper_pafs
+from repro.paf.relu import paf_relu, relu_mult_depth
+
+
+def main() -> None:
+    # --- 1. plaintext: the six PAF forms of the paper's Tab. 2 ---------
+    print("PAF forms (Tab. 2):")
+    for paf in paper_pafs(include_alpha10=True):
+        x = np.linspace(0.2, 1.0, 500)
+        err = np.max(np.abs(paf(x) - 1.0))
+        print(
+            f"  {paf.name:12s} degree={paf.reported_degree:3d} "
+            f"depth={paf.mult_depth:2d}  max |sign err| on [0.2,1] = {err:.2e}"
+        )
+
+    # --- 2. PAF-ReLU on plaintext ---------------------------------------
+    paf = get_paf("f1f1g1g1")
+    x = np.linspace(-1, 1, 9)
+    print("\nPAF-ReLU vs exact ReLU (f1^2 o g1^2):")
+    print("  x       :", np.round(x, 3))
+    print("  paf relu:", np.round(paf_relu(x, paf), 3))
+    print("  relu    :", np.round(np.maximum(x, 0), 3))
+
+    # --- 3. the same ReLU on an encrypted vector ------------------------
+    params = CkksParams(n=1024, scale_bits=25, depth=relu_mult_depth(paf))
+    ctx = CkksContext(params)
+    print(f"\nCKKS context: {ctx}")
+    print(f"  security: {security_report(ctx).message}")
+    keys = keygen(ctx, seed=0)
+    ev = CkksEvaluator(ctx, keys)
+
+    rng = np.random.default_rng(0)
+    data = rng.uniform(-1, 1, ctx.slots)
+    ct = ev.encrypt(data)
+    out = eval_paf_relu(ev, ct, paf)
+    got = ev.decrypt(out)
+    ref = paf_relu(data, paf)
+    print(f"  encrypted ReLU max error vs plaintext PAF: {np.max(np.abs(got - ref)):.2e}")
+    print(f"  levels consumed: {ctx.max_level - out.level} (= depth {paf.mult_depth} + 1)")
+
+
+if __name__ == "__main__":
+    main()

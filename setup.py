@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment has setuptools but no ``wheel`` package, so PEP 517
+editable installs (which require ``bdist_wheel``) fail.  This shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` (and plain
+``python setup.py develop``) work; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,55 @@
+"""SMART-PAF reproduction (MLSys 2024).
+
+Accurate low-degree polynomial approximation of non-polynomial operators
+(ReLU, MaxPooling) for fast private inference under the CKKS fully
+homomorphic encryption scheme, plus the four SMART-PAF accuracy-recovery
+techniques (Coefficient Tuning, Progressive Approximation, Alternate
+Training, Dynamic/Static Scaling) and the scheduling framework that
+orchestrates them.
+
+Subpackages
+-----------
+``repro.paf``
+    Composite polynomial approximation of ``sign(x)`` and the ReLU / Max
+    operators built from it: Cheon et al. f/g bases, minimax (Remez)
+    construction, multiplication-depth analysis, distribution-weighted
+    coefficient refitting.
+``repro.nn``
+    A self-contained reverse-mode autograd framework over numpy with the
+    layers, optimizers, SWA and the ResNet-18 / VGG-19 topologies used by
+    the paper.
+``repro.data``
+    Deterministic synthetic image-classification datasets standing in for
+    CIFAR-10 and ImageNet-1k (offline reproduction).
+``repro.core``
+    The SMART-PAF techniques and the Fig.-6 scheduler operating on
+    ``repro.nn`` models.
+``repro.ckks``
+    A from-scratch leveled RNS-CKKS implementation (NTT ring arithmetic,
+    canonical-embedding encoder, keyswitching, rescaling).
+``repro.fhe``
+    Encrypted inference built on ``repro.ckks``: PAF-based encrypted
+    ReLU/Max, Halevi-Shoup encrypted matmul, a model compiler, and the
+    latency harness behind the paper's Fig. 1 / Tab. 4.
+``repro.analysis``
+    Pareto-frontier utilities, op-graph analysis and table formatting.
+``repro.experiments``
+    One runner per paper table/figure.
+"""
+
+from repro.paf import (
+    CompositePAF,
+    OddPolynomial,
+    PAF_REGISTRY,
+    get_paf,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompositePAF",
+    "OddPolynomial",
+    "PAF_REGISTRY",
+    "get_paf",
+    "__version__",
+]

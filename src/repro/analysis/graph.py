@@ -1,0 +1,37 @@
+"""Op-graph analysis: aggregate multiplication depth along a model's
+non-polynomial chain (networkx over the surgery trace)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.core.surgery import nonpoly_graph
+from repro.nn.module import Module
+from repro.paf.polynomial import CompositePAF
+from repro.paf.relu import maxpool_mult_depth, relu_mult_depth
+
+__all__ = ["model_depth_profile"]
+
+
+def model_depth_profile(
+    model: Module, paf: CompositePAF, sample_input: np.ndarray, maxpool_kernel: int = 2
+) -> dict:
+    """Depth cost of replacing every non-polynomial site with ``paf``.
+
+    Returns per-site depths and the total along the inference chain — the
+    level budget (hence bootstrapping pressure) of the approximated model.
+    """
+    g = nonpoly_graph(model, sample_input)
+    per_site = {}
+    total = 0
+    for node in nx.topological_sort(g):
+        kind = g.nodes[node]["kind"]
+        depth = (
+            relu_mult_depth(paf)
+            if kind == "relu"
+            else maxpool_mult_depth(paf, kernel=maxpool_kernel)
+        )
+        per_site[g.nodes[node]["name"]] = depth
+        total += depth
+    return {"per_site": per_site, "total_depth": total, "num_sites": len(per_site)}

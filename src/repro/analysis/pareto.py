@@ -1,0 +1,35 @@
+"""Latency-accuracy Pareto frontier (Fig. 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["ParetoPoint", "pareto_frontier"]
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One design point: latency (lower better) vs accuracy (higher better)."""
+
+    name: str
+    latency: float
+    accuracy: float
+
+
+def pareto_frontier(points: Sequence[ParetoPoint]) -> list:
+    """Non-dominated subset, sorted by latency ascending.
+
+    A point is dominated if another point is at least as fast AND at least
+    as accurate (strictly better in one of the two).
+    """
+    frontier = []
+    for p in points:
+        dominated = any(
+            (q.latency <= p.latency and q.accuracy >= p.accuracy)
+            and (q.latency < p.latency or q.accuracy > p.accuracy)
+            for q in points
+        )
+        if not dominated:
+            frontier.append(p)
+    return sorted(frontier, key=lambda p: p.latency)

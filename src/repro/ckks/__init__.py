@@ -1,0 +1,44 @@
+"""From-scratch leveled RNS-CKKS (the paper's FHE substrate).
+
+Negacyclic NTT ring arithmetic over 30-bit prime chains, canonical
+embedding encoder, public-key encryption, RNS-digit hybrid keyswitching,
+rescaling, slot rotation, and depth-optimal PAF evaluation on ciphertexts.
+"""
+
+from repro.ckks.context import CkksContext, CkksParams
+from repro.ckks.encoder import CkksEncoder, Plaintext
+from repro.ckks.evaluator import Ciphertext, CkksEvaluator
+from repro.ckks.keys import KeyChain, keygen
+from repro.ckks.ntt import NttPlan
+from repro.ckks.poly_eval import (
+    eval_composite_paf,
+    eval_odd_poly,
+    eval_paf_max,
+    eval_paf_relu,
+)
+from repro.ckks.primes import generate_primes, is_prime
+from repro.ckks.rns import RnsPoly, crt_compose_centered, fast_base_convert
+from repro.ckks.security import SecurityReport, security_report
+
+__all__ = [
+    "CkksParams",
+    "CkksContext",
+    "CkksEncoder",
+    "Plaintext",
+    "Ciphertext",
+    "CkksEvaluator",
+    "KeyChain",
+    "keygen",
+    "NttPlan",
+    "RnsPoly",
+    "crt_compose_centered",
+    "fast_base_convert",
+    "generate_primes",
+    "is_prime",
+    "eval_odd_poly",
+    "eval_composite_paf",
+    "eval_paf_relu",
+    "eval_paf_max",
+    "SecurityReport",
+    "security_report",
+]

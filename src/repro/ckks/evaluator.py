@@ -1,0 +1,301 @@
+"""CKKS evaluator: encrypt/decrypt, add, multiply, rescale, relinearise,
+mod-switch, rotate and conjugate.
+
+Conventions
+-----------
+* A :class:`Ciphertext` is ``(c0, c1)`` in NTT domain over the chain primes
+  ``q_0..q_level`` with a tracked float ``scale``; decryption computes
+  ``c0 + c1·s``.
+* Every ciphertext-ciphertext or ciphertext-plaintext multiply doubles the
+  scale; :meth:`rescale` divides by the level's top prime and drops it —
+  one *level* consumed (the paper's multiplication-depth currency).
+* Relinearisation / rotation use single-special-prime hybrid keyswitching
+  with approximate RNS base conversion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ckks.context import CkksContext
+from repro.ckks.encoder import CkksEncoder, Plaintext
+from repro.ckks.keys import KeyChain, KeySwitchKey, _sample_error, _sample_ternary
+from repro.ckks.rns import RnsPoly, crt_compose_centered, fast_base_convert
+
+__all__ = ["Ciphertext", "CkksEvaluator"]
+
+#: relative scale mismatch tolerated by addition (primes are only ≈ Δ)
+_SCALE_RTOL = 0.05
+
+
+@dataclass
+class Ciphertext:
+    """A CKKS ciphertext at some chain level."""
+
+    c0: RnsPoly
+    c1: RnsPoly
+    scale: float
+    level: int
+
+    def copy(self) -> "Ciphertext":
+        return Ciphertext(self.c0.copy(), self.c1.copy(), self.scale, self.level)
+
+
+class CkksEvaluator:
+    """All homomorphic operations for one context + key chain."""
+
+    def __init__(self, ctx: CkksContext, keys: KeyChain, seed: int | None = 1):
+        self.ctx = ctx
+        self.keys = keys
+        self.encoder = CkksEncoder(ctx)
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    # encrypt / decrypt
+    # ------------------------------------------------------------------
+    def encrypt(self, values, level: int | None = None, scale: float | None = None) -> Ciphertext:
+        """Encrypt a slot vector (public-key encryption)."""
+        level = self.ctx.max_level if level is None else level
+        pt = self.encoder.encode(values, level, scale)
+        chain = list(range(level + 1))
+        n = self.ctx.n
+        std = self.ctx.params.error_std
+        u = RnsPoly.from_small_coeffs(self.ctx, _sample_ternary(n, self._rng), chain).to_ntt()
+        e0 = RnsPoly.from_small_coeffs(self.ctx, _sample_error(n, std, self._rng), chain).to_ntt()
+        e1 = RnsPoly.from_small_coeffs(self.ctx, _sample_error(n, std, self._rng), chain).to_ntt()
+        pk_b = RnsPoly(self.ctx, self.keys.public.b.data[: level + 1].copy(), chain, True)
+        pk_a = RnsPoly(self.ctx, self.keys.public.a.data[: level + 1].copy(), chain, True)
+        c0 = pk_b * u + e0 + pt.poly
+        c1 = pk_a * u + e1
+        return Ciphertext(c0=c0, c1=c1, scale=pt.scale, level=level)
+
+    def decrypt(self, ct: Ciphertext, num_values: int | None = None) -> np.ndarray:
+        """Decrypt to (real) slot values."""
+        s = self._secret_at(ct.level)
+        msg = ct.c0 + ct.c1 * s
+        return self.encoder.decode(msg, ct.scale, num_values)
+
+    def _secret_at(self, level: int) -> RnsPoly:
+        chain = list(range(level + 1))
+        return RnsPoly(self.ctx, self.keys.secret.poly.data[: level + 1].copy(), chain, True)
+
+    # ------------------------------------------------------------------
+    # additive ops
+    # ------------------------------------------------------------------
+    def _check_add(self, a: Ciphertext, b: Ciphertext) -> None:
+        if a.level != b.level:
+            raise ValueError(f"level mismatch: {a.level} vs {b.level} (mod_switch first)")
+        if abs(a.scale - b.scale) > _SCALE_RTOL * max(a.scale, b.scale):
+            raise ValueError(f"scale mismatch: {a.scale:.3g} vs {b.scale:.3g}")
+
+    def add(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        self._check_add(a, b)
+        return Ciphertext(a.c0 + b.c0, a.c1 + b.c1, a.scale, a.level)
+
+    def sub(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        self._check_add(a, b)
+        return Ciphertext(a.c0 - b.c0, a.c1 - b.c1, a.scale, a.level)
+
+    def negate(self, a: Ciphertext) -> Ciphertext:
+        return Ciphertext(-a.c0, -a.c1, a.scale, a.level)
+
+    def add_plain(self, a: Ciphertext, value) -> Ciphertext:
+        """Add a scalar or slot vector (encoded at the ciphertext's scale)."""
+        pt = self.encoder.encode(value, a.level, a.scale)
+        return Ciphertext(a.c0 + pt.poly, a.c1.copy(), a.scale, a.level)
+
+    # ------------------------------------------------------------------
+    # multiplicative ops
+    # ------------------------------------------------------------------
+    def mul_plain(self, a: Ciphertext, value, scale: float | None = None) -> Ciphertext:
+        """Multiply by a plaintext scalar/vector; scale multiplies.
+
+        The plaintext is encoded at the ciphertext's own scale by default,
+        which keeps the per-level scale unique across evaluation paths
+        (the canonical-scale invariant: S_{l-1} = S_l^2 / q_l), so terms
+        that meet at an addition agree exactly.
+        """
+        pt = self.encoder.encode(value, a.level, scale if scale is not None else a.scale)
+        return Ciphertext(
+            a.c0 * pt.poly, a.c1 * pt.poly, a.scale * pt.scale, a.level
+        )
+
+    def mul(self, a: Ciphertext, b: Ciphertext, relinearize: bool = True) -> Ciphertext:
+        """Ciphertext-ciphertext multiply (+ relinearisation)."""
+        self._check_mul(a, b)
+        d0 = a.c0 * b.c0
+        d1 = a.c0 * b.c1 + a.c1 * b.c0
+        d2 = a.c1 * b.c1
+        scale = a.scale * b.scale
+        if not relinearize:
+            raise NotImplementedError("degree-2 ciphertexts are not kept around")
+        ks0, ks1 = self._keyswitch(d2, self.keys.relin, a.level)
+        return Ciphertext(d0 + ks0, d1 + ks1, scale, a.level)
+
+    def square(self, a: Ciphertext) -> Ciphertext:
+        return self.mul(a, a)
+
+    def _check_mul(self, a: Ciphertext, b: Ciphertext) -> None:
+        if a.level != b.level:
+            raise ValueError(f"level mismatch: {a.level} vs {b.level} (mod_switch first)")
+        if a.level < 1:
+            raise ValueError("out of levels: cannot rescale below level 0")
+
+    # ------------------------------------------------------------------
+    # rescale / mod switch
+    # ------------------------------------------------------------------
+    def rescale(self, a: Ciphertext) -> Ciphertext:
+        """Divide by the level's top prime and drop it (one level down)."""
+        level = a.level
+        if level < 1:
+            raise ValueError("cannot rescale at level 0")
+        q_last = self.ctx.q_chain[level]
+        inv = self.ctx.rescale_inverses(level)
+
+        def down(poly: RnsPoly) -> RnsPoly:
+            coeff = poly.to_coeff()
+            last = coeff.data[level]
+            # centre the dropped residue for correct rounding
+            centered = np.where(last > q_last // 2, last - q_last, last)
+            rows = np.empty((level, self.ctx.n), dtype=np.int64)
+            for j in range(level):
+                p = self.ctx.q_chain[j]
+                rows[j] = (coeff.data[j] - centered) % p * inv[j] % p
+            return RnsPoly(self.ctx, rows, list(range(level)), is_ntt=False).to_ntt()
+
+        return Ciphertext(
+            down(a.c0), down(a.c1), a.scale / q_last, level - 1
+        )
+
+    def mod_switch_to(self, a: Ciphertext, level: int) -> Ciphertext:
+        """Drop chain primes without dividing (scale unchanged)."""
+        if level > a.level:
+            raise ValueError(f"cannot mod-switch up ({a.level} -> {level})")
+        if level == a.level:
+            return a
+        keep = level + 1
+        return Ciphertext(
+            a.c0.drop_rows(keep), a.c1.drop_rows(keep), a.scale, level
+        )
+
+    def mul_rescale(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        return self.rescale(self.mul(a, b))
+
+    def mul_plain_rescale(self, a: Ciphertext, value) -> Ciphertext:
+        return self.rescale(self.mul_plain(a, value))
+
+    def align_to(
+        self, a: Ciphertext, level: int, scale: float, rtol: float = 0.01
+    ) -> Ciphertext:
+        """Bring ``a`` to (``level``, ``scale``) exactly.
+
+        Rescaling by actual primes (only ≈ Δ) drifts scales apart across
+        different evaluation paths; when ``a`` sits above the target level
+        the drift is corrected *exactly* by multiplying with the constant
+        ``scale·q/(a.scale)`` (a ~Δ-sized integer, encoded precisely) and
+        rescaling by ``q`` — landing on the target scale at the target
+        level with no extra level consumed beyond the descent itself.
+        """
+        if a.level < level:
+            raise ValueError(f"cannot align upward ({a.level} -> {level})")
+        mismatch = abs(a.scale - scale) / scale
+        if a.level == level or mismatch <= rtol:
+            return Ciphertext(
+                *(c.drop_rows(level + 1) for c in (a.c0, a.c1)), a.scale, level
+            ) if a.level != level else a
+        a = self.mod_switch_to(a, level + 1)
+        q_next = self.ctx.q_chain[level + 1]
+        correction = scale * q_next / a.scale
+        out = self.rescale(self.mul_plain(a, 1.0, scale=correction))
+        out.scale = scale  # exact by construction (up to encode rounding)
+        return out
+
+    # ------------------------------------------------------------------
+    # keyswitching (RNS-digit hybrid, single special prime)
+    # ------------------------------------------------------------------
+    def _keyswitch(self, d: RnsPoly, family, level: int) -> tuple:
+        """Switch poly ``d`` (chain basis at ``level``) through a
+        :class:`KeySwitchFamily`; returns the (c0, c1) contribution.
+
+        Digits ``D_j = [d_j · (Q_l/q_j)^{-1}]_{q_j}`` are small (< q_j), so
+        after multiplying by the per-digit keys and dividing by the special
+        prime the added noise is ``Σ_j D_j e_j / P`` — a few bits.
+        """
+        ctx = self.ctx
+        keys = family.at_level(level)
+        special_idx = len(ctx.all_primes) - 1
+        p_special = ctx.special_prime
+        basis = list(range(level + 1)) + [special_idx]
+        basis_primes = np.array([ctx.all_primes[i] for i in basis], dtype=np.int64)
+
+        d_coeff = d.to_coeff()
+        q_primes = [int(p) for p in ctx.primes_at_level(level)]
+        q_l = 1
+        for p in q_primes:
+            q_l *= p
+
+        acc_b = np.zeros((len(basis), ctx.n), dtype=np.int64)
+        acc_a = np.zeros((len(basis), ctx.n), dtype=np.int64)
+        for j, q_j in enumerate(q_primes):
+            inv = pow((q_l // q_j) % q_j, q_j - 2, q_j)
+            digit = d_coeff.data[j] * inv % q_j
+            # centre the digit, then lift exactly onto the extended basis
+            digit_c = np.where(digit > q_j // 2, digit - q_j, digit)
+            rows = digit_c[None, :] % basis_primes[:, None]
+            digit_ntt = RnsPoly(ctx, rows, basis, is_ntt=False).to_ntt()
+            acc_b = (acc_b + digit_ntt.data * keys[j].b.data) % basis_primes[:, None]
+            acc_a = (acc_a + digit_ntt.data * keys[j].a.data) % basis_primes[:, None]
+
+        out = []
+        plan_p = ctx.plans[special_idx]
+        p_inv = ctx.p_inverses(level)
+        for acc in (acc_b, acc_a):
+            # divide by P with centred rounding: (x - [x]_P) * P^{-1} mod q_j
+            prod_p_coeff = plan_p.inverse(acc[-1])
+            centered = np.where(
+                prod_p_coeff > p_special // 2, prod_p_coeff - p_special, prod_p_coeff
+            )
+            rows = np.empty((level + 1, ctx.n), dtype=np.int64)
+            for j in range(level + 1):
+                q_j = ctx.q_chain[j]
+                coeff_j = ctx.plans[j].inverse(acc[j])
+                rows[j] = (coeff_j - centered) % q_j * p_inv[j] % q_j
+            out.append(
+                RnsPoly(ctx, rows, list(range(level + 1)), is_ntt=False).to_ntt()
+            )
+        return out[0], out[1]
+
+    # ------------------------------------------------------------------
+    # rotations
+    # ------------------------------------------------------------------
+    def rotate(self, a: Ciphertext, steps: int) -> Ciphertext:
+        """Rotate slot vector left by ``steps`` (requires the Galois key)."""
+        g = pow(5, steps % self.ctx.slots, 2 * self.ctx.n)
+        return self._apply_galois(a, g)
+
+    def conjugate(self, a: Ciphertext) -> Ciphertext:
+        """Complex-conjugate the slots (element 2N-1)."""
+        return self._apply_galois(a, 2 * self.ctx.n - 1)
+
+    def _apply_galois(self, a: Ciphertext, g: int) -> Ciphertext:
+        if g == 1:
+            return a.copy()
+        if g not in self.keys.galois:
+            raise KeyError(
+                f"no Galois key for element {g}; pass the step to keygen(galois_steps=...)"
+            )
+        c0g = a.c0.to_coeff().automorphism(g).to_ntt()
+        c1g = a.c1.to_coeff().automorphism(g).to_ntt()
+        ks0, ks1 = self._keyswitch(c1g, self.keys.galois[g], a.level)
+        return Ciphertext(c0g + ks0, ks1, a.scale, a.level)
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def noise_budget_estimate(self, ct: Ciphertext, reference: np.ndarray) -> float:
+        """log2 of the max absolute slot error vs a known reference."""
+        got = self.decrypt(ct, num_values=len(np.ravel(reference)))
+        err = float(np.max(np.abs(got - np.ravel(reference))))
+        return float(np.log2(max(err, 1e-300)))

@@ -1,0 +1,214 @@
+"""Key generation: secret, public, relinearisation and Galois keys.
+
+Keyswitching uses the RNS-digit hybrid construction (one digit per chain
+prime, one special prime ``P``): to switch a polynomial ``d`` known mod
+``Q_l = q_0···q_l`` from key ``w`` to key ``s``,
+
+    d ≡ Σ_j D_j · W_j   (mod Q_l),
+    D_j = [ d_j · (Q_l/q_j)^{-1} ]_{q_j}   (small digits),
+    W_j = Q_l / q_j,
+
+and the key for digit ``j`` is ``ksk_j = (-a_j·s + e_j + P·W_j·w, a_j)``
+over the extended basis ``(q_0..q_l, P)``.  The ciphertext side computes
+``Σ_j D_j · ksk_j`` and divides by ``P`` — noise is ``Σ_j D_j e_j / P``
+with digits bounded by the (30-bit) primes, so it stays tiny.
+
+Because the weights ``W_j`` depend on the level, key components are
+generated lazily per level and cached (:class:`KeySwitchFamily`).  The
+secret stays inside the :class:`KeyChain` — acceptable for a simulator,
+called out in the docs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.ckks.context import CkksContext
+from repro.ckks.rns import RnsPoly
+
+__all__ = [
+    "SecretKey",
+    "PublicKey",
+    "KeySwitchKey",
+    "KeySwitchFamily",
+    "KeyChain",
+    "keygen",
+]
+
+
+def _sample_ternary(n: int, rng: np.random.Generator) -> np.ndarray:
+    return rng.integers(-1, 2, size=n).astype(np.int64)
+
+
+def _sample_error(n: int, std: float, rng: np.random.Generator) -> np.ndarray:
+    return np.round(rng.normal(0.0, std, size=n)).astype(np.int64)
+
+
+def _sample_uniform(ctx: CkksContext, prime_indices, rng: np.random.Generator) -> RnsPoly:
+    rows = np.stack(
+        [
+            rng.integers(0, ctx.all_primes[i], size=ctx.n, dtype=np.int64)
+            for i in prime_indices
+        ]
+    )
+    return RnsPoly(ctx, rows, prime_indices, is_ntt=True)
+
+
+@dataclass
+class SecretKey:
+    """Ternary secret, stored in NTT form over the full extended basis."""
+
+    poly: RnsPoly          # s over all primes (incl. special), NTT domain
+    coeffs: np.ndarray     # raw ternary coefficients (for tests/diagnostics)
+
+
+@dataclass
+class PublicKey:
+    """Encryption key: ``b = -a·s + e`` over the ciphertext chain."""
+
+    b: RnsPoly
+    a: RnsPoly
+
+
+@dataclass
+class KeySwitchKey:
+    """One digit's keyswitch component over ``(q_0..q_l, P)``."""
+
+    b: RnsPoly
+    a: RnsPoly
+
+
+class KeySwitchFamily:
+    """Per-level keyswitch key sets for one target polynomial ``w``.
+
+    ``w`` is ``s²`` for relinearisation or ``s(X^g)`` for a Galois element;
+    stored in coefficient form so it can be reduced onto any basis.
+    """
+
+    def __init__(self, ctx: CkksContext, secret: "SecretKey", w_coeffs: np.ndarray, seed: int):
+        self.ctx = ctx
+        self._secret = secret
+        self._w_coeffs = w_coeffs      # big-int (object) or int64 coefficients
+        self._rng = np.random.default_rng(seed)
+        self._cache: Dict[int, List[KeySwitchKey]] = {}
+
+    def at_level(self, level: int) -> List[KeySwitchKey]:
+        if level in self._cache:
+            return self._cache[level]
+        ctx = self.ctx
+        basis = list(range(level + 1)) + [len(ctx.all_primes) - 1]
+        basis_primes = [ctx.all_primes[i] for i in basis]
+        p_special = ctx.special_prime
+        q_primes = [int(p) for p in ctx.primes_at_level(level)]
+        q_l = 1
+        for p in q_primes:
+            q_l *= p
+
+        s_rows = np.stack([self._secret.poly.data[i] for i in basis])
+        s_basis = RnsPoly(ctx, s_rows, basis, is_ntt=True)
+        if self._w_coeffs.dtype == object:
+            w_basis = RnsPoly.from_int_coeffs(ctx, self._w_coeffs, basis).to_ntt()
+        else:
+            w_basis = RnsPoly.from_small_coeffs(ctx, self._w_coeffs, basis).to_ntt()
+
+        keys = []
+        for j, q_j in enumerate(q_primes):
+            w_j = q_l // q_j                      # big int weight
+            factor = np.array(
+                [(p_special * (w_j % p)) % p for p in basis_primes], dtype=np.int64
+            )
+            a = _sample_uniform(ctx, basis, self._rng)
+            e = RnsPoly.from_small_coeffs(
+                ctx, _sample_error(ctx.n, ctx.params.error_std, self._rng), basis
+            ).to_ntt()
+            b = -(a * s_basis) + e + w_basis.scalar_mul(factor)
+            keys.append(KeySwitchKey(b=b, a=a))
+        self._cache[level] = keys
+        return keys
+
+
+@dataclass
+class KeyChain:
+    """All keys produced by :func:`keygen`."""
+
+    secret: SecretKey
+    public: PublicKey
+    relin: KeySwitchFamily
+    galois: dict = field(default_factory=dict)   # galois element -> family
+
+    def galois_element_for_step(self, n: int, step: int) -> int:
+        return pow(5, step % (n // 2), 2 * n)
+
+
+def keygen(
+    ctx: CkksContext,
+    seed: int | None = 0,
+    galois_steps: tuple = (),
+) -> KeyChain:
+    """Generate a full key chain.
+
+    ``galois_steps``: slot-rotation step sizes to create Galois keys for
+    (element ``5^step mod 2N``); include the string ``"conj"`` for
+    conjugation (element ``2N - 1``).
+    """
+    rng = np.random.default_rng(seed)
+    n = ctx.n
+    ext = list(range(len(ctx.all_primes)))
+    chain = list(range(len(ctx.q_chain)))
+
+    s_coeffs = _sample_ternary(n, rng)
+    s_ext = RnsPoly.from_small_coeffs(ctx, s_coeffs, ext).to_ntt()
+    secret = SecretKey(poly=s_ext, coeffs=s_coeffs)
+
+    # public key over the ciphertext chain only
+    a_pk = _sample_uniform(ctx, chain, rng)
+    e_pk = RnsPoly.from_small_coeffs(
+        ctx, _sample_error(n, ctx.params.error_std, rng), chain
+    ).to_ntt()
+    s_chain = RnsPoly(ctx, s_ext.data[: len(chain)].copy(), chain, is_ntt=True)
+    public = PublicKey(b=-(a_pk * s_chain) + e_pk, a=a_pk)
+
+    # relinearisation family: target w = s^2 (exact integer coefficients:
+    # ternary * ternary convolution fits easily in int64)
+    plan0 = ctx.plans[0]
+    # compute s^2 exactly via big-int CRT-free convolution: use object math
+    # on the small ternary coefficients (negacyclic schoolbook via FFT would
+    # risk rounding; N is small enough for a single exact convolution here)
+    s_sq = _negacyclic_square_exact(s_coeffs)
+    relin = KeySwitchFamily(ctx, secret, s_sq, seed=(seed or 0) + 101)
+
+    galois = {}
+    for step in galois_steps:
+        g = 2 * n - 1 if step == "conj" else pow(5, int(step) % (n // 2), 2 * n)
+        s_g = _automorphism_int(s_coeffs, g)
+        galois[g] = KeySwitchFamily(ctx, secret, s_g, seed=(seed or 0) + 500 + g)
+
+    return KeyChain(secret=secret, public=public, relin=relin, galois=galois)
+
+
+def _negacyclic_square_exact(s: np.ndarray) -> np.ndarray:
+    """Exact ``s²`` in Z[X]/(X^N+1) for small (ternary) ``s`` — int64.
+
+    |coefficients| ≤ N, so int64 is ample.  Uses the doubling convolution
+    via numpy correlate on int64 (exact for these magnitudes).
+    """
+    n = len(s)
+    full = np.convolve(s.astype(np.int64), s.astype(np.int64))
+    out = full[:n].copy()
+    out[: n - 1] -= full[n:]
+    return out
+
+
+def _automorphism_int(s: np.ndarray, g: int) -> np.ndarray:
+    """Apply X -> X^g to integer coefficients (exact)."""
+    n = len(s)
+    idx = np.arange(n, dtype=np.int64)
+    dest = idx * g % (2 * n)
+    sign = np.where(dest >= n, -1, 1).astype(np.int64)
+    dest = np.where(dest >= n, dest - n, dest)
+    out = np.zeros_like(s)
+    out[dest] = s * sign
+    return out

@@ -1,0 +1,98 @@
+"""Negacyclic number-theoretic transform over a single RNS prime.
+
+Implements the ψ-twisted Cooley-Tukey / Gentleman-Sande pair (the SEAL /
+Longa-Naehrig formulation): with ψ a primitive 2N-th root of unity mod p,
+the forward transform evaluates the polynomial at the odd powers of ψ, so
+pointwise products correspond to multiplication in Z_p[X]/(X^N + 1).
+
+Everything is vectorised numpy int64; with primes < 2^30 all intermediate
+products stay below 2^60 < 2^63.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ckks.primes import primitive_root_of_unity
+
+__all__ = ["NttPlan"]
+
+
+def _bit_reverse_indices(n: int) -> np.ndarray:
+    bits = n.bit_length() - 1
+    idx = np.arange(n, dtype=np.int64)
+    rev = np.zeros(n, dtype=np.int64)
+    for _ in range(bits):
+        rev = (rev << 1) | (idx & 1)
+        idx >>= 1
+    return rev
+
+
+class NttPlan:
+    """Precomputed tables for the negacyclic NTT modulo one prime."""
+
+    def __init__(self, n: int, p: int):
+        if n & (n - 1):
+            raise ValueError(f"ring size must be a power of two, got {n}")
+        self.n = n
+        self.p = p
+        psi = primitive_root_of_unity(2 * n, p)
+        rev = _bit_reverse_indices(n)
+        powers = np.array([pow(psi, int(k), p) for k in range(n)], dtype=np.int64)
+        psi_inv = pow(psi, p - 2, p)
+        inv_powers = np.array(
+            [pow(psi_inv, int(k), p) for k in range(n)], dtype=np.int64
+        )
+        #: ψ^bitrev(i) — twiddles consumed by the forward (CT) butterflies
+        self.psi_rev = powers[rev]
+        #: ψ^-bitrev(i) — twiddles for the inverse (GS) butterflies
+        self.psi_inv_rev = inv_powers[rev]
+        self.n_inv = pow(n, p - 2, p)
+
+    # ------------------------------------------------------------------
+    def forward(self, a: np.ndarray) -> np.ndarray:
+        """Forward negacyclic NTT along the last axis (any batch shape)."""
+        p = self.p
+        n = self.n
+        a = np.ascontiguousarray(a % p)
+        batch_shape = a.shape[:-1]
+        a = a.reshape(-1, n)
+        t = n
+        m = 1
+        while m < n:
+            t //= 2
+            view = a.reshape(-1, m, 2, t)
+            w = self.psi_rev[m : 2 * m]
+            u = view[:, :, 0, :].copy()  # materialise before overwriting
+            v = view[:, :, 1, :] * w[None, :, None] % p
+            view[:, :, 0, :] = (u + v) % p
+            view[:, :, 1, :] = (u - v) % p
+            m *= 2
+        return a.reshape(batch_shape + (n,))
+
+    def inverse(self, a: np.ndarray) -> np.ndarray:
+        """Inverse negacyclic NTT along the last axis."""
+        p = self.p
+        n = self.n
+        a = np.ascontiguousarray(a % p)
+        batch_shape = a.shape[:-1]
+        a = a.reshape(-1, n)
+        t = 1
+        m = n
+        while m > 1:
+            h = m // 2
+            view = a.reshape(-1, h, 2, t)
+            w = self.psi_inv_rev[h : 2 * h]
+            u = view[:, :, 0, :].copy()  # materialise before overwriting
+            v = view[:, :, 1, :].copy()
+            view[:, :, 0, :] = (u + v) % p
+            view[:, :, 1, :] = (u - v) * w[None, :, None] % p
+            t *= 2
+            m = h
+        a = a * self.n_inv % p
+        return a.reshape(batch_shape + (n,))
+
+    # ------------------------------------------------------------------
+    def negacyclic_multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Reference product in Z_p[X]/(X^N+1) via the transform."""
+        return self.inverse(self.forward(a) * self.forward(b) % self.p)

@@ -1,0 +1,157 @@
+"""Depth-optimal evaluation of odd polynomials / composite PAFs on ciphertexts.
+
+Mirrors the symbolic schedule of ``repro.paf.depth`` exactly:
+
+* binary power ladder ``x², x⁴, …`` by repeated squaring — ``x^(2^i)``
+  lands at level ``L - i``;
+* each term ``c_k x^k`` starts from the leaf plaintext product ``c_k·x``
+  (one level) and merges in the ladder powers of ``k-1``'s set bits,
+  always combining the two *shallowest* operands, landing at depth
+  ``ceil(log2(k+1))``;
+* a composite consumes the sum of its components' depths (Appendix C);
+* the ReLU reconstruction ``(x + x·sign)/2`` folds the ½ into the sign's
+  outermost coefficients (free) and spends exactly one extra level on the
+  ``x · (0.5 + 0.5·sign)`` product.
+
+Tests assert that the measured level consumption equals the analytic
+``mult_depth`` for every registry PAF.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+import numpy as np
+
+from repro.ckks.evaluator import Ciphertext, CkksEvaluator
+from repro.paf.polynomial import CompositePAF, OddPolynomial
+
+__all__ = [
+    "eval_odd_poly",
+    "eval_composite_paf",
+    "eval_paf_relu",
+    "eval_paf_max",
+]
+
+
+def _power_ladder(ev: CkksEvaluator, x: Ciphertext, max_power: int) -> dict:
+    """``{2^i: ciphertext of x^(2^i)}`` for all needed ladder rungs."""
+    ladder = {1: x}
+    power = 1
+    current = x
+    while power * 2 <= max_power:
+        current = ev.rescale(ev.square(current))
+        power *= 2
+        ladder[power] = current
+    return ladder
+
+
+def eval_odd_poly(
+    ev: CkksEvaluator, x: Ciphertext, poly: OddPolynomial
+) -> Ciphertext:
+    """Evaluate an odd polynomial at a ciphertext, depth-optimally."""
+    degree = poly.degree
+    max_rung = 1
+    while max_rung * 2 <= degree - 1 if degree > 1 else False:
+        max_rung *= 2
+    ladder = _power_ladder(ev, x, max(degree - 1, 1))
+
+    terms: list[Ciphertext] = []
+    for idx, c in enumerate(poly.coeffs):
+        k = 2 * idx + 1
+        if c == 0.0:
+            continue
+        # leaf: c_k * x (one level via plaintext multiply + rescale)
+        leaf = ev.mul_plain_rescale(x, float(c))
+        if k == 1:
+            terms.append(leaf)
+            continue
+        # operands: the leaf plus ladder rungs for set bits of k-1;
+        # heap-merge the two highest-level (shallowest) operands first
+        heap: list[tuple] = [(-leaf.level, 0, leaf)]
+        tiebreak = 1
+        rem, rung = k - 1, 1
+        while rem:
+            if rem & 1:
+                ct = ladder[rung]
+                heap.append((-ct.level, tiebreak, ct))
+                tiebreak += 1
+            rem >>= 1
+            rung *= 2
+        heapq.heapify(heap)
+        while len(heap) > 1:
+            _, _, a = heapq.heappop(heap)
+            _, _, b = heapq.heappop(heap)
+            lo_op, hi_op = (a, b) if a.level <= b.level else (b, a)
+            hi_op = ev.align_to(hi_op, lo_op.level, lo_op.scale)
+            prod = ev.rescale(ev.mul(hi_op, lo_op))
+            heapq.heappush(heap, (-prod.level, tiebreak, prod))
+            tiebreak += 1
+        terms.append(heap[0][2])
+
+    if not terms:
+        raise ValueError("polynomial had no nonzero terms")
+    # Sum at the deepest term's (level, scale); terms with level headroom
+    # are aligned exactly (drift correction), same-level terms are within
+    # the add tolerance by construction (identical rescale path lengths).
+    anchor = min(terms, key=lambda t: t.level)
+    acc: Optional[Ciphertext] = None
+    for t in terms:
+        t = ev.align_to(t, anchor.level, anchor.scale)
+        acc = t if acc is None else ev.add(acc, t)
+    return acc
+
+
+def eval_composite_paf(
+    ev: CkksEvaluator, x: Ciphertext, paf: CompositePAF
+) -> Ciphertext:
+    """Evaluate a composite sign PAF on a ciphertext."""
+    y = x
+    for comp in paf.components:
+        y = eval_odd_poly(ev, y, comp)
+    return y
+
+
+def _fold_output_half(paf: CompositePAF) -> CompositePAF:
+    """Fold the ReLU reconstruction's ½ into the outermost component."""
+    comps = list(paf.components)
+    comps[-1] = comps[-1].scaled_output(0.5)
+    return CompositePAF(comps, name=paf.name, reported_degree=paf.reported_degree)
+
+
+def eval_paf_relu(
+    ev: CkksEvaluator,
+    x: Ciphertext,
+    paf: CompositePAF,
+    scale: float = 1.0,
+) -> Ciphertext:
+    """Encrypted ReLU: ``x · (0.5 + 0.5·sign(x/scale))``.
+
+    ``scale`` is the Static-Scaling value: folded into the innermost
+    component's coefficients, costing no level.  Total depth:
+    ``paf.mult_depth + 1``.
+    """
+    folded = _fold_output_half(paf.scaled_input(scale) if scale != 1.0 else paf)
+    half_sign = eval_composite_paf(ev, x, folded)     # 0.5 * sign(x/scale)
+    gate = ev.add_plain(half_sign, 0.5)               # 0.5 + 0.5*sign
+    x_down = ev.align_to(x, gate.level, gate.scale)
+    return ev.rescale(ev.mul(x_down, gate))
+
+
+def eval_paf_max(
+    ev: CkksEvaluator,
+    a: Ciphertext,
+    b: Ciphertext,
+    paf: CompositePAF,
+    scale: float = 1.0,
+) -> Ciphertext:
+    """Encrypted pairwise max: ``(a+b)/2 + (a-b)·(0.5·sign((a-b)/scale))``."""
+    d = ev.sub(a, b)
+    folded = _fold_output_half(paf.scaled_input(scale) if scale != 1.0 else paf)
+    half_sign = eval_composite_paf(ev, d, folded)     # 0.5*sign(d/scale)
+    d_down = ev.align_to(d, half_sign.level, half_sign.scale)
+    prod = ev.rescale(ev.mul(d_down, half_sign))      # |d|/2 approx
+    s = ev.mul_plain_rescale(ev.add(a, b), 0.5)       # (a+b)/2
+    s = ev.align_to(s, prod.level, prod.scale)
+    return ev.add(prod, s)

@@ -1,0 +1,90 @@
+"""Prime generation for the RNS-CKKS modulus chain.
+
+All primes satisfy ``p ≡ 1 (mod 2N)`` (so the negacyclic NTT exists) and
+``p < 2^30`` (so int64 products of residues never overflow: ``p² < 2^60``).
+"""
+
+from __future__ import annotations
+
+__all__ = ["is_prime", "generate_primes", "primitive_root_of_unity"]
+
+# Deterministic Miller-Rabin witnesses valid for all n < 3.3e24.
+_MR_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic Miller-Rabin for the 64-bit range."""
+    if n < 2:
+        return False
+    for p in _MR_WITNESSES:
+        if n % p == 0:
+            return n == p
+    d, r = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in _MR_WITNESSES:
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def generate_primes(n_ring: int, bit_sizes, max_bits: int = 30) -> list:
+    """Distinct NTT-friendly primes *nearest* the requested sizes.
+
+    For each requested size ``b`` we search ``p ≡ 1 (mod 2N)`` outward from
+    ``2^b`` in both directions and keep the closest untaken prime.  Scale
+    primes therefore straddle ``2^b``, so the per-rescale scale drift
+    (``Δ²/q vs Δ``) averages out instead of compounding — without this,
+    additions of terms that took different prime paths through a deep
+    evaluation diverge by several percent.  Raises if a request exceeds
+    ``max_bits`` (int64-safety cap).
+    """
+    step = 2 * n_ring
+    taken: set[int] = set()
+    out: list[int] = []
+    cap = 2**max_bits
+    for bits in bit_sizes:
+        if bits > max_bits:
+            raise ValueError(f"prime size {bits} bits exceeds the {max_bits}-bit cap")
+        if 2**bits <= step:
+            raise ValueError(f"2^{bits} too small for ring size N={n_ring}")
+        base = (2**bits // step) * step + 1
+        found = None
+        for k in range(1, 2**bits // step):
+            for candidate in (base + k * step, base - k * step):
+                if not step < candidate < cap:
+                    continue
+                if candidate not in taken and is_prime(candidate):
+                    found = candidate
+                    break
+            if found is not None:
+                break
+        if found is None:
+            raise RuntimeError(f"no NTT-friendly prime found near 2^{bits}")
+        taken.add(found)
+        out.append(found)
+    return out
+
+
+def primitive_root_of_unity(order: int, p: int) -> int:
+    """A primitive ``order``-th root of unity modulo prime ``p``.
+
+    Requires ``order | p - 1``.  Found by exponentiating random candidates
+    to the cofactor and checking the half-order power.
+    """
+    if (p - 1) % order != 0:
+        raise ValueError(f"{order} does not divide p-1 for p={p}")
+    cofactor = (p - 1) // order
+    for g in range(2, p):
+        root = pow(g, cofactor, p)
+        if pow(root, order // 2, p) == p - 1:
+            return root
+    raise RuntimeError(f"no primitive root of order {order} mod {p}")  # pragma: no cover

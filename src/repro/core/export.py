@@ -1,0 +1,104 @@
+"""Export / import of trained per-layer PAF coefficients (appendix B).
+
+The paper's appendix B publishes the post-training coefficients of each
+PAF at every ReLU layer (Tables 6-11).  This module serialises the same
+artefact for our runs: a JSON document with, per replaced layer, the
+component names, coefficient vectors, the static scale, and the PAF form
+— enough to reconstruct the FHE-deployable activation functions exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.paf_layer import PAFMaxPool2d, PAFReLU
+from repro.core.surgery import replaced_layers
+from repro.nn.module import Module
+
+__all__ = ["export_coefficients", "import_coefficients", "format_appendix_table"]
+
+
+def export_coefficients(model: Module) -> dict:
+    """Appendix-B style document for every PAF layer in ``model``."""
+    doc: dict = {"layers": {}}
+    for name, layer in replaced_layers(model):
+        sign = layer.sign
+        doc["layers"][name] = {
+            "kind": "maxpool" if isinstance(layer, PAFMaxPool2d) else "relu",
+            "paf_name": sign.paf_name,
+            "reported_degree": sign.reported_degree,
+            "components": [
+                {"name": comp_name, "coeffs": [float(c) for c in param.data]}
+                for comp_name, param in zip(
+                    sign._component_names, sign.component_params()
+                )
+            ],
+            "scale_mode": layer.scale_mode,
+            "static_scales": [float(s) for s in layer.static_scales()],
+        }
+    return doc
+
+
+def import_coefficients(model: Module, doc: dict, strict: bool = True) -> list:
+    """Load exported coefficients back into a model's PAF layers.
+
+    Returns the layer names that were restored.  With ``strict`` a missing
+    or structurally-mismatched layer raises; otherwise it is skipped.
+    """
+    restored = []
+    layers = dict(replaced_layers(model))
+    for name, entry in doc["layers"].items():
+        layer = layers.get(name)
+        if layer is None:
+            if strict:
+                raise KeyError(f"model has no PAF layer named {name!r}")
+            continue
+        params = layer.sign.component_params()
+        comps = entry["components"]
+        if len(params) != len(comps) or any(
+            p.shape[0] != len(c["coeffs"]) for p, c in zip(params, comps)
+        ):
+            if strict:
+                raise ValueError(f"component structure mismatch at {name!r}")
+            continue
+        for p, c in zip(params, comps):
+            p.data = np.asarray(c["coeffs"], dtype=np.float64)
+        scales = np.asarray(entry["static_scales"], dtype=np.float64)
+        if scales.shape == layer.running_max.shape:
+            layer.register_buffer("running_max", scales)
+        if entry.get("scale_mode") == "static":
+            layer.set_static()
+        restored.append(name)
+    return restored
+
+
+def save_coefficients(model: Module, path) -> None:
+    """Write the export document as JSON."""
+    Path(path).write_text(json.dumps(export_coefficients(model), indent=2))
+
+
+def load_coefficients(model: Module, path, strict: bool = True) -> list:
+    """Read a JSON export back into ``model``."""
+    return import_coefficients(model, json.loads(Path(path).read_text()), strict)
+
+
+def format_appendix_table(doc: dict, component_index: int = 0) -> str:
+    """Render one component's coefficients across layers (Tab. 9-11 style)."""
+    from repro.analysis.tables import format_table
+
+    rows = []
+    header_names: list = []
+    for i, (name, entry) in enumerate(doc["layers"].items()):
+        comp = entry["components"][component_index]
+        if not header_names:
+            n = len(comp["coeffs"])
+            header_names = [f"c{2 * j + 1}" for j in range(n)]
+        rows.append([i, name] + comp["coeffs"])
+    return format_table(
+        ["layer id", "site"] + header_names,
+        rows,
+        title=f"Post-training coefficients (component {component_index})",
+    )

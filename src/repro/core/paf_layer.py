@@ -1,0 +1,239 @@
+"""Trainable PAF layers: the FHE-friendly replacements for ReLU / MaxPool.
+
+Each layer owns *trainable coefficient Parameters* (one vector per composite
+component, so CT / AT / the scheduler can fine-tune them per replacement
+site) and input-scaling stages implementing the paper's Dynamic Scaling /
+Static Scaling:
+
+* **dynamic** (training): each PAF invocation's input batch is normalised
+  into [-1, 1] by its max-abs value — value-dependent, so only usable
+  during fine-tuning;
+* **static** (FHE deployment): scales freeze to the running max observed
+  over the training data (Sec. 4.5).
+
+The paper adds "an auxiliary layer before each PAF" — *each PAF call* gets
+its own scale.  A PAF max-pool performs ``k*k - 1`` nested sign calls whose
+difference magnitudes differ per tournament round (later rounds see values
+amplified by earlier approximation overshoot), so the layer keeps one scale
+slot per round.
+
+The forward pass is built from autograd primitives, so gradients flow to
+both the input and the PAF coefficients for free.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+from repro.paf.polynomial import CompositePAF, OddPolynomial
+
+__all__ = ["PAFSign", "PAFReLU", "PAFMaxPool2d"]
+
+#: guard against pathological scales when all activations are ~0
+_MIN_SCALE = 1e-6
+
+
+class PAFSign(Module):
+    """Composite PAF evaluating ``sign`` with trainable coefficients.
+
+    Holds one coefficient Parameter per component; :meth:`forward` evaluates
+    the composition with tensor ops (Horner in ``x^2`` per component).
+    """
+
+    def __init__(self, paf: CompositePAF):
+        super().__init__()
+        self.paf_name = paf.name
+        self.reported_degree = paf.reported_degree
+        self._component_sizes = [c.num_coeffs for c in paf.components]
+        self._component_names = [c.name for c in paf.components]
+        for i, comp in enumerate(paf.components):
+            setattr(self, f"coeffs{i}", Parameter(np.asarray(comp.coeffs)))
+
+    @property
+    def num_components(self) -> int:
+        return len(self._component_sizes)
+
+    def component_params(self) -> list:
+        return [getattr(self, f"coeffs{i}") for i in range(self.num_components)]
+
+    # ------------------------------------------------------------------
+    def forward(self, x: Tensor) -> Tensor:
+        y = x
+        for param in self.component_params():
+            n = param.shape[0]
+            y2 = y * y
+            acc = param[n - 1]
+            for i in range(n - 2, -1, -1):
+                acc = acc * y2 + param[i]
+            y = acc * y
+        return y
+
+    # ------------------------------------------------------------------
+    # conversion to/from the plain (numpy) CompositePAF
+    # ------------------------------------------------------------------
+    def to_composite(self) -> CompositePAF:
+        """Snapshot current coefficients as a plain CompositePAF."""
+        comps = [
+            OddPolynomial(p.data.tolist(), name=nm)
+            for p, nm in zip(self.component_params(), self._component_names)
+        ]
+        return CompositePAF(
+            comps, name=self.paf_name, reported_degree=self.reported_degree
+        )
+
+    def load_composite(self, paf: CompositePAF) -> None:
+        """Overwrite coefficients from a CompositePAF (e.g. post-CT)."""
+        if [c.num_coeffs for c in paf.components] != self._component_sizes:
+            raise ValueError("component structure mismatch")
+        for param, comp in zip(self.component_params(), paf.components):
+            param.data = np.asarray(comp.coeffs, dtype=np.float64)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"PAFSign({self.paf_name})"
+
+
+class _ScaledPAFBase(Module):
+    """Shared DS/SS scale management for PAF ReLU / MaxPool layers.
+
+    ``num_scales`` slots, one per PAF invocation inside the layer (1 for
+    ReLU, ``k*k - 1`` for a k×k max-pool tournament).
+    """
+
+    def __init__(
+        self, paf: CompositePAF, scale_mode: str = "dynamic", num_scales: int = 1
+    ):
+        super().__init__()
+        if scale_mode not in ("dynamic", "static"):
+            raise ValueError(f"scale_mode must be dynamic|static, got {scale_mode!r}")
+        self.sign = PAFSign(paf)
+        self.scale_mode = scale_mode
+        self.calibrating = False  # scale_mode-independent running-max refresh
+        self.num_scales = num_scales
+        self.register_buffer("running_max", np.full(num_scales, _MIN_SCALE))
+
+    # is_nonpolynomial is intentionally absent: these layers are polynomial.
+
+    def _scale_of(self, values: np.ndarray, slot: int = 0) -> float:
+        """Scale for one PAF invocation; updates its running max in training."""
+        batch_max = float(np.max(np.abs(values)))
+        if self.training or self.calibrating:
+            if batch_max > float(self.running_max[slot]):
+                self.running_max[slot] = batch_max
+        if self.scale_mode == "dynamic":
+            return max(batch_max, _MIN_SCALE)
+        return max(float(self.running_max[slot]), _MIN_SCALE)
+
+    def reset_scales(self) -> None:
+        self.register_buffer("running_max", np.full(self.num_scales, _MIN_SCALE))
+
+    def set_static(self, scale: Optional[float] = None) -> None:
+        """Freeze to Static Scaling (FHE-deployable)."""
+        if scale is not None:
+            self.register_buffer(
+                "running_max", np.full(self.num_scales, float(scale))
+            )
+        self.scale_mode = "static"
+
+    def set_dynamic(self) -> None:
+        self.scale_mode = "dynamic"
+
+    @property
+    def static_scale(self) -> float:
+        """Largest frozen scale across the layer's PAF invocations."""
+        return max(float(np.max(self.running_max)), _MIN_SCALE)
+
+    def static_scales(self) -> np.ndarray:
+        return np.maximum(self.running_max, _MIN_SCALE).copy()
+
+
+class PAFReLU(_ScaledPAFBase):
+    """PAF replacement of ReLU: ``(x + x * sign(x/s)) / 2``.
+
+    The division by the scale ``s`` feeds the PAF its normalised input; the
+    ReLU reconstruction itself uses the raw ``x`` (so no multiply-back by
+    ``s`` is needed — under FHE the fold is free either way).
+    """
+
+    def __init__(self, paf: CompositePAF, scale_mode: str = "dynamic"):
+        super().__init__(paf, scale_mode, num_scales=1)
+
+    def forward(self, x: Tensor) -> Tensor:
+        s = self._scale_of(x.data, 0)
+        # Inputs beyond the frozen static scale legitimately blow the
+        # polynomial up (the failure mode Tab. 3's SS rows document for
+        # low-degree PAFs); suppress the numpy warning, keep the values.
+        with np.errstate(over="ignore", invalid="ignore"):
+            z = x * (1.0 / s)
+            sgn = self.sign(z)
+            return (x + x * sgn) * 0.5
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"PAFReLU({self.sign.paf_name}, scale={self.scale_mode})"
+
+
+class PAFMaxPool2d(_ScaledPAFBase):
+    """PAF replacement of MaxPool2d: tournament of pairwise PAF-max.
+
+    ``max(a, b) = ((a+b) + (a-b) * sign((a-b)/s)) / 2`` folded over the
+    window lanes.  Each tournament round has its own scale slot: later
+    rounds see differences amplified by earlier rounds' approximation
+    overshoot, so a shared scale would mis-normalise most rounds (the
+    error-accumulation mechanism of Sec. 5.4.3).
+
+    Padding uses zeros (FHE has no -inf); the layer typically follows
+    BN/ReLU so zero padding is a floor value, and any residual mismatch is
+    part of the approximation error the fine-tuning recovers.
+    """
+
+    def __init__(
+        self,
+        paf: CompositePAF,
+        kernel_size: int,
+        stride: Optional[int] = None,
+        padding: int = 0,
+        scale_mode: str = "dynamic",
+    ):
+        super().__init__(
+            paf, scale_mode, num_scales=kernel_size * kernel_size - 1
+        )
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+        self.padding = padding
+
+    def _paf_max(self, a: Tensor, b: Tensor, slot: int) -> Tensor:
+        with np.errstate(over="ignore", invalid="ignore"):
+            d = a - b
+            s = self._scale_of(d.data, slot)
+            sgn = self.sign(d * (1.0 / s))
+            return ((a + b) + d * sgn) * 0.5
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.padding:
+            from repro.nn.functional import pad2d
+
+            x = pad2d(x, self.padding)
+        k, st = self.kernel_size, self.stride
+        n, c, h, w = x.shape
+        oh = (h - k) // st + 1
+        ow = (w - k) // st + 1
+        acc = None
+        slot = 0
+        for i in range(k):
+            for j in range(k):
+                lane = x[:, :, i : i + st * oh : st, j : j + st * ow : st]
+                if acc is None:
+                    acc = lane
+                else:
+                    acc = self._paf_max(acc, lane, slot)
+                    slot += 1
+        return acc
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"PAFMaxPool2d({self.sign.paf_name}, k={self.kernel_size}, "
+            f"s={self.stride}, p={self.padding}, scale={self.scale_mode})"
+        )

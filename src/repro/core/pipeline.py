@@ -1,0 +1,173 @@
+"""The SMART-PAF pipeline facade.
+
+End-to-end flow matching the paper's evaluation protocol:
+
+1. start from a pretrained model (or pretrain one here);
+2. run the Fig.-6 scheduler with the configured technique subset
+   (CT / PA / AT; DS is always on during fine-tuning);
+3. calibrate and convert to Static Scaling;
+4. report both the DS accuracy (the "+ DS" rows of Tab. 3) and the
+   HE-deployable SS accuracy (the "+ SS" rows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.config import SmartPAFConfig
+from repro.core.scaling import (
+    calibrate_static_scales,
+    convert_to_dynamic,
+    convert_to_static,
+)
+from repro.core.scheduler import ScheduleResult, SmartPAFScheduler
+from repro.core.surgery import replaced_layers
+from repro.core.trainer import evaluate_accuracy
+from repro.data.loader import DataLoader
+from repro.data.synthetic import Dataset
+from repro.nn.module import Module
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor
+from repro.nn import functional as F
+from repro.paf.polynomial import CompositePAF
+
+__all__ = ["SmartPAFResult", "SmartPAF", "pretrain"]
+
+
+@dataclass
+class SmartPAFResult:
+    """Outcome of one SMART-PAF run (one Tab. 3 cell pair)."""
+
+    model: Module
+    schedule: ScheduleResult
+    ds_accuracy: float            # Dynamic Scaling (training-time) accuracy
+    ss_accuracy: float            # Static Scaling (HE-deployable) accuracy
+    static_scales: list = field(default_factory=list)
+    config: Optional[SmartPAFConfig] = None
+    paf_name: str = ""
+
+    def coefficients_by_layer(self) -> dict:
+        """Per-layer post-training PAF coefficients (appendix B export)."""
+        out = {}
+        for name, layer in replaced_layers(self.model):
+            out[name] = [p.data.copy() for p in layer.sign.component_params()]
+        return out
+
+
+def pretrain(
+    model: Module,
+    dataset: Dataset,
+    epochs: int = 5,
+    lr: float = 2e-3,
+    batch_size: int = 64,
+    seed: int = 0,
+) -> float:
+    """Train the original (exact ReLU/MaxPool) model; returns val accuracy.
+
+    Stands in for the paper's pretrained torchvision checkpoints.
+    """
+    opt = Adam(model.parameters(), lr=lr)
+    for epoch in range(epochs):
+        loader = DataLoader(
+            dataset.x_train,
+            dataset.y_train,
+            batch_size=batch_size,
+            shuffle=True,
+            seed=seed + epoch,
+        )
+        model.train()
+        for xb, yb in loader:
+            loss = F.cross_entropy(model(Tensor(xb)), yb)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+    return evaluate_accuracy(model, dataset.x_val, dataset.y_val)
+
+
+class SmartPAF:
+    """High-level API: approximate a model's non-polynomial operators.
+
+    Example
+    -------
+    >>> from repro.core import SmartPAF, SmartPAFConfig
+    >>> from repro.paf import get_paf
+    >>> runner = SmartPAF(lambda: get_paf("f1f1g1g1"), SmartPAFConfig.quick())
+    >>> result = runner.fit(model, dataset)          # doctest: +SKIP
+    >>> result.ss_accuracy                            # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        paf_factory: Callable[[], CompositePAF],
+        config: Optional[SmartPAFConfig] = None,
+        kinds: tuple = ("relu", "maxpool"),
+    ):
+        self.paf_factory = paf_factory
+        self.config = config or SmartPAFConfig()
+        self.kinds = kinds
+
+    def fit(self, model: Module, dataset: Dataset) -> SmartPAFResult:
+        """Replace + fine-tune + convert to Static Scaling."""
+        scheduler = SmartPAFScheduler(
+            model, dataset, self.paf_factory, self.config, kinds=self.kinds
+        )
+        schedule = scheduler.run()
+
+        # DS accuracy: the "+ DS" rows (training-time, not HE-deployable).
+        ds_acc = evaluate_accuracy(model, dataset.x_val, dataset.y_val)
+
+        # SS conversion: running-max scales frozen on the FULL training
+        # set (Sec. 4.5: "the input running maximum under the training
+        # dataset") — partial calibration understates the max and makes
+        # validation inputs overflow the PAF range.
+        bs = self.config.batch_size
+        calib = [
+            dataset.x_train[i : i + bs] for i in range(0, len(dataset.x_train), bs)
+        ]
+        calibrate_static_scales(model, calib)
+        scales = convert_to_static(model)
+        ss_acc = evaluate_accuracy(model, dataset.x_val, dataset.y_val)
+
+        paf_name = self.paf_factory().name
+        return SmartPAFResult(
+            model=model,
+            schedule=schedule,
+            ds_accuracy=ds_acc,
+            ss_accuracy=ss_acc,
+            static_scales=scales,
+            config=self.config,
+            paf_name=paf_name,
+        )
+
+    def replace_only(self, model: Module, dataset: Dataset) -> tuple:
+        """Replacement without fine-tuning (the Fig. 7 "w/o fine tune" axis).
+
+        Returns ``(ds_accuracy, ss_accuracy)`` of the post-replacement
+        model (with CT applied if configured).
+        """
+        from repro.core.surgery import find_nonpoly_sites, replace_site
+        from repro.core.coefficient_tuning import coefficient_tune_site
+
+        sites = find_nonpoly_sites(model, dataset.x_train[:2], kinds=self.kinds)
+        bs = self.config.batch_size
+        calib = [dataset.x_train[:bs], dataset.x_train[bs : 2 * bs]]
+        calib = [c for c in calib if len(c)]
+        full_calib = [
+            dataset.x_train[i : i + bs] for i in range(0, len(dataset.x_train), bs)
+        ]
+        for site in sites:
+            paf = self.paf_factory()
+            if self.config.coefficient_tuning:
+                paf = coefficient_tune_site(
+                    model, site, paf, calib, seed=self.config.seed
+                )
+            replace_site(site, paf, scale_mode="dynamic")
+        ds_acc = evaluate_accuracy(model, dataset.x_val, dataset.y_val)
+        calibrate_static_scales(model, full_calib)
+        convert_to_static(model)
+        ss_acc = evaluate_accuracy(model, dataset.x_val, dataset.y_val)
+        convert_to_dynamic(model)
+        return ds_acc, ss_acc

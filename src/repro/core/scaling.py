@@ -1,0 +1,69 @@
+"""Dynamic / Static Scaling management (Sec. 4.5).
+
+During fine-tuning every PAF layer runs in **dynamic** mode (per-batch
+max-abs normalisation).  For FHE deployment the model is converted to
+**static** mode: each layer's scale freezes to the running max observed on
+the training data (value-dependent ops don't exist under FHE).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.paf_layer import PAFMaxPool2d, PAFReLU
+from repro.core.surgery import replaced_layers
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor, no_grad
+
+__all__ = [
+    "calibrate_static_scales",
+    "convert_to_static",
+    "convert_to_dynamic",
+    "scale_summary",
+]
+
+
+def calibrate_static_scales(model: Module, x_batches) -> None:
+    """Refresh every PAF layer's running max on calibration batches.
+
+    Run after fine-tuning, before :func:`convert_to_static`, so the frozen
+    scales reflect the final weights (training keeps running maxes up to
+    date, but early-epoch outliers can inflate them).
+    """
+    layers = [m for _, m in replaced_layers(model)]
+    for layer in layers:
+        layer.reset_scales()
+        layer.calibrating = True
+    was_training = model.training
+    model.eval()  # deterministic pass (no dropout); calibrating flag
+    try:          # lets _scale_of refresh the running maxes anyway
+        with no_grad():
+            for xb in x_batches:
+                model(Tensor(np.asarray(xb)))
+    finally:
+        for layer in layers:
+            layer.calibrating = False
+        model.train(was_training)
+
+
+def convert_to_static(model: Module) -> list:
+    """Switch every PAF layer to Static Scaling; returns (name, scale) pairs."""
+    frozen = []
+    for name, layer in replaced_layers(model):
+        layer.set_static()
+        frozen.append((name, layer.static_scale))
+    return frozen
+
+
+def convert_to_dynamic(model: Module) -> None:
+    """Back to Dynamic Scaling (resume fine-tuning)."""
+    for _, layer in replaced_layers(model):
+        layer.set_dynamic()
+
+
+def scale_summary(model: Module) -> dict:
+    """Current scale mode and value per PAF layer."""
+    return {
+        name: {"mode": layer.scale_mode, "scale": layer.static_scale}
+        for name, layer in replaced_layers(model)
+    }

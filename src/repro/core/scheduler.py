@@ -1,0 +1,242 @@
+"""The SMART-PAF scheduling framework (Fig. 6).
+
+One *step* per non-polynomial layer, in inference order (Progressive
+Approximation).  Within a step:
+
+1. **Replace** the next site with a PAF (post-CT coefficients if CT is on).
+2. **Training group**: train the current target parameters for E epochs,
+   apply SWA over the group, keep whichever of {best epoch, SWA} validates
+   best.
+3. **Accuracy-improvement detection**: if the group improved the step's
+   best validation accuracy, update ``best_model`` and run another group
+   (arming AT for later).
+4. **Overfitting avoidance**: if train acc > val acc + margin, enable
+   Dropout and run another group.
+5. **Alternate Training**: when no improvement and AT is armed, swap the
+   training target (PAF coefficients <-> other layers) and run another
+   group.
+6. **Step termination**: no improvement and nothing left to try.
+
+Dynamic Scaling is active during all fine-tuning; Static Scaling conversion
+is the pipeline's job after all steps finish.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.coefficient_tuning import coefficient_tune_site
+from repro.core.config import SmartPAFConfig
+from repro.core.surgery import NonPolySite, find_nonpoly_sites, replace_site
+from repro.core.trainer import (
+    EpochRecord,
+    evaluate_accuracy,
+    make_optimizer,
+    set_trainable,
+    train_one_epoch,
+)
+from repro.data.loader import DataLoader
+from repro.data.synthetic import Dataset
+from repro.nn.layers import Dropout
+from repro.nn.module import Module
+from repro.nn.swa import SWAAverager
+from repro.paf.polynomial import CompositePAF
+
+__all__ = ["ScheduleResult", "SmartPAFScheduler", "run_training_group"]
+
+
+@dataclass
+class ScheduleResult:
+    """Full history of a scheduler run (drives Fig. 9 and Tab. 3)."""
+
+    history: list = field(default_factory=list)      # [EpochRecord]
+    best_val_acc: float = 0.0
+    events: list = field(default_factory=list)       # [(epoch, label)]
+    steps: list = field(default_factory=list)        # per-site summaries
+
+    @property
+    def curve(self) -> list:
+        """Validation-accuracy trace per epoch (the Fig. 9 series)."""
+        return [r.val_acc for r in self.history]
+
+
+def run_training_group(
+    model: Module,
+    train_loader: DataLoader,
+    dataset: Dataset,
+    optimizer,
+    config: SmartPAFConfig,
+    result: ScheduleResult,
+    group_label: str = "",
+) -> tuple:
+    """One Fig.-6 training group: E epochs + SWA, return (best_state, acc).
+
+    The model is left loaded with the best state found (best single epoch
+    or the SWA average, whichever validates higher).
+    """
+    swa = SWAAverager(model) if config.use_swa else None
+    best_state = model.state_dict()
+    best_acc = -1.0
+    for e in range(config.epochs_per_group):
+        loss, train_acc = train_one_epoch(model, train_loader, optimizer)
+        val_acc = evaluate_accuracy(model, dataset.x_val, dataset.y_val)
+        result.history.append(
+            EpochRecord(
+                epoch=len(result.history),
+                train_loss=loss,
+                train_acc=train_acc,
+                val_acc=val_acc,
+                event=group_label if e == 0 else "",
+            )
+        )
+        if val_acc > best_acc:
+            best_acc = val_acc
+            best_state = model.state_dict()
+        if swa is not None:
+            swa.update(model)
+    last_train_acc = result.history[-1].train_acc if result.history else 0.0
+    if swa is not None:
+        model.load_state_dict(swa.averaged_state())
+        swa_acc = evaluate_accuracy(model, dataset.x_val, dataset.y_val)
+        result.events.append((len(result.history) - 1, "SWA"))
+        if swa_acc > best_acc:
+            best_acc = swa_acc
+            best_state = model.state_dict()
+    model.load_state_dict(best_state)
+    return best_state, best_acc, last_train_acc
+
+
+class SmartPAFScheduler:
+    """Drives the full Fig.-6 flow over all non-polynomial sites."""
+
+    def __init__(
+        self,
+        model: Module,
+        dataset: Dataset,
+        paf_factory: Callable[[], CompositePAF],
+        config: Optional[SmartPAFConfig] = None,
+        kinds: tuple = ("relu", "maxpool"),
+    ):
+        self.model = model
+        self.dataset = dataset
+        self.paf_factory = paf_factory
+        self.config = config or SmartPAFConfig()
+        self.kinds = kinds
+
+    # ------------------------------------------------------------------
+    def _calibration_batches(self, n_batches: int = 2):
+        bs = self.config.batch_size
+        x = self.dataset.x_train
+        batches = [x[i * bs : (i + 1) * bs] for i in range(n_batches)]
+        return [b for b in batches if len(b)]
+
+    def _enable_dropout(self) -> bool:
+        """Raise p on existing Dropout layers; True if any layer changed."""
+        changed = False
+        for m in self.model.modules():
+            if isinstance(m, Dropout) and m.p < self.config.dropout_p:
+                m.p = self.config.dropout_p
+                changed = True
+        return changed
+
+    # ------------------------------------------------------------------
+    def run(self) -> ScheduleResult:
+        cfg = self.config
+        result = ScheduleResult()
+        sample = self.dataset.x_train[:2]
+        sites = find_nonpoly_sites(self.model, sample, kinds=self.kinds)
+        train_loader = DataLoader(
+            self.dataset.x_train,
+            self.dataset.y_train,
+            batch_size=cfg.batch_size,
+            shuffle=True,
+            seed=cfg.seed,
+        )
+
+        if not cfg.progressive:
+            # Direct replacement: swap every site up front, then run the
+            # group machinery once over the whole model.
+            for site in sites:
+                self._replace_with_ct(site, result)
+            result.events.append((len(result.history), "replace:all"))
+            self._run_step(train_loader, result, step_name="all", site=None)
+        else:
+            for site in sites:
+                self._replace_with_ct(site, result)
+                result.events.append((len(result.history), f"replace:{site.name}"))
+                self._run_step(train_loader, result, step_name=site.name, site=site)
+
+        result.best_val_acc = evaluate_accuracy(
+            self.model, self.dataset.x_val, self.dataset.y_val
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    def _replace_with_ct(self, site: NonPolySite, result: ScheduleResult) -> None:
+        paf = self.paf_factory()
+        if self.config.coefficient_tuning:
+            paf = coefficient_tune_site(
+                self.model,
+                site,
+                paf,
+                self._calibration_batches(),
+                seed=self.config.seed,
+            )
+        replace_site(site, paf, scale_mode="dynamic")
+
+    # ------------------------------------------------------------------
+    def _run_step(
+        self,
+        train_loader: DataLoader,
+        result: ScheduleResult,
+        step_name: str,
+        site: Optional[NonPolySite],
+    ) -> None:
+        """The inner Fig.-6 loop for one replacement step."""
+        cfg = self.config
+        # Fig. 6 trains the PAF coefficients first and lets AT swap to the
+        # other layers; the prior-work baseline (Sec. 5.3) instead trains
+        # everything except the PAFs — selectable via config.initial_target.
+        target = cfg.initial_target
+        set_trainable(self.model, target)
+        optimizer = make_optimizer(self.model, cfg)
+
+        best_acc = evaluate_accuracy(self.model, self.dataset.x_val, self.dataset.y_val)
+        best_state = self.model.state_dict()
+        apply_at = False
+        groups_run = 0
+        while groups_run < cfg.max_groups_per_step:
+            groups_run += 1
+            _, group_acc, train_acc = run_training_group(
+                self.model,
+                train_loader,
+                self.dataset,
+                optimizer,
+                cfg,
+                result,
+                group_label=f"group:{step_name}:{groups_run}",
+            )
+            if group_acc > best_acc:
+                best_acc = group_acc
+                best_state = self.model.state_dict()
+                apply_at = cfg.alternate_training
+                continue  # accuracy improved: launch a new training group
+            # no improvement: Fig. 6 fallbacks, in order
+            if train_acc > group_acc + cfg.overfit_margin and self._enable_dropout():
+                result.events.append((len(result.history) - 1, "dropout"))
+                continue
+            if apply_at:
+                target = "other" if target == "paf" else "paf"
+                set_trainable(self.model, target)
+                result.events.append((len(result.history) - 1, f"AT:{target}"))
+                apply_at = False
+                continue
+            break  # step termination condition
+        self.model.load_state_dict(best_state)
+        set_trainable(self.model, "all")
+        result.steps.append(
+            {"step": step_name, "best_val_acc": best_acc, "groups": groups_run}
+        )

@@ -1,0 +1,187 @@
+"""Model surgery: locate and replace non-polynomial operators.
+
+Finds every ReLU / MaxPool2d site in a model **in inference order** (traced
+with probe wrappers on a sample forward pass), and swaps sites for
+:class:`~repro.core.paf_layer.PAFReLU` / ``PAFMaxPool2d`` — one at a time
+(Progressive Approximation) or all at once (the prior-work baseline).
+
+A networkx DiGraph of the traced operator sequence is exposed for the
+analysis tooling (depth/latency aggregation in ``repro.analysis.graph``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro.core.paf_layer import PAFMaxPool2d, PAFReLU
+from repro.nn.layers import MaxPool2d, ReLU
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor, no_grad
+from repro.paf.polynomial import CompositePAF
+
+__all__ = [
+    "NonPolySite",
+    "find_nonpoly_sites",
+    "trace_nonpoly_order",
+    "replace_site",
+    "replace_all",
+    "replaced_layers",
+    "nonpoly_graph",
+]
+
+
+@dataclass
+class NonPolySite:
+    """One replaceable non-polynomial operator."""
+
+    name: str          # dotted path, e.g. "layer1.0.relu1"
+    kind: str          # "relu" | "maxpool"
+    parent: Module     # module owning the attribute
+    attr: str          # attribute name on the parent
+    order: int         # inference order index
+
+    @property
+    def module(self) -> Module:
+        return getattr(self.parent, self.attr)
+
+
+def _definition_order_sites(model: Module) -> list:
+    sites = []
+    for parent_name, parent in model.named_modules():
+        for attr, child in list(parent._modules.items()):
+            if isinstance(child, ReLU):
+                kind = "relu"
+            elif isinstance(child, MaxPool2d):
+                kind = "maxpool"
+            else:
+                continue
+            name = f"{parent_name}.{attr}" if parent_name else attr
+            sites.append(
+                NonPolySite(name=name, kind=kind, parent=parent, attr=attr, order=-1)
+            )
+    return sites
+
+
+class _Probe(Module):
+    """Wraps a site module to record its first execution index."""
+
+    def __init__(self, inner: Module, record: list, tag: int):
+        super().__init__()
+        self.inner = inner
+        self._record = record
+        self._tag = tag
+
+    def forward(self, x: Tensor) -> Tensor:
+        self._record.append(self._tag)
+        return self.inner(x)
+
+
+def trace_nonpoly_order(model: Module, sample_input: np.ndarray) -> list:
+    """Execution order of non-polynomial sites, traced on a real forward.
+
+    Temporarily wraps each site with a probe, runs one forward pass under
+    ``no_grad`` and restores the original modules.
+    """
+    sites = _definition_order_sites(model)
+    record: list[int] = []
+    for tag, site in enumerate(sites):
+        setattr(site.parent, site.attr, _Probe(site.module, record, tag))
+    try:
+        was_training = model.training
+        model.eval()
+        with no_grad():
+            model(Tensor(np.asarray(sample_input)))
+        model.train(was_training)
+    finally:
+        for site in sites:
+            probe = getattr(site.parent, site.attr)
+            setattr(site.parent, site.attr, probe.inner)
+    if len(set(record)) != len(sites):
+        missing = set(range(len(sites))) - set(record)
+        raise RuntimeError(
+            f"forward pass did not execute all non-polynomial sites: {missing}"
+        )
+    return [sites[tag] for tag in record]
+
+
+def find_nonpoly_sites(
+    model: Module,
+    sample_input: Optional[np.ndarray] = None,
+    kinds: Sequence[str] = ("relu", "maxpool"),
+) -> list:
+    """Non-polynomial sites in inference order.
+
+    With ``sample_input`` the order is traced on a forward pass; otherwise
+    module definition order is used (identical for all models in this repo,
+    asserted by tests).  ``kinds`` restricts to ReLU-only replacement
+    (Tab. 3's "Replace ReLU" block) or the full set.
+    """
+    if sample_input is not None:
+        sites = trace_nonpoly_order(model, sample_input)
+    else:
+        sites = _definition_order_sites(model)
+    sites = [s for s in sites if s.kind in kinds]
+    for i, s in enumerate(sites):
+        s.order = i
+    return sites
+
+
+def replace_site(site: NonPolySite, paf: CompositePAF, scale_mode: str = "dynamic") -> Module:
+    """Swap one site for its PAF layer; returns the new layer."""
+    old = site.module
+    if isinstance(old, ReLU):
+        new: Module = PAFReLU(paf.copy(), scale_mode=scale_mode)
+    elif isinstance(old, MaxPool2d):
+        new = PAFMaxPool2d(
+            paf.copy(),
+            kernel_size=old.kernel_size,
+            stride=old.stride,
+            padding=old.padding,
+            scale_mode=scale_mode,
+        )
+    else:
+        raise TypeError(f"site {site.name} already replaced or not non-polynomial")
+    new.training = site.parent.training
+    setattr(site.parent, site.attr, new)
+    return new
+
+
+def replace_all(
+    model: Module,
+    paf: CompositePAF,
+    sample_input: Optional[np.ndarray] = None,
+    kinds: Sequence[str] = ("relu", "maxpool"),
+    scale_mode: str = "dynamic",
+) -> list:
+    """Direct replacement (the prior-work baseline): all sites at once."""
+    sites = find_nonpoly_sites(model, sample_input, kinds)
+    return [replace_site(s, paf, scale_mode) for s in sites]
+
+
+def replaced_layers(model: Module) -> list:
+    """All PAF layers currently in the model, with their dotted names."""
+    return [
+        (name, m)
+        for name, m in model.named_modules()
+        if isinstance(m, (PAFReLU, PAFMaxPool2d))
+    ]
+
+
+def nonpoly_graph(model: Module, sample_input: Optional[np.ndarray] = None) -> nx.DiGraph:
+    """Chain DiGraph of the non-polynomial sites in inference order.
+
+    Nodes carry ``kind`` and ``name``; edges encode execution succession.
+    Used by ``repro.analysis.graph`` to aggregate multiplication depth and
+    latency along the inference path.
+    """
+    sites = find_nonpoly_sites(model, sample_input)
+    g = nx.DiGraph()
+    for s in sites:
+        g.add_node(s.order, name=s.name, kind=s.kind)
+    for a, b in zip(sites, sites[1:]):
+        g.add_edge(a.order, b.order)
+    return g

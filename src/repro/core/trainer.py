@@ -1,0 +1,149 @@
+"""Training utilities shared by the SMART-PAF techniques.
+
+Implements the split the whole paper revolves around: *PAF coefficients*
+vs *parameters of other layers* (convolutions, BN, linear), each trained
+with its own hyperparameters (Tab. 5), optionally frozen independently
+(Alternate Training).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.core.config import SmartPAFConfig
+from repro.core.paf_layer import PAFSign
+from repro.data.loader import DataLoader
+from repro.nn import functional as F
+from repro.nn.module import Module
+from repro.nn.optim import Adam, SGD
+from repro.nn.tensor import Tensor, no_grad
+
+__all__ = [
+    "split_parameters",
+    "make_optimizer",
+    "set_trainable",
+    "train_one_epoch",
+    "evaluate_accuracy",
+    "EpochRecord",
+]
+
+
+def split_parameters(model: Module) -> tuple:
+    """(paf_params, other_params): coefficients vs everything else."""
+    paf_ids = set()
+    paf_params = []
+    for m in model.modules():
+        if isinstance(m, PAFSign):
+            for p in m.parameters():
+                if id(p) not in paf_ids:
+                    paf_ids.add(id(p))
+                    paf_params.append(p)
+    other_params = [p for p in model.parameters() if id(p) not in paf_ids]
+    return paf_params, other_params
+
+
+def make_optimizer(model: Module, config: SmartPAFConfig):
+    """Two-group optimizer with the Tab. 5 hyperparameters."""
+    paf_params, other_params = split_parameters(model)
+    groups = []
+    if paf_params:
+        groups.append(
+            {
+                "params": paf_params,
+                "lr": config.lr_paf,
+                "weight_decay": config.weight_decay_paf,
+            }
+        )
+    if other_params:
+        groups.append(
+            {
+                "params": other_params,
+                "lr": config.lr_other,
+                "weight_decay": config.weight_decay_other,
+            }
+        )
+    if config.optimizer == "adam":
+        return Adam(groups, lr=config.lr_other)
+    if config.optimizer == "sgd":
+        return SGD(groups, lr=config.lr_other)
+    raise ValueError(f"unknown optimizer {config.optimizer!r}")
+
+
+def set_trainable(model: Module, target: str) -> None:
+    """Freeze/unfreeze per AT phase.
+
+    ``target``: ``"paf"`` (train PAF coefficients only), ``"other"``
+    (train everything except PAF coefficients), or ``"all"``.
+    """
+    paf_params, other_params = split_parameters(model)
+    if target == "paf":
+        on, off = paf_params, other_params
+    elif target == "other":
+        on, off = other_params, paf_params
+    elif target == "all":
+        on, off = paf_params + other_params, []
+    else:
+        raise ValueError(f"target must be paf|other|all, got {target!r}")
+    for p in on:
+        p.requires_grad = True
+    for p in off:
+        p.requires_grad = False
+
+
+@dataclass
+class EpochRecord:
+    """Per-epoch training trace entry (feeds the Fig. 9 curves)."""
+
+    epoch: int
+    train_loss: float
+    train_acc: float
+    val_acc: float
+    event: str = ""  # replacement / SWA / AT markers
+
+
+def train_one_epoch(
+    model: Module,
+    loader: DataLoader,
+    optimizer,
+) -> tuple:
+    """One epoch of cross-entropy training; returns (mean_loss, train_acc)."""
+    model.train()
+    losses = []
+    correct = 0
+    seen = 0
+    for xb, yb in loader:
+        logits = model(Tensor(xb))
+        loss = F.cross_entropy(logits, yb)
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+        losses.append(loss.item())
+        correct += int((logits.data.argmax(axis=1) == yb).sum())
+        seen += len(yb)
+    return float(np.mean(losses)), correct / seen
+
+
+def evaluate_accuracy(
+    model: Module,
+    x: np.ndarray,
+    y: np.ndarray,
+    batch_size: int = 256,
+) -> float:
+    """Top-1 accuracy under ``no_grad`` / eval mode (mode is restored)."""
+    was_training = model.training
+    model.eval()
+    correct = 0
+    # A collapsed Static-Scaling model legitimately produces inf/NaN
+    # activations (Tab. 3's 0% rows); count those as wrong, quietly.
+    with no_grad(), np.errstate(invalid="ignore", over="ignore"):
+        for start in range(0, len(x), batch_size):
+            xb = x[start : start + batch_size]
+            yb = y[start : start + batch_size]
+            logits = model(Tensor(xb))
+            pred = np.nan_to_num(logits.data, nan=-np.inf).argmax(axis=1)
+            correct += int((pred == yb).sum())
+    model.train(was_training)
+    return correct / len(x)

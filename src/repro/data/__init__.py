@@ -1,0 +1,12 @@
+"""Synthetic datasets standing in for CIFAR-10 / ImageNet-1k (offline)."""
+
+from repro.data.loader import DataLoader
+from repro.data.synthetic import Dataset, cifar10_like, imagenet_like, make_pattern_dataset
+
+__all__ = [
+    "DataLoader",
+    "Dataset",
+    "cifar10_like",
+    "imagenet_like",
+    "make_pattern_dataset",
+]

@@ -1,0 +1,58 @@
+"""CLI: regenerate paper artefacts without pytest.
+
+Usage::
+
+    python -m repro.experiments table2
+    python -m repro.experiments fig7 fig8
+    python -m repro.experiments all
+    REPRO_SCALE=full python -m repro.experiments table3
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import (
+    print_appendix_depth,
+    print_fig7,
+    print_fig8,
+    print_fig9,
+    print_table2,
+    print_table3_block,
+    print_table4,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_table3,
+    run_table4,
+)
+
+RUNNERS = {
+    "table2": lambda: print_table2(),
+    "fig7": lambda: print_fig7(run_fig7()),
+    "fig8": lambda: print_fig8(run_fig8()),
+    "fig9": lambda: print_fig9(run_fig9()),
+    "table3": lambda: "\n\n".join(
+        print_table3_block(name, block) for name, block in run_table3().items()
+    ),
+    "table4": lambda: print_table4(run_table4()),
+    "depth": lambda: print_appendix_depth(),
+}
+
+
+def main(argv: list) -> int:
+    targets = argv or ["table2"]
+    if targets == ["all"]:
+        targets = list(RUNNERS)
+    unknown = [t for t in targets if t not in RUNNERS]
+    if unknown:
+        print(f"unknown targets {unknown}; choose from {sorted(RUNNERS)} or 'all'")
+        return 2
+    for t in targets:
+        print(RUNNERS[t]())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

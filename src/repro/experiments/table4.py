@@ -1,0 +1,112 @@
+"""Tab. 4 / Fig. 1 — latency-accuracy comparison vs the 27-degree baseline.
+
+Latency: measured encrypted-ReLU wall clock per PAF on our CKKS (relative
+latencies are the reproduced quantity — the paper used SEAL at N=32768 on
+a Threadripper).  Accuracy: SMART-PAF SS accuracy from the Tab. 3 pipeline;
+the α=10 column is the paper's prior-work baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.pareto import ParetoPoint, pareto_frontier
+from repro.analysis.tables import format_table
+from repro.ckks import CkksParams
+from repro.core import SmartPAF
+from repro.experiments.common import (
+    PAPER_FORMS,
+    fresh_model,
+    is_quick,
+    quick_config,
+    default_baseline,
+)
+from repro.fhe import measure_relu_latency
+from repro.paf import get_paf, minimax_alpha10_deg27
+from repro.paf.relu import relu_mult_depth
+
+__all__ = ["run_latency_table", "run_table4", "print_table4", "run_fig1"]
+
+
+def _latency_params() -> CkksParams:
+    # one context deep enough for the deepest form (alpha10: 11 levels)
+    n = 2048 if is_quick() else 8192
+    return CkksParams(n=n, scale_bits=25, depth=12)
+
+
+def run_latency_table(forms=None, repeats: int = 1) -> dict:
+    """Encrypted-ReLU latency per form, including the α=10 baseline."""
+    params = _latency_params()
+    results = {}
+    baseline_paf = minimax_alpha10_deg27()
+    results["alpha10"] = measure_relu_latency(baseline_paf, params, repeats)
+    for form in forms or PAPER_FORMS:
+        results[form] = measure_relu_latency(get_paf(form), params, repeats)
+    return results
+
+
+def run_table4(seed: int = 0, forms=None, with_accuracy: bool = True) -> dict:
+    forms = forms or (PAPER_FORMS if not is_quick() else ["f1f1g1g1", "f1g2"])
+    latency = run_latency_table(forms)
+    base_lat = latency["alpha10"].seconds
+    out: dict = {"rows": {}, "baseline_latency": base_lat}
+    base = default_baseline(seed) if with_accuracy else None
+    if base is not None:
+        out["original_accuracy"] = base.accuracy
+    for form in forms:
+        row = {
+            "latency_s": latency[form].seconds,
+            "speedup": base_lat / latency[form].seconds,
+            "mult_depth": latency[form].mult_depth,
+            "degree": latency[form].reported_degree,
+        }
+        if base is not None:
+            model = fresh_model(base)
+            cfg = quick_config().with_techniques(ct=True, pa=True, at=True)
+            res = SmartPAF(lambda f=form: get_paf(f), cfg).fit(model, base.dataset)
+            row["ss_accuracy"] = res.ss_accuracy
+            row["ds_accuracy"] = res.ds_accuracy
+        out["rows"][form] = row
+    return out
+
+
+def print_table4(result: dict) -> str:
+    rows = []
+    for form, r in result["rows"].items():
+        rows.append(
+            [
+                form,
+                r["degree"],
+                r["mult_depth"],
+                r["latency_s"],
+                r["speedup"],
+                r.get("ss_accuracy", float("nan")),
+            ]
+        )
+    title = (
+        "Table 4: SMART-PAF vs 27-degree minimax "
+        f"(baseline ReLU latency {result['baseline_latency']:.3f}s"
+    )
+    if "original_accuracy" in result:
+        title += f", original acc {result['original_accuracy']:.3f}"
+    title += ")"
+    return format_table(
+        ["form", "degree", "depth", "latency (s)", "speedup", "SS acc"], rows, title
+    )
+
+
+def run_fig1(table4: dict) -> dict:
+    """Fig. 1: Pareto frontier from the Tab. 4 design points."""
+    points = [
+        ParetoPoint(form, r["latency_s"], r.get("ss_accuracy", 0.0))
+        for form, r in table4["rows"].items()
+    ]
+    points.append(
+        ParetoPoint(
+            "alpha10(baseline)",
+            table4["baseline_latency"],
+            table4.get("original_accuracy", 0.0),
+        )
+    )
+    frontier = pareto_frontier(points)
+    return {"points": points, "frontier": frontier}

@@ -1,0 +1,24 @@
+"""Encrypted inference on top of ``repro.ckks`` + the latency harness."""
+
+from repro.fhe.latency import (
+    LatencyResult,
+    analytic_relu_cost,
+    measure_op_micros,
+    measure_relu_latency,
+    paf_op_counts,
+)
+from repro.fhe.linear import diagonals_of, encrypted_matvec, required_rotation_steps
+from repro.fhe.network import EncryptedMLP, compile_mlp
+
+__all__ = [
+    "LatencyResult",
+    "measure_relu_latency",
+    "measure_op_micros",
+    "analytic_relu_cost",
+    "paf_op_counts",
+    "encrypted_matvec",
+    "diagonals_of",
+    "required_rotation_steps",
+    "EncryptedMLP",
+    "compile_mlp",
+]

@@ -1,0 +1,164 @@
+"""PAF latency measurement under CKKS (the paper's Fig. 1 x-axis, Tab. 4).
+
+The paper measures wall-clock PAF (ReLU) latency in SEAL on a CPU
+(N=32768, 881-bit modulus).  Here the same quantity is measured on our
+CKKS at a configurable ring size; *relative* latencies across PAF forms —
+which track multiplication count and depth — are the reproduced quantity.
+
+Also provides an analytic cost model (op counts × measured per-op
+microbenchmarks) so the latency of paper-grade parameters can be
+extrapolated without running them.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ckks import (
+    CkksContext,
+    CkksParams,
+    CkksEvaluator,
+    eval_paf_relu,
+    keygen,
+)
+from repro.paf.polynomial import CompositePAF
+from repro.paf.relu import relu_mult_depth
+
+__all__ = [
+    "LatencyResult",
+    "measure_relu_latency",
+    "measure_op_micros",
+    "analytic_relu_cost",
+    "paf_op_counts",
+]
+
+
+@dataclass
+class LatencyResult:
+    """Measured encrypted-ReLU latency for one PAF form."""
+
+    paf_name: str
+    reported_degree: int
+    mult_depth: int
+    seconds: float
+    levels_consumed: int
+    max_error: float
+
+
+_SHARED: dict = {}
+
+
+def shared_runtime(params: CkksParams, seed: int = 0):
+    """Context+keys+evaluator cache (keygen dominates small benchmarks)."""
+    key = (params.n, params.scale_bits, params.depth)
+    if key not in _SHARED:
+        ctx = CkksContext(params)
+        keys = keygen(ctx, seed=seed)
+        _SHARED[key] = (ctx, keys, CkksEvaluator(ctx, keys))
+    return _SHARED[key]
+
+
+def measure_relu_latency(
+    paf: CompositePAF,
+    params: CkksParams | None = None,
+    repeats: int = 1,
+) -> LatencyResult:
+    """Wall-clock encrypted PAF-ReLU latency (median of ``repeats``)."""
+    params = params or CkksParams(n=2048, scale_bits=25, depth=relu_mult_depth(paf) + 1)
+    if params.depth < relu_mult_depth(paf):
+        raise ValueError(
+            f"context depth {params.depth} < required {relu_mult_depth(paf)}"
+        )
+    ctx, _, ev = shared_runtime(params)
+    rng = np.random.default_rng(0)
+    x = rng.uniform(-1, 1, ctx.slots)
+    ct = ev.encrypt(x)
+    times = []
+    out = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = eval_paf_relu(ev, ct, paf)
+        times.append(time.perf_counter() - t0)
+    got = ev.decrypt(out)
+    ref = 0.5 * (x + paf(x) * x)
+    return LatencyResult(
+        paf_name=paf.name,
+        reported_degree=paf.reported_degree,
+        mult_depth=paf.mult_depth,
+        seconds=float(np.median(times)),
+        levels_consumed=ctx.max_level - out.level,
+        max_error=float(np.max(np.abs(got - ref))),
+    )
+
+
+# ----------------------------------------------------------------------
+# analytic cost model
+# ----------------------------------------------------------------------
+def paf_op_counts(paf: CompositePAF) -> dict:
+    """Homomorphic op counts of the depth-optimal ReLU evaluation.
+
+    Per component: ladder squarings (ct-ct mult + relin + rescale), one
+    plaintext mult + rescale per nonzero term leaf, and term-merge ct-ct
+    mults; plus the final ReLU gate mult.
+    """
+    ct_mult = 0
+    pt_mult = 0
+    rescale = 0
+    for comp in paf.components:
+        degree = comp.degree
+        # ladder rungs
+        rung = 1
+        while rung * 2 <= max(degree - 1, 1):
+            ct_mult += 1
+            rescale += 1
+            rung *= 2
+        for idx, c in enumerate(comp.coeffs):
+            if c == 0.0:
+                continue
+            k = 2 * idx + 1
+            pt_mult += 1
+            rescale += 1
+            merges = bin(k - 1).count("1")
+            ct_mult += merges
+            rescale += merges
+    # ReLU reconstruction: one ct-ct mult (+ rescale) and one plain add
+    ct_mult += 1
+    rescale += 1
+    return {"ct_mult": ct_mult, "pt_mult": pt_mult, "rescale": rescale}
+
+
+def measure_op_micros(params: CkksParams, repeats: int = 3) -> dict:
+    """Per-op wall-clock microbenchmarks (seconds) for the cost model."""
+    ctx, _, ev = shared_runtime(params)
+    rng = np.random.default_rng(1)
+    x = rng.uniform(-1, 1, ctx.slots)
+    a = ev.encrypt(x)
+    b = ev.encrypt(x)
+
+    def timeit(fn):
+        ts = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn()
+            ts.append(time.perf_counter() - t0)
+        return float(np.median(ts))
+
+    out = {}
+    out["ct_mult"] = timeit(lambda: ev.mul(a, b))
+    out["pt_mult"] = timeit(lambda: ev.mul_plain(a, 0.5))
+    out["rescale"] = timeit(lambda: ev.rescale(ev.mul(a, b))) - out["ct_mult"]
+    out["add"] = timeit(lambda: ev.add(a, b))
+    return out
+
+
+def analytic_relu_cost(paf: CompositePAF, micros: dict) -> float:
+    """Estimated encrypted-ReLU seconds from op counts × per-op times."""
+    counts = paf_op_counts(paf)
+    return (
+        counts["ct_mult"] * micros["ct_mult"]
+        + counts["pt_mult"] * micros["pt_mult"]
+        + counts["rescale"] * max(micros["rescale"], 0.0)
+    )

@@ -1,0 +1,73 @@
+"""Encrypted linear algebra: Halevi-Shoup diagonal matrix-vector product.
+
+``y = W x`` for a plaintext matrix ``W`` and an encrypted, slot-packed
+``x`` is computed as ``Σ_d diag_d(W) ⊙ rot(x, d)`` over the generalised
+diagonals — the standard CKKS technique the FHE-inference literature
+builds on.  One plaintext multiply per nonzero diagonal, one rotation per
+diagonal beyond the first; a single rescale at the end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ckks.evaluator import Ciphertext, CkksEvaluator
+
+__all__ = ["encrypted_matvec", "diagonals_of", "required_rotation_steps"]
+
+
+def diagonals_of(w: np.ndarray, slots: int) -> dict:
+    """Generalised diagonals of ``W`` padded into the slot vector space.
+
+    ``diag_d[i] = W[i, (i + d) % in_dim]`` for output row ``i``; entries
+    beyond the matrix shape are zero.
+    """
+    out_dim, in_dim = w.shape
+    size = max(out_dim, in_dim)
+    if size > slots:
+        raise ValueError(f"matrix dim {size} exceeds slot count {slots}")
+    diags = {}
+    for d in range(size):
+        vec = np.zeros(slots)
+        rows = np.arange(out_dim)
+        cols = (rows + d) % size
+        valid = cols < in_dim
+        vec[rows[valid]] = w[rows[valid], cols[valid]]
+        if np.any(vec):
+            diags[d] = vec
+    return diags
+
+
+def required_rotation_steps(w: np.ndarray, slots: int) -> list:
+    """Rotation steps keygen must provide for :func:`encrypted_matvec`."""
+    return [d for d in diagonals_of(w, slots) if d != 0]
+
+
+def encrypted_matvec(
+    ev: CkksEvaluator,
+    ct_x: Ciphertext,
+    w: np.ndarray,
+    bias: np.ndarray | None = None,
+) -> Ciphertext:
+    """``W x + b`` on an encrypted slot-packed vector.
+
+    The input vector must be replicated-padded to ``max(out, in)`` length:
+    slots beyond ``in_dim`` must hold a copy of the wrapped-around entries
+    for the cyclic diagonals to line up.  For the square / zero-padded
+    layouts produced by :mod:`repro.fhe.network` this holds by packing
+    ``x`` into the first ``size`` slots with wraparound replication.
+    """
+    diags = diagonals_of(w, ct_x.c0.ctx.slots)
+    acc = None
+    for d, vec in diags.items():
+        rotated = ev.rotate(ct_x, d) if d else ct_x
+        term = ev.mul_plain(rotated, vec)
+        acc = term if acc is None else ev.add(acc, term)
+    if acc is None:
+        raise ValueError("matrix has no nonzero diagonals")
+    acc = ev.rescale(acc)
+    if bias is not None:
+        pad = np.zeros(ct_x.c0.ctx.slots)
+        pad[: len(bias)] = bias
+        acc = ev.add_plain(acc, pad)
+    return acc

@@ -1,0 +1,142 @@
+"""Compile a PAF-approximated MLP to fully-encrypted CKKS inference.
+
+The end-to-end private-inference path of the paper's Fig. 2: the client
+encrypts an input vector; the server evaluates linear layers (Halevi-Shoup
+matmul) and PAF activations (depth-optimal composite evaluation) on
+ciphertexts only; the client decrypts logits.
+
+Square layer layout: every Linear weight is zero-padded to ``size×size``
+(``size`` = max layer width) so rotations align, and inputs are packed
+with wraparound replication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ckks import (
+    Ciphertext,
+    CkksContext,
+    CkksEvaluator,
+    CkksParams,
+    eval_paf_relu,
+    keygen,
+)
+from repro.core.paf_layer import PAFReLU
+from repro.fhe.linear import diagonals_of, encrypted_matvec
+from repro.nn.layers import Linear, ReLU
+from repro.nn.module import Module
+from repro.paf.polynomial import CompositePAF
+from repro.paf.relu import relu_mult_depth
+
+__all__ = ["EncryptedMLP", "compile_mlp"]
+
+
+@dataclass
+class _Layer:
+    kind: str                   # "linear" | "paf"
+    weight: np.ndarray | None = None
+    bias: np.ndarray | None = None
+    paf: CompositePAF | None = None
+    scale: float = 1.0
+
+
+class EncryptedMLP:
+    """An MLP compiled for encrypted inference."""
+
+    def __init__(self, layers, size: int, params: CkksParams, seed: int = 0):
+        self.layers = layers
+        self.size = size
+        depth_needed = sum(
+            relu_mult_depth(l.paf) if l.kind == "paf" else 1 for l in layers
+        )
+        if params.depth < depth_needed:
+            raise ValueError(
+                f"context depth {params.depth} < required {depth_needed}"
+            )
+        self.ctx = CkksContext(params)
+        steps = set()
+        for l in layers:
+            if l.kind == "linear":
+                steps.update(
+                    d for d in diagonals_of(l.weight, self.ctx.slots) if d != 0
+                )
+        # right-rotation by `size` restores the wraparound replica block
+        # before each linear layer (the matvec zeroes slots >= size)
+        self._replicate_step = self.ctx.slots - self.size
+        steps.add(self._replicate_step)
+        self.keys = keygen(self.ctx, seed=seed, galois_steps=tuple(sorted(steps)))
+        self.ev = CkksEvaluator(self.ctx, self.keys)
+
+    # ------------------------------------------------------------------
+    def encrypt_input(self, x: np.ndarray) -> Ciphertext:
+        """Pack + encrypt one input vector (wraparound replication)."""
+        x = np.asarray(x, dtype=np.float64).ravel()
+        packed = np.zeros(self.ctx.slots)
+        packed[: len(x)] = x
+        # replicate so cyclic diagonals wrap correctly within the block
+        packed[self.size : self.size + len(x)] = x
+        return self.ev.encrypt(packed)
+
+    def _replicate(self, ct: Ciphertext) -> Ciphertext:
+        """Restore the replica block: out[i+size] = in[i] (tail is zero)."""
+        return self.ev.add(ct, self.ev.rotate(ct, self._replicate_step))
+
+    def forward(self, ct: Ciphertext, first: bool = True) -> Ciphertext:
+        for i, l in enumerate(self.layers):
+            if l.kind == "linear":
+                if i > 0:
+                    ct = self._replicate(ct)
+                ct = encrypted_matvec(self.ev, ct, l.weight, l.bias)
+            else:
+                ct = eval_paf_relu(self.ev, ct, l.paf, scale=l.scale)
+        return ct
+
+    def decrypt_logits(self, ct: Ciphertext, num_classes: int) -> np.ndarray:
+        return self.ev.decrypt(ct, num_values=num_classes)
+
+    def predict(self, x: np.ndarray, num_classes: int) -> int:
+        """Full round trip: encrypt -> encrypted forward -> decrypt -> argmax."""
+        logits = self.decrypt_logits(self.forward(self.encrypt_input(x)), num_classes)
+        return int(np.argmax(logits))
+
+
+def compile_mlp(model: Module, params: CkksParams, seed: int = 0) -> EncryptedMLP:
+    """Compile a (PAF-approximated) ``repro.nn`` MLP for encrypted inference.
+
+    Accepts models whose module tree is Linear / ReLU / PAFReLU layers
+    only (e.g. ``repro.nn.models.MLP`` after SMART-PAF replacement).
+    Exact ReLU layers are rejected — replace them first; that is the whole
+    point of the paper.
+    """
+    layers: list[_Layer] = []
+    widths: list[int] = []
+    for name, mod in model.named_modules():
+        if isinstance(mod, Linear):
+            w = mod.weight.data.copy()
+            b = mod.bias.data.copy() if mod.bias is not None else None
+            layers.append(_Layer(kind="linear", weight=w, bias=b))
+            widths.extend(w.shape)
+        elif isinstance(mod, PAFReLU):
+            layers.append(
+                _Layer(
+                    kind="paf",
+                    paf=mod.sign.to_composite(),
+                    scale=mod.static_scale,
+                )
+            )
+        elif isinstance(mod, ReLU):
+            raise TypeError(
+                f"layer {name!r} is an exact ReLU — run SMART-PAF replacement "
+                "before compiling to FHE (CKKS has no non-polynomial ops)"
+            )
+    size = max(widths)
+    # zero-pad weights to square so the diagonal layout is uniform
+    for l in layers:
+        if l.kind == "linear":
+            padded = np.zeros((size, size))
+            padded[: l.weight.shape[0], : l.weight.shape[1]] = l.weight
+            l.weight = padded
+    return EncryptedMLP(layers, size=size, params=params, seed=seed)

@@ -1,0 +1,295 @@
+"""Differentiable NN ops: convolution, pooling, normalisation, losses.
+
+Implemented with vectorised numpy (im2col / col2im for convolution,
+stride-tricks windowing for pooling) and wired into the autograd tape from
+``repro.nn.tensor``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.tensor import Tensor, as_tensor
+
+__all__ = [
+    "pad2d",
+    "conv2d",
+    "linear",
+    "max_pool2d",
+    "avg_pool2d",
+    "global_avg_pool2d",
+    "batch_norm2d",
+    "dropout",
+    "log_softmax",
+    "softmax",
+    "cross_entropy",
+    "nll_loss",
+    "accuracy",
+]
+
+
+# ----------------------------------------------------------------------
+# im2col helpers (shared by conv2d forward/backward)
+# ----------------------------------------------------------------------
+def _im2col(x: np.ndarray, kh: int, kw: int, stride: int) -> np.ndarray:
+    """(N, C, H, W) -> (N, OH, OW, C, KH, KW) view using stride tricks."""
+    n, c, h, w = x.shape
+    oh = (h - kh) // stride + 1
+    ow = (w - kw) // stride + 1
+    sn, sc, sh, sw = x.strides
+    view = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, oh, ow, c, kh, kw),
+        strides=(sn, sh * stride, sw * stride, sc, sh, sw),
+        writeable=False,
+    )
+    return view, oh, ow
+
+
+def _col2im(
+    cols: np.ndarray, x_shape: tuple, kh: int, kw: int, stride: int
+) -> np.ndarray:
+    """Scatter-add (N, OH, OW, C, KH, KW) patches back to (N, C, H, W)."""
+    n, c, h, w = x_shape
+    oh = (h - kh) // stride + 1
+    ow = (w - kw) // stride + 1
+    out = np.zeros((n, c, h, w), dtype=cols.dtype)
+    # Loop over the (small) kernel footprint, vectorised over N, OH, OW, C.
+    for i in range(kh):
+        for j in range(kw):
+            out[:, :, i : i + stride * oh : stride, j : j + stride * ow : stride] += (
+                cols[:, :, :, :, i, j].transpose(0, 3, 1, 2)
+            )
+    return out
+
+
+def pad2d(x: Tensor, padding: int) -> Tensor:
+    """Zero-pad the spatial dims of an NCHW tensor."""
+    if padding == 0:
+        return x
+    p = padding
+    out_data = np.pad(x.data, ((0, 0), (0, 0), (p, p), (p, p)))
+
+    def backward(g):
+        return (g[:, :, p:-p, p:-p],)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """2D convolution (cross-correlation), NCHW layout.
+
+    ``weight``: (OC, IC, KH, KW); ``bias``: (OC,) or None.
+    """
+    xp = pad2d(x, padding)
+    oc, ic, kh, kw = weight.shape
+    xd = xp.data
+    n, c, h, w = xd.shape
+    if c != ic:
+        raise ValueError(f"channel mismatch: input {c} vs weight {ic}")
+    cols, oh, ow = _im2col(xd, kh, kw, stride)
+    # (N*OH*OW, C*KH*KW) @ (C*KH*KW, OC)
+    cols2 = np.ascontiguousarray(cols).reshape(n * oh * ow, ic * kh * kw)
+    wmat = weight.data.reshape(oc, ic * kh * kw)
+    out = (cols2 @ wmat.T).reshape(n, oh, ow, oc).transpose(0, 3, 1, 2)
+    if bias is not None:
+        out = out + bias.data[None, :, None, None]
+
+    parents = (xp, weight) if bias is None else (xp, weight, bias)
+    x_shape = xd.shape
+
+    def backward(g):
+        # g: (N, OC, OH, OW)
+        gmat = g.transpose(0, 2, 3, 1).reshape(n * oh * ow, oc)
+        gw = (gmat.T @ cols2).reshape(oc, ic, kh, kw)
+        gcols = (gmat @ wmat).reshape(n, oh, ow, ic, kh, kw)
+        gx = _col2im(gcols, x_shape, kh, kw, stride)
+        if bias is None:
+            return (gx, gw)
+        gb = g.sum(axis=(0, 2, 3))
+        return (gx, gw, gb)
+
+    return Tensor._make(out, parents, backward)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """``x @ weight.T + bias`` with ``weight``: (OUT, IN)."""
+    out = x @ weight.transpose()
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def max_pool2d(x: Tensor, kernel: int, stride: Optional[int] = None, padding: int = 0) -> Tensor:
+    """Exact 2D max pooling (the non-polynomial operator PAFs replace)."""
+    stride = stride or kernel
+    if padding:
+        # pad with -inf so padding never wins the max
+        p = padding
+        xd = np.pad(
+            x.data, ((0, 0), (0, 0), (p, p), (p, p)), constant_values=-np.inf
+        )
+
+        def unpad(g):
+            return g[:, :, p:-p, p:-p]
+
+    else:
+        xd = x.data
+
+        def unpad(g):
+            return g
+
+    n, c, h, w = xd.shape
+    view, oh, ow = _im2col(xd, kernel, kernel, stride)
+    # view: (N, OH, OW, C, KH, KW)
+    flat = np.ascontiguousarray(view).reshape(n, oh, ow, c, kernel * kernel)
+    arg = flat.argmax(axis=-1)
+    out = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
+    out = out.transpose(0, 3, 1, 2)
+
+    def backward(g):
+        # route gradient to the argmax lane of each window
+        gflat = np.zeros_like(flat)
+        np.put_along_axis(
+            gflat, arg[..., None], g.transpose(0, 2, 3, 1)[..., None], axis=-1
+        )
+        gcols = gflat.reshape(n, oh, ow, c, kernel, kernel)
+        gx = _col2im(gcols, xd.shape, kernel, kernel, stride)
+        return (unpad(gx),)
+
+    return Tensor._make(out, (x,), backward)
+
+
+def avg_pool2d(x: Tensor, kernel: int, stride: Optional[int] = None) -> Tensor:
+    """2D average pooling (polynomial — allowed under FHE)."""
+    stride = stride or kernel
+    xd = x.data
+    n, c, h, w = xd.shape
+    view, oh, ow = _im2col(xd, kernel, kernel, stride)
+    out = view.mean(axis=(-1, -2)).transpose(0, 3, 1, 2)
+    inv = 1.0 / (kernel * kernel)
+
+    def backward(g):
+        gcols = np.broadcast_to(
+            (g.transpose(0, 2, 3, 1) * inv)[..., None, None],
+            (n, oh, ow, c, kernel, kernel),
+        )
+        return (_col2im(np.ascontiguousarray(gcols), xd.shape, kernel, kernel, stride),)
+
+    return Tensor._make(out, (x,), backward)
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Adaptive average pool to 1x1 (ResNet head)."""
+    return x.mean(axis=(2, 3), keepdims=True)
+
+
+def batch_norm2d(
+    x: Tensor,
+    gamma: Tensor,
+    beta: Tensor,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    training: bool,
+    momentum: float = 0.1,
+    eps: float = 1e-5,
+    track_running_stats: bool = False,
+) -> Tensor:
+    """Batch normalisation over NCHW channels.
+
+    The paper trains with "BatchNorm Tracking False" (Tab. 5) — batch
+    statistics are used in both train and eval unless
+    ``track_running_stats`` is set, matching that configuration.
+    """
+    use_batch_stats = training or not track_running_stats
+    if use_batch_stats:
+        mu = x.data.mean(axis=(0, 2, 3))
+        var = x.data.var(axis=(0, 2, 3))
+        if track_running_stats and training:
+            running_mean *= 1 - momentum
+            running_mean += momentum * mu
+            running_var *= 1 - momentum
+            running_var += momentum * var
+    else:
+        mu, var = running_mean, running_var
+
+    inv_std = 1.0 / np.sqrt(var + eps)
+    xhat = (x.data - mu[None, :, None, None]) * inv_std[None, :, None, None]
+    out = gamma.data[None, :, None, None] * xhat + beta.data[None, :, None, None]
+
+    m = x.data.shape[0] * x.data.shape[2] * x.data.shape[3]
+
+    def backward(g):
+        ggamma = (g * xhat).sum(axis=(0, 2, 3))
+        gbeta = g.sum(axis=(0, 2, 3))
+        gxhat = g * gamma.data[None, :, None, None]
+        if use_batch_stats:
+            # Full batch-norm backward (mu/var depend on x).
+            term1 = gxhat
+            term2 = gxhat.mean(axis=(0, 2, 3), keepdims=True)
+            term3 = xhat * (gxhat * xhat).mean(axis=(0, 2, 3), keepdims=True)
+            gx = (term1 - term2 - term3) * inv_std[None, :, None, None]
+        else:
+            gx = gxhat * inv_std[None, :, None, None]
+        return (gx, ggamma, gbeta)
+
+    return Tensor._make(out, (x, gamma, beta), backward)
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator) -> Tensor:
+    """Inverted dropout; identity when ``not training`` or ``p == 0``."""
+    if not training or p <= 0:
+        return x
+    keep = 1.0 - p
+    mask = (rng.random(x.shape) < keep) / keep
+
+    def backward(g):
+        return (g * mask,)
+
+    return Tensor._make(x.data * mask, (x,), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable log-softmax."""
+    xd = x.data
+    shifted = xd - xd.max(axis=axis, keepdims=True)
+    lse = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out = shifted - lse
+    softmax_vals = np.exp(out)
+
+    def backward(g):
+        return (g - softmax_vals * g.sum(axis=axis, keepdims=True),)
+
+    return Tensor._make(out, (x,), backward)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    return log_softmax(x, axis=axis).exp()
+
+
+def nll_loss(log_probs: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean negative log-likelihood given integer class targets."""
+    targets = np.asarray(targets, dtype=np.int64)
+    n = log_probs.shape[0]
+    picked = log_probs[np.arange(n), targets]
+    return -picked.mean()
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Softmax cross-entropy with integer class targets."""
+    return nll_loss(log_softmax(logits, axis=-1), targets)
+
+
+def accuracy(logits, targets: np.ndarray) -> float:
+    """Top-1 accuracy; accepts a Tensor or ndarray of logits."""
+    data = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+    pred = data.argmax(axis=-1)
+    return float((pred == np.asarray(targets)).mean())

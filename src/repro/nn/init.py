@@ -1,0 +1,44 @@
+"""Weight initialisation (Kaiming / Xavier)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["kaiming_normal", "kaiming_uniform", "xavier_uniform", "zeros", "ones"]
+
+
+def _fan_in_out(shape: tuple) -> tuple:
+    if len(shape) == 2:  # linear (out, in)
+        fan_in, fan_out = shape[1], shape[0]
+    elif len(shape) == 4:  # conv (oc, ic, kh, kw)
+        receptive = shape[2] * shape[3]
+        fan_in, fan_out = shape[1] * receptive, shape[0] * receptive
+    else:
+        raise ValueError(f"unsupported weight shape {shape}")
+    return fan_in, fan_out
+
+
+def kaiming_normal(shape: tuple, rng: np.random.Generator) -> np.ndarray:
+    """He initialisation for ReLU networks: N(0, sqrt(2/fan_in))."""
+    fan_in, _ = _fan_in_out(shape)
+    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=shape)
+
+
+def kaiming_uniform(shape: tuple, rng: np.random.Generator) -> np.ndarray:
+    fan_in, _ = _fan_in_out(shape)
+    bound = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_uniform(shape: tuple, rng: np.random.Generator) -> np.ndarray:
+    fan_in, fan_out = _fan_in_out(shape)
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def zeros(shape: tuple) -> np.ndarray:
+    return np.zeros(shape)
+
+
+def ones(shape: tuple) -> np.ndarray:
+    return np.ones(shape)

@@ -1,0 +1,91 @@
+"""Small models for fast tests, examples and the FHE end-to-end demo."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.layers import (
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from repro.nn.module import Module, Sequential
+from repro.nn.tensor import Tensor
+
+__all__ = ["SmallCNN", "small_cnn", "MLP", "mlp"]
+
+
+class SmallCNN(Module):
+    """A 7-layer-style CNN (conv-bn-relu ×2, maxpool, conv-bn-relu, fc).
+
+    Mirrors the "simple 7-layer CNN model under CiFar-10" the paper cites
+    from SAFENet when motivating low-degree PAF failures — 3 ReLU + 1
+    MaxPool, trainable in seconds on synthetic data.
+    """
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        base_width: int = 8,
+        in_channels: int = 3,
+        input_size: int = 16,
+        seed: Optional[int] = None,
+    ):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        w = base_width
+        self.body = Sequential(
+            Conv2d(in_channels, w, 3, padding=1, bias=False, rng=rng),
+            BatchNorm2d(w),
+            ReLU(),
+            Conv2d(w, 2 * w, 3, padding=1, bias=False, rng=rng),
+            BatchNorm2d(2 * w),
+            ReLU(),
+            MaxPool2d(2),
+            Conv2d(2 * w, 2 * w, 3, padding=1, bias=False, rng=rng),
+            BatchNorm2d(2 * w),
+            ReLU(),
+            Flatten(),
+            Linear(2 * w * (input_size // 2) ** 2, num_classes, rng=rng),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.body(x)
+
+
+def small_cnn(**kwargs) -> SmallCNN:
+    return SmallCNN(**kwargs)
+
+
+class MLP(Module):
+    """Fully-connected net — the model the FHE compiler runs end to end."""
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden: tuple = (32, 32),
+        num_classes: int = 10,
+        seed: Optional[int] = None,
+    ):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        layers: list[Module] = []
+        prev = in_features
+        for h in hidden:
+            layers.append(Linear(prev, h, rng=rng))
+            layers.append(ReLU())
+            prev = h
+        layers.append(Linear(prev, num_classes, rng=rng))
+        self.body = Sequential(*layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.body(x)
+
+
+def mlp(in_features: int, **kwargs) -> MLP:
+    return MLP(in_features, **kwargs)

@@ -1,0 +1,95 @@
+"""VGG-19 with the paper's non-polynomial layout.
+
+The paper evaluates VGG-19 on CIFAR-10: **18 ReLU + 5 MaxPooling**
+(Sec. 5.1) — 16 conv ReLUs plus 2 classifier ReLUs.  Width and input size
+are configurable for CPU-scale training.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.layers import (
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from repro.nn.module import Module, Sequential
+from repro.nn.tensor import Tensor
+
+__all__ = ["VGG19", "vgg19"]
+
+# Channel multipliers per VGG-19 stage (x base_width), 'M' = MaxPool.
+_VGG19_CFG = [1, 1, "M", 2, 2, "M", 4, 4, 4, 4, "M", 8, 8, 8, 8, "M", 8, 8, 8, 8, "M"]
+
+
+class VGG19(Module):
+    """VGG-19 (batch-norm variant): 16 conv+ReLU, 5 MaxPool, 3 FC (2 ReLU)."""
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        base_width: int = 64,
+        in_channels: int = 3,
+        input_size: int = 32,
+        classifier_width: Optional[int] = None,
+        seed: Optional[int] = None,
+    ):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        layers: list[Module] = []
+        ch = in_channels
+        spatial = input_size
+        for item in _VGG19_CFG:
+            if item == "M":
+                layers.append(MaxPool2d(2))
+                spatial //= 2
+            else:
+                out_ch = item * base_width
+                layers.append(Conv2d(ch, out_ch, 3, padding=1, bias=False, rng=rng))
+                layers.append(BatchNorm2d(out_ch))
+                layers.append(ReLU())
+                ch = out_ch
+        if spatial < 1:
+            raise ValueError(
+                f"input_size={input_size} too small for 5 pooling stages"
+            )
+        self.features = Sequential(*layers)
+        feat_dim = ch * spatial * spatial
+        cw = classifier_width or max(4 * base_width, num_classes)
+        self.classifier = Sequential(
+            Flatten(),
+            Linear(feat_dim, cw, rng=rng),
+            ReLU(),
+            Dropout(p=0.0, seed=seed),
+            Linear(cw, cw, rng=rng),
+            ReLU(),
+            Dropout(p=0.0, seed=None if seed is None else seed + 1),
+            Linear(cw, num_classes, rng=rng),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.classifier(self.features(x))
+
+
+def vgg19(
+    num_classes: int = 10,
+    base_width: int = 64,
+    in_channels: int = 3,
+    input_size: int = 32,
+    seed: Optional[int] = None,
+) -> VGG19:
+    """Factory matching the paper's model (full width by default)."""
+    return VGG19(
+        num_classes=num_classes,
+        base_width=base_width,
+        in_channels=in_channels,
+        input_size=input_size,
+        seed=seed,
+    )

@@ -1,0 +1,201 @@
+"""Module system: parameter containers with named traversal.
+
+Mirrors the familiar torch.nn.Module contract at the scale this project
+needs: named parameter traversal (for optimizers and SWA), train/eval
+modes, recursive application, and state dict save/load — plus
+``freeze``/``unfreeze`` helpers that Alternate Training relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = ["Parameter", "Module", "Sequential"]
+
+
+class Parameter(Tensor):
+    """A trainable Tensor (``requires_grad=True`` by default)."""
+
+    def __init__(self, data, requires_grad: bool = True):
+        super().__init__(data, requires_grad=requires_grad)
+
+
+class Module:
+    """Base class for layers and models."""
+
+    def __init__(self):
+        self._parameters: dict[str, Parameter] = {}
+        self._modules: dict[str, "Module"] = {}
+        self._buffers: dict[str, np.ndarray] = {}
+        self.training = True
+
+    # ------------------------------------------------------------------
+    # attribute plumbing
+    # ------------------------------------------------------------------
+    def __setattr__(self, name, value):
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", {})[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", {})[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Non-trainable state saved in the state dict (e.g. running max)."""
+        self._buffers[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    # traversal
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple]:
+        for name, p in self._parameters.items():
+            yield (f"{prefix}{name}", p)
+        for mname, mod in self._modules.items():
+            yield from mod.named_parameters(prefix=f"{prefix}{mname}.")
+
+    def parameters(self) -> list:
+        return [p for _, p in self.named_parameters()]
+
+    def named_modules(self, prefix: str = "") -> Iterator[tuple]:
+        yield (prefix.rstrip("."), self)
+        for mname, mod in self._modules.items():
+            yield from mod.named_modules(prefix=f"{prefix}{mname}.")
+
+    def modules(self) -> list:
+        return [m for _, m in self.named_modules()]
+
+    def named_buffers(self, prefix: str = "") -> Iterator[tuple]:
+        for name in self._buffers:
+            yield (f"{prefix}{name}", getattr(self, name))
+        for mname, mod in self._modules.items():
+            yield from mod.named_buffers(prefix=f"{prefix}{mname}.")
+
+    def apply(self, fn: Callable[["Module"], None]) -> "Module":
+        for m in self.modules():
+            fn(m)
+        return self
+
+    # ------------------------------------------------------------------
+    # modes
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        for m in self.modules():
+            m.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.grad = None
+
+    # ------------------------------------------------------------------
+    # freezing (Alternate Training switches these)
+    # ------------------------------------------------------------------
+    def freeze(self) -> "Module":
+        for p in self.parameters():
+            p.requires_grad = False
+        return self
+
+    def unfreeze(self) -> "Module":
+        for p in self.parameters():
+            p.requires_grad = True
+        return self
+
+    # ------------------------------------------------------------------
+    # state dict
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        state = {name: p.data.copy() for name, p in self.named_parameters()}
+        for name, b in self.named_buffers():
+            state[f"buffer::{name}"] = np.array(b, copy=True)
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        params = dict(self.named_parameters())
+        buffers = dict(self.named_buffers())
+        for key, value in state.items():
+            if key.startswith("buffer::"):
+                name = key[len("buffer::") :]
+                if name not in buffers:
+                    raise KeyError(f"unknown buffer {name!r}")
+                # Locate the owning module and rebind.
+                *path, leaf = name.split(".")
+                mod = self
+                for part in path:
+                    mod = mod._modules[part]
+                mod.register_buffer(leaf, np.array(value, copy=True))
+            else:
+                if key not in params:
+                    raise KeyError(f"unknown parameter {key!r}")
+                if params[key].data.shape != value.shape:
+                    raise ValueError(
+                        f"shape mismatch for {key!r}: "
+                        f"{params[key].data.shape} vs {value.shape}"
+                    )
+                params[key].data = value.copy()
+
+    # ------------------------------------------------------------------
+    # call protocol
+    # ------------------------------------------------------------------
+    def forward(self, x: Tensor) -> Tensor:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        children = ", ".join(self._modules)
+        return f"{type(self).__name__}({children})"
+
+
+class Sequential(Module):
+    """Run modules in order; supports indexing, iteration and replacement.
+
+    Model surgery (``repro.core.surgery``) swaps non-polynomial layers for
+    PAF layers in place via ``seq[i] = new_layer``.
+    """
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        for i, layer in enumerate(layers):
+            setattr(self, str(i), layer)
+        self._length = len(layers)
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __iter__(self):
+        return (self._modules[str(i)] for i in range(self._length))
+
+    def __getitem__(self, idx: int) -> Module:
+        if isinstance(idx, slice):
+            return Sequential(*list(self)[idx])
+        if idx < 0:
+            idx += self._length
+        return self._modules[str(idx)]
+
+    def __setitem__(self, idx: int, layer: Module) -> None:
+        if idx < 0:
+            idx += self._length
+        if not 0 <= idx < self._length:
+            raise IndexError(idx)
+        setattr(self, str(idx), layer)
+
+    def append(self, layer: Module) -> "Sequential":
+        setattr(self, str(self._length), layer)
+        self._length += 1
+        return self
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self:
+            x = layer(x)
+        return x

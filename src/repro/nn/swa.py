@@ -1,0 +1,46 @@
+"""Stochastic Weight Averaging (SWA).
+
+The SMART-PAF scheduler applies SWA at the end of every training group
+(Fig. 6 / Sec. 6): weights of the last ``E`` epochs are averaged and the
+averaged model competes with the best single-epoch model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+
+__all__ = ["SWAAverager"]
+
+
+class SWAAverager:
+    """Running average of a model's parameters across epochs.
+
+    Usage::
+
+        swa = SWAAverager(model)
+        for epoch in range(E):
+            train_one_epoch(...)
+            swa.update(model)
+        swa_state = swa.averaged_state()   # load into a model to evaluate
+    """
+
+    def __init__(self, model: Module):
+        self._sum = {k: v.copy() for k, v in model.state_dict().items()}
+        self.count = 1
+
+    def update(self, model: Module) -> None:
+        state = model.state_dict()
+        if set(state) != set(self._sum):
+            raise ValueError("model structure changed under SWA averaging")
+        for k, v in state.items():
+            self._sum[k] += v
+        self.count += 1
+
+    def averaged_state(self) -> dict:
+        return {k: v / self.count for k, v in self._sum.items()}
+
+    def load_into(self, model: Module) -> Module:
+        model.load_state_dict(self.averaged_state())
+        return model

@@ -1,0 +1,385 @@
+"""A minimal reverse-mode autograd engine over numpy.
+
+This is the training substrate for the SMART-PAF techniques: the paper's
+methods need partial freezing (Alternate Training), per-parameter-group
+hyperparameters, SWA, dropout and trainable *PAF coefficients* — all of
+which sit naturally on a small define-by-run tape.
+
+Every differentiable op builds the graph eagerly; :meth:`Tensor.backward`
+topologically sorts the tape and accumulates gradients.  All array math is
+vectorised numpy (no Python loops over elements), per the ml-systems
+guidance.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Optional
+
+import numpy as np
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "as_tensor"]
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Disable graph construction (evaluation / SS calibration passes)."""
+    global _GRAD_ENABLED
+    prev = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = prev
+
+
+def is_grad_enabled() -> bool:
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
+    """Reduce ``grad`` back to ``shape`` after numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum the leading broadcast axes.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum axes that were 1 in the original shape.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """An ndarray with an autograd tape.
+
+    Parameters
+    ----------
+    data:
+        Anything ``np.asarray`` accepts; stored as float64.
+    requires_grad:
+        Track operations on this tensor for backpropagation.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+
+    def __init__(self, data, requires_grad: bool = False):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: tuple = ()
+
+    # ------------------------------------------------------------------
+    # constructors / metadata
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(data: np.ndarray, parents: Iterable["Tensor"], backward) -> "Tensor":
+        parents = tuple(p for p in parents if isinstance(p, Tensor))
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=False)
+        out.requires_grad = requires
+        if requires:
+            out._parents = parents
+            out._backward = backward
+        return out
+
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def numpy(self) -> np.ndarray:
+        """The underlying array (no copy); detached from the graph."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad})"
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    # ------------------------------------------------------------------
+    # autograd driver
+    # ------------------------------------------------------------------
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from this tensor through the recorded tape."""
+        if not self.requires_grad:
+            raise RuntimeError("backward() on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar outputs")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float64)
+
+        # Topological order (iterative DFS — deep graphs exceed recursion).
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for p in node._parents:
+                if p.requires_grad and id(p) not in visited:
+                    stack.append((p, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(topo):
+            g = grads.pop(id(node), None)
+            if g is None:
+                continue
+            if node._backward is None:
+                # Leaf: accumulate into .grad
+                node.grad = g if node.grad is None else node.grad + g
+                continue
+            parent_grads = node._backward(g)
+            for p, pg in zip(node._parents, parent_grads):
+                if pg is None or not p.requires_grad:
+                    continue
+                key = id(p)
+                grads[key] = pg if key not in grads else grads[key] + pg
+        # Non-leaf tensors with no remaining consumers: flush their grads.
+        for key, g in grads.items():  # pragma: no cover - defensive
+            pass
+
+    # ------------------------------------------------------------------
+    # elementwise arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other):
+        other = as_tensor(other)
+        out_data = self.data + other.data
+
+        def backward(g):
+            return (_unbroadcast(g, self.shape), _unbroadcast(g, other.shape))
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self):
+        def backward(g):
+            return (-g,)
+
+        return Tensor._make(-self.data, (self,), backward)
+
+    def __sub__(self, other):
+        other = as_tensor(other)
+        out_data = self.data - other.data
+
+        def backward(g):
+            return (_unbroadcast(g, self.shape), _unbroadcast(-g, other.shape))
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    def __rsub__(self, other):
+        return as_tensor(other) - self
+
+    def __mul__(self, other):
+        other = as_tensor(other)
+        out_data = self.data * other.data
+        a_data, b_data = self.data, other.data
+
+        def backward(g):
+            return (
+                _unbroadcast(g * b_data, self.shape),
+                _unbroadcast(g * a_data, other.shape),
+            )
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        other = as_tensor(other)
+        out_data = self.data / other.data
+        a_data, b_data = self.data, other.data
+
+        def backward(g):
+            return (
+                _unbroadcast(g / b_data, self.shape),
+                _unbroadcast(-g * a_data / (b_data * b_data), other.shape),
+            )
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    def __rtruediv__(self, other):
+        return as_tensor(other) / self
+
+    def __pow__(self, exponent):
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        out_data = self.data**exponent
+        x = self.data
+
+        def backward(g):
+            return (g * exponent * x ** (exponent - 1),)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # matmul / linear algebra
+    # ------------------------------------------------------------------
+    def __matmul__(self, other):
+        other = as_tensor(other)
+        out_data = self.data @ other.data
+        a, b = self.data, other.data
+
+        def backward(g):
+            ga = g @ b.swapaxes(-1, -2)
+            gb = a.swapaxes(-1, -2) @ g
+            return (_unbroadcast(ga, self.shape), _unbroadcast(gb, other.shape))
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    # ------------------------------------------------------------------
+    # shape ops
+    # ------------------------------------------------------------------
+    def reshape(self, *shape):
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        old_shape = self.shape
+        out_data = self.data.reshape(shape)
+
+        def backward(g):
+            return (g.reshape(old_shape),)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def flatten_from(self, axis: int = 1):
+        """Flatten all dims from ``axis`` on (e.g. NCHW -> N,(CHW))."""
+        lead = self.shape[:axis]
+        return self.reshape(lead + (-1,))
+
+    def transpose(self, *axes):
+        if not axes:
+            axes = tuple(range(self.ndim))[::-1]
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        inv = np.argsort(axes)
+        out_data = self.data.transpose(axes)
+
+        def backward(g):
+            return (g.transpose(inv),)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    @property
+    def T(self):
+        return self.transpose()
+
+    def __getitem__(self, idx):
+        out_data = self.data[idx]
+        shape = self.shape
+
+        def backward(g):
+            full = np.zeros(shape, dtype=np.float64)
+            np.add.at(full, idx, g)
+            return (full,)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False):
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+        shape = self.shape
+
+        def backward(g):
+            if axis is None:
+                return (np.broadcast_to(g, shape).copy(),)
+            g_exp = g if keepdims else np.expand_dims(g, axis)
+            return (np.broadcast_to(g_exp, shape).copy(),)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False):
+        if axis is None:
+            count = self.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def var(self, axis=None, keepdims: bool = False):
+        mu = self.mean(axis=axis, keepdims=True)
+        centered = self - mu
+        out = (centered * centered).mean(axis=axis, keepdims=keepdims)
+        return out
+
+    # ------------------------------------------------------------------
+    # elementwise nonlinearities
+    # ------------------------------------------------------------------
+    def relu(self):
+        mask = self.data > 0
+        out_data = self.data * mask
+
+        def backward(g):
+            return (g * mask,)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def exp(self):
+        out_data = np.exp(self.data)
+
+        def backward(g):
+            return (g * out_data,)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def log(self):
+        x = self.data
+        out_data = np.log(x)
+
+        def backward(g):
+            return (g / x,)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def sqrt(self):
+        out_data = np.sqrt(self.data)
+
+        def backward(g):
+            return (g * 0.5 / out_data,)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def abs(self):
+        s = np.sign(self.data)
+        out_data = np.abs(self.data)
+
+        def backward(g):
+            return (g * s,)
+
+        return Tensor._make(out_data, (self,), backward)
+
+
+def as_tensor(value) -> Tensor:
+    """Coerce scalars / arrays to a (constant) Tensor."""
+    return value if isinstance(value, Tensor) else Tensor(value)

@@ -1,0 +1,112 @@
+"""Polynomial bases used by the paper's PAFs.
+
+Two families:
+
+* ``f_n`` from Cheon, Kim & Kim 2020 ("Efficient homomorphic comparison
+  methods with optimal complexity"): closed form
+
+      f_n(x) = sum_{i=0}^{n} (1/4^i) * C(2i, i) * x * (1 - x^2)^i
+
+  ``f_1(x) = 1.5 x - 0.5 x^3``, ``f_2(x) = 1.875 x - 1.25 x^3 + 0.375 x^5``
+  — these exact values appear untrained in the paper's appendix Tab. 10/11.
+
+* ``g_n`` — Cheon et al.'s accelerating polynomials (published constants over
+  2^10).  ``g_2 = (3334 x - 6108 x^3 + 3796 x^5)/1024`` matches the untrained
+  row of the paper's Tab. 11; ``g_3`` matches Tab. 10.
+
+* the minimax composite for precision ``α = 7`` with the paper's exact Tab. 7
+  coefficients (Lee et al. 2021).
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import numpy as np
+
+from repro.paf.polynomial import CompositePAF, OddPolynomial
+
+__all__ = [
+    "f_poly",
+    "g_poly",
+    "F1",
+    "F2",
+    "G1",
+    "G2",
+    "G3",
+    "MINIMAX_ALPHA7",
+    "minimax_alpha7",
+]
+
+
+def f_coeffs(n: int) -> list:
+    """Odd-power coefficients of Cheon et al.'s ``f_n`` (exact rationals).
+
+    Expanding ``f_n(x) = sum_i 4^{-i} C(2i,i) x (1-x^2)^i`` gives the
+    coefficient of ``x^(2j+1)`` as ``sum_{i>=j} 4^{-i} C(2i,i) C(i,j) (-1)^j``.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    coeffs = [Fraction(0)] * (n + 1)
+    for i in range(n + 1):
+        w = Fraction(math.comb(2 * i, i), 4**i)
+        for j in range(i + 1):
+            coeffs[j] += w * math.comb(i, j) * (-1) ** j
+    return [float(c) for c in coeffs]
+
+
+def f_poly(n: int) -> OddPolynomial:
+    """Cheon et al.'s ``f_n`` as an :class:`OddPolynomial`."""
+    return OddPolynomial(f_coeffs(n), name=f"f{n}")
+
+
+# Cheon et al. 2020 accelerating polynomials g_n, constants over 2^10.
+# g2/g3 are confirmed by the untrained rows of the paper's appendix tables
+# (3334/1024 = 3.255859375 etc.).
+_G_TABLE = {
+    1: [2126, -1359],
+    2: [3334, -6108, 3796],
+    3: [4589, -16577, 25614, -12860],
+}
+
+
+def g_coeffs(n: int) -> list:
+    """Odd-power coefficients of Cheon et al.'s ``g_n`` (n in {1, 2, 3})."""
+    if n not in _G_TABLE:
+        raise ValueError(f"g_n only published for n in {{1,2,3}}, got {n}")
+    return [c / 1024.0 for c in _G_TABLE[n]]
+
+
+def g_poly(n: int) -> OddPolynomial:
+    """Cheon et al.'s ``g_n`` as an :class:`OddPolynomial`."""
+    return OddPolynomial(g_coeffs(n), name=f"g{n}")
+
+
+F1 = f_poly(1)
+F2 = f_poly(2)
+G1 = g_poly(1)
+G2 = g_poly(2)
+G3 = g_poly(3)
+
+
+# ----------------------------------------------------------------------
+# Minimax composite, α = 7 (Lee et al. 2021), exact Tab. 7 coefficients.
+# p7 = p_{7,2} ∘ p_{7,1}, both odd degree-7 polynomials.
+# ----------------------------------------------------------------------
+_ALPHA7_P1 = [7.304451, -34.68258667, 59.85965347, -31.87552261]
+_ALPHA7_P2 = [2.400856, -2.631254435, 1.549126744, -0.331172943]
+
+
+def minimax_alpha7() -> CompositePAF:
+    """The paper's α=7 minimax composite PAF (Tab. 2 / Tab. 7).
+
+    Two degree-7 components; Tab. 2 reports degree 12 and multiplication
+    depth 6 (= 2 * ceil(log2 8)).
+    """
+    p1 = OddPolynomial(_ALPHA7_P1, name="p7_1")
+    p2 = OddPolynomial(_ALPHA7_P2, name="p7_2")
+    return CompositePAF([p1, p2], name="alpha=7", reported_degree=12)
+
+
+MINIMAX_ALPHA7 = minimax_alpha7()

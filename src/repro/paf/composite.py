@@ -1,0 +1,120 @@
+"""Registry of the paper's six PAF forms (Tab. 2).
+
+======  =================  ===============  =====================
+key     form               reported degree  multiplication depth
+======  =================  ===============  =====================
+alpha10 minimax α=10       27               10
+f1f1g1g1 f1² ∘ g1²         14               8
+alpha7  minimax α=7        12               6
+f2g3    f2 ∘ g3            12               6
+f2g2    f2 ∘ g2            10               6
+f1g2    f1 ∘ g2            5                5
+======  =================  ===============  =====================
+
+Keys accept several aliases (``"f1^2 o g1^2"``, ``"alpha=7"`` ...).
+``get_paf`` always returns a *fresh copy* so callers can train coefficients
+without mutating the registry.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.paf.bases import f_poly, g_poly, minimax_alpha7
+from repro.paf.minimax import minimax_alpha10_deg27
+from repro.paf.polynomial import CompositePAF
+
+__all__ = ["PAF_REGISTRY", "get_paf", "paper_pafs", "canonical_key"]
+
+
+# Composition order: "f o g" is standard composition f(g(x)) — the g
+# (accelerating) polynomials run first, the f (sharpening) polynomials last,
+# exactly as in Cheon et al. 2020's construction.  (The paper's Appendix C
+# prose says "f1 o g2 = g2(f1(x))", but that order is numerically wrong for
+# sign approximation — e.g. g3(f2(1)) misses 1 by 0.25 while f2(g3(1)) is
+# within 2^-4 — so we follow the standard/Cheon order.  Multiplication depth
+# is identical either way.)
+
+
+def _f1f1g1g1() -> CompositePAF:
+    return CompositePAF(
+        [g_poly(1), g_poly(1), f_poly(1), f_poly(1)],
+        name="f1^2 o g1^2",
+        reported_degree=14,
+    )
+
+
+def _f2g3() -> CompositePAF:
+    return CompositePAF([g_poly(3), f_poly(2)], name="f2 o g3", reported_degree=12)
+
+
+def _f2g2() -> CompositePAF:
+    return CompositePAF([g_poly(2), f_poly(2)], name="f2 o g2", reported_degree=10)
+
+
+def _f1g2() -> CompositePAF:
+    return CompositePAF([g_poly(2), f_poly(1)], name="f1 o g2", reported_degree=5)
+
+
+#: Factories for the paper's PAF forms, keyed by canonical name.
+PAF_REGISTRY: Dict[str, Callable[[], CompositePAF]] = {
+    "alpha10": minimax_alpha10_deg27,
+    "f1f1g1g1": _f1f1g1g1,
+    "alpha7": minimax_alpha7,
+    "f2g3": _f2g3,
+    "f2g2": _f2g2,
+    "f1g2": _f1g2,
+}
+
+_ALIASES = {
+    "alpha=10": "alpha10",
+    "a10": "alpha10",
+    "minimax27": "alpha10",
+    "f1^2og1^2": "f1f1g1g1",
+    "f1^2 o g1^2": "f1f1g1g1",
+    "f1^2∘g1^2": "f1f1g1g1",
+    "f12g12": "f1f1g1g1",
+    "alpha=7": "alpha7",
+    "a7": "alpha7",
+    "f2og3": "f2g3",
+    "f2 o g3": "f2g3",
+    "f2∘g3": "f2g3",
+    "f2og2": "f2g2",
+    "f2 o g2": "f2g2",
+    "f2∘g2": "f2g2",
+    "f1og2": "f1g2",
+    "f1 o g2": "f1g2",
+    "f1∘g2": "f1g2",
+}
+
+#: Registry order used by all tables/figures (highest degree first, as the
+#: paper's tables are laid out).
+PAPER_ORDER = ["f1f1g1g1", "alpha7", "f2g3", "f2g2", "f1g2"]
+
+
+def canonical_key(name: str) -> str:
+    """Resolve an alias to its canonical registry key."""
+    key = name.strip().lower().replace(" ", "").replace("·", "")
+    key = _ALIASES.get(key, key)
+    key = _ALIASES.get(name.strip(), key) if key not in PAF_REGISTRY else key
+    if key not in PAF_REGISTRY:
+        raise KeyError(
+            f"unknown PAF {name!r}; known: {sorted(PAF_REGISTRY)} "
+            f"(aliases: {sorted(_ALIASES)})"
+        )
+    return key
+
+
+def get_paf(name: str) -> CompositePAF:
+    """Fetch a fresh copy of a registered PAF by name or alias."""
+    return PAF_REGISTRY[canonical_key(name)]()
+
+
+def paper_pafs(include_alpha10: bool = False) -> list:
+    """The PAF forms evaluated in the paper's tables, in table order.
+
+    Tab. 3 / Tab. 4 / Fig. 7 / Fig. 8 sweep the five non-α=10 forms;
+    pass ``include_alpha10=True`` for Tab. 2 / the latency baseline.
+    """
+    keys = (["alpha10"] if include_alpha10 else []) + PAPER_ORDER
+    return [get_paf(k) for k in keys]

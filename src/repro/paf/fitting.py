@@ -1,0 +1,180 @@
+"""Distribution-weighted refitting of PAF coefficients (Coefficient Tuning).
+
+This is the regression backend of the paper's Coefficient Tuning (Sec. 4.2):
+given the *profiled input distribution* of a particular non-polynomial layer,
+refit the PAF so its approximation error is minimised where the data actually
+lives, instead of uniformly over a huge range.
+
+Two fitting modes:
+
+* :func:`fit_last_component` — the cheap mode used inside CT: only the
+  outermost component's coefficients are refit (linear least squares, since
+  the inner components are fixed maps).
+* :func:`fit_composite` — Gauss-Newton over *all* component coefficients;
+  used when CT needs more recovery (and by tests to verify the optimum).
+
+Both minimise the weighted loss ``sum_i w_i (paf(x_i) - sign(x_i))^2`` with
+weights from the profiled histogram.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.paf.polynomial import CompositePAF, OddPolynomial
+
+__all__ = [
+    "profile_to_weights",
+    "fit_last_component",
+    "fit_composite",
+    "weighted_sign_mse",
+]
+
+
+def profile_to_weights(
+    samples: np.ndarray,
+    grid: np.ndarray,
+    *,
+    bandwidth: float | None = None,
+) -> np.ndarray:
+    """Estimate distribution weights on ``grid`` from profiled ``samples``.
+
+    A simple Gaussian kernel density estimate, normalised to sum to 1.
+    Used to turn a layer's profiled activations into regression weights.
+    """
+    samples = np.asarray(samples, dtype=np.float64).ravel()
+    if samples.size == 0:
+        raise ValueError("cannot profile an empty sample set")
+    std = float(np.std(samples))
+    if bandwidth is None:
+        # Silverman's rule of thumb; floor for near-constant samples.
+        bandwidth = max(1.06 * std * samples.size ** (-1 / 5), 1e-3)
+    # Histogram first so the KDE cost is O(bins * grid) not O(n * grid).
+    lo = min(float(grid[0]), float(samples.min()))
+    hi = max(float(grid[-1]), float(samples.max()))
+    hist, edges = np.histogram(samples, bins=256, range=(lo, hi))
+    centers = 0.5 * (edges[:-1] + edges[1:])
+    diff = (grid[:, None] - centers[None, :]) / bandwidth
+    density = (np.exp(-0.5 * diff**2) * hist[None, :]).sum(axis=1)
+    total = density.sum()
+    if total <= 0:
+        density = np.ones_like(grid)
+        total = density.sum()
+    return density / total
+
+
+def weighted_sign_mse(
+    paf: CompositePAF, x: np.ndarray, w: np.ndarray | None = None
+) -> float:
+    """Weighted MSE of ``paf`` against ``sign`` on points ``x``."""
+    x = np.asarray(x, dtype=np.float64)
+    target = np.sign(x)
+    err = paf(x) - target
+    if w is None:
+        return float(np.mean(err**2))
+    w = np.asarray(w, dtype=np.float64)
+    return float(np.sum(w * err**2) / np.sum(w))
+
+
+def fit_last_component(
+    paf: CompositePAF,
+    x: np.ndarray,
+    w: np.ndarray | None = None,
+    *,
+    ridge: float = 1e-9,
+) -> CompositePAF:
+    """Refit only the outermost component by weighted linear least squares.
+
+    With the inner components frozen, ``paf(x) = p_k(y)`` where
+    ``y = inner(x)`` is a fixed feature map, so the outer coefficients solve
+    a weighted linear system against the ``sign(x)`` target.
+    """
+    x = np.asarray(x, dtype=np.float64).ravel()
+    y = x
+    for comp in paf.components[:-1]:
+        y = comp(y)
+    outer = paf.components[-1]
+    powers = 2 * np.arange(outer.num_coeffs) + 1
+    design = y[:, None] ** powers[None, :]
+    target = np.sign(x)
+    if w is not None:
+        sw = np.sqrt(np.asarray(w, dtype=np.float64).ravel())
+        design = design * sw[:, None]
+        target = target * sw
+    gram = design.T @ design + ridge * np.eye(design.shape[1])
+    coeffs = np.linalg.solve(gram, design.T @ target)
+    new_outer = outer.with_coeffs(coeffs)
+    return CompositePAF(
+        list(paf.components[:-1]) + [new_outer],
+        name=paf.name,
+        reported_degree=paf.reported_degree,
+    )
+
+
+def fit_composite(
+    paf: CompositePAF,
+    x: np.ndarray,
+    w: np.ndarray | None = None,
+    *,
+    iters: int = 50,
+    damping: float = 1e-6,
+) -> CompositePAF:
+    """Gauss-Newton refit of all component coefficients.
+
+    The Jacobian of ``paf(x)`` w.r.t. the coefficient ``c`` of component
+    ``m`` at power ``k`` is ``(prod of outer derivatives) * y_m^k`` where
+    ``y_m`` is the value entering component ``m`` — computed exactly via the
+    chain rule over the stored intermediate values.
+    """
+    x = np.asarray(x, dtype=np.float64).ravel()
+    target = np.sign(x)
+    if w is None:
+        w = np.ones_like(x)
+    w = np.asarray(w, dtype=np.float64).ravel()
+    sw = np.sqrt(w / w.sum())
+
+    current = paf.copy()
+    best = current
+    best_loss = weighted_sign_mse(current, x, w)
+    lm = damping  # Levenberg-Marquardt damping, adapted per iteration
+    for _ in range(iters):
+        values = current.intermediate_values(x)  # len = comps + 1
+        # Downstream derivative products: d paf / d (input of comp m).
+        n_comp = len(current.components)
+        down = [None] * (n_comp + 1)
+        down[n_comp] = np.ones_like(x)
+        for m in range(n_comp - 1, -1, -1):
+            down[m] = down[m + 1] * current.components[m].derivative(values[m])
+        cols = []
+        for m, comp in enumerate(current.components):
+            y = values[m]
+            powers = 2 * np.arange(comp.num_coeffs) + 1
+            # d paf / d c_{m,k} = down[m+1] * y^k
+            cols.append(down[m + 1][:, None] * y[:, None] ** powers[None, :])
+        jac = np.hstack(cols) * sw[:, None]
+        resid = (current(x) - target) * sw
+        gtg = jac.T @ jac
+        grad = jac.T @ resid
+        improved = False
+        # LM trust-region loop: grow damping until a step improves the loss.
+        for _trial in range(12):
+            try:
+                step = np.linalg.solve(
+                    gtg + lm * np.diag(np.maximum(np.diag(gtg), 1e-12)),
+                    grad,
+                )
+            except np.linalg.LinAlgError:
+                lm *= 10.0
+                continue
+            candidate = current.with_flat_coeffs(current.flat_coeffs() - step)
+            loss = weighted_sign_mse(candidate, x, w)
+            if np.isfinite(loss) and loss < best_loss:
+                best, best_loss = candidate, loss
+                current = candidate
+                lm = max(lm / 3.0, 1e-12)
+                improved = True
+                break
+            lm *= 10.0
+        if not improved:
+            break
+    return best

@@ -1,0 +1,69 @@
+"""AESPA-style quadratic ReLU approximation (related-work baseline, §7).
+
+AESPA (Park et al. 2022) replaces ReLU with a *single quadratic*
+``a + b·x + c·x²`` instead of a sign-composite.  The paper argues this
+approach's accuracy on small datasets does not transfer to complex ones
+and that it offers no MaxPooling story (§7); this module provides the
+baseline so those comparisons are runnable here.
+
+The quadratic is fit by least squares against ReLU under a chosen input
+density (standard normal by default — the Hermite-expansion view AESPA
+takes).  For N(0,1) the closed form is::
+
+    relu(x) ≈ 1/sqrt(2π) + x/2 + (1/(2·sqrt(2π)))·(x² - 1)
+
+A quadratic is *not* odd, so it cannot be expressed as a sign composite;
+it gets its own small layer type mirroring :class:`repro.core.PAFReLU`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+
+__all__ = ["hermite_quadratic_coeffs", "quadratic_relu", "QuadraticReLU"]
+
+
+def hermite_quadratic_coeffs() -> tuple:
+    """(a, b, c) minimising E[(a + bx + cx² - relu(x))²] under N(0,1).
+
+    Closed form from the Hermite expansion of ReLU: coefficients of
+    H0, H1, H2 are 1/sqrt(2π), 1/2, 1/(2·sqrt(2π))."""
+    h0 = 1.0 / np.sqrt(2 * np.pi)
+    h1 = 0.5
+    h2 = 1.0 / (2 * np.sqrt(2 * np.pi))
+    # a + b x + c x^2 with H2(x) = x^2 - 1
+    return (h0 - h2, h1, h2)
+
+
+def quadratic_relu(x, coeffs: tuple | None = None):
+    """Evaluate the quadratic ReLU approximation on an ndarray."""
+    a, b, c = coeffs or hermite_quadratic_coeffs()
+    x = np.asarray(x, dtype=np.float64)
+    return a + b * x + c * x * x
+
+
+class QuadraticReLU(Module):
+    """Trainable quadratic ReLU layer (the AESPA baseline).
+
+    Multiplication depth 1 (a single squaring) — the cheapest possible
+    replacement, at the cost of unbounded error away from the fitted
+    input density.  No scale layer: AESPA relies on the normalisation of
+    preceding BN layers, which is exactly the fragility §7 points at.
+    """
+
+    def __init__(self, coeffs: tuple | None = None):
+        super().__init__()
+        a, b, c = coeffs or hermite_quadratic_coeffs()
+        self.coeffs = Parameter(np.array([a, b, c]))
+
+    #: depth of a single squaring + affine
+    mult_depth = 1
+
+    def forward(self, x: Tensor) -> Tensor:
+        a = self.coeffs[0]
+        b = self.coeffs[1]
+        c = self.coeffs[2]
+        return a + b * x + c * (x * x)

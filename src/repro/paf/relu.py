@@ -1,0 +1,102 @@
+"""Construct ReLU and Max from a sign-approximating PAF.
+
+Following the paper (Sec. 2.2), given ``s(x) ≈ sign(x)``:
+
+    ReLU(x) ≈ (x + s(x) * x) / 2
+    max(x, y) ≈ ((x + y) + (x - y) * s(x - y)) / 2
+
+MaxPooling over a k×k window is a tournament of pairwise ``max`` calls; the
+nesting is why MaxPooling is more sensitive to approximation error than ReLU
+(Sec. 5.4.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.paf.polynomial import CompositePAF
+
+__all__ = [
+    "paf_relu",
+    "paf_max",
+    "paf_maxpool2d",
+    "relu_mult_depth",
+    "maxpool_mult_depth",
+]
+
+
+def paf_relu(x, paf: CompositePAF, scale: float = 1.0):
+    """Approximate ``ReLU(x)`` using ``paf ≈ sign``.
+
+    ``scale`` implements Static Scaling: inputs are scaled into the PAF's
+    accurate range by ``x/scale`` and the result is scaled back, using
+    ``ReLU(x) = scale * ReLU(x / scale)``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    z = x / scale
+    return scale * 0.5 * (z + paf(z) * z)
+
+
+def paf_max(x, y, paf: CompositePAF, scale: float = 1.0):
+    """Approximate elementwise ``max(x, y)`` using ``paf ≈ sign``."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    s = (x + y) / scale
+    d = (x - y) / scale
+    return scale * 0.5 * (s + d * paf(d))
+
+
+def paf_maxpool2d(
+    x: np.ndarray,
+    paf: CompositePAF,
+    kernel: int = 2,
+    stride: int | None = None,
+    scale: float = 1.0,
+) -> np.ndarray:
+    """Approximate 2D max pooling via a tournament of pairwise PAF-max.
+
+    Parameters
+    ----------
+    x:
+        ``(N, C, H, W)`` input.
+    kernel, stride:
+        Pooling window and stride (stride defaults to ``kernel``).
+
+    The window elements are reduced with a left fold of :func:`paf_max`,
+    matching the "single sliding window requires nested PAF calls" behaviour
+    the paper identifies as the error-accumulation mechanism (Sec. 5.4.3).
+    """
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    oh = (h - kernel) // stride + 1
+    ow = (w - kernel) // stride + 1
+    # Gather the window lanes: (k*k, N, C, OH, OW), vectorised.
+    lanes = np.empty((kernel * kernel, n, c, oh, ow), dtype=np.float64)
+    for i in range(kernel):
+        for j in range(kernel):
+            lanes[i * kernel + j] = x[
+                :, :, i : i + stride * oh : stride, j : j + stride * ow : stride
+            ]
+    acc = lanes[0]
+    for lane in lanes[1:]:
+        acc = paf_max(acc, lane, paf, scale=scale)
+    return acc
+
+
+def relu_mult_depth(paf: CompositePAF) -> int:
+    """Depth of the PAF-ReLU: sign depth + 1 for the ``x * s(x)`` product.
+
+    The ``/2`` (and any static scale) folds into that final product's
+    plaintext constant, so it costs no extra level.
+    """
+    return paf.mult_depth + 1
+
+
+def maxpool_mult_depth(paf: CompositePAF, kernel: int = 2) -> int:
+    """Depth of a k×k PAF max-pool tournament (left-fold reduction).
+
+    Each pairwise max costs ``depth(sign) + 1`` and the fold is sequential,
+    so ``(k*k - 1)`` rounds accumulate.
+    """
+    rounds = kernel * kernel - 1
+    return rounds * (paf.mult_depth + 1)

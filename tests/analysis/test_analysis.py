@@ -1,0 +1,85 @@
+"""Tests for Pareto frontier, table formatting and depth profiling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import ParetoPoint, format_table, model_depth_profile, pareto_frontier
+from repro.nn.models import small_cnn
+from repro.paf import get_paf
+from repro.paf.relu import maxpool_mult_depth, relu_mult_depth
+
+
+class TestPareto:
+    def test_dominated_points_removed(self):
+        pts = [
+            ParetoPoint("fast-bad", 1.0, 0.2),
+            ParetoPoint("slow-good", 10.0, 0.9),
+            ParetoPoint("dominated", 11.0, 0.8),
+            ParetoPoint("mid", 5.0, 0.7),
+        ]
+        frontier = pareto_frontier(pts)
+        names = [p.name for p in frontier]
+        assert "dominated" not in names
+        assert names == ["fast-bad", "mid", "slow-good"]  # latency ascending
+
+    def test_single_point(self):
+        pts = [ParetoPoint("only", 1.0, 0.5)]
+        assert pareto_frontier(pts) == pts
+
+    def test_identical_points_kept(self):
+        pts = [ParetoPoint("a", 1.0, 0.5), ParetoPoint("b", 1.0, 0.5)]
+        assert len(pareto_frontier(pts)) == 2
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.1, max_value=100, allow_nan=False),
+                st.floats(min_value=0, max_value=1, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_frontier_is_monotone(self, raw):
+        pts = [ParetoPoint(str(i), l, a) for i, (l, a) in enumerate(raw)]
+        frontier = pareto_frontier(pts)
+        lats = [p.latency for p in frontier]
+        accs = [p.accuracy for p in frontier]
+        assert lats == sorted(lats)
+        assert accs == sorted(accs)  # more latency must buy more accuracy
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [10, 0.123456]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[0.00001], [12345.6]])
+        assert "1e-05" in out
+        assert "1.23e+04" in out
+
+
+class TestDepthProfile:
+    def test_small_cnn_profile(self):
+        model = small_cnn(seed=0)
+        paf = get_paf("f1g2")
+        profile = model_depth_profile(
+            model, paf, np.zeros((1, 3, 16, 16)), maxpool_kernel=2
+        )
+        assert profile["num_sites"] == 4
+        expected = 3 * relu_mult_depth(paf) + maxpool_mult_depth(paf, 2)
+        assert profile["total_depth"] == expected
+
+    def test_deeper_paf_costs_more(self):
+        model = small_cnn(seed=0)
+        sample = np.zeros((1, 3, 16, 16))
+        lo = model_depth_profile(model, get_paf("f1g2"), sample)["total_depth"]
+        hi = model_depth_profile(model, get_paf("f1f1g1g1"), sample)["total_depth"]
+        assert hi > lo

@@ -1,0 +1,79 @@
+"""Canonical-embedding encoder tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ckks.context import CkksContext, CkksParams
+from repro.ckks.encoder import CkksEncoder
+from repro.ckks.rns import crt_compose_centered
+
+
+@pytest.fixture(scope="module")
+def enc():
+    ctx = CkksContext(CkksParams(n=256, scale_bits=25, depth=2))
+    return ctx, CkksEncoder(ctx)
+
+
+class TestEmbedding:
+    def test_roundtrip(self, enc):
+        ctx, encoder = enc
+        rng = np.random.default_rng(0)
+        z = rng.uniform(-1, 1, ctx.slots)
+        coeffs = encoder.embed(z)
+        back = np.real(encoder.project(coeffs))
+        np.testing.assert_allclose(back, z, atol=1e-9)
+
+    def test_embedding_is_linear(self, enc):
+        ctx, encoder = enc
+        rng = np.random.default_rng(1)
+        a = rng.uniform(-1, 1, ctx.slots)
+        b = rng.uniform(-1, 1, ctx.slots)
+        np.testing.assert_allclose(
+            encoder.embed(a) + encoder.embed(b),
+            encoder.embed(a + b),
+            atol=1e-9,
+        )
+
+    def test_constant_embeds_to_constant_poly(self, enc):
+        ctx, encoder = enc
+        coeffs = encoder.embed(np.full(ctx.slots, 0.5))
+        assert coeffs[0] == pytest.approx(0.5, abs=1e-9)
+        np.testing.assert_allclose(coeffs[1:], 0.0, atol=1e-9)
+
+    def test_too_many_values_rejected(self, enc):
+        ctx, encoder = enc
+        with pytest.raises(ValueError):
+            encoder.embed(np.zeros(ctx.slots + 1))
+
+    def test_encode_decode_roundtrip(self, enc):
+        ctx, encoder = enc
+        rng = np.random.default_rng(2)
+        z = rng.uniform(-2, 2, ctx.slots)
+        pt = encoder.encode(z, level=ctx.max_level)
+        got = encoder.decode(pt.poly, pt.scale)
+        np.testing.assert_allclose(got, z, atol=1e-5)
+
+    def test_scalar_encode_is_constant_poly(self, enc):
+        ctx, encoder = enc
+        pt = encoder.encode(0.25, level=1)
+        coeffs = crt_compose_centered(pt.poly)
+        assert int(coeffs[0]) == round(0.25 * ctx.scale)
+        assert all(int(c) == 0 for c in coeffs[1:])
+
+    def test_partial_vector_zero_pads(self, enc):
+        ctx, encoder = enc
+        pt = encoder.encode(np.array([1.0, -1.0]), level=ctx.max_level)
+        got = encoder.decode(pt.poly, pt.scale)
+        np.testing.assert_allclose(got[:2], [1.0, -1.0], atol=1e-5)
+        np.testing.assert_allclose(got[2:], 0.0, atol=1e-5)
+
+    @given(st.floats(min_value=-4, max_value=4, allow_nan=False))
+    @settings(max_examples=20, deadline=None)
+    def test_scalar_roundtrip_property(self, value):
+        ctx = CkksContext(CkksParams(n=64, scale_bits=25, depth=1))
+        encoder = CkksEncoder(ctx)
+        pt = encoder.encode(value, level=1)
+        got = encoder.decode(pt.poly, pt.scale)
+        np.testing.assert_allclose(got, value, atol=1e-5)

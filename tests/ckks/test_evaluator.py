@@ -1,0 +1,187 @@
+"""Homomorphic-correctness tests for the CKKS evaluator and PAF evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.ckks import (
+    CkksContext,
+    CkksParams,
+    CkksEvaluator,
+    eval_composite_paf,
+    eval_odd_poly,
+    eval_paf_max,
+    eval_paf_relu,
+    keygen,
+)
+from repro.paf import get_paf, paper_pafs
+from repro.paf.polynomial import OddPolynomial
+from repro.paf.relu import relu_mult_depth
+
+
+@pytest.fixture(scope="module")
+def rt():
+    ctx = CkksContext(CkksParams(n=1024, scale_bits=25, depth=10))
+    keys = keygen(ctx, seed=0, galois_steps=(1, 3, "conj"))
+    return ctx, CkksEvaluator(ctx, keys)
+
+
+@pytest.fixture(scope="module")
+def data(rt):
+    ctx, _ = rt
+    rng = np.random.default_rng(0)
+    return rng.uniform(-1, 1, ctx.slots), rng.uniform(-1, 1, ctx.slots)
+
+
+TOL = 5e-3
+
+
+class TestBasicHomomorphism:
+    def test_encrypt_decrypt(self, rt, data):
+        ctx, ev = rt
+        x, _ = data
+        assert np.abs(ev.decrypt(ev.encrypt(x)) - x).max() < 1e-3
+
+    def test_scalar_broadcast_encrypt(self, rt):
+        ctx, ev = rt
+        got = ev.decrypt(ev.encrypt(0.37))
+        assert np.abs(got - 0.37).max() < 1e-3
+
+    def test_add_sub_negate(self, rt, data):
+        ctx, ev = rt
+        x, y = data
+        cx, cy = ev.encrypt(x), ev.encrypt(y)
+        assert np.abs(ev.decrypt(ev.add(cx, cy)) - (x + y)).max() < TOL
+        assert np.abs(ev.decrypt(ev.sub(cx, cy)) - (x - y)).max() < TOL
+        assert np.abs(ev.decrypt(ev.negate(cx)) + x).max() < TOL
+
+    def test_add_plain(self, rt, data):
+        ctx, ev = rt
+        x, _ = data
+        got = ev.decrypt(ev.add_plain(ev.encrypt(x), 0.25))
+        assert np.abs(got - (x + 0.25)).max() < TOL
+
+    def test_mul_rescale(self, rt, data):
+        ctx, ev = rt
+        x, y = data
+        out = ev.mul_rescale(ev.encrypt(x), ev.encrypt(y))
+        assert np.abs(ev.decrypt(out) - x * y).max() < TOL
+        assert out.level == ctx.max_level - 1
+
+    def test_mul_plain_vector(self, rt, data):
+        ctx, ev = rt
+        x, y = data
+        out = ev.mul_plain_rescale(ev.encrypt(x), y)
+        assert np.abs(ev.decrypt(out) - x * y).max() < TOL
+
+    def test_level_mismatch_rejected(self, rt, data):
+        ctx, ev = rt
+        x, y = data
+        cx, cy = ev.encrypt(x), ev.encrypt(y)
+        low = ev.mod_switch_to(cx, cx.level - 1)
+        with pytest.raises(ValueError):
+            ev.add(low, cy)
+        with pytest.raises(ValueError):
+            ev.mul(low, cy)
+
+    def test_mod_switch_preserves_message(self, rt, data):
+        ctx, ev = rt
+        x, _ = data
+        low = ev.mod_switch_to(ev.encrypt(x), 2)
+        assert np.abs(ev.decrypt(low) - x).max() < TOL
+        with pytest.raises(ValueError):
+            ev.mod_switch_to(low, 5)
+
+    def test_rescale_at_level_zero_rejected(self, rt, data):
+        ctx, ev = rt
+        x, _ = data
+        bottom = ev.mod_switch_to(ev.encrypt(x), 0)
+        with pytest.raises(ValueError):
+            ev.rescale(bottom)
+
+    def test_rotation(self, rt, data):
+        ctx, ev = rt
+        x, _ = data
+        got = ev.decrypt(ev.rotate(ev.encrypt(x), 3))
+        assert np.abs(got - np.roll(x, -3)).max() < TOL
+
+    def test_missing_galois_key_raises(self, rt, data):
+        ctx, ev = rt
+        x, _ = data
+        with pytest.raises(KeyError):
+            ev.rotate(ev.encrypt(x), 7)
+
+    def test_conjugate_real_is_identity(self, rt, data):
+        ctx, ev = rt
+        x, _ = data
+        got = ev.decrypt(ev.conjugate(ev.encrypt(x)))
+        assert np.abs(got - x).max() < TOL
+
+    def test_deep_squaring_chain(self, rt, data):
+        ctx, ev = rt
+        x, _ = data
+        c, val = ev.encrypt(x), x.copy()
+        for _ in range(6):
+            c = ev.rescale(ev.square(c))
+            val = val * val
+        assert np.abs(ev.decrypt(c) - val).max() < 5e-2
+
+
+class TestPolyEval:
+    def test_odd_poly_matches_plaintext(self, rt, data):
+        ctx, ev = rt
+        x, _ = data
+        poly = OddPolynomial([1.5, -0.5, 0.25, -0.125])  # degree 7
+        out = eval_odd_poly(ev, ev.encrypt(x), poly)
+        assert np.abs(ev.decrypt(out) - poly(x)).max() < TOL
+        assert ctx.max_level - out.level == poly.mult_depth
+
+    def test_degree_one(self, rt, data):
+        ctx, ev = rt
+        x, _ = data
+        poly = OddPolynomial([0.7])
+        out = eval_odd_poly(ev, ev.encrypt(x), poly)
+        assert np.abs(ev.decrypt(out) - 0.7 * x).max() < TOL
+        assert ctx.max_level - out.level == 1
+
+    def test_zero_coefficient_skipped(self, rt, data):
+        ctx, ev = rt
+        x, _ = data
+        poly = OddPolynomial([1.5, 0.0, 0.25])
+        out = eval_odd_poly(ev, ev.encrypt(x), poly)
+        assert np.abs(ev.decrypt(out) - poly(x)).max() < TOL
+
+    @pytest.mark.parametrize("form", ["f1g2", "f2g2", "f2g3", "alpha7", "f1f1g1g1"])
+    def test_composite_matches_plaintext_and_depth(self, rt, data, form):
+        ctx, ev = rt
+        x, _ = data
+        paf = get_paf(form)
+        out = eval_composite_paf(ev, ev.encrypt(x), paf)
+        assert np.abs(ev.decrypt(out) - paf(x)).max() < 5e-2
+        assert ctx.max_level - out.level == paf.mult_depth
+
+    def test_paf_relu_depth_and_value(self, rt, data):
+        ctx, ev = rt
+        x, _ = data
+        paf = get_paf("f1f1g1g1")
+        out = eval_paf_relu(ev, ev.encrypt(x), paf)
+        ref = 0.5 * (x + paf(x) * x)
+        assert np.abs(ev.decrypt(out) - ref).max() < 5e-2
+        assert ctx.max_level - out.level == relu_mult_depth(paf)
+
+    def test_paf_relu_with_static_scale(self, rt):
+        ctx, ev = rt
+        rng = np.random.default_rng(7)
+        x = rng.uniform(-4, 4, ctx.slots)
+        paf = get_paf("f1f1g1g1")
+        out = eval_paf_relu(ev, ev.encrypt(x), paf, scale=4.0)
+        ref = 0.5 * (x + paf(x / 4.0) * x)
+        assert np.abs(ev.decrypt(out) - ref).max() < 0.2
+
+    def test_paf_max(self, rt, data):
+        ctx, ev = rt
+        x, y = data
+        paf = get_paf("f1g2")
+        out = eval_paf_max(ev, ev.encrypt(x), ev.encrypt(y), paf, scale=2.0)
+        d = (x - y) / 2.0
+        ref = 0.5 * ((x + y) + (x - y) * paf(d))
+        assert np.abs(ev.decrypt(out) - ref).max() < 5e-2

@@ -1,0 +1,66 @@
+"""Tests for the op-counting evaluator + cost-model consistency.
+
+The key assertion: the *measured* op counts of the depth-optimal encrypted
+ReLU equal the counts predicted by ``repro.fhe.latency.paf_op_counts`` —
+the analytic cost model and the implementation cannot drift apart.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ckks import CkksContext, CkksParams, CkksEvaluator, eval_paf_relu, keygen
+from repro.ckks.instrumentation import CountingEvaluator
+from repro.fhe.latency import paf_op_counts
+from repro.paf import get_paf
+
+
+@pytest.fixture(scope="module")
+def rt():
+    ctx = CkksContext(CkksParams(n=256, scale_bits=25, depth=10))
+    keys = keygen(ctx, seed=0)
+    return ctx, CkksEvaluator(ctx, keys)
+
+
+class TestCountingEvaluator:
+    def test_counts_basic_ops(self, rt):
+        ctx, ev = rt
+        counting = CountingEvaluator(ev)
+        x = np.linspace(-1, 1, ctx.slots)
+        a = counting.encrypt(x)
+        b = counting.encrypt(x)
+        counting.add(a, b)
+        counting.rescale(counting.mul(a, b))
+        assert counting.counts["encrypt"] == 2
+        assert counting.counts["add"] == 1
+        assert counting.counts["mul"] == 1
+        assert counting.counts["rescale"] == 1
+
+    def test_reset(self, rt):
+        ctx, ev = rt
+        counting = CountingEvaluator(ev)
+        counting.encrypt(np.zeros(ctx.slots))
+        counting.reset()
+        assert sum(counting.counts.values()) == 0
+
+    def test_passthrough_attributes(self, rt):
+        ctx, ev = rt
+        counting = CountingEvaluator(ev)
+        assert counting.ctx is ctx
+        assert counting.encoder is ev.encoder
+
+    @pytest.mark.parametrize("form", ["f1g2", "f2g2", "f1f1g1g1"])
+    def test_relu_matches_cost_model_counts(self, rt, form):
+        """Measured ct-mult / pt-mult counts == the analytic model's."""
+        ctx, ev = rt
+        paf = get_paf(form)
+        counting = CountingEvaluator(ev)
+        ct = counting.encrypt(np.linspace(-1, 1, ctx.slots))
+        counting.reset()
+        eval_paf_relu(counting, ct, paf)
+        predicted = paf_op_counts(paf)
+        assert counting.counts["mul"] == predicted["ct_mult"]
+        # pt-mults: the model's leaf products; alignment corrections are
+        # extra pt-mults the model books under rescale-noise, so measured
+        # pt_mult >= predicted and the difference equals align corrections.
+        extra = counting.counts["align_correction"]
+        assert counting.counts["mul_plain"] == predicted["pt_mult"] + extra

@@ -1,0 +1,231 @@
+"""Tests for primes, NTT and RNS polynomial arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ckks.context import CkksContext, CkksParams
+from repro.ckks.ntt import NttPlan
+from repro.ckks.primes import generate_primes, is_prime, primitive_root_of_unity
+from repro.ckks.rns import RnsPoly, crt_compose_centered, fast_base_convert
+
+
+class TestPrimes:
+    def test_is_prime_small(self):
+        assert [is_prime(n) for n in [2, 3, 4, 5, 9, 97]] == [
+            True,
+            True,
+            False,
+            True,
+            False,
+            True,
+        ]
+
+    def test_is_prime_carmichael(self):
+        assert not is_prime(561)
+        assert not is_prime(1_373_653 - 1)
+
+    def test_generated_primes_are_ntt_friendly(self):
+        n = 256
+        primes = generate_primes(n, [25, 25, 29])
+        assert len(set(primes)) == 3
+        for p in primes:
+            assert is_prime(p)
+            assert (p - 1) % (2 * n) == 0
+            assert p < 2**30
+
+    def test_primes_straddle_target(self):
+        """Nearest-prime search keeps |p - 2^b| small (scale drift control)."""
+        primes = generate_primes(1024, [25] * 8)
+        offsets = [abs(p - 2**25) / 2**25 for p in primes]
+        assert max(offsets) < 0.01
+
+    def test_oversized_request_rejected(self):
+        with pytest.raises(ValueError):
+            generate_primes(1024, [35])
+
+    def test_primitive_root(self):
+        p = generate_primes(64, [25])[0]
+        root = primitive_root_of_unity(128, p)
+        assert pow(root, 128, p) == 1
+        assert pow(root, 64, p) == p - 1
+
+
+class TestNtt:
+    @pytest.fixture(scope="class")
+    def plan(self):
+        p = generate_primes(64, [25])[0]
+        return NttPlan(64, p)
+
+    def test_roundtrip(self, plan):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, plan.p, plan.n)
+        np.testing.assert_array_equal(plan.inverse(plan.forward(a)), a)
+
+    def test_batch_roundtrip(self, plan):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, plan.p, (3, 5, plan.n))
+        np.testing.assert_array_equal(plan.inverse(plan.forward(a)), a)
+
+    def test_negacyclic_multiply_matches_naive(self, plan):
+        rng = np.random.default_rng(2)
+        n, p = plan.n, plan.p
+        a = rng.integers(0, p, n)
+        b = rng.integers(0, p, n)
+        ref = np.zeros(n, dtype=object)
+        for i in range(n):
+            for j in range(n):
+                k, s = i + j, 1
+                if k >= n:
+                    k, s = k - n, -1
+                ref[k] += s * int(a[i]) * int(b[j])
+        ref = np.array([int(v) % p for v in ref], dtype=np.int64)
+        np.testing.assert_array_equal(plan.negacyclic_multiply(a, b), ref)
+
+    def test_x_times_x_n_minus_1_is_minus_one(self, plan):
+        """X * X^(N-1) = X^N = -1 in the negacyclic ring."""
+        n, p = plan.n, plan.p
+        x = np.zeros(n, dtype=np.int64)
+        x[1] = 1
+        xn1 = np.zeros(n, dtype=np.int64)
+        xn1[n - 1] = 1
+        prod = plan.negacyclic_multiply(x, xn1)
+        expected = np.zeros(n, dtype=np.int64)
+        expected[0] = p - 1
+        np.testing.assert_array_equal(prod, expected)
+
+    def test_linearity(self, plan):
+        rng = np.random.default_rng(3)
+        a = rng.integers(0, plan.p, plan.n)
+        b = rng.integers(0, plan.p, plan.n)
+        lhs = plan.forward((a + b) % plan.p)
+        rhs = (plan.forward(a) + plan.forward(b)) % plan.p
+        np.testing.assert_array_equal(lhs, rhs)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            NttPlan(48, 97)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return CkksContext(CkksParams(n=128, scale_bits=25, depth=3))
+
+
+class TestRnsPoly:
+    def test_add_mul_homomorphism(self, ctx):
+        """RNS ops match big-integer ring ops via CRT composition."""
+        rng = np.random.default_rng(0)
+        chain = list(range(3))
+        a = RnsPoly.from_small_coeffs(ctx, rng.integers(-50, 50, ctx.n), chain)
+        b = RnsPoly.from_small_coeffs(ctx, rng.integers(-50, 50, ctx.n), chain)
+        prod = (a.to_ntt() * b.to_ntt()).to_coeff()
+        big = crt_compose_centered(prod)
+        # naive negacyclic product of the small inputs
+        av = crt_compose_centered(a)
+        bv = crt_compose_centered(b)
+        n = ctx.n
+        ref = np.zeros(n, dtype=object)
+        for i in range(n):
+            for j in range(n):
+                k, s = i + j, 1
+                if k >= n:
+                    k, s = k - n, -1
+                ref[k] += s * int(av[i]) * int(bv[j])
+        np.testing.assert_array_equal(big.astype(np.int64), ref.astype(np.int64))
+
+    def test_basis_mismatch_rejected(self, ctx):
+        a = RnsPoly.zero(ctx, [0, 1])
+        b = RnsPoly.zero(ctx, [0, 1, 2])
+        with pytest.raises(ValueError):
+            a + b
+
+    def test_domain_mismatch_rejected(self, ctx):
+        a = RnsPoly.zero(ctx, [0, 1], is_ntt=True)
+        b = RnsPoly.zero(ctx, [0, 1], is_ntt=False)
+        with pytest.raises(ValueError):
+            a + b
+
+    def test_mul_requires_ntt(self, ctx):
+        a = RnsPoly.zero(ctx, [0], is_ntt=False)
+        with pytest.raises(ValueError):
+            a * a
+
+    def test_neg_add_is_zero(self, ctx):
+        rng = np.random.default_rng(1)
+        a = RnsPoly.from_small_coeffs(ctx, rng.integers(-9, 9, ctx.n), [0, 1])
+        z = a + (-a)
+        assert not z.data.any()
+
+    def test_crt_compose_centered_range(self, ctx):
+        rng = np.random.default_rng(2)
+        coeffs = rng.integers(-1000, 1000, ctx.n)
+        a = RnsPoly.from_small_coeffs(ctx, coeffs, [0, 1, 2])
+        np.testing.assert_array_equal(
+            crt_compose_centered(a).astype(np.int64), coeffs
+        )
+
+    def test_fast_base_convert_small_values(self, ctx):
+        """For |x| << Q the approximate conversion is exact or off by Q."""
+        rng = np.random.default_rng(3)
+        coeffs = rng.integers(-1000, 1000, ctx.n)
+        a = RnsPoly.from_small_coeffs(ctx, coeffs, [0, 1])
+        target = len(ctx.all_primes) - 1
+        p_t = ctx.all_primes[target]
+        got = fast_base_convert(a, target)
+        q = int(ctx.all_primes[0]) * int(ctx.all_primes[1])
+        diff = (got - coeffs) % p_t
+        allowed = {0} | {q % p_t, (2 * q) % p_t}
+        assert set(np.unique(diff)).issubset(allowed)
+
+    def test_automorphism_identity(self, ctx):
+        rng = np.random.default_rng(4)
+        a = RnsPoly.from_small_coeffs(ctx, rng.integers(-9, 9, ctx.n), [0])
+        np.testing.assert_array_equal(a.automorphism(1).data, a.data)
+
+    def test_automorphism_composition(self, ctx):
+        """σ_g ∘ σ_h = σ_{gh mod 2N}."""
+        rng = np.random.default_rng(5)
+        a = RnsPoly.from_small_coeffs(ctx, rng.integers(-9, 9, ctx.n), [0])
+        g, h = 5, 25
+        lhs = a.automorphism(g).automorphism(h)
+        rhs = a.automorphism(g * h % (2 * ctx.n))
+        np.testing.assert_array_equal(lhs.data, rhs.data)
+
+    def test_automorphism_requires_coeff_domain(self, ctx):
+        a = RnsPoly.zero(ctx, [0], is_ntt=True)
+        with pytest.raises(ValueError):
+            a.automorphism(5)
+
+
+class TestContext:
+    def test_chain_structure(self, ctx):
+        assert len(ctx.q_chain) == 4  # q0 + 3 scale primes
+        assert ctx.max_level == 3
+        assert ctx.slots == 64
+
+    def test_paper_grade_matches_seal_config(self):
+        params = CkksParams.paper_grade()
+        assert params.n == 32768
+        # the paper's SEAL setting: 881-bit coefficient modulus (we land
+        # within ~1% with 30/28-bit primes under the int64 cap)
+        total_bits = (
+            params.first_prime_bits
+            + params.scale_bits * params.depth
+            + params.special_prime_bits
+        )
+        assert abs(total_bits - 881) <= 15
+
+    def test_security_report_flags_toy_params(self):
+        from repro.ckks.security import security_report
+
+        toy = CkksContext(CkksParams(n=1024, scale_bits=25, depth=3))
+        report = security_report(toy)
+        assert not report.secure_128
+        assert "NOT" in report.message
+
+    def test_security_report_accepts_standard_row(self):
+        from repro.ckks.security import MAX_LOGQP_128
+
+        assert MAX_LOGQP_128[32768] == 881  # the paper's exact setting

@@ -1,0 +1,94 @@
+"""Property-based homomorphism tests for CKKS (hypothesis).
+
+A single small context is shared; hypothesis drives the plaintext values.
+Each property asserts the homomorphic identity decrypt(op(Enc(x))) ≈ op(x).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ckks import CkksContext, CkksParams, CkksEvaluator, keygen
+
+_ctx = None
+_ev = None
+
+
+def runtime():
+    global _ctx, _ev
+    if _ev is None:
+        _ctx = CkksContext(CkksParams(n=256, scale_bits=25, depth=4))
+        _ev = CkksEvaluator(_ctx, keygen(_ctx, seed=0, galois_steps=(1,)))
+    return _ctx, _ev
+
+
+vals = st.lists(
+    st.floats(min_value=-1, max_value=1, allow_nan=False, width=32),
+    min_size=4,
+    max_size=8,
+)
+
+
+class TestHomomorphismProperties:
+    @given(vals, vals)
+    @settings(max_examples=15, deadline=None)
+    def test_addition(self, xs, ys):
+        ctx, ev = runtime()
+        n = min(len(xs), len(ys))
+        x, y = np.array(xs[:n]), np.array(ys[:n])
+        got = ev.decrypt(ev.add(ev.encrypt(x), ev.encrypt(y)), num_values=n)
+        np.testing.assert_allclose(got, x + y, atol=5e-3)
+
+    @given(vals, vals)
+    @settings(max_examples=10, deadline=None)
+    def test_multiplication(self, xs, ys):
+        ctx, ev = runtime()
+        n = min(len(xs), len(ys))
+        x, y = np.array(xs[:n]), np.array(ys[:n])
+        got = ev.decrypt(ev.mul_rescale(ev.encrypt(x), ev.encrypt(y)), num_values=n)
+        np.testing.assert_allclose(got, x * y, atol=5e-3)
+
+    @given(vals, st.floats(min_value=-2, max_value=2, allow_nan=False))
+    @settings(max_examples=10, deadline=None)
+    def test_plain_scalar_mul(self, xs, c):
+        ctx, ev = runtime()
+        x = np.array(xs)
+        got = ev.decrypt(
+            ev.mul_plain_rescale(ev.encrypt(x), c), num_values=len(x)
+        )
+        np.testing.assert_allclose(got, c * x, atol=5e-3)
+
+    @given(vals)
+    @settings(max_examples=10, deadline=None)
+    def test_negation_involution(self, xs):
+        ctx, ev = runtime()
+        x = np.array(xs)
+        ct = ev.encrypt(x)
+        got = ev.decrypt(ev.negate(ev.negate(ct)), num_values=len(x))
+        np.testing.assert_allclose(got, x, atol=5e-3)
+
+    @given(vals)
+    @settings(max_examples=8, deadline=None)
+    def test_distributivity(self, xs):
+        """Enc(x)*(Enc(y)+Enc(z)) ≈ x*(y+z) with y=x, z=-0.5x."""
+        ctx, ev = runtime()
+        x = np.array(xs)
+        cx = ev.encrypt(x)
+        cy = ev.encrypt(x)
+        cz = ev.encrypt(-0.5 * x)
+        got = ev.decrypt(ev.mul_rescale(cx, ev.add(cy, cz)), num_values=len(x))
+        np.testing.assert_allclose(got, x * (0.5 * x), atol=5e-3)
+
+    @given(st.integers(min_value=0, max_value=5))
+    @settings(max_examples=6, deadline=None)
+    def test_rotation_matches_roll(self, shift):
+        ctx, ev = runtime()
+        rng = np.random.default_rng(shift)
+        x = rng.uniform(-1, 1, ctx.slots)
+        ct = ev.encrypt(x)
+        rotated = ct
+        for _ in range(shift):
+            rotated = ev.rotate(rotated, 1)
+        got = ev.decrypt(rotated)
+        np.testing.assert_allclose(got, np.roll(x, -shift), atol=2e-2)

@@ -1,0 +1,212 @@
+"""Tests for the trainable PAF layers (PAFSign, PAFReLU, PAFMaxPool2d)."""
+
+import numpy as np
+import pytest
+
+import repro.nn.functional as F
+from repro.core.paf_layer import PAFMaxPool2d, PAFReLU, PAFSign
+from repro.nn import Adam, Tensor
+from repro.paf import get_paf
+
+
+class TestPAFSign:
+    def test_forward_matches_numpy_composite(self):
+        paf = get_paf("f2g3")
+        layer = PAFSign(paf)
+        x = np.linspace(-1, 1, 101)
+        np.testing.assert_allclose(layer(Tensor(x)).data, paf(x), rtol=1e-12)
+
+    def test_parameters_one_per_component(self):
+        layer = PAFSign(get_paf("f1f1g1g1"))
+        params = layer.component_params()
+        assert len(params) == 4
+        assert all(p.requires_grad for p in params)
+
+    def test_coefficient_gradients_flow(self):
+        layer = PAFSign(get_paf("f1g2"))
+        x = Tensor(np.linspace(-0.9, 0.9, 50))
+        layer(x).sum().backward()
+        for p in layer.component_params():
+            assert p.grad is not None
+            assert np.any(p.grad != 0)
+
+    def test_coefficient_grad_numeric(self):
+        layer = PAFSign(get_paf("f1g2"))
+        x = np.linspace(-0.9, 0.9, 23)
+        layer(Tensor(x)).sum().backward()
+        p0 = layer.component_params()[0]
+        eps = 1e-6
+        analytic = p0.grad.copy()
+        for i in range(p0.shape[0]):
+            orig = p0.data[i]
+            p0.data[i] = orig + eps
+            up = float(layer(Tensor(x)).sum().data)
+            p0.data[i] = orig - eps
+            down = float(layer(Tensor(x)).sum().data)
+            p0.data[i] = orig
+            num = (up - down) / (2 * eps)
+            assert analytic[i] == pytest.approx(num, rel=1e-4, abs=1e-7)
+
+    def test_input_gradient_matches_derivative(self):
+        paf = get_paf("f2g2")
+        layer = PAFSign(paf)
+        x0 = np.linspace(-0.8, 0.8, 11)
+        xt = Tensor(x0, requires_grad=True)
+        layer(xt).sum().backward()
+        # chain the component derivatives as ground truth
+        vals = paf.intermediate_values(x0)
+        expected = np.ones_like(x0)
+        for comp, v in zip(paf.components, vals[:-1]):
+            expected = expected * comp.derivative(v)
+        np.testing.assert_allclose(xt.grad, expected, rtol=1e-9)
+
+    def test_to_composite_roundtrip(self):
+        layer = PAFSign(get_paf("f2g3"))
+        snap = layer.to_composite()
+        x = np.linspace(-1, 1, 33)
+        np.testing.assert_allclose(snap(x), layer(Tensor(x)).data, rtol=1e-12)
+        assert snap.name == "f2 o g3"
+        assert snap.reported_degree == 12
+
+    def test_load_composite(self):
+        layer = PAFSign(get_paf("f1g2"))
+        other = get_paf("f1g2").with_flat_coeffs(
+            get_paf("f1g2").flat_coeffs() * 1.1
+        )
+        layer.load_composite(other)
+        x = np.linspace(-1, 1, 11)
+        np.testing.assert_allclose(layer(Tensor(x)).data, other(x), rtol=1e-12)
+
+    def test_load_composite_structure_mismatch(self):
+        layer = PAFSign(get_paf("f1g2"))
+        with pytest.raises(ValueError):
+            layer.load_composite(get_paf("f2g3"))
+
+
+class TestPAFReLU:
+    def test_approximates_relu_dynamic(self):
+        layer = PAFReLU(get_paf("f1f1g1g1"))
+        layer.eval()
+        rng = np.random.default_rng(0)
+        x = rng.choice([-2.0, -0.8, 0.8, 2.0], size=(4, 3, 6, 6))
+        out = layer(Tensor(x)).data
+        np.testing.assert_allclose(out, np.maximum(x, 0), atol=0.1)
+
+    def test_dynamic_scale_uses_batch_max(self):
+        layer = PAFReLU(get_paf("f1f1g1g1"))
+        layer.eval()  # dynamic mode still uses the batch max at eval
+        x = np.array([-4.0, 4.0])
+        out = layer(Tensor(x)).data
+        np.testing.assert_allclose(out, [0.0, 4.0], atol=0.05)
+
+    def test_running_max_updates_in_training_only(self):
+        layer = PAFReLU(get_paf("f1g2"))
+        layer.train(False)
+        layer(Tensor(np.array([-7.0, 7.0])))
+        assert layer.static_scale == pytest.approx(1e-6)
+        layer.train(True)
+        layer(Tensor(np.array([-7.0, 7.0])))
+        assert layer.static_scale == pytest.approx(7.0)
+
+    def test_calibrating_flag_updates_in_eval(self):
+        layer = PAFReLU(get_paf("f1g2"))
+        layer.train(False)
+        layer.calibrating = True
+        layer(Tensor(np.array([-3.0, 3.0])))
+        assert layer.static_scale == pytest.approx(3.0)
+
+    def test_static_mode_uses_frozen_scale(self):
+        layer = PAFReLU(get_paf("f1f1g1g1"))
+        layer.set_static(8.0)
+        layer.eval()
+        x = np.array([-4.0, 4.0])  # batch max 4, frozen scale 8: z = +/-0.5
+        out = layer(Tensor(x)).data
+        np.testing.assert_allclose(out, [0.0, 4.0], atol=0.05)
+
+    def test_invalid_scale_mode(self):
+        with pytest.raises(ValueError):
+            PAFReLU(get_paf("f1g2"), scale_mode="magic")
+
+    def test_trainable_against_true_relu(self):
+        """Distilling the layer toward exact ReLU must reduce the MSE —
+        the primitive that PAF fine-tuning rests on."""
+        layer = PAFReLU(get_paf("f1g2"))
+        layer.train()
+        rng = np.random.default_rng(1)
+        x = rng.uniform(-1, 1, size=512)
+        target = np.maximum(x, 0)
+        opt = Adam(layer.parameters(), lr=1e-2)
+
+        def mse():
+            diff = layer(Tensor(x)) - Tensor(target)
+            return (diff * diff).mean()
+
+        before = mse().item()
+        for _ in range(60):
+            loss = mse()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        after = mse().item()
+        assert after < before * 0.7
+
+    def test_state_dict_includes_running_max(self):
+        layer = PAFReLU(get_paf("f1g2"))
+        layer.train(True)
+        layer(Tensor(np.array([5.0])))
+        state = layer.state_dict()
+        assert "buffer::running_max" in state
+        fresh = PAFReLU(get_paf("f1g2"))
+        fresh.load_state_dict(state)
+        assert fresh.static_scale == pytest.approx(5.0)
+
+
+class TestPAFMaxPool2d:
+    def test_approximates_maxpool(self):
+        layer = PAFMaxPool2d(get_paf("f1f1g1g1"), kernel_size=2)
+        layer.eval()
+        rng = np.random.default_rng(2)
+        x = rng.choice([-0.9, -0.3, 0.3, 0.9], size=(2, 3, 8, 8))
+        out = layer(Tensor(x)).data
+        ref = np.maximum.reduce([x[:, :, i::2, j::2] for i in range(2) for j in range(2)])
+        np.testing.assert_allclose(out, ref, atol=0.15)
+
+    def test_per_round_scale_slots(self):
+        layer = PAFMaxPool2d(get_paf("f1g2"), kernel_size=2)
+        assert layer.num_scales == 3
+        layer3 = PAFMaxPool2d(get_paf("f1g2"), kernel_size=3)
+        assert layer3.num_scales == 8
+
+    def test_round_scales_tracked_independently(self):
+        layer = PAFMaxPool2d(get_paf("f1f1g1g1"), kernel_size=2)
+        layer.train(True)
+        rng = np.random.default_rng(3)
+        layer(Tensor(rng.uniform(-1, 1, size=(2, 2, 4, 4))))
+        scales = layer.static_scales()
+        assert scales.shape == (3,)
+        assert np.all(scales > 1e-6)
+
+    def test_padding_and_stride_shapes(self):
+        layer = PAFMaxPool2d(get_paf("f1g2"), kernel_size=3, stride=2, padding=1)
+        out = layer(Tensor(np.zeros((1, 2, 8, 8))))
+        assert out.shape == (1, 2, 4, 4)
+
+    def test_gradients_reach_coefficients(self):
+        layer = PAFMaxPool2d(get_paf("f1g2"), kernel_size=2)
+        rng = np.random.default_rng(4)
+        layer(Tensor(rng.uniform(-1, 1, (1, 1, 4, 4)))).sum().backward()
+        for p in layer.sign.component_params():
+            assert p.grad is not None
+
+    def test_set_static_freezes_all_slots(self):
+        layer = PAFMaxPool2d(get_paf("f1g2"), kernel_size=2)
+        layer.set_static(4.0)
+        assert layer.scale_mode == "static"
+        np.testing.assert_allclose(layer.static_scales(), 4.0)
+
+    def test_reset_scales(self):
+        layer = PAFMaxPool2d(get_paf("f1g2"), kernel_size=2)
+        layer.train(True)
+        layer(Tensor(np.random.default_rng(0).uniform(-2, 2, (1, 1, 4, 4))))
+        layer.reset_scales()
+        np.testing.assert_allclose(layer.static_scales(), 1e-6)

@@ -1,0 +1,135 @@
+"""Synthetic dataset tests: determinism, structure, learnability signal."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import DataLoader, cifar10_like, imagenet_like, make_pattern_dataset
+
+
+class TestPatternDataset:
+    def test_shapes_and_labels(self):
+        ds = make_pattern_dataset(5, 100, 40, image_size=12, seed=0)
+        assert ds.x_train.shape == (100, 3, 12, 12)
+        assert ds.x_val.shape == (40, 3, 12, 12)
+        assert ds.y_train.shape == (100,)
+        assert set(np.unique(ds.y_train)) <= set(range(5))
+        assert ds.num_classes == 5
+        assert ds.image_shape == (3, 12, 12)
+
+    def test_deterministic(self):
+        a = make_pattern_dataset(4, 50, 20, seed=7)
+        b = make_pattern_dataset(4, 50, 20, seed=7)
+        np.testing.assert_array_equal(a.x_train, b.x_train)
+        np.testing.assert_array_equal(a.y_val, b.y_val)
+
+    def test_different_seeds_differ(self):
+        a = make_pattern_dataset(4, 50, 20, seed=1)
+        b = make_pattern_dataset(4, 50, 20, seed=2)
+        assert not np.allclose(a.x_train, b.x_train)
+
+    def test_normalised_with_train_stats(self):
+        ds = make_pattern_dataset(6, 400, 100, seed=0)
+        np.testing.assert_allclose(ds.x_train.mean(axis=(0, 2, 3)), 0, atol=1e-10)
+        np.testing.assert_allclose(ds.x_train.std(axis=(0, 2, 3)), 1, atol=1e-10)
+
+    def test_classes_are_separable_by_template_matching(self):
+        """A nearest-class-mean classifier must beat chance by a wide margin
+        — the datasets must carry learnable class signal."""
+        ds = make_pattern_dataset(4, 400, 200, image_size=12, noise=0.5, seed=0)
+        means = np.stack(
+            [ds.x_train[ds.y_train == c].mean(axis=0) for c in range(4)]
+        )
+        flat_val = ds.x_val.reshape(len(ds.x_val), -1)
+        flat_means = means.reshape(4, -1)
+        pred = ((flat_val[:, None, :] - flat_means[None]) ** 2).sum(-1).argmin(1)
+        acc = (pred == ds.y_val).mean()
+        assert acc > 0.5  # chance is 0.25
+
+    def test_noise_knob_degrades_separability(self):
+        def template_acc(noise):
+            ds = make_pattern_dataset(4, 300, 150, image_size=12, noise=noise, seed=0)
+            means = np.stack(
+                [ds.x_train[ds.y_train == c].mean(axis=0) for c in range(4)]
+            )
+            flat_val = ds.x_val.reshape(len(ds.x_val), -1)
+            flat_means = means.reshape(4, -1)
+            pred = ((flat_val[:, None, :] - flat_means[None]) ** 2).sum(-1).argmin(1)
+            return (pred == ds.y_val).mean()
+
+        assert template_acc(0.2) > template_acc(3.0)
+
+    def test_subsample(self):
+        ds = make_pattern_dataset(4, 100, 50, seed=0)
+        sub = ds.subsample(20, 10, seed=1)
+        assert sub.n_train == 20 and sub.n_val == 10
+        assert sub.num_classes == 4
+
+    @given(st.integers(min_value=2, max_value=6))
+    @settings(max_examples=3, deadline=None)
+    def test_label_range_property(self, k):
+        ds = make_pattern_dataset(k, 60, 20, image_size=8, seed=0)
+        assert ds.y_train.min() >= 0 and ds.y_train.max() < k
+
+
+class TestNamedDatasets:
+    def test_cifar10_like_defaults(self):
+        ds = cifar10_like(n_train=50, n_val=20)
+        assert ds.num_classes == 10
+        assert ds.name == "cifar10-like"
+
+    def test_imagenet_like_is_harder(self):
+        """More classes + lower SNR than cifar10-like (Sec. 5.4.4 premise)."""
+        ds = imagenet_like(n_train=50, n_val=20, num_classes=20)
+        assert ds.num_classes == 20
+        assert ds.x_train.shape[-1] == 32
+
+
+class TestDataLoader:
+    def _data(self, n=50):
+        rng = np.random.default_rng(0)
+        return rng.normal(size=(n, 3, 8, 8)), rng.integers(0, 4, n)
+
+    def test_batches_cover_everything(self):
+        x, y = self._data(50)
+        loader = DataLoader(x, y, batch_size=16, shuffle=False)
+        seen = sum(len(yb) for _, yb in loader)
+        assert seen == 50
+        assert len(loader) == 4
+
+    def test_shuffle_changes_order_not_content(self):
+        x, y = self._data(32)
+        loader = DataLoader(x, y, batch_size=32, shuffle=True, seed=0)
+        xb, yb = next(iter(loader))
+        assert not np.array_equal(yb, y)  # shuffled
+        assert sorted(yb.tolist()) == sorted(y.tolist())
+
+    def test_no_shuffle_preserves_order(self):
+        x, y = self._data(20)
+        loader = DataLoader(x, y, batch_size=20, shuffle=False)
+        _, yb = next(iter(loader))
+        np.testing.assert_array_equal(yb, y)
+
+    def test_length_mismatch_rejected(self):
+        x, y = self._data(10)
+        with pytest.raises(ValueError):
+            DataLoader(x, y[:5])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DataLoader(np.zeros((0, 1)), np.zeros(0))
+
+    def test_augment_keeps_shape_and_changes_pixels(self):
+        x, y = self._data(40)
+        loader = DataLoader(x, y, batch_size=40, shuffle=False, augment=True, seed=0)
+        xb, _ = next(iter(loader))
+        assert xb.shape == x.shape
+        assert not np.array_equal(xb, x)
+
+    def test_augment_does_not_mutate_source(self):
+        x, y = self._data(10)
+        orig = x.copy()
+        loader = DataLoader(x, y, batch_size=10, augment=True, seed=0)
+        next(iter(loader))
+        np.testing.assert_array_equal(x, orig)

@@ -1,0 +1,67 @@
+"""Smoke + shape tests for the experiment runners (tiny budgets).
+
+The full regeneration runs live in benchmarks/; these tests verify the
+runners' structure and the cheapest invariants.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    PAPER_FORMS,
+    PAPER_TABLE2,
+    print_table2,
+    run_depth_schedule,
+    run_measured_depths,
+    run_table2,
+)
+from repro.experiments.table4 import run_fig1, run_latency_table
+
+
+class TestTable2:
+    def test_matches_paper_exactly(self):
+        got = {k: (v["degree"], v["mult_depth"]) for k, v in run_table2().items()}
+        assert got == PAPER_TABLE2
+
+    def test_print_contains_all_forms(self):
+        text = print_table2()
+        for form in PAPER_TABLE2:
+            assert form in text
+
+
+class TestAppendixDepth:
+    def test_schedule_total(self):
+        sched = run_depth_schedule("f1g2")
+        assert max(d for _, d in sched) == 5
+
+    def test_measured_equals_analytic(self):
+        measured = run_measured_depths(n=256, include_alpha10=False)
+        for form, v in measured.items():
+            assert v["measured"] == v["analytic"], form
+
+
+class TestLatency:
+    def test_latency_table_includes_baseline(self):
+        res = run_latency_table(forms=["f1g2"], repeats=1)
+        assert "alpha10" in res and "f1g2" in res
+        assert res["alpha10"].seconds > res["f1g2"].seconds
+
+    def test_fig1_frontier_structure(self):
+        fake_t4 = {
+            "rows": {
+                "f1g2": {"latency_s": 1.0, "ss_accuracy": 0.5},
+                "f1f1g1g1": {"latency_s": 2.0, "ss_accuracy": 0.7},
+            },
+            "baseline_latency": 8.0,
+            "original_accuracy": 0.72,
+        }
+        fig1 = run_fig1(fake_t4)
+        assert len(fig1["points"]) == 3
+        names = [p.name for p in fig1["frontier"]]
+        assert "f1g2" in names and "f1f1g1g1" in names
+
+
+class TestPaperForms:
+    def test_five_forms(self):
+        assert len(PAPER_FORMS) == 5
+        assert PAPER_FORMS[0] == "f1f1g1g1"

@@ -1,0 +1,151 @@
+"""Tests for encrypted linear algebra, the MLP compiler and latency harness."""
+
+import numpy as np
+import pytest
+
+from repro.ckks import CkksContext, CkksParams, CkksEvaluator, keygen
+from repro.fhe import (
+    analytic_relu_cost,
+    compile_mlp,
+    diagonals_of,
+    encrypted_matvec,
+    measure_op_micros,
+    measure_relu_latency,
+    paf_op_counts,
+    required_rotation_steps,
+)
+from repro.nn.models import mlp
+from repro.paf import get_paf, paper_pafs
+
+
+class TestDiagonals:
+    def test_reconstruct_matrix(self):
+        rng = np.random.default_rng(0)
+        w = rng.normal(size=(4, 4))
+        diags = diagonals_of(w, slots=16)
+        rebuilt = np.zeros((4, 4))
+        for d, vec in diags.items():
+            for i in range(4):
+                rebuilt[i, (i + d) % 4] = vec[i]
+        np.testing.assert_allclose(rebuilt, w)
+
+    def test_sparse_matrix_skips_zero_diagonals(self):
+        w = np.eye(4)
+        diags = diagonals_of(w, slots=8)
+        assert list(diags) == [0]
+
+    def test_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            diagonals_of(np.zeros((100, 100)), slots=64)
+
+    def test_required_rotation_steps(self):
+        w = np.eye(4)
+        assert required_rotation_steps(w, 8) == []
+
+
+class TestEncryptedMatvec:
+    @pytest.fixture(scope="class")
+    def rt(self):
+        ctx = CkksContext(CkksParams(n=512, scale_bits=25, depth=3))
+        rng = np.random.default_rng(0)
+        w = rng.normal(size=(6, 6))
+        steps = required_rotation_steps(w, ctx.slots)
+        keys = keygen(ctx, seed=0, galois_steps=tuple(steps))
+        return ctx, CkksEvaluator(ctx, keys), w
+
+    def test_matches_plaintext(self, rt):
+        ctx, ev, w = rt
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=6)
+        packed = np.zeros(ctx.slots)
+        packed[:6] = x
+        packed[6:12] = x
+        out = encrypted_matvec(ev, ev.encrypt(packed), w)
+        got = ev.decrypt(out, num_values=6)
+        np.testing.assert_allclose(got, w @ x, atol=5e-3)
+
+    def test_bias(self, rt):
+        ctx, ev, w = rt
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=6)
+        b = rng.normal(size=6)
+        packed = np.zeros(ctx.slots)
+        packed[:6] = x
+        packed[6:12] = x
+        out = encrypted_matvec(ev, ev.encrypt(packed), w, bias=b)
+        got = ev.decrypt(out, num_values=6)
+        np.testing.assert_allclose(got, w @ x + b, atol=5e-3)
+
+    def test_consumes_one_level(self, rt):
+        ctx, ev, w = rt
+        packed = np.zeros(ctx.slots)
+        ct = ev.encrypt(packed)
+        out = encrypted_matvec(ev, ct, w)
+        assert out.level == ct.level - 1
+
+
+class TestCompileMlp:
+    def test_rejects_exact_relu(self):
+        model = mlp(8, hidden=(4,), num_classes=3, seed=0)
+        with pytest.raises(TypeError):
+            compile_mlp(model, CkksParams(n=512, scale_bits=25, depth=10))
+
+    def test_depth_validation(self):
+        from repro.core import replace_all
+
+        model = mlp(8, hidden=(4,), num_classes=3, seed=0)
+        replace_all(model, get_paf("f1f1g1g1"), np.zeros((1, 8)))
+        with pytest.raises(ValueError):
+            compile_mlp(model, CkksParams(n=512, scale_bits=25, depth=3))
+
+    def test_end_to_end_agrees_with_plaintext(self):
+        from repro.core import calibrate_static_scales, convert_to_static, replace_all
+        from repro.nn import Tensor, no_grad
+
+        rng = np.random.default_rng(0)
+        model = mlp(8, hidden=(6,), num_classes=3, seed=0)
+        replace_all(model, get_paf("f1g2"), np.zeros((1, 8)))
+        x_cal = rng.normal(size=(64, 8))
+        calibrate_static_scales(model, [x_cal])
+        convert_to_static(model)
+        enc = compile_mlp(model, CkksParams(n=512, scale_bits=25, depth=9), seed=0)
+        model.eval()
+        x = rng.normal(size=(3, 8))
+        with no_grad():
+            plain = model(Tensor(x)).data
+        for i in range(3):
+            logits = enc.decrypt_logits(enc.forward(enc.encrypt_input(x[i])), 3)
+            np.testing.assert_allclose(logits, plain[i], atol=0.05)
+            assert enc.predict(x[i], 3) == int(plain[i].argmax())
+
+
+class TestLatencyHarness:
+    def test_measure_relu_latency_levels(self):
+        paf = get_paf("f1g2")
+        res = measure_relu_latency(paf, CkksParams(n=512, scale_bits=25, depth=7))
+        assert res.seconds > 0
+        assert res.levels_consumed == paf.mult_depth + 1
+        assert res.max_error < 0.05
+
+    def test_depth_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            measure_relu_latency(
+                get_paf("f1f1g1g1"), CkksParams(n=512, scale_bits=25, depth=3)
+            )
+
+    def test_latency_ordering_follows_depth(self):
+        params = CkksParams(n=512, scale_bits=25, depth=10)
+        deep = measure_relu_latency(get_paf("f1f1g1g1"), params).seconds
+        shallow = measure_relu_latency(get_paf("f1g2"), params).seconds
+        assert shallow < deep
+
+    def test_op_counts_positive_and_ordered(self):
+        counts = {p.name: paf_op_counts(p) for p in paper_pafs(include_alpha10=True)}
+        assert counts["alpha=10"]["ct_mult"] > counts["f1 o g2"]["ct_mult"]
+        for c in counts.values():
+            assert c["ct_mult"] > 0 and c["pt_mult"] > 0
+
+    def test_cost_model_positive(self):
+        micros = {"ct_mult": 1e-3, "pt_mult": 1e-4, "rescale": 5e-4}
+        cost = analytic_relu_cost(get_paf("f2g2"), micros)
+        assert cost > 0

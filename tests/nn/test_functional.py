@@ -1,0 +1,255 @@
+"""Gradient checks and reference comparisons for NN functional ops."""
+
+import numpy as np
+import pytest
+
+import repro.nn.functional as F
+from repro.nn import Tensor
+
+RNG = np.random.default_rng(7)
+
+
+def numeric_grad(fn, x, eps=1e-6):
+    g = np.zeros_like(x)
+    flat, gflat = x.reshape(-1), g.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        up = fn(x)
+        flat[i] = orig - eps
+        down = fn(x)
+        flat[i] = orig
+        gflat[i] = (up - down) / (2 * eps)
+    return g
+
+
+def naive_conv2d(x, w, b, stride, padding):
+    """Straightforward quadruple-loop convolution as the gold reference."""
+    n, ic, h, ww_ = x.shape
+    oc, _, kh, kw = w.shape
+    xp = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    oh = (h + 2 * padding - kh) // stride + 1
+    ow = (ww_ + 2 * padding - kw) // stride + 1
+    out = np.zeros((n, oc, oh, ow))
+    for i in range(oh):
+        for j in range(ow):
+            patch = xp[:, :, i * stride : i * stride + kh, j * stride : j * stride + kw]
+            out[:, :, i, j] = np.einsum("nchw,ochw->no", patch, w)
+    if b is not None:
+        out += b[None, :, None, None]
+    return out
+
+
+class TestConv2d:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1), (2, 3)])
+    def test_forward_matches_naive(self, stride, padding):
+        x = RNG.normal(size=(2, 3, 8, 8))
+        w = RNG.normal(size=(4, 3, 3, 3))
+        b = RNG.normal(size=4)
+        out = F.conv2d(Tensor(x), Tensor(w), Tensor(b), stride, padding)
+        np.testing.assert_allclose(
+            out.data, naive_conv2d(x, w, b, stride, padding), rtol=1e-10, atol=1e-12
+        )
+
+    def test_channel_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            F.conv2d(Tensor(np.zeros((1, 2, 4, 4))), Tensor(np.zeros((1, 3, 3, 3))))
+
+    def test_grad_x(self):
+        x0 = RNG.normal(size=(1, 2, 5, 5))
+        w = Tensor(RNG.normal(size=(3, 2, 3, 3)))
+        xt = Tensor(x0.copy(), requires_grad=True)
+        F.conv2d(xt, w, None, stride=2, padding=1).sum().backward()
+
+        def f(arr):
+            return float(F.conv2d(Tensor(arr), w, None, 2, 1).sum().data)
+
+        np.testing.assert_allclose(xt.grad, numeric_grad(f, x0.copy()), rtol=1e-5, atol=1e-7)
+
+    def test_grad_w_and_b(self):
+        x = Tensor(RNG.normal(size=(2, 2, 6, 6)))
+        w0 = RNG.normal(size=(2, 2, 3, 3))
+        b0 = RNG.normal(size=2)
+        wt = Tensor(w0.copy(), requires_grad=True)
+        bt = Tensor(b0.copy(), requires_grad=True)
+        F.conv2d(x, wt, bt, stride=1, padding=1).sum().backward()
+
+        def fw(arr):
+            return float(F.conv2d(x, Tensor(arr), Tensor(b0), 1, 1).sum().data)
+
+        def fb(arr):
+            return float(F.conv2d(x, Tensor(w0), Tensor(arr), 1, 1).sum().data)
+
+        np.testing.assert_allclose(wt.grad, numeric_grad(fw, w0.copy()), rtol=1e-5, atol=1e-6)
+        np.testing.assert_allclose(bt.grad, numeric_grad(fb, b0.copy()), rtol=1e-6, atol=1e-8)
+
+
+class TestPooling:
+    def test_maxpool_forward(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = F.max_pool2d(Tensor(x), 2)
+        np.testing.assert_allclose(out.data[0, 0], [[5, 7], [13, 15]])
+
+    def test_maxpool_padding_uses_neg_inf(self):
+        x = -np.ones((1, 1, 3, 3))
+        out = F.max_pool2d(Tensor(x), 3, stride=2, padding=1)
+        # all windows contain a real -1; padding must not contribute 0
+        assert np.all(out.data == -1.0)
+
+    def test_maxpool_grad_routes_to_argmax(self):
+        x0 = RNG.normal(size=(1, 1, 4, 4))
+        xt = Tensor(x0.copy(), requires_grad=True)
+        F.max_pool2d(xt, 2).sum().backward()
+        # each window contributes gradient 1 at its argmax
+        assert xt.grad.sum() == pytest.approx(4.0)
+        assert ((xt.grad == 0) | (xt.grad == 1)).all()
+
+    def test_maxpool_grad_numeric(self):
+        x0 = RNG.normal(size=(2, 2, 6, 6))
+        xt = Tensor(x0.copy(), requires_grad=True)
+        F.max_pool2d(xt, 3, stride=2, padding=1).sum().backward()
+
+        def f(arr):
+            return float(F.max_pool2d(Tensor(arr), 3, 2, 1).sum().data)
+
+        np.testing.assert_allclose(xt.grad, numeric_grad(f, x0.copy()), rtol=1e-5, atol=1e-7)
+
+    def test_avgpool_forward(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = F.avg_pool2d(Tensor(x), 2)
+        np.testing.assert_allclose(out.data[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_avgpool_grad(self):
+        x0 = RNG.normal(size=(1, 2, 4, 4))
+        xt = Tensor(x0.copy(), requires_grad=True)
+        F.avg_pool2d(xt, 2).sum().backward()
+        np.testing.assert_allclose(xt.grad, np.full_like(x0, 0.25))
+
+    def test_global_avg_pool(self):
+        x = RNG.normal(size=(2, 3, 5, 5))
+        out = F.global_avg_pool2d(Tensor(x))
+        assert out.shape == (2, 3, 1, 1)
+        np.testing.assert_allclose(out.data[..., 0, 0], x.mean(axis=(2, 3)))
+
+
+class TestBatchNorm:
+    def test_normalises_batch(self):
+        x = Tensor(RNG.normal(2.0, 3.0, size=(8, 4, 5, 5)))
+        gamma = Tensor(np.ones(4), requires_grad=True)
+        beta = Tensor(np.zeros(4), requires_grad=True)
+        out = F.batch_norm2d(
+            x, gamma, beta, np.zeros(4), np.ones(4), training=True
+        )
+        np.testing.assert_allclose(out.data.mean(axis=(0, 2, 3)), 0, atol=1e-10)
+        np.testing.assert_allclose(out.data.std(axis=(0, 2, 3)), 1, atol=1e-3)
+
+    def test_grad_numeric(self):
+        x0 = RNG.normal(size=(4, 2, 3, 3))
+        g0 = RNG.uniform(0.5, 1.5, size=2)
+        b0 = RNG.normal(size=2)
+        xt = Tensor(x0.copy(), requires_grad=True)
+        gt = Tensor(g0.copy(), requires_grad=True)
+        bt = Tensor(b0.copy(), requires_grad=True)
+        # weight the output so grads aren't the trivial all-ones case
+        w = RNG.normal(size=(4, 2, 3, 3))
+        (F.batch_norm2d(xt, gt, bt, np.zeros(2), np.ones(2), True) * Tensor(w)).sum().backward()
+
+        def fx(arr):
+            out = F.batch_norm2d(Tensor(arr), Tensor(g0), Tensor(b0), np.zeros(2), np.ones(2), True)
+            return float((out * Tensor(w)).sum().data)
+
+        np.testing.assert_allclose(xt.grad, numeric_grad(fx, x0.copy()), rtol=1e-4, atol=1e-6)
+
+    def test_tracking_updates_running_stats(self):
+        rm, rv = np.zeros(2), np.ones(2)
+        x = Tensor(RNG.normal(5.0, 2.0, size=(16, 2, 4, 4)))
+        F.batch_norm2d(
+            x, Tensor(np.ones(2)), Tensor(np.zeros(2)), rm, rv,
+            training=True, track_running_stats=True, momentum=0.5,
+        )
+        assert rm[0] != 0.0  # moved toward the batch mean
+        assert abs(rm[0] - 2.5) < 1.0
+
+    def test_no_tracking_uses_batch_stats_in_eval(self):
+        """Tab. 5: BatchNorm Tracking False — eval still uses batch stats."""
+        rm, rv = np.zeros(2), np.ones(2)
+        x = Tensor(RNG.normal(5.0, 2.0, size=(16, 2, 4, 4)))
+        out = F.batch_norm2d(
+            x, Tensor(np.ones(2)), Tensor(np.zeros(2)), rm, rv,
+            training=False, track_running_stats=False,
+        )
+        np.testing.assert_allclose(out.data.mean(axis=(0, 2, 3)), 0, atol=1e-10)
+        np.testing.assert_array_equal(rm, 0.0)  # never touched
+
+
+class TestLossesAndDropout:
+    def test_log_softmax_normalised(self):
+        x = Tensor(RNG.normal(size=(5, 7)))
+        ls = F.log_softmax(x)
+        np.testing.assert_allclose(np.exp(ls.data).sum(axis=1), 1.0, rtol=1e-12)
+
+    def test_log_softmax_grad(self):
+        x0 = RNG.normal(size=(3, 4))
+        xt = Tensor(x0.copy(), requires_grad=True)
+        w = RNG.normal(size=(3, 4))
+        (F.log_softmax(xt) * Tensor(w)).sum().backward()
+
+        def f(arr):
+            return float((F.log_softmax(Tensor(arr)) * Tensor(w)).sum().data)
+
+        np.testing.assert_allclose(xt.grad, numeric_grad(f, x0.copy()), rtol=1e-5, atol=1e-7)
+
+    def test_cross_entropy_uniform(self):
+        logits = Tensor(np.zeros((4, 10)))
+        loss = F.cross_entropy(logits, np.array([0, 1, 2, 3]))
+        assert loss.item() == pytest.approx(np.log(10))
+
+    def test_cross_entropy_grad_is_softmax_minus_onehot(self):
+        x0 = RNG.normal(size=(3, 5))
+        y = np.array([1, 0, 4])
+        xt = Tensor(x0.copy(), requires_grad=True)
+        F.cross_entropy(xt, y).backward()
+        p = np.exp(x0) / np.exp(x0).sum(axis=1, keepdims=True)
+        onehot = np.eye(5)[y]
+        np.testing.assert_allclose(xt.grad, (p - onehot) / 3, rtol=1e-8, atol=1e-10)
+
+    def test_softmax(self):
+        x = Tensor(RNG.normal(size=(2, 3)))
+        s = F.softmax(x)
+        np.testing.assert_allclose(s.data.sum(axis=1), 1.0, rtol=1e-12)
+        assert (s.data > 0).all()
+
+    def test_accuracy(self):
+        logits = np.array([[1.0, 0.0], [0.0, 1.0], [2.0, 1.0]])
+        assert F.accuracy(logits, np.array([0, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_dropout_eval_identity(self):
+        x = Tensor(RNG.normal(size=(100,)))
+        out = F.dropout(x, 0.5, training=False, rng=np.random.default_rng(0))
+        np.testing.assert_array_equal(out.data, x.data)
+
+    def test_dropout_scales_kept_units(self):
+        x = Tensor(np.ones(10_000))
+        out = F.dropout(x, 0.5, training=True, rng=np.random.default_rng(0))
+        kept = out.data[out.data != 0]
+        np.testing.assert_allclose(kept, 2.0)
+        assert abs(out.data.mean() - 1.0) < 0.05  # inverted scaling preserves E[x]
+
+    def test_dropout_grad_masks(self):
+        x = Tensor(np.ones(1000), requires_grad=True)
+        out = F.dropout(x, 0.3, training=True, rng=np.random.default_rng(1))
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad[out.data == 0], 0.0)
+
+
+class TestPad:
+    def test_pad_and_grad(self):
+        x = Tensor(RNG.normal(size=(1, 1, 3, 3)), requires_grad=True)
+        out = F.pad2d(x, 2)
+        assert out.shape == (1, 1, 7, 7)
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((1, 1, 3, 3)))
+
+    def test_pad_zero_is_identity(self):
+        x = Tensor(RNG.normal(size=(1, 1, 3, 3)))
+        assert F.pad2d(x, 0) is x

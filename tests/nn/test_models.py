@@ -1,0 +1,106 @@
+"""Model topology tests: the paper's exact non-polynomial inventories."""
+
+import numpy as np
+import pytest
+
+import repro.nn.functional as F
+from repro.nn import Adam, MaxPool2d, ReLU, Tensor
+from repro.nn.models import MLP, ResNet18, SmallCNN, VGG19, resnet18, vgg19
+
+
+def count_nonpoly(model):
+    relus = sum(1 for _, m in model.named_modules() if isinstance(m, ReLU))
+    pools = sum(1 for _, m in model.named_modules() if isinstance(m, MaxPool2d))
+    return relus, pools
+
+
+class TestResNet18:
+    def test_paper_nonpoly_inventory(self):
+        """Sec. 5.1: ResNet-18 has 17 ReLU and 1 MaxPooling."""
+        model = resnet18(base_width=8, seed=0)
+        assert count_nonpoly(model) == (17, 1)
+
+    def test_forward_shape(self):
+        model = resnet18(num_classes=7, base_width=8, seed=0)
+        out = model(Tensor(np.zeros((2, 3, 32, 32))))
+        assert out.shape == (2, 7)
+
+    def test_forward_shape_64px(self):
+        model = resnet18(num_classes=5, base_width=8, seed=0)
+        out = model(Tensor(np.zeros((1, 3, 64, 64))))
+        assert out.shape == (1, 5)
+
+    def test_full_width_parameter_count(self):
+        """Paper-scale ResNet-18 should be ~11M parameters."""
+        model = resnet18(num_classes=1000, base_width=64, seed=0)
+        n = model.num_parameters()
+        assert 11_000_000 < n < 12_500_000
+
+    def test_deterministic_seed(self):
+        a = resnet18(base_width=8, seed=3)
+        b = resnet18(base_width=8, seed=3)
+        x = Tensor(np.random.default_rng(0).normal(size=(1, 3, 32, 32)))
+        np.testing.assert_allclose(a(x).data, b(x).data)
+
+    def test_backward_reaches_all_parameters(self):
+        model = resnet18(base_width=4, seed=0)
+        out = model(Tensor(np.random.default_rng(1).normal(size=(2, 3, 32, 32))))
+        F.cross_entropy(out, np.array([0, 1])).backward()
+        missing = [n for n, p in model.named_parameters() if p.grad is None]
+        assert missing == []
+
+    def test_one_step_reduces_loss(self):
+        rng = np.random.default_rng(2)
+        model = resnet18(base_width=4, num_classes=4, seed=0)
+        x, y = rng.normal(size=(8, 3, 32, 32)), rng.integers(0, 4, 8)
+        opt = Adam(model.parameters(), lr=1e-3)
+        losses = []
+        for _ in range(5):
+            loss = F.cross_entropy(model(Tensor(x)), y)
+            losses.append(loss.item())
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert losses[-1] < losses[0]
+
+
+class TestVGG19:
+    def test_paper_nonpoly_inventory(self):
+        """Sec. 5.1: VGG-19 has 18 ReLU and 5 MaxPooling."""
+        model = vgg19(base_width=4, input_size=32, seed=0)
+        assert count_nonpoly(model) == (18, 5)
+
+    def test_forward_shape(self):
+        model = vgg19(num_classes=10, base_width=4, input_size=32, seed=0)
+        out = model(Tensor(np.zeros((2, 3, 32, 32))))
+        assert out.shape == (2, 10)
+
+    def test_too_small_input_rejected(self):
+        with pytest.raises(ValueError):
+            vgg19(input_size=16)
+
+    def test_backward_reaches_all_parameters(self):
+        model = vgg19(base_width=2, input_size=32, seed=0)
+        out = model(Tensor(np.random.default_rng(1).normal(size=(2, 3, 32, 32))))
+        F.cross_entropy(out, np.array([0, 1])).backward()
+        missing = [n for n, p in model.named_parameters() if p.grad is None]
+        assert missing == []
+
+
+class TestSmallModels:
+    def test_small_cnn_inventory(self):
+        model = SmallCNN(seed=0)
+        assert count_nonpoly(model) == (3, 1)
+
+    def test_small_cnn_shapes(self):
+        model = SmallCNN(num_classes=4, base_width=4, input_size=16, seed=0)
+        assert model(Tensor(np.zeros((2, 3, 16, 16)))).shape == (2, 4)
+
+    def test_mlp_shapes(self):
+        model = MLP(12, hidden=(8, 8), num_classes=3, seed=0)
+        assert model(Tensor(np.zeros((5, 12)))).shape == (5, 3)
+
+    def test_mlp_relu_count(self):
+        model = MLP(12, hidden=(8, 8, 8), num_classes=3, seed=0)
+        relus, _ = count_nonpoly(model)
+        assert relus == 3

@@ -1,0 +1,235 @@
+"""Autograd engine tests: every op gradient-checked numerically."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor, as_tensor, is_grad_enabled, no_grad
+
+
+def numeric_grad(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar-valued fn w.r.t. x."""
+    g = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    gflat = g.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        up = fn(x)
+        flat[i] = orig - eps
+        down = fn(x)
+        flat[i] = orig
+        gflat[i] = (up - down) / (2 * eps)
+    return g
+
+
+def check_grad(build, x0: np.ndarray, rtol=1e-5, atol=1e-7):
+    """Compare autograd grad of sum(build(Tensor)) against numeric grad."""
+    t = Tensor(x0.copy(), requires_grad=True)
+    out = build(t).sum()
+    out.backward()
+
+    def scalar_fn(arr):
+        return float(build(Tensor(arr)).sum().data)
+
+    expected = numeric_grad(scalar_fn, x0.copy())
+    np.testing.assert_allclose(t.grad, expected, rtol=rtol, atol=atol)
+
+
+RNG = np.random.default_rng(42)
+
+
+class TestBasicOps:
+    def test_add_grad(self):
+        check_grad(lambda t: t + 3.0, RNG.normal(size=(3, 4)))
+
+    def test_add_two_tensors(self):
+        a = Tensor(RNG.normal(size=(3,)), requires_grad=True)
+        b = Tensor(RNG.normal(size=(3,)), requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones(3))
+        np.testing.assert_allclose(b.grad, np.ones(3))
+
+    def test_broadcast_add_grad(self):
+        a = Tensor(RNG.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(RNG.normal(size=(4,)), requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_allclose(b.grad, np.full(4, 3.0))
+
+    def test_mul_grad(self):
+        check_grad(lambda t: t * t * 2.0, RNG.normal(size=(5,)))
+
+    def test_sub_neg_grad(self):
+        check_grad(lambda t: (-t) - t * 0.5, RNG.normal(size=(4,)))
+
+    def test_rsub(self):
+        check_grad(lambda t: 1.0 - t, RNG.normal(size=(4,)))
+
+    def test_div_grad(self):
+        check_grad(lambda t: t / 3.0, RNG.normal(size=(4,)))
+        check_grad(lambda t: 2.0 / t, RNG.uniform(1.0, 2.0, size=(4,)))
+
+    def test_div_tensor_tensor(self):
+        a = Tensor(np.array([2.0, 4.0]), requires_grad=True)
+        b = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        (a / b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 0.5])
+        np.testing.assert_allclose(b.grad, [-2.0, -1.0])
+
+    def test_pow_grad(self):
+        check_grad(lambda t: t**3, RNG.uniform(0.5, 1.5, size=(6,)))
+
+    def test_pow_rejects_tensor_exponent(self):
+        t = Tensor([1.0])
+        with pytest.raises(TypeError):
+            t ** Tensor([2.0])
+
+    def test_matmul_grad(self):
+        a0 = RNG.normal(size=(3, 4))
+        b = Tensor(RNG.normal(size=(4, 2)), requires_grad=True)
+        a = Tensor(a0.copy(), requires_grad=True)
+        (a @ b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((3, 2)) @ b.data.T)
+        np.testing.assert_allclose(b.grad, a0.T @ np.ones((3, 2)))
+
+    def test_chain_rule_through_shared_node(self):
+        """y = x*x used twice: gradients must accumulate."""
+        x = Tensor(np.array([3.0]), requires_grad=True)
+        y = x * x
+        z = y + y
+        z.backward()
+        np.testing.assert_allclose(x.grad, [12.0])  # d(2x^2)/dx = 4x
+
+
+class TestShapeOps:
+    def test_reshape_grad(self):
+        check_grad(lambda t: (t.reshape(2, 6) * 2.0), RNG.normal(size=(3, 4)))
+
+    def test_flatten_from(self):
+        t = Tensor(RNG.normal(size=(2, 3, 4, 5)))
+        assert t.flatten_from(1).shape == (2, 60)
+        assert t.flatten_from(2).shape == (2, 3, 20)
+
+    def test_transpose_grad(self):
+        check_grad(lambda t: t.transpose(1, 0) * 3.0, RNG.normal(size=(3, 4)))
+
+    def test_T_property(self):
+        t = Tensor(RNG.normal(size=(2, 5)))
+        assert t.T.shape == (5, 2)
+
+    def test_getitem_grad(self):
+        x = Tensor(RNG.normal(size=(4, 3)), requires_grad=True)
+        x[1:3].sum().backward()
+        expected = np.zeros((4, 3))
+        expected[1:3] = 1.0
+        np.testing.assert_allclose(x.grad, expected)
+
+    def test_getitem_fancy_indexing_accumulates(self):
+        x = Tensor(np.zeros(3), requires_grad=True)
+        idx = np.array([0, 0, 2])
+        x[idx].sum().backward()
+        np.testing.assert_allclose(x.grad, [2.0, 0.0, 1.0])
+
+
+class TestReductions:
+    def test_sum_axis_grad(self):
+        check_grad(lambda t: t.sum(axis=0), RNG.normal(size=(3, 4)))
+        check_grad(lambda t: t.sum(axis=1, keepdims=True), RNG.normal(size=(3, 4)))
+
+    def test_mean_grad(self):
+        check_grad(lambda t: t.mean(), RNG.normal(size=(3, 4)))
+        check_grad(lambda t: t.mean(axis=(0, 1)), RNG.normal(size=(2, 3, 4)))
+
+    def test_var_matches_numpy(self):
+        x = RNG.normal(size=(6, 5))
+        t = Tensor(x)
+        np.testing.assert_allclose(t.var(axis=0).data, x.var(axis=0), rtol=1e-12)
+
+    def test_var_grad(self):
+        check_grad(lambda t: t.var(axis=0), RNG.normal(size=(4, 3)), rtol=1e-4)
+
+
+class TestNonlinearities:
+    def test_relu_grad(self):
+        x = np.array([-2.0, -0.1, 0.5, 3.0])
+        t = Tensor(x, requires_grad=True)
+        t.relu().sum().backward()
+        np.testing.assert_allclose(t.grad, [0, 0, 1, 1])
+
+    def test_exp_log_sqrt_abs_grads(self):
+        check_grad(lambda t: t.exp(), RNG.normal(size=(5,)))
+        check_grad(lambda t: t.log(), RNG.uniform(0.5, 2.0, size=(5,)))
+        check_grad(lambda t: t.sqrt(), RNG.uniform(0.5, 2.0, size=(5,)))
+        check_grad(lambda t: t.abs(), RNG.uniform(0.2, 1.0, size=(5,)))
+
+
+class TestAutogradMechanics:
+    def test_backward_requires_grad(self):
+        t = Tensor([1.0])
+        with pytest.raises(RuntimeError):
+            t.backward()
+
+    def test_backward_nonscalar_needs_grad_arg(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (t * 2).backward()
+
+    def test_backward_with_explicit_grad(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        (t * 3).backward(np.array([1.0, 10.0]))
+        np.testing.assert_allclose(t.grad, [3.0, 30.0])
+
+    def test_no_grad_blocks_graph(self):
+        t = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            out = t * 2
+        assert not out.requires_grad
+        assert is_grad_enabled()
+
+    def test_no_grad_restores_on_exception(self):
+        try:
+            with no_grad():
+                raise ValueError
+        except ValueError:
+            pass
+        assert is_grad_enabled()
+
+    def test_detach(self):
+        t = Tensor([1.0], requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+        np.testing.assert_allclose(d.data, t.data)
+
+    def test_grad_accumulates_across_backwards(self):
+        t = Tensor([2.0], requires_grad=True)
+        (t * 1.0).sum().backward()
+        (t * 1.0).sum().backward()
+        np.testing.assert_allclose(t.grad, [2.0])
+
+    def test_zero_grad(self):
+        t = Tensor([2.0], requires_grad=True)
+        (t * 1.0).sum().backward()
+        t.zero_grad()
+        assert t.grad is None
+
+    def test_deep_graph_no_recursion_error(self):
+        t = Tensor([1.0], requires_grad=True)
+        out = t
+        for _ in range(3000):
+            out = out * 1.0001
+        out.sum().backward()
+        assert t.grad is not None
+
+    def test_as_tensor_passthrough(self):
+        t = Tensor([1.0])
+        assert as_tensor(t) is t
+        assert isinstance(as_tensor(2.0), Tensor)
+
+    @given(st.floats(min_value=-2, max_value=2, allow_nan=False))
+    @settings(max_examples=25, deadline=None)
+    def test_polynomial_identity_grad(self, x0):
+        """d/dx (3x^2 + 2x) = 6x + 2 for arbitrary x."""
+        t = Tensor([x0], requires_grad=True)
+        (3.0 * t * t + 2.0 * t).sum().backward()
+        assert t.grad[0] == pytest.approx(6 * x0 + 2, rel=1e-9, abs=1e-9)

@@ -1,0 +1,118 @@
+"""Tests for the Cheon f/g bases and the published α=7 coefficients.
+
+The untrained coefficient values are cross-checked against the paper's
+appendix: Tab. 11 layer-4 holds untrained f2 = (1.875, -1.25, 0.375) and
+g2 = (3.255859375, -5.96484375, 3.70703125); Tab. 10 layer-6 holds
+untrained g3 = (4.4814453125, -16.1884765625, 25.013671875, -12.55859375).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.paf import bases
+from repro.paf.bases import F1, F2, G1, G2, G3, f_coeffs, f_poly, g_poly, minimax_alpha7
+
+
+class TestFPolynomials:
+    def test_f1_closed_form(self):
+        assert F1.coeffs == (1.5, -0.5)
+
+    def test_f2_matches_paper_appendix(self):
+        # Untrained f2 row in the paper's Tab. 11 (layer 4).
+        assert F2.coeffs == (1.875, -1.25, 0.375)
+
+    def test_f3_values(self):
+        # f3 = x + 1/2 x(1-x^2) + 3/8 x(1-x^2)^2 + 5/16 x(1-x^2)^3
+        c = f_coeffs(3)
+        x = 0.37
+        direct = (
+            x
+            + 0.5 * x * (1 - x**2)
+            + 0.375 * x * (1 - x**2) ** 2
+            + 0.3125 * x * (1 - x**2) ** 3
+        )
+        poly = f_poly(3)
+        assert poly(x) == pytest.approx(direct, rel=1e-12)
+        assert len(c) == 4
+
+    def test_f_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            f_coeffs(0)
+
+    @given(st.integers(min_value=1, max_value=6))
+    @settings(max_examples=6, deadline=None)
+    def test_f_fixes_pm_one(self, n):
+        """f_n(1) = 1 and f_n(-1) = -1 for every n (sign fixpoints)."""
+        p = f_poly(n)
+        assert p(1.0) == pytest.approx(1.0, abs=1e-9)
+        assert p(-1.0) == pytest.approx(-1.0, abs=1e-9)
+
+    @given(st.integers(min_value=1, max_value=6))
+    @settings(max_examples=6, deadline=None)
+    def test_f_contracts_toward_sign(self, n):
+        """|f_n(x) - sign(x)| <= |x - sign(x)| on (0, 1] — each application
+        moves values toward ±1 (the mechanism behind composite convergence)."""
+        p = f_poly(n)
+        x = np.linspace(0.05, 1.0, 97)
+        assert np.all(np.abs(p(x) - 1.0) <= np.abs(x - 1.0) + 1e-12)
+
+    def test_f_monotone_on_unit_interval(self):
+        """f_n is increasing on [-1, 1] (needed for composition stability)."""
+        for n in (1, 2, 3):
+            p = f_poly(n)
+            x = np.linspace(-1, 1, 501)
+            assert np.all(np.diff(p(x)) > -1e-12)
+
+
+class TestGPolynomials:
+    def test_g1_published_constants(self):
+        assert G1.coeffs == (2126 / 1024, -1359 / 1024)
+
+    def test_g2_matches_paper_appendix(self):
+        assert G2.coeffs == (3.255859375, -5.96484375, 3.70703125)
+
+    def test_g3_matches_paper_appendix(self):
+        assert G3.coeffs == (
+            4.4814453125,
+            -16.1884765625,
+            25.013671875,
+            -12.55859375,
+        )
+
+    def test_g_rejects_unknown_n(self):
+        with pytest.raises(ValueError):
+            g_poly(4)
+
+    def test_g_expands_small_values(self):
+        """g_n amplifies small inputs (|g(x)| > |x| near 0) — that is its
+        role: accelerate small values toward the f-basins."""
+        for n in (1, 2, 3):
+            p = g_poly(n)
+            x = np.linspace(0.01, 0.2, 50)
+            assert np.all(p(x) > x)
+
+
+class TestMinimaxAlpha7:
+    def test_composition_order_p1_then_p2(self):
+        """The composite is p7,2(p7,1(x)) — p1 innermost."""
+        paf = minimax_alpha7()
+        assert paf.components[0].name == "p7_1"
+        assert paf.components[1].name == "p7_2"
+
+    def test_structure(self):
+        paf = minimax_alpha7()
+        assert paf.reported_degree == 12
+        assert paf.mult_depth == 6
+        assert paf.degree_sum == 14  # two degree-7 components
+
+    def test_accuracy_band(self):
+        """Published coefficients approximate sign within 2^-6 on [0.09, 1]."""
+        paf = minimax_alpha7()
+        x = np.linspace(0.09, 1.0, 2000)
+        assert np.max(np.abs(paf(x) - 1.0)) <= 2**-6
+
+    def test_fresh_copy_each_call(self):
+        assert minimax_alpha7() is not minimax_alpha7()
+        assert bases.MINIMAX_ALPHA7 is not minimax_alpha7()

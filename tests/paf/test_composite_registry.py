@@ -1,0 +1,68 @@
+"""Tests for the PAF registry (Tab. 2 forms and aliases)."""
+
+import numpy as np
+import pytest
+
+from repro.paf import PAF_REGISTRY, canonical_key, get_paf, paper_pafs
+
+
+class TestRegistry:
+    def test_all_six_forms_present(self):
+        assert set(PAF_REGISTRY) == {
+            "alpha10",
+            "f1f1g1g1",
+            "alpha7",
+            "f2g3",
+            "f2g2",
+            "f1g2",
+        }
+
+    @pytest.mark.parametrize(
+        "alias,key",
+        [
+            ("alpha=7", "alpha7"),
+            ("f2 o g3", "f2g3"),
+            ("f1^2 o g1^2", "f1f1g1g1"),
+            ("F2G2", "f2g2"),
+            ("alpha=10", "alpha10"),
+            ("minimax27", "alpha10"),
+        ],
+    )
+    def test_aliases(self, alias, key):
+        assert canonical_key(alias) == key
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            get_paf("f9g9")
+
+    def test_get_paf_returns_fresh_copies(self):
+        a = get_paf("f2g2")
+        b = get_paf("f2g2")
+        assert a is not b
+        np.testing.assert_allclose(a.flat_coeffs(), b.flat_coeffs())
+
+    def test_paper_pafs_order(self):
+        names = [p.name for p in paper_pafs()]
+        assert names == ["f1^2 o g1^2", "alpha=7", "f2 o g3", "f2 o g2", "f1 o g2"]
+        with_a10 = [p.name for p in paper_pafs(include_alpha10=True)]
+        assert with_a10[0] == "alpha=10"
+
+    def test_g_runs_before_f(self):
+        """Standard composition order: accelerating g first, sharpening f last."""
+        paf = get_paf("f2g3")
+        assert paf.components[0].name == "g3"
+        assert paf.components[1].name == "f2"
+
+    def test_accuracy_band_widens_with_degree(self):
+        """Higher-degree forms classify smaller |x| correctly — the reason
+        low-degree PAFs lose accuracy and SMART-PAF recovers it."""
+
+        def band_lo(paf, tol=2**-4):
+            x = np.linspace(1e-3, 1, 20000)
+            ok = x[np.abs(paf(x) - 1) <= tol]
+            return ok.min() if ok.size else np.inf
+
+        lo_f1f1g1g1 = band_lo(get_paf("f1f1g1g1"))
+        lo_f2g2 = band_lo(get_paf("f2g2"))
+        lo_f1g2 = band_lo(get_paf("f1g2"))
+        assert lo_f1f1g1g1 < lo_f2g2 < lo_f1g2

@@ -1,0 +1,89 @@
+"""Tests for the Remez exchange and minimax composite construction."""
+
+import numpy as np
+import pytest
+
+from repro.paf.minimax import (
+    composite_precision,
+    minimax_alpha10_deg27,
+    minimax_composite,
+    remez_odd_sign,
+)
+
+
+class TestRemezOddSign:
+    def test_rejects_even_degree(self):
+        with pytest.raises(ValueError):
+            remez_odd_sign(4, 0.1)
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            remez_odd_sign(3, 0.5, 0.2)
+        with pytest.raises(ValueError):
+            remez_odd_sign(3, -0.1, 1.0)
+
+    def test_degree1_closed_form(self):
+        """Best odd linear c*x on [a, 1]: equioscillation at a and 1 gives
+        c = 2/(1+a), error = (1-a)/(1+a)."""
+        a = 0.25
+        res = remez_odd_sign(1, a)
+        assert res.poly.coeffs[0] == pytest.approx(2 / (1 + a), rel=1e-6)
+        assert res.error == pytest.approx((1 - a) / (1 + a), rel=1e-5)
+
+    def test_error_decreases_with_degree(self):
+        errs = [remez_odd_sign(d, 0.05).error for d in (3, 7, 15, 27)]
+        assert all(e1 > e2 for e1, e2 in zip(errs, errs[1:]))
+
+    def test_error_decreases_with_larger_tau(self):
+        errs = [remez_odd_sign(7, a).error for a in (0.01, 0.05, 0.2, 0.5)]
+        assert all(e1 > e2 for e1, e2 in zip(errs, errs[1:]))
+
+    def test_equioscillation_is_attained_inside(self):
+        """Max error on the interval equals the equioscillation level and is
+        attained at >= k+1 near-extremal points."""
+        res = remez_odd_sign(7, 0.1)
+        x = np.linspace(0.1, 1.0, 20001)
+        err = np.abs(res.poly(x) - 1.0)
+        assert err.max() == pytest.approx(res.error, rel=1e-3)
+        near = np.sum(err >= 0.999 * res.error)
+        assert near >= 4  # k+1 = 5 extrema; discrete grid may merge ends
+
+    def test_result_is_odd_polynomial(self):
+        res = remez_odd_sign(5, 0.2)
+        x = np.linspace(-1, 1, 101)
+        np.testing.assert_allclose(res.poly(-x), -res.poly(x), atol=1e-12)
+
+
+class TestMinimaxComposite:
+    def test_chaining_reduces_error(self):
+        single = remez_odd_sign(15, 0.05).error
+        comp = minimax_composite((15, 15), tau=0.05)
+        x = np.linspace(0.05, 1, 5001)
+        comp_err = np.max(np.abs(comp(x) - 1))
+        assert comp_err < single / 4
+
+    def test_alpha10_reaches_ten_bits(self):
+        paf = minimax_alpha10_deg27()
+        prec = composite_precision(paf, tau=1 / 64)
+        assert prec >= 10.0
+
+    def test_alpha10_structure_matches_table2(self):
+        paf = minimax_alpha10_deg27()
+        assert paf.reported_degree == 27
+        assert paf.mult_depth == 10
+        assert max(c.degree for c in paf.components) == 27
+
+    def test_alpha10_cache_returns_copies(self):
+        a = minimax_alpha10_deg27()
+        b = minimax_alpha10_deg27()
+        assert a is not b
+        np.testing.assert_allclose(a.flat_coeffs(), b.flat_coeffs())
+
+    def test_composite_precision_infinite_for_exact(self):
+        from repro.paf.polynomial import CompositePAF, OddPolynomial
+
+        # a "composite" that is exactly 1 at the single sampled point set
+        # cannot happen with odd polys; instead check the monotone contract:
+        better = minimax_composite((15, 27), tau=0.05)
+        worse = minimax_composite((3, 7), tau=0.05)
+        assert composite_precision(better, 0.05) > composite_precision(worse, 0.05)

@@ -1,0 +1,176 @@
+"""Unit + property tests for OddPolynomial and CompositePAF."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.paf import CompositePAF, OddPolynomial, mult_depth_of_degree
+
+
+class TestMultDepth:
+    @pytest.mark.parametrize(
+        "degree,expected",
+        [(1, 1), (3, 2), (5, 3), (7, 3), (9, 4), (15, 4), (27, 5), (31, 5)],
+    )
+    def test_known_depths(self, degree, expected):
+        assert mult_depth_of_degree(degree) == expected
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            mult_depth_of_degree(0)
+
+    @given(st.integers(min_value=1, max_value=10_000))
+    def test_formula(self, degree):
+        assert mult_depth_of_degree(degree) == math.ceil(math.log2(degree + 1))
+
+
+class TestOddPolynomial:
+    def test_degree_and_depth(self):
+        p = OddPolynomial([1.0, -0.5, 0.25])
+        assert p.degree == 5
+        assert p.mult_depth == 3
+        assert p.num_coeffs == 3
+
+    def test_empty_coeffs_rejected(self):
+        with pytest.raises(ValueError):
+            OddPolynomial([])
+
+    def test_evaluation_matches_naive(self):
+        rng = np.random.default_rng(0)
+        coeffs = rng.normal(size=4)
+        p = OddPolynomial(coeffs)
+        x = rng.uniform(-1, 1, size=100)
+        naive = sum(c * x ** (2 * i + 1) for i, c in enumerate(coeffs))
+        np.testing.assert_allclose(p(x), naive, rtol=1e-12)
+
+    def test_scalar_input(self):
+        p = OddPolynomial([1.5, -0.5])
+        assert p(1.0) == pytest.approx(1.0)
+        assert p(0.0) == pytest.approx(0.0)
+
+    def test_oddness(self):
+        p = OddPolynomial([2.0, -1.0, 0.3])
+        x = np.linspace(-1, 1, 31)
+        np.testing.assert_allclose(p(-x), -p(x), atol=1e-14)
+
+    def test_derivative_matches_numeric(self):
+        p = OddPolynomial([1.5, -0.5, 0.1])
+        x = np.linspace(-0.9, 0.9, 17)
+        h = 1e-6
+        numeric = (p(x + h) - p(x - h)) / (2 * h)
+        np.testing.assert_allclose(p.derivative(x), numeric, rtol=1e-6, atol=1e-8)
+
+    def test_dense_coeffs(self):
+        p = OddPolynomial([1.0, 2.0])
+        np.testing.assert_array_equal(p.dense_coeffs(), [0, 1, 0, 2])
+
+    def test_scaled_input_identity(self):
+        p = OddPolynomial([1.5, -0.5])
+        q = p.scaled_input(2.0)
+        x = np.linspace(-2, 2, 21)
+        np.testing.assert_allclose(q(x), p(x / 2.0), atol=1e-14)
+
+    def test_scaled_output(self):
+        p = OddPolynomial([1.5, -0.5])
+        q = p.scaled_output(3.0)
+        x = np.linspace(-1, 1, 21)
+        np.testing.assert_allclose(q(x), 3.0 * p(x), atol=1e-14)
+
+    def test_scaled_input_rejects_nonpositive(self):
+        p = OddPolynomial([1.0])
+        with pytest.raises(ValueError):
+            p.scaled_input(0.0)
+
+    def test_with_coeffs_wrong_length(self):
+        p = OddPolynomial([1.0, 2.0])
+        with pytest.raises(ValueError):
+            p.with_coeffs([1.0])
+
+    @given(
+        st.lists(
+            st.floats(min_value=-3, max_value=3, allow_nan=False), min_size=1, max_size=5
+        ),
+        st.floats(min_value=-1, max_value=1, allow_nan=False),
+    )
+    @settings(max_examples=50)
+    def test_oddness_property(self, coeffs, x):
+        p = OddPolynomial(coeffs)
+        assert p(-x) == pytest.approx(-p(x), abs=1e-9)
+
+
+class TestCompositePAF:
+    def _paf(self):
+        f1 = OddPolynomial([1.5, -0.5], name="f1")
+        g2 = OddPolynomial([3.255859375, -5.96484375, 3.70703125], name="g2")
+        return CompositePAF([g2, f1], name="f1 o g2", reported_degree=5)
+
+    def test_structure(self):
+        paf = self._paf()
+        assert paf.degree_sum == 8
+        assert paf.degree_product == 15
+        assert paf.reported_degree == 5
+        assert paf.mult_depth == 5  # depth(g2)=3 + depth(f1)=2
+        assert paf.num_components == 2
+        assert paf.num_coeffs() == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CompositePAF([])
+
+    def test_evaluation_is_composition(self):
+        paf = self._paf()
+        x = np.linspace(-1, 1, 41)
+        inner, outer = paf.components
+        np.testing.assert_allclose(paf(x), outer(inner(x)), atol=1e-14)
+
+    def test_intermediate_values(self):
+        paf = self._paf()
+        x = np.linspace(-1, 1, 5)
+        vals = paf.intermediate_values(x)
+        assert len(vals) == 3
+        np.testing.assert_allclose(vals[0], x)
+        np.testing.assert_allclose(vals[-1], paf(x), atol=1e-14)
+
+    def test_flat_coeffs_roundtrip(self):
+        paf = self._paf()
+        flat = paf.flat_coeffs()
+        rebuilt = paf.with_flat_coeffs(flat)
+        x = np.linspace(-1, 1, 17)
+        np.testing.assert_allclose(rebuilt(x), paf(x), atol=1e-14)
+        assert rebuilt.name == paf.name
+        assert rebuilt.reported_degree == paf.reported_degree
+
+    def test_with_flat_coeffs_wrong_size(self):
+        paf = self._paf()
+        with pytest.raises(ValueError):
+            paf.with_flat_coeffs(np.zeros(3))
+
+    def test_with_flat_coeffs_changes_eval(self):
+        paf = self._paf()
+        flat = paf.flat_coeffs()
+        flat[0] *= 2.0
+        changed = paf.with_flat_coeffs(flat)
+        x = np.array([0.5])
+        assert float(changed(x)[0]) != pytest.approx(float(paf(x)[0]))
+
+    def test_scaled_input_folds_into_innermost(self):
+        paf = self._paf()
+        scaled = paf.scaled_input(4.0)
+        x = np.linspace(-4, 4, 33)
+        np.testing.assert_allclose(scaled(x), paf(x / 4.0), atol=1e-12)
+        # only the innermost component changed
+        assert scaled.components[1].coeffs == paf.components[1].coeffs
+
+    def test_copy_is_independent(self):
+        paf = self._paf()
+        cp = paf.copy()
+        assert cp is not paf
+        assert cp.components == paf.components  # shallow copy of immutable parts
+
+    def test_oddness_of_composite(self):
+        paf = self._paf()
+        x = np.linspace(-1, 1, 101)
+        np.testing.assert_allclose(paf(-x), -paf(x), atol=1e-12)

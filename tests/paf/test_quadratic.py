@@ -1,0 +1,71 @@
+"""Tests for the AESPA-style quadratic baseline (§7 comparison)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, Tensor
+from repro.paf import get_paf
+from repro.paf.quadratic import QuadraticReLU, hermite_quadratic_coeffs, quadratic_relu
+from repro.paf.relu import paf_relu
+
+
+class TestHermiteCoeffs:
+    def test_closed_form_is_least_squares_optimum(self):
+        """The closed form matches a numeric LS fit under N(0,1)."""
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=200_000)
+        design = np.stack([np.ones_like(x), x, x * x], axis=1)
+        target = np.maximum(x, 0)
+        numeric, *_ = np.linalg.lstsq(design, target, rcond=None)
+        np.testing.assert_allclose(numeric, hermite_quadratic_coeffs(), atol=5e-3)
+
+    def test_reasonable_near_origin(self):
+        x = np.linspace(-1, 1, 201)
+        err = np.abs(quadratic_relu(x) - np.maximum(x, 0))
+        assert err.max() < 0.45
+        assert err.mean() < 0.15
+
+    def test_error_explodes_away_from_fitted_density(self):
+        """§7's fragility: the quadratic diverges quadratically outside the
+        fitted range while a scaled sign-composite stays bounded."""
+        x = np.array([6.0])
+        quad_err = abs(float(quadratic_relu(x)[0]) - 6.0)
+        paf = get_paf("f1f1g1g1")
+        paf_err = abs(float(paf_relu(x, paf, scale=6.0)[0]) - 6.0)
+        assert quad_err > 1.0
+        assert paf_err < 0.5
+
+
+class TestQuadraticReLULayer:
+    def test_forward_matches_function(self):
+        layer = QuadraticReLU()
+        x = np.linspace(-2, 2, 41)
+        np.testing.assert_allclose(
+            layer(Tensor(x)).data, quadratic_relu(x), rtol=1e-12
+        )
+
+    def test_depth_is_one(self):
+        assert QuadraticReLU.mult_depth == 1
+
+    def test_coefficients_trainable(self):
+        layer = QuadraticReLU()
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=512)
+        target = np.maximum(x, 0)
+        opt = Adam(layer.parameters(), lr=1e-2)
+
+        def mse():
+            d = layer(Tensor(x)) - Tensor(target)
+            return (d * d).mean()
+
+        before = mse().item()
+        for _ in range(50):
+            loss = mse()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert mse().item() <= before + 1e-12
+
+    def test_cheaper_than_any_composite(self):
+        """depth 1 < the shallowest SMART-PAF form (f1∘g2: 5)."""
+        assert QuadraticReLU.mult_depth < get_paf("f1g2").mult_depth

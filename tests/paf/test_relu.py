@@ -1,0 +1,124 @@
+"""Tests for the sign→ReLU / sign→Max construction and PAF max pooling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.paf import get_paf
+from repro.paf.relu import (
+    maxpool_mult_depth,
+    paf_max,
+    paf_maxpool2d,
+    paf_relu,
+    relu_mult_depth,
+)
+
+
+@pytest.fixture(scope="module")
+def paf():
+    return get_paf("f1f1g1g1")
+
+
+class TestPafRelu:
+    def test_matches_relu_away_from_zero(self, paf):
+        x = np.concatenate([np.linspace(-1, -0.2, 50), np.linspace(0.2, 1, 50)])
+        np.testing.assert_allclose(paf_relu(x, paf), np.maximum(x, 0), atol=2e-2)
+
+    def test_exact_identity_with_true_sign(self):
+        """(x + sign(x)*x)/2 == ReLU(x) exactly — validates the formula."""
+
+        class TrueSign:
+            def __call__(self, x):
+                return np.sign(x)
+
+        x = np.linspace(-2, 2, 101)
+        out = 0.5 * (x + TrueSign()(x) * x)
+        np.testing.assert_allclose(out, np.maximum(x, 0), atol=0)
+
+    def test_scale_folding(self, paf):
+        """ReLU(x) = s * ReLU(x/s): a scale covering the range keeps accuracy."""
+        x = np.linspace(-8, 8, 201)
+        out = paf_relu(x, paf, scale=8.0)
+        mask = np.abs(x) > 1.6  # outside the PAF's inaccurate band after scaling
+        np.testing.assert_allclose(out[mask], np.maximum(x, 0)[mask], atol=0.15)
+
+    def test_error_blows_up_without_scale(self, paf):
+        """Feeding |x| >> 1 without scaling must produce garbage — this is
+        the overflow failure mode DS/SS exist to prevent."""
+        x = np.array([5.0])
+        err = abs(float(paf_relu(x, paf)[0]) - 5.0)
+        assert err > 1.0
+
+    def test_relu_depth(self, paf):
+        assert relu_mult_depth(paf) == paf.mult_depth + 1
+
+
+class TestPafMax:
+    def test_matches_max_for_separated_pairs(self, paf):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(-1, 1, 500)
+        y = rng.uniform(-1, 1, 500)
+        sep = np.abs(x - y) / 2.0 > 0.2  # PAF accurate band on the difference
+        out = paf_max(x, y, paf, scale=2.0)
+        np.testing.assert_allclose(out[sep], np.maximum(x, y)[sep], atol=5e-2)
+
+    def test_symmetry(self, paf):
+        x = np.array([0.7, -0.3, 0.1])
+        y = np.array([-0.5, 0.4, 0.9])
+        np.testing.assert_allclose(
+            paf_max(x, y, paf, scale=2.0), paf_max(y, x, paf, scale=2.0), atol=1e-12
+        )
+
+    @given(st.floats(min_value=-0.9, max_value=0.9), st.floats(min_value=-0.9, max_value=0.9))
+    @settings(max_examples=30, deadline=None)
+    def test_bounded_between_min_and_max_when_separated(self, a, b):
+        paf = get_paf("f1f1g1g1")
+        if abs(a - b) < 0.5:
+            return
+        out = float(paf_max(np.array([a]), np.array([b]), paf, scale=2.0)[0])
+        assert min(a, b) - 0.1 <= out <= max(a, b) + 0.1
+
+
+class TestPafMaxPool:
+    def test_matches_maxpool_on_separated_windows(self, paf):
+        rng = np.random.default_rng(2)
+        x = rng.choice([-0.9, -0.3, 0.3, 0.9], size=(2, 3, 8, 8))
+        out = paf_maxpool2d(x, paf, kernel=2, scale=2.0)
+        ref = np.maximum.reduce(
+            [x[:, :, i::2, j::2] for i in range(2) for j in range(2)]
+        )
+        assert out.shape == ref.shape
+        # tournament accumulates error; ties (equal lanes) are fine since
+        # max(a,a) = a exactly under the formula
+        np.testing.assert_allclose(out, ref, atol=0.12)
+
+    def test_stride_and_shapes(self, paf):
+        x = np.zeros((1, 1, 9, 9))
+        out = paf_maxpool2d(x, paf, kernel=3, stride=2, scale=1.0)
+        assert out.shape == (1, 1, 4, 4)
+
+    def test_tie_is_exact(self, paf):
+        """max(a, a) = ((a+a) + 0*s(0))/2 = a exactly, any PAF."""
+        x = np.full((1, 1, 4, 4), 0.37)
+        out = paf_maxpool2d(x, paf, kernel=2, scale=1.0)
+        np.testing.assert_allclose(out, 0.37, atol=1e-12)
+
+    def test_maxpool_depth(self, paf):
+        # 2x2 window -> 3 pairwise maxes, each depth(sign)+1
+        assert maxpool_mult_depth(paf, kernel=2) == 3 * (paf.mult_depth + 1)
+        assert maxpool_mult_depth(paf, kernel=3) == 8 * (paf.mult_depth + 1)
+
+    def test_maxpool_more_sensitive_than_relu(self):
+        """Sec 5.4.3: nested PAF calls accumulate error — the max-pool error
+        exceeds the single-call ReLU error for the same PAF."""
+        paf = get_paf("f1g2")
+        rng = np.random.default_rng(3)
+        x = rng.uniform(-1, 1, size=(4, 4, 8, 8))
+        relu_err = np.mean(np.abs(paf_relu(x, paf, scale=1.0) - np.maximum(x, 0)))
+        pool = paf_maxpool2d(x, paf, kernel=2, scale=2.0)
+        ref = np.maximum.reduce(
+            [x[:, :, i::2, j::2] for i in range(2) for j in range(2)]
+        )
+        pool_err = np.mean(np.abs(pool - ref))
+        assert pool_err > relu_err
