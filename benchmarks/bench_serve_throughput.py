@@ -1,0 +1,84 @@
+"""Batched-serving throughput: SIMD packing + encoding caches vs sequential.
+
+One ciphertext carries ``slots // (2·size)`` requests through a single
+encrypted forward, and the serving artifact's plaintext caches remove all
+steady-state encoding — so requests/sec should scale close to the batch
+size.  The acceptance bar: batched serving at B >= 8 sustains at least
+4x the sequential ``predict`` throughput on the toy MLP, with identical
+logits (atol 1e-3).
+"""
+
+import time
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.ckks import CkksParams
+from repro.core import calibrate_static_scales, convert_to_static, replace_all
+from repro.fhe import compile_mlp
+from repro.nn.models import mlp
+from repro.paf import get_paf
+from repro.serve import InferenceServer, ModelArtifact
+
+
+def _compiled_toy():
+    rng = np.random.default_rng(0)
+    model = mlp(8, hidden=(6,), num_classes=3, seed=0)
+    replace_all(model, get_paf("f1g2"), np.zeros((1, 8)))
+    calibrate_static_scales(model, [rng.normal(size=(64, 8))])
+    convert_to_static(model)
+    enc = compile_mlp(model, CkksParams(n=512, scale_bits=25, depth=9), seed=0)
+    model.eval()
+    return enc
+
+
+def _measure(enc, batch_sizes):
+    rng = np.random.default_rng(1)
+    xs_all = rng.normal(size=(max(batch_sizes), 8))
+
+    # sequential baseline: one request per ciphertext, per-call encoding
+    n_seq = 4
+    t0 = time.perf_counter()
+    seq_logits = [
+        enc.decrypt_logits(enc.forward(enc.encrypt_input(x)), 3)
+        for x in xs_all[:n_seq]
+    ]
+    seq_rps = n_seq / (time.perf_counter() - t0)
+
+    rows = [["sequential predict", 1, f"{seq_rps:.2f}", "1.0x"]]
+    speedups = {}
+    artifact = ModelArtifact(enc).warm()
+    for b in batch_sizes:
+        xs = xs_all[:b]
+        with InferenceServer(
+            artifact, num_classes=3, max_batch_size=b, max_wait_ms=100, warm=False
+        ) as srv:
+            srv.predict_many(xs)                       # steady-state warmup pass
+            srv.metrics.reset()
+            t0 = time.perf_counter()
+            results = srv.predict_many(xs)
+            rps = b / (time.perf_counter() - t0)
+        for res, seq in zip(results, seq_logits):
+            np.testing.assert_allclose(res.logits, seq, atol=1e-3)
+        speedups[b] = rps / seq_rps
+        rows.append([f"batched serve (B={b})", b, f"{rps:.2f}", f"{speedups[b]:.1f}x"])
+    return rows, speedups, artifact
+
+
+def bench_serve_throughput(benchmark, artifact):
+    enc = _compiled_toy()
+    rows, speedups, art = benchmark.pedantic(
+        lambda: _measure(enc, batch_sizes=[8, enc.max_batch]), rounds=1, iterations=1
+    )
+    rows.append(["encoding cache hit-rate", "", f"{art.cache.hit_rate:.2f}", ""])
+    artifact(
+        "serve_throughput.txt",
+        format_table(
+            ["path", "batch", "req/s", "speedup"],
+            rows,
+            title="Batched encrypted-inference serving throughput (toy MLP)",
+        ),
+    )
+    # acceptance: SIMD batching at B >= 8 amortises to >= 4x sequential
+    assert speedups[8] >= 4.0, f"B=8 speedup {speedups[8]:.2f}x < 4x"
+    assert speedups[enc.max_batch] >= speedups[8] * 0.8  # scaling does not collapse

@@ -2,8 +2,8 @@
 
 The offline environment has setuptools but no ``wheel`` package, so PEP 517
 editable installs (which require ``bdist_wheel``) fail.  This shim lets
-``pip install -e . --no-build-isolation --no-use-pep517`` (and plain
-``python setup.py develop``) work; all metadata lives in pyproject.toml.
+``python setup.py develop`` work there; normal environments should use
+``pip install -e .``.  All metadata lives in pyproject.toml.
 """
 
 from setuptools import setup

@@ -58,7 +58,10 @@ class CkksEvaluator:
     def encrypt(self, values, level: int | None = None, scale: float | None = None) -> Ciphertext:
         """Encrypt a slot vector (public-key encryption)."""
         level = self.ctx.max_level if level is None else level
-        pt = self.encoder.encode(values, level, scale)
+        # per-request payloads are one-shot: bypass a caching encoder
+        # (repro.serve.artifact.CachingEncoder) rather than churn its LRU
+        encode = getattr(self.encoder, "encode_fresh", self.encoder.encode)
+        pt = encode(values, level, scale)
         chain = list(range(level + 1))
         n = self.ctx.n
         std = self.ctx.params.error_std
@@ -101,23 +104,49 @@ class CkksEvaluator:
     def negate(self, a: Ciphertext) -> Ciphertext:
         return Ciphertext(-a.c0, -a.c1, a.scale, a.level)
 
+    def _as_plaintext(self, value, level: int, scale: float) -> Plaintext:
+        """Encode ``value``, or validate an already-encoded :class:`Plaintext`.
+
+        Precomputed plaintexts (e.g. cached Halevi-Shoup diagonals from
+        ``repro.serve.artifact``) must live at the ciphertext's chain level;
+        the scale is the caller's business (checked where addition requires
+        agreement).
+        """
+        if isinstance(value, Plaintext):
+            if value.poly.data.shape[0] != level + 1:
+                raise ValueError(
+                    f"plaintext encoded for {value.poly.data.shape[0] - 1} "
+                    f"levels, ciphertext at level {level}"
+                )
+            return value
+        return self.encoder.encode(value, level, scale)
+
     def add_plain(self, a: Ciphertext, value) -> Ciphertext:
-        """Add a scalar or slot vector (encoded at the ciphertext's scale)."""
-        pt = self.encoder.encode(value, a.level, a.scale)
+        """Add a scalar / slot vector / pre-encoded :class:`Plaintext`.
+
+        Raw values are encoded at the ciphertext's scale; a ``Plaintext``
+        must already carry a matching scale.
+        """
+        pt = self._as_plaintext(value, a.level, a.scale)
+        if abs(pt.scale - a.scale) > _SCALE_RTOL * max(pt.scale, a.scale):
+            raise ValueError(
+                f"plaintext scale {pt.scale:.3g} != ciphertext scale {a.scale:.3g}"
+            )
         return Ciphertext(a.c0 + pt.poly, a.c1.copy(), a.scale, a.level)
 
     # ------------------------------------------------------------------
     # multiplicative ops
     # ------------------------------------------------------------------
     def mul_plain(self, a: Ciphertext, value, scale: float | None = None) -> Ciphertext:
-        """Multiply by a plaintext scalar/vector; scale multiplies.
+        """Multiply by a plaintext scalar/vector/pre-encoded ``Plaintext``.
 
         The plaintext is encoded at the ciphertext's own scale by default,
         which keeps the per-level scale unique across evaluation paths
         (the canonical-scale invariant: S_{l-1} = S_l^2 / q_l), so terms
-        that meet at an addition agree exactly.
+        that meet at an addition agree exactly.  A pre-encoded
+        ``Plaintext`` is used as-is (its own scale multiplies in).
         """
-        pt = self.encoder.encode(value, a.level, scale if scale is not None else a.scale)
+        pt = self._as_plaintext(value, a.level, scale if scale is not None else a.scale)
         return Ciphertext(
             a.c0 * pt.poly, a.c1 * pt.poly, a.scale * pt.scale, a.level
         )

@@ -9,6 +9,7 @@ from repro.fhe.latency import (
 )
 from repro.fhe.linear import diagonals_of, encrypted_matvec, required_rotation_steps
 from repro.fhe.network import EncryptedMLP, compile_mlp
+from repro.fhe.packing import BlockLayout, pack_batch, unpack_blocks
 
 __all__ = [
     "LatencyResult",
@@ -21,4 +22,7 @@ __all__ = [
     "required_rotation_steps",
     "EncryptedMLP",
     "compile_mlp",
+    "BlockLayout",
+    "pack_batch",
+    "unpack_blocks",
 ]

@@ -5,6 +5,12 @@
 diagonals — the standard CKKS technique the FHE-inference literature
 builds on.  One plaintext multiply per nonzero diagonal, one rotation per
 diagonal beyond the first; a single rescale at the end.
+
+SIMD batching: a diagonal can be *tiled* across several disjoint slot
+blocks (``num_blocks`` copies at stride ``block_stride``), so one
+ciphertext carrying many independently packed input vectors is multiplied
+by every diagonal exactly once — the rotation steps are unchanged, and
+the per-request cost is divided by the batch size.
 """
 
 from __future__ import annotations
@@ -16,38 +22,81 @@ from repro.ckks.evaluator import Ciphertext, CkksEvaluator
 __all__ = ["encrypted_matvec", "diagonals_of", "required_rotation_steps"]
 
 
-def diagonals_of(w: np.ndarray, slots: int) -> dict:
+def diagonals_of(
+    w: np.ndarray,
+    slots: int,
+    *,
+    num_blocks: int = 1,
+    block_stride: int | None = None,
+) -> dict:
     """Generalised diagonals of ``W`` padded into the slot vector space.
 
     ``diag_d[i] = W[i, (i + d) % in_dim]`` for output row ``i``; entries
-    beyond the matrix shape are zero.
+    beyond the matrix shape are zero.  With ``num_blocks > 1`` each
+    diagonal is replicated at slot offsets ``b * block_stride`` so a
+    single plaintext multiply serves every block of a batched ciphertext.
     """
     out_dim, in_dim = w.shape
     size = max(out_dim, in_dim)
     if size > slots:
         raise ValueError(f"matrix dim {size} exceeds slot count {slots}")
+    if num_blocks < 1:
+        raise ValueError(f"num_blocks must be >= 1, got {num_blocks}")
+    stride = size if block_stride is None else block_stride
+    if num_blocks > 1 and stride < size:
+        raise ValueError(f"block stride {stride} < matrix dim {size}")
+    if (num_blocks - 1) * stride + size > slots:
+        raise ValueError(
+            f"{num_blocks} blocks of stride {stride} exceed slot count {slots}"
+        )
     diags = {}
+    rows = np.arange(out_dim)
     for d in range(size):
-        vec = np.zeros(slots)
-        rows = np.arange(out_dim)
         cols = (rows + d) % size
         valid = cols < in_dim
-        vec[rows[valid]] = w[rows[valid], cols[valid]]
-        if np.any(vec):
-            diags[d] = vec
+        base = np.zeros(size)
+        base[rows[valid]] = w[rows[valid], cols[valid]]
+        if not np.any(base):
+            continue
+        vec = np.zeros(slots)
+        for b in range(num_blocks):
+            vec[b * stride : b * stride + size] = base
+        diags[d] = vec
     return diags
 
 
 def required_rotation_steps(w: np.ndarray, slots: int) -> list:
-    """Rotation steps keygen must provide for :func:`encrypted_matvec`."""
+    """Rotation steps keygen must provide for :func:`encrypted_matvec`.
+
+    Tiling diagonals across blocks reuses the same steps, so the key set
+    is independent of the batch size.
+    """
     return [d for d in diagonals_of(w, slots) if d != 0]
+
+
+def tile_blocks(
+    values: np.ndarray, slots: int, num_blocks: int, block_stride: int
+) -> np.ndarray:
+    """Replicate a per-block vector at every block offset of a slot vector."""
+    values = np.asarray(values, dtype=np.float64).ravel()
+    if (num_blocks - 1) * block_stride + len(values) > slots:
+        raise ValueError(
+            f"{num_blocks} blocks of stride {block_stride} exceed slot count {slots}"
+        )
+    vec = np.zeros(slots)
+    for b in range(num_blocks):
+        vec[b * block_stride : b * block_stride + len(values)] = values
+    return vec
 
 
 def encrypted_matvec(
     ev: CkksEvaluator,
     ct_x: Ciphertext,
-    w: np.ndarray,
+    w: np.ndarray | None = None,
     bias: np.ndarray | None = None,
+    *,
+    diagonals: dict | None = None,
+    bias_slots=None,
 ) -> Ciphertext:
     """``W x + b`` on an encrypted slot-packed vector.
 
@@ -55,19 +104,33 @@ def encrypted_matvec(
     slots beyond ``in_dim`` must hold a copy of the wrapped-around entries
     for the cyclic diagonals to line up.  For the square / zero-padded
     layouts produced by :mod:`repro.fhe.network` this holds by packing
-    ``x`` into the first ``size`` slots with wraparound replication.
+    ``x`` into the first ``size`` slots with wraparound replication (and
+    identically inside each block for batched ciphertexts).
+
+    ``diagonals`` short-circuits the per-call :func:`diagonals_of`
+    recomputation: a mapping ``d -> slot vector`` *or* ``d -> Plaintext``
+    (pre-encoded at the ciphertext's level and scale, e.g. by
+    :class:`repro.serve.artifact.ModelArtifact`) — the steady-state
+    serving path does zero plaintext encoding here.  ``bias_slots`` is the
+    full-slot (optionally block-tiled) bias, again raw or pre-encoded at
+    the *post-rescale* level and scale; when omitted, ``bias`` is padded
+    into the leading slots as before.
     """
-    diags = diagonals_of(w, ct_x.c0.ctx.slots)
+    if diagonals is None:
+        if w is None:
+            raise ValueError("need either a weight matrix or precomputed diagonals")
+        diagonals = diagonals_of(w, ct_x.c0.ctx.slots)
     acc = None
-    for d, vec in diags.items():
+    for d, vec in diagonals.items():
         rotated = ev.rotate(ct_x, d) if d else ct_x
         term = ev.mul_plain(rotated, vec)
         acc = term if acc is None else ev.add(acc, term)
     if acc is None:
         raise ValueError("matrix has no nonzero diagonals")
     acc = ev.rescale(acc)
-    if bias is not None:
-        pad = np.zeros(ct_x.c0.ctx.slots)
-        pad[: len(bias)] = bias
-        acc = ev.add_plain(acc, pad)
+    if bias_slots is None and bias is not None:
+        bias_slots = np.zeros(ct_x.c0.ctx.slots)
+        bias_slots[: len(bias)] = bias
+    if bias_slots is not None:
+        acc = ev.add_plain(acc, bias_slots)
     return acc

@@ -6,13 +6,20 @@ matmul) and PAF activations (depth-optimal composite evaluation) on
 ciphertexts only; the client decrypts logits.
 
 Square layer layout: every Linear weight is zero-padded to ``size×size``
-(``size`` = max layer width) so rotations align, and inputs are packed
-with wraparound replication.
+(``size`` = max layer width) so rotations align.  Slots are divided into
+``max_batch`` disjoint *blocks* of ``2·size`` slots each; block ``b``
+carries one input vector packed with wraparound replication
+(``slots[b·2s : b·2s+size]`` = x, ``slots[b·2s+size : b·2s+2s]`` = x), so
+a single ciphertext serves up to ``slots // (2·size)`` independent
+requests through the same sequence of homomorphic ops — the SIMD batching
+that :mod:`repro.serve` builds on.  Diagonals are tiled across all blocks
+once at compile time; rotation steps (and hence the Galois key set) are
+identical to the single-request layout.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -25,7 +32,8 @@ from repro.ckks import (
     keygen,
 )
 from repro.core.paf_layer import PAFReLU
-from repro.fhe.linear import diagonals_of, encrypted_matvec
+from repro.fhe.linear import diagonals_of, encrypted_matvec, tile_blocks
+from repro.fhe.packing import BlockLayout, pack_batch, unpack_blocks
 from repro.nn.layers import Linear, ReLU
 from repro.nn.module import Module
 from repro.paf.polynomial import CompositePAF
@@ -44,7 +52,7 @@ class _Layer:
 
 
 class EncryptedMLP:
-    """An MLP compiled for encrypted inference."""
+    """An MLP compiled for encrypted inference (single or SIMD-batched)."""
 
     def __init__(self, layers, size: int, params: CkksParams, seed: int = 0):
         self.layers = layers
@@ -57,50 +65,131 @@ class EncryptedMLP:
                 f"context depth {params.depth} < required {depth_needed}"
             )
         self.ctx = CkksContext(params)
-        steps = set()
-        for l in layers:
+        slots = self.ctx.slots
+        #: SIMD block geometry (shared with :mod:`repro.serve.packing`)
+        self.layout = BlockLayout(size=size, slots=slots)
+        #: one request occupies ``2·size`` slots (vector + wraparound replica)
+        self.block_stride = self.layout.stride
+        #: SIMD capacity: how many requests fit one ciphertext
+        self.max_batch = self.layout.max_batch
+        # Diagonals / biases are tiled across *all* blocks once; a partial
+        # batch leaves trailing blocks at zero input, which just compute
+        # f(0) in-range — so every batch size shares these plaintexts (and,
+        # downstream, the serve artifact's encoding cache).
+        self.linear_diagonals: dict[int, dict] = {}
+        self.linear_bias_slots: dict[int, np.ndarray] = {}
+        for i, l in enumerate(layers):
             if l.kind == "linear":
-                steps.update(
-                    d for d in diagonals_of(l.weight, self.ctx.slots) if d != 0
+                self.linear_diagonals[i] = diagonals_of(
+                    l.weight,
+                    slots,
+                    num_blocks=self.max_batch,
+                    block_stride=self.block_stride,
                 )
+                if l.bias is not None:
+                    bias = np.zeros(size)
+                    bias[: len(l.bias)] = l.bias
+                    self.linear_bias_slots[i] = tile_blocks(
+                        bias, slots, self.max_batch, self.block_stride
+                    )
+        steps = {d for diags in self.linear_diagonals.values() for d in diags if d != 0}
         # right-rotation by `size` restores the wraparound replica block
-        # before each linear layer (the matvec zeroes slots >= size)
-        self._replicate_step = self.ctx.slots - self.size
+        # before each linear layer (the matvec zeroes slots >= size within
+        # each block, so the shifted-in neighbour-block slots are zero)
+        self._replicate_step = slots - self.size
         steps.add(self._replicate_step)
         self.keys = keygen(self.ctx, seed=seed, galois_steps=tuple(sorted(steps)))
         self.ev = CkksEvaluator(self.ctx, self.keys)
 
     # ------------------------------------------------------------------
+    # packing
+    # ------------------------------------------------------------------
+    def pack_batch(self, xs) -> np.ndarray:
+        """Pack up to ``max_batch`` input vectors into one slot vector.
+
+        Each vector lands in its own ``2·size`` block with wraparound
+        replication so the cyclic diagonals line up per block.
+        """
+        return pack_batch(xs, self.layout)
+
+    def encrypt_batch(self, xs, ev: CkksEvaluator | None = None) -> Ciphertext:
+        """Pack + encrypt a batch of input vectors into one ciphertext."""
+        return (ev or self.ev).encrypt(self.pack_batch(xs))
+
     def encrypt_input(self, x: np.ndarray) -> Ciphertext:
-        """Pack + encrypt one input vector (wraparound replication)."""
-        x = np.asarray(x, dtype=np.float64).ravel()
-        packed = np.zeros(self.ctx.slots)
-        packed[: len(x)] = x
-        # replicate so cyclic diagonals wrap correctly within the block
-        packed[self.size : self.size + len(x)] = x
-        return self.ev.encrypt(packed)
+        """Pack + encrypt one input vector (block 0 of the batched layout)."""
+        return self.encrypt_batch([x])
 
-    def _replicate(self, ct: Ciphertext) -> Ciphertext:
-        """Restore the replica block: out[i+size] = in[i] (tail is zero)."""
-        return self.ev.add(ct, self.ev.rotate(ct, self._replicate_step))
+    # ------------------------------------------------------------------
+    # encrypted forward
+    # ------------------------------------------------------------------
+    def _replicate(self, ct: Ciphertext, ev: CkksEvaluator) -> Ciphertext:
+        """Restore every block's replica half: out[i+size] = in[i]."""
+        return ev.add(ct, ev.rotate(ct, self._replicate_step))
 
-    def forward(self, ct: Ciphertext, first: bool = True) -> Ciphertext:
+    def forward(
+        self,
+        ct: Ciphertext,
+        *,
+        encoded=None,
+        ev: CkksEvaluator | None = None,
+    ) -> Ciphertext:
+        """Encrypted forward pass over all packed blocks at once.
+
+        ``encoded`` is an optional provider of pre-encoded plaintexts for
+        the linear layers — ``encoded(layer_index, level, scale)`` must
+        return ``(diagonals, bias_slots)`` as :class:`~repro.ckks.Plaintext`
+        values (see :class:`repro.serve.artifact.ModelArtifact`); without
+        it the cached raw diagonal vectors are encoded on the fly.  ``ev``
+        overrides the evaluator (worker pools run one evaluator per
+        thread against the shared keys).
+        """
+        ev = ev or self.ev
         for i, l in enumerate(self.layers):
             if l.kind == "linear":
                 if i > 0:
-                    ct = self._replicate(ct)
-                ct = encrypted_matvec(self.ev, ct, l.weight, l.bias)
+                    ct = self._replicate(ct, ev)
+                if encoded is not None:
+                    diags, bias_slots = encoded(i, ct.level, ct.scale)
+                else:
+                    diags = self.linear_diagonals[i]
+                    bias_slots = self.linear_bias_slots.get(i)
+                ct = encrypted_matvec(ev, ct, diagonals=diags, bias_slots=bias_slots)
             else:
-                ct = eval_paf_relu(self.ev, ct, l.paf, scale=l.scale)
+                ct = eval_paf_relu(ev, ct, l.paf, scale=l.scale)
         return ct
 
-    def decrypt_logits(self, ct: Ciphertext, num_classes: int) -> np.ndarray:
-        return self.ev.decrypt(ct, num_values=num_classes)
+    # ------------------------------------------------------------------
+    # decrypt
+    # ------------------------------------------------------------------
+    def decrypt_logits(
+        self,
+        ct: Ciphertext,
+        num_classes: int,
+        batch: int | None = None,
+        ev: CkksEvaluator | None = None,
+    ) -> np.ndarray:
+        """Decrypt logits; 1-D for a single request, ``(batch, C)`` when
+        ``batch`` is given (demultiplexes the per-client slot blocks)."""
+        ev = ev or self.ev
+        if batch is None:
+            return ev.decrypt(ct, num_values=num_classes)
+        if not 1 <= batch <= self.max_batch:
+            raise ValueError(f"batch {batch} out of range 1..{self.max_batch}")
+        span = self.layout.offset(batch - 1) + num_classes
+        values = ev.decrypt(ct, num_values=span)
+        return unpack_blocks(values, self.layout, num_classes, batch)
 
     def predict(self, x: np.ndarray, num_classes: int) -> int:
         """Full round trip: encrypt -> encrypted forward -> decrypt -> argmax."""
         logits = self.decrypt_logits(self.forward(self.encrypt_input(x)), num_classes)
         return int(np.argmax(logits))
+
+    def predict_batch(self, xs, num_classes: int) -> np.ndarray:
+        """One SIMD round trip for up to ``max_batch`` inputs; argmax per row."""
+        ct = self.forward(self.encrypt_batch(xs))
+        logits = self.decrypt_logits(ct, num_classes, batch=len(xs))
+        return logits.argmax(axis=1)
 
 
 def compile_mlp(model: Module, params: CkksParams, seed: int = 0) -> EncryptedMLP:

@@ -1,0 +1,92 @@
+"""SIMD block layout: pure (no-crypto) geometry of batched ciphertexts.
+
+One CKKS ciphertext has ``slots = N/2`` plaintext slots; a single
+request of a compiled square-width-``size`` model needs only ``2·size``
+of them (vector + the wraparound replica that keeps the Halevi-Shoup
+cyclic diagonals aligned).  Up to ``slots // (2·size)`` independent
+requests therefore share one ciphertext in disjoint *blocks*.  This
+module is the single source of truth for that geometry — used by
+:class:`repro.fhe.network.EncryptedMLP` on ciphertexts and re-exported
+by :mod:`repro.serve.packing` for the serving layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BlockLayout", "pack_batch", "unpack_blocks"]
+
+
+@dataclass(frozen=True)
+class BlockLayout:
+    """Geometry of the SIMD request blocks inside one ciphertext."""
+
+    size: int   #: square layer width of the compiled model
+    slots: int  #: CKKS slot count (ring degree / 2)
+
+    def __post_init__(self):
+        if self.size < 1 or self.slots < 1:
+            raise ValueError(f"invalid layout: size={self.size}, slots={self.slots}")
+        if self.size > self.slots:
+            raise ValueError(f"layer size {self.size} exceeds slot count {self.slots}")
+
+    @property
+    def stride(self) -> int:
+        """Slots consumed per request (vector + replica half)."""
+        return 2 * self.size
+
+    @property
+    def max_batch(self) -> int:
+        """How many requests fit one ciphertext."""
+        return max(1, self.slots // self.stride)
+
+    def offset(self, block: int) -> int:
+        """First slot of block ``block``."""
+        if not 0 <= block < self.max_batch:
+            raise ValueError(f"block {block} out of range 0..{self.max_batch - 1}")
+        return block * self.stride
+
+
+def pack_batch(xs, layout: BlockLayout) -> np.ndarray:
+    """Pack a batch of input vectors into one slot vector.
+
+    Block ``b`` holds vector ``b`` twice: at ``offset(b)`` and again at
+    ``offset(b) + size`` (the wraparound replica the cyclic diagonals
+    need).  Unused trailing blocks stay zero.
+    """
+    xs = [np.asarray(x, dtype=np.float64).ravel() for x in xs]
+    if not xs:
+        raise ValueError("empty batch")
+    if len(xs) > layout.max_batch:
+        raise ValueError(f"batch {len(xs)} exceeds SIMD capacity {layout.max_batch}")
+    packed = np.zeros(layout.slots)
+    for b, x in enumerate(xs):
+        if len(x) > layout.size:
+            raise ValueError(f"input dim {len(x)} exceeds layer size {layout.size}")
+        off = layout.offset(b)
+        packed[off : off + len(x)] = x
+        packed[off + layout.size : off + layout.size + len(x)] = x
+    return packed
+
+
+def unpack_blocks(
+    values: np.ndarray, layout: BlockLayout, width: int, batch: int
+) -> np.ndarray:
+    """Demultiplex per-client results: ``(batch, width)`` from slot values.
+
+    ``values`` may be truncated anywhere past the last needed slot
+    (decryption only decodes the leading span).
+    """
+    if not 1 <= batch <= layout.max_batch:
+        raise ValueError(f"batch {batch} out of range 1..{layout.max_batch}")
+    if width > layout.size:
+        raise ValueError(f"width {width} exceeds layer size {layout.size}")
+    values = np.asarray(values).ravel()
+    need = layout.offset(batch - 1) + width
+    if len(values) < need:
+        raise ValueError(f"need {need} slot values for batch {batch}, got {len(values)}")
+    return np.stack(
+        [values[layout.offset(b) : layout.offset(b) + width] for b in range(batch)]
+    )

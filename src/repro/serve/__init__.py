@@ -1,0 +1,75 @@
+"""``repro.serve`` — batched encrypted-inference serving.
+
+The paper makes private inference *fast* by replacing non-polynomial
+operators with low-degree PAFs; this subsystem makes the resulting
+CKKS pipeline fast *per request* by amortising it:
+
+SIMD request packing (:mod:`repro.serve.packing`)
+    A compiled model of square width ``size`` needs only ``2·size`` of
+    the ciphertext's ``N/2`` slots, so up to ``slots // (2·size)``
+    independent client inputs are packed into disjoint slot blocks of a
+    *single* ciphertext (each block wraparound-replicated so the
+    Halevi-Shoup cyclic diagonals align per block).  One encrypted
+    forward — the same rotations, plaintext multiplies, rescales and PAF
+    evaluations as a single request — then serves the whole batch, and
+    per-client logits are demultiplexed on decrypt.
+
+Encoding caches (:mod:`repro.serve.artifact`)
+    The weights never change and a fixed network meets each linear layer
+    at one deterministic ``(level, scale)``, so the artifact pre-encodes
+    every tiled diagonal and bias as a CKKS ``Plaintext`` and memoises
+    PAF constants behind the evaluator's encoder: steady-state requests
+    perform zero plaintext encoding.
+
+Admission + workers (:mod:`repro.serve.queue`)
+    Requests accumulate until the batch is full (``max_batch_size``) or
+    the oldest has waited ``max_wait_ms`` (flush-on-timeout); worker
+    threads drain batches, each with its own evaluator over shared keys.
+
+Facade + metrics (:mod:`repro.serve.server`, :mod:`repro.serve.metrics`)
+    :class:`InferenceServer` is the entry point: ``submit(x)`` returns a
+    future resolving to logits/prediction/latency; throughput, latency
+    percentiles and HE-op counts are aggregated per batch.
+
+Quickstart::
+
+    from repro.serve import InferenceServer, ModelArtifact
+
+    artifact = ModelArtifact.compile(paf_model, params)   # or wrap compile_mlp(...)
+    with InferenceServer(artifact, num_classes=10, max_wait_ms=5) as srv:
+        results = srv.predict_many(client_inputs)
+    print(srv.metrics.format())
+
+See ``benchmarks/bench_serve_throughput.py`` for the amortised-speedup
+measurement (batched vs sequential requests/sec).
+"""
+
+from repro.serve.artifact import CachingEncoder, ModelArtifact, PlaintextCache
+from repro.serve.metrics import ServingMetrics, percentile
+from repro.serve.packing import (
+    BlockLayout,
+    layout_for,
+    pack_batch,
+    split_batches,
+    unpack_blocks,
+)
+from repro.serve.queue import BatchQueue, Request, WorkerPool
+from repro.serve.server import InferenceResult, InferenceServer
+
+__all__ = [
+    "BlockLayout",
+    "layout_for",
+    "pack_batch",
+    "unpack_blocks",
+    "split_batches",
+    "PlaintextCache",
+    "CachingEncoder",
+    "ModelArtifact",
+    "BatchQueue",
+    "Request",
+    "WorkerPool",
+    "ServingMetrics",
+    "percentile",
+    "InferenceResult",
+    "InferenceServer",
+]

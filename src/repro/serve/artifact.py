@@ -1,0 +1,198 @@
+"""Compiled serving artifact: pre-encoded plaintexts for steady-state inference.
+
+Encoding a plaintext (canonical embedding + RNS lift) costs as much as a
+handful of homomorphic ops, and the vanilla forward pass pays it for
+every Halevi-Shoup diagonal of every linear layer on *every request* —
+pure waste, since the model weights never change and a fixed network
+visits each linear layer at one deterministic ``(level, scale)`` pair.
+
+:class:`ModelArtifact` wraps a compiled :class:`~repro.fhe.network.EncryptedMLP`
+with two caches keyed on ``(value digest, level, scale)``:
+
+* the explicit diagonal/bias path — :meth:`ModelArtifact.encoded_linear`
+  hands :func:`repro.fhe.linear.encrypted_matvec` ready-made
+  :class:`~repro.ckks.Plaintext` objects for each layer's tiled diagonals
+  and bias (the bias is encoded at the *post-rescale* level and scale, so
+  it lands exactly where the matvec adds it);
+* an optional :class:`CachingEncoder` installed on the model's evaluator,
+  which additionally memoises the PAF activation constants and
+  scale-alignment corrections that ``poly_eval`` encodes.
+
+After one warm-up pass, steady-state requests do **zero** plaintext
+encoding — every encode is a dictionary hit.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from threading import Lock
+
+import numpy as np
+
+from repro.ckks.encoder import Plaintext
+from repro.fhe.network import EncryptedMLP, compile_mlp
+
+__all__ = ["PlaintextCache", "CachingEncoder", "ModelArtifact"]
+
+
+class PlaintextCache:
+    """LRU memo of ``encode(values, level, scale) -> Plaintext``.
+
+    Keys digest the value bytes plus the exact ``(level, scale)`` pair, so
+    a cached plaintext is bit-identical to a fresh encode.  Bounded:
+    one-shot values (e.g. per-request client inputs routed through a
+    :class:`CachingEncoder`) churn through while the per-layer constants
+    stay hot.  Thread-safe; a race encodes twice, never corrupts.
+    """
+
+    def __init__(self, encoder, max_entries: int = 4096):
+        self._encoder = encoder
+        self.max_entries = max_entries
+        self._entries: OrderedDict = OrderedDict()
+        self._lock = Lock()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def _key(values, level: int, scale: float):
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.ndim == 0:
+            return ("scalar", float(arr), level, float(scale))
+        return (arr.tobytes(), level, float(scale))
+
+    def encode(self, values, level: int, scale: float | None = None) -> Plaintext:
+        scale = float(scale if scale is not None else self._encoder.ctx.scale)
+        key = self._key(values, level, scale)
+        with self._lock:
+            pt = self._entries.get(key)
+            if pt is not None:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return pt
+            self.misses += 1
+        pt = self._encoder.encode(values, level, scale)
+        with self._lock:
+            self._entries[key] = pt
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+        return pt
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class CachingEncoder:
+    """Drop-in :class:`~repro.ckks.encoder.CkksEncoder` proxy that routes
+    ``encode`` through a :class:`PlaintextCache` and delegates the rest."""
+
+    def __init__(self, inner, cache: PlaintextCache):
+        self._inner = inner
+        self.cache = cache
+
+    def encode(self, values, level: int, scale: float | None = None) -> Plaintext:
+        return self.cache.encode(values, level, scale)
+
+    def encode_fresh(self, values, level: int, scale: float | None = None) -> Plaintext:
+        """Uncached encode — ``CkksEvaluator.encrypt`` routes per-request
+        payloads here so one-shot inputs never churn the LRU."""
+        return self._inner.encode(values, level, scale)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+class ModelArtifact:
+    """A compiled model plus everything steady-state serving reuses.
+
+    Parameters
+    ----------
+    model:
+        A compiled :class:`~repro.fhe.network.EncryptedMLP`.
+    max_entries:
+        Bound on the shared plaintext cache.
+    cache_activations:
+        Install a :class:`CachingEncoder` on the model's evaluator so PAF
+        constants and alignment corrections are memoised too (the
+        explicit diagonal path works either way).
+    """
+
+    def __init__(
+        self,
+        model: EncryptedMLP,
+        max_entries: int = 4096,
+        cache_activations: bool = True,
+    ):
+        self.model = model
+        base_encoder = model.ev.encoder
+        if isinstance(base_encoder, CachingEncoder):  # already wrapped
+            base_encoder = base_encoder._inner
+        self.cache = PlaintextCache(base_encoder, max_entries=max_entries)
+        #: (layer_index, level, scale) -> (diagonal Plaintexts, bias Plaintext)
+        self._linear_memo: dict = {}
+        if cache_activations:
+            model.ev.encoder = CachingEncoder(base_encoder, self.cache)
+
+    @classmethod
+    def compile(cls, nn_model, params, seed: int = 0, **kwargs) -> "ModelArtifact":
+        """``compile_mlp`` + wrap, in one step."""
+        return cls(compile_mlp(nn_model, params, seed=seed), **kwargs)
+
+    # ------------------------------------------------------------------
+    def encoded_linear(self, layer_index: int, level: int, scale: float):
+        """Pre-encoded ``(diagonals, bias)`` for one linear layer.
+
+        Diagonals are encoded at the incoming ciphertext's ``(level,
+        scale)`` (the default ``mul_plain`` choice, preserving the
+        canonical-scale invariant); the bias at ``(level-1, scale²/q_level)``
+        — exactly where the ciphertext sits after the matvec's rescale.
+
+        A fixed network meets each layer at one deterministic ``(level,
+        scale)``, so the assembled tuple is memoised per layer — the
+        steady-state path does no per-diagonal digesting either, just one
+        dict hit per linear layer.
+        """
+        key = (layer_index, level, float(scale))
+        memo = self._linear_memo.get(key)
+        if memo is not None:
+            return memo
+        diags = {
+            d: self.cache.encode(vec, level, scale)
+            for d, vec in self.model.linear_diagonals[layer_index].items()
+        }
+        bias_pt = None
+        bias_vec = self.model.linear_bias_slots.get(layer_index)
+        if bias_vec is not None:
+            q_top = self.model.ctx.q_chain[level]
+            bias_pt = self.cache.encode(bias_vec, level - 1, scale * scale / q_top)
+        self._linear_memo[key] = (diags, bias_pt)
+        return diags, bias_pt
+
+    def forward(self, ct, ev=None):
+        """Encrypted forward using the pre-encoded linear layers."""
+        return self.model.forward(ct, encoded=self.encoded_linear, ev=ev)
+
+    def warm(self, batch: int | None = None) -> "ModelArtifact":
+        """Run one zero-input forward to populate every cache entry.
+
+        After this, serving any batch size hits only cached plaintexts
+        (all batch sizes share the max-batch-tiled diagonals).
+        """
+        xs = [np.zeros(self.model.size)] * (batch or 1)
+        self.forward(self.model.encrypt_batch(xs))
+        return self
+
+    def stats(self) -> dict:
+        return self.cache.stats()

@@ -1,0 +1,108 @@
+"""Serving metrics: throughput, latency percentiles, HE-op accounting.
+
+Collected per batch by :class:`repro.serve.server.InferenceServer`;
+``snapshot()`` renders the aggregate view the throughput benchmark and
+the ops dashboards read.  HE-op counts come from the existing
+:class:`repro.ckks.instrumentation.CountingEvaluator` proxies when the
+server runs instrumented.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from threading import Lock
+
+import numpy as np
+
+__all__ = ["ServingMetrics", "percentile"]
+
+
+def percentile(values, q: float) -> float:
+    """Percentile of a latency sample (0.0 on an empty sample)."""
+    if not len(values):
+        return 0.0
+    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+
+class ServingMetrics:
+    """Thread-safe accumulator of per-batch serving observations."""
+
+    def __init__(self):
+        self._lock = Lock()
+        self.reset()
+
+    def reset(self) -> None:
+        with self._lock:
+            self.requests_total = 0
+            self.batches_total = 0
+            self.batch_sizes: list[int] = []
+            self.latencies_ms: list[float] = []
+            self.batch_seconds: list[float] = []
+            self.op_counts: Counter = Counter()
+            self._started_at: float | None = None
+            self._last_at: float | None = None
+
+    # ------------------------------------------------------------------
+    def record_batch(
+        self,
+        batch_size: int,
+        batch_seconds: float,
+        latencies_ms,
+        op_counts: Counter | None = None,
+    ) -> None:
+        now = time.perf_counter()
+        with self._lock:
+            if self._started_at is None:
+                self._started_at = now - batch_seconds
+            self._last_at = now
+            self.requests_total += batch_size
+            self.batches_total += 1
+            self.batch_sizes.append(batch_size)
+            self.batch_seconds.append(batch_seconds)
+            self.latencies_ms.extend(latencies_ms)
+            if op_counts:
+                self.op_counts.update(op_counts)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Aggregate view: throughput, batch sizes, latency percentiles, ops."""
+        with self._lock:
+            elapsed = (
+                (self._last_at - self._started_at)
+                if self._started_at is not None and self._last_at is not None
+                else 0.0
+            )
+            lat = self.latencies_ms
+            return {
+                "requests_total": self.requests_total,
+                "batches_total": self.batches_total,
+                "mean_batch_size": (
+                    float(np.mean(self.batch_sizes)) if self.batch_sizes else 0.0
+                ),
+                "elapsed_seconds": elapsed,
+                "throughput_rps": self.requests_total / elapsed if elapsed > 0 else 0.0,
+                "latency_ms": {
+                    "mean": float(np.mean(lat)) if lat else 0.0,
+                    "p50": percentile(lat, 50),
+                    "p95": percentile(lat, 95),
+                    "max": float(np.max(lat)) if lat else 0.0,
+                },
+                "he_ops": dict(self.op_counts),
+            }
+
+    def format(self) -> str:
+        """One-paragraph human-readable summary."""
+        s = self.snapshot()
+        lat = s["latency_ms"]
+        lines = [
+            f"requests={s['requests_total']}  batches={s['batches_total']}  "
+            f"mean_batch={s['mean_batch_size']:.2f}",
+            f"throughput={s['throughput_rps']:.2f} req/s over {s['elapsed_seconds']:.2f}s",
+            f"latency_ms mean={lat['mean']:.1f}  p50={lat['p50']:.1f}  "
+            f"p95={lat['p95']:.1f}  max={lat['max']:.1f}",
+        ]
+        if s["he_ops"]:
+            ops = "  ".join(f"{k}={v}" for k, v in sorted(s["he_ops"].items()))
+            lines.append(f"he_ops: {ops}")
+        return "\n".join(lines)

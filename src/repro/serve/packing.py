@@ -1,0 +1,27 @@
+"""SIMD block layout for batched encrypted inference (serving view).
+
+The geometry itself lives in :mod:`repro.fhe.packing` (single source of
+truth, shared with :class:`repro.fhe.network.EncryptedMLP`); this module
+re-exports it and adds the request-stream helpers the serving layer
+needs: deriving a layout from a compiled model and chunking an incoming
+request list into admissible batches.
+"""
+
+from __future__ import annotations
+
+from repro.fhe.packing import BlockLayout, pack_batch, unpack_blocks
+
+__all__ = ["BlockLayout", "layout_for", "pack_batch", "unpack_blocks", "split_batches"]
+
+
+def layout_for(model) -> BlockLayout:
+    """The :class:`BlockLayout` of a compiled :class:`~repro.fhe.network.EncryptedMLP`."""
+    return model.layout
+
+
+def split_batches(items, max_batch: int):
+    """Chunk a request list into admissible batches (all full but the last)."""
+    if max_batch < 1:
+        raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+    items = list(items)
+    return [items[i : i + max_batch] for i in range(0, len(items), max_batch)]

@@ -1,0 +1,162 @@
+"""Request admission for the batched encrypted-inference server.
+
+A :class:`BatchQueue` turns an asynchronous stream of single requests
+into SIMD batches under two admission knobs: ``max_batch_size`` (never
+exceed the ciphertext's block capacity) and ``max_wait_ms`` (never hold
+the *first* request of a forming batch longer than this — a lone request
+is flushed and served solo when the deadline passes).  A
+:class:`WorkerPool` drains the queue with one or more threads, each
+invoking the server's batch handler.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Request", "BatchQueue", "WorkerPool"]
+
+
+@dataclass
+class Request:
+    """One enqueued inference request."""
+
+    x: np.ndarray
+    future: Future = field(default_factory=Future)
+    enqueued_at: float = field(default_factory=time.perf_counter)
+
+
+class QueueClosed(RuntimeError):
+    """Raised by :meth:`BatchQueue.put` after :meth:`BatchQueue.close`."""
+
+
+class BatchQueue:
+    """Thread-safe queue that groups requests into admissible batches."""
+
+    def __init__(self, max_batch_size: int, max_wait_ms: float = 8.0):
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        self.max_batch_size = max_batch_size
+        self.max_wait_ms = max_wait_ms
+        self._items: list[Request] = []
+        self._cv = threading.Condition()
+        self._closed = False
+
+    def put(self, request: Request) -> None:
+        with self._cv:
+            if self._closed:
+                raise QueueClosed("queue is closed")
+            self._items.append(request)
+            self._cv.notify_all()
+
+    def next_batch(self, poll_timeout: float = 0.1) -> list[Request]:
+        """Block for the next batch; ``[]`` when nothing arrived in time.
+
+        Returns as soon as the batch is full, or once ``max_wait_ms`` has
+        elapsed since the oldest pending request was enqueued — whichever
+        comes first (flush-on-timeout).
+        """
+        with self._cv:
+            if not self._items and not self._closed:
+                self._cv.wait(poll_timeout)
+            if not self._items:
+                return []
+            deadline = self._items[0].enqueued_at + self.max_wait_ms / 1000.0
+            while len(self._items) < self.max_batch_size and not self._closed:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    break
+                self._cv.wait(remaining)
+            batch = self._items[: self.max_batch_size]
+            del self._items[: len(batch)]
+            return batch
+
+    def close(self) -> None:
+        """Refuse new requests; pending ones can still be drained."""
+        with self._cv:
+            self._closed = True
+            self._cv.notify_all()
+
+    def drain_pending(self) -> list[Request]:
+        """Remove and return everything still queued (shutdown cleanup)."""
+        with self._cv:
+            pending, self._items = self._items, []
+            return pending
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __len__(self) -> int:
+        with self._cv:
+            return len(self._items)
+
+
+class WorkerPool:
+    """Threads draining a :class:`BatchQueue` into a batch handler.
+
+    ``handler(batch, worker_index)`` is called with a non-empty request
+    list; the index lets the server give each thread its own evaluator.
+    Handler exceptions are routed to the batch's futures by the server —
+    the pool itself only guards against a handler that leaks one, so a
+    poisoned batch never kills the thread.
+    """
+
+    def __init__(self, queue: BatchQueue, handler, num_workers: int = 1, name: str = "serve"):
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        self.queue = queue
+        self.handler = handler
+        self._threads = [
+            threading.Thread(target=self._run, args=(i,), name=f"{name}-worker-{i}", daemon=True)
+            for i in range(num_workers)
+        ]
+        self._stop = threading.Event()
+
+    def start(self) -> None:
+        for t in self._threads:
+            t.start()
+
+    def _run(self, index: int) -> None:
+        while not self._stop.is_set():
+            batch = self.queue.next_batch()
+            if not batch:
+                if self.queue.closed:
+                    return
+                continue
+            try:
+                self.handler(batch, index)
+            except Exception as exc:  # route a leaked error to the callers
+                for req in batch:
+                    if not req.future.done():
+                        req.future.set_exception(exc)
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Close the queue, drain pending requests, join the threads.
+
+        Requests still queued when the drain window runs out are failed
+        with :class:`QueueClosed` — a client blocked on ``future.result()``
+        must never hang on a request no worker will ever pick up.
+        """
+        self.queue.close()
+        self._stop_after_drain(timeout)
+        for req in self.queue.drain_pending():
+            if not req.future.done():
+                req.future.set_exception(
+                    QueueClosed("server stopped before the request was served")
+                )
+
+    def _stop_after_drain(self, timeout: float) -> None:
+        deadline = time.perf_counter() + timeout
+        while len(self.queue) and time.perf_counter() < deadline:
+            time.sleep(0.005)
+        self._stop.set()
+        for t in self._threads:
+            if t.is_alive():
+                t.join(max(0.0, deadline - time.perf_counter()) + 1.0)

@@ -1,0 +1,208 @@
+"""The batched encrypted-inference server facade.
+
+``submit(x)`` returns a future; behind it, requests are grouped into
+SIMD batches (:mod:`repro.serve.queue`), packed into disjoint slot
+blocks of a single ciphertext (:mod:`repro.serve.packing` /
+:meth:`EncryptedMLP.encrypt_batch`), pushed through one encrypted
+forward using the artifact's pre-encoded plaintexts
+(:mod:`repro.serve.artifact`), and demultiplexed back into per-client
+logits on decrypt.  Per-batch observations land in
+:class:`repro.serve.metrics.ServingMetrics`.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ckks.evaluator import CkksEvaluator
+from repro.ckks.instrumentation import CountingEvaluator
+from repro.fhe.network import EncryptedMLP
+from repro.serve.artifact import ModelArtifact
+from repro.serve.metrics import ServingMetrics
+from repro.serve.queue import BatchQueue, Request, WorkerPool
+
+__all__ = ["InferenceResult", "InferenceServer"]
+
+
+@dataclass(frozen=True)
+class InferenceResult:
+    """What a client gets back for one request."""
+
+    logits: np.ndarray
+    prediction: int
+    latency_ms: float   #: enqueue -> logits, including batching wait
+    batch_size: int     #: how many requests shared the ciphertext
+
+
+class InferenceServer:
+    """Batched encrypted-inference server over a compiled model artifact.
+
+    Parameters
+    ----------
+    model:
+        A :class:`ModelArtifact` or a bare :class:`EncryptedMLP` (wrapped
+        into an artifact automatically).
+    num_classes:
+        Logit count demultiplexed per client.
+    max_batch_size:
+        Admission cap; clamped to the ciphertext's SIMD capacity
+        (``slots // (2·size)``).
+    max_wait_ms:
+        Flush deadline for a partially filled batch.
+    num_workers:
+        Worker threads; each gets its own evaluator against the shared
+        keys (encoding caches are shared).
+    instrument:
+        Count homomorphic ops per batch into the metrics.
+
+    Usage::
+
+        with InferenceServer(artifact, num_classes=10) as srv:
+            futures = [srv.submit(x) for x in requests]
+            results = [f.result() for f in futures]
+    """
+
+    def __init__(
+        self,
+        model: ModelArtifact | EncryptedMLP,
+        num_classes: int,
+        *,
+        max_batch_size: int | None = None,
+        max_wait_ms: float = 8.0,
+        num_workers: int = 1,
+        instrument: bool = False,
+        warm: bool = True,
+    ):
+        self.artifact = model if isinstance(model, ModelArtifact) else ModelArtifact(model)
+        self.model = self.artifact.model
+        self.num_classes = num_classes
+        capacity = self.model.max_batch
+        self.max_batch_size = (
+            capacity if max_batch_size is None else max(1, min(max_batch_size, capacity))
+        )
+        self.metrics = ServingMetrics()
+        self._instrument = instrument
+        self._evaluators: list = [self._make_evaluator(i) for i in range(num_workers)]
+        self._queue = BatchQueue(self.max_batch_size, max_wait_ms=max_wait_ms)
+        self._pool = WorkerPool(self._queue, self._handle_batch, num_workers=num_workers)
+        self._started = False
+        self._stopped = False
+        if warm:
+            self.artifact.warm()
+
+    def _make_evaluator(self, index: int):
+        ev = (
+            self.model.ev
+            if index == 0
+            else CkksEvaluator(self.model.ctx, self.model.keys, seed=1000 + index)
+        )
+        if index > 0:
+            ev.encoder = self.model.ev.encoder  # share the (caching) encoder
+        return CountingEvaluator(ev) if self._instrument else ev
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "InferenceServer":
+        if self._stopped:
+            raise RuntimeError(
+                "server already stopped; construct a new InferenceServer"
+            )
+        if not self._started:
+            self._pool.start()
+            self._started = True
+        return self
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Terminal: drains in-flight work, fails leftovers, frees workers."""
+        if self._started:
+            self._pool.stop(timeout=timeout)
+            self._started = False
+            self._stopped = True
+
+    def __enter__(self) -> "InferenceServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # client API
+    # ------------------------------------------------------------------
+    def submit(self, x: np.ndarray) -> Future:
+        """Enqueue one input; resolves to an :class:`InferenceResult`.
+
+        Inputs are validated here, *before* admission: a bad request
+        (wrong width, NaN/inf) must fail alone at the door rather than
+        poison every neighbour sharing its ciphertext batch.
+        """
+        if not self._started:
+            raise RuntimeError("server not started (use start() or a with-block)")
+        x = np.asarray(x, dtype=np.float64).ravel()
+        if x.size > self.model.size:
+            raise ValueError(
+                f"input dim {x.size} exceeds layer size {self.model.size}"
+            )
+        if not np.all(np.isfinite(x)):
+            raise ValueError("input contains non-finite values")
+        req = Request(x=x)
+        self._queue.put(req)
+        return req.future
+
+    def predict(self, x: np.ndarray, timeout: float | None = None) -> InferenceResult:
+        """Synchronous submit + wait."""
+        return self.submit(x).result(timeout=timeout)
+
+    def predict_many(self, xs, timeout: float | None = None) -> list[InferenceResult]:
+        """Submit a burst and gather (lets the batcher pack them together)."""
+        futures = [self.submit(x) for x in xs]
+        return [f.result(timeout=timeout) for f in futures]
+
+    # ------------------------------------------------------------------
+    # batch execution (worker threads)
+    # ------------------------------------------------------------------
+    def _handle_batch(self, batch: list[Request], worker_index: int) -> None:
+        # claim each future; one a client cancelled while queued drops out
+        # here, so set_result below can never hit an InvalidStateError and
+        # spill it onto the neighbours' futures
+        batch = [req for req in batch if req.future.set_running_or_notify_cancel()]
+        if not batch:
+            return
+        ev = self._evaluators[worker_index]
+        if self._instrument:
+            ev.reset()
+        t0 = time.perf_counter()
+        try:
+            xs = [req.x for req in batch]
+            ct = self.model.encrypt_batch(xs, ev=ev)
+            ct = self.model.forward(ct, encoded=self.artifact.encoded_linear, ev=ev)
+            logits = self.model.decrypt_logits(
+                ct, self.num_classes, batch=len(batch), ev=ev
+            )
+        except Exception as exc:
+            for req in batch:
+                req.future.set_exception(exc)
+            return
+        done = time.perf_counter()
+        latencies = []
+        for req, row in zip(batch, logits):
+            latency_ms = (done - req.enqueued_at) * 1000.0
+            latencies.append(latency_ms)
+            req.future.set_result(
+                InferenceResult(
+                    logits=row,
+                    prediction=int(np.argmax(row)),
+                    latency_ms=latency_ms,
+                    batch_size=len(batch),
+                )
+            )
+        self.metrics.record_batch(
+            len(batch),
+            done - t0,
+            latencies,
+            op_counts=ev.counts if self._instrument else None,
+        )

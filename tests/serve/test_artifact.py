@@ -1,0 +1,100 @@
+"""Encoding caches: correctness of cached plaintexts and steady-state hits."""
+
+import numpy as np
+import pytest
+
+from repro.ckks import CkksContext, CkksParams
+from repro.ckks.encoder import CkksEncoder, Plaintext
+from repro.serve.artifact import CachingEncoder, ModelArtifact, PlaintextCache
+
+
+@pytest.fixture(scope="module")
+def encoder():
+    return CkksEncoder(CkksContext(CkksParams(n=512, scale_bits=25, depth=3)))
+
+
+class TestPlaintextCache:
+    def test_hit_returns_identical_plaintext(self, encoder):
+        cache = PlaintextCache(encoder)
+        v = np.arange(8.0)
+        a = cache.encode(v, level=2, scale=2.0**25)
+        b = cache.encode(v, level=2, scale=2.0**25)
+        assert a is b
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_cached_equals_fresh_encode(self, encoder):
+        cache = PlaintextCache(encoder)
+        v = np.linspace(-1, 1, 16)
+        pt = cache.encode(v, level=1, scale=2.0**25)
+        fresh = encoder.encode(v, 1, 2.0**25)
+        np.testing.assert_array_equal(pt.poly.data, fresh.poly.data)
+
+    def test_key_distinguishes_level_and_scale(self, encoder):
+        cache = PlaintextCache(encoder)
+        v = np.ones(4)
+        cache.encode(v, level=1, scale=2.0**25)
+        cache.encode(v, level=2, scale=2.0**25)
+        cache.encode(v, level=2, scale=2.0**24)
+        assert cache.misses == 3 and cache.hits == 0
+
+    def test_scalar_values(self, encoder):
+        cache = PlaintextCache(encoder)
+        cache.encode(0.5, level=1)
+        cache.encode(0.5, level=1)
+        assert cache.hits == 1
+
+    def test_lru_eviction_bounds_entries(self, encoder):
+        cache = PlaintextCache(encoder, max_entries=4)
+        for i in range(10):
+            cache.encode(float(i), level=0, scale=2.0**20)
+        assert len(cache) == 4
+        # most recent entries survive
+        cache.encode(9.0, level=0, scale=2.0**20)
+        assert cache.hits == 1
+
+
+class TestCachingEncoder:
+    def test_delegates_and_caches(self, encoder):
+        cache = PlaintextCache(encoder)
+        wrapped = CachingEncoder(encoder, cache)
+        assert wrapped.ctx is encoder.ctx           # delegation
+        pt = wrapped.encode(np.ones(4), 1, 2.0**25)
+        assert isinstance(pt, Plaintext)
+        wrapped.encode(np.ones(4), 1, 2.0**25)
+        assert cache.hits == 1
+
+
+class TestModelArtifact:
+    def test_encoded_linear_matches_raw_path(self, toy):
+        _, enc = toy
+        art = ModelArtifact(enc, cache_activations=False)
+        rng = np.random.default_rng(7)
+        xs = rng.normal(size=(3, 8))
+        ct_raw = enc.forward(enc.encrypt_batch(xs))
+        ct_pre = art.forward(enc.encrypt_batch(xs))
+        raw = enc.decrypt_logits(ct_raw, 3, batch=3)
+        pre = enc.decrypt_logits(ct_pre, 3, batch=3)
+        np.testing.assert_allclose(pre, raw, atol=1e-3)
+
+    def test_steady_state_does_zero_encoding(self, toy):
+        _, enc = toy
+        art = ModelArtifact(enc, cache_activations=False).warm()
+        misses_after_warm = art.cache.misses
+        for _ in range(2):
+            art.forward(enc.encrypt_batch([np.ones(8)]))
+        assert art.cache.misses == misses_after_warm  # no fresh encodes at all
+        # steady state short-circuits on the per-layer memo, one hit per layer
+        assert len(art._linear_memo) == len(enc.linear_diagonals)
+
+    def test_warm_populates_all_linear_layers(self, toy):
+        _, enc = toy
+        art = ModelArtifact(enc, cache_activations=False).warm()
+        n_diags = sum(len(d) for d in enc.linear_diagonals.values())
+        n_bias = len(enc.linear_bias_slots)
+        assert len(art.cache) == n_diags + n_bias
+
+    def test_stats_shape(self, toy):
+        _, enc = toy
+        art = ModelArtifact(enc, cache_activations=False)
+        stats = art.stats()
+        assert set(stats) == {"entries", "hits", "misses", "hit_rate"}

@@ -1,0 +1,114 @@
+"""Admission queue: batching, flush-on-timeout, worker pool plumbing."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve.queue import BatchQueue, QueueClosed, Request, WorkerPool
+
+
+def _req(v=0.0):
+    return Request(x=np.array([v]))
+
+
+class TestBatchQueue:
+    def test_full_batch_returns_without_waiting(self):
+        q = BatchQueue(max_batch_size=3, max_wait_ms=10_000)
+        for i in range(3):
+            q.put(_req(i))
+        t0 = time.perf_counter()
+        batch = q.next_batch()
+        assert [r.x[0] for r in batch] == [0.0, 1.0, 2.0]
+        assert time.perf_counter() - t0 < 1.0  # did not sit out the 10s window
+        assert len(q) == 0
+
+    def test_flush_on_timeout_serves_partial_batch(self):
+        q = BatchQueue(max_batch_size=8, max_wait_ms=40)
+        q.put(_req(1.0))
+        t0 = time.perf_counter()
+        batch = q.next_batch()
+        elapsed = time.perf_counter() - t0
+        assert len(batch) == 1
+        assert elapsed < 5.0  # flushed at ~max_wait, not held for a full batch
+
+    def test_empty_poll_returns_empty(self):
+        q = BatchQueue(max_batch_size=2, max_wait_ms=5)
+        assert q.next_batch(poll_timeout=0.01) == []
+
+    def test_overflow_spills_into_next_batch(self):
+        q = BatchQueue(max_batch_size=2, max_wait_ms=5)
+        for i in range(5):
+            q.put(_req(i))
+        sizes = [len(q.next_batch()) for _ in range(3)]
+        assert sizes == [2, 2, 1]
+
+    def test_put_after_close_raises(self):
+        q = BatchQueue(max_batch_size=2, max_wait_ms=5)
+        q.put(_req())
+        q.close()
+        with pytest.raises(QueueClosed):
+            q.put(_req())
+        # pending requests still drain after close
+        assert len(q.next_batch()) == 1
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            BatchQueue(max_batch_size=0)
+        with pytest.raises(ValueError):
+            BatchQueue(max_batch_size=1, max_wait_ms=-1)
+
+
+class TestWorkerPool:
+    def test_drains_and_stops(self):
+        q = BatchQueue(max_batch_size=4, max_wait_ms=5)
+        seen = []
+        done = threading.Event()
+
+        def handler(batch, worker_index):
+            seen.extend(r.x[0] for r in batch)
+            if len(seen) >= 6:
+                done.set()
+
+        pool = WorkerPool(q, handler, num_workers=2)
+        pool.start()
+        for i in range(6):
+            q.put(_req(i))
+        assert done.wait(timeout=5.0)
+        pool.stop(timeout=5.0)
+        assert sorted(seen) == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_stop_fails_unserved_requests_instead_of_hanging(self):
+        q = BatchQueue(max_batch_size=1, max_wait_ms=1)
+
+        def handler(batch, worker_index):
+            for r in batch:
+                r.future.set_result(r.x[0])
+            time.sleep(0.3)
+
+        pool = WorkerPool(q, handler, num_workers=1)
+        pool.start()
+        reqs = [_req(i) for i in range(6)]
+        for r in reqs:
+            q.put(r)
+        pool.stop(timeout=0.05)
+        # every future resolved one way or the other — nobody hangs forever
+        assert all(r.future.done() for r in reqs)
+        failed = [r for r in reqs if r.future.exception() is not None]
+        assert failed, "drain timeout should have left failed requests"
+        assert all(isinstance(r.future.exception(), QueueClosed) for r in failed)
+
+    def test_handler_exception_reaches_future(self):
+        q = BatchQueue(max_batch_size=1, max_wait_ms=1)
+
+        def handler(batch, worker_index):
+            raise RuntimeError("boom")
+
+        pool = WorkerPool(q, handler, num_workers=1)
+        pool.start()
+        req = _req()
+        q.put(req)
+        with pytest.raises(RuntimeError, match="boom"):
+            req.future.result(timeout=5.0)
+        pool.stop(timeout=5.0)

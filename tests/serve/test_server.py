@@ -1,0 +1,131 @@
+"""InferenceServer end-to-end: batched == sequential, edge batches, metrics."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, no_grad
+from repro.serve import InferenceServer, ModelArtifact
+
+
+class TestBatchedEqualsSequential:
+    def test_property_batched_matches_sequential_predicts(self, toy):
+        """B random inputs through the server == B sequential predicts."""
+        _, enc = toy
+        rng = np.random.default_rng(11)
+        B = 5
+        xs = rng.normal(size=(B, 8))
+        sequential = [
+            enc.decrypt_logits(enc.forward(enc.encrypt_input(x)), 3) for x in xs
+        ]
+        with InferenceServer(
+            ModelArtifact(enc), num_classes=3, max_batch_size=B, max_wait_ms=200
+        ) as srv:
+            results = srv.predict_many(xs)
+        for res, seq in zip(results, sequential):
+            np.testing.assert_allclose(res.logits, seq, atol=1e-3)
+            assert res.prediction == int(np.argmax(seq))
+        # the burst was actually served as one SIMD batch
+        assert all(res.batch_size == B for res in results)
+        assert srv.metrics.snapshot()["batches_total"] == 1
+
+    def test_single_request_batch(self, toy):
+        """B=1: a lone request is flushed on timeout and served solo."""
+        _, enc = toy
+        x = np.full(8, 0.25)
+        expected = enc.decrypt_logits(enc.forward(enc.encrypt_input(x)), 3)
+        with InferenceServer(
+            ModelArtifact(enc), num_classes=3, max_batch_size=4, max_wait_ms=20
+        ) as srv:
+            res = srv.predict(x, timeout=60.0)
+        assert res.batch_size == 1
+        np.testing.assert_allclose(res.logits, expected, atol=1e-3)
+
+    def test_full_capacity_batch_matches_plaintext(self, toy):
+        """B = max_batch fills every slot block; logits track the plain model."""
+        model, enc = toy
+        rng = np.random.default_rng(13)
+        xs = rng.normal(size=(enc.max_batch, 8))
+        with no_grad():
+            plain = model(Tensor(xs)).data
+        preds = enc.predict_batch(xs, num_classes=3)
+        logits = enc.decrypt_logits(
+            enc.forward(enc.encrypt_batch(xs)), 3, batch=enc.max_batch
+        )
+        np.testing.assert_allclose(logits, plain, atol=0.05)
+        assert preds.shape == (enc.max_batch,)
+
+    def test_oversized_batch_rejected(self, toy):
+        _, enc = toy
+        with pytest.raises(ValueError):
+            enc.encrypt_batch([np.zeros(8)] * (enc.max_batch + 1))
+        with pytest.raises(ValueError):
+            enc.decrypt_logits(None, 3, batch=enc.max_batch + 1)
+
+
+class TestServerPlumbing:
+    def test_submit_before_start_raises(self, toy):
+        _, enc = toy
+        srv = InferenceServer(ModelArtifact(enc), num_classes=3, warm=False)
+        with pytest.raises(RuntimeError):
+            srv.submit(np.zeros(8))
+
+    def test_bad_inputs_rejected_at_the_door(self, toy):
+        """Wrong width / NaN fail at submit — they must not poison a batch."""
+        _, enc = toy
+        with InferenceServer(
+            ModelArtifact(enc), num_classes=3, max_batch_size=2, max_wait_ms=100
+        ) as srv:
+            with pytest.raises(ValueError):
+                srv.submit(np.zeros(enc.size + 1))
+            with pytest.raises(ValueError):
+                srv.submit(np.full(8, np.nan))
+            # a well-formed neighbour is unaffected
+            res = srv.predict(np.ones(8), timeout=60.0)
+        assert res.batch_size == 1
+
+    def test_metrics_and_instrumentation(self, toy):
+        _, enc = toy
+        with InferenceServer(
+            ModelArtifact(enc),
+            num_classes=3,
+            max_batch_size=4,
+            max_wait_ms=20,
+            instrument=True,
+        ) as srv:
+            srv.predict_many(np.zeros((3, 8)))
+        snap = srv.metrics.snapshot()
+        assert snap["requests_total"] == 3
+        assert snap["throughput_rps"] > 0
+        assert snap["latency_ms"]["p95"] >= snap["latency_ms"]["p50"] > 0
+        # HE-op accounting flowed through the CountingEvaluator proxy
+        assert snap["he_ops"]["rotate"] > 0
+        assert snap["he_ops"]["mul_plain"] > 0
+        assert snap["he_ops"]["rescale"] > 0
+
+    def test_cancelled_future_does_not_poison_neighbours(self, toy):
+        _, enc = toy
+        with InferenceServer(
+            ModelArtifact(enc), num_classes=3, max_batch_size=2, max_wait_ms=150
+        ) as srv:
+            f_cancel = srv.submit(np.zeros(8))
+            f_cancel.cancel()
+            f_ok = srv.submit(np.ones(8))
+            res = f_ok.result(timeout=60.0)
+        assert f_cancel.cancelled()
+        assert res.logits.shape == (3,)
+
+    def test_stop_is_terminal(self, toy):
+        _, enc = toy
+        srv = InferenceServer(ModelArtifact(enc), num_classes=3, warm=False)
+        srv.start()
+        srv.stop()
+        srv.stop()  # idempotent
+        with pytest.raises(RuntimeError):
+            srv.start()
+
+    def test_max_batch_clamped_to_capacity(self, toy):
+        _, enc = toy
+        srv = InferenceServer(
+            ModelArtifact(enc), num_classes=3, max_batch_size=10_000, warm=False
+        )
+        assert srv.max_batch_size == enc.max_batch
