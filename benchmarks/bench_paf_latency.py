@@ -1,11 +1,20 @@
 """Per-PAF encrypted-ReLU latency (the §5.1 latency evaluation) and the
-analytic cost model cross-check."""
+analytic cost model cross-check, plus the matvec rotation/keyswitch cost
+model (naive Halevi-Shoup vs BSGS with hoisted baby steps)."""
 
 import pytest
 
 from repro.analysis.tables import format_table
 from repro.ckks import CkksParams
-from repro.fhe import analytic_relu_cost, measure_op_micros, measure_relu_latency, paf_op_counts
+from repro.fhe import (
+    analytic_matvec_cost,
+    analytic_relu_cost,
+    matvec_op_counts,
+    measure_op_micros,
+    measure_relu_latency,
+    paf_op_counts,
+    plan_matvec,
+)
 from repro.paf import get_paf, minimax_alpha10_deg27
 
 PARAMS = CkksParams(n=2048, scale_bits=25, depth=12)
@@ -48,3 +57,40 @@ def bench_paf_cost_model(benchmark, artifact):
     )
     # cost model ordering matches depth ordering: alpha10 most expensive
     assert rows[0][-1] == max(r[-1] for r in rows)
+
+
+def bench_matvec_cost_model(benchmark, artifact):
+    """Naive vs BSGS keyswitch counts and estimated seconds per dense
+    encrypted matvec — the linear-layer half of the forward-pass cost."""
+    micros = benchmark.pedantic(
+        lambda: measure_op_micros(PARAMS), rounds=1, iterations=1
+    )
+    rows = []
+    for size in (16, 64, 256, 1024):
+        plan = plan_matvec(range(size), size)
+        counts = matvec_op_counts(plan)
+        naive_seconds = (
+            plan.naive_keyswitches * micros["rotate"]
+            + size * micros["pt_mult"]
+            + max(micros["rescale"], 0.0)
+        )
+        bsgs_seconds = analytic_matvec_cost(plan, micros)
+        rows.append(
+            [
+                size,
+                plan.naive_keyswitches,
+                f"{plan.bsgs_keyswitches} ({counts['rotate_hoisted']}h+{counts['rotate']}g)",
+                f"{naive_seconds:.3f}",
+                f"{bsgs_seconds:.3f}",
+                f"{naive_seconds / bsgs_seconds:.1f}x",
+            ]
+        )
+        assert plan.use_bsgs and plan.bsgs_keyswitches < plan.naive_keyswitches
+    artifact(
+        "matvec_cost_model.txt",
+        format_table(
+            ["size", "naive keyswitch", "bsgs keyswitch", "naive est. s", "bsgs est. s", "speedup"],
+            rows,
+            title="Encrypted matvec cost model: Halevi-Shoup naive vs BSGS+hoisting",
+        ),
+    )

@@ -1,11 +1,13 @@
-"""Batched-serving throughput: SIMD packing + encoding caches vs sequential.
+"""Batched-serving throughput: SIMD packing + encoding caches vs sequential,
+plus the BSGS matvec's rotation/keyswitch savings over the naive path.
 
 One ciphertext carries ``slots // (2·size)`` requests through a single
 encrypted forward, and the serving artifact's plaintext caches remove all
 steady-state encoding — so requests/sec should scale close to the batch
-size.  The acceptance bar: batched serving at B >= 8 sustains at least
-4x the sequential ``predict`` throughput on the toy MLP, with identical
-logits (atol 1e-3).
+size.  The acceptance bars: batched serving at B >= 8 sustains at least
+4x the sequential ``predict`` throughput on the toy MLP with identical
+logits (atol 1e-3), and the BSGS forward performs strictly fewer
+keyswitches than the naive reference while producing the same logits.
 """
 
 import time
@@ -13,23 +15,30 @@ import time
 import numpy as np
 
 from repro.analysis.tables import format_table
-from repro.ckks import CkksParams
-from repro.core import calibrate_static_scales, convert_to_static, replace_all
-from repro.fhe import compile_mlp
-from repro.nn.models import mlp
-from repro.paf import get_paf
+from repro.ckks.instrumentation import CountingEvaluator
+from repro.fhe.toy import compiled_toy
 from repro.serve import InferenceServer, ModelArtifact
 
 
-def _compiled_toy():
-    rng = np.random.default_rng(0)
-    model = mlp(8, hidden=(6,), num_classes=3, seed=0)
-    replace_all(model, get_paf("f1g2"), np.zeros((1, 8)))
-    calibrate_static_scales(model, [rng.normal(size=(64, 8))])
-    convert_to_static(model)
-    enc = compile_mlp(model, CkksParams(n=512, scale_bits=25, depth=9), seed=0)
-    model.eval()
-    return enc
+def _matvec_paths(enc, repeats: int = 3):
+    """Per-path op counts (one counted forward) + timed forwards."""
+    rng = np.random.default_rng(2)
+    ct = enc.encrypt_batch(rng.normal(size=(4, 8)))
+    counting = CountingEvaluator(enc.ev)
+    out = {}
+    for label, kw in (("naive", {"reference": True}), ("bsgs", {})):
+        counting.reset()
+        ct_out = enc.forward(ct, ev=counting, **kw)
+        t0 = time.perf_counter()
+        for _ in range(repeats):
+            enc.forward(ct, **kw)
+        out[label] = {
+            "seconds": (time.perf_counter() - t0) / repeats,
+            "rotations": counting.counts["rotate"] + counting.counts["rotate_hoisted"],
+            "keyswitches": counting.keyswitch_count,
+            "logits": enc.decrypt_logits(ct_out, 3, batch=4),
+        }
+    return out
 
 
 def _measure(enc, batch_sizes):
@@ -66,7 +75,7 @@ def _measure(enc, batch_sizes):
 
 
 def bench_serve_throughput(benchmark, artifact):
-    enc = _compiled_toy()
+    enc = compiled_toy()
     rows, speedups, art = benchmark.pedantic(
         lambda: _measure(enc, batch_sizes=[8, enc.max_batch]), rounds=1, iterations=1
     )
@@ -82,3 +91,36 @@ def bench_serve_throughput(benchmark, artifact):
     # acceptance: SIMD batching at B >= 8 amortises to >= 4x sequential
     assert speedups[8] >= 4.0, f"B=8 speedup {speedups[8]:.2f}x < 4x"
     assert speedups[enc.max_batch] >= speedups[8] * 0.8  # scaling does not collapse
+
+
+def bench_bsgs_vs_naive_forward(benchmark, artifact):
+    """Rotation/keyswitch counts and wall-clock of one batched encrypted
+    forward: BSGS with hoisted baby steps vs the naive diagonal loop."""
+    enc = compiled_toy(reference_keys=True)
+    paths = benchmark.pedantic(lambda: _matvec_paths(enc), rounds=1, iterations=1)
+    naive, bsgs = paths["naive"], paths["bsgs"]
+    speedup = naive["seconds"] / bsgs["seconds"]
+    rows = [
+        [
+            label,
+            p["rotations"],
+            p["keyswitches"],
+            f"{p['seconds'] * 1e3:.0f}",
+            f"{naive['seconds'] / p['seconds']:.2f}x",
+        ]
+        for label, p in (("naive matvec", naive), ("bsgs matvec", bsgs))
+    ]
+    artifact(
+        "bsgs_forward.txt",
+        format_table(
+            ["path", "rotations", "keyswitches", "ms/forward", "speedup"],
+            rows,
+            title="Encrypted forward: naive Halevi-Shoup vs BSGS + hoisting",
+        ),
+    )
+    np.testing.assert_allclose(bsgs["logits"], naive["logits"], atol=1e-3)
+    assert bsgs["keyswitches"] < naive["keyswitches"], (
+        f"BSGS keyswitches {bsgs['keyswitches']} not below naive "
+        f"{naive['keyswitches']}"
+    )
+    assert speedup > 1.0, f"BSGS forward not faster ({speedup:.2f}x)"

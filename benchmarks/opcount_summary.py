@@ -1,0 +1,78 @@
+"""HE-op-count summary: per-layer matvec plans + full-forward counts.
+
+Run by CI (and uploadable as a job artifact) so every PR shows the
+hot-path rotation/keyswitch budget at a glance:
+
+    PYTHONPATH=src python benchmarks/opcount_summary.py [outfile]
+
+Prints (and optionally writes) the per-layer BSGS plans of the toy
+serving model and the measured op counts of one encrypted forward on the
+naive and BSGS paths.
+"""
+
+import sys
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.ckks.instrumentation import CountingEvaluator
+from repro.fhe.toy import compiled_toy
+
+
+def build_summary() -> str:
+    enc = compiled_toy(reference_keys=True)
+
+    plan_rows = [
+        [
+            i,
+            p.num_diagonals,
+            f"{p.n1}x{p.n2}",
+            p.naive_keyswitches,
+            p.bsgs_keyswitches,
+            "bsgs" if p.use_bsgs else "naive",
+        ]
+        for i, p in sorted(enc.matvec_plans.items())
+    ]
+    plan_table = format_table(
+        ["layer", "diagonals", "n1 x n2", "naive ks", "bsgs ks", "chosen"],
+        plan_rows,
+        title="Per-layer matvec plans (toy 8-6-3 serving model)",
+    )
+
+    counting = CountingEvaluator(enc.ev)
+    ct = enc.encrypt_batch([np.zeros(8)])
+    forward_rows = []
+    for label, kw in (("naive", {"reference": True}), ("bsgs", {})):
+        counting.reset()
+        enc.forward(ct, ev=counting, **kw)
+        c = counting.counts
+        forward_rows.append(
+            [
+                label,
+                c["rotate"],
+                c["rotate_hoisted"],
+                c["hoist_decompose"],
+                counting.keyswitch_count,
+                c["mul_plain"],
+                c["rescale"],
+            ]
+        )
+    forward_table = format_table(
+        ["path", "rotate", "hoisted", "decompose", "keyswitches", "pt mult", "rescale"],
+        forward_rows,
+        title="Measured op counts: one encrypted forward",
+    )
+    return plan_table + "\n\n" + forward_table
+
+
+def main() -> int:
+    summary = build_summary()
+    print(summary)
+    if len(sys.argv) > 1:
+        with open(sys.argv[1], "w") as fh:
+            fh.write(summary + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,7 +13,7 @@ from functools import lru_cache
 
 import numpy as np
 
-from repro.ckks.ntt import NttPlan
+from repro.ckks.ntt import NttPlan, _bit_reverse_indices
 from repro.ckks.primes import generate_primes
 
 __all__ = ["CkksParams", "CkksContext"]
@@ -97,6 +97,9 @@ class CkksContext:
         self._p_inv = np.array(
             [pow(self.special_prime, p - 2, p) for p in self.q_chain], dtype=np.int64
         )
+        # (c) Galois automorphisms as NTT-domain permutations (lazy per g)
+        self._galois_perms: dict = {}
+        self._bitrev = _bit_reverse_indices(n)
 
     # ------------------------------------------------------------------
     @property
@@ -123,6 +126,27 @@ class CkksContext:
     def p_inverses(self, level: int) -> np.ndarray:
         """P^{-1} mod q_j for j <= level."""
         return self._p_inv[: level + 1]
+
+    def galois_ntt_permutation(self, g: int) -> np.ndarray:
+        """NTT-slot permutation realising ``X -> X^g`` in evaluation domain.
+
+        The forward negacyclic NTT evaluates a polynomial at the odd root
+        powers ``ψ^{t_i}`` with ``t_i = 2·bitrev(i) + 1``, so the Galois
+        automorphism ``(φ_g f)(ψ^{t_i}) = f(ψ^{g·t_i mod 2N})`` is a pure
+        reindexing of the transform output — no signs, no NTTs.  This is
+        what makes rotation *hoisting* cheap: decomposed keyswitch digits
+        can be kept in NTT form and permuted per Galois element.  The
+        permutation depends only on ``(N, g)`` and is cached.
+        """
+        g = g % (2 * self.n)
+        perm = self._galois_perms.get(g)
+        if perm is None:
+            t = 2 * self._bitrev + 1
+            tg = t * g % (2 * self.n)
+            # bit reversal is an involution, so it is its own inverse map
+            perm = self._bitrev[(tg - 1) // 2]
+            self._galois_perms[g] = perm
+        return perm
 
     def modulus_bits(self) -> float:
         """Total log2 of the ciphertext modulus (without the special prime)."""

@@ -252,11 +252,24 @@ class CkksEvaluator:
         after multiplying by the per-digit keys and dividing by the special
         prime the added noise is ``Σ_j D_j e_j / P`` — a few bits.
         """
+        return self._apply_keyswitch_keys(
+            self._hoist_decompose(d, level), family, level
+        )
+
+    def _hoist_decompose(self, d: RnsPoly, level: int) -> np.ndarray:
+        """Keyswitch digits of ``d`` in NTT form over the extended basis.
+
+        Returns shape ``(level+1 digits, level+2 basis rows, N)``.  This is
+        the expensive half of a keyswitch (inverse NTTs, digit scaling,
+        extended-basis lift, forward NTTs) and is *independent of the
+        Galois element*: digit decomposition commutes exactly with the
+        automorphism (both act coefficient-wise / by signed coefficient
+        permutation), and the automorphism is a pure NTT-slot permutation
+        (:meth:`CkksContext.galois_ntt_permutation`).  Computing it once
+        and permuting per rotation is rotation *hoisting*.
+        """
         ctx = self.ctx
-        keys = family.at_level(level)
-        special_idx = len(ctx.all_primes) - 1
-        p_special = ctx.special_prime
-        basis = list(range(level + 1)) + [special_idx]
+        basis = list(range(level + 1)) + [len(ctx.all_primes) - 1]
         basis_primes = np.array([ctx.all_primes[i] for i in basis], dtype=np.int64)
 
         d_coeff = d.to_coeff()
@@ -265,17 +278,39 @@ class CkksEvaluator:
         for p in q_primes:
             q_l *= p
 
-        acc_b = np.zeros((len(basis), ctx.n), dtype=np.int64)
-        acc_a = np.zeros((len(basis), ctx.n), dtype=np.int64)
+        digits = np.empty((len(q_primes), len(basis), ctx.n), dtype=np.int64)
         for j, q_j in enumerate(q_primes):
             inv = pow((q_l // q_j) % q_j, q_j - 2, q_j)
             digit = d_coeff.data[j] * inv % q_j
             # centre the digit, then lift exactly onto the extended basis
             digit_c = np.where(digit > q_j // 2, digit - q_j, digit)
             rows = digit_c[None, :] % basis_primes[:, None]
-            digit_ntt = RnsPoly(ctx, rows, basis, is_ntt=False).to_ntt()
-            acc_b = (acc_b + digit_ntt.data * keys[j].b.data) % basis_primes[:, None]
-            acc_a = (acc_a + digit_ntt.data * keys[j].a.data) % basis_primes[:, None]
+            digits[j] = RnsPoly(ctx, rows, basis, is_ntt=False).to_ntt().data
+        return digits
+
+    def _apply_keyswitch_keys(
+        self, digits: np.ndarray, family, level: int, perm: np.ndarray | None = None
+    ) -> tuple:
+        """Inner product of decomposed digits with a key family, then the
+        divide-by-``P`` descent back onto the chain basis.
+
+        ``perm`` (an NTT-slot permutation) is applied to every digit first —
+        this is the per-rotation half of a hoisted Galois application.
+        """
+        ctx = self.ctx
+        keys = family.at_level(level)
+        special_idx = len(ctx.all_primes) - 1
+        p_special = ctx.special_prime
+        basis = list(range(level + 1)) + [special_idx]
+        basis_primes = np.array([ctx.all_primes[i] for i in basis], dtype=np.int64)
+
+        if perm is not None:
+            digits = digits[:, :, perm]
+        acc_b = np.zeros((len(basis), ctx.n), dtype=np.int64)
+        acc_a = np.zeros((len(basis), ctx.n), dtype=np.int64)
+        for j in range(digits.shape[0]):
+            acc_b = (acc_b + digits[j] * keys[j].b.data) % basis_primes[:, None]
+            acc_a = (acc_a + digits[j] * keys[j].a.data) % basis_primes[:, None]
 
         out = []
         plan_p = ctx.plans[special_idx]
@@ -303,6 +338,51 @@ class CkksEvaluator:
         """Rotate slot vector left by ``steps`` (requires the Galois key)."""
         g = pow(5, steps % self.ctx.slots, 2 * self.ctx.n)
         return self._apply_galois(a, g)
+
+    def rotate_many(self, a: Ciphertext, steps) -> dict:
+        """Hoisted rotations: one keyswitch decomposition, many Galois maps.
+
+        Returns ``{step: rotated ciphertext}`` for every requested step.
+        The expensive digit decomposition of ``c1``
+        (:meth:`_hoist_decompose`) is shared across all steps; each
+        rotation then only permutes the NTT-form digits, takes the inner
+        product with its Galois keys and divides by the special prime —
+        the Halevi-Shoup hoisting structure.  Output is bit-identical to
+        calling :meth:`rotate` per step (the decomposition commutes
+        exactly with the automorphism).
+
+        Trivial steps (multiples of the slot count) come back as copies
+        without touching the decomposition.
+        """
+        two_n = 2 * self.ctx.n
+        out: dict = {}
+        nontrivial: list = []
+        for step in steps:
+            g = pow(5, step % self.ctx.slots, two_n)
+            if g == 1:
+                out[step] = a.copy()
+            else:
+                nontrivial.append((step, g))
+        if not nontrivial:
+            return out
+        for _, g in nontrivial:
+            if g not in self.keys.galois:
+                raise KeyError(
+                    f"no Galois key for element {g}; pass the step to "
+                    "keygen(galois_steps=...)"
+                )
+        c0_ntt = a.c0.to_ntt()
+        digits = self._hoist_decompose(a.c1, a.level)
+        for step, g in nontrivial:
+            perm = self.ctx.galois_ntt_permutation(g)
+            ks0, ks1 = self._apply_keyswitch_keys(
+                digits, self.keys.galois[g], a.level, perm=perm
+            )
+            c0g = RnsPoly(
+                self.ctx, c0_ntt.data[:, perm], c0_ntt.prime_indices, is_ntt=True
+            )
+            out[step] = Ciphertext(c0g + ks0, ks1, a.scale, a.level)
+        return out
 
     def conjugate(self, a: Ciphertext) -> Ciphertext:
         """Complex-conjugate the slots (element 2N-1)."""

@@ -48,6 +48,18 @@ class CountingEvaluator:
     def reset(self) -> None:
         self.counts.clear()
 
+    @property
+    def keyswitch_count(self) -> int:
+        """Total keyswitch (Galois/relin) applications — the dominant cost.
+
+        Hoisted rotations still pay the key inner product + special-prime
+        descent per Galois element, so each counts as one keyswitch; the
+        shared digit decomposition is booked separately under
+        ``hoist_decompose``.
+        """
+        c = self.counts
+        return c["rotate"] + c["rotate_hoisted"] + c["conjugate"] + c["mul"]
+
     def __getattr__(self, name):
         attr = getattr(self._inner, name)
         if name in _COUNTED and callable(attr):
@@ -57,6 +69,19 @@ class CountingEvaluator:
 
             return wrapped
         return attr
+
+    def rotate_many(self, a: Ciphertext, steps) -> dict:
+        """Hoisted rotations: one ``hoist_decompose`` plus one
+        ``rotate_hoisted`` per nontrivial step (trivial steps are free
+        copies, exactly as the inner evaluator treats them)."""
+        steps = list(steps)
+        slots = self._inner.ctx.slots
+        nontrivial = sum(1 for s in steps if s % slots != 0)
+        out = self._inner.rotate_many(a, steps)  # may raise before any work
+        if nontrivial:
+            self.counts["hoist_decompose"] += 1
+            self.counts["rotate_hoisted"] += nontrivial
+        return out
 
     # Composite convenience methods call the inner evaluator's primitives
     # directly, which would bypass the proxy; count their pieces here.

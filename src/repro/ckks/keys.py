@@ -138,9 +138,35 @@ class KeyChain:
     public: PublicKey
     relin: KeySwitchFamily
     galois: dict = field(default_factory=dict)   # galois element -> family
+    galois_seed: int = 0                         # keygen seed, reused when growing
 
     def galois_element_for_step(self, n: int, step: int) -> int:
         return pow(5, step % (n // 2), 2 * n)
+
+    def ensure_galois_steps(
+        self, ctx: CkksContext, steps, seed: int | None = None
+    ) -> "KeyChain":
+        """Create Galois key families for any rotation steps still missing.
+
+        The BSGS matvec planner (:mod:`repro.fhe.linear`) decides its
+        baby/giant step set *after* looking at a model's diagonals, so the
+        key set is grown to match a plan rather than guessed up front;
+        this is also how tests enable the naive reference path next to a
+        BSGS key set.  Idempotent — existing families are kept, and the
+        per-element derivation seed defaults to the chain's own keygen
+        seed, so the result is bit-identical to having passed the step to
+        :func:`keygen` up front.  Include the string ``"conj"`` for the
+        conjugation element.
+        """
+        seed = self.galois_seed if seed is None else seed
+        n = ctx.n
+        for step in steps:
+            g = 2 * n - 1 if step == "conj" else pow(5, int(step) % (n // 2), 2 * n)
+            if g in self.galois:
+                continue
+            s_g = _automorphism_int(self.secret.coeffs, g)
+            self.galois[g] = KeySwitchFamily(ctx, self.secret, s_g, seed=seed + 500 + g)
+        return self
 
 
 def keygen(
@@ -180,13 +206,11 @@ def keygen(
     s_sq = _negacyclic_square_exact(s_coeffs)
     relin = KeySwitchFamily(ctx, secret, s_sq, seed=(seed or 0) + 101)
 
-    galois = {}
-    for step in galois_steps:
-        g = 2 * n - 1 if step == "conj" else pow(5, int(step) % (n // 2), 2 * n)
-        s_g = _automorphism_int(s_coeffs, g)
-        galois[g] = KeySwitchFamily(ctx, secret, s_g, seed=(seed or 0) + 500 + g)
-
-    return KeyChain(secret=secret, public=public, relin=relin, galois=galois)
+    chain_keys = KeyChain(
+        secret=secret, public=public, relin=relin, galois_seed=seed or 0
+    )
+    chain_keys.ensure_galois_steps(ctx, galois_steps)
+    return chain_keys
 
 
 def _negacyclic_square_exact(s: np.ndarray) -> np.ndarray:

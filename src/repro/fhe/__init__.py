@@ -2,12 +2,22 @@
 
 from repro.fhe.latency import (
     LatencyResult,
+    analytic_matvec_cost,
     analytic_relu_cost,
+    matvec_op_counts,
     measure_op_micros,
     measure_relu_latency,
     paf_op_counts,
 )
-from repro.fhe.linear import diagonals_of, encrypted_matvec, required_rotation_steps
+from repro.fhe.linear import (
+    MatvecPlan,
+    bsgs_diagonals,
+    diagonals_of,
+    encrypted_matvec,
+    encrypted_matvec_bsgs,
+    plan_matvec,
+    required_rotation_steps,
+)
 from repro.fhe.network import EncryptedMLP, compile_mlp
 from repro.fhe.packing import BlockLayout, pack_batch, unpack_blocks
 
@@ -16,10 +26,16 @@ __all__ = [
     "measure_relu_latency",
     "measure_op_micros",
     "analytic_relu_cost",
+    "analytic_matvec_cost",
     "paf_op_counts",
+    "matvec_op_counts",
     "encrypted_matvec",
+    "encrypted_matvec_bsgs",
     "diagonals_of",
     "required_rotation_steps",
+    "MatvecPlan",
+    "plan_matvec",
+    "bsgs_diagonals",
     "EncryptedMLP",
     "compile_mlp",
     "BlockLayout",

@@ -24,6 +24,7 @@ from repro.ckks import (
     eval_paf_relu,
     keygen,
 )
+from repro.fhe.linear import MatvecPlan
 from repro.paf.polynomial import CompositePAF
 from repro.paf.relu import relu_mult_depth
 
@@ -32,7 +33,9 @@ __all__ = [
     "measure_relu_latency",
     "measure_op_micros",
     "analytic_relu_cost",
+    "analytic_matvec_cost",
     "paf_op_counts",
+    "matvec_op_counts",
 ]
 
 
@@ -151,6 +154,19 @@ def measure_op_micros(params: CkksParams, repeats: int = 3) -> dict:
     out["pt_mult"] = timeit(lambda: ev.mul_plain(a, 0.5))
     out["rescale"] = timeit(lambda: ev.rescale(ev.mul(a, b))) - out["ct_mult"]
     out["add"] = timeit(lambda: ev.add(a, b))
+    # rotation costs for the matvec cost model: a standalone keyswitched
+    # rotation, the marginal cost of one extra rotation inside a hoisted
+    # batch (key inner product + P-descent), and the shared digit
+    # decomposition itself — separated so the model can charge the
+    # decomposition once per matvec rather than amortised over an
+    # arbitrary batch size
+    hoist_batch = 8
+    ev.keys.ensure_galois_steps(ctx, tuple(range(1, hoist_batch + 1)))
+    out["rotate"] = timeit(lambda: ev.rotate(a, 1))
+    t_one = timeit(lambda: ev.rotate_many(a, [1]))
+    t_batch = timeit(lambda: ev.rotate_many(a, range(1, hoist_batch + 1)))
+    out["rotate_hoisted"] = max((t_batch - t_one) / (hoist_batch - 1), 0.0)
+    out["hoist_decompose"] = max(t_one - out["rotate_hoisted"], 0.0)
     return out
 
 
@@ -159,6 +175,44 @@ def analytic_relu_cost(paf: CompositePAF, micros: dict) -> float:
     counts = paf_op_counts(paf)
     return (
         counts["ct_mult"] * micros["ct_mult"]
+        + counts["pt_mult"] * micros["pt_mult"]
+        + counts["rescale"] * max(micros["rescale"], 0.0)
+    )
+
+
+def matvec_op_counts(plan: MatvecPlan) -> dict:
+    """Homomorphic op counts of one encrypted matvec under ``plan``.
+
+    The BSGS path splits rotations into standalone giant-step keyswitches
+    (``rotate``) and baby-step rotations sharing one hoisted
+    decomposition (``rotate_hoisted`` / ``hoist_decompose``); plaintext
+    multiplies and the single rescale are identical on both paths.
+    """
+    if plan.use_bsgs:
+        baby = sum(1 for b in plan.baby_steps if b)
+        return {
+            "rotate": plan.bsgs_keyswitches - baby,
+            "rotate_hoisted": baby,
+            "hoist_decompose": 1 if baby else 0,
+            "pt_mult": plan.num_diagonals,
+            "rescale": 1,
+        }
+    return {
+        "rotate": plan.naive_keyswitches,
+        "rotate_hoisted": 0,
+        "hoist_decompose": 0,
+        "pt_mult": plan.num_diagonals,
+        "rescale": 1,
+    }
+
+
+def analytic_matvec_cost(plan: MatvecPlan, micros: dict) -> float:
+    """Estimated encrypted-matvec seconds from op counts × per-op times."""
+    counts = matvec_op_counts(plan)
+    return (
+        counts["rotate"] * micros["rotate"]
+        + counts["rotate_hoisted"] * micros["rotate_hoisted"]
+        + counts["hoist_decompose"] * micros["hoist_decompose"]
         + counts["pt_mult"] * micros["pt_mult"]
         + counts["rescale"] * max(micros["rescale"], 0.0)
     )

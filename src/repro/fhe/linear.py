@@ -1,25 +1,58 @@
-"""Encrypted linear algebra: Halevi-Shoup diagonal matrix-vector product.
+"""Encrypted linear algebra: Halevi-Shoup diagonal matvec, naive and BSGS.
 
 ``y = W x`` for a plaintext matrix ``W`` and an encrypted, slot-packed
 ``x`` is computed as ``Σ_d diag_d(W) ⊙ rot(x, d)`` over the generalised
 diagonals — the standard CKKS technique the FHE-inference literature
-builds on.  One plaintext multiply per nonzero diagonal, one rotation per
-diagonal beyond the first; a single rescale at the end.
+builds on.  The *naive* path (:func:`encrypted_matvec`, kept as the
+reference implementation) pays one full keyswitch per nonzero diagonal
+beyond the first: ``O(D)`` keyswitches dominate every encrypted forward
+pass.
 
-SIMD batching: a diagonal can be *tiled* across several disjoint slot
-blocks (``num_blocks`` copies at stride ``block_stride``), so one
-ciphertext carrying many independently packed input vectors is multiplied
-by every diagonal exactly once — the rotation steps are unchanged, and
-the per-request cost is divided by the batch size.
+Baby-step/giant-step (BSGS) decomposition cuts that to ``O(√D)``.  Factor
+every diagonal index ``d = g·n1 + b`` with baby step ``b ∈ [0, n1)`` and
+giant step ``g``; since rotation distributes over slot products,
+
+    y = Σ_g rot( Σ_b roll(diag_{g·n1+b}, g·n1) ⊙ rot(x, b),  g·n1 )
+
+where ``roll(·, k)`` pre-rotates the diagonal *right* by ``k`` slots at
+plan time (free — it is plaintext).  Only ``n1`` baby rotations of the
+input and ``n2 = ⌈D/n1⌉`` giant rotations of accumulated sums remain, and
+the baby rotations all act on the *same* ciphertext, so they share one
+hoisted keyswitch decomposition (:meth:`CkksEvaluator.rotate_many`).
+
+:func:`plan_matvec` picks ``n1`` by scanning candidates for the minimum
+keyswitch count and falls back to the naive path when BSGS would not be
+strictly cheaper (degenerate layers with ≤ 3 nonzero diagonals, or
+diagonal patterns that do not factor).  The plan also names the exact
+rotation-step set keygen must cover — ``n1 - 1`` baby plus ``n2 - 1``
+giant steps instead of ``D - 1`` per-diagonal steps, so the Galois key
+set shrinks alongside the keyswitch count.
+
+SIMD batching composes transparently: diagonals can be *tiled* across
+several disjoint slot blocks (``num_blocks`` copies at stride
+``block_stride``), and because both decompositions act on the full slot
+vector the BSGS regrouping is exact algebra for any block layout — the
+rotation steps are unchanged, and the per-request cost is divided by the
+batch size.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.ckks.evaluator import Ciphertext, CkksEvaluator
 
-__all__ = ["encrypted_matvec", "diagonals_of", "required_rotation_steps"]
+__all__ = [
+    "encrypted_matvec",
+    "encrypted_matvec_bsgs",
+    "diagonals_of",
+    "required_rotation_steps",
+    "MatvecPlan",
+    "plan_matvec",
+    "bsgs_diagonals",
+]
 
 
 def diagonals_of(
@@ -89,6 +122,115 @@ def tile_blocks(
     return vec
 
 
+@dataclass(frozen=True)
+class MatvecPlan:
+    """How one encrypted matvec will be executed.
+
+    ``use_bsgs`` selects between the BSGS decomposition and the naive
+    reference path; the choice is *strictly fewer keyswitches* — ties go
+    to naive, so layers with ≤ 3 nonzero diagonals (where no ``n1``
+    factoring helps) stay on the reference implementation.
+    """
+
+    size: int                      #: square matrix dim (diagonal index space)
+    n1: int                        #: baby-step modulus (giant stride)
+    baby_steps: tuple              #: sorted residues ``d % n1`` present
+    giant_steps: tuple             #: sorted rotation amounts ``(d // n1)·n1`` present
+    diag_steps: tuple              #: sorted nonzero diagonal indices (naive rotations)
+    num_diagonals: int             #: nonzero diagonal count D (plaintext multiplies)
+    use_bsgs: bool
+
+    @property
+    def n2(self) -> int:
+        """Giant-step count (``n1 · n2`` covers every planned diagonal)."""
+        return len(self.giant_steps)
+
+    @property
+    def bsgs_keyswitches(self) -> int:
+        """Galois applications on the BSGS path (nonzero baby + giant)."""
+        return sum(1 for b in self.baby_steps if b) + sum(
+            1 for g in self.giant_steps if g
+        )
+
+    @property
+    def naive_keyswitches(self) -> int:
+        """Galois applications on the naive path (one per nonzero diagonal)."""
+        return len(self.diag_steps)
+
+    @property
+    def keyswitches(self) -> int:
+        """Galois applications of the *chosen* path."""
+        return self.bsgs_keyswitches if self.use_bsgs else self.naive_keyswitches
+
+    def rotation_steps(self) -> tuple:
+        """Rotation steps keygen must provide for the chosen path."""
+        if not self.use_bsgs:
+            return self.diag_steps
+        return tuple(
+            sorted({b for b in self.baby_steps if b} | {g for g in self.giant_steps if g})
+        )
+
+
+def plan_matvec(diag_indices, size: int) -> MatvecPlan:
+    """Choose the cheapest matvec execution for a set of nonzero diagonals.
+
+    Scans baby-step moduli ``n1`` and counts the Galois applications each
+    would need — ``|{d % n1} \\ {0}| + |{(d//n1)·n1} \\ {0}|`` — keeping
+    the minimum (ties broken toward larger ``n1``: more baby steps means
+    more rotations sharing the one hoisted decomposition).  For dense
+    diagonal sets the winner sits near ``√size``, so for large ``size``
+    only a window around ``√size`` (plus ``n1 = size``, the all-baby
+    degenerate) is scanned.
+    """
+    ds = np.unique(np.asarray(list(diag_indices), dtype=np.int64))
+    if ds.size == 0:
+        raise ValueError("matrix has no nonzero diagonals")
+    if ds[0] < 0 or ds[-1] >= size:
+        raise ValueError(f"diagonal indices must lie in [0, {size}), got {ds}")
+    naive_cost = int(np.count_nonzero(ds))
+
+    if size <= 256:
+        candidates = range(1, size + 1)
+    else:
+        root = int(np.sqrt(size))
+        candidates = sorted(set(range(max(1, root // 2), 4 * root + 1)) | {1, size})
+    best = None
+    for n1 in candidates:
+        babies = np.unique(ds % n1)
+        giants = np.unique(ds - ds % n1)
+        cost = int(np.count_nonzero(babies)) + int(np.count_nonzero(giants))
+        key = (cost, -n1)
+        if best is None or key < best[0]:
+            best = (key, n1, babies, giants)
+    _, n1, babies, giants = best
+    return MatvecPlan(
+        size=size,
+        n1=n1,
+        baby_steps=tuple(int(b) for b in babies),
+        giant_steps=tuple(int(g) for g in giants),
+        diag_steps=tuple(int(d) for d in ds if d),
+        num_diagonals=int(ds.size),
+        use_bsgs=best[0][0] < naive_cost,
+    )
+
+
+def bsgs_diagonals(diagonals: dict, plan: MatvecPlan) -> dict:
+    """Regroup diagonals into pre-rotated giant-step groups.
+
+    Returns ``{giant_step: {baby_step: vector}}`` where each diagonal
+    ``d = g + b`` is rolled *right* by its giant step ``g`` so that the
+    post-accumulation giant rotation puts it back in place:
+    ``rot(roll(v, g) ⊙ rot(x, b), g) = v ⊙ rot(x, g + b)``.  Rolling is
+    over the full slot vector, so block-tiled diagonals regroup exactly.
+    """
+    groups: dict = {}
+    for d, vec in diagonals.items():
+        b = d % plan.n1
+        g = d - b
+        groups.setdefault(g, {})[b] = np.roll(vec, g)
+    return groups
+
+
 def encrypted_matvec(
     ev: CkksEvaluator,
     ct_x: Ciphertext,
@@ -120,17 +262,73 @@ def encrypted_matvec(
         if w is None:
             raise ValueError("need either a weight matrix or precomputed diagonals")
         diagonals = diagonals_of(w, ct_x.c0.ctx.slots)
+    if not diagonals:
+        raise ValueError("matrix has no nonzero diagonals")
     acc = None
     for d, vec in diagonals.items():
         rotated = ev.rotate(ct_x, d) if d else ct_x
         term = ev.mul_plain(rotated, vec)
         acc = term if acc is None else ev.add(acc, term)
-    if acc is None:
-        raise ValueError("matrix has no nonzero diagonals")
     acc = ev.rescale(acc)
+    return _add_bias(ev, acc, ct_x.c0.ctx.slots, bias, bias_slots)
+
+
+def _add_bias(ev, acc, slots, bias, bias_slots):
     if bias_slots is None and bias is not None:
-        bias_slots = np.zeros(ct_x.c0.ctx.slots)
+        bias_slots = np.zeros(slots)
         bias_slots[: len(bias)] = bias
     if bias_slots is not None:
         acc = ev.add_plain(acc, bias_slots)
     return acc
+
+
+def encrypted_matvec_bsgs(
+    ev: CkksEvaluator,
+    ct_x: Ciphertext,
+    w: np.ndarray | None = None,
+    bias: np.ndarray | None = None,
+    *,
+    groups: dict | None = None,
+    bias_slots=None,
+) -> Ciphertext:
+    """``W x + b`` via baby-step/giant-step with hoisted baby rotations.
+
+    Same packing contract and result (within noise) as
+    :func:`encrypted_matvec`, with ``O(√D)`` keyswitches instead of
+    ``O(D)``: the input is rotated once per *baby* step — all sharing one
+    hoisted decomposition via :meth:`CkksEvaluator.rotate_many` — inner
+    sums are formed with plaintext multiplies against the pre-rotated
+    diagonals, and only the per-*giant*-step accumulated sums are rotated
+    individually.  One rescale at the end, exactly like the naive path.
+
+    ``groups`` short-circuits planning and regrouping: a mapping
+    ``giant_step -> {baby_step -> slot vector | Plaintext}`` as produced
+    by :func:`bsgs_diagonals` (raw) or
+    :meth:`repro.serve.artifact.ModelArtifact.encoded_linear`
+    (pre-encoded — the steady-state serving path does zero plaintext
+    encoding here).
+    """
+    if groups is None:
+        if w is None:
+            raise ValueError("need either a weight matrix or precomputed groups")
+        diagonals = diagonals_of(w, ct_x.c0.ctx.slots)
+        if not diagonals:
+            raise ValueError("matrix has no nonzero diagonals")
+        plan = plan_matvec(diagonals.keys(), max(w.shape))
+        groups = bsgs_diagonals(diagonals, plan)
+    if not groups:
+        raise ValueError("matrix has no nonzero diagonals")
+    baby_steps = sorted({b for inner in groups.values() for b in inner if b})
+    rotated = ev.rotate_many(ct_x, baby_steps)
+    rotated[0] = ct_x  # baby step 0 needs no rotation (and no defensive copy)
+    acc = None
+    for g in sorted(groups):
+        inner = None
+        for b in sorted(groups[g]):
+            term = ev.mul_plain(rotated[b], groups[g][b])
+            inner = term if inner is None else ev.add(inner, term)
+        if g:
+            inner = ev.rotate(inner, g)
+        acc = inner if acc is None else ev.add(acc, inner)
+    acc = ev.rescale(acc)
+    return _add_bias(ev, acc, ct_x.c0.ctx.slots, bias, bias_slots)

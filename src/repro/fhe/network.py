@@ -15,6 +15,14 @@ requests through the same sequence of homomorphic ops — the SIMD batching
 that :mod:`repro.serve` builds on.  Diagonals are tiled across all blocks
 once at compile time; rotation steps (and hence the Galois key set) are
 identical to the single-request layout.
+
+Each linear layer is compiled to a :class:`~repro.fhe.linear.MatvecPlan`:
+layers whose diagonal pattern factors into baby/giant steps run the BSGS
+matvec (``O(√D)`` keyswitches, hoisted baby rotations, pre-rotated
+diagonals cached at compile time); degenerate layers keep the naive
+reference path.  The Galois key set is sized from the union of the
+chosen plans' rotation steps plus the replication step — for BSGS layers
+that is ``n1 + n2 - 2`` keys instead of one per nonzero diagonal.
 """
 
 from __future__ import annotations
@@ -32,7 +40,14 @@ from repro.ckks import (
     keygen,
 )
 from repro.core.paf_layer import PAFReLU
-from repro.fhe.linear import diagonals_of, encrypted_matvec, tile_blocks
+from repro.fhe.linear import (
+    bsgs_diagonals,
+    diagonals_of,
+    encrypted_matvec,
+    encrypted_matvec_bsgs,
+    plan_matvec,
+    tile_blocks,
+)
 from repro.fhe.packing import BlockLayout, pack_batch, unpack_blocks
 from repro.nn.layers import Linear, ReLU
 from repro.nn.module import Module
@@ -54,7 +69,14 @@ class _Layer:
 class EncryptedMLP:
     """An MLP compiled for encrypted inference (single or SIMD-batched)."""
 
-    def __init__(self, layers, size: int, params: CkksParams, seed: int = 0):
+    def __init__(
+        self,
+        layers,
+        size: int,
+        params: CkksParams,
+        seed: int = 0,
+        reference_keys: bool = False,
+    ):
         self.layers = layers
         self.size = size
         depth_needed = sum(
@@ -75,24 +97,44 @@ class EncryptedMLP:
         # Diagonals / biases are tiled across *all* blocks once; a partial
         # batch leaves trailing blocks at zero input, which just compute
         # f(0) in-range — so every batch size shares these plaintexts (and,
-        # downstream, the serve artifact's encoding cache).
+        # downstream, the serve artifact's encoding cache).  BSGS layers
+        # keep only their pre-rotated groups: the flat diagonals are
+        # retained just where something can actually read them (naive-plan
+        # layers, or every layer when ``reference_keys`` enables the
+        # reference path) — holding both would double plaintext memory.
         self.linear_diagonals: dict[int, dict] = {}
         self.linear_bias_slots: dict[int, np.ndarray] = {}
+        #: per-layer matvec execution plan (BSGS vs naive reference)
+        self.matvec_plans: dict = {}
+        #: pre-rotated giant-step diagonal groups for the BSGS layers
+        self.linear_groups: dict[int, dict] = {}
         for i, l in enumerate(layers):
             if l.kind == "linear":
-                self.linear_diagonals[i] = diagonals_of(
+                diags = diagonals_of(
                     l.weight,
                     slots,
                     num_blocks=self.max_batch,
                     block_stride=self.block_stride,
                 )
+                plan = plan_matvec(diags.keys(), size)
+                self.matvec_plans[i] = plan
+                if plan.use_bsgs:
+                    self.linear_groups[i] = bsgs_diagonals(diags, plan)
+                if not plan.use_bsgs or reference_keys:
+                    self.linear_diagonals[i] = diags
                 if l.bias is not None:
                     bias = np.zeros(size)
                     bias[: len(l.bias)] = l.bias
                     self.linear_bias_slots[i] = tile_blocks(
                         bias, slots, self.max_batch, self.block_stride
                     )
-        steps = {d for diags in self.linear_diagonals.values() for d in diags if d != 0}
+        # Galois keys cover exactly the planned rotation steps (baby +
+        # giant for BSGS layers, per-diagonal for naive ones);
+        # ``reference_keys`` additionally covers the naive path of every
+        # layer so the reference implementation can run side by side.
+        steps = {s for plan in self.matvec_plans.values() for s in plan.rotation_steps()}
+        if reference_keys:
+            steps |= {d for plan in self.matvec_plans.values() for d in plan.diag_steps}
         # right-rotation by `size` restores the wraparound replica block
         # before each linear layer (the matvec zeroes slots >= size within
         # each block, so the shifted-in neighbour-block slots are zero)
@@ -133,28 +175,56 @@ class EncryptedMLP:
         *,
         encoded=None,
         ev: CkksEvaluator | None = None,
+        reference: bool = False,
     ) -> Ciphertext:
         """Encrypted forward pass over all packed blocks at once.
 
+        Linear layers follow their compiled :class:`MatvecPlan` — BSGS
+        with hoisted baby rotations where that is strictly cheaper, the
+        naive diagonal loop otherwise.  ``reference=True`` forces the
+        naive reference implementation for *every* linear layer (compile
+        with ``reference_keys=True`` so its Galois keys exist) — the
+        differential-testing baseline.
+
         ``encoded`` is an optional provider of pre-encoded plaintexts for
         the linear layers — ``encoded(layer_index, level, scale)`` must
-        return ``(diagonals, bias_slots)`` as :class:`~repro.ckks.Plaintext`
-        values (see :class:`repro.serve.artifact.ModelArtifact`); without
-        it the cached raw diagonal vectors are encoded on the fly.  ``ev``
-        overrides the evaluator (worker pools run one evaluator per
-        thread against the shared keys).
+        return ``(payload, bias_slots)`` as :class:`~repro.ckks.Plaintext`
+        values, where ``payload`` matches the layer's plan (grouped
+        ``{giant: {baby: pt}}`` for BSGS layers, flat ``{d: pt}`` for
+        naive ones — see :class:`repro.serve.artifact.ModelArtifact`);
+        without it the cached raw diagonal vectors are encoded on the
+        fly.  ``ev`` overrides the evaluator (worker pools run one
+        evaluator per thread against the shared keys).
         """
+        if reference and encoded is not None:
+            raise ValueError(
+                "pre-encoded payloads follow the per-layer plans; the "
+                "reference path takes raw diagonals only"
+            )
         ev = ev or self.ev
         for i, l in enumerate(self.layers):
             if l.kind == "linear":
                 if i > 0:
                     ct = self._replicate(ct, ev)
+                bsgs = self.matvec_plans[i].use_bsgs and not reference
+                if not bsgs and i not in self.linear_diagonals:
+                    raise ValueError(
+                        "naive reference path unavailable: compile with "
+                        "reference_keys=True to retain flat diagonals and keys"
+                    )
                 if encoded is not None:
-                    diags, bias_slots = encoded(i, ct.level, ct.scale)
+                    payload, bias_slots = encoded(i, ct.level, ct.scale)
                 else:
-                    diags = self.linear_diagonals[i]
+                    payload = self.linear_groups[i] if bsgs else self.linear_diagonals[i]
                     bias_slots = self.linear_bias_slots.get(i)
-                ct = encrypted_matvec(ev, ct, diagonals=diags, bias_slots=bias_slots)
+                if bsgs:
+                    ct = encrypted_matvec_bsgs(
+                        ev, ct, groups=payload, bias_slots=bias_slots
+                    )
+                else:
+                    ct = encrypted_matvec(
+                        ev, ct, diagonals=payload, bias_slots=bias_slots
+                    )
             else:
                 ct = eval_paf_relu(ev, ct, l.paf, scale=l.scale)
         return ct
@@ -192,13 +262,16 @@ class EncryptedMLP:
         return logits.argmax(axis=1)
 
 
-def compile_mlp(model: Module, params: CkksParams, seed: int = 0) -> EncryptedMLP:
+def compile_mlp(
+    model: Module, params: CkksParams, seed: int = 0, reference_keys: bool = False
+) -> EncryptedMLP:
     """Compile a (PAF-approximated) ``repro.nn`` MLP for encrypted inference.
 
     Accepts models whose module tree is Linear / ReLU / PAFReLU layers
     only (e.g. ``repro.nn.models.MLP`` after SMART-PAF replacement).
     Exact ReLU layers are rejected — replace them first; that is the whole
-    point of the paper.
+    point of the paper.  ``reference_keys`` additionally generates the
+    Galois keys the naive reference path needs (differential testing).
     """
     layers: list[_Layer] = []
     widths: list[int] = []
@@ -228,4 +301,6 @@ def compile_mlp(model: Module, params: CkksParams, seed: int = 0) -> EncryptedML
             padded = np.zeros((size, size))
             padded[: l.weight.shape[0], : l.weight.shape[1]] = l.weight
             l.weight = padded
-    return EncryptedMLP(layers, size=size, params=params, seed=seed)
+    return EncryptedMLP(
+        layers, size=size, params=params, seed=seed, reference_keys=reference_keys
+    )

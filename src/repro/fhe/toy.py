@@ -1,0 +1,44 @@
+"""The canonical toy serving model: an 8 -> 6 -> 3 MLP with an f1∘g2 PAF.
+
+One shared build used by the fhe/serve test suites, the serving
+benchmarks and the CI op-count summary, so the toy geometry (and the
+op-count regression anchors derived from it) cannot silently diverge
+between them.  Compiles in ~1 s; one encrypted forward ≈ 0.5 s at n=512.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ckks import CkksParams
+from repro.fhe.network import EncryptedMLP, compile_mlp
+
+__all__ = ["compiled_toy", "TOY_PARAMS"]
+
+#: the toy's CKKS parameter set (small ring, depth for one f1∘g2 PAF)
+TOY_PARAMS = CkksParams(n=512, scale_bits=25, depth=9)
+
+
+def compiled_toy(
+    reference_keys: bool = False, with_model: bool = False
+) -> EncryptedMLP | tuple:
+    """Build, PAF-replace, calibrate and compile the toy MLP.
+
+    ``reference_keys`` additionally generates the naive-path Galois keys
+    (differential / op-count testing); ``with_model`` also returns the
+    plaintext model (in eval mode).
+    """
+    # imported here: repro.core pulls in the full training stack, which
+    # ordinary repro.fhe users (and its import time) should not pay for
+    from repro.core import calibrate_static_scales, convert_to_static, replace_all
+    from repro.nn.models import mlp
+    from repro.paf import get_paf
+
+    rng = np.random.default_rng(0)
+    model = mlp(8, hidden=(6,), num_classes=3, seed=0)
+    replace_all(model, get_paf("f1g2"), np.zeros((1, 8)))
+    calibrate_static_scales(model, [rng.normal(size=(64, 8))])
+    convert_to_static(model)
+    enc = compile_mlp(model, TOY_PARAMS, seed=0, reference_keys=reference_keys)
+    model.eval()
+    return (model, enc) if with_model else enc

@@ -10,10 +10,12 @@ visits each linear layer at one deterministic ``(level, scale)`` pair.
 with two caches keyed on ``(value digest, level, scale)``:
 
 * the explicit diagonal/bias path — :meth:`ModelArtifact.encoded_linear`
-  hands :func:`repro.fhe.linear.encrypted_matvec` ready-made
-  :class:`~repro.ckks.Plaintext` objects for each layer's tiled diagonals
-  and bias (the bias is encoded at the *post-rescale* level and scale, so
-  it lands exactly where the matvec adds it);
+  hands the matvec executors ready-made :class:`~repro.ckks.Plaintext`
+  objects following each layer's :class:`~repro.fhe.linear.MatvecPlan`:
+  pre-rotated giant-step groups for BSGS layers
+  (:func:`repro.fhe.linear.encrypted_matvec_bsgs`), flat tiled diagonals
+  for naive ones, and the bias encoded at the *post-rescale* level and
+  scale, so it lands exactly where the matvec adds it;
 * an optional :class:`CachingEncoder` installed on the model's evaluator,
   which additionally memoises the PAF activation constants and
   scale-alignment corrections that ``poly_eval`` encodes.
@@ -152,9 +154,12 @@ class ModelArtifact:
 
     # ------------------------------------------------------------------
     def encoded_linear(self, layer_index: int, level: int, scale: float):
-        """Pre-encoded ``(diagonals, bias)`` for one linear layer.
+        """Pre-encoded ``(payload, bias)`` for one linear layer.
 
-        Diagonals are encoded at the incoming ciphertext's ``(level,
+        The payload follows the layer's :class:`~repro.fhe.linear.MatvecPlan`:
+        pre-rotated giant-step groups ``{giant: {baby: Plaintext}}`` for
+        BSGS layers, flat ``{d: Plaintext}`` diagonals for naive ones.
+        Everything is encoded at the incoming ciphertext's ``(level,
         scale)`` (the default ``mul_plain`` choice, preserving the
         canonical-scale invariant); the bias at ``(level-1, scale²/q_level)``
         — exactly where the ciphertext sits after the matvec's rescale.
@@ -168,10 +173,19 @@ class ModelArtifact:
         memo = self._linear_memo.get(key)
         if memo is not None:
             return memo
-        diags = {
-            d: self.cache.encode(vec, level, scale)
-            for d, vec in self.model.linear_diagonals[layer_index].items()
-        }
+        if self.model.matvec_plans[layer_index].use_bsgs:
+            diags = {
+                g: {
+                    b: self.cache.encode(vec, level, scale)
+                    for b, vec in inner.items()
+                }
+                for g, inner in self.model.linear_groups[layer_index].items()
+            }
+        else:
+            diags = {
+                d: self.cache.encode(vec, level, scale)
+                for d, vec in self.model.linear_diagonals[layer_index].items()
+            }
         bias_pt = None
         bias_vec = self.model.linear_bias_slots.get(layer_index)
         if bias_vec is not None:

@@ -126,6 +126,93 @@ class TestBasicHomomorphism:
         assert np.abs(ev.decrypt(c) - val).max() < 5e-2
 
 
+class TestHoistedRotations:
+    """rotate_many must be *bit-identical* to per-step rotate: the digit
+    decomposition commutes exactly with the Galois automorphism."""
+
+    def test_bit_identical_to_rotate(self, rt, data):
+        ctx, ev = rt
+        x, _ = data
+        ct = ev.encrypt(x)
+        rots = ev.rotate_many(ct, [0, 1, 3])
+        assert set(rots) == {0, 1, 3}
+        for step, got in rots.items():
+            ref = ev.rotate(ct, step)
+            assert np.array_equal(got.c0.data, ref.c0.data)
+            assert np.array_equal(got.c1.data, ref.c1.data)
+
+    def test_decrypts_to_rolled_slots(self, rt, data):
+        ctx, ev = rt
+        x, _ = data
+        rots = ev.rotate_many(ev.encrypt(x), [1, 3])
+        for step, ct in rots.items():
+            assert np.abs(ev.decrypt(ct) - np.roll(x, -step)).max() < TOL
+
+    def test_trivial_steps_are_copies(self, rt, data):
+        ctx, ev = rt
+        x, _ = data
+        ct = ev.encrypt(x)
+        rots = ev.rotate_many(ct, [0, ctx.slots])
+        for got in rots.values():
+            assert got is not ct
+            assert np.array_equal(got.c0.data, ct.c0.data)
+
+    def test_works_below_top_level(self, rt, data):
+        ctx, ev = rt
+        x, _ = data
+        ct = ev.rescale(ev.mul_plain(ev.encrypt(x), 0.5))
+        got = ev.rotate_many(ct, [3])[3]
+        ref = ev.rotate(ct, 3)
+        assert np.array_equal(got.c1.data, ref.c1.data)
+
+    def test_missing_key_raises_before_decomposing(self, rt, data):
+        ctx, ev = rt
+        x, _ = data
+        with pytest.raises(KeyError):
+            ev.rotate_many(ev.encrypt(x), [1, 7])
+
+    def test_ntt_permutation_matches_coefficient_automorphism(self, rt):
+        ctx, _ = rt
+        rng = np.random.default_rng(3)
+        p_idx = 0
+        p = ctx.all_primes[p_idx]
+        f = rng.integers(0, p, size=ctx.n).astype(np.int64)
+        from repro.ckks.rns import RnsPoly
+
+        poly = RnsPoly(ctx, f[None, :], [p_idx], is_ntt=False)
+        for g in (5, 2 * ctx.n - 1, pow(5, 3, 2 * ctx.n)):
+            via_coeff = poly.automorphism(g).to_ntt().data[0]
+            via_perm = poly.to_ntt().data[0][ctx.galois_ntt_permutation(g)]
+            assert np.array_equal(via_coeff, via_perm)
+
+
+class TestEnsureGaloisSteps:
+    def test_adds_missing_and_keeps_existing(self, rt, data):
+        ctx, ev = rt
+        x, _ = data
+        keys = keygen(ctx, seed=0, galois_steps=(1,))
+        g1 = keys.galois_element_for_step(ctx.n, 1)
+        fam1 = keys.galois[g1]
+        keys.ensure_galois_steps(ctx, (1, 2), seed=0)
+        assert keys.galois[g1] is fam1              # idempotent for existing
+        ev2 = CkksEvaluator(ctx, keys)
+        got = ev2.decrypt(ev2.rotate(ev2.encrypt(x), 2))
+        assert np.abs(got - np.roll(x, -2)).max() < TOL
+
+    def test_same_keys_as_upfront_keygen(self, rt):
+        """Growing the key set later is bit-identical to upfront keygen —
+        including for non-zero keygen seeds (the chain remembers its own)."""
+        ctx, _ = rt
+        grown = keygen(ctx, seed=42, galois_steps=(1,))
+        grown.ensure_galois_steps(ctx, (3,))
+        upfront = keygen(ctx, seed=42, galois_steps=(1, 3))
+        g3 = upfront.galois_element_for_step(ctx.n, 3)
+        level = ctx.max_level
+        for a, b in zip(grown.galois[g3].at_level(level), upfront.galois[g3].at_level(level)):
+            assert np.array_equal(a.b.data, b.b.data)
+            assert np.array_equal(a.a.data, b.a.data)
+
+
 class TestPolyEval:
     def test_odd_poly_matches_plaintext(self, rt, data):
         ctx, ev = rt

@@ -1,0 +1,23 @@
+"""Shared fixtures: the compiled toy model for the fhe suite.
+
+The canonical 8 -> 6 -> 3 toy build lives in :mod:`repro.fhe.toy`
+(shared with ``tests/serve`` and the benchmarks); here it is compiled
+twice — with ``reference_keys=True`` (BSGS *and* naive Galois keys, for
+differential / op-count tests) and in production form (BSGS keys only).
+"""
+
+import pytest
+
+from repro.fhe.toy import compiled_toy
+
+
+@pytest.fixture(scope="session")
+def toy_reference_enc():
+    """Compiled toy with Galois keys for both matvec paths."""
+    return compiled_toy(reference_keys=True)
+
+
+@pytest.fixture(scope="session")
+def toy_plain_enc():
+    """Compiled toy in production form (BSGS plans/keys only)."""
+    return compiled_toy()

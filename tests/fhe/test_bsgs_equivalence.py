@@ -1,0 +1,191 @@
+"""Differential suite: BSGS matvec vs the naive reference implementation.
+
+Every test decrypts both paths on the *same* ciphertext and asserts the
+results agree within 1e-3 (the acceptance bar) — rectangular, square and
+explicitly zero-padded weights, every SIMD block count, hypothesis-driven
+random matrices, and the compiled end-to-end network.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ckks import CkksContext, CkksParams, CkksEvaluator, keygen
+from repro.fhe.linear import (
+    bsgs_diagonals,
+    diagonals_of,
+    encrypted_matvec,
+    encrypted_matvec_bsgs,
+    plan_matvec,
+)
+
+SIZE = 8  # shared diagonal index space: keys cover every step < SIZE
+
+
+@pytest.fixture(scope="module")
+def rt():
+    """One context whose Galois keys cover naive + BSGS paths for any
+    matrix with max dim <= SIZE (steps 1..SIZE-1 suffice for both)."""
+    ctx = CkksContext(CkksParams(n=256, scale_bits=25, depth=2))
+    keys = keygen(ctx, seed=0, galois_steps=tuple(range(1, SIZE)))
+    return ctx, CkksEvaluator(ctx, keys)
+
+
+def _pack(ctx, x, size, num_blocks=1, stride=None):
+    """Wraparound-replicated block packing (the network's layout)."""
+    stride = stride or 2 * size
+    xs = np.atleast_2d(x)
+    packed = np.zeros(ctx.slots)
+    for b, row in enumerate(xs):
+        xr = np.zeros(size)
+        xr[: len(row)] = row
+        packed[b * stride : b * stride + size] = xr
+        packed[b * stride + size : b * stride + 2 * size] = xr
+    return packed
+
+
+def _both_paths(ev, ct, w=None, diagonals=None, groups=None, num_values=None, **kw):
+    if diagonals is not None:
+        naive = encrypted_matvec(ev, ct, diagonals=diagonals, **kw)
+        bsgs = encrypted_matvec_bsgs(ev, ct, groups=groups, **kw)
+    else:
+        naive = encrypted_matvec(ev, ct, w, **kw)
+        bsgs = encrypted_matvec_bsgs(ev, ct, w, **kw)
+    return (
+        ev.decrypt(naive, num_values=num_values),
+        ev.decrypt(bsgs, num_values=num_values),
+    )
+
+
+class TestShapes:
+    @pytest.mark.parametrize(
+        "shape", [(8, 8), (3, 8), (8, 3), (5, 7), (7, 5), (1, 8), (8, 1)]
+    )
+    def test_rectangular_and_square(self, rt, shape):
+        ctx, ev = rt
+        rng = np.random.default_rng(sum(shape))
+        w = rng.normal(size=shape)
+        x = rng.normal(size=shape[1])
+        ct = ev.encrypt(_pack(ctx, x, max(shape)))
+        naive, bsgs = _both_paths(ev, ct, w, num_values=shape[0])
+        np.testing.assert_allclose(bsgs, naive, atol=1e-3)
+        np.testing.assert_allclose(bsgs, w @ x, atol=5e-3)
+
+    def test_explicitly_padded_weight(self, rt):
+        """A 3x5 matrix zero-padded to 8x8 (the compile_mlp layout)."""
+        ctx, ev = rt
+        rng = np.random.default_rng(1)
+        w = np.zeros((SIZE, SIZE))
+        w[:3, :5] = rng.normal(size=(3, 5))
+        x = np.zeros(SIZE)
+        x[:5] = rng.normal(size=5)
+        ct = ev.encrypt(_pack(ctx, x, SIZE))
+        naive, bsgs = _both_paths(ev, ct, w, num_values=3)
+        np.testing.assert_allclose(bsgs, naive, atol=1e-3)
+        np.testing.assert_allclose(bsgs, (w @ x)[:3], atol=5e-3)
+
+    def test_bias(self, rt):
+        ctx, ev = rt
+        rng = np.random.default_rng(2)
+        w = rng.normal(size=(6, 6))
+        x, b = rng.normal(size=6), rng.normal(size=6)
+        ct = ev.encrypt(_pack(ctx, x, 6))
+        naive, bsgs = _both_paths(ev, ct, w, bias=b, num_values=6)
+        np.testing.assert_allclose(bsgs, naive, atol=1e-3)
+        np.testing.assert_allclose(bsgs, w @ x + b, atol=5e-3)
+
+    def test_level_and_scale_match_naive(self, rt):
+        ctx, ev = rt
+        rng = np.random.default_rng(3)
+        w = rng.normal(size=(6, 6))
+        ct = ev.encrypt(_pack(ctx, rng.normal(size=6), 6))
+        naive = encrypted_matvec(ev, ct, w)
+        bsgs = encrypted_matvec_bsgs(ev, ct, w)
+        assert bsgs.level == naive.level == ct.level - 1
+        assert abs(bsgs.scale - naive.scale) < 1e-6 * naive.scale
+
+
+class TestBlockCounts:
+    @pytest.mark.parametrize("num_blocks", list(range(1, 9)))
+    def test_every_block_count(self, rt, num_blocks):
+        """slots=128, size=8, stride=16: all 1..8 block counts fit."""
+        ctx, ev = rt
+        rng = np.random.default_rng(num_blocks)
+        w = rng.normal(size=(6, 8))
+        stride = 2 * SIZE
+        diags = diagonals_of(w, ctx.slots, num_blocks=num_blocks, block_stride=stride)
+        plan = plan_matvec(diags.keys(), SIZE)
+        groups = bsgs_diagonals(diags, plan)
+        xs = rng.normal(size=(num_blocks, 8))
+        ct = ev.encrypt(_pack(ctx, xs, SIZE, num_blocks=num_blocks))
+        span = (num_blocks - 1) * stride + 6
+        naive, bsgs = _both_paths(
+            ev, ct, diagonals=diags, groups=groups, num_values=span
+        )
+        np.testing.assert_allclose(bsgs, naive, atol=1e-3)
+        for b in range(num_blocks):
+            np.testing.assert_allclose(
+                bsgs[b * stride : b * stride + 6], w @ xs[b], atol=5e-3
+            )
+
+
+class TestHypothesisRandomMatrices:
+    @given(
+        out_dim=st.integers(min_value=1, max_value=SIZE),
+        in_dim=st.integers(min_value=1, max_value=SIZE),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        sparsity=st.floats(min_value=0.0, max_value=0.8),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_random_matrix_equivalence(self, rt, out_dim, in_dim, seed, sparsity):
+        ctx, ev = rt
+        rng = np.random.default_rng(seed)
+        w = rng.normal(size=(out_dim, in_dim))
+        w[rng.random(w.shape) < sparsity] = 0.0
+        if not np.any(w):
+            w[0, 0] = 1.0  # keep at least one nonzero diagonal
+        x = rng.normal(size=in_dim)
+        ct = ev.encrypt(_pack(ctx, x, max(out_dim, in_dim)))
+        naive, bsgs = _both_paths(ev, ct, w, num_values=out_dim)
+        np.testing.assert_allclose(bsgs, naive, atol=1e-3)
+        np.testing.assert_allclose(bsgs, w @ x, atol=5e-3)
+
+
+class TestEndToEndNetwork:
+    @pytest.fixture(scope="class")
+    def compiled(self, toy_reference_enc):
+        return toy_reference_enc
+
+    @pytest.mark.parametrize("batch", [1, 2, 3])
+    def test_logits_equal_across_batch_sizes(self, compiled, batch):
+        enc = compiled
+        rng = np.random.default_rng(batch)
+        xs = rng.normal(size=(batch, 8))
+        ct = enc.encrypt_batch(xs)
+        bsgs = enc.decrypt_logits(enc.forward(ct), 3, batch=batch)
+        naive = enc.decrypt_logits(enc.forward(ct, reference=True), 3, batch=batch)
+        np.testing.assert_allclose(bsgs, naive, atol=1e-3)
+
+    def test_all_layers_planned_bsgs(self, compiled):
+        for plan in compiled.matvec_plans.values():
+            assert plan.use_bsgs
+            assert plan.bsgs_keyswitches < plan.naive_keyswitches
+
+    def test_reference_with_encoded_provider_rejected(self, compiled):
+        enc = compiled
+        ct = enc.encrypt_batch([np.zeros(8)])
+        with pytest.raises(ValueError):
+            enc.forward(ct, encoded=lambda *a: None, reference=True)
+
+    def test_production_compile_drops_reference_diagonals(self, toy_plain_enc):
+        """Without reference_keys, BSGS layers keep only their pre-rotated
+        groups (no duplicate flat diagonals) and the reference path fails
+        with a clear error instead of a missing-key KeyError."""
+        enc = toy_plain_enc
+        for i, plan in enc.matvec_plans.items():
+            assert plan.use_bsgs
+            assert i in enc.linear_groups
+            assert i not in enc.linear_diagonals
+        with pytest.raises(ValueError, match="reference_keys"):
+            enc.forward(enc.encrypt_batch([np.zeros(8)]), reference=True)

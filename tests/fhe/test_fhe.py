@@ -83,6 +83,33 @@ class TestEncryptedMatvec:
         out = encrypted_matvec(ev, ct, w)
         assert out.level == ct.level - 1
 
+    def test_all_zero_weight_rejected_upfront(self, rt):
+        """An all-zero matrix fails validation before any homomorphic op
+        runs (it used to raise only after looping over zero diagonals)."""
+        from repro.ckks.instrumentation import CountingEvaluator
+        from repro.fhe import encrypted_matvec_bsgs
+
+        ctx, ev, _ = rt
+        counting = CountingEvaluator(ev)
+        ct = counting.encrypt(np.zeros(ctx.slots))
+        counting.reset()
+        for fn in (encrypted_matvec, encrypted_matvec_bsgs):
+            with pytest.raises(ValueError, match="no nonzero diagonals"):
+                fn(counting, ct, np.zeros((4, 4)))
+            with pytest.raises(ValueError, match="no nonzero diagonals"):
+                fn(counting, ct, **{"diagonals" if fn is encrypted_matvec else "groups": {}})
+        assert sum(counting.counts.values()) == 0  # nothing executed
+
+    def test_missing_weight_and_diagonals_rejected(self, rt):
+        from repro.fhe import encrypted_matvec_bsgs
+
+        ctx, ev, _ = rt
+        ct = ev.encrypt(np.zeros(ctx.slots))
+        with pytest.raises(ValueError, match="need either"):
+            encrypted_matvec(ev, ct)
+        with pytest.raises(ValueError, match="need either"):
+            encrypted_matvec_bsgs(ev, ct)
+
 
 class TestCompileMlp:
     def test_rejects_exact_relu(self):
@@ -149,3 +176,41 @@ class TestLatencyHarness:
         micros = {"ct_mult": 1e-3, "pt_mult": 1e-4, "rescale": 5e-4}
         cost = analytic_relu_cost(get_paf("f2g2"), micros)
         assert cost > 0
+
+    def test_matvec_cost_model_counts(self):
+        from repro.fhe import analytic_matvec_cost, matvec_op_counts, plan_matvec
+
+        plan = plan_matvec(range(16), 16)
+        assert matvec_op_counts(plan) == {
+            "rotate": 3,            # giant steps
+            "rotate_hoisted": 3,    # baby steps sharing one decomposition
+            "hoist_decompose": 1,
+            "pt_mult": 16,
+            "rescale": 1,
+        }
+        naive = plan_matvec([0, 1], 2)   # too small: BSGS cannot win
+        assert not naive.use_bsgs
+        assert matvec_op_counts(naive) == {
+            "rotate": 1,
+            "rotate_hoisted": 0,
+            "hoist_decompose": 0,
+            "pt_mult": 2,
+            "rescale": 1,
+        }
+        micros = {
+            "rotate": 1e-2,
+            "rotate_hoisted": 2e-3,
+            "hoist_decompose": 8e-3,
+            "pt_mult": 1e-4,
+            "rescale": 5e-4,
+        }
+        assert analytic_matvec_cost(plan, micros) > analytic_matvec_cost(naive, micros)
+
+    def test_measure_op_micros_includes_rotations(self):
+        micros = measure_op_micros(CkksParams(n=256, scale_bits=25, depth=4), repeats=1)
+        assert micros["rotate"] > 0 and micros["rotate_hoisted"] > 0
+        assert micros["hoist_decompose"] >= 0
+        # the marginal hoisted rotation skips the decomposition entirely,
+        # sitting well below a standalone rotate; assert with a wide margin
+        # so a CI scheduler hiccup cannot flip a wall-clock inequality
+        assert micros["rotate_hoisted"] < 2 * micros["rotate"]

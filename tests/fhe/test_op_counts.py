@@ -1,0 +1,185 @@
+"""HE-op-count regression suite for the encrypted matvec hot path.
+
+These tests pin the *exact* rotation / keyswitch / rescale counts of both
+matvec paths (and of the full compiled forward pass) via
+``CountingEvaluator``, so a future change cannot silently regress the
+hot path — the whole point of the BSGS rewrite is the keyswitch count.
+
+The acceptance invariant: for every *dense* layer with >= 4 nonzero
+diagonals (the compiled networks' zero-padded square weights are dense
+in diagonal space) the BSGS path performs *strictly fewer* keyswitches
+than the naive path.  Sparse diagonal patterns that don't factor into a
+baby×giant grid may tie instead — the planner then falls back to naive,
+never costing more (pinned property-wise in test_plan_properties.py).
+"""
+
+import numpy as np
+import pytest
+
+from repro.ckks import CkksContext, CkksParams, CkksEvaluator, keygen
+from repro.ckks.instrumentation import CountingEvaluator
+from repro.fhe.linear import (
+    diagonals_of,
+    encrypted_matvec,
+    encrypted_matvec_bsgs,
+    plan_matvec,
+)
+
+SIZE = 16
+
+
+@pytest.fixture(scope="module")
+def rt():
+    ctx = CkksContext(CkksParams(n=256, scale_bits=25, depth=2))
+    keys = keygen(ctx, seed=0, galois_steps=tuple(range(1, SIZE)))
+    return ctx, CkksEvaluator(ctx, keys)
+
+
+def _packed_ct(ctx, ev, size, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=size)
+    packed = np.zeros(ctx.slots)
+    packed[:size] = x
+    packed[size : 2 * size] = x
+    return ev.encrypt(packed)
+
+
+class TestMatvecOpCounts:
+    def test_naive_dense_8x8_exact_counts(self, rt):
+        ctx, ev = rt
+        w = np.random.default_rng(0).normal(size=(8, 8))
+        counting = CountingEvaluator(ev)
+        ct = _packed_ct(ctx, counting, 8)
+        counting.reset()
+        encrypted_matvec(counting, ct, w)
+        assert dict(counting.counts) == {
+            "rotate": 7,
+            "mul_plain": 8,
+            "add": 7,
+            "rescale": 1,
+        }
+        assert counting.keyswitch_count == 7
+
+    def test_bsgs_dense_8x8_exact_counts(self, rt):
+        ctx, ev = rt
+        w = np.random.default_rng(0).normal(size=(8, 8))
+        counting = CountingEvaluator(ev)
+        ct = _packed_ct(ctx, counting, 8)
+        counting.reset()
+        encrypted_matvec_bsgs(counting, ct, w)
+        # n1=4: babies {0,1,2,3} (3 hoisted rotations sharing 1 decompose),
+        # giants {0,4} (1 standalone rotation of an accumulated sum)
+        assert dict(counting.counts) == {
+            "hoist_decompose": 1,
+            "rotate_hoisted": 3,
+            "rotate": 1,
+            "mul_plain": 8,
+            "add": 7,
+            "rescale": 1,
+        }
+        assert counting.keyswitch_count == 4
+
+    @pytest.mark.parametrize("size", list(range(4, SIZE + 1)))
+    def test_bsgs_strictly_fewer_keyswitches_dense(self, rt, size):
+        """Acceptance: every dense layer with >= 4 nonzero diagonals does
+        strictly fewer keyswitches on the BSGS path."""
+        ctx, ev = rt
+        w = np.random.default_rng(size).normal(size=(size, size))
+        plan = plan_matvec(diagonals_of(w, ctx.slots).keys(), size)
+        assert plan.use_bsgs
+        assert plan.bsgs_keyswitches < plan.naive_keyswitches
+
+        counting = CountingEvaluator(ev)
+        ct = _packed_ct(ctx, counting, size)
+        counting.reset()
+        encrypted_matvec_bsgs(counting, ct, w)
+        ks_bsgs = counting.keyswitch_count
+        counting.reset()
+        encrypted_matvec(counting, ct, w)
+        ks_naive = counting.keyswitch_count
+        # measured counts match the plan's prediction exactly
+        assert ks_bsgs == plan.bsgs_keyswitches
+        assert ks_naive == plan.naive_keyswitches
+        assert ks_bsgs < ks_naive
+
+    def test_both_paths_rescale_once(self, rt):
+        ctx, ev = rt
+        w = np.random.default_rng(1).normal(size=(6, 6))
+        counting = CountingEvaluator(ev)
+        ct = _packed_ct(ctx, counting, 6)
+        for fn in (encrypted_matvec, encrypted_matvec_bsgs):
+            counting.reset()
+            fn(counting, ct, w)
+            assert counting.counts["rescale"] == 1
+
+    def test_identity_matrix_no_keyswitches(self, rt):
+        ctx, ev = rt
+        w = np.eye(6)
+        plan = plan_matvec(diagonals_of(w, ctx.slots).keys(), 6)
+        assert not plan.use_bsgs          # nothing to gain: 0 rotations
+        assert plan.keyswitches == 0
+        counting = CountingEvaluator(ev)
+        ct = _packed_ct(ctx, counting, 6)
+        counting.reset()
+        encrypted_matvec(counting, ct, w)
+        assert counting.keyswitch_count == 0
+
+
+class TestNetworkOpCounts:
+    """Full-forward regression anchors for the compiled toy MLP
+    (8 -> 6 -> 3 with one f1∘g2 PAF): two dense 8x8-padded linears."""
+
+    @pytest.fixture(scope="class")
+    def compiled(self, toy_reference_enc):
+        return toy_reference_enc
+
+    def _forward_counts(self, enc, **kw):
+        counting = CountingEvaluator(enc.ev)
+        ct = enc.encrypt_batch([np.zeros(8)])
+        counting.reset()
+        enc.forward(ct, ev=counting, **kw)
+        return counting
+
+    def test_bsgs_forward_exact_counts(self, compiled):
+        counting = self._forward_counts(compiled)
+        assert dict(counting.counts) == {
+            "hoist_decompose": 2,   # one per linear layer
+            "rotate_hoisted": 6,    # 3 baby rotations per 8-wide layer
+            "rotate": 3,            # 2 giant steps + 1 replication rotation
+            "mul_plain": 21,
+            "add": 18,
+            "add_plain": 3,
+            "mul": 7,
+            "rescale": 14,
+            "mod_switch_to": 5,
+        }
+        assert counting.keyswitch_count == 16
+
+    def test_naive_forward_exact_counts(self, compiled):
+        counting = self._forward_counts(compiled, reference=True)
+        assert dict(counting.counts) == {
+            "rotate": 15,           # 7 per dense 8-wide layer + 1 replication
+            "mul_plain": 21,
+            "add": 18,
+            "add_plain": 3,
+            "mul": 7,
+            "rescale": 14,
+            "mod_switch_to": 5,
+        }
+        assert counting.keyswitch_count == 22
+
+    def test_bsgs_saves_keyswitches_end_to_end(self, compiled):
+        bsgs = self._forward_counts(compiled)
+        naive = self._forward_counts(compiled, reference=True)
+        assert bsgs.keyswitch_count < naive.keyswitch_count
+        # non-rotation op counts are untouched by the rewrite
+        for op in ("mul_plain", "add", "add_plain", "mul", "rescale"):
+            assert bsgs.counts[op] == naive.counts[op]
+
+    def test_key_set_smaller_than_reference(self, compiled):
+        """BSGS shrinks the Galois key set: baby+giant+replicate steps
+        are fewer than one key per nonzero diagonal."""
+        plans = compiled.matvec_plans.values()
+        bsgs_steps = set().union(*(p.rotation_steps() for p in plans))
+        naive_steps = set().union(*(p.diag_steps for p in plans))
+        assert len(bsgs_steps) < len(naive_steps)

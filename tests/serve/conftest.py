@@ -1,23 +1,11 @@
 """Shared fixtures: one compiled toy model for the whole serve suite."""
 
-import numpy as np
 import pytest
 
-from repro.ckks import CkksParams
-from repro.core import calibrate_static_scales, convert_to_static, replace_all
-from repro.fhe import compile_mlp
-from repro.nn.models import mlp
-from repro.paf import get_paf
+from repro.fhe.toy import compiled_toy
 
 
 @pytest.fixture(scope="session")
 def toy():
     """(plain model, compiled EncryptedMLP) — 8 -> 6 -> 3 MLP with an f1∘g2 PAF."""
-    rng = np.random.default_rng(0)
-    model = mlp(8, hidden=(6,), num_classes=3, seed=0)
-    replace_all(model, get_paf("f1g2"), np.zeros((1, 8)))
-    calibrate_static_scales(model, [rng.normal(size=(64, 8))])
-    convert_to_static(model)
-    enc = compile_mlp(model, CkksParams(n=512, scale_bits=25, depth=9), seed=0)
-    model.eval()
-    return model, enc
+    return compiled_toy(with_model=True)

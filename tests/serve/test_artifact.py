@@ -84,14 +84,32 @@ class TestModelArtifact:
             art.forward(enc.encrypt_batch([np.ones(8)]))
         assert art.cache.misses == misses_after_warm  # no fresh encodes at all
         # steady state short-circuits on the per-layer memo, one hit per layer
-        assert len(art._linear_memo) == len(enc.linear_diagonals)
+        assert len(art._linear_memo) == len(enc.matvec_plans)
 
     def test_warm_populates_all_linear_layers(self, toy):
         _, enc = toy
         art = ModelArtifact(enc, cache_activations=False).warm()
-        n_diags = sum(len(d) for d in enc.linear_diagonals.values())
+        n_diags = sum(
+            len(inner) for g in enc.linear_groups.values() for inner in g.values()
+        ) + sum(len(d) for d in enc.linear_diagonals.values())
         n_bias = len(enc.linear_bias_slots)
         assert len(art.cache) == n_diags + n_bias
+
+    def test_encoded_payload_follows_matvec_plan(self, toy):
+        """BSGS layers get grouped {giant: {baby: Plaintext}} payloads
+        whose shape mirrors the pre-rotated raw groups."""
+        _, enc = toy
+        art = ModelArtifact(enc, cache_activations=False)
+        i = next(iter(enc.linear_groups))
+        ct = enc.encrypt_batch([np.zeros(8)])
+        payload, _ = art.encoded_linear(i, ct.level, ct.scale)
+        raw = enc.linear_groups[i]
+        assert {g: set(inner) for g, inner in payload.items()} == {
+            g: set(inner) for g, inner in raw.items()
+        }
+        for inner in payload.values():
+            for pt in inner.values():
+                assert isinstance(pt, Plaintext)
 
     def test_stats_shape(self, toy):
         _, enc = toy
