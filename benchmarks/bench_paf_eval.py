@@ -1,0 +1,110 @@
+"""Activation benchmark: ladder vs Paterson–Stockmeyer per registry PAF.
+
+Standalone script (also imported by ``opcount_summary.py`` for the CI
+artifact):
+
+    PYTHONPATH=src python benchmarks/bench_paf_eval.py [outfile]
+    PYTHONPATH=src python benchmarks/bench_paf_eval.py --counts-only [outfile]
+
+Prints, per registry PAF form: the analytic nonscalar-mult counts of both
+activation paths (pinned in ``tests/fhe/test_op_counts.py``), the measured
+counts of one encrypted ReLU, and — unless ``--counts-only`` — the
+wall-clock latency of each path (median of ``--repeats`` runs on a shared
+context per depth).
+"""
+
+import sys
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.ckks import CkksParams, eval_paf_relu
+from repro.ckks.instrumentation import CountingEvaluator
+from repro.ckks.poly_plan import plan_paf_relu
+from repro.fhe.latency import shared_runtime
+from repro.paf import paper_pafs
+from repro.paf.relu import relu_mult_depth
+
+
+def activation_count_table(include_alpha10: bool = True) -> str:
+    """Analytic per-PAF op-count table (no FHE work — safe for CI)."""
+    rows = []
+    for paf in paper_pafs(include_alpha10=include_alpha10):
+        plan = plan_paf_relu(paf)
+        ladder = sum(p.ladder_mults for p in plan.components) + 1
+        saved = 100.0 * (ladder - plan.nonscalar_mults) / ladder
+        rows.append(
+            [
+                paf.name,
+                paf.reported_degree,
+                plan.mult_depth,
+                ladder,
+                plan.nonscalar_mults,
+                f"{saved:.0f}%",
+                " ".join(
+                    f"{p.shape[:3]}/w{p.window}" if p.use_ps else "ladder"
+                    for p in plan.components
+                ),
+            ]
+        )
+    return format_table(
+        ["PAF", "degree", "depth", "ladder ct*ct", "PS ct*ct", "saved", "per-component"],
+        rows,
+        title="Activation nonscalar-mult counts: ladder vs Paterson-Stockmeyer",
+    )
+
+
+def measured_latency_table(repeats: int = 3, n: int = 1024) -> str:
+    """Measured encrypted-ReLU wall-clock + op counts on both paths."""
+    import time
+
+    rows = []
+    for paf in paper_pafs(include_alpha10=True):
+        depth = relu_mult_depth(paf)
+        params = CkksParams(n=n, scale_bits=25, depth=depth)
+        ctx, _, ev = shared_runtime(params)
+        rng = np.random.default_rng(0)
+        ct = ev.encrypt(rng.uniform(-1, 1, ctx.slots))
+        plan = plan_paf_relu(paf)
+        row = [paf.name, depth]
+        for reference in (True, False):
+            counting = CountingEvaluator(ev)
+            counting.reset()
+            times = []
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                eval_paf_relu(
+                    counting, ct, paf,
+                    plan=None if reference else plan,
+                    reference=reference,
+                )
+                times.append(time.perf_counter() - t0)
+            row.append(counting.nonscalar_mult_count // repeats)
+            row.append(f"{np.median(times) * 1e3:.1f}")
+        ladder_ms, ps_ms = float(row[3]), float(row[5])
+        row.append(f"{ladder_ms / ps_ms:.2f}x")
+        rows.append(row)
+    return format_table(
+        ["PAF", "depth", "ladder ct*ct", "ladder ms", "PS ct*ct", "PS ms", "speedup"],
+        rows,
+        title=f"Measured encrypted-ReLU latency (n={n}, scale 2^25)",
+    )
+
+
+def main() -> int:
+    args = [a for a in sys.argv[1:]]
+    counts_only = "--counts-only" in args
+    if counts_only:
+        args.remove("--counts-only")
+    out = activation_count_table()
+    if not counts_only:
+        out += "\n\n" + measured_latency_table()
+    print(out)
+    if args:
+        with open(args[0], "w") as fh:
+            fh.write(out + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

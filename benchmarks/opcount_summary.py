@@ -1,19 +1,22 @@
-"""HE-op-count summary: per-layer matvec plans + full-forward counts.
+"""HE-op-count summary: per-layer plans + full-forward + activation counts.
 
 Run by CI (and uploadable as a job artifact) so every PR shows the
-hot-path rotation/keyswitch budget at a glance:
+hot-path rotation/keyswitch/nonscalar-mult budget at a glance:
 
     PYTHONPATH=src python benchmarks/opcount_summary.py [outfile]
 
-Prints (and optionally writes) the per-layer BSGS plans of the toy
-serving model and the measured op counts of one encrypted forward on the
-naive and BSGS paths.
+Prints (and optionally writes) the per-layer BSGS matvec plans of the toy
+serving model, the measured op counts of one encrypted forward on the
+reference and planned paths, and the per-registry-PAF activation
+nonscalar-mult table (ladder vs Paterson–Stockmeyer, from
+``bench_paf_eval``).
 """
 
 import sys
 
 import numpy as np
 
+from bench_paf_eval import activation_count_table
 from repro.analysis.tables import format_table
 from repro.ckks.instrumentation import CountingEvaluator
 from repro.fhe.toy import compiled_toy
@@ -42,7 +45,7 @@ def build_summary() -> str:
     counting = CountingEvaluator(enc.ev)
     ct = enc.encrypt_batch([np.zeros(8)])
     forward_rows = []
-    for label, kw in (("naive", {"reference": True}), ("bsgs", {})):
+    for label, kw in (("reference", {"reference": True}), ("planned", {})):
         counting.reset()
         enc.forward(ct, ev=counting, **kw)
         c = counting.counts
@@ -53,16 +56,21 @@ def build_summary() -> str:
                 c["rotate_hoisted"],
                 c["hoist_decompose"],
                 counting.keyswitch_count,
+                counting.nonscalar_mult_count,
                 c["mul_plain"],
                 c["rescale"],
             ]
         )
     forward_table = format_table(
-        ["path", "rotate", "hoisted", "decompose", "keyswitches", "pt mult", "rescale"],
+        [
+            "path", "rotate", "hoisted", "decompose", "keyswitches",
+            "ct*ct mult", "pt mult", "rescale",
+        ],
         forward_rows,
-        title="Measured op counts: one encrypted forward",
+        title="Measured op counts: one encrypted forward "
+        "(reference = naive matvec + ladder PAF)",
     )
-    return plan_table + "\n\n" + forward_table
+    return "\n\n".join([plan_table, forward_table, activation_count_table()])
 
 
 def main() -> int:

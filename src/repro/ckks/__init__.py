@@ -16,6 +16,15 @@ from repro.ckks.poly_eval import (
     eval_paf_max,
     eval_paf_relu,
 )
+from repro.ckks.poly_plan import (
+    CompositePlan,
+    PolyPlan,
+    ReluPlan,
+    ladder_nonscalar_mults,
+    plan_composite,
+    plan_odd_poly,
+    plan_paf_relu,
+)
 from repro.ckks.primes import generate_primes, is_prime
 from repro.ckks.rns import RnsPoly, crt_compose_centered, fast_base_convert
 from repro.ckks.security import SecurityReport, security_report
@@ -39,6 +48,13 @@ __all__ = [
     "eval_composite_paf",
     "eval_paf_relu",
     "eval_paf_max",
+    "PolyPlan",
+    "CompositePlan",
+    "ReluPlan",
+    "plan_odd_poly",
+    "plan_composite",
+    "plan_paf_relu",
+    "ladder_nonscalar_mults",
     "SecurityReport",
     "security_report",
 ]

@@ -49,6 +49,17 @@ class CountingEvaluator:
         self.counts.clear()
 
     @property
+    def nonscalar_mult_count(self) -> int:
+        """Ciphertext×ciphertext multiplications (squarings included).
+
+        The currency of polynomial-evaluation cost (each one pays a
+        relinearisation keyswitch); the Paterson–Stockmeyer op-count
+        regression suite pins this against
+        :attr:`repro.ckks.poly_plan.PolyPlan.nonscalar_mults`.
+        """
+        return self.counts["mul"]
+
+    @property
     def keyswitch_count(self) -> int:
         """Total keyswitch (Galois/relin) applications — the dominant cost.
 

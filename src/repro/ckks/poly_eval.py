@@ -1,20 +1,36 @@
-"""Depth-optimal evaluation of odd polynomials / composite PAFs on ciphertexts.
+"""Evaluation of odd polynomials / composite PAFs on ciphertexts.
 
-Mirrors the symbolic schedule of ``repro.paf.depth`` exactly:
+Two paths, selected per component by its :class:`~repro.ckks.poly_plan.PolyPlan`:
 
-* binary power ladder ``x², x⁴, …`` by repeated squaring — ``x^(2^i)``
-  lands at level ``L - i``;
-* each term ``c_k x^k`` starts from the leaf plaintext product ``c_k·x``
-  (one level) and merges in the ladder powers of ``k-1``'s set bits,
-  always combining the two *shallowest* operands, landing at depth
-  ``ceil(log2(k+1))``;
-* a composite consumes the sum of its components' depths (Appendix C);
+* **Paterson–Stockmeyer** (default where strictly cheaper): baby powers
+  ``x, x³, …`` live implicitly as leaf products ``c·x`` merged with the
+  shared even rungs ``x², x⁴, …``; blocks of ``window`` consecutive odd
+  terms combine through the giant powers ``x^{w·2^r}`` (balanced tree or
+  giant-step Horner, whichever the plan chose) — ``O(√degree)``-ish
+  nonscalar mults at the *same* level consumption as the ladder.
+* **Term-by-term ladder** (the reference implementation, kept behind
+  ``reference=True`` exactly like the naive matvec path of
+  ``repro.fhe.linear``): binary power ladder by repeated squaring, each
+  term ``c_k x^k`` built from its leaf plaintext product plus the ladder
+  powers of ``k-1``'s set bits, always combining the two *shallowest*
+  operands.
+
+Both paths mirror the symbolic schedule of ``repro.paf.depth`` exactly:
+
+* ``x^(2^i)`` lands at level ``L - i``; a term lands at depth
+  ``ceil(log2(k+1))``; a composite consumes the sum of its components'
+  depths (Appendix C);
 * the ReLU reconstruction ``(x + x·sign)/2`` folds the ½ into the sign's
   outermost coefficients (free) and spends exactly one extra level on the
   ``x · (0.5 + 0.5·sign)`` product.
 
-Tests assert that the measured level consumption equals the analytic
-``mult_depth`` for every registry PAF.
+Every intermediate stays on the *canonical scale* of its level
+(``S_{l-1} = S_l² / q_l``), so coefficient plaintexts encode at
+deterministic ``(level, scale)`` pairs — the property
+``repro.serve.artifact`` exploits to pre-encode them.  Tests assert that
+the measured level consumption equals the analytic ``mult_depth`` for
+every registry PAF on both paths, and that measured nonscalar-mult counts
+match the plan's predictions exactly.
 """
 
 from __future__ import annotations
@@ -25,6 +41,15 @@ from typing import Optional
 import numpy as np
 
 from repro.ckks.evaluator import Ciphertext, CkksEvaluator
+from repro.ckks.poly_plan import (
+    CompositePlan,
+    PolyPlan,
+    ReluPlan,
+    fold_relu_composite,
+    plan_composite,
+    plan_odd_poly,
+    plan_paf_relu,
+)
 from repro.paf.polynomial import CompositePAF, OddPolynomial
 
 __all__ = [
@@ -35,6 +60,9 @@ __all__ = [
 ]
 
 
+# ----------------------------------------------------------------------
+# reference path: term-by-term binary power ladder
+# ----------------------------------------------------------------------
 def _power_ladder(ev: CkksEvaluator, x: Ciphertext, max_power: int) -> dict:
     """``{2^i: ciphertext of x^(2^i)}`` for all needed ladder rungs."""
     ladder = {1: x}
@@ -47,14 +75,11 @@ def _power_ladder(ev: CkksEvaluator, x: Ciphertext, max_power: int) -> dict:
     return ladder
 
 
-def eval_odd_poly(
+def _eval_odd_ladder(
     ev: CkksEvaluator, x: Ciphertext, poly: OddPolynomial
 ) -> Ciphertext:
-    """Evaluate an odd polynomial at a ciphertext, depth-optimally."""
+    """Term-by-term ladder evaluation (the reference implementation)."""
     degree = poly.degree
-    max_rung = 1
-    while max_rung * 2 <= degree - 1 if degree > 1 else False:
-        max_rung *= 2
     ladder = _power_ladder(ev, x, max(degree - 1, 1))
 
     terms: list[Ciphertext] = []
@@ -103,21 +128,164 @@ def eval_odd_poly(
     return acc
 
 
-def eval_composite_paf(
-    ev: CkksEvaluator, x: Ciphertext, paf: CompositePAF
+# ----------------------------------------------------------------------
+# Paterson–Stockmeyer path
+# ----------------------------------------------------------------------
+def _eval_odd_ps(
+    ev: CkksEvaluator, x: Ciphertext, plan: PolyPlan
 ) -> Ciphertext:
-    """Evaluate a composite sign PAF on a ciphertext."""
+    """Execute a compiled Paterson–Stockmeyer plan.
+
+    Performs exactly ``plan.ps_mults`` nonscalar multiplications and
+    consumes exactly ``plan.mult_depth`` levels.  Every ciphertext stays
+    on its level's canonical scale; operands of each multiplication are
+    brought to a common level with :meth:`CkksEvaluator.align_to` (an
+    exact drift correction, never an extra nonscalar mult).
+    """
+    # shared even rungs x^(2^e), e = 1..rung_top (by repeated squaring)
+    rungs: dict = {}
+    current = x
+    for e in range(1, plan.rung_top + 1):
+        current = ev.rescale(ev.square(current))
+        rungs[e] = current
+    # giant powers x^(w·2^r) continue the squaring chain
+    giants: list = []
+    if plan.giant_count:
+        base = rungs[plan.beta - 1] if plan.beta > 1 else x
+        g = ev.rescale(ev.square(base))
+        giants.append(g)
+        for _ in range(plan.giant_count - 1):
+            g = ev.rescale(ev.square(g))
+            giants.append(g)
+
+    # Alignments are *exact* (rtol=0): adjacent-level canonical scales can
+    # drift by under align_to's default tolerance, and skipping the
+    # correction there would silently mis-scale a block sum by up to 1% —
+    # material for large-coefficient components like the α=7 minimax.  The
+    # correction costs one plaintext mult on a descent the operand was
+    # making anyway, never a nonscalar mult.
+    def mul_align(a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        if a.level > b.level:
+            a = ev.align_to(a, b.level, b.scale, rtol=0.0)
+        elif b.level > a.level:
+            b = ev.align_to(b, a.level, a.scale, rtol=0.0)
+        return ev.rescale(ev.mul(a, b))
+
+    def add_align(a: Optional[Ciphertext], b: Optional[Ciphertext]):
+        if a is None or b is None:
+            return b if a is None else a
+        if a.level > b.level:
+            a = ev.align_to(a, b.level, b.scale, rtol=0.0)
+        elif b.level > a.level:
+            b = ev.align_to(b, a.level, a.scale, rtol=0.0)
+        return ev.add(a, b)
+
+    # Leaves are computed *directly at their plan-scheduled level*: one
+    # plaintext product against the (mod-switched) input, encoded at the
+    # exact scale that rescales onto the target level's canonical scale.
+    # This lands a leaf at any depth for the cost of a depth-1 leaf — no
+    # drift correction — and makes the encode coordinates enumerable for
+    # the serving artifact's pre-encoded coefficient cache.
+    coords = plan.leaf_schedule(ev.ctx.q_chain, x.level, x.scale)
+
+    def leaf_ct(position: int, term) -> Ciphertext:
+        enc_level, enc_scale, _, tgt_scale = coords[(position, term.exponent)]
+        x_down = ev.mod_switch_to(x, enc_level)
+        out = ev.rescale(ev.mul_plain(x_down, term.coeff, scale=enc_scale))
+        out.scale = tgt_scale  # exact by construction (up to encode rounding)
+        return out
+
+    def block_ct(block) -> Ciphertext:
+        acc = None
+        for term in block.terms:
+            t = leaf_ct(block.position, term)
+            for e in term.rungs:                      # ascending merges
+                t = mul_align(t, rungs[e])
+            acc = add_align(acc, t)
+        return acc
+
+    blocks = {b.position: b for b in plan.blocks}
+    maxpos = max(blocks)
+    if maxpos == 0:
+        return block_ct(blocks[0])
+
+    if plan.shape == "horner":
+        giant = giants[0]                             # the only giant: x^w
+        acc = block_ct(blocks[maxpos])
+        for pos in range(maxpos - 1, -1, -1):
+            acc = mul_align(giant, acc)
+            if pos in blocks:
+                acc = add_align(acc, block_ct(blocks[pos]))
+        return acc
+
+    span = 1
+    while span <= maxpos:
+        span *= 2
+
+    def combine(lo: int, span_: int) -> Optional[Ciphertext]:
+        if span_ == 1:
+            b = blocks.get(lo)
+            return block_ct(b) if b is not None else None
+        half = span_ // 2
+        left = combine(lo, half)
+        right = combine(lo + half, half)
+        if right is None:
+            return left
+        prod = mul_align(giants[half.bit_length() - 1], right)
+        return add_align(left, prod)
+
+    return combine(0, span)
+
+
+# ----------------------------------------------------------------------
+# public entry points
+# ----------------------------------------------------------------------
+def eval_odd_poly(
+    ev: CkksEvaluator,
+    x: Ciphertext,
+    poly: OddPolynomial,
+    plan: PolyPlan | None = None,
+    reference: bool = False,
+) -> Ciphertext:
+    """Evaluate an odd polynomial at a ciphertext, depth-optimally.
+
+    Follows the compiled :class:`~repro.ckks.poly_plan.PolyPlan`
+    (compiled on the fly when not supplied): Paterson–Stockmeyer where it
+    strictly saves nonscalar mults, the term-by-term ladder otherwise.
+    ``reference=True`` forces the ladder — the differential-testing
+    baseline, mirroring the naive matvec path.  Both paths consume
+    exactly ``ceil(log2(d+1))`` levels for the highest nonzero degree
+    ``d``.
+    """
+    if reference:
+        return _eval_odd_ladder(ev, x, poly)
+    if plan is None:
+        plan = plan_odd_poly(poly)
+    if not plan.use_ps:
+        return _eval_odd_ladder(ev, x, poly)
+    return _eval_odd_ps(ev, x, plan)
+
+
+def eval_composite_paf(
+    ev: CkksEvaluator,
+    x: Ciphertext,
+    paf: CompositePAF,
+    plan: CompositePlan | None = None,
+    reference: bool = False,
+) -> Ciphertext:
+    """Evaluate a composite sign PAF on a ciphertext.
+
+    ``plan`` short-circuits per-component compilation (it must have been
+    built for this ``paf``'s coefficients); ``reference=True`` forces the
+    ladder for every component.
+    """
+    if plan is None and not reference:
+        plan = plan_composite(paf)
     y = x
-    for comp in paf.components:
-        y = eval_odd_poly(ev, y, comp)
+    for i, comp in enumerate(paf.components):
+        comp_plan = plan.components[i] if plan is not None else None
+        y = eval_odd_poly(ev, y, comp, plan=comp_plan, reference=reference)
     return y
-
-
-def _fold_output_half(paf: CompositePAF) -> CompositePAF:
-    """Fold the ReLU reconstruction's ½ into the outermost component."""
-    comps = list(paf.components)
-    comps[-1] = comps[-1].scaled_output(0.5)
-    return CompositePAF(comps, name=paf.name, reported_degree=paf.reported_degree)
 
 
 def eval_paf_relu(
@@ -125,15 +293,36 @@ def eval_paf_relu(
     x: Ciphertext,
     paf: CompositePAF,
     scale: float = 1.0,
+    plan: ReluPlan | None = None,
+    reference: bool = False,
 ) -> Ciphertext:
     """Encrypted ReLU: ``x · (0.5 + 0.5·sign(x/scale))``.
 
     ``scale`` is the Static-Scaling value: folded into the innermost
     component's coefficients, costing no level.  Total depth:
     ``paf.mult_depth + 1``.
+
+    ``plan`` short-circuits compilation (``repro.fhe.network`` compiles
+    one per activation layer at build time); it must have been built by
+    :func:`~repro.ckks.poly_plan.plan_paf_relu` for this exact
+    ``(paf, scale)`` pair — a plan folded for a different static scale is
+    rejected.  ``reference=True`` forces the term-by-term ladder path.
     """
-    folded = _fold_output_half(paf.scaled_input(scale) if scale != 1.0 else paf)
-    half_sign = eval_composite_paf(ev, x, folded)     # 0.5 * sign(x/scale)
+    if plan is not None and plan.scale != scale:
+        raise ValueError(
+            f"plan was compiled for static scale {plan.scale}, called with "
+            f"{scale}; rebuild it with plan_paf_relu(paf, scale)"
+        )
+    if plan is None or reference:
+        folded = fold_relu_composite(paf, scale)
+        comp_plans = None
+    else:
+        folded = plan.folded
+        comp_plans = CompositePlan(plan.components)
+    # 0.5 * sign(x/scale)
+    half_sign = eval_composite_paf(
+        ev, x, folded, plan=comp_plans, reference=reference
+    )
     gate = ev.add_plain(half_sign, 0.5)               # 0.5 + 0.5*sign
     x_down = ev.align_to(x, gate.level, gate.scale)
     return ev.rescale(ev.mul(x_down, gate))
@@ -145,11 +334,12 @@ def eval_paf_max(
     b: Ciphertext,
     paf: CompositePAF,
     scale: float = 1.0,
+    reference: bool = False,
 ) -> Ciphertext:
     """Encrypted pairwise max: ``(a+b)/2 + (a-b)·(0.5·sign((a-b)/scale))``."""
     d = ev.sub(a, b)
-    folded = _fold_output_half(paf.scaled_input(scale) if scale != 1.0 else paf)
-    half_sign = eval_composite_paf(ev, d, folded)     # 0.5*sign(d/scale)
+    folded = fold_relu_composite(paf, scale)
+    half_sign = eval_composite_paf(ev, d, folded, reference=reference)
     d_down = ev.align_to(d, half_sign.level, half_sign.scale)
     prod = ev.rescale(ev.mul(d_down, half_sign))      # |d|/2 approx
     s = ev.mul_plain_rescale(ev.add(a, b), 0.5)       # (a+b)/2

@@ -2,6 +2,8 @@
 
 from repro.fhe.latency import (
     LatencyResult,
+    activation_op_counts,
+    analytic_activation_cost,
     analytic_matvec_cost,
     analytic_relu_cost,
     matvec_op_counts,
@@ -26,8 +28,10 @@ __all__ = [
     "measure_relu_latency",
     "measure_op_micros",
     "analytic_relu_cost",
+    "analytic_activation_cost",
     "analytic_matvec_cost",
     "paf_op_counts",
+    "activation_op_counts",
     "matvec_op_counts",
     "encrypted_matvec",
     "encrypted_matvec_bsgs",

@@ -24,6 +24,7 @@ from repro.ckks import (
     eval_paf_relu,
     keygen,
 )
+from repro.ckks.poly_plan import plan_paf_relu
 from repro.fhe.linear import MatvecPlan
 from repro.paf.polynomial import CompositePAF
 from repro.paf.relu import relu_mult_depth
@@ -33,8 +34,10 @@ __all__ = [
     "measure_relu_latency",
     "measure_op_micros",
     "analytic_relu_cost",
+    "analytic_activation_cost",
     "analytic_matvec_cost",
     "paf_op_counts",
+    "activation_op_counts",
     "matvec_op_counts",
 ]
 
@@ -68,8 +71,14 @@ def measure_relu_latency(
     paf: CompositePAF,
     params: CkksParams | None = None,
     repeats: int = 1,
+    reference: bool = False,
 ) -> LatencyResult:
-    """Wall-clock encrypted PAF-ReLU latency (median of ``repeats``)."""
+    """Wall-clock encrypted PAF-ReLU latency (median of ``repeats``).
+
+    ``reference=True`` measures the term-by-term ladder path instead of
+    the default Paterson–Stockmeyer plan (same depth, more nonscalar
+    mults) — ``benchmarks/bench_paf_eval.py`` sweeps both.
+    """
     params = params or CkksParams(n=2048, scale_bits=25, depth=relu_mult_depth(paf) + 1)
     if params.depth < relu_mult_depth(paf):
         raise ValueError(
@@ -79,11 +88,12 @@ def measure_relu_latency(
     rng = np.random.default_rng(0)
     x = rng.uniform(-1, 1, ctx.slots)
     ct = ev.encrypt(x)
+    plan = None if reference else plan_paf_relu(paf)
     times = []
     out = None
     for _ in range(repeats):
         t0 = time.perf_counter()
-        out = eval_paf_relu(ev, ct, paf)
+        out = eval_paf_relu(ev, ct, paf, plan=plan, reference=reference)
         times.append(time.perf_counter() - t0)
     got = ev.decrypt(out)
     ref = 0.5 * (x + paf(x) * x)
@@ -101,11 +111,12 @@ def measure_relu_latency(
 # analytic cost model
 # ----------------------------------------------------------------------
 def paf_op_counts(paf: CompositePAF) -> dict:
-    """Homomorphic op counts of the depth-optimal ReLU evaluation.
+    """Homomorphic op counts of the *ladder* (reference) ReLU evaluation.
 
     Per component: ladder squarings (ct-ct mult + relin + rescale), one
     plaintext mult + rescale per nonzero term leaf, and term-merge ct-ct
-    mults; plus the final ReLU gate mult.
+    mults; plus the final ReLU gate mult.  For the default
+    Paterson–Stockmeyer path use :func:`activation_op_counts`.
     """
     ct_mult = 0
     pt_mult = 0
@@ -170,9 +181,43 @@ def measure_op_micros(params: CkksParams, repeats: int = 3) -> dict:
     return out
 
 
+def activation_op_counts(
+    paf: CompositePAF, reference: bool = False, scale: float = 1.0
+) -> dict:
+    """Homomorphic op counts of one encrypted PAF-ReLU activation.
+
+    The default follows the compiled Paterson–Stockmeyer plan
+    (``repro.ckks.poly_plan``): ``ct_mult`` is the nonscalar-mult count of
+    the chosen per-component path, ``pt_mult`` the coefficient leaves, and
+    every multiplication is rescaled.  ``reference=True`` returns the
+    term-by-term ladder counts (:func:`paf_op_counts`).  Scale-alignment
+    corrections are excluded on both paths — the op-counting tests book
+    them separately under ``align_correction``.
+    """
+    if reference:
+        return paf_op_counts(paf)
+    plan = plan_paf_relu(paf, scale)
+    return {
+        "ct_mult": plan.nonscalar_mults,
+        "pt_mult": plan.num_leaves,
+        "rescale": plan.nonscalar_mults + plan.num_leaves,
+    }
+
+
 def analytic_relu_cost(paf: CompositePAF, micros: dict) -> float:
-    """Estimated encrypted-ReLU seconds from op counts × per-op times."""
-    counts = paf_op_counts(paf)
+    """Estimated ladder-path encrypted-ReLU seconds (reference model)."""
+    return analytic_activation_cost(paf, micros, reference=True)
+
+
+def analytic_activation_cost(
+    paf: CompositePAF, micros: dict, reference: bool = False
+) -> float:
+    """Estimated encrypted-activation seconds from op counts × per-op times.
+
+    ``reference`` selects the ladder model; the default models the
+    Paterson–Stockmeyer plan the evaluator actually runs.
+    """
+    counts = activation_op_counts(paf, reference=reference)
     return (
         counts["ct_mult"] * micros["ct_mult"]
         + counts["pt_mult"] * micros["pt_mult"]

@@ -2,8 +2,8 @@
 
 The end-to-end private-inference path of the paper's Fig. 2: the client
 encrypts an input vector; the server evaluates linear layers (Halevi-Shoup
-matmul) and PAF activations (depth-optimal composite evaluation) on
-ciphertexts only; the client decrypts logits.
+matmul) and PAF activations (depth-preserving Paterson–Stockmeyer
+composite evaluation) on ciphertexts only; the client decrypts logits.
 
 Square layer layout: every Linear weight is zero-padded to ``size×size``
 (``size`` = max layer width) so rotations align.  Slots are divided into
@@ -38,6 +38,7 @@ from repro.ckks import (
     CkksParams,
     eval_paf_relu,
     keygen,
+    plan_paf_relu,
 )
 from repro.core.paf_layer import PAFReLU
 from repro.fhe.linear import (
@@ -108,7 +109,13 @@ class EncryptedMLP:
         self.matvec_plans: dict = {}
         #: pre-rotated giant-step diagonal groups for the BSGS layers
         self.linear_groups: dict[int, dict] = {}
+        #: per-activation :class:`~repro.ckks.poly_plan.ReluPlan`
+        #: (Paterson–Stockmeyer vs ladder chosen per component, with the
+        #: static scale and the ReLU ½ already folded into coefficients)
+        self.paf_plans: dict = {}
         for i, l in enumerate(layers):
+            if l.kind == "paf":
+                self.paf_plans[i] = plan_paf_relu(l.paf, l.scale)
             if l.kind == "linear":
                 diags = diagonals_of(
                     l.weight,
@@ -181,10 +188,14 @@ class EncryptedMLP:
 
         Linear layers follow their compiled :class:`MatvecPlan` — BSGS
         with hoisted baby rotations where that is strictly cheaper, the
-        naive diagonal loop otherwise.  ``reference=True`` forces the
-        naive reference implementation for *every* linear layer (compile
-        with ``reference_keys=True`` so its Galois keys exist) — the
-        differential-testing baseline.
+        naive diagonal loop otherwise.  PAF activations follow their
+        compiled :class:`~repro.ckks.poly_plan.ReluPlan` —
+        Paterson–Stockmeyer per component where strictly fewer nonscalar
+        mults, the term-by-term ladder otherwise.  ``reference=True``
+        forces the reference implementations everywhere: the naive
+        diagonal loop for every linear layer (compile with
+        ``reference_keys=True`` so its Galois keys exist) *and* the
+        ladder for every activation — the differential-testing baseline.
 
         ``encoded`` is an optional provider of pre-encoded plaintexts for
         the linear layers — ``encoded(layer_index, level, scale)`` must
@@ -226,8 +237,34 @@ class EncryptedMLP:
                         ev, ct, diagonals=payload, bias_slots=bias_slots
                     )
             else:
-                ct = eval_paf_relu(ev, ct, l.paf, scale=l.scale)
+                ct = eval_paf_relu(
+                    ev,
+                    ct,
+                    l.paf,
+                    scale=l.scale,
+                    plan=self.paf_plans[i],
+                    reference=reference,
+                )
         return ct
+
+    # ------------------------------------------------------------------
+    # static schedule
+    # ------------------------------------------------------------------
+    def layer_input_levels(self) -> dict:
+        """Chain level at which the ciphertext enters each layer.
+
+        A fixed network visits every layer at one deterministic level:
+        each linear layer consumes one (the matvec rescale), each PAF
+        activation ``mult_depth + 1``.  ``repro.serve.artifact`` uses
+        this to pre-encode activation constants without running a
+        forward pass.
+        """
+        level = self.ctx.max_level
+        levels = {}
+        for i, l in enumerate(self.layers):
+            levels[i] = level
+            level -= 1 if l.kind == "linear" else relu_mult_depth(l.paf)
+        return levels
 
     # ------------------------------------------------------------------
     # decrypt

@@ -14,6 +14,13 @@ f1g2    f1 ∘ g2            5                5
 Keys accept several aliases (``"f1^2 o g1^2"``, ``"alpha=7"`` ...).
 ``get_paf`` always returns a *fresh copy* so callers can train coefficients
 without mutating the registry.
+
+>>> get_paf("f2 o g3").mult_depth
+6
+>>> canonical_key("alpha=7")
+'alpha7'
+>>> [p.name for p in paper_pafs()]
+['f1^2 o g1^2', 'alpha=7', 'f2 o g3', 'f2 o g2', 'f1 o g2']
 """
 
 from __future__ import annotations
@@ -93,7 +100,15 @@ PAPER_ORDER = ["f1f1g1g1", "alpha7", "f2g3", "f2g2", "f1g2"]
 
 
 def canonical_key(name: str) -> str:
-    """Resolve an alias to its canonical registry key."""
+    """Resolve an alias to its canonical registry key.
+
+    >>> canonical_key("f1^2 o g1^2")
+    'f1f1g1g1'
+    >>> canonical_key("nope")    # doctest: +IGNORE_EXCEPTION_DETAIL
+    Traceback (most recent call last):
+        ...
+    KeyError: unknown PAF
+    """
     key = name.strip().lower().replace(" ", "").replace("·", "")
     key = _ALIASES.get(key, key)
     key = _ALIASES.get(name.strip(), key) if key not in PAF_REGISTRY else key
@@ -106,7 +121,14 @@ def canonical_key(name: str) -> str:
 
 
 def get_paf(name: str) -> CompositePAF:
-    """Fetch a fresh copy of a registered PAF by name or alias."""
+    """Fetch a fresh copy of a registered PAF by name or alias.
+
+    >>> paf = get_paf("f1g2")
+    >>> (paf.reported_degree, paf.mult_depth, paf.num_components)
+    (5, 5, 2)
+    >>> get_paf("f1g2") is paf        # always a fresh copy
+    False
+    """
     return PAF_REGISTRY[canonical_key(name)]()
 
 

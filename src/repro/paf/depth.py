@@ -7,9 +7,18 @@ degree-``n`` polynomial under exponentiation-by-squaring is
 
 :func:`depth_schedule` reproduces Tab. 8's walkthrough: the level at which
 every intermediate value of an odd polynomial evaluation becomes available,
-using the leaf-folded power-ladder strategy also used by
-``repro.ckks.poly_eval`` (so the symbolic schedule and the measured level
-consumption agree — asserted in tests).
+using the leaf-folded power-ladder strategy that is also
+``repro.ckks.poly_eval``'s reference path (so the symbolic schedule and
+the measured level consumption agree — asserted in tests).  The default
+Paterson–Stockmeyer path consumes the *same* total per component
+(``docs/paf-evaluation.md``), so the composite schedule holds for both.
+
+>>> from repro.paf.bases import f_poly
+>>> max(step.depth for step in depth_schedule(f_poly(2)))   # degree 5
+3
+>>> from repro.paf.composite import get_paf
+>>> max(step.depth for step in composite_depth_schedule(get_paf("f1g2")))
+5
 """
 
 from __future__ import annotations
@@ -111,7 +120,13 @@ class PAFDepthRow:
 
 
 def paf_depth_table(pafs) -> list:
-    """Tab. 2: form / degree / multiplication depth for each PAF."""
+    """Tab. 2: form / degree / multiplication depth for each PAF.
+
+    >>> from repro.paf.composite import get_paf
+    >>> row = paf_depth_table([get_paf("f2g3")])[0]
+    >>> (row.name, row.reported_degree, row.mult_depth)
+    ('f2 o g3', 12, 6)
+    """
     rows = []
     for paf in pafs:
         rows.append(

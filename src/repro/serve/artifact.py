@@ -16,9 +16,15 @@ with two caches keyed on ``(value digest, level, scale)``:
   (:func:`repro.fhe.linear.encrypted_matvec_bsgs`), flat tiled diagonals
   for naive ones, and the bias encoded at the *post-rescale* level and
   scale, so it lands exactly where the matvec adds it;
+* the activation-constant path — :meth:`ModelArtifact.prewarm_activations`
+  walks each PAF layer's compiled :class:`~repro.ckks.poly_plan.ReluPlan`
+  and pre-encodes every coefficient leaf and the ReLU gate constant at
+  its exact ``(level, scale)`` (the plan knows the canonical scale
+  schedule, so the keys match the evaluator's encodes bit-for-bit);
 * an optional :class:`CachingEncoder` installed on the model's evaluator,
-  which additionally memoises the PAF activation constants and
-  scale-alignment corrections that ``poly_eval`` encodes.
+  which additionally memoises the scale-alignment corrections that
+  ``poly_eval`` encodes (data-independent, but derived from intermediate
+  drift — they land in the cache on the first evaluation).
 
 After one warm-up pass, steady-state requests do **zero** plaintext
 encoding — every encode is a dictionary hit.
@@ -193,6 +199,39 @@ class ModelArtifact:
             bias_pt = self.cache.encode(bias_vec, level - 1, scale * scale / q_top)
         self._linear_memo[key] = (diags, bias_pt)
         return diags, bias_pt
+
+    def activation_encodings(self, layer_index: int) -> list:
+        """``(value, level, scale)`` of one PAF layer's plan constants.
+
+        The layer's input level comes from the model's static schedule
+        (:meth:`~repro.fhe.network.EncryptedMLP.layer_input_levels`), its
+        input scale from the canonical scale invariant — both
+        deterministic for a fixed network, so the returned coordinates
+        are exactly those the evaluator will encode at.
+        """
+        plan = self.model.paf_plans[layer_index]
+        level = self.model.layer_input_levels()[layer_index]
+        ctx = self.model.ctx
+        scale = ctx.scale
+        for l in range(ctx.max_level, level, -1):
+            scale = scale * scale / ctx.q_chain[l]
+        return plan.constant_encodings(ctx.q_chain, level, scale)
+
+    def prewarm_activations(self) -> int:
+        """Pre-encode every PAF layer's coefficient plaintexts.
+
+        Seeds the shared cache with each activation's leaf coefficients
+        and gate constant at their exact ``(level, scale)`` — cheaper
+        than a full :meth:`warm` forward pass, and the evaluator's own
+        encodes then hit the cache key-for-key.  Returns the number of
+        plaintexts encoded.
+        """
+        count = 0
+        for i in self.model.paf_plans:
+            for value, level, scale in self.activation_encodings(i):
+                self.cache.encode(value, level, scale)
+                count += 1
+        return count
 
     def forward(self, ct, ev=None):
         """Encrypted forward using the pre-encoded linear layers."""

@@ -10,7 +10,7 @@ import pytest
 
 from repro.ckks import CkksContext, CkksParams, CkksEvaluator, eval_paf_relu, keygen
 from repro.ckks.instrumentation import CountingEvaluator
-from repro.fhe.latency import paf_op_counts
+from repro.fhe.latency import activation_op_counts, paf_op_counts
 from repro.paf import get_paf
 
 
@@ -49,18 +49,26 @@ class TestCountingEvaluator:
         assert counting.encoder is ev.encoder
 
     @pytest.mark.parametrize("form", ["f1g2", "f2g2", "f1f1g1g1"])
-    def test_relu_matches_cost_model_counts(self, rt, form):
-        """Measured ct-mult / pt-mult counts == the analytic model's."""
+    @pytest.mark.parametrize("reference", [False, True])
+    def test_relu_matches_cost_model_counts(self, rt, form, reference):
+        """Measured ct-mult / pt-mult counts == the analytic model's,
+        on the Paterson–Stockmeyer path and the ladder reference alike."""
         ctx, ev = rt
         paf = get_paf(form)
         counting = CountingEvaluator(ev)
         ct = counting.encrypt(np.linspace(-1, 1, ctx.slots))
         counting.reset()
-        eval_paf_relu(counting, ct, paf)
-        predicted = paf_op_counts(paf)
+        eval_paf_relu(counting, ct, paf, reference=reference)
+        predicted = activation_op_counts(paf, reference=reference)
         assert counting.counts["mul"] == predicted["ct_mult"]
+        assert counting.nonscalar_mult_count == predicted["ct_mult"]
         # pt-mults: the model's leaf products; alignment corrections are
         # extra pt-mults the model books under rescale-noise, so measured
         # pt_mult >= predicted and the difference equals align corrections.
         extra = counting.counts["align_correction"]
         assert counting.counts["mul_plain"] == predicted["pt_mult"] + extra
+
+    def test_ladder_model_alias(self):
+        """``paf_op_counts`` is the reference model behind the new API."""
+        paf = get_paf("f2g3")
+        assert activation_op_counts(paf, reference=True) == paf_op_counts(paf)

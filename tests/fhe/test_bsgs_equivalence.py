@@ -165,7 +165,11 @@ class TestEndToEndNetwork:
         ct = enc.encrypt_batch(xs)
         bsgs = enc.decrypt_logits(enc.forward(ct), 3, batch=batch)
         naive = enc.decrypt_logits(enc.forward(ct, reference=True), 3, batch=batch)
-        np.testing.assert_allclose(bsgs, naive, atol=1e-3)
+        # reference=True also swaps the activation path (ladder instead of
+        # Paterson–Stockmeyer), whose noise differs slightly — the bar is
+        # wider than the matvec-only 1e-3 (activation differentials are
+        # pinned tightly in tests/fhe/test_paf_eval.py)
+        np.testing.assert_allclose(bsgs, naive, atol=5e-3)
 
     def test_all_layers_planned_bsgs(self, compiled):
         for plan in compiled.matvec_plans.values():

@@ -1,16 +1,21 @@
-"""HE-op-count regression suite for the encrypted matvec hot path.
+"""HE-op-count regression suite for the encrypted hot paths.
 
 These tests pin the *exact* rotation / keyswitch / rescale counts of both
-matvec paths (and of the full compiled forward pass) via
-``CountingEvaluator``, so a future change cannot silently regress the
-hot path — the whole point of the BSGS rewrite is the keyswitch count.
+matvec paths, both activation paths, and the full compiled forward pass
+via ``CountingEvaluator``, so a future change cannot silently regress a
+hot path — the whole point of the BSGS matvec rewrite is the keyswitch
+count, and of the Paterson–Stockmeyer activation rewrite the nonscalar
+(ct×ct) multiplication count.
 
-The acceptance invariant: for every *dense* layer with >= 4 nonzero
-diagonals (the compiled networks' zero-padded square weights are dense
-in diagonal space) the BSGS path performs *strictly fewer* keyswitches
-than the naive path.  Sparse diagonal patterns that don't factor into a
-baby×giant grid may tie instead — the planner then falls back to naive,
-never costing more (pinned property-wise in test_plan_properties.py).
+Acceptance invariants:
+
+* every *dense* layer with >= 4 nonzero diagonals does strictly fewer
+  keyswitches on the BSGS path (sparse patterns may tie — the planner
+  then falls back to naive, pinned in test_plan_properties.py);
+* every registry PAF with a component of degree >= 5 does strictly fewer
+  nonscalar mults on the Paterson–Stockmeyer path at the *same* level
+  consumption.  ``f1²∘g1²`` (all components degree 3) provably ties: the
+  two mults of ``c₁x + c₃x³`` are optimal, so its plan keeps the ladder.
 """
 
 import numpy as np
@@ -18,12 +23,15 @@ import pytest
 
 from repro.ckks import CkksContext, CkksParams, CkksEvaluator, keygen
 from repro.ckks.instrumentation import CountingEvaluator
+from repro.ckks.poly_eval import eval_paf_relu
+from repro.ckks.poly_plan import plan_paf_relu
 from repro.fhe.linear import (
     diagonals_of,
     encrypted_matvec,
     encrypted_matvec_bsgs,
     plan_matvec,
 )
+from repro.paf import get_paf
 
 SIZE = 16
 
@@ -140,40 +148,47 @@ class TestNetworkOpCounts:
         enc.forward(ct, ev=counting, **kw)
         return counting
 
-    def test_bsgs_forward_exact_counts(self, compiled):
+    def test_planned_forward_exact_counts(self, compiled):
+        """BSGS matvecs + Paterson–Stockmeyer activation (the default)."""
         counting = self._forward_counts(compiled)
         assert dict(counting.counts) == {
             "hoist_decompose": 2,   # one per linear layer
             "rotate_hoisted": 6,    # 3 baby rotations per 8-wide layer
             "rotate": 3,            # 2 giant steps + 1 replication rotation
-            "mul_plain": 21,
+            "mul_plain": 24,        # 21 leaves/diagonals + 3 exact aligns
             "add": 18,
             "add_plain": 3,
-            "mul": 7,
-            "rescale": 14,
-            "mod_switch_to": 5,
+            "mul": 6,               # f1∘g2 PAF: 3 (PS g2) + 2 (f1) + gate
+            "rescale": 16,
+            "align_correction": 3,  # PS insists on exact scale alignment
+            "mod_switch_to": 3,     # plan-scheduled leaf levels
         }
-        assert counting.keyswitch_count == 16
+        assert counting.keyswitch_count == 15
+        assert counting.nonscalar_mult_count == 6
 
     def test_naive_forward_exact_counts(self, compiled):
+        """Reference everywhere: naive diagonal loop + ladder activation."""
         counting = self._forward_counts(compiled, reference=True)
         assert dict(counting.counts) == {
             "rotate": 15,           # 7 per dense 8-wide layer + 1 replication
             "mul_plain": 21,
             "add": 18,
             "add_plain": 3,
-            "mul": 7,
+            "mul": 7,               # f1∘g2 PAF: 4 (ladder g2) + 2 (f1) + gate
             "rescale": 14,
             "mod_switch_to": 5,
         }
         assert counting.keyswitch_count == 22
+        assert counting.nonscalar_mult_count == 7
 
-    def test_bsgs_saves_keyswitches_end_to_end(self, compiled):
+    def test_planned_forward_saves_keyswitches_end_to_end(self, compiled):
         bsgs = self._forward_counts(compiled)
         naive = self._forward_counts(compiled, reference=True)
+        # BSGS cuts rotations AND the PS activation cuts relin keyswitches
         assert bsgs.keyswitch_count < naive.keyswitch_count
-        # non-rotation op counts are untouched by the rewrite
-        for op in ("mul_plain", "add", "add_plain", "mul", "rescale"):
+        assert bsgs.nonscalar_mult_count < naive.nonscalar_mult_count
+        # addition structure is untouched by either rewrite
+        for op in ("add", "add_plain"):
             assert bsgs.counts[op] == naive.counts[op]
 
     def test_key_set_smaller_than_reference(self, compiled):
@@ -183,3 +198,64 @@ class TestNetworkOpCounts:
         bsgs_steps = set().union(*(p.rotation_steps() for p in plans))
         naive_steps = set().union(*(p.diag_steps for p in plans))
         assert len(bsgs_steps) < len(naive_steps)
+
+
+#: pinned nonscalar-mult counts of the encrypted PAF-ReLU per registry form:
+#: (ladder reference, Paterson–Stockmeyer plan).  Component accounting —
+#: degree 3: 2/2 (tie, optimal), degree 5: 4/3, degree 7: 6/5,
+#: degree 27: 29/17; the ReLU gate adds one on both paths.
+RELU_NONSCALAR = {
+    "f1g2": (7, 6),          # g2(5) + f1(3) + gate
+    "f2g2": (9, 7),          # 4+4+1 -> 3+3+1
+    "f2g3": (11, 9),         # g3(7) + f2(5) + gate
+    "alpha7": (13, 11),      # two degree-7 minimax components
+    "f1f1g1g1": (9, 9),      # four degree-3 components: ladder is optimal
+    "alpha10": (38, 25),     # (3, 7, 27) minimax composite
+}
+
+
+class TestActivationOpCounts:
+    """Pin the exact nonscalar-mult counts of both activation paths.
+
+    The acceptance invariant of the Paterson–Stockmeyer rewrite: strictly
+    fewer nonscalar mults than the ladder for every registry PAF with a
+    component of degree >= 5 (in particular every degree >= 7 form with
+    such a component), never more for any, at identical level consumption.
+    """
+
+    @pytest.fixture(scope="class")
+    def rt(self):
+        ctx = CkksContext(CkksParams(n=256, scale_bits=25, depth=11))
+        keys = keygen(ctx, seed=0)
+        return ctx, CkksEvaluator(ctx, keys)
+
+    @pytest.mark.parametrize("form", sorted(RELU_NONSCALAR))
+    def test_measured_counts_match_pins(self, rt, form):
+        ctx, ev = rt
+        paf = get_paf(form)
+        ladder_pin, ps_pin = RELU_NONSCALAR[form]
+        plan = plan_paf_relu(paf)
+        assert plan.nonscalar_mults == ps_pin
+
+        counting = CountingEvaluator(ev)
+        ct = counting.encrypt(np.linspace(-1, 1, ctx.slots))
+        counting.reset()
+        out_ps = eval_paf_relu(counting, ct, paf, plan=plan)
+        measured_ps = counting.nonscalar_mult_count
+        lvl_ps = ctx.max_level - out_ps.level
+        counting.reset()
+        out_ladder = eval_paf_relu(counting, ct, paf, reference=True)
+        measured_ladder = counting.nonscalar_mult_count
+        assert measured_ps == ps_pin
+        assert measured_ladder == ladder_pin
+        # both paths consume exactly the analytic depth
+        assert lvl_ps == ctx.max_level - out_ladder.level == plan.mult_depth
+
+    def test_strictly_fewer_for_degree5_plus_components(self):
+        for form, (ladder, ps) in RELU_NONSCALAR.items():
+            paf = get_paf(form)
+            if max(c.degree for c in paf.components) >= 5:
+                assert ps < ladder, form
+            else:
+                assert ps == ladder, form
+            assert ps <= ladder, form

@@ -1,0 +1,138 @@
+"""Property tests for the Paterson–Stockmeyer polynomial planner.
+
+Pure combinatorics (no ciphertexts): the plan must never exceed the
+ladder's nonscalar-mult count, never exceed the level budget
+``ceil(log2(d+1))``, cover every nonzero term exactly once, and flag
+``use_ps`` only on a strict win — mirroring the matvec planner's
+tie-goes-to-reference rule.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ckks.poly_plan import (
+    ladder_nonscalar_mults,
+    plan_composite,
+    plan_odd_poly,
+    plan_paf_relu,
+)
+from repro.paf import get_paf
+from repro.paf.bases import f_poly, g_poly
+from repro.paf.polynomial import OddPolynomial, mult_depth_of_degree
+
+
+#: pinned per-component plans: (ladder mults, PS mults, use_ps)
+COMPONENT_PINS = {
+    1: (2, 2, False),    # degree 3 (g1/f1): two mults are optimal
+    2: (4, 3, True),     # degree 5 (g2/f2): Horner giant chain
+    3: (6, 5, True),     # degree 7 (g3, minimax-7): balanced giants
+}
+
+
+class TestComponentPins:
+    @pytest.mark.parametrize("n", sorted(COMPONENT_PINS))
+    def test_g_family(self, n):
+        ladder, ps, use_ps = COMPONENT_PINS[n]
+        plan = plan_odd_poly(g_poly(n))
+        assert (plan.ladder_mults, plan.ps_mults, plan.use_ps) == (ladder, ps, use_ps)
+        assert plan.mult_depth == mult_depth_of_degree(2 * n + 1)
+
+    def test_degree_27_minimax(self):
+        from repro.paf.minimax import minimax_alpha10_deg27
+
+        deep = minimax_alpha10_deg27().components[-1]
+        assert deep.degree == 27
+        plan = plan_odd_poly(deep)
+        assert plan.ladder_mults == 29
+        assert plan.ps_mults == 17
+        assert plan.use_ps
+        assert plan.mult_depth == 5
+
+    def test_registry_composites_never_worse(self):
+        for form in ("f1g2", "f2g2", "f2g3", "alpha7", "f1f1g1g1"):
+            paf = get_paf(form)
+            plan = plan_composite(paf)
+            ladder = sum(ladder_nonscalar_mults(c) for c in paf.components)
+            assert plan.nonscalar_mults <= ladder
+            assert plan.mult_depth == paf.mult_depth
+
+    def test_relu_plan_depth_and_gate(self):
+        paf = get_paf("f2g3")
+        plan = plan_paf_relu(paf, scale=2.0)
+        assert plan.mult_depth == paf.mult_depth + 1
+        assert plan.scale == 2.0
+        # folding preserves degrees, so leaf count == coefficient count
+        assert plan.num_leaves == paf.num_coeffs()
+
+
+class TestPlanStructure:
+    def test_zero_polynomial_rejected_upfront(self):
+        with pytest.raises(ValueError, match="no nonzero terms"):
+            plan_odd_poly(OddPolynomial([0.0, 0.0]))
+
+    def test_degree_one_is_ladder(self):
+        plan = plan_odd_poly(OddPolynomial([0.7]))
+        assert not plan.use_ps
+        assert plan.nonscalar_mults == 0
+        assert plan.mult_depth == 1
+
+    def test_trailing_zeros_use_effective_degree(self):
+        """A trained-to-zero top coefficient shrinks the plan, not the
+        nominal ``OddPolynomial.degree``."""
+        plan = plan_odd_poly(OddPolynomial([1.0, -0.3, 0.0, 0.0]))
+        assert plan.degree == 3
+        assert plan.mult_depth == 2
+
+    def test_blocks_cover_terms_exactly_once(self):
+        poly = g_poly(3)
+        plan = plan_odd_poly(poly)
+        exponents = sorted(
+            plan.window * b.position + t.exponent
+            for b in plan.blocks
+            for t in b.terms
+        )
+        assert exponents == [2 * i + 1 for i, c in enumerate(poly.coeffs) if c]
+        coeffs = {
+            plan.window * b.position + t.exponent: t.coeff
+            for b in plan.blocks
+            for t in b.terms
+        }
+        for i, c in enumerate(poly.coeffs):
+            if c:
+                assert coeffs[2 * i + 1] == float(c)
+
+
+class TestPlanProperties:
+    @given(
+        num_coeffs=st.integers(min_value=1, max_value=16),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        sparsity=st.floats(min_value=0.0, max_value=0.8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_never_worse_and_depth_bounded(self, num_coeffs, seed, sparsity):
+        rng = np.random.default_rng(seed)
+        coeffs = rng.normal(size=num_coeffs)
+        coeffs[rng.random(num_coeffs) < sparsity] = 0.0
+        if not np.any(coeffs):
+            coeffs[0] = 1.0
+        poly = OddPolynomial(coeffs)
+        plan = plan_odd_poly(poly)
+        ladder = ladder_nonscalar_mults(poly)
+        assert plan.ps_mults <= ladder
+        assert plan.use_ps == (plan.ps_mults < ladder)
+        assert plan.nonscalar_mults == min(plan.ps_mults, ladder)
+        assert plan.mult_depth == mult_depth_of_degree(plan.degree)
+        # every nonzero term appears exactly once, with its coefficient
+        got = sorted(
+            (plan.window * b.position + t.exponent, t.coeff)
+            for b in plan.blocks
+            for t in b.terms
+        )
+        want = sorted(
+            (2 * i + 1, float(c)) for i, c in enumerate(coeffs) if c != 0.0
+        )
+        assert got == want
+        # leaf count is one per nonzero coefficient on both paths
+        assert plan.num_leaves == len(want)

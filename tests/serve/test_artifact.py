@@ -116,3 +116,66 @@ class TestModelArtifact:
         art = ModelArtifact(enc, cache_activations=False)
         stats = art.stats()
         assert set(stats) == {"entries", "hits", "misses", "hit_rate"}
+
+
+class TestActivationPrewarm:
+    """Pre-encoded PAF coefficient cache (the activation-plan path)."""
+
+    def test_layer_input_levels_schedule(self, toy):
+        from repro.paf.relu import relu_mult_depth
+
+        _, enc = toy
+        levels = enc.layer_input_levels()
+        level = enc.ctx.max_level
+        for i, plan in sorted(enc.matvec_plans.items() | enc.paf_plans.items()):
+            assert levels[i] == level
+            level -= 1 if i in enc.matvec_plans else relu_mult_depth(
+                enc.layers[i].paf
+            )
+
+    def test_prewarm_counts_and_steady_state_hits(self, toy):
+        _, enc = toy
+        original_encoder = enc.ev.encoder
+        try:
+            art = ModelArtifact(enc, cache_activations=True)
+            expected = sum(
+                plan.num_leaves + 1 for plan in enc.paf_plans.values()
+            )
+            count = art.prewarm_activations()
+            assert count == expected
+            assert len(art.cache) == expected       # nothing else encoded yet
+            art.warm()
+            # every prewarmed constant was consumed from the cache (the
+            # evaluator's encodes matched the plan's (value, level, scale)
+            # coordinates key-for-key)
+            assert art.cache.hits >= count
+            for value, level, scale in art.activation_encodings(
+                next(iter(enc.paf_plans))
+            ):
+                hits = art.cache.hits
+                art.cache.encode(value, level, scale)
+                assert art.cache.hits == hits + 1
+            # steady state: a further forward encodes nothing fresh —
+            # activation constants and alignment corrections included
+            misses_after_warm = art.cache.misses
+            art.forward(enc.encrypt_batch([np.ones(8)]))
+            assert art.cache.misses == misses_after_warm
+        finally:
+            enc.ev.encoder = original_encoder
+
+    def test_prewarmed_forward_bit_identical(self, toy):
+        _, enc = toy
+        original_encoder = enc.ev.encoder
+        try:
+            ct = enc.encrypt_batch([np.linspace(-1, 1, 8)])
+            plain_art = ModelArtifact(enc, cache_activations=False)
+            out_a = plain_art.forward(ct)
+            warm_art = ModelArtifact(enc, cache_activations=True)
+            warm_art.prewarm_activations()
+            out_b = warm_art.forward(ct)
+            # cached plaintexts are bit-identical to fresh encodes, so the
+            # whole encrypted forward is too
+            assert np.array_equal(out_a.c0.data, out_b.c0.data)
+            assert np.array_equal(out_a.c1.data, out_b.c1.data)
+        finally:
+            enc.ev.encoder = original_encoder

@@ -1,0 +1,89 @@
+"""Internal-link checker for the markdown docs.
+
+    python tools/check_docs.py [file-or-dir ...]
+
+Defaults to ``docs/`` plus the top-level ``README.md`` and the package
+READMEs. For every markdown link ``[text](target)``:
+
+* external targets (``http://``, ``https://``, ``mailto:``) are skipped;
+* relative file targets must exist on disk (resolved against the file's
+  directory);
+* ``#anchors`` must match a heading slug of the target file (GitHub
+  slugging: lowercase, punctuation stripped, spaces to dashes).
+
+Exit code 0 when every link resolves; 1 otherwise (used by the CI docs
+job). Stdlib only.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"(?<!!)\[[^\]]+\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+DEFAULT_TARGETS = ["docs", "README.md", "src/repro/experiments/README.md"]
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug of a markdown heading."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> set:
+    slugs = set()
+    counts: dict = {}
+    for match in HEADING_RE.finditer(path.read_text(encoding="utf-8")):
+        slug = slugify(match.group(1))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def markdown_files(targets) -> list:
+    files = []
+    for target in targets:
+        path = Path(target)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        elif path.suffix == ".md":
+            files.append(path)
+    return files
+
+
+def check_file(path: Path) -> list:
+    errors = []
+    for match in LINK_RE.finditer(path.read_text(encoding="utf-8")):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        ref, _, anchor = target.partition("#")
+        dest = (path.parent / ref).resolve() if ref else path.resolve()
+        if not dest.exists():
+            errors.append(f"{path}: broken link -> {target}")
+            continue
+        if anchor and dest.suffix == ".md":
+            if anchor not in heading_slugs(dest):
+                errors.append(f"{path}: missing anchor -> {target}")
+    return errors
+
+
+def main(argv) -> int:
+    files = markdown_files(argv[1:] or DEFAULT_TARGETS)
+    if not files:
+        print("check_docs: no markdown files found", file=sys.stderr)
+        return 1
+    errors = [e for f in files for e in check_file(f)]
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(f"check_docs: {len(files)} files, {len(errors)} broken links")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
