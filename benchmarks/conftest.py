@@ -8,7 +8,6 @@ stability.
 """
 
 import os
-import sys
 
 import pytest
 

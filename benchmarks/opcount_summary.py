@@ -3,29 +3,34 @@
 Run by CI (and uploadable as a job artifact) so every PR shows the
 hot-path rotation/keyswitch/nonscalar-mult budget at a glance:
 
-    PYTHONPATH=src python benchmarks/opcount_summary.py [outfile]
+    PYTHONPATH=src python benchmarks/opcount_summary.py [outfile] [--json PATH]
 
-Prints (and optionally writes) the per-layer BSGS matvec plans of the toy
-serving model, the measured op counts of one encrypted forward on the
-reference and planned paths, and the per-registry-PAF activation
-nonscalar-mult table (ladder vs Paterson–Stockmeyer, from
-``bench_paf_eval``).
+Prints (and optionally writes) the per-layer BSGS matvec plans of the
+two pinned serving models — the toy MLP and the trained toy CNN — the
+measured op counts of one encrypted forward on each (reference and
+planned paths for the MLP, planned for the CNN), and the
+per-registry-PAF activation nonscalar-mult table (ladder vs
+Paterson–Stockmeyer, from ``bench_paf_eval``).
+
+``--json`` additionally writes the machine-readable per-model counts
+that ``tools/check_opcounts.py`` gates against
+``benchmarks/opcount_baseline.json``: a >2% keyswitch or nonscalar-mult
+regression on any pinned model fails CI.
 """
 
-import sys
+import argparse
+import json
 
 import numpy as np
 
 from bench_paf_eval import activation_count_table
 from repro.analysis.tables import format_table
 from repro.ckks.instrumentation import CountingEvaluator
-from repro.fhe.toy import compiled_toy
+from repro.fhe.toy import compiled_toy, compiled_toy_cnn
 
 
-def build_summary() -> str:
-    enc = compiled_toy(reference_keys=True)
-
-    plan_rows = [
+def plan_table(enc, title: str) -> str:
+    rows = [
         [
             i,
             p.num_diagonals,
@@ -36,49 +41,115 @@ def build_summary() -> str:
         ]
         for i, p in sorted(enc.matvec_plans.items())
     ]
-    plan_table = format_table(
+    return format_table(
         ["layer", "diagonals", "n1 x n2", "naive ks", "bsgs ks", "chosen"],
-        plan_rows,
-        title="Per-layer matvec plans (toy 8-6-3 serving model)",
+        rows,
+        title=title,
     )
 
+
+def measure_forward(enc, in_dim: int, reference: bool = False) -> CountingEvaluator:
+    """Op counts of one encrypted forward on a zero input."""
     counting = CountingEvaluator(enc.ev)
-    ct = enc.encrypt_batch([np.zeros(8)])
-    forward_rows = []
-    for label, kw in (("reference", {"reference": True}), ("planned", {})):
-        counting.reset()
-        enc.forward(ct, ev=counting, **kw)
-        c = counting.counts
-        forward_rows.append(
-            [
-                label,
-                c["rotate"],
-                c["rotate_hoisted"],
-                c["hoist_decompose"],
-                counting.keyswitch_count,
-                counting.nonscalar_mult_count,
-                c["mul_plain"],
-                c["rescale"],
-            ]
-        )
-    forward_table = format_table(
-        [
-            "path", "rotate", "hoisted", "decompose", "keyswitches",
-            "ct*ct mult", "pt mult", "rescale",
-        ],
-        forward_rows,
-        title="Measured op counts: one encrypted forward "
-        "(reference = naive matvec + ladder PAF)",
+    ct = enc.encrypt_batch([np.zeros(in_dim)])
+    counting.reset()
+    enc.forward(ct, ev=counting, reference=reference)
+    return counting
+
+
+def forward_row(label: str, counting: CountingEvaluator) -> list:
+    c = counting.counts
+    return [
+        label,
+        c["rotate"],
+        c["rotate_hoisted"],
+        c["hoist_decompose"],
+        counting.keyswitch_count,
+        counting.nonscalar_mult_count,
+        c["mul_plain"],
+        c["rescale"],
+    ]
+
+
+_FORWARD_HEADER = [
+    "path", "rotate", "hoisted", "decompose", "keyswitches",
+    "ct*ct mult", "pt mult", "rescale",
+]
+
+
+def gate_metrics(counting: CountingEvaluator) -> dict:
+    """The per-model numbers the CI regression gate compares."""
+    return {
+        "keyswitches": counting.keyswitch_count,
+        "nonscalar_mults": counting.nonscalar_mult_count,
+        "counts": {k: int(v) for k, v in sorted(counting.counts.items())},
+    }
+
+
+def build_summary() -> tuple:
+    """Returns ``(text summary, gate JSON dict)``."""
+    sections = []
+    models: dict = {}
+
+    # --- toy MLP: both paths (reference keys are cheap at this size) ---
+    mlp = compiled_toy(reference_keys=True)
+    sections.append(
+        plan_table(mlp, "Per-layer matvec plans (toy 8-6-3 MLP serving model)")
     )
-    return "\n\n".join([plan_table, forward_table, activation_count_table()])
+    planned = measure_forward(mlp, 8)
+    reference = measure_forward(mlp, 8, reference=True)
+    sections.append(
+        format_table(
+            _FORWARD_HEADER,
+            [forward_row("reference", reference), forward_row("planned", planned)],
+            title="Measured op counts: one encrypted MLP forward "
+            "(reference = naive matvec + ladder PAF)",
+        )
+    )
+    models["toy_mlp"] = gate_metrics(planned)
+
+    # --- toy CNN: planned path (the naive conv loop pays one keyswitch
+    # per diagonal — 100+ for the strided conv — so the reference forward
+    # is measured in the test suite, not per CI run) ---
+    cnn = compiled_toy_cnn()
+    sections.append(
+        plan_table(
+            cnn,
+            "Per-layer matvec plans (toy 2-conv CNN: conv-BN(folded)-PAF-"
+            "pool-conv-dense on 1x8x8)",
+        )
+    )
+    cnn_planned = measure_forward(cnn, 64)
+    sections.append(
+        format_table(
+            _FORWARD_HEADER,
+            [forward_row("planned", cnn_planned)],
+            title="Measured op counts: one encrypted CNN forward "
+            "(BSGS conv matvecs + hoisted rotate-and-sum pool)",
+        )
+    )
+    models["toy_cnn"] = gate_metrics(cnn_planned)
+
+    sections.append(activation_count_table())
+    return "\n\n".join(sections), {"models": models}
 
 
 def main() -> int:
-    summary = build_summary()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("outfile", nargs="?", help="write the text summary here")
+    parser.add_argument(
+        "--json", dest="json_path", help="write per-model gate metrics as JSON"
+    )
+    args = parser.parse_args()
+    summary, gate = build_summary()
     print(summary)
-    if len(sys.argv) > 1:
-        with open(sys.argv[1], "w") as fh:
+    if args.outfile:
+        with open(args.outfile, "w") as fh:
             fh.write(summary + "\n")
+    if args.json_path:
+        with open(args.json_path, "w") as fh:
+            json.dump(gate, fh, indent=2, sort_keys=True)
+            fh.write("\n")
     return 0
 
 

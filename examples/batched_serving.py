@@ -11,7 +11,6 @@ Run:  python examples/batched_serving.py
 
 import time
 
-import numpy as np
 
 from repro.ckks import CkksParams
 from repro.core import SmartPAF, SmartPAFConfig, pretrain

@@ -7,7 +7,6 @@ frontier with an ASCII scatter.
 Run:  python examples/pareto_exploration.py
 """
 
-import numpy as np
 
 from repro.experiments.table4 import print_table4, run_fig1, run_table4
 

@@ -8,8 +8,7 @@ keyswitching.  All primes are NTT-friendly and < 2^30 (int64 safety).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from functools import lru_cache
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -21,8 +21,8 @@ import numpy as np
 
 from repro.ckks.context import CkksContext
 from repro.ckks.encoder import CkksEncoder, Plaintext
-from repro.ckks.keys import KeyChain, KeySwitchKey, _sample_error, _sample_ternary
-from repro.ckks.rns import RnsPoly, crt_compose_centered, fast_base_convert
+from repro.ckks.keys import KeyChain, _sample_error, _sample_ternary
+from repro.ckks.rns import RnsPoly
 
 __all__ = ["Ciphertext", "CkksEvaluator"]
 

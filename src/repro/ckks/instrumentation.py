@@ -9,7 +9,7 @@ op counts the paper's cost analysis assumes.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.ckks.evaluator import Ciphertext, CkksEvaluator
 

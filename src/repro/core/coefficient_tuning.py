@@ -16,11 +16,9 @@ before any fine-tuning (Fig. 7).
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
-from repro.core.paf_layer import PAFMaxPool2d, PAFReLU
 from repro.core.surgery import NonPolySite
 from repro.nn.module import Module
 from repro.nn.tensor import Tensor, no_grad

@@ -20,7 +20,7 @@ the paper's.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 __all__ = ["SmartPAFConfig"]
 

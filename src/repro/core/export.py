@@ -14,7 +14,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core.paf_layer import PAFMaxPool2d, PAFReLU
+from repro.core.paf_layer import PAFMaxPool2d
 from repro.core.surgery import replaced_layers
 from repro.nn.module import Module
 

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.paf_layer import PAFMaxPool2d, PAFReLU
 from repro.core.surgery import replaced_layers
 from repro.nn.module import Module
 from repro.nn.tensor import Tensor, no_grad

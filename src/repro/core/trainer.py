@@ -8,8 +8,7 @@ with its own hyperparameters (Tab. 5), optionally frozen independently
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -21,7 +21,6 @@ import numpy as np
 from repro.core import SmartPAF, SmartPAFConfig, pretrain
 from repro.data.synthetic import Dataset, cifar10_like, imagenet_like
 from repro.nn.models import resnet18, small_cnn, vgg19
-from repro.paf import get_paf
 
 __all__ = [
     "scale_mode",

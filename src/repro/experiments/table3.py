@@ -27,7 +27,6 @@ from repro.experiments.common import (
     fresh_model,
     is_quick,
     quick_config,
-    resnet_imagenet_baseline,
     vgg_cifar_baseline,
 )
 from repro.paf import get_paf

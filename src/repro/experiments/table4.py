@@ -8,7 +8,6 @@ the α=10 column is the paper's prior-work baseline.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.analysis.pareto import ParetoPoint, pareto_frontier
 from repro.analysis.tables import format_table
@@ -23,7 +22,6 @@ from repro.experiments.common import (
 )
 from repro.fhe import measure_relu_latency
 from repro.paf import get_paf, minimax_alpha10_deg27
-from repro.paf.relu import relu_mult_depth
 
 __all__ = ["run_latency_table", "run_table4", "print_table4", "run_fig1"]
 

@@ -6,10 +6,12 @@ from repro.fhe.latency import (
     analytic_activation_cost,
     analytic_matvec_cost,
     analytic_relu_cost,
+    analytic_pool_cost,
     matvec_op_counts,
     measure_op_micros,
     measure_relu_latency,
     paf_op_counts,
+    pool_op_counts,
 )
 from repro.fhe.linear import (
     MatvecPlan,
@@ -20,8 +22,16 @@ from repro.fhe.linear import (
     plan_matvec,
     required_rotation_steps,
 )
-from repro.fhe.network import EncryptedMLP, compile_mlp
-from repro.fhe.packing import BlockLayout, pack_batch, unpack_blocks
+from repro.fhe.cnn import (
+    avg_pool_shifts,
+    bn_affine_vectors,
+    compile_cnn,
+    conv2d_layout_matrix,
+    fold_bn_into_conv,
+    linear_layout_matrix,
+)
+from repro.fhe.network import EncryptedMLP, EncryptedNetwork, compile_mlp
+from repro.fhe.packing import BlockLayout, GridLayout, pack_batch, unpack_blocks
 
 __all__ = [
     "LatencyResult",
@@ -41,8 +51,18 @@ __all__ = [
     "plan_matvec",
     "bsgs_diagonals",
     "EncryptedMLP",
+    "EncryptedNetwork",
     "compile_mlp",
+    "compile_cnn",
+    "conv2d_layout_matrix",
+    "linear_layout_matrix",
+    "fold_bn_into_conv",
+    "bn_affine_vectors",
+    "avg_pool_shifts",
+    "pool_op_counts",
+    "analytic_pool_cost",
     "BlockLayout",
+    "GridLayout",
     "pack_batch",
     "unpack_blocks",
 ]

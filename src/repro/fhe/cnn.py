@@ -1,0 +1,386 @@
+"""Compile Conv/BN/Pool networks to encrypted CKKS inference.
+
+The paper's headline workloads are CNNs, but CKKS has no native
+convolution: everything must become slot arithmetic.  This module lowers
+a ``repro.nn`` conv stack onto the exact machinery the encrypted MLP
+path already uses, so one executor (:class:`~repro.fhe.network.EncryptedNetwork`)
+serves both workloads:
+
+* **Conv2d → structured sparse matvec.**  im2col happens at *compile
+  time*: the convolution over a ``(C, H, W)`` activation is materialised
+  as a matrix acting on the slot vector (``out[(oc, oh, ow)] = Σ
+  w[oc, ic, i, j] · x[slot_of(ic, oh·s+i-p, ow·s+j-p)]``), whose
+  generalised diagonals are few and banded — exactly what
+  :func:`~repro.fhe.linear.plan_matvec` turns into an ``O(√D)``-keyswitch
+  BSGS plan.
+* **BatchNorm2d → folded into the adjacent conv.**  With frozen
+  statistics BN is the per-channel affine ``y = s_c·x + t_c``; folding
+  multiplies the conv's output-channel rows by ``s_c`` and adjusts the
+  bias — zero runtime cost.  ``fold_bn=False`` keeps BN as a standalone
+  slot-wise ``affine`` layer instead (one plaintext multiply + add, one
+  level), which the differential tests compare against.
+* **AvgPool2d / GlobalAvgPool2d → rotate-and-sum plans.**  Window sums
+  are separable: ``k-1`` hoisted rotations by the column stride, then
+  ``k-1`` by the row stride, then a single masked plaintext multiply by
+  ``1/k²``.  The output is *not* compacted — each pooled value stays at
+  its window's corner slot, tracked by
+  :class:`~repro.fhe.packing.GridLayout`, and the next layer's matrix is
+  lowered against that strided grid (garbage slots meet zero matrix
+  columns).
+* **Linear → column-permuted matvec** reading the current grid (an
+  explicit ``Flatten`` is a pure relabelling — slot positions don't
+  move).
+
+Exact ``ReLU``/``MaxPool2d`` are rejected like in :func:`compile_mlp`
+(replace with PAF layers first); ``PAFMaxPool2d`` lowering (a tournament
+of ciphertext multiplies over shifted copies) is not implemented yet.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ckks import CkksParams
+from repro.core.paf_layer import PAFMaxPool2d, PAFReLU
+from repro.fhe.network import EncryptedNetwork, _Layer
+from repro.fhe.packing import GridLayout
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from repro.nn.module import Module
+
+__all__ = [
+    "conv2d_layout_matrix",
+    "linear_layout_matrix",
+    "fold_bn_into_conv",
+    "bn_affine_vectors",
+    "avg_pool_shifts",
+    "compile_cnn",
+]
+
+
+# ----------------------------------------------------------------------
+# layer lowering (pure numpy, compile time only)
+# ----------------------------------------------------------------------
+def conv2d_layout_matrix(
+    weight: np.ndarray,
+    bias: np.ndarray | None,
+    layout: GridLayout,
+    stride: int = 1,
+    padding: int = 0,
+) -> tuple:
+    """Lower one Conv2d to a slot-space matrix (compile-time im2col).
+
+    ``weight`` is ``(OC, IC, KH, KW)``; the returned matrix has one row
+    per output element ``(oc, oh, ow)`` (dense channel-major order) and
+    one column per *slot* of the input grid, so it composes with any
+    strided :class:`GridLayout` a previous pool left behind.  Returns
+    ``(matrix, bias_vector, output_layout)`` — the output layout is
+    always dense.
+    """
+    oc, ic, kh, kw = weight.shape
+    if ic != layout.channels:
+        raise ValueError(f"channel mismatch: layout {layout.channels} vs weight {ic}")
+    oh = (layout.height + 2 * padding - kh) // stride + 1
+    ow = (layout.width + 2 * padding - kw) // stride + 1
+    if oh < 1 or ow < 1:
+        raise ValueError(f"kernel {kh}x{kw} exceeds padded input {layout}")
+    mat = np.zeros((oc * oh * ow, layout.span))
+    for o_c in range(oc):
+        for o_h in range(oh):
+            for o_w in range(ow):
+                row = (o_c * oh + o_h) * ow + o_w
+                for i_c in range(ic):
+                    for i in range(kh):
+                        h_in = o_h * stride + i - padding
+                        if not 0 <= h_in < layout.height:
+                            continue
+                        for j in range(kw):
+                            w_in = o_w * stride + j - padding
+                            if not 0 <= w_in < layout.width:
+                                continue
+                            col = layout.slot_of(i_c, h_in, w_in)
+                            mat[row, col] += weight[o_c, i_c, i, j]
+    bias_vec = None
+    if bias is not None:
+        bias_vec = np.repeat(np.asarray(bias, dtype=np.float64), oh * ow)
+    return mat, bias_vec, GridLayout.dense(oc, oh, ow)
+
+
+def linear_layout_matrix(weight: np.ndarray, positions: np.ndarray) -> np.ndarray:
+    """Lower a Linear layer reading its inputs from ``positions``.
+
+    ``positions[j]`` is the slot holding logical input ``j`` (the
+    flattened NCHW order of the preceding grid); the returned matrix has
+    the weight columns scattered to those slots, zero everywhere a
+    garbage slot would be read.
+    """
+    positions = np.asarray(positions, dtype=np.int64).ravel()
+    out_f, in_f = weight.shape
+    if in_f != len(positions):
+        raise ValueError(
+            f"linear expects {in_f} inputs, layout provides {len(positions)}"
+        )
+    mat = np.zeros((out_f, int(positions.max()) + 1))
+    mat[:, positions] = weight
+    return mat
+
+
+def _bn_scale_shift(bn: BatchNorm2d) -> tuple:
+    """Frozen per-channel ``(s, t)`` with ``bn(x) = s·x + t``.
+
+    Requires frozen statistics: with ``track_running_stats=False`` the
+    layer normalises by *batch* statistics even in eval mode (the
+    paper's Tab. 5 training configuration), which is data-dependent and
+    has no FHE equivalent.
+    """
+    if not bn.track_running_stats:
+        raise ValueError(
+            "BatchNorm2d must be built with track_running_stats=True to be "
+            "compiled: batch statistics are data-dependent, and CKKS has no "
+            "data-dependent ops (freeze the running statistics first)"
+        )
+    s = bn.gamma.data / np.sqrt(bn.running_var + bn.eps)
+    t = bn.beta.data - bn.running_mean * s
+    return s, t
+
+
+def fold_bn_into_conv(
+    weight: np.ndarray, bias: np.ndarray | None, bn: BatchNorm2d
+) -> tuple:
+    """Fold a frozen BatchNorm2d into the preceding conv's weights.
+
+    ``bn(conv(x)) = (s_c · W) x + (s_c · b + t_c)`` — the scale multiplies
+    every kernel of output channel ``c``, the shift lands in the bias.
+    Returns the folded ``(weight, bias)``.
+    """
+    s, t = _bn_scale_shift(bn)
+    if len(s) != weight.shape[0]:
+        raise ValueError(
+            f"BN features {len(s)} != conv output channels {weight.shape[0]}"
+        )
+    folded_w = weight * s[:, None, None, None]
+    folded_b = t if bias is None else s * bias + t
+    return folded_w, folded_b
+
+
+def bn_affine_vectors(bn: BatchNorm2d, layout: GridLayout) -> tuple:
+    """Slot-wise ``(scale, shift)`` vectors for an *unfolded* BatchNorm.
+
+    Each occupied slot of the grid gets its channel's ``s_c`` / ``t_c``;
+    garbage slots get zero (so the affine layer also re-zeroes whatever
+    it scales outside the grid, and shifts nothing there).
+    """
+    s, t = _bn_scale_shift(bn)
+    if len(s) != layout.channels:
+        raise ValueError(f"BN features {len(s)} != layout channels {layout.channels}")
+    scale_vec = np.zeros(layout.span)
+    shift_vec = np.zeros(layout.span)
+    pos = layout.positions()
+    for c in range(layout.channels):
+        scale_vec[pos[c].ravel()] = s[c]
+        shift_vec[pos[c].ravel()] = t[c]
+    return scale_vec, shift_vec
+
+
+def avg_pool_shifts(layout: GridLayout, kernel_h: int, kernel_w: int) -> tuple:
+    """Rotate-and-sum steps for a pooling window over ``layout``.
+
+    Separable accumulation: ``(column shifts, row shifts)`` in slot
+    units — each stage's rotations act on one ciphertext, so they share
+    a hoisted keyswitch decomposition at runtime.
+    """
+    if kernel_h > layout.height or kernel_w > layout.width:
+        raise ValueError(f"pool window {kernel_h}x{kernel_w} exceeds grid {layout}")
+    cols = tuple(j * layout.col_stride for j in range(1, kernel_w))
+    rows = tuple(i * layout.row_stride for i in range(1, kernel_h))
+    return cols, rows
+
+
+# ----------------------------------------------------------------------
+# the compiler
+# ----------------------------------------------------------------------
+_SKIPPED = (Dropout, Identity)
+_MATCHED = (
+    Conv2d,
+    BatchNorm2d,
+    PAFReLU,
+    AvgPool2d,
+    GlobalAvgPool2d,
+    Flatten,
+    Linear,
+)
+
+
+def _op_sequence(model: Module) -> list:
+    """The compilable leaf modules of ``model`` in definition order.
+
+    Containers are traversed (the compiler assumes, like ``compile_mlp``,
+    that they execute their children sequentially in definition order);
+    matched layers are taken whole (a ``PAFReLU``'s internal ``PAFSign``
+    is part of its lowering, not a separate op); inference no-ops
+    (Dropout, Identity) are dropped.  Any *other* leaf is an operation
+    this compiler cannot lower — silently skipping it would produce a
+    network that decrypts to wrong logits, so it raises instead.
+    """
+    ops: list = []
+
+    def visit(name: str, mod: Module) -> None:
+        if isinstance(mod, ReLU):
+            raise TypeError(
+                f"layer {name!r} is an exact ReLU — run SMART-PAF replacement "
+                "before compiling to FHE (CKKS has no non-polynomial ops)"
+            )
+        if isinstance(mod, MaxPool2d):
+            raise TypeError(
+                f"layer {name!r} is an exact MaxPool2d — replace it with a PAF "
+                "max-pool (or retrain with AvgPool2d) before compiling to FHE"
+            )
+        if isinstance(mod, PAFMaxPool2d):
+            raise NotImplementedError(
+                f"layer {name!r}: encrypted PAF max-pool lowering (a tournament "
+                "of ciphertext multiplies over shifted copies) is not compiled "
+                "yet — retrain the model with AvgPool2d"
+            )
+        if isinstance(mod, _MATCHED):
+            ops.append((name, mod))
+            return
+        if isinstance(mod, _SKIPPED):
+            return
+        if mod._modules:  # container: recurse in definition order
+            for attr, child in mod._modules.items():
+                visit(f"{name}.{attr}" if name else attr, child)
+            return
+        raise TypeError(
+            f"layer {name!r} ({type(mod).__name__}) has no encrypted lowering — "
+            "the CNN compiler supports Conv2d, BatchNorm2d, PAFReLU, AvgPool2d, "
+            "GlobalAvgPool2d, Flatten, Linear (plus Dropout/Identity no-ops)"
+        )
+
+    visit("", model)
+    return ops
+
+
+def compile_cnn(
+    model: Module,
+    input_shape: tuple,
+    params: CkksParams,
+    seed: int = 0,
+    reference_keys: bool = False,
+    fold_bn: bool = True,
+) -> EncryptedNetwork:
+    """Compile a (PAF-approximated) conv net for encrypted inference.
+
+    ``input_shape`` is the single-image ``(C, H, W)``; the client packs
+    the flattened image exactly like an MLP input vector
+    (:meth:`EncryptedNetwork.encrypt_batch` / ``pack_batch``).  The
+    module tree may contain Conv2d, BatchNorm2d (frozen statistics),
+    PAFReLU, AvgPool2d, GlobalAvgPool2d, Flatten and Linear layers
+    (Dropout/Identity are inference no-ops and skipped).  ``fold_bn``
+    folds each BatchNorm into the directly preceding conv (the default —
+    zero runtime cost); otherwise BN compiles to a standalone slot-wise
+    affine layer costing one extra level.
+
+    Every conv/linear is lowered to a slot-space matrix against the
+    running :class:`~repro.fhe.packing.GridLayout` and compiled to a
+    :class:`~repro.fhe.linear.MatvecPlan` by the shared
+    :class:`EncryptedNetwork` machinery; pools become rotate-and-sum
+    plans.  ``reference_keys`` additionally generates the naive-path
+    Galois keys (differential testing), exactly like :func:`compile_mlp`.
+    """
+    if len(input_shape) != 3:
+        raise ValueError(f"input_shape must be (C, H, W), got {input_shape}")
+    ops = _op_sequence(model)
+    grid: GridLayout | None = GridLayout.dense(*input_shape)
+    positions: np.ndarray | None = None  # set once the activation is flat
+    layers: list[_Layer] = []
+    spans: list[int] = [grid.span]
+
+    def _require_grid(name: str) -> GridLayout:
+        if grid is None:
+            raise TypeError(f"layer {name!r} needs an image grid, but the "
+                            "activation was already flattened")
+        return grid
+
+    i = 0
+    while i < len(ops):
+        name, mod = ops[i]
+        if isinstance(mod, Conv2d):
+            g = _require_grid(name)
+            w = mod.weight.data.copy()
+            b = mod.bias.data.copy() if mod.bias is not None else None
+            if fold_bn and i + 1 < len(ops) and isinstance(ops[i + 1][1], BatchNorm2d):
+                w, b = fold_bn_into_conv(w, b, ops[i + 1][1])
+                i += 1  # the BN is consumed by the fold
+            mat, bias_vec, grid = conv2d_layout_matrix(
+                w, b, g, stride=mod.stride, padding=mod.padding
+            )
+            layers.append(_Layer(kind="linear", weight=mat, bias=bias_vec))
+            spans.extend(mat.shape)
+        elif isinstance(mod, BatchNorm2d):
+            g = _require_grid(name)
+            scale_vec, shift_vec = bn_affine_vectors(mod, g)
+            layers.append(
+                _Layer(kind="affine", affine_scale=scale_vec, affine_shift=shift_vec)
+            )
+        elif isinstance(mod, PAFReLU):
+            layers.append(
+                _Layer(kind="paf", paf=mod.sign.to_composite(), scale=mod.static_scale)
+            )
+        elif isinstance(mod, AvgPool2d):
+            g = _require_grid(name)
+            k = mod.kernel_size
+            layers.append(
+                _Layer(
+                    kind="pool",
+                    shifts=avg_pool_shifts(g, k, k),
+                    pool_scale=1.0 / (k * k),
+                )
+            )
+            grid = g.pooled(k, mod.stride)
+        elif isinstance(mod, GlobalAvgPool2d):
+            g = _require_grid(name)
+            layers.append(
+                _Layer(
+                    kind="pool",
+                    shifts=avg_pool_shifts(g, g.height, g.width),
+                    pool_scale=1.0 / (g.height * g.width),
+                )
+            )
+            grid = g.global_pooled()
+        elif isinstance(mod, Flatten):
+            positions = _require_grid(name).positions().ravel()
+            grid = None
+        elif isinstance(mod, Linear):
+            if positions is None:
+                # implicit flatten (e.g. GlobalAvgPool2d straight into the head)
+                positions = _require_grid(name).positions().ravel()
+                grid = None
+            mat = linear_layout_matrix(mod.weight.data, positions)
+            bias_vec = mod.bias.data.copy() if mod.bias is not None else None
+            layers.append(_Layer(kind="linear", weight=mat, bias=bias_vec))
+            spans.extend(mat.shape)
+            positions = np.arange(mod.out_features)
+        i += 1
+
+    if not any(l.kind == "linear" for l in layers):
+        raise ValueError("model has no Conv2d or Linear layers to compile")
+    size = max(spans)
+    # zero-pad every lowered matrix to square so the diagonal layout is uniform
+    for l in layers:
+        if l.kind == "linear":
+            padded = np.zeros((size, size))
+            padded[: l.weight.shape[0], : l.weight.shape[1]] = l.weight
+            l.weight = padded
+    return EncryptedNetwork(
+        layers, size=size, params=params, seed=seed, reference_keys=reference_keys
+    )

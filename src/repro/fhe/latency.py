@@ -13,7 +13,7 @@ extrapolated without running them.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -36,9 +36,11 @@ __all__ = [
     "analytic_relu_cost",
     "analytic_activation_cost",
     "analytic_matvec_cost",
+    "analytic_pool_cost",
     "paf_op_counts",
     "activation_op_counts",
     "matvec_op_counts",
+    "pool_op_counts",
 ]
 
 
@@ -249,6 +251,37 @@ def matvec_op_counts(plan: MatvecPlan) -> dict:
         "pt_mult": plan.num_diagonals,
         "rescale": 1,
     }
+
+
+def pool_op_counts(shifts: tuple) -> dict:
+    """Homomorphic op counts of one rotate-and-sum average pool.
+
+    ``shifts`` is the compiled per-stage step tuple of the pool layer
+    (``(column shifts, row shifts)`` from
+    :func:`repro.fhe.cnn.avg_pool_shifts`): each stage's rotations share
+    one hoisted decomposition, then the masked ``1/window`` plaintext
+    multiply pays one ``pt_mult`` and the single rescale.
+    """
+    stages = [[s for s in stage if s] for stage in shifts]
+    rotations = sum(len(stage) for stage in stages)
+    return {
+        "rotate": 0,
+        "rotate_hoisted": rotations,
+        "hoist_decompose": sum(1 for stage in stages if stage),
+        "pt_mult": 1,
+        "rescale": 1,
+    }
+
+
+def analytic_pool_cost(shifts: tuple, micros: dict) -> float:
+    """Estimated encrypted-pool seconds from op counts × per-op times."""
+    counts = pool_op_counts(shifts)
+    return (
+        counts["rotate_hoisted"] * micros["rotate_hoisted"]
+        + counts["hoist_decompose"] * micros["hoist_decompose"]
+        + counts["pt_mult"] * micros["pt_mult"]
+        + counts["rescale"] * max(micros["rescale"], 0.0)
+    )
 
 
 def analytic_matvec_cost(plan: MatvecPlan, micros: dict) -> float:

@@ -1,33 +1,49 @@
-"""Compile a PAF-approximated MLP to fully-encrypted CKKS inference.
+"""Compile a PAF-approximated network to fully-encrypted CKKS inference.
 
 The end-to-end private-inference path of the paper's Fig. 2: the client
 encrypts an input vector; the server evaluates linear layers (Halevi-Shoup
 matmul) and PAF activations (depth-preserving Paterson–Stockmeyer
 composite evaluation) on ciphertexts only; the client decrypts logits.
 
-Square layer layout: every Linear weight is zero-padded to ``size×size``
-(``size`` = max layer width) so rotations align.  Slots are divided into
-``max_batch`` disjoint *blocks* of ``2·size`` slots each; block ``b``
-carries one input vector packed with wraparound replication
-(``slots[b·2s : b·2s+size]`` = x, ``slots[b·2s+size : b·2s+2s]`` = x), so
-a single ciphertext serves up to ``slots // (2·size)`` independent
-requests through the same sequence of homomorphic ops — the SIMD batching
-that :mod:`repro.serve` builds on.  Diagonals are tiled across all blocks
-once at compile time; rotation steps (and hence the Galois key set) are
-identical to the single-request layout.
+Square layer layout: every linear-algebra layer (Linear weights, and the
+compile-time-lowered Conv2d matrices from :mod:`repro.fhe.cnn`) is
+zero-padded to ``size×size`` (``size`` = max layer slot span) so rotations
+align.  Slots are divided into ``max_batch`` disjoint *blocks* of
+``2·size`` slots each; block ``b`` carries one input vector packed with
+wraparound replication (``slots[b·2s : b·2s+size]`` = x,
+``slots[b·2s+size : b·2s+2s]`` = x), so a single ciphertext serves up to
+``slots // (2·size)`` independent requests through the same sequence of
+homomorphic ops — the SIMD batching that :mod:`repro.serve` builds on.
+Diagonals are tiled across all blocks once at compile time; rotation
+steps (and hence the Galois key set) are identical to the
+single-request layout.
 
-Each linear layer is compiled to a :class:`~repro.fhe.linear.MatvecPlan`:
-layers whose diagonal pattern factors into baby/giant steps run the BSGS
-matvec (``O(√D)`` keyswitches, hoisted baby rotations, pre-rotated
-diagonals cached at compile time); degenerate layers keep the naive
-reference path.  The Galois key set is sized from the union of the
-chosen plans' rotation steps plus the replication step — for BSGS layers
-that is ``n1 + n2 - 2`` keys instead of one per nonzero diagonal.
+Four layer kinds execute on ciphertexts:
+
+* ``linear`` — a :class:`~repro.fhe.linear.MatvecPlan`-compiled matvec:
+  BSGS (``O(√D)`` keyswitches, hoisted baby rotations, pre-rotated
+  diagonals cached at compile time) where strictly cheaper, the naive
+  diagonal loop otherwise;
+* ``paf`` — a compiled :class:`~repro.ckks.poly_plan.ReluPlan`
+  (Paterson–Stockmeyer vs ladder per component);
+* ``pool`` — average pooling as two hoisted rotate-and-sum stages
+  (column shifts then row shifts) followed by one masked plaintext
+  scalar multiply (``1/window``, tiled over ``[0, size)`` of each block
+  — which simultaneously re-zeroes the replica halves the rotations
+  smeared into);
+* ``affine`` — a slot-wise plaintext scale-and-shift (an *unfolded*
+  BatchNorm; the CNN compiler folds BN into the adjacent conv by
+  default, so this kind only appears with ``fold_bn=False``).
+
+The Galois key set is sized from the union of the chosen matvec plans'
+rotation steps, every pool's shift steps, and the replication step — for
+BSGS layers that is ``n1 + n2 - 2`` keys instead of one per nonzero
+diagonal.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -55,20 +71,32 @@ from repro.nn.module import Module
 from repro.paf.polynomial import CompositePAF
 from repro.paf.relu import relu_mult_depth
 
-__all__ = ["EncryptedMLP", "compile_mlp"]
+__all__ = ["EncryptedNetwork", "EncryptedMLP", "compile_mlp"]
 
 
 @dataclass
 class _Layer:
-    kind: str                   # "linear" | "paf"
+    kind: str                   # "linear" | "paf" | "pool" | "affine"
     weight: np.ndarray | None = None
     bias: np.ndarray | None = None
     paf: CompositePAF | None = None
     scale: float = 1.0
+    #: pool: per-stage nonzero rotation steps ((col shifts), (row shifts))
+    shifts: tuple = field(default_factory=tuple)
+    #: pool: the plaintext scalar (1 / window area)
+    pool_scale: float = 1.0
+    #: affine: per-slot multiplier / addend over ``[0, size)`` of a block
+    affine_scale: np.ndarray | None = None
+    affine_shift: np.ndarray | None = None
 
 
-class EncryptedMLP:
-    """An MLP compiled for encrypted inference (single or SIMD-batched)."""
+class EncryptedNetwork:
+    """A network compiled for encrypted inference (single or SIMD-batched).
+
+    Built by :func:`compile_mlp` (Linear/PAF stacks) and
+    :func:`repro.fhe.cnn.compile_cnn` (Conv/BN/Pool stacks lowered to the
+    same layer kinds).  ``EncryptedMLP`` is a backwards-compatible alias.
+    """
 
     def __init__(
         self,
@@ -80,9 +108,7 @@ class EncryptedMLP:
     ):
         self.layers = layers
         self.size = size
-        depth_needed = sum(
-            relu_mult_depth(l.paf) if l.kind == "paf" else 1 for l in layers
-        )
+        depth_needed = sum(self._layer_depth(l) for l in layers)
         if params.depth < depth_needed:
             raise ValueError(
                 f"context depth {params.depth} < required {depth_needed}"
@@ -113,9 +139,40 @@ class EncryptedMLP:
         #: (Paterson–Stockmeyer vs ladder chosen per component, with the
         #: static scale and the ReLU ½ already folded into coefficients)
         self.paf_plans: dict = {}
+        #: pool masks: ``1/window`` over ``[0, size)`` of every block, zero
+        #: elsewhere — the pool's scalar multiply doubles as the cleanup
+        #: that re-zeroes replica halves after the rotate-and-sum stages
+        self.pool_masks: dict[int, np.ndarray] = {}
+        #: affine (unfolded BN) slot vectors, tiled like the biases
+        self.affine_scale_slots: dict[int, np.ndarray] = {}
+        self.affine_shift_slots: dict[int, np.ndarray] = {}
+        pool_steps: set = set()
         for i, l in enumerate(layers):
             if l.kind == "paf":
                 self.paf_plans[i] = plan_paf_relu(l.paf, l.scale)
+            if l.kind == "pool":
+                for stage in l.shifts:
+                    pool_steps.update(s for s in stage if s)
+                self.pool_masks[i] = tile_blocks(
+                    np.full(size, l.pool_scale),
+                    slots,
+                    self.max_batch,
+                    self.block_stride,
+                )
+            if l.kind == "affine":
+                for name, vec, store in (
+                    ("scale", l.affine_scale, self.affine_scale_slots),
+                    ("shift", l.affine_shift, self.affine_shift_slots),
+                ):
+                    if vec is None or len(vec) > size:
+                        raise ValueError(
+                            f"affine layer {i} needs a {name} vector of length <= {size}"
+                        )
+                    base = np.zeros(size)
+                    base[: len(vec)] = vec
+                    store[i] = tile_blocks(
+                        base, slots, self.max_batch, self.block_stride
+                    )
             if l.kind == "linear":
                 diags = diagonals_of(
                     l.weight,
@@ -140,6 +197,7 @@ class EncryptedMLP:
         # ``reference_keys`` additionally covers the naive path of every
         # layer so the reference implementation can run side by side.
         steps = {s for plan in self.matvec_plans.values() for s in plan.rotation_steps()}
+        steps |= pool_steps
         if reference_keys:
             steps |= {d for plan in self.matvec_plans.values() for d in plan.diag_steps}
         # right-rotation by `size` restores the wraparound replica block
@@ -149,6 +207,12 @@ class EncryptedMLP:
         steps.add(self._replicate_step)
         self.keys = keygen(self.ctx, seed=seed, galois_steps=tuple(sorted(steps)))
         self.ev = CkksEvaluator(self.ctx, self.keys)
+
+    @staticmethod
+    def _layer_depth(l: _Layer) -> int:
+        """Levels one layer consumes: matvec/pool/affine rescale once,
+        PAF activations their full multiplication depth."""
+        return relu_mult_depth(l.paf) if l.kind == "paf" else 1
 
     # ------------------------------------------------------------------
     # packing
@@ -186,16 +250,20 @@ class EncryptedMLP:
     ) -> Ciphertext:
         """Encrypted forward pass over all packed blocks at once.
 
-        Linear layers follow their compiled :class:`MatvecPlan` — BSGS
-        with hoisted baby rotations where that is strictly cheaper, the
-        naive diagonal loop otherwise.  PAF activations follow their
-        compiled :class:`~repro.ckks.poly_plan.ReluPlan` —
-        Paterson–Stockmeyer per component where strictly fewer nonscalar
-        mults, the term-by-term ladder otherwise.  ``reference=True``
-        forces the reference implementations everywhere: the naive
-        diagonal loop for every linear layer (compile with
-        ``reference_keys=True`` so its Galois keys exist) *and* the
-        ladder for every activation — the differential-testing baseline.
+        Linear layers (Linear weights and compile-time-lowered convs
+        alike) follow their compiled :class:`MatvecPlan` — BSGS with
+        hoisted baby rotations where that is strictly cheaper, the naive
+        diagonal loop otherwise.  PAF activations follow their compiled
+        :class:`~repro.ckks.poly_plan.ReluPlan` — Paterson–Stockmeyer
+        per component where strictly fewer nonscalar mults, the
+        term-by-term ladder otherwise.  Pool layers run their
+        rotate-and-sum plan (:meth:`_pool_forward`); affine layers one
+        slot-wise multiply + shift.  ``reference=True`` forces the
+        reference implementations everywhere: the naive diagonal loop
+        for every linear layer (compile with ``reference_keys=True`` so
+        its Galois keys exist), per-step rotations instead of hoisted
+        batches for every pool, *and* the ladder for every activation —
+        the differential-testing baseline.
 
         ``encoded`` is an optional provider of pre-encoded plaintexts for
         the linear layers — ``encoded(layer_index, level, scale)`` must
@@ -236,6 +304,11 @@ class EncryptedMLP:
                     ct = encrypted_matvec(
                         ev, ct, diagonals=payload, bias_slots=bias_slots
                     )
+            elif l.kind == "pool":
+                ct = self._pool_forward(ct, i, ev, reference=reference)
+            elif l.kind == "affine":
+                ct = ev.rescale(ev.mul_plain(ct, self.affine_scale_slots[i]))
+                ct = ev.add_plain(ct, self.affine_shift_slots[i])
             else:
                 ct = eval_paf_relu(
                     ev,
@@ -247,6 +320,38 @@ class EncryptedMLP:
                 )
         return ct
 
+    def _pool_forward(
+        self, ct: Ciphertext, i: int, ev: CkksEvaluator, reference: bool = False
+    ) -> Ciphertext:
+        """Average pool: rotate-and-sum per axis, then one masked scalar mult.
+
+        Stage 1 sums the window columns (``k-1`` hoisted rotations by the
+        column stride), stage 2 the window rows — separable, so ``2(k-1)``
+        keyswitches instead of ``k²-1``.  Each stage's rotations act on
+        one ciphertext and share a hoisted decomposition
+        (``reference=True`` rotates one by one instead).  Valid sums land
+        at the window-corner slots of the input grid (the compile-time
+        :class:`~repro.fhe.packing.GridLayout` the next layer's matrix is
+        lowered against); everything else — including the replica halves
+        and the neighbour-block spill the full-slot rotations produce —
+        is garbage, and the final ``1/window`` multiply is *masked* to
+        ``[0, size)`` of each block so the replica halves leave this
+        layer exactly zero again, preserving the invariant
+        :meth:`_replicate` relies on.  One rescale: the pool consumes one
+        level, like a linear layer.
+        """
+        for stage in self.layers[i].shifts:
+            stage = [s for s in stage if s]
+            if not stage:
+                continue
+            if reference:
+                rotated = {s: ev.rotate(ct, s) for s in stage}
+            else:
+                rotated = ev.rotate_many(ct, stage)
+            for s in stage:
+                ct = ev.add(ct, rotated[s])
+        return ev.rescale(ev.mul_plain(ct, self.pool_masks[i]))
+
     # ------------------------------------------------------------------
     # static schedule
     # ------------------------------------------------------------------
@@ -254,16 +359,16 @@ class EncryptedMLP:
         """Chain level at which the ciphertext enters each layer.
 
         A fixed network visits every layer at one deterministic level:
-        each linear layer consumes one (the matvec rescale), each PAF
-        activation ``mult_depth + 1``.  ``repro.serve.artifact`` uses
-        this to pre-encode activation constants without running a
-        forward pass.
+        each linear, pool and affine layer consumes one (its single
+        rescale), each PAF activation ``mult_depth + 1``.
+        ``repro.serve.artifact`` uses this to pre-encode activation
+        constants without running a forward pass.
         """
         level = self.ctx.max_level
         levels = {}
         for i, l in enumerate(self.layers):
             levels[i] = level
-            level -= 1 if l.kind == "linear" else relu_mult_depth(l.paf)
+            level -= self._layer_depth(l)
         return levels
 
     # ------------------------------------------------------------------
@@ -299,9 +404,13 @@ class EncryptedMLP:
         return logits.argmax(axis=1)
 
 
+#: Backwards-compatible alias (the MLP compiler predates the CNN one).
+EncryptedMLP = EncryptedNetwork
+
+
 def compile_mlp(
     model: Module, params: CkksParams, seed: int = 0, reference_keys: bool = False
-) -> EncryptedMLP:
+) -> EncryptedNetwork:
     """Compile a (PAF-approximated) ``repro.nn`` MLP for encrypted inference.
 
     Accepts models whose module tree is Linear / ReLU / PAFReLU layers
@@ -338,6 +447,6 @@ def compile_mlp(
             padded = np.zeros((size, size))
             padded[: l.weight.shape[0], : l.weight.shape[1]] = l.weight
             l.weight = padded
-    return EncryptedMLP(
+    return EncryptedNetwork(
         layers, size=size, params=params, seed=seed, reference_keys=reference_keys
     )

@@ -6,8 +6,17 @@ of them (vector + the wraparound replica that keeps the Halevi-Shoup
 cyclic diagonals aligned).  Up to ``slots // (2·size)`` independent
 requests therefore share one ciphertext in disjoint *blocks*.  This
 module is the single source of truth for that geometry — used by
-:class:`repro.fhe.network.EncryptedMLP` on ciphertexts and re-exported
-by :mod:`repro.serve.packing` for the serving layer.
+:class:`repro.fhe.network.EncryptedNetwork` on ciphertexts and
+re-exported by :mod:`repro.serve.packing` for the serving layer.
+
+:class:`GridLayout` is the second geometry this module owns: where the
+elements of an NCHW activation tensor sit inside one request block.
+Convolutions emit densely packed channel-major activations; strided
+pools leave their outputs at the window-corner slots of the *input*
+grid (rotate-and-sum never compacts), so downstream layers read through
+a strided grid.  The CNN compiler (:mod:`repro.fhe.cnn`) threads one
+``GridLayout`` through the network and lowers every conv/pool/linear
+against it.
 """
 
 from __future__ import annotations
@@ -16,7 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["BlockLayout", "pack_batch", "unpack_blocks"]
+__all__ = ["BlockLayout", "GridLayout", "pack_batch", "unpack_blocks"]
 
 
 @dataclass(frozen=True)
@@ -47,6 +56,106 @@ class BlockLayout:
         if not 0 <= block < self.max_batch:
             raise ValueError(f"block {block} out of range 0..{self.max_batch - 1}")
         return block * self.stride
+
+
+@dataclass(frozen=True)
+class GridLayout:
+    """Slot positions of a ``(C, H, W)`` activation inside one block.
+
+    Element ``(c, h, w)`` lives at slot
+    ``c·chan_stride + h·row_stride + w·col_stride``.  A dense layout has
+    ``(chan_stride, row_stride, col_stride) = (H·W, W, 1)``; a stride-s
+    pool multiplies the spatial strides by ``s`` while shrinking the
+    logical extent, leaving the grid *strided* (valid values at window
+    corners, garbage in between — downstream matvec matrices simply have
+    zero columns at the garbage slots).
+    """
+
+    channels: int
+    height: int
+    width: int
+    chan_stride: int
+    row_stride: int
+    col_stride: int
+
+    def __post_init__(self):
+        if min(self.channels, self.height, self.width) < 1:
+            raise ValueError(f"invalid grid extent: {self}")
+        if min(self.chan_stride, self.row_stride, self.col_stride) < 1:
+            raise ValueError(f"invalid grid strides: {self}")
+        pos = self.positions()
+        if len(np.unique(pos)) != pos.size:
+            raise ValueError(f"grid layout is not injective: {self}")
+
+    @classmethod
+    def dense(cls, channels: int, height: int, width: int) -> "GridLayout":
+        """Channel-major packed layout (what conv outputs are lowered to)."""
+        return cls(
+            channels=channels,
+            height=height,
+            width=width,
+            chan_stride=height * width,
+            row_stride=width,
+            col_stride=1,
+        )
+
+    @property
+    def num_elements(self) -> int:
+        return self.channels * self.height * self.width
+
+    @property
+    def span(self) -> int:
+        """Slots needed to hold the grid (max occupied slot + 1)."""
+        return (
+            (self.channels - 1) * self.chan_stride
+            + (self.height - 1) * self.row_stride
+            + (self.width - 1) * self.col_stride
+            + 1
+        )
+
+    def slot_of(self, c: int, h: int, w: int) -> int:
+        """Slot index of element ``(c, h, w)``."""
+        if not (0 <= c < self.channels and 0 <= h < self.height and 0 <= w < self.width):
+            raise ValueError(f"({c}, {h}, {w}) outside grid {self}")
+        return c * self.chan_stride + h * self.row_stride + w * self.col_stride
+
+    def positions(self) -> np.ndarray:
+        """``(C, H, W)`` array of slot indices (flattens to NCHW order)."""
+        c = np.arange(self.channels)[:, None, None] * self.chan_stride
+        h = np.arange(self.height)[None, :, None] * self.row_stride
+        w = np.arange(self.width)[None, None, :] * self.col_stride
+        return c + h + w
+
+    def pooled(self, kernel: int, stride: int) -> "GridLayout":
+        """Layout after a ``kernel``×``kernel`` stride-``stride`` pool.
+
+        Rotate-and-sum leaves each output at its window's top-left corner
+        slot, so the spatial strides grow by the pool stride and the
+        extents shrink to the output resolution.
+        """
+        if kernel < 1 or stride < 1:
+            raise ValueError(f"invalid pool kernel={kernel} stride={stride}")
+        if kernel > self.height or kernel > self.width:
+            raise ValueError(f"pool window {kernel} exceeds grid {self}")
+        return GridLayout(
+            channels=self.channels,
+            height=(self.height - kernel) // stride + 1,
+            width=(self.width - kernel) // stride + 1,
+            chan_stride=self.chan_stride,
+            row_stride=self.row_stride * stride,
+            col_stride=self.col_stride * stride,
+        )
+
+    def global_pooled(self) -> "GridLayout":
+        """Layout after a global average pool (one value per channel)."""
+        return GridLayout(
+            channels=self.channels,
+            height=1,
+            width=1,
+            chan_stride=self.chan_stride,
+            row_stride=self.row_stride,
+            col_stride=self.col_stride,
+        )
 
 
 def pack_batch(xs, layout: BlockLayout) -> np.ndarray:

@@ -1,9 +1,16 @@
-"""The canonical toy serving model: an 8 -> 6 -> 3 MLP with an f1∘g2 PAF.
+"""The canonical toy serving models, shared by tests, benchmarks and CI.
 
-One shared build used by the fhe/serve test suites, the serving
-benchmarks and the CI op-count summary, so the toy geometry (and the
+Two builds, each used by the fhe/serve test suites, the serving
+benchmarks and the CI op-count summary so the toy geometry (and the
 op-count regression anchors derived from it) cannot silently diverge
-between them.  Compiles in ~1 s; one encrypted forward ≈ 0.5 s at n=512.
+between them:
+
+* :func:`compiled_toy` — an 8 → 6 → 3 MLP with an f1∘g2 PAF.  Compiles
+  in ~1 s; one encrypted forward ≈ 0.5 s at n=512.
+* :func:`compiled_toy_cnn` — a *trained* 2-conv CNN on 1×8×8 pattern
+  images (conv-BN-PAF → avgpool → conv → dense, 3 classes), compiled by
+  :func:`repro.fhe.cnn.compile_cnn`.  Compiles in a few seconds; one
+  encrypted forward ≈ 5 s at n=1024.
 """
 
 from __future__ import annotations
@@ -11,17 +18,32 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ckks import CkksParams
-from repro.fhe.network import EncryptedMLP, compile_mlp
+from repro.fhe.network import EncryptedNetwork, compile_mlp
 
-__all__ = ["compiled_toy", "TOY_PARAMS"]
+__all__ = [
+    "compiled_toy",
+    "compiled_toy_cnn",
+    "toy_cnn_model",
+    "TOY_PARAMS",
+    "TOY_CNN_PARAMS",
+    "TOY_CNN_INPUT_SHAPE",
+]
 
-#: the toy's CKKS parameter set (small ring, depth for one f1∘g2 PAF)
+#: the toy MLP's CKKS parameter set (small ring, depth for one f1∘g2 PAF)
 TOY_PARAMS = CkksParams(n=512, scale_bits=25, depth=9)
+
+#: the toy CNN's CKKS parameter set — depth 10 covers conv(1) + PAF(6) +
+#: pool(1) + conv(1) + dense(1); n=1024 gives two SIMD request blocks at
+#: the CNN's square size of 128
+TOY_CNN_PARAMS = CkksParams(n=1024, scale_bits=26, depth=10)
+
+#: single-image shape of the toy CNN (1 channel, 8×8 pixels)
+TOY_CNN_INPUT_SHAPE = (1, 8, 8)
 
 
 def compiled_toy(
     reference_keys: bool = False, with_model: bool = False
-) -> EncryptedMLP | tuple:
+) -> EncryptedNetwork | tuple:
     """Build, PAF-replace, calibrate and compile the toy MLP.
 
     ``reference_keys`` additionally generates the naive-path Galois keys
@@ -41,4 +63,92 @@ def compiled_toy(
     convert_to_static(model)
     enc = compile_mlp(model, TOY_PARAMS, seed=0, reference_keys=reference_keys)
     model.eval()
+    return (model, enc) if with_model else enc
+
+
+def toy_cnn_model(epochs: int = 2, seed: int = 0):
+    """Train the plaintext toy CNN on synthetic 8×8 pattern images.
+
+    Architecture: Conv(1→2, 3×3, pad 1) - BN - ReLU - AvgPool(2) -
+    Conv(2→2, 3×3, pad 1) - Flatten - Linear(32→3).  BatchNorm tracks
+    running statistics (``track_running_stats=True``) so its frozen
+    stats can be folded into the conv at FHE compile time; a couple of
+    SGD epochs on the pattern dataset both train the weights and
+    populate those statistics.  Deterministic for a fixed ``seed``.
+
+    Returns ``(model, dataset)`` with the model left in train mode
+    (callers decide when to PAF-replace and freeze).
+    """
+    from repro.data.synthetic import make_pattern_dataset
+    from repro.nn.functional import cross_entropy
+    from repro.nn.layers import (
+        AvgPool2d,
+        BatchNorm2d,
+        Conv2d,
+        Flatten,
+        Linear,
+        ReLU,
+    )
+    from repro.nn.module import Sequential
+    from repro.nn.optim import SGD
+    from repro.nn.tensor import Tensor
+
+    rng = np.random.default_rng(seed)
+    model = Sequential(
+        Conv2d(1, 2, 3, padding=1, bias=False, rng=rng),
+        BatchNorm2d(2, track_running_stats=True),
+        ReLU(),
+        AvgPool2d(2),
+        Conv2d(2, 2, 3, padding=1, rng=rng),
+        Flatten(),
+        Linear(32, 3, rng=rng),
+    )
+    data = make_pattern_dataset(
+        num_classes=3, n_train=96, n_val=24, image_size=8, channels=1, seed=seed
+    )
+    opt = SGD(model.parameters(), lr=0.05, momentum=0.9)
+    batch = 16
+    for _ in range(epochs):
+        for start in range(0, data.n_train, batch):
+            xb = data.x_train[start : start + batch]
+            yb = data.y_train[start : start + batch]
+            loss = cross_entropy(model(Tensor(xb)), yb)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+    return model, data
+
+
+def compiled_toy_cnn(
+    reference_keys: bool = False,
+    with_model: bool = False,
+    fold_bn: bool = True,
+    params: CkksParams | None = None,
+) -> EncryptedNetwork | tuple:
+    """Train, PAF-replace, calibrate and compile the toy CNN.
+
+    The shared fixture behind the CNN differential tests, the serving
+    suite and the CI op-count gate.  ``reference_keys`` additionally
+    generates the naive-path Galois keys; ``fold_bn=False`` keeps
+    BatchNorm as a standalone affine layer (one extra level — pass
+    ``params`` with ``depth >= 11``); ``with_model`` also returns the
+    plaintext model (in eval mode).
+    """
+    from repro.core import calibrate_static_scales, convert_to_static, replace_all
+    from repro.fhe.cnn import compile_cnn
+    from repro.paf import get_paf
+
+    model, data = toy_cnn_model()
+    replace_all(model, get_paf("f1g2"), data.x_train[:2])
+    calibrate_static_scales(model, [data.x_train])
+    convert_to_static(model)
+    model.eval()
+    enc = compile_cnn(
+        model,
+        TOY_CNN_INPUT_SHAPE,
+        params or TOY_CNN_PARAMS,
+        seed=0,
+        reference_keys=reference_keys,
+        fold_bn=fold_bn,
+    )
     return (model, enc) if with_model else enc

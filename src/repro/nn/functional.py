@@ -11,7 +11,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.nn.tensor import Tensor, as_tensor
+from repro.nn.tensor import Tensor
 
 __all__ = [
     "pad2d",

@@ -8,7 +8,7 @@ modes, recursive application, and state dict save/load — plus
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, Optional
+from typing import Callable, Iterator
 
 import numpy as np
 

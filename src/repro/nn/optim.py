@@ -12,11 +12,9 @@ how AT freezing composes with a single long-lived optimizer.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
 
 import numpy as np
 
-from repro.nn.module import Parameter
 
 __all__ = ["SGD", "Adam"]
 

@@ -7,7 +7,6 @@ averaged model competes with the best single-epoch model.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.nn.module import Module
 

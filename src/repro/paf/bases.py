@@ -23,7 +23,6 @@ from __future__ import annotations
 import math
 from fractions import Fraction
 
-import numpy as np
 
 from repro.paf.polynomial import CompositePAF, OddPolynomial
 

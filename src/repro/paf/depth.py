@@ -23,9 +23,9 @@ Paterson–Stockmeyer path consumes the *same* total per component
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro.paf.polynomial import CompositePAF, OddPolynomial, mult_depth_of_degree
+from repro.paf.polynomial import CompositePAF, OddPolynomial
 
 __all__ = [
     "DepthStep",

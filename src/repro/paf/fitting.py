@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.paf.polynomial import CompositePAF, OddPolynomial
+from repro.paf.polynomial import CompositePAF
 
 __all__ = [
     "profile_to_weights",

@@ -6,8 +6,12 @@ every Halevi-Shoup diagonal of every linear layer on *every request* —
 pure waste, since the model weights never change and a fixed network
 visits each linear layer at one deterministic ``(level, scale)`` pair.
 
-:class:`ModelArtifact` wraps a compiled :class:`~repro.fhe.network.EncryptedMLP`
-with two caches keyed on ``(value digest, level, scale)``:
+:class:`ModelArtifact` wraps a compiled
+:class:`~repro.fhe.network.EncryptedNetwork` — an MLP from
+:func:`~repro.fhe.network.compile_mlp` or a CNN from
+:func:`~repro.fhe.cnn.compile_cnn`; pool masks and affine vectors ride
+the activation-constant cache below — with two caches keyed on
+``(value digest, level, scale)``:
 
 * the explicit diagonal/bias path — :meth:`ModelArtifact.encoded_linear`
   hands the matvec executors ready-made :class:`~repro.ckks.Plaintext`
@@ -38,7 +42,7 @@ from threading import Lock
 import numpy as np
 
 from repro.ckks.encoder import Plaintext
-from repro.fhe.network import EncryptedMLP, compile_mlp
+from repro.fhe.network import EncryptedNetwork, compile_mlp
 
 __all__ = ["PlaintextCache", "CachingEncoder", "ModelArtifact"]
 
@@ -128,18 +132,19 @@ class ModelArtifact:
     Parameters
     ----------
     model:
-        A compiled :class:`~repro.fhe.network.EncryptedMLP`.
+        A compiled :class:`~repro.fhe.network.EncryptedNetwork` (MLP or
+        CNN).
     max_entries:
         Bound on the shared plaintext cache.
     cache_activations:
         Install a :class:`CachingEncoder` on the model's evaluator so PAF
-        constants and alignment corrections are memoised too (the
-        explicit diagonal path works either way).
+        constants, pool masks, affine vectors and alignment corrections
+        are memoised too (the explicit diagonal path works either way).
     """
 
     def __init__(
         self,
-        model: EncryptedMLP,
+        model: EncryptedNetwork,
         max_entries: int = 4096,
         cache_activations: bool = True,
     ):
@@ -157,6 +162,15 @@ class ModelArtifact:
     def compile(cls, nn_model, params, seed: int = 0, **kwargs) -> "ModelArtifact":
         """``compile_mlp`` + wrap, in one step."""
         return cls(compile_mlp(nn_model, params, seed=seed), **kwargs)
+
+    @classmethod
+    def compile_cnn(
+        cls, nn_model, input_shape, params, seed: int = 0, **kwargs
+    ) -> "ModelArtifact":
+        """``repro.fhe.cnn.compile_cnn`` + wrap, in one step."""
+        from repro.fhe.cnn import compile_cnn
+
+        return cls(compile_cnn(nn_model, input_shape, params, seed=seed), **kwargs)
 
     # ------------------------------------------------------------------
     def encoded_linear(self, layer_index: int, level: int, scale: float):

@@ -1,7 +1,6 @@
 """Tests for Pareto frontier, table formatting and depth profiling."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

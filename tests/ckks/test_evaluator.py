@@ -13,7 +13,7 @@ from repro.ckks import (
     eval_paf_relu,
     keygen,
 )
-from repro.paf import get_paf, paper_pafs
+from repro.paf import get_paf
 from repro.paf.polynomial import OddPolynomial
 from repro.paf.relu import relu_mult_depth
 

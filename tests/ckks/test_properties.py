@@ -5,7 +5,6 @@ Each property asserts the homomorphic identity decrypt(op(Enc(x))) ≈ op(x).
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

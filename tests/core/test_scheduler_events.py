@@ -78,7 +78,6 @@ class TestSchedulerBranches:
         triggers Dropout if a Dropout layer exists."""
         model, ds = fresh(tiny)
         # give the model a dropout layer the scheduler can enable
-        from repro.nn.module import Sequential
 
         model.body.append(Dropout(p=0.0, seed=0))
         import dataclasses

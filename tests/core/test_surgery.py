@@ -12,9 +12,8 @@ from repro.core.surgery import (
     replaced_layers,
     trace_nonpoly_order,
 )
-from repro.core.trainer import evaluate_accuracy
 from repro.nn import MaxPool2d, ReLU, Sequential, Tensor
-from repro.nn.models import mlp, resnet18, small_cnn, vgg19
+from repro.nn.models import resnet18, small_cnn, vgg19
 from repro.paf import get_paf
 
 SAMPLE = np.zeros((1, 3, 32, 32))

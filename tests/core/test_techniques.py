@@ -12,7 +12,6 @@ from repro.core import (
     coefficient_tune_site,
     convert_to_dynamic,
     convert_to_static,
-    evaluate_accuracy,
     find_nonpoly_sites,
     make_optimizer,
     pretrain,
@@ -24,7 +23,6 @@ from repro.core import (
     tune_paf_for_site,
 )
 from repro.data import cifar10_like
-from repro.nn import Tensor
 from repro.nn.models import small_cnn
 from repro.paf import get_paf
 from repro.paf.fitting import weighted_sign_mse

@@ -1,6 +1,5 @@
 """Tests for the ``python -m repro.experiments`` CLI."""
 
-import pytest
 
 from repro.experiments.__main__ import RUNNERS, main
 

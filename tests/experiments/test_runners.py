@@ -4,8 +4,6 @@ The full regeneration runs live in benchmarks/; these tests verify the
 runners' structure and the cheapest invariants.
 """
 
-import numpy as np
-import pytest
 
 from repro.experiments import (
     PAPER_FORMS,

@@ -1,14 +1,16 @@
-"""Shared fixtures: the compiled toy model for the fhe suite.
+"""Shared fixtures: the compiled toy models for the fhe suite.
 
-The canonical 8 -> 6 -> 3 toy build lives in :mod:`repro.fhe.toy`
-(shared with ``tests/serve`` and the benchmarks); here it is compiled
-twice — with ``reference_keys=True`` (BSGS *and* naive Galois keys, for
-differential / op-count tests) and in production form (BSGS keys only).
+The canonical 8 -> 6 -> 3 MLP and the trained 2-conv CNN builds live in
+:mod:`repro.fhe.toy` (shared with ``tests/serve`` and the benchmarks).
+The MLP is compiled twice — with ``reference_keys=True`` (BSGS *and*
+naive Galois keys, for differential / op-count tests) and in production
+form (BSGS keys only); the CNN once, in production form, session-scoped
+because keygen plus one encrypted forward is seconds, not milliseconds.
 """
 
 import pytest
 
-from repro.fhe.toy import compiled_toy
+from repro.fhe.toy import compiled_toy, compiled_toy_cnn
 
 
 @pytest.fixture(scope="session")
@@ -21,3 +23,9 @@ def toy_reference_enc():
 def toy_plain_enc():
     """Compiled toy in production form (BSGS plans/keys only)."""
     return compiled_toy()
+
+
+@pytest.fixture(scope="session")
+def toy_cnn():
+    """(plain model, compiled EncryptedNetwork) — the trained 2-conv CNN."""
+    return compiled_toy_cnn(with_model=True)

@@ -200,6 +200,65 @@ class TestNetworkOpCounts:
         assert len(bsgs_steps) < len(naive_steps)
 
 
+class TestCnnOpCounts:
+    """Full-forward regression anchors for the compiled toy CNN
+    (conv-BN(folded)-PAF-pool-conv-dense on 1x8x8, f1∘g2 PAF).
+
+    The conv matvecs are where BSGS earns its keep: the second conv reads
+    a pool-strided grid and spreads over 120 nonzero diagonals — 119
+    keyswitches naive, 21 planned.  The naive reference forward is not
+    measured here (it would pay all 186 diagonal rotations); the plan
+    predictions pin its cost instead.
+    """
+
+    @pytest.fixture(scope="class")
+    def compiled(self, toy_cnn):
+        return toy_cnn[1]
+
+    #: (num_diagonals, naive keyswitches, bsgs keyswitches) per linear layer
+    CNN_PLANS = {
+        0: (18, 17, 8),     # conv1 (BN folded), dense 1x8x8 -> 2x8x8
+        3: (120, 119, 21),  # conv2 reading the pool-strided grid
+        4: (34, 33, 11),    # dense head reading the flattened activation
+    }
+
+    def test_per_layer_plans_pinned(self, compiled):
+        assert set(compiled.matvec_plans) == set(self.CNN_PLANS)
+        for i, (diags, naive, bsgs) in self.CNN_PLANS.items():
+            plan = compiled.matvec_plans[i]
+            assert plan.use_bsgs
+            assert (plan.num_diagonals, plan.naive_keyswitches, plan.bsgs_keyswitches) \
+                == (diags, naive, bsgs)
+
+    def test_planned_forward_exact_counts(self, compiled):
+        counting = CountingEvaluator(compiled.ev)
+        ct = compiled.encrypt_batch([np.zeros(64)])
+        counting.reset()
+        compiled.forward(ct, ev=counting)
+        assert dict(counting.counts) == {
+            "hoist_decompose": 5,   # conv1 + conv2 + dense + 2 pool stages
+            "rotate_hoisted": 26,   # baby rotations + one per pool stage
+            "rotate": 18,           # giant steps + 2 replication rotations
+            "mul_plain": 181,       # 172 diagonals/leaves + pool mask + aligns
+            "add": 176,
+            "add_plain": 4,
+            "mul": 6,               # f1∘g2 PAF: 3 (PS g2) + 2 (f1) + gate
+            "rescale": 18,
+            "align_correction": 3,
+            "mod_switch_to": 3,
+        }
+        assert counting.keyswitch_count == 50
+        assert counting.nonscalar_mult_count == 6
+
+    def test_bsgs_beats_naive_on_every_conv_layer(self, compiled):
+        for plan in compiled.matvec_plans.values():
+            assert plan.bsgs_keyswitches < plan.naive_keyswitches
+
+    def test_galois_key_set_far_below_naive(self, compiled):
+        naive_steps = {d for p in compiled.matvec_plans.values() for d in p.diag_steps}
+        assert len(compiled.keys.galois) < len(naive_steps) // 3
+
+
 #: pinned nonscalar-mult counts of the encrypted PAF-ReLU per registry form:
 #: (ladder reference, Paterson–Stockmeyer plan).  Component accounting —
 #: degree 3: 2/2 (tie, optimal), degree 5: 4/3, degree 7: 6/5,

@@ -19,7 +19,7 @@ from repro.ckks.poly_plan import (
     plan_paf_relu,
 )
 from repro.paf import get_paf
-from repro.paf.bases import f_poly, g_poly
+from repro.paf.bases import g_poly
 from repro.paf.polynomial import OddPolynomial, mult_depth_of_degree
 
 

@@ -1,7 +1,6 @@
 """Behavioural training tests: convergence, freezing, reproducibility."""
 
 import numpy as np
-import pytest
 
 import repro.nn.functional as F
 from repro.nn import Adam, SGD, Tensor, no_grad

@@ -1,6 +1,5 @@
 """Tests for the multiplication-depth analysis (Tab. 2, Tab. 8, Fig. 10)."""
 
-import pytest
 
 from repro.paf import get_paf, paper_pafs
 from repro.paf.depth import composite_depth_schedule, depth_schedule, paf_depth_table

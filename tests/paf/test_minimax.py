@@ -80,7 +80,6 @@ class TestMinimaxComposite:
         np.testing.assert_allclose(a.flat_coeffs(), b.flat_coeffs())
 
     def test_composite_precision_infinite_for_exact(self):
-        from repro.paf.polynomial import CompositePAF, OddPolynomial
 
         # a "composite" that is exactly 1 at the single sampled point set
         # cannot happen with odd polys; instead check the monotone contract:

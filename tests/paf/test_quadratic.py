@@ -1,7 +1,6 @@
 """Tests for the AESPA-style quadratic baseline (§7 comparison)."""
 
 import numpy as np
-import pytest
 
 from repro.nn import Adam, Tensor
 from repro.paf import get_paf

@@ -1,0 +1,98 @@
+"""HE-op-count regression gate for CI.
+
+    python tools/check_opcounts.py CURRENT.json [--baseline benchmarks/opcount_baseline.json]
+                                   [--tolerance 0.02]
+
+Compares the per-model gate metrics emitted by
+``benchmarks/opcount_summary.py --json`` against the checked-in
+baseline.  The gated metrics are the two hot-path cost currencies:
+
+* ``keyswitches`` — Galois/relinearisation applications (the dominant
+  wall-clock cost of an encrypted forward);
+* ``nonscalar_mults`` — ciphertext×ciphertext multiplications (the
+  polynomial-evaluation cost the Paterson–Stockmeyer rewrite minimises).
+
+The job fails when either metric regresses by more than ``--tolerance``
+(default 2%) on any pinned model, and also when a baselined model
+disappears from the current run.  Improvements pass with a reminder to
+refresh the baseline so the gate keeps ratcheting downward.  Stdlib
+only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+GATED_METRICS = ("keyswitches", "nonscalar_mults")
+
+
+def compare(baseline: dict, current: dict, tolerance: float) -> tuple:
+    """Returns ``(regressions, improvements, notes)`` as message lists."""
+    regressions: list = []
+    improvements: list = []
+    notes: list = []
+    base_models = baseline.get("models", {})
+    cur_models = current.get("models", {})
+    for model, base in sorted(base_models.items()):
+        cur = cur_models.get(model)
+        if cur is None:
+            regressions.append(f"{model}: missing from current run")
+            continue
+        for metric in GATED_METRICS:
+            if metric not in base:
+                continue
+            b, c = base[metric], cur.get(metric)
+            if c is None:
+                regressions.append(f"{model}.{metric}: missing from current run")
+            elif c > b * (1 + tolerance):
+                regressions.append(
+                    f"{model}.{metric}: {b} -> {c} "
+                    f"(+{(c - b) / b:.1%} > {tolerance:.0%} tolerance)"
+                )
+            elif c < b:
+                improvements.append(f"{model}.{metric}: {b} -> {c} ({(c - b) / b:.1%})")
+    for model in sorted(set(cur_models) - set(base_models)):
+        notes.append(f"{model}: not in baseline (add it to pin its op counts)")
+    return regressions, improvements, notes
+
+
+def main(argv) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="JSON from opcount_summary.py --json")
+    parser.add_argument(
+        "--baseline",
+        default=str(Path(__file__).resolve().parent.parent
+                    / "benchmarks" / "opcount_baseline.json"),
+    )
+    parser.add_argument("--tolerance", type=float, default=0.02)
+    args = parser.parse_args(argv[1:])
+
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    with open(args.current) as fh:
+        current = json.load(fh)
+
+    regressions, improvements, notes = compare(baseline, current, args.tolerance)
+    for msg in notes:
+        print(f"note: {msg}")
+    for msg in improvements:
+        print(f"improved: {msg}")
+    if improvements:
+        print(
+            "op counts improved — refresh benchmarks/opcount_baseline.json "
+            "(opcount_summary.py --json) so the gate ratchets down"
+        )
+    for msg in regressions:
+        print(f"REGRESSION: {msg}", file=sys.stderr)
+    print(
+        f"check_opcounts: {len(baseline.get('models', {}))} pinned models, "
+        f"{len(regressions)} regressions"
+    )
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
