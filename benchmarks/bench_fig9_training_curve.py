@@ -10,5 +10,5 @@ def bench_fig9_training_curves(benchmark, artifact):
     assert result["smartpaf"]["final"] >= result["baseline"]["final"] - 0.03
     # SMART-PAF's curve records progressive replacement events.
     labels = [e for _, e in result["smartpaf"]["events"]]
-    assert any(l.startswith("replace:") for l in labels)
-    assert any(l == "SWA" for l in labels)
+    assert any(label.startswith("replace:") for label in labels)
+    assert any(label == "SWA" for label in labels)

@@ -1,0 +1,136 @@
+"""Encrypted toy-ResNet forward: wall clock + deterministic model cost.
+
+The benchmark half of the CI trend gate (``tools/check_bench_trend.py``):
+
+    PYTHONPATH=src python benchmarks/bench_resnet_forward.py [--json PATH]
+        [--skip-wall] [--from-opcounts OPCOUNTS.json]
+
+Compiles the shared toy ResNet (:func:`repro.fhe.toy.compiled_toy_resnet`
+— 2 residual blocks, stride-2 projection skip, channels sharded across 2
+ciphertexts) and reports, per model:
+
+* ``model_cost_seconds`` — the analytic latency-model cost: measured
+  HE-op counts of one sharded forward multiplied by *pinned* reference
+  per-op timings (:data:`REFERENCE_MICROS`).  Deterministic for a given
+  compile, so the trend gate is immune to CI machine jitter — it moves
+  only when the op counts (plans, sharding, merges) move.
+* ``wall_seconds`` — one measured forward on this machine (informational;
+  never gated).
+* ``keyswitches`` / ``nonscalar_mults`` — the op-count gate currencies,
+  for cross-referencing against ``opcount_summary``.
+
+``--from-opcounts`` derives the record from an ``opcount_summary.py
+--json`` file instead of compiling and measuring again — the CI
+bench-trend job uses it so the toy ResNet trains exactly once per run
+(the summary's measured forward counts are the same counts this
+benchmark would measure).
+"""
+
+import argparse
+import json
+import time
+
+import numpy as np
+
+from repro.ckks.instrumentation import CountingEvaluator
+from repro.fhe.latency import cost_from_counts
+from repro.fhe.toy import compiled_toy_resnet
+
+#: Reference per-op seconds, measured once via
+#: ``repro.fhe.latency.measure_op_micros(TOY_RESNET_PARAMS)`` on the
+#: baseline dev box and pinned so the model cost is machine-independent.
+#: ``align_correction`` is charged through its mul_plain + rescale
+#: (CountingEvaluator books all three), so it carries no price itself.
+REFERENCE_MICROS = {
+    "mul": 0.1396,
+    "mul_plain": 0.0033,
+    "rescale": 0.0102,
+    "add": 0.00017,
+    "add_plain": 0.00017,
+    "rotate": 0.1588,
+    "rotate_hoisted": 0.0304,
+    "hoist_decompose": 0.1167,
+    "mod_switch_to": 0.0005,
+}
+
+
+def model_cost_seconds(counts: dict) -> float:
+    """Op counts × pinned reference timings (the library's shared dot
+    product, so the gated metric can never drift from the analytic cost
+    model's accounting)."""
+    return cost_from_counts(counts, REFERENCE_MICROS)
+
+
+def bench(skip_wall: bool = False) -> dict:
+    enc = compiled_toy_resnet()
+    in_dim = sum(enc.input_splits)
+    counting = CountingEvaluator(enc.ev)
+    cts = enc.encrypt_batch_shards([np.zeros(in_dim)])
+    counting.reset()
+    enc.forward_shards(cts, ev=counting)
+    record = {
+        "model_cost_seconds": round(model_cost_seconds(counting.counts), 4),
+        "keyswitches": counting.keyswitch_count,
+        "nonscalar_mults": counting.nonscalar_mult_count,
+        "counts": {k: int(v) for k, v in sorted(counting.counts.items())},
+    }
+    if not skip_wall:
+        cts = enc.encrypt_batch_shards([np.zeros(in_dim)])
+        t0 = time.perf_counter()
+        enc.forward_shards(cts)
+        record["wall_seconds"] = round(time.perf_counter() - t0, 3)
+    return {"models": {"toy_resnet": record}}
+
+
+def from_opcounts(path: str) -> dict:
+    """Derive the record from an existing op-count gate JSON (no crypto)."""
+    with open(path) as fh:
+        models = json.load(fh)["models"]
+    rec = models["toy_resnet"]
+    return {
+        "models": {
+            "toy_resnet": {
+                "model_cost_seconds": round(model_cost_seconds(rec["counts"]), 4),
+                "keyswitches": rec["keyswitches"],
+                "nonscalar_mults": rec["nonscalar_mults"],
+                "counts": rec["counts"],
+            }
+        }
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", dest="json_path", help="write the record here")
+    parser.add_argument(
+        "--skip-wall",
+        action="store_true",
+        help="skip the wall-clock forward (model cost only)",
+    )
+    parser.add_argument(
+        "--from-opcounts",
+        dest="opcounts_path",
+        help="derive the record from opcount_summary.py --json output "
+        "instead of compiling and measuring (implies no wall clock)",
+    )
+    args = parser.parse_args()
+    if args.opcounts_path:
+        result = from_opcounts(args.opcounts_path)
+    else:
+        result = bench(skip_wall=args.skip_wall)
+    for model, rec in result["models"].items():
+        print(
+            f"{model}: model_cost={rec['model_cost_seconds']}s "
+            f"keyswitches={rec['keyswitches']} "
+            f"nonscalar_mults={rec['nonscalar_mults']} "
+            f"wall={rec.get('wall_seconds', 'skipped')}"
+        )
+    if args.json_path:
+        with open(args.json_path, "w") as fh:
+            json.dump(result, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,7 +26,7 @@ import numpy as np
 from bench_paf_eval import activation_count_table
 from repro.analysis.tables import format_table
 from repro.ckks.instrumentation import CountingEvaluator
-from repro.fhe.toy import compiled_toy, compiled_toy_cnn
+from repro.fhe.toy import compiled_toy, compiled_toy_cnn, compiled_toy_resnet
 
 
 def plan_table(enc, title: str) -> str:
@@ -48,12 +48,48 @@ def plan_table(enc, title: str) -> str:
     )
 
 
+def shard_plan_table(enc, title: str) -> str:
+    """Per-block matvec plans of a sharded (multi-ciphertext) network."""
+    rows = []
+    for li, grid in sorted(enc.shard_plans.items()):
+        kind = enc.layers[li].kind
+        for j, row in enumerate(grid):
+            for i, p in enumerate(row):
+                if p is None:
+                    continue
+                rows.append(
+                    [
+                        f"{li} ({kind})",
+                        f"{j}<-{i}",
+                        p.num_diagonals,
+                        f"{p.n1}x{p.n2}",
+                        p.naive_keyswitches,
+                        p.bsgs_keyswitches,
+                        "bsgs" if p.use_bsgs else "naive",
+                    ]
+                )
+    return format_table(
+        ["layer", "block", "diagonals", "n1 x n2", "naive ks", "bsgs ks", "chosen"],
+        rows,
+        title=title,
+    )
+
+
 def measure_forward(enc, in_dim: int, reference: bool = False) -> CountingEvaluator:
     """Op counts of one encrypted forward on a zero input."""
     counting = CountingEvaluator(enc.ev)
     ct = enc.encrypt_batch([np.zeros(in_dim)])
     counting.reset()
     enc.forward(ct, ev=counting, reference=reference)
+    return counting
+
+
+def measure_forward_shards(enc, in_dim: int) -> CountingEvaluator:
+    """Op counts of one sharded encrypted forward on a zero input."""
+    counting = CountingEvaluator(enc.ev)
+    cts = enc.encrypt_batch_shards([np.zeros(in_dim)])
+    counting.reset()
+    enc.forward_shards(cts, ev=counting)
     return counting
 
 
@@ -129,6 +165,27 @@ def build_summary() -> tuple:
         )
     )
     models["toy_cnn"] = gate_metrics(cnn_planned)
+
+    # --- toy ResNet: the sharded multi-ciphertext path (2 residual
+    # blocks, stride-2 projection skip, channels across 2 ciphertexts) ---
+    resnet = compiled_toy_resnet()
+    sections.append(
+        shard_plan_table(
+            resnet,
+            "Per-block matvec plans (toy 2-block ResNet: stem-block-block-"
+            "pool-dense on 1x8x8, 2 shards)",
+        )
+    )
+    resnet_planned = measure_forward_shards(resnet, 64)
+    sections.append(
+        format_table(
+            _FORWARD_HEADER,
+            [forward_row("planned", resnet_planned)],
+            title="Measured op counts: one encrypted ResNet forward "
+            "(sharded BSGS conv blocks + residual merges)",
+        )
+    )
+    models["toy_resnet"] = gate_metrics(resnet_planned)
 
     sections.append(activation_count_table())
     return "\n\n".join(sections), {"models": models}

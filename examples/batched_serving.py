@@ -16,8 +16,8 @@ from repro.ckks import CkksParams
 from repro.core import SmartPAF, SmartPAFConfig, pretrain
 from repro.data.synthetic import Dataset, make_pattern_dataset
 from repro.fhe import compile_mlp
-from repro.paf import get_paf
 from repro.nn.models import mlp
+from repro.paf import get_paf
 from repro.serve import InferenceServer, ModelArtifact
 
 

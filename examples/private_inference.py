@@ -10,8 +10,6 @@ Run:  python examples/private_inference.py
 
 import time
 
-import numpy as np
-
 from repro.ckks import CkksParams
 from repro.core import SmartPAF, SmartPAFConfig, pretrain
 from repro.data.synthetic import Dataset, make_pattern_dataset

@@ -6,7 +6,7 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro.ckks import CkksContext, CkksParams, CkksEvaluator, eval_paf_relu, keygen
+from repro.ckks import CkksContext, CkksEvaluator, CkksParams, eval_paf_relu, keygen
 from repro.ckks.security import security_report
 from repro.paf import get_paf, paper_pafs
 from repro.paf.relu import paf_relu, relu_mult_depth

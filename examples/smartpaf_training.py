@@ -10,8 +10,6 @@ Run:  python examples/smartpaf_training.py           (small CNN, ~1 min)
 
 import os
 
-import numpy as np
-
 from repro.core import SmartPAF, SmartPAFConfig, pretrain, scale_summary
 from repro.data import cifar10_like, imagenet_like
 from repro.nn.models import resnet18, small_cnn

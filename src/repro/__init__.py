@@ -38,9 +38,9 @@ Subpackages
 """
 
 from repro.paf import (
+    PAF_REGISTRY,
     CompositePAF,
     OddPolynomial,
-    PAF_REGISTRY,
     get_paf,
 )
 

@@ -1,7 +1,7 @@
 """Analysis utilities: Pareto frontiers, op graphs, table formatting."""
 
+from repro.analysis.graph import model_depth_profile
 from repro.analysis.pareto import ParetoPoint, pareto_frontier
 from repro.analysis.tables import format_table
-from repro.analysis.graph import model_depth_profile
 
 __all__ = ["ParetoPoint", "pareto_frontier", "format_table", "model_depth_profile"]

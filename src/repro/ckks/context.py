@@ -13,7 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.ckks.ntt import NttPlan, _bit_reverse_indices
-from repro.ckks.primes import generate_primes
+from repro.ckks.primes import generate_primes, generate_scale_tracking_primes
 
 __all__ = ["CkksParams", "CkksContext"]
 
@@ -33,6 +33,11 @@ class CkksParams:
     first_prime_bits: int = 29    # q0
     special_prime_bits: int = 29  # P (keyswitch hop)
     error_std: float = 3.2        # discrete gaussian σ
+    #: pick each scale prime near the *running* canonical scale instead of
+    #: near 2^scale_bits — mandatory beyond ~20 levels, where nearest-to-Δ
+    #: primes let the canonical schedule collapse double-exponentially
+    #: (see :func:`repro.ckks.primes.generate_scale_tracking_primes`)
+    scale_tracking: bool = False
 
     @property
     def slots(self) -> int:
@@ -66,12 +71,21 @@ class CkksContext:
     def __init__(self, params: CkksParams):
         self.params = params
         n = params.n
-        sizes = (
-            [params.first_prime_bits]
-            + [params.scale_bits] * params.depth
-            + [params.special_prime_bits]
-        )
-        primes = generate_primes(n, sizes)
+        if params.scale_tracking:
+            primes = generate_scale_tracking_primes(
+                n,
+                params.scale_bits,
+                params.depth,
+                first_prime_bits=params.first_prime_bits,
+                special_prime_bits=params.special_prime_bits,
+            )
+        else:
+            sizes = (
+                [params.first_prime_bits]
+                + [params.scale_bits] * params.depth
+                + [params.special_prime_bits]
+            )
+            primes = generate_primes(n, sizes)
         #: q0..qL (the ciphertext chain), excluding the special prime
         self.q_chain = primes[:-1]
         #: the keyswitching special prime

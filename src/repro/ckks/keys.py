@@ -199,7 +199,6 @@ def keygen(
 
     # relinearisation family: target w = s^2 (exact integer coefficients:
     # ternary * ternary convolution fits easily in int64)
-    plan0 = ctx.plans[0]
     # compute s^2 exactly via big-int CRT-free convolution: use object math
     # on the small ternary coefficients (negacyclic schoolbook via FFT would
     # risk rounding; N is small enough for a single exact convolution here)

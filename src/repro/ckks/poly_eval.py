@@ -324,7 +324,11 @@ def eval_paf_relu(
         ev, x, folded, plan=comp_plans, reference=reference
     )
     gate = ev.add_plain(half_sign, 0.5)               # 0.5 + 0.5*sign
-    x_down = ev.align_to(x, gate.level, gate.scale)
+    # exact-scale plans pin the gate product back onto the canonical
+    # schedule (rtol 0); the default tolerates sub-percent drift, which
+    # is fine at shallow depth but compounds on deep chains
+    rtol = 0.0 if plan is not None and plan.exact_scales else 0.01
+    x_down = ev.align_to(x, gate.level, gate.scale, rtol=rtol)
     return ev.rescale(ev.mul(x_down, gate))
 
 

@@ -212,9 +212,9 @@ class PolyPlan:
         """
         sched = {level: scale}
         s = scale
-        for l in range(level, level - self.mult_depth, -1):
-            s = s * s / q_chain[l]
-            sched[l - 1] = s
+        for lvl in range(level, level - self.mult_depth, -1):
+            s = s * s / q_chain[lvl]
+            sched[lvl - 1] = s
         out = {}
         for block, target in zip(self.blocks, self.block_targets):
             for term in block.terms:
@@ -323,19 +323,27 @@ def _analyze(blocks: dict, beta: int, shape: str):
     return depth, beta - 1, state["r_max"] + 1, state["combine"], targets
 
 
-def plan_odd_poly(poly: OddPolynomial) -> PolyPlan:
+def plan_odd_poly(poly: OddPolynomial, exact_scales: bool = False) -> PolyPlan:
     """Compile the cheapest depth-preserving plan for an odd polynomial.
 
     Searches baby windows ``w = 2^β`` and both giant-combine shapes,
     keeping the minimum nonscalar-mult candidate whose depth does not
     exceed the ladder's ``⌈log₂(d+1)⌉`` budget (``d`` the highest nonzero
-    exponent).  ``use_ps`` is set only on a *strict* win.
+    exponent).  ``use_ps`` is set only on a *strict* win — except under
+    ``exact_scales``, which forces the Paterson–Stockmeyer executor even
+    on ties: its alignments are exact (rtol 0), so the ciphertext scale
+    never leaves the canonical per-level schedule.  The ladder tolerates
+    sub-percent mismatches, and on chains deeper than ~20 levels those
+    deviations *double* per rescale until the true scale overflows the
+    modulus — deep (residual) networks must plan with ``exact_scales``.
 
     >>> from repro.paf.bases import g_poly
     >>> plan_odd_poly(g_poly(2)).nonscalar_mults     # degree 5: 4 -> 3
     3
     >>> plan_odd_poly(g_poly(1)).use_ps              # degree 3: 2 is optimal
     False
+    >>> plan_odd_poly(g_poly(1), exact_scales=True).use_ps
+    True
     """
     terms = _nonzero_terms(poly)
     degree = terms[-1][0]
@@ -368,7 +376,7 @@ def plan_odd_poly(poly: OddPolynomial) -> PolyPlan:
         mult_depth=budget,
         window=window,
         shape=shape,
-        use_ps=best[0][0] < ladder,
+        use_ps=best[0][0] < ladder or exact_scales,
         blocks=tuple(blocks[p] for p in positions),
         block_targets=tuple(targets[p] for p in positions),
         rung_top=rung_top,
@@ -400,9 +408,11 @@ class CompositePlan:
         return sum(p.num_leaves for p in self.components)
 
 
-def plan_composite(paf: CompositePAF) -> CompositePlan:
+def plan_composite(paf: CompositePAF, exact_scales: bool = False) -> CompositePlan:
     """Compile one :class:`PolyPlan` per component of a composite PAF."""
-    return CompositePlan(tuple(plan_odd_poly(c) for c in paf.components))
+    return CompositePlan(
+        tuple(plan_odd_poly(c, exact_scales=exact_scales) for c in paf.components)
+    )
 
 
 def fold_relu_composite(paf: CompositePAF, scale: float = 1.0) -> CompositePAF:
@@ -430,6 +440,10 @@ class ReluPlan:
     folded: CompositePAF
     components: tuple
     scale: float = 1.0
+    #: planned with forced-PS components and an exact (rtol 0) gate
+    #: alignment — the deep-chain scale discipline (see
+    #: :func:`plan_odd_poly`)
+    exact_scales: bool = False
 
     @property
     def mult_depth(self) -> int:
@@ -467,15 +481,23 @@ class ReluPlan:
         return out
 
 
-def plan_paf_relu(paf: CompositePAF, scale: float = 1.0) -> ReluPlan:
+def plan_paf_relu(
+    paf: CompositePAF, scale: float = 1.0, exact_scales: bool = False
+) -> ReluPlan:
     """Compile the evaluation plan for ``ReLU(x) ≈ x·(0.5 + 0.5·sign)``.
 
     Folds the static scale and the ½ first so the plans see the exact
-    coefficients the evaluator multiplies.
+    coefficients the evaluator multiplies.  ``exact_scales`` forces the
+    Paterson–Stockmeyer executor for every component (ties included) and
+    an exact gate alignment — mandatory on deep chains, where the ladder
+    path's tolerated sub-percent mismatches compound double-exponentially.
     """
     folded = fold_relu_composite(paf, scale)
     return ReluPlan(
         folded=folded,
-        components=tuple(plan_odd_poly(c) for c in folded.components),
+        components=tuple(
+            plan_odd_poly(c, exact_scales=exact_scales) for c in folded.components
+        ),
         scale=scale,
+        exact_scales=exact_scales,
     )

@@ -6,7 +6,12 @@ All primes satisfy ``p ≡ 1 (mod 2N)`` (so the negacyclic NTT exists) and
 
 from __future__ import annotations
 
-__all__ = ["is_prime", "generate_primes", "primitive_root_of_unity"]
+__all__ = [
+    "is_prime",
+    "generate_primes",
+    "generate_scale_tracking_primes",
+    "primitive_root_of_unity",
+]
 
 # Deterministic Miller-Rabin witnesses valid for all n < 3.3e24.
 _MR_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
@@ -72,6 +77,62 @@ def generate_primes(n_ring: int, bit_sizes, max_bits: int = 30) -> list:
         taken.add(found)
         out.append(found)
     return out
+
+
+def _nearest_ntt_prime(target: float, n_ring: int, taken: set, max_bits: int = 30) -> int:
+    """The untaken NTT-friendly prime closest to ``target``."""
+    step = 2 * n_ring
+    cap = 2**max_bits
+    if target <= step:
+        raise ValueError(f"target {target:.3g} too small for ring size N={n_ring}")
+    base = (int(target) // step) * step + 1
+    for k in range(0, int(target) // step):
+        for candidate in (base + k * step, base - k * step):
+            if not step < candidate < cap:
+                continue
+            if candidate not in taken and is_prime(candidate):
+                return candidate
+    raise RuntimeError(f"no NTT-friendly prime found near {target:.3g}")
+
+
+def generate_scale_tracking_primes(
+    n_ring: int,
+    scale_bits: int,
+    depth: int,
+    first_prime_bits: int = 29,
+    special_prime_bits: int = 29,
+    max_bits: int = 30,
+) -> list:
+    """Chain primes chosen to keep the *canonical scale* pinned at ``Δ``.
+
+    :func:`generate_primes` picks every scale prime nearest ``2^b``, which
+    bounds the per-level drift but not its compounding: the canonical
+    schedule ``S_{l-1} = S_l² / q_l`` *doubles* the relative deviation
+    from ``Δ`` at every rescale (``δ' = 2δ - δ_q``), so a chain deeper
+    than ~20 levels collapses the scale double-exponentially — deep
+    residual networks decrypt garbage.  This generator instead walks the
+    schedule while choosing primes: the prime consumed at level ``l`` is
+    the NTT prime nearest ``S_l² / Δ``, which cancels the accumulated
+    deviation each step and keeps every canonical scale within one prime
+    spacing (``2N / Δ``) of ``Δ`` for *any* depth.
+
+    Returns ``[q_0, q_1, .., q_depth, P]`` in chain order (the rescale at
+    level ``l`` divides by ``q_l``; fresh ciphertexts start at level
+    ``depth``).
+    """
+    delta = float(2**scale_bits)
+    taken: set[int] = set()
+    q0 = _nearest_ntt_prime(2**first_prime_bits, n_ring, taken, max_bits)
+    taken.add(q0)
+    scale_primes: list[int] = [0] * depth
+    s = delta
+    for lvl in range(depth, 0, -1):  # consumed top-down: q_depth first
+        q = _nearest_ntt_prime(s * s / delta, n_ring, taken, max_bits)
+        taken.add(q)
+        scale_primes[lvl - 1] = q
+        s = s * s / q
+    special = _nearest_ntt_prime(2**special_prime_bits, n_ring, taken, max_bits)
+    return [q0, *scale_primes, special]
 
 
 def primitive_root_of_unity(order: int, p: int) -> int:

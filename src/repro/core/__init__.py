@@ -8,6 +8,12 @@
 * :class:`SmartPAF` — the end-to-end pipeline facade.
 """
 
+from repro.core.coefficient_tuning import (
+    capture_site_inputs,
+    coefficient_tune_site,
+    tune_paf_for_site,
+)
+from repro.core.config import SmartPAFConfig
 from repro.core.export import (
     export_coefficients,
     format_appendix_table,
@@ -15,12 +21,6 @@ from repro.core.export import (
     load_coefficients,
     save_coefficients,
 )
-from repro.core.coefficient_tuning import (
-    capture_site_inputs,
-    coefficient_tune_site,
-    tune_paf_for_site,
-)
-from repro.core.config import SmartPAFConfig
 from repro.core.paf_layer import PAFMaxPool2d, PAFReLU, PAFSign
 from repro.core.pipeline import SmartPAF, SmartPAFResult, pretrain
 from repro.core.scaling import (

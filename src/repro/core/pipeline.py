@@ -28,10 +28,10 @@ from repro.core.surgery import replaced_layers
 from repro.core.trainer import evaluate_accuracy
 from repro.data.loader import DataLoader
 from repro.data.synthetic import Dataset
+from repro.nn import functional as F
 from repro.nn.module import Module
 from repro.nn.optim import Adam
 from repro.nn.tensor import Tensor
-from repro.nn import functional as F
 from repro.paf.polynomial import CompositePAF
 
 __all__ = ["SmartPAFResult", "SmartPAF", "pretrain"]

@@ -17,7 +17,7 @@ from repro.core.paf_layer import PAFSign
 from repro.data.loader import DataLoader
 from repro.nn import functional as F
 from repro.nn.module import Module
-from repro.nn.optim import Adam, SGD
+from repro.nn.optim import SGD, Adam
 from repro.nn.tensor import Tensor, no_grad
 
 __all__ = [

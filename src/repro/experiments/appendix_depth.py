@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis.tables import format_table
-from repro.ckks import CkksContext, CkksParams, CkksEvaluator, eval_composite_paf, keygen
+from repro.ckks import CkksContext, CkksEvaluator, CkksParams, eval_composite_paf, keygen
 from repro.paf import composite_depth_schedule, get_paf, paper_pafs
 
 __all__ = ["run_depth_schedule", "run_measured_depths", "print_appendix_depth"]

@@ -19,9 +19,9 @@ from repro.analysis.tables import format_table
 from repro.core import SmartPAF
 from repro.experiments.common import (
     PAPER_FORMS,
+    default_baseline,
     fresh_model,
     quick_config,
-    default_baseline,
 )
 from repro.paf import get_paf
 

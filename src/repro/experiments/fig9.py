@@ -12,9 +12,9 @@ from dataclasses import replace as dc_replace
 
 from repro.core import SmartPAF
 from repro.experiments.common import (
+    default_baseline,
     fresh_model,
     quick_config,
-    default_baseline,
 )
 from repro.paf import get_paf
 

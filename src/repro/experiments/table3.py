@@ -45,7 +45,8 @@ def run_table3_block(
     rows: dict = {}
     for form in forms:
         cell: dict = {}
-        factory = lambda f=form: get_paf(f)
+        def factory(f=form):
+            return get_paf(f)
 
         # --- no-fine-tune rows -------------------------------------
         for label, ct in (("no_ft", False), ("ct_no_ft", True)):

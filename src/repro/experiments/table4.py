@@ -15,10 +15,10 @@ from repro.ckks import CkksParams
 from repro.core import SmartPAF
 from repro.experiments.common import (
     PAPER_FORMS,
+    default_baseline,
     fresh_model,
     is_quick,
     quick_config,
-    default_baseline,
 )
 from repro.fhe import measure_relu_latency
 from repro.paf import get_paf, minimax_alpha10_deg27

@@ -43,7 +43,7 @@ import numpy as np
 from repro.ckks import CkksParams
 from repro.core.paf_layer import PAFMaxPool2d, PAFReLU
 from repro.fhe.network import EncryptedNetwork, _Layer
-from repro.fhe.packing import GridLayout
+from repro.fhe.packing import GridLayout, MultiGridLayout
 from repro.nn.layers import (
     AvgPool2d,
     BatchNorm2d,
@@ -56,15 +56,19 @@ from repro.nn.layers import (
     MaxPool2d,
     ReLU,
 )
+from repro.nn.models.resnet import BasicBlock
 from repro.nn.module import Module
 
 __all__ = [
     "conv2d_layout_matrix",
     "linear_layout_matrix",
+    "conv2d_shard_matrices",
+    "linear_shard_matrices",
     "fold_bn_into_conv",
     "bn_affine_vectors",
     "avg_pool_shifts",
     "compile_cnn",
+    "compile_resnet",
 ]
 
 
@@ -133,6 +137,87 @@ def linear_layout_matrix(weight: np.ndarray, positions: np.ndarray) -> np.ndarra
     mat = np.zeros((out_f, int(positions.max()) + 1))
     mat[:, positions] = weight
     return mat
+
+
+def conv2d_shard_matrices(
+    weight: np.ndarray,
+    bias: np.ndarray | None,
+    mgrid: MultiGridLayout,
+    stride: int = 1,
+    padding: int = 0,
+    num_shards: int = 1,
+) -> tuple:
+    """Lower one Conv2d against a channel-sharded input to block matrices.
+
+    The convolution splits along both channel axes: input channels are
+    already sharded by ``mgrid``; output channels shard across
+    ``min(num_shards, OC)`` ciphertexts with a balanced contiguous split.
+    Block ``(j, i)`` is :func:`conv2d_layout_matrix` of the weight slice
+    ``W[oc_j, ic_i]`` against input shard ``i``'s grid — all-zero blocks
+    come back as ``None`` so the executor skips them.  Returns
+    ``(blocks, bias_shards, output multi-grid)``; output shards are
+    dense, and the per-output-shard bias lands once per shard (not once
+    per block).
+    """
+    oc, ic, kh, kw = weight.shape
+    if ic != mgrid.total_channels:
+        raise ValueError(
+            f"channel mismatch: multi-grid {mgrid.total_channels} vs weight {ic}"
+        )
+    out_parts = np.array_split(np.arange(oc), min(max(num_shards, 1), oc))
+    in_offsets = mgrid.channel_offsets
+    blocks: list = []
+    bias_shards: list = []
+    out_grids: list = []
+    for part in out_parts:
+        row: list = []
+        out_grid = None
+        for i, g in enumerate(mgrid.shards):
+            w_block = weight[
+                np.ix_(part, np.arange(in_offsets[i], in_offsets[i] + g.channels))
+            ]
+            mat, _, out_grid = conv2d_layout_matrix(
+                w_block, None, g, stride=stride, padding=padding
+            )
+            row.append(mat if np.any(mat) else None)
+        blocks.append(row)
+        out_grids.append(out_grid)
+        if bias is None:
+            bias_shards.append(None)
+        else:
+            bias_shards.append(
+                np.repeat(
+                    np.asarray(bias, dtype=np.float64)[part],
+                    out_grid.height * out_grid.width,
+                )
+            )
+    return blocks, bias_shards, MultiGridLayout(tuple(out_grids))
+
+
+def linear_shard_matrices(weight: np.ndarray, mgrid: MultiGridLayout) -> list:
+    """Lower a Linear head reading a sharded activation to a 1 × K row.
+
+    Logical input ``j`` is the ``j``-th element of the concatenated
+    per-shard NCHW flattenings (the same order
+    :meth:`MultiGridLayout.split_values` packs inputs in); each shard's
+    weight columns scatter to that shard's slot positions.  The output
+    lands whole on shard 0 — classifier heads are narrow, so the result
+    of a sharded network is always a single ciphertext.
+    """
+    out_f, in_f = weight.shape
+    if in_f != mgrid.num_elements:
+        raise ValueError(
+            f"linear expects {in_f} inputs, sharded layout provides "
+            f"{mgrid.num_elements}"
+        )
+    row: list = []
+    start = 0
+    for g in mgrid.shards:
+        cols = weight[:, start : start + g.num_elements]
+        start += g.num_elements
+        mat = linear_layout_matrix(cols, g.positions().ravel())
+        row.append(mat if np.any(mat) else None)
+    return [row]
 
 
 def _bn_scale_shift(bn: BatchNorm2d) -> tuple:
@@ -251,6 +336,10 @@ def _op_sequence(model: Module) -> list:
                 "of ciphertext multiplies over shifted copies) is not compiled "
                 "yet — retrain the model with AvgPool2d"
             )
+        if isinstance(mod, BasicBlock):
+            # kept whole: the skip connection is part of its lowering
+            ops.append((name, mod))
+            return
         if isinstance(mod, _MATCHED):
             ops.append((name, mod))
             return
@@ -314,6 +403,12 @@ def compile_cnn(
     i = 0
     while i < len(ops):
         name, mod = ops[i]
+        if isinstance(mod, BasicBlock):
+            raise TypeError(
+                f"layer {name!r} is a residual block — compile_cnn lowers "
+                "straight-line networks only; use compile_resnet (it also "
+                "handles channel sharding)"
+            )
         if isinstance(mod, Conv2d):
             g = _require_grid(name)
             w = mod.weight.data.copy()
@@ -372,15 +467,237 @@ def compile_cnn(
             positions = np.arange(mod.out_features)
         i += 1
 
-    if not any(l.kind == "linear" for l in layers):
+    if not any(layer.kind == "linear" for layer in layers):
         raise ValueError("model has no Conv2d or Linear layers to compile")
     size = max(spans)
     # zero-pad every lowered matrix to square so the diagonal layout is uniform
-    for l in layers:
-        if l.kind == "linear":
+    for layer in layers:
+        if layer.kind == "linear":
             padded = np.zeros((size, size))
-            padded[: l.weight.shape[0], : l.weight.shape[1]] = l.weight
-            l.weight = padded
+            padded[: layer.weight.shape[0], : layer.weight.shape[1]] = layer.weight
+            layer.weight = padded
     return EncryptedNetwork(
         layers, size=size, params=params, seed=seed, reference_keys=reference_keys
     )
+
+
+def compile_resnet(
+    model: Module,
+    input_shape: tuple,
+    params: CkksParams,
+    num_shards: int = 2,
+    seed: int = 0,
+    reference_keys: bool = False,
+) -> EncryptedNetwork:
+    """Compile a (PAF-approximated) residual CNN to multi-ciphertext FHE.
+
+    The sharded twin of :func:`compile_cnn`: activations are channel-
+    sharded across up to ``num_shards`` ciphertexts
+    (:class:`~repro.fhe.packing.MultiGridLayout` — never more shards than
+    channels, so a 1-channel input still enters as one ciphertext), every
+    conv/linear lowers to a ``K_out × K_in`` grid of per-shard-pair
+    matvec blocks, and :class:`~repro.nn.models.resnet.BasicBlock`
+    modules lower to ``residual``-tap / ``merge`` layer pairs:
+
+    * the tap saves the live shard list (zero cost, zero levels);
+    * the main branch is ``conv1 (+BN folded) → PAF → conv2 (+BN
+      folded)``;
+    * the merge applies the block's downsample — the folded
+      1×1-projection conv for stride/width changes, nothing for an
+      identity skip — to the *saved* branch, aligns it to the main
+      branch's exact (level, scale) and adds shard-wise;
+    * the post-add PAF follows.
+
+    Strided convolutions (``conv1`` of a downsampling block and its 1×1
+    projection) emit dense output grids at the reduced resolution through
+    the ordinary :class:`GridLayout` machinery, so both branches of a
+    downsampling block meet in the same layout.  BatchNorm is always
+    folded into its preceding conv here (a standalone sharded affine is
+    not lowered); exact ReLU / MaxPool are rejected exactly like in
+    :func:`compile_cnn`.  The model must open with a stem conv (or
+    linear) — the packed input carries its wraparound replica, and only
+    a matvec re-establishes the replica-zero invariant taps rely on.
+    """
+    if len(input_shape) != 3:
+        raise ValueError(f"input_shape must be (C, H, W), got {input_shape}")
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    ops = _op_sequence(model)
+    mgrid = MultiGridLayout.split(*input_shape, num_shards=num_shards)
+    input_mgrid = mgrid
+    layers: list[_Layer] = []
+    spans: list[int] = [mgrid.span]
+
+    def lower_conv(conv: Conv2d, bn: BatchNorm2d | None, grid_in: MultiGridLayout):
+        w = conv.weight.data.copy()
+        b = conv.bias.data.copy() if conv.bias is not None else None
+        if bn is not None:
+            w, b = fold_bn_into_conv(w, b, bn)
+        blocks, bias_shards, out = conv2d_shard_matrices(
+            w, b, grid_in, stride=conv.stride, padding=conv.padding,
+            num_shards=num_shards,
+        )
+        for row in blocks:
+            for mat in row:
+                if mat is not None:
+                    spans.extend(mat.shape)
+        return blocks, bias_shards, out
+
+    def lower_paf(name: str, mod) -> _Layer:
+        if isinstance(mod, ReLU):
+            raise TypeError(
+                f"layer {name!r} is an exact ReLU — run SMART-PAF replacement "
+                "before compiling to FHE (CKKS has no non-polynomial ops)"
+            )
+        if not isinstance(mod, PAFReLU):
+            raise TypeError(f"layer {name!r}: expected a PAF activation")
+        return _Layer(kind="paf", paf=mod.sign.to_composite(), scale=mod.static_scale)
+
+    def consume_bn(seq: list, idx: int) -> tuple:
+        """(BN to fold or None, next index) — BN must follow its conv."""
+        if idx + 1 < len(seq) and isinstance(seq[idx + 1][1], BatchNorm2d):
+            _bn_scale_shift(seq[idx + 1][1])  # validate frozen stats early
+            return seq[idx + 1][1], idx + 2
+        return None, idx + 1
+
+    i = 0
+    while i < len(ops):
+        name, mod = ops[i]
+        if isinstance(mod, Conv2d):
+            bn, i = consume_bn(ops, i)
+            blocks, bias_shards, mgrid = lower_conv(mod, bn, mgrid)
+            layers.append(
+                _Layer(kind="linear", blocks=blocks, bias_shards=bias_shards)
+            )
+            continue
+        if isinstance(mod, BasicBlock):
+            if not layers:
+                raise TypeError(
+                    f"block {name!r} is the first compiled layer — the sharded "
+                    "compiler needs a stem conv before the first residual tap "
+                    "(the packed input still carries its replica half)"
+                )
+            tap_grid = mgrid
+            layers.append(_Layer(kind="residual"))
+            tap_idx = len(layers) - 1
+            inner = [
+                (f"{name}.conv1", mod.conv1), (f"{name}.bn1", mod.bn1),
+                (f"{name}.relu1", mod.relu1),
+                (f"{name}.conv2", mod.conv2), (f"{name}.bn2", mod.bn2),
+            ]
+            j = 0
+            while j < len(inner):
+                iname, imod = inner[j]
+                if isinstance(imod, Conv2d):
+                    bn, j = consume_bn(inner, j)
+                    blocks, bias_shards, mgrid = lower_conv(imod, bn, mgrid)
+                    layers.append(
+                        _Layer(kind="linear", blocks=blocks, bias_shards=bias_shards)
+                    )
+                    continue
+                layers.append(lower_paf(iname, imod))
+                j += 1
+            if isinstance(mod.downsample, Identity):
+                if tap_grid != mgrid:
+                    raise ValueError(
+                        f"block {name!r}: identity skip but the main branch "
+                        f"changed the layout ({tap_grid} -> {mgrid}) — the "
+                        "block needs a projection downsample"
+                    )
+                layers.append(_Layer(kind="merge", tap=tap_idx))
+            else:
+                ds = list(mod.downsample._modules.values())
+                if len(ds) != 2 or not isinstance(ds[0], Conv2d) \
+                        or not isinstance(ds[1], BatchNorm2d):
+                    raise TypeError(
+                        f"block {name!r}: downsample must be Conv2d + BatchNorm2d"
+                    )
+                proj_blocks, proj_bias, proj_grid = lower_conv(ds[0], ds[1], tap_grid)
+                if proj_grid != mgrid:
+                    raise ValueError(
+                        f"block {name!r}: projection lands on {proj_grid} but "
+                        f"the main branch on {mgrid}"
+                    )
+                layers.append(
+                    _Layer(
+                        kind="merge", blocks=proj_blocks,
+                        bias_shards=proj_bias, tap=tap_idx,
+                    )
+                )
+            layers.append(lower_paf(f"{name}.relu2", mod.relu2))
+            i += 1
+            continue
+        if isinstance(mod, BatchNorm2d):
+            raise TypeError(
+                f"layer {name!r}: a standalone BatchNorm has no sharded "
+                "lowering — place it directly after a conv so it folds"
+            )
+        if isinstance(mod, PAFReLU):
+            layers.append(lower_paf(name, mod))
+        elif isinstance(mod, AvgPool2d):
+            k = mod.kernel_size
+            layers.append(
+                _Layer(
+                    kind="pool",
+                    shifts=avg_pool_shifts(mgrid.shards[0], k, k),
+                    pool_scale=1.0 / (k * k),
+                )
+            )
+            mgrid = mgrid.pooled(k, mod.stride)
+        elif isinstance(mod, GlobalAvgPool2d):
+            g = mgrid.shards[0]
+            layers.append(
+                _Layer(
+                    kind="pool",
+                    shifts=avg_pool_shifts(g, g.height, g.width),
+                    pool_scale=1.0 / (g.height * g.width),
+                )
+            )
+            mgrid = mgrid.global_pooled()
+        elif isinstance(mod, Flatten):
+            pass  # pure relabelling: linear heads read the grid directly
+        elif isinstance(mod, Linear):
+            blocks = linear_shard_matrices(mod.weight.data, mgrid)
+            bias_vec = mod.bias.data.copy() if mod.bias is not None else None
+            layers.append(
+                _Layer(kind="linear", blocks=blocks, bias_shards=[bias_vec])
+            )
+            for row in blocks:
+                for mat in row:
+                    if mat is not None:
+                        spans.extend(mat.shape)
+            mgrid = MultiGridLayout.split(mod.out_features, 1, 1, num_shards=1)
+        else:
+            raise TypeError(
+                f"layer {name!r} ({type(mod).__name__}) has no sharded "
+                "encrypted lowering"
+            )
+        i += 1
+
+    if not any(layer.kind == "linear" for layer in layers):
+        raise ValueError("model has no Conv2d or Linear layers to compile")
+    if layers[0].kind != "linear":
+        raise TypeError(
+            "the sharded compiler needs the first compiled layer to be a "
+            "conv/linear (the packed input still carries its replica half)"
+        )
+    size = max(spans)
+    for layer in layers:
+        if layer.blocks is not None:
+            for row in layer.blocks:
+                for k, mat in enumerate(row):
+                    if mat is None:
+                        continue
+                    padded = np.zeros((size, size))
+                    padded[: mat.shape[0], : mat.shape[1]] = mat
+                    row[k] = padded
+    enc = EncryptedNetwork(
+        layers,
+        size=size,
+        params=params,
+        seed=seed,
+        reference_keys=reference_keys,
+        input_shards=input_mgrid.num_shards,
+    )
+    enc.input_splits = [g.num_elements for g in input_mgrid.shards]
+    return enc

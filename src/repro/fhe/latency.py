@@ -19,8 +19,8 @@ import numpy as np
 
 from repro.ckks import (
     CkksContext,
-    CkksParams,
     CkksEvaluator,
+    CkksParams,
     eval_paf_relu,
     keygen,
 )
@@ -31,16 +31,21 @@ from repro.paf.relu import relu_mult_depth
 
 __all__ = [
     "LatencyResult",
+    "cost_from_counts",
     "measure_relu_latency",
     "measure_op_micros",
     "analytic_relu_cost",
     "analytic_activation_cost",
     "analytic_matvec_cost",
     "analytic_pool_cost",
+    "analytic_sharded_matvec_cost",
+    "analytic_residual_merge_cost",
     "paf_op_counts",
     "activation_op_counts",
     "matvec_op_counts",
     "pool_op_counts",
+    "sharded_matvec_op_counts",
+    "residual_merge_op_counts",
 ]
 
 
@@ -227,6 +232,16 @@ def analytic_activation_cost(
     )
 
 
+def cost_from_counts(counts: dict, micros: dict) -> float:
+    """Shared dot product of op counts × per-op seconds.
+
+    Negative micros are clamped to zero (``rescale`` is measured by
+    subtraction and can come out slightly negative on noisy boxes);
+    unpriced ops cost nothing.
+    """
+    return sum(n * max(micros.get(op, 0.0), 0.0) for op, n in counts.items())
+
+
 def matvec_op_counts(plan: MatvecPlan) -> dict:
     """Homomorphic op counts of one encrypted matvec under ``plan``.
 
@@ -275,22 +290,95 @@ def pool_op_counts(shifts: tuple) -> dict:
 
 def analytic_pool_cost(shifts: tuple, micros: dict) -> float:
     """Estimated encrypted-pool seconds from op counts × per-op times."""
-    counts = pool_op_counts(shifts)
-    return (
-        counts["rotate_hoisted"] * micros["rotate_hoisted"]
-        + counts["hoist_decompose"] * micros["hoist_decompose"]
-        + counts["pt_mult"] * micros["pt_mult"]
-        + counts["rescale"] * max(micros["rescale"], 0.0)
+    return cost_from_counts(pool_op_counts(shifts), micros)
+
+
+def sharded_matvec_op_counts(plans: list) -> dict:
+    """Homomorphic op counts of one *sharded* (multi-ciphertext) matvec.
+
+    ``plans`` is the ``K_out × K_in`` grid of per-block
+    :class:`~repro.fhe.linear.MatvecPlan` (``None`` for all-zero blocks),
+    matching :func:`repro.fhe.linear.encrypted_matvec_shards`: each input
+    shard's baby rotations (union across every output shard that reads
+    it, the per-diagonal steps of naive-planned blocks included) share
+    one hoisted decomposition; giant-step rotations are standalone per
+    block; every output shard rescales once.
+    """
+    num_in = len(plans[0]) if plans else 0
+    hoisted: list = [set() for _ in range(num_in)]
+    rotate = 0
+    pt_mult = 0
+    for row in plans:
+        if len(row) != num_in:
+            raise ValueError("ragged plan grid")
+        for i, plan in enumerate(row):
+            if plan is None:
+                continue
+            pt_mult += plan.num_diagonals
+            if plan.use_bsgs:
+                hoisted[i].update(b for b in plan.baby_steps if b)
+                rotate += sum(1 for g in plan.giant_steps if g)
+            else:
+                hoisted[i].update(plan.diag_steps)
+    return {
+        "rotate": rotate,
+        "rotate_hoisted": sum(len(s) for s in hoisted),
+        "hoist_decompose": sum(1 for s in hoisted if s),
+        "pt_mult": pt_mult,
+        "rescale": len(plans),
+    }
+
+
+def analytic_sharded_matvec_cost(plans: list, micros: dict) -> float:
+    """Estimated sharded-matvec (e.g. sharded conv) seconds."""
+    return cost_from_counts(sharded_matvec_op_counts(plans), micros)
+
+
+def residual_merge_op_counts(
+    num_shards: int, proj_plans: list | None = None, level_gap: int = 1
+) -> dict:
+    """Homomorphic op counts of one residual ``merge`` layer.
+
+    An identity skip costs one exact scale-alignment correction (a
+    plaintext multiply + rescale riding the branch level gap) and one
+    ct-ct add per shard; a projection skip additionally replicates each
+    saved shard (one standalone rotation) and runs the 1×1-projection's
+    sharded matvec (``proj_plans`` — the merge layer's plan grid).
+    ``level_gap=0`` drops the alignment ops — equal-level branches share
+    the canonical scale already — but never the adds.
+    """
+    counts = {
+        "rotate": 0,
+        "rotate_hoisted": 0,
+        "hoist_decompose": 0,
+        "pt_mult": 0,
+        "rescale": 0,
+        "add": num_shards,  # the per-shard skip + main additions
+    }
+    if proj_plans is not None:
+        proj = sharded_matvec_op_counts(proj_plans)
+        for k, n in proj.items():
+            counts[k] += n
+        counts["rotate"] += len(proj_plans[0])  # replicate each saved shard
+    if level_gap > 0:
+        counts["pt_mult"] += num_shards   # exact alignment corrections
+        counts["rescale"] += num_shards
+    return counts
+
+
+def analytic_residual_merge_cost(
+    num_shards: int,
+    micros: dict,
+    proj_plans: list | None = None,
+    level_gap: int = 1,
+) -> float:
+    """Estimated residual-merge seconds (identity or projection skip)."""
+    return cost_from_counts(
+        residual_merge_op_counts(num_shards, proj_plans=proj_plans, level_gap=level_gap),
+        micros,
     )
 
 
 def analytic_matvec_cost(plan: MatvecPlan, micros: dict) -> float:
     """Estimated encrypted-matvec seconds from op counts × per-op times."""
-    counts = matvec_op_counts(plan)
-    return (
-        counts["rotate"] * micros["rotate"]
-        + counts["rotate_hoisted"] * micros["rotate_hoisted"]
-        + counts["hoist_decompose"] * micros["hoist_decompose"]
-        + counts["pt_mult"] * micros["pt_mult"]
-        + counts["rescale"] * max(micros["rescale"], 0.0)
-    )
+    return cost_from_counts(matvec_op_counts(plan), micros)

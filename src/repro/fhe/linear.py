@@ -47,11 +47,14 @@ from repro.ckks.evaluator import Ciphertext, CkksEvaluator
 __all__ = [
     "encrypted_matvec",
     "encrypted_matvec_bsgs",
+    "encrypted_matvec_shards",
     "diagonals_of",
     "required_rotation_steps",
     "MatvecPlan",
     "plan_matvec",
     "bsgs_diagonals",
+    "grouped_diagonals",
+    "shard_hoist_steps",
 ]
 
 
@@ -229,6 +232,96 @@ def bsgs_diagonals(diagonals: dict, plan: MatvecPlan) -> dict:
         g = d - b
         groups.setdefault(g, {})[b] = np.roll(vec, g)
     return groups
+
+
+def grouped_diagonals(diagonals: dict, plan: MatvecPlan) -> dict:
+    """Diagonals in the grouped ``{giant: {baby: vector}}`` form of the
+    *chosen* path.
+
+    BSGS plans regroup via :func:`bsgs_diagonals`; naive plans become the
+    single giant-step-0 group ``{0: diagonals}`` — every diagonal is its
+    own "baby" step, so a grouped executor rotates once per diagonal but
+    shares one hoisted decomposition (the multi-ciphertext executor
+    :func:`encrypted_matvec_shards` runs every block in this uniform
+    form, which is never more keyswitches than the plan predicts).
+    """
+    if plan.use_bsgs:
+        return bsgs_diagonals(diagonals, plan)
+    return {0: dict(diagonals)}
+
+
+def shard_hoist_steps(blocks: list, shard: int) -> list:
+    """Baby-rotation steps input shard ``shard`` needs across all blocks.
+
+    ``blocks[j][i]`` is a grouped-diagonal mapping (or ``None`` for an
+    all-zero block); the union over output shards is what one
+    :meth:`~repro.ckks.evaluator.CkksEvaluator.rotate_many` call hoists.
+    """
+    steps: set = set()
+    for row in blocks:
+        groups = row[shard]
+        if not groups:
+            continue
+        for inner in groups.values():
+            steps.update(b for b in inner if b)
+    return sorted(steps)
+
+
+def encrypted_matvec_shards(
+    ev: CkksEvaluator,
+    cts: list,
+    blocks: list,
+    bias_slots: list | None = None,
+) -> list:
+    """Block matvec over channel-sharded ciphertexts.
+
+    ``y_j = Σ_i W_{j,i} x_i`` for ``K_in`` input ciphertexts and a
+    ``K_out × K_in`` grid of grouped-diagonal blocks
+    (``blocks[j][i] = {giant: {baby: vector | Plaintext}}`` from
+    :func:`grouped_diagonals`, or ``None`` where the weight block is all
+    zero).  Each input shard's baby rotations are hoisted *once* across
+    every output shard that reads it; cross-shard accumulation is plain
+    ct-ct addition at matching level and scale, and each output shard
+    rescales exactly once (the canonical-scale invariant holds shard by
+    shard).  With ``K_in = K_out = 1`` and a BSGS plan this performs the
+    identical operation sequence to :func:`encrypted_matvec_bsgs`.
+
+    ``bias_slots[j]`` (raw vector or pre-encoded post-rescale
+    :class:`~repro.ckks.encoder.Plaintext`) is added to output shard
+    ``j``; ``None`` entries skip the add.
+    """
+    if not blocks or any(len(row) != len(cts) for row in blocks):
+        raise ValueError(
+            f"blocks must be K_out x {len(cts)} to match the input shards"
+        )
+    rotated = []
+    for i, ct in enumerate(cts):
+        steps = shard_hoist_steps(blocks, i)
+        rot = ev.rotate_many(ct, steps) if steps else {}
+        rot[0] = ct
+        rotated.append(rot)
+    outs = []
+    for j, row in enumerate(blocks):
+        acc = None
+        for i in range(len(cts)):
+            groups = row[i]
+            if not groups:
+                continue
+            for g in sorted(groups):
+                inner = None
+                for b in sorted(groups[g]):
+                    term = ev.mul_plain(rotated[i][b], groups[g][b])
+                    inner = term if inner is None else ev.add(inner, term)
+                if g:
+                    inner = ev.rotate(inner, g)
+                acc = inner if acc is None else ev.add(acc, inner)
+        if acc is None:
+            raise ValueError(f"output shard {j} reads no nonzero block")
+        acc = ev.rescale(acc)
+        if bias_slots is not None and bias_slots[j] is not None:
+            acc = ev.add_plain(acc, bias_slots[j])
+        outs.append(acc)
+    return outs
 
 
 def encrypted_matvec(

@@ -18,7 +18,18 @@ Diagonals are tiled across all blocks once at compile time; rotation
 steps (and hence the Galois key set) are identical to the
 single-request layout.
 
-Four layer kinds execute on ciphertexts:
+Wide CNNs overflow a single request block, so the network also supports
+**multi-ciphertext channel-parallel packing**: activations are sharded
+across ``K`` ciphertexts (:class:`~repro.fhe.packing.MultiGridLayout`),
+linear layers become ``K_out × K_in`` grids of per-shard-pair matvec
+blocks executed by :func:`~repro.fhe.linear.encrypted_matvec_shards`
+(per-input-shard hoisted baby rotations, cross-shard accumulation via
+ct-ct adds, one rescale per output shard), and pools / activations /
+affines apply shard-by-shard.  :meth:`EncryptedNetwork.forward_shards`
+is the sharded executor; the single-ciphertext :meth:`forward` path is
+unchanged for networks compiled without sharding.
+
+Six layer kinds execute on ciphertexts:
 
 * ``linear`` — a :class:`~repro.fhe.linear.MatvecPlan`-compiled matvec:
   BSGS (``O(√D)`` keyswitches, hoisted baby rotations, pre-rotated
@@ -33,7 +44,16 @@ Four layer kinds execute on ciphertexts:
   smeared into);
 * ``affine`` — a slot-wise plaintext scale-and-shift (an *unfolded*
   BatchNorm; the CNN compiler folds BN into the adjacent conv by
-  default, so this kind only appears with ``fold_bn=False``).
+  default, so this kind only appears with ``fold_bn=False``);
+* ``residual`` — a *tap*: pushes the live shard list onto a branch
+  stack (zero homomorphic cost, zero levels);
+* ``merge`` — pops the matching tap, optionally applies a 1×1-projection
+  block matvec to the saved (skip) branch, **aligns the shallow branch
+  to the deep branch's (level, scale)** with
+  :meth:`~repro.ckks.evaluator.CkksEvaluator.align_to` (an exact
+  plaintext correction riding the level gap — no extra depth), and adds
+  shard-by-shard.  The chain level after a merge equals the main
+  branch's, so taps and merges consume zero levels of the schedule.
 
 The Galois key set is sized from the union of the chosen matvec plans'
 rotation steps, every pool's shift steps, and the replication step — for
@@ -62,6 +82,8 @@ from repro.fhe.linear import (
     diagonals_of,
     encrypted_matvec,
     encrypted_matvec_bsgs,
+    encrypted_matvec_shards,
+    grouped_diagonals,
     plan_matvec,
     tile_blocks,
 )
@@ -76,7 +98,7 @@ __all__ = ["EncryptedNetwork", "EncryptedMLP", "compile_mlp"]
 
 @dataclass
 class _Layer:
-    kind: str                   # "linear" | "paf" | "pool" | "affine"
+    kind: str  # "linear" | "paf" | "pool" | "affine" | "residual" | "merge"
     weight: np.ndarray | None = None
     bias: np.ndarray | None = None
     paf: CompositePAF | None = None
@@ -88,6 +110,13 @@ class _Layer:
     #: affine: per-slot multiplier / addend over ``[0, size)`` of a block
     affine_scale: np.ndarray | None = None
     affine_shift: np.ndarray | None = None
+    #: sharded linear / merge projection: K_out x K_in grid of slot-space
+    #: matrices (``None`` marks an all-zero block)
+    blocks: list | None = None
+    #: sharded linear / merge projection: per-output-shard bias vectors
+    bias_shards: list | None = None
+    #: merge: layer index of the matching ``residual`` tap
+    tap: int | None = None
 
 
 class EncryptedNetwork:
@@ -105,10 +134,18 @@ class EncryptedNetwork:
         params: CkksParams,
         seed: int = 0,
         reference_keys: bool = False,
+        input_shards: int = 1,
     ):
         self.layers = layers
         self.size = size
-        depth_needed = sum(self._layer_depth(l) for l in layers)
+        #: ciphertexts per request on the sharded path (1 = single-ct)
+        self.num_input_shards = input_shards
+        #: True when any layer is sharded or residual — forward must go
+        #: through :meth:`forward_shards`
+        self.sharded = input_shards > 1 or any(
+            layer.blocks is not None or layer.kind in ("residual", "merge") for layer in layers
+        )
+        depth_needed = self._validate_schedule(layers)
         if params.depth < depth_needed:
             raise ValueError(
                 f"context depth {params.depth} < required {depth_needed}"
@@ -146,23 +183,86 @@ class EncryptedNetwork:
         #: affine (unfolded BN) slot vectors, tiled like the biases
         self.affine_scale_slots: dict[int, np.ndarray] = {}
         self.affine_shift_slots: dict[int, np.ndarray] = {}
+        #: sharded linear / merge-projection layers: K_out x K_in grids of
+        #: MatvecPlans (None = all-zero block), grouped diagonal payloads
+        #: and per-output-shard tiled biases
+        self.shard_plans: dict[int, list] = {}
+        self.shard_groups: dict[int, list] = {}
+        self.shard_bias_slots: dict[int, list] = {}
+        #: merge layer index -> matching residual tap index
+        self.merge_taps: dict[int, int] = {}
         pool_steps: set = set()
-        for i, l in enumerate(layers):
-            if l.kind == "paf":
-                self.paf_plans[i] = plan_paf_relu(l.paf, l.scale)
-            if l.kind == "pool":
-                for stage in l.shifts:
+        shard_steps: set = set()
+        for i, layer in enumerate(layers):
+            if layer.blocks is not None:  # sharded linear or merge projection
+                plans_grid: list = []
+                groups_grid: list = []
+                for row in layer.blocks:
+                    plan_row: list = []
+                    group_row: list = []
+                    for mat in row:
+                        if mat is None or not np.any(mat):
+                            plan_row.append(None)
+                            group_row.append(None)
+                            continue
+                        diags = diagonals_of(
+                            mat,
+                            slots,
+                            num_blocks=self.max_batch,
+                            block_stride=self.block_stride,
+                        )
+                        plan = plan_matvec(diags.keys(), size)
+                        plan_row.append(plan)
+                        group_row.append(grouped_diagonals(diags, plan))
+                        shard_steps.update(plan.rotation_steps())
+                    if not any(g is not None for g in group_row):
+                        # fail at compile like the single-ct path's
+                        # all-zero-weight rejection, not at forward time
+                        raise ValueError(
+                            f"layer {i}: output shard {len(plans_grid)} reads "
+                            "no nonzero block (all-zero weight row)"
+                        )
+                    plans_grid.append(plan_row)
+                    groups_grid.append(group_row)
+                self.shard_plans[i] = plans_grid
+                self.shard_groups[i] = groups_grid
+                if layer.bias_shards is not None:
+                    tiled = []
+                    for vec in layer.bias_shards:
+                        if vec is None:
+                            tiled.append(None)
+                            continue
+                        base = np.zeros(size)
+                        base[: len(vec)] = vec
+                        tiled.append(
+                            tile_blocks(base, slots, self.max_batch, self.block_stride)
+                        )
+                    self.shard_bias_slots[i] = tiled
+            if layer.kind == "merge":
+                if layer.tap is None:
+                    raise ValueError(f"merge layer {i} has no matching residual tap")
+                self.merge_taps[i] = layer.tap
+                continue
+            if layer.kind == "paf":
+                # sharded (deep residual) networks need exact-scale plans:
+                # ladder-tolerated sub-percent drift doubles per rescale
+                # and overflows the modulus past ~20 levels
+                self.paf_plans[i] = plan_paf_relu(
+                    layer.paf, layer.scale, exact_scales=self.sharded
+                )
+            if layer.kind == "pool":
+                for stage in layer.shifts:
                     pool_steps.update(s for s in stage if s)
                 self.pool_masks[i] = tile_blocks(
-                    np.full(size, l.pool_scale),
+                    np.full(size, layer.pool_scale),
                     slots,
                     self.max_batch,
                     self.block_stride,
                 )
-            if l.kind == "affine":
+            if layer.kind == "affine":
                 for name, vec, store in (
-                    ("scale", l.affine_scale, self.affine_scale_slots),
-                    ("shift", l.affine_shift, self.affine_shift_slots),
+                    ("scale", layer.affine_scale, self.affine_scale_slots),
+                    ("shift", layer.affine_shift, self.affine_shift_slots),
                 ):
                     if vec is None or len(vec) > size:
                         raise ValueError(
@@ -173,9 +273,9 @@ class EncryptedNetwork:
                     store[i] = tile_blocks(
                         base, slots, self.max_batch, self.block_stride
                     )
-            if l.kind == "linear":
+            if layer.kind == "linear" and layer.blocks is None:
                 diags = diagonals_of(
-                    l.weight,
+                    layer.weight,
                     slots,
                     num_blocks=self.max_batch,
                     block_stride=self.block_stride,
@@ -186,9 +286,9 @@ class EncryptedNetwork:
                     self.linear_groups[i] = bsgs_diagonals(diags, plan)
                 if not plan.use_bsgs or reference_keys:
                     self.linear_diagonals[i] = diags
-                if l.bias is not None:
+                if layer.bias is not None:
                     bias = np.zeros(size)
-                    bias[: len(l.bias)] = l.bias
+                    bias[: len(layer.bias)] = layer.bias
                     self.linear_bias_slots[i] = tile_blocks(
                         bias, slots, self.max_batch, self.block_stride
                     )
@@ -198,6 +298,7 @@ class EncryptedNetwork:
         # layer so the reference implementation can run side by side.
         steps = {s for plan in self.matvec_plans.values() for s in plan.rotation_steps()}
         steps |= pool_steps
+        steps |= shard_steps
         if reference_keys:
             steps |= {d for plan in self.matvec_plans.values() for d in plan.diag_steps}
         # right-rotation by `size` restores the wraparound replica block
@@ -209,10 +310,44 @@ class EncryptedNetwork:
         self.ev = CkksEvaluator(self.ctx, self.keys)
 
     @staticmethod
-    def _layer_depth(l: _Layer) -> int:
-        """Levels one layer consumes: matvec/pool/affine rescale once,
-        PAF activations their full multiplication depth."""
-        return relu_mult_depth(l.paf) if l.kind == "paf" else 1
+    def _layer_depth(layer: _Layer) -> int:
+        """Levels one layer consumes *on the main chain*: matvec/pool/
+        affine rescale once, PAF activations their full multiplication
+        depth.  Residual taps and merges are free — the skip branch's
+        projection and alignment ride the level gap the main branch
+        already opened."""
+        if layer.kind in ("residual", "merge"):
+            return 0
+        return relu_mult_depth(layer.paf) if layer.kind == "paf" else 1
+
+    @classmethod
+    def _validate_schedule(cls, layers) -> int:
+        """Total main-chain depth, validating the residual structure.
+
+        Taps and merges must pair up like brackets, and a merge whose
+        skip branch carries a projection needs a main-branch gap of at
+        least one level (the projection's own rescale descends through
+        it; the alignment correction needs no level of its own).
+        """
+        level = 0  # counts consumed levels from the top
+        stack: list = []
+        for i, layer in enumerate(layers):
+            if layer.kind == "residual":
+                stack.append(level)
+            elif layer.kind == "merge":
+                if not stack:
+                    raise ValueError(f"merge layer {i} has no open residual tap")
+                gap = level - stack.pop()
+                if layer.blocks is not None and gap < 1:
+                    raise ValueError(
+                        f"merge layer {i}: projection skip needs a main-branch "
+                        f"depth of >= 1 level, got {gap}"
+                    )
+            else:
+                level += cls._layer_depth(layer)
+        if stack:
+            raise ValueError(f"{len(stack)} residual tap(s) never merged")
+        return level
 
     # ------------------------------------------------------------------
     # packing
@@ -232,6 +367,44 @@ class EncryptedNetwork:
     def encrypt_input(self, x: np.ndarray) -> Ciphertext:
         """Pack + encrypt one input vector (block 0 of the batched layout)."""
         return self.encrypt_batch([x])
+
+    # ------------------------------------------------------------------
+    # sharded packing
+    # ------------------------------------------------------------------
+    #: element counts per input shard (set by the sharded compiler); the
+    #: flat NCHW input splits contiguously into these
+    input_splits: list | None = None
+
+    def split_input(self, x) -> list:
+        """Split one flat input vector into per-shard flat vectors."""
+        x = np.asarray(x, dtype=np.float64).ravel()
+        if self.num_input_shards == 1:
+            return [x]
+        if self.input_splits is None:
+            raise ValueError("sharded network has no input_splits recorded")
+        if len(x) != sum(self.input_splits):
+            raise ValueError(
+                f"input dim {len(x)} != sharded total {sum(self.input_splits)}"
+            )
+        return list(np.split(x, np.cumsum(self.input_splits)[:-1]))
+
+    def encrypt_batch_shards(self, xs, ev: CkksEvaluator | None = None) -> list:
+        """Pack + encrypt a batch into one ciphertext *per input shard*.
+
+        Every shard uses the same :class:`BlockLayout` (request ``b`` of
+        every shard sits in block ``b``), so the SIMD batch geometry —
+        and the serving layer built on it — is unchanged by sharding.
+        """
+        ev = ev or self.ev
+        parts = [self.split_input(x) for x in xs]
+        return [
+            ev.encrypt(pack_batch([p[s] for p in parts], self.layout))
+            for s in range(self.num_input_shards)
+        ]
+
+    def encrypt_input_shards(self, x: np.ndarray) -> list:
+        """Pack + encrypt one input as a list of shard ciphertexts."""
+        return self.encrypt_batch_shards([x])
 
     # ------------------------------------------------------------------
     # encrypted forward
@@ -275,14 +448,19 @@ class EncryptedNetwork:
         fly.  ``ev`` overrides the evaluator (worker pools run one
         evaluator per thread against the shared keys).
         """
+        if self.sharded:
+            raise ValueError(
+                "this network is compiled for multi-ciphertext execution — "
+                "use forward_shards(encrypt_batch_shards(...))"
+            )
         if reference and encoded is not None:
             raise ValueError(
                 "pre-encoded payloads follow the per-layer plans; the "
                 "reference path takes raw diagonals only"
             )
         ev = ev or self.ev
-        for i, l in enumerate(self.layers):
-            if l.kind == "linear":
+        for i, layer in enumerate(self.layers):
+            if layer.kind == "linear":
                 if i > 0:
                     ct = self._replicate(ct, ev)
                 bsgs = self.matvec_plans[i].use_bsgs and not reference
@@ -304,17 +482,17 @@ class EncryptedNetwork:
                     ct = encrypted_matvec(
                         ev, ct, diagonals=payload, bias_slots=bias_slots
                     )
-            elif l.kind == "pool":
+            elif layer.kind == "pool":
                 ct = self._pool_forward(ct, i, ev, reference=reference)
-            elif l.kind == "affine":
+            elif layer.kind == "affine":
                 ct = ev.rescale(ev.mul_plain(ct, self.affine_scale_slots[i]))
                 ct = ev.add_plain(ct, self.affine_shift_slots[i])
             else:
                 ct = eval_paf_relu(
                     ev,
                     ct,
-                    l.paf,
-                    scale=l.scale,
+                    layer.paf,
+                    scale=layer.scale,
                     plan=self.paf_plans[i],
                     reference=reference,
                 )
@@ -353,6 +531,111 @@ class EncryptedNetwork:
         return ev.rescale(ev.mul_plain(ct, self.pool_masks[i]))
 
     # ------------------------------------------------------------------
+    # sharded encrypted forward
+    # ------------------------------------------------------------------
+    def forward_shards(
+        self,
+        cts,
+        *,
+        encoded=None,
+        ev: CkksEvaluator | None = None,
+        reference: bool = False,
+    ) -> list:
+        """Encrypted forward over a channel-sharded ciphertext list.
+
+        The multi-ciphertext twin of :meth:`forward`: ``cts`` is one
+        ciphertext per input shard (``encrypt_batch_shards``), and the
+        return value one per output shard of the last layer (a compiled
+        classifier head always lands on a single shard).  Linear layers
+        run :func:`~repro.fhe.linear.encrypted_matvec_shards` over their
+        ``K_out × K_in`` grouped-diagonal blocks; ``residual`` taps push
+        the live shard list onto a branch stack; ``merge`` pops it,
+        applies the projection blocks (if any) to the *saved* branch at
+        its own — higher — level, aligns the skip to the main branch's
+        exact (level, scale) via ``align_to`` and adds shard-wise.  PAF,
+        pool and (unsupported here) affine layers apply per shard.
+
+        ``encoded`` is the same pre-encoded-plaintext provider contract
+        as :meth:`forward`, extended to sharded layers: for a sharded
+        linear or merge layer ``encoded(i, level, scale)`` must return
+        ``(blocks, biases)`` with the grid/list structure of
+        ``shard_groups[i]`` / ``shard_bias_slots.get(i)`` but holding
+        :class:`~repro.ckks.Plaintext` values; merges are queried at the
+        *saved branch's* (level, scale).  ``reference=True`` selects the
+        per-step rotation pool path and the ladder activation path, as
+        in :meth:`forward` (sharded matvecs have a single, grouped
+        execution — their plan already names the cheaper path per
+        block).
+        """
+        ev = ev or self.ev
+        cts = list(cts)
+        stack: list = []
+        for i, layer in enumerate(self.layers):
+            if layer.kind == "linear":
+                if layer.blocks is None:
+                    raise ValueError(
+                        f"layer {i}: single-ciphertext linear inside a sharded "
+                        "network (compile it with shard blocks)"
+                    )
+                if i > 0:
+                    cts = [self._replicate(ct, ev) for ct in cts]
+                if encoded is not None:
+                    payload, biases = encoded(i, cts[0].level, cts[0].scale)
+                else:
+                    payload = self.shard_groups[i]
+                    biases = self.shard_bias_slots.get(i)
+                cts = encrypted_matvec_shards(ev, cts, payload, bias_slots=biases)
+            elif layer.kind == "residual":
+                stack.append(cts)
+            elif layer.kind == "merge":
+                skip = stack.pop()
+                if layer.blocks is not None:
+                    skip = [self._replicate(ct, ev) for ct in skip]
+                    if encoded is not None:
+                        payload, biases = encoded(i, skip[0].level, skip[0].scale)
+                    else:
+                        payload = self.shard_groups[i]
+                        biases = self.shard_bias_slots.get(i)
+                    skip = encrypted_matvec_shards(ev, skip, payload, bias_slots=biases)
+                if len(skip) != len(cts):
+                    raise ValueError(
+                        f"merge layer {i}: skip branch has {len(skip)} shards, "
+                        f"main branch {len(cts)}"
+                    )
+                target = cts[0]
+                # exact (rtol 0) alignment: the skip must land on the main
+                # branch's scale precisely, or the embedded mismatch rides
+                # every later squaring
+                skip = [
+                    ev.align_to(s, target.level, target.scale, rtol=0.0)
+                    for s in skip
+                ]
+                cts = [ev.add(c, s) for c, s in zip(cts, skip)]
+            elif layer.kind == "pool":
+                cts = [
+                    self._pool_forward(ct, i, ev, reference=reference) for ct in cts
+                ]
+            elif layer.kind == "paf":
+                cts = [
+                    eval_paf_relu(
+                        ev, ct, layer.paf, scale=layer.scale,
+                        plan=self.paf_plans[i], reference=reference,
+                    )
+                    for ct in cts
+                ]
+            else:
+                raise ValueError(
+                    f"layer {i} kind {layer.kind!r} has no sharded execution "
+                    "(BatchNorm must be folded into a conv when sharding)"
+                )
+        return cts
+
+    def predict_shards(self, x: np.ndarray, num_classes: int) -> int:
+        """Sharded round trip: encrypt shards -> forward -> decrypt -> argmax."""
+        out = self.forward_shards(self.encrypt_input_shards(x))
+        return int(np.argmax(self.decrypt_logits(out[0], num_classes)))
+
+    # ------------------------------------------------------------------
     # static schedule
     # ------------------------------------------------------------------
     def layer_input_levels(self) -> dict:
@@ -366,10 +649,21 @@ class EncryptedNetwork:
         """
         level = self.ctx.max_level
         levels = {}
-        for i, l in enumerate(self.layers):
+        for i, layer in enumerate(self.layers):
             levels[i] = level
-            level -= self._layer_depth(l)
+            level -= self._layer_depth(layer)
         return levels
+
+    def merge_branch_levels(self) -> dict:
+        """Level at which each merge's *skip* branch material is read.
+
+        A merge's projection diagonals act on the ciphertexts saved at
+        its residual tap, so they encode at the tap's chain level — the
+        per-branch half of the static schedule (``layer_input_levels``
+        is the main-chain half; taps and merges consume zero there).
+        """
+        levels = self.layer_input_levels()
+        return {i: levels[tap] for i, tap in self.merge_taps.items()}
 
     # ------------------------------------------------------------------
     # decrypt
@@ -442,11 +736,11 @@ def compile_mlp(
             )
     size = max(widths)
     # zero-pad weights to square so the diagonal layout is uniform
-    for l in layers:
-        if l.kind == "linear":
+    for layer in layers:
+        if layer.kind == "linear":
             padded = np.zeros((size, size))
-            padded[: l.weight.shape[0], : l.weight.shape[1]] = l.weight
-            l.weight = padded
+            padded[: layer.weight.shape[0], : layer.weight.shape[1]] = layer.weight
+            layer.weight = padded
     return EncryptedNetwork(
         layers, size=size, params=params, seed=seed, reference_keys=reference_keys
     )

@@ -17,6 +17,16 @@ grid (rotate-and-sum never compacts), so downstream layers read through
 a strided grid.  The CNN compiler (:mod:`repro.fhe.cnn`) threads one
 ``GridLayout`` through the network and lowers every conv/pool/linear
 against it.
+
+:class:`MultiGridLayout` is the third: a channel-sharded activation
+spread over ``K`` ciphertexts.  Wide layers overflow one request block
+(``C·H·W > size``), so the channel axis is split into contiguous shards
+— shard ``s`` holds channels ``[offset_s, offset_s + C_s)`` in its *own*
+ciphertext, laid out by a per-shard :class:`GridLayout` that shares the
+spatial geometry of every other shard.  Convs/linears lowered against a
+multi-grid become ``K_out × K_in`` block matrices
+(:func:`repro.fhe.cnn.conv2d_shard_matrices`); pools and activations
+apply shard-by-shard because they never mix channels.
 """
 
 from __future__ import annotations
@@ -25,7 +35,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["BlockLayout", "GridLayout", "pack_batch", "unpack_blocks"]
+__all__ = [
+    "BlockLayout",
+    "GridLayout",
+    "MultiGridLayout",
+    "pack_batch",
+    "unpack_blocks",
+]
 
 
 @dataclass(frozen=True)
@@ -156,6 +172,134 @@ class GridLayout:
             row_stride=self.row_stride,
             col_stride=self.col_stride,
         )
+
+
+@dataclass(frozen=True)
+class MultiGridLayout:
+    """A ``(C, H, W)`` activation channel-sharded across ``K`` ciphertexts.
+
+    ``shards[s]`` is the :class:`GridLayout` of shard ``s``'s *own* slot
+    space (every shard starts at slot 0 of its ciphertext); channels are
+    split contiguously, so global channel ``c`` lives in the shard whose
+    ``[offset, offset + channels)`` range contains it.  All shards share
+    one spatial geometry — heights, widths and strides agree — which is
+    what lets pools and activations run shard-by-shard with identical
+    rotation steps.
+    """
+
+    shards: tuple
+
+    def __post_init__(self):
+        if not self.shards:
+            raise ValueError("multi-grid needs at least one shard")
+        g0 = self.shards[0]
+        for g in self.shards[1:]:
+            if (g.height, g.width, g.chan_stride, g.row_stride, g.col_stride) != (
+                g0.height, g0.width, g0.chan_stride, g0.row_stride, g0.col_stride
+            ):
+                raise ValueError(f"shard geometries disagree: {g0} vs {g}")
+
+    @classmethod
+    def split(
+        cls, channels: int, height: int, width: int, num_shards: int
+    ) -> "MultiGridLayout":
+        """Shard a dense ``(C, H, W)`` activation across ``min(K, C)``
+        ciphertexts with a balanced contiguous channel split."""
+        return cls.from_grid(GridLayout.dense(channels, height, width), num_shards)
+
+    @classmethod
+    def from_grid(cls, grid: GridLayout, num_shards: int) -> "MultiGridLayout":
+        """Shard an existing (possibly strided) grid's channel axis.
+
+        Shard counts follow ``np.array_split`` — as balanced as a
+        contiguous split allows, never more shards than channels.
+        """
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        counts = [
+            len(part)
+            for part in np.array_split(
+                np.arange(grid.channels), min(num_shards, grid.channels)
+            )
+        ]
+        shards = tuple(
+            GridLayout(
+                channels=c,
+                height=grid.height,
+                width=grid.width,
+                chan_stride=grid.chan_stride,
+                row_stride=grid.row_stride,
+                col_stride=grid.col_stride,
+            )
+            for c in counts
+        )
+        return cls(shards=shards)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def total_channels(self) -> int:
+        return sum(g.channels for g in self.shards)
+
+    @property
+    def channel_offsets(self) -> tuple:
+        """First global channel of each shard."""
+        offsets = []
+        total = 0
+        for g in self.shards:
+            offsets.append(total)
+            total += g.channels
+        return tuple(offsets)
+
+    @property
+    def span(self) -> int:
+        """Slots the widest shard needs in its ciphertext."""
+        return max(g.span for g in self.shards)
+
+    @property
+    def num_elements(self) -> int:
+        return sum(g.num_elements for g in self.shards)
+
+    def shard_of(self, c: int) -> tuple:
+        """``(shard index, local channel)`` holding global channel ``c``."""
+        if not 0 <= c < self.total_channels:
+            raise ValueError(f"channel {c} outside 0..{self.total_channels - 1}")
+        for s, off in enumerate(self.channel_offsets):
+            if c < off + self.shards[s].channels:
+                return s, c - off
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def positions(self) -> list:
+        """Per-shard ``(C_s, H, W)`` slot-index arrays (channel order)."""
+        return [g.positions() for g in self.shards]
+
+    def pooled(self, kernel: int, stride: int) -> "MultiGridLayout":
+        """Every shard pooled identically (geometry stays shared)."""
+        return MultiGridLayout(tuple(g.pooled(kernel, stride) for g in self.shards))
+
+    def global_pooled(self) -> "MultiGridLayout":
+        return MultiGridLayout(tuple(g.global_pooled() for g in self.shards))
+
+    def split_values(self, values: np.ndarray) -> list:
+        """Split a flat NCHW activation into per-shard flat vectors.
+
+        Channels are contiguous in NCHW order, so each shard's elements
+        are one slice of the flat vector — the client-side packing rule
+        for sharded inputs (each part then packs like an MLP vector).
+        """
+        values = np.asarray(values, dtype=np.float64).ravel()
+        g0 = self.shards[0]
+        per_channel = g0.height * g0.width
+        if len(values) != self.total_channels * per_channel:
+            raise ValueError(
+                f"expected {self.total_channels * per_channel} values, got {len(values)}"
+            )
+        bounds = np.cumsum(
+            [g.channels * per_channel for g in self.shards[:-1]]
+        )
+        return [part for part in np.split(values, bounds)]
 
 
 def pack_batch(xs, layout: BlockLayout) -> np.ndarray:

@@ -1,6 +1,6 @@
 """The canonical toy serving models, shared by tests, benchmarks and CI.
 
-Two builds, each used by the fhe/serve test suites, the serving
+Three builds, each used by the fhe/serve test suites, the serving
 benchmarks and the CI op-count summary so the toy geometry (and the
 op-count regression anchors derived from it) cannot silently diverge
 between them:
@@ -11,6 +11,12 @@ between them:
   images (conv-BN-PAF → avgpool → conv → dense, 3 classes), compiled by
   :func:`repro.fhe.cnn.compile_cnn`.  Compiles in a few seconds; one
   encrypted forward ≈ 5 s at n=1024.
+* :func:`compiled_toy_resnet` — a *trained* 2-block residual CNN
+  (stem conv-BN → BasicBlock(identity skip) → BasicBlock(stride-2,
+  1×1-projection skip) → global pool → dense) on the same pattern
+  images, channel-sharded across 2 ciphertexts and compiled by
+  :func:`repro.fhe.cnn.compile_resnet`.  Depth 31; one encrypted
+  forward is a few seconds at n=512.
 """
 
 from __future__ import annotations
@@ -23,10 +29,15 @@ from repro.fhe.network import EncryptedNetwork, compile_mlp
 __all__ = [
     "compiled_toy",
     "compiled_toy_cnn",
+    "compiled_toy_resnet",
     "toy_cnn_model",
+    "toy_resnet_model",
     "TOY_PARAMS",
     "TOY_CNN_PARAMS",
     "TOY_CNN_INPUT_SHAPE",
+    "TOY_RESNET_PARAMS",
+    "TOY_RESNET_INPUT_SHAPE",
+    "TOY_RESNET_SHARDS",
 ]
 
 #: the toy MLP's CKKS parameter set (small ring, depth for one f1∘g2 PAF)
@@ -39,6 +50,19 @@ TOY_CNN_PARAMS = CkksParams(n=1024, scale_bits=26, depth=10)
 
 #: single-image shape of the toy CNN (1 channel, 8×8 pixels)
 TOY_CNN_INPUT_SHAPE = (1, 8, 8)
+
+#: the toy ResNet's CKKS parameter set — depth 31 covers stem conv(1) +
+#: 2 BasicBlocks of conv(1)+PAF(6)+conv(1)+merge(0)+PAF(6) + pool(1) +
+#: dense(1); n=512 gives two SIMD request blocks at the square size 64.
+#: ``scale_tracking`` is mandatory at this depth: nearest-to-Δ primes let
+#: the canonical scale schedule collapse past ~20 levels
+TOY_RESNET_PARAMS = CkksParams(n=512, scale_bits=27, depth=31, scale_tracking=True)
+
+#: single-image shape of the toy ResNet (1 channel, 8×8 pixels)
+TOY_RESNET_INPUT_SHAPE = (1, 8, 8)
+
+#: ciphertexts the toy ResNet's channels shard across
+TOY_RESNET_SHARDS = 2
 
 
 def compiled_toy(
@@ -117,6 +141,71 @@ def toy_cnn_model(epochs: int = 2, seed: int = 0):
             loss.backward()
             opt.step()
     return model, data
+
+
+def toy_resnet_model(epochs: int = 2, seed: int = 0):
+    """Train the plaintext toy ResNet on synthetic 8×8 pattern images.
+
+    Architecture: :class:`repro.nn.models.resnet.ToyResNet` at width 2 —
+    stem Conv(1→2, 3×3, pad 1)-BN, BasicBlock(2→2, identity skip),
+    BasicBlock(2→4, stride 2, 1×1-projection skip), GlobalAvgPool,
+    Linear(4→3).  All BatchNorms track running statistics so they fold
+    at FHE compile time.  Deterministic for a fixed ``seed``; returns
+    ``(model, dataset)`` with the model left in train mode.
+    """
+    from repro.data.synthetic import make_pattern_dataset
+    from repro.nn.functional import cross_entropy
+    from repro.nn.models.resnet import toy_resnet
+    from repro.nn.optim import SGD
+    from repro.nn.tensor import Tensor
+
+    model = toy_resnet(num_classes=3, width=2, in_channels=1, seed=seed)
+    data = make_pattern_dataset(
+        num_classes=3, n_train=96, n_val=24, image_size=8, channels=1, seed=seed
+    )
+    opt = SGD(model.parameters(), lr=0.05, momentum=0.9)
+    batch = 16
+    for _ in range(epochs):
+        for start in range(0, data.n_train, batch):
+            xb = data.x_train[start : start + batch]
+            yb = data.y_train[start : start + batch]
+            loss = cross_entropy(model(Tensor(xb)), yb)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+    return model, data
+
+
+def compiled_toy_resnet(
+    with_model: bool = False,
+    num_shards: int = TOY_RESNET_SHARDS,
+    params: CkksParams | None = None,
+) -> EncryptedNetwork | tuple:
+    """Train, PAF-replace, calibrate and compile the toy ResNet.
+
+    The shared fixture behind the residual differential tests, the
+    sharded op-count gate and ``bench_resnet_forward``.  Channels shard
+    across ``num_shards`` ciphertexts (2 by default — the acceptance
+    geometry); ``with_model`` also returns the plaintext model (in eval
+    mode).
+    """
+    from repro.core import calibrate_static_scales, convert_to_static, replace_all
+    from repro.fhe.cnn import compile_resnet
+    from repro.paf import get_paf
+
+    model, data = toy_resnet_model()
+    replace_all(model, get_paf("f1g2"), data.x_train[:2])
+    calibrate_static_scales(model, [data.x_train])
+    convert_to_static(model)
+    model.eval()
+    enc = compile_resnet(
+        model,
+        TOY_RESNET_INPUT_SHAPE,
+        params or TOY_RESNET_PARAMS,
+        num_shards=num_shards,
+        seed=0,
+    )
+    return (model, enc) if with_model else enc
 
 
 def compiled_toy_cnn(

@@ -225,8 +225,6 @@ def batch_norm2d(
     xhat = (x.data - mu[None, :, None, None]) * inv_std[None, :, None, None]
     out = gamma.data[None, :, None, None] * xhat + beta.data[None, :, None, None]
 
-    m = x.data.shape[0] * x.data.shape[2] * x.data.shape[3]
-
     def backward(g):
         ggamma = (g * xhat).sum(axis=(0, 2, 3))
         gbeta = g.sum(axis=(0, 2, 3))

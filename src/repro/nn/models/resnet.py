@@ -26,11 +26,18 @@ from repro.nn.layers import (
 from repro.nn.module import Module, Sequential
 from repro.nn.tensor import Tensor
 
-__all__ = ["BasicBlock", "ResNet18", "resnet18"]
+__all__ = ["BasicBlock", "ResNet18", "ToyResNet", "resnet18", "toy_resnet"]
 
 
 class BasicBlock(Module):
-    """Two 3×3 convs with a residual connection; 2 ReLUs."""
+    """Two 3×3 convs with a residual connection; 2 ReLUs.
+
+    ``track_running_stats=True`` builds every BatchNorm (including the
+    downsample's) with frozen-statistics tracking, which the FHE
+    compiler (:func:`repro.fhe.cnn.compile_resnet`) requires so the BNs
+    fold into their convs; the default matches the paper's Tab. 5
+    training configuration (batch statistics).
+    """
 
     def __init__(
         self,
@@ -38,18 +45,19 @@ class BasicBlock(Module):
         out_ch: int,
         stride: int = 1,
         rng: Optional[np.random.Generator] = None,
+        track_running_stats: bool = False,
     ):
         super().__init__()
         self.conv1 = Conv2d(in_ch, out_ch, 3, stride=stride, padding=1, bias=False, rng=rng)
-        self.bn1 = BatchNorm2d(out_ch)
+        self.bn1 = BatchNorm2d(out_ch, track_running_stats=track_running_stats)
         self.relu1 = ReLU()
         self.conv2 = Conv2d(out_ch, out_ch, 3, stride=1, padding=1, bias=False, rng=rng)
-        self.bn2 = BatchNorm2d(out_ch)
+        self.bn2 = BatchNorm2d(out_ch, track_running_stats=track_running_stats)
         self.relu2 = ReLU()
         if stride != 1 or in_ch != out_ch:
             self.downsample = Sequential(
                 Conv2d(in_ch, out_ch, 1, stride=stride, bias=False, rng=rng),
-                BatchNorm2d(out_ch),
+                BatchNorm2d(out_ch, track_running_stats=track_running_stats),
             )
         else:
             self.downsample = Identity()
@@ -115,4 +123,51 @@ def resnet18(
         base_width=base_width,
         in_channels=in_channels,
         seed=seed,
+    )
+
+
+class ToyResNet(Module):
+    """CPU/FHE-sized residual CNN: stem conv + 2 BasicBlocks + head.
+
+    The smallest topology exercising everything the multi-ciphertext
+    compiler must handle: an identity skip (block1), a stride-2
+    downsample with a 1×1-projection skip (block2), a global pool and a
+    dense head.  Every BatchNorm tracks running statistics so the whole
+    net compiles via :func:`repro.fhe.cnn.compile_resnet`; the stem has
+    no ReLU (one PAF fewer keeps the FHE level budget at 31 with the
+    default f1∘g2 activation — the four block ReLUs remain).
+    """
+
+    def __init__(
+        self,
+        num_classes: int = 3,
+        width: int = 2,
+        in_channels: int = 1,
+        seed: Optional[int] = None,
+    ):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.conv1 = Conv2d(in_channels, width, 3, padding=1, bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(width, track_running_stats=True)
+        self.block1 = BasicBlock(width, width, 1, rng=rng, track_running_stats=True)
+        self.block2 = BasicBlock(width, 2 * width, 2, rng=rng, track_running_stats=True)
+        self.avgpool = GlobalAvgPool2d()
+        self.flatten = Flatten()
+        self.fc = Linear(2 * width, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.bn1(self.conv1(x))
+        x = self.block2(self.block1(x))
+        return self.fc(self.flatten(self.avgpool(x)))
+
+
+def toy_resnet(
+    num_classes: int = 3,
+    width: int = 2,
+    in_channels: int = 1,
+    seed: Optional[int] = None,
+) -> ToyResNet:
+    """Factory for the toy residual CNN (see :class:`ToyResNet`)."""
+    return ToyResNet(
+        num_classes=num_classes, width=width, in_channels=in_channels, seed=seed
     )

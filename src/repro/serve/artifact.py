@@ -172,6 +172,27 @@ class ModelArtifact:
 
         return cls(compile_cnn(nn_model, input_shape, params, seed=seed), **kwargs)
 
+    @classmethod
+    def compile_resnet(
+        cls, nn_model, input_shape, params, num_shards: int = 2,
+        seed: int = 0, **kwargs,
+    ) -> "ModelArtifact":
+        """``repro.fhe.cnn.compile_resnet`` + wrap, in one step.
+
+        The wrapped network runs multi-ciphertext: :meth:`forward` takes
+        and returns shard *lists*, and every per-shard-pair diagonal
+        block (including merge projections, keyed at the skip branch's
+        level) is pre-encoded through the same cache.
+        """
+        from repro.fhe.cnn import compile_resnet
+
+        return cls(
+            compile_resnet(
+                nn_model, input_shape, params, num_shards=num_shards, seed=seed
+            ),
+            **kwargs,
+        )
+
     # ------------------------------------------------------------------
     def encoded_linear(self, layer_index: int, level: int, scale: float):
         """Pre-encoded ``(payload, bias)`` for one linear layer.
@@ -193,6 +214,8 @@ class ModelArtifact:
         memo = self._linear_memo.get(key)
         if memo is not None:
             return memo
+        if layer_index in self.model.shard_groups:
+            return self._encode_sharded(key, layer_index, level, scale)
         if self.model.matvec_plans[layer_index].use_bsgs:
             diags = {
                 g: {
@@ -214,6 +237,43 @@ class ModelArtifact:
         self._linear_memo[key] = (diags, bias_pt)
         return diags, bias_pt
 
+    def _encode_sharded(self, key, layer_index: int, level: int, scale: float):
+        """Pre-encode one sharded linear layer or merge projection.
+
+        Mirrors :meth:`encoded_linear` for the ``K_out × K_in`` grouped
+        block grid: every block's diagonals encode at the incoming
+        ``(level, scale)`` — the *skip branch's* coordinates for a merge
+        projection, which the sharded forward passes in — and the
+        per-output-shard biases at the post-rescale coordinates.
+        """
+        blocks = [
+            [
+                {
+                    g: {
+                        b: self.cache.encode(vec, level, scale)
+                        for b, vec in inner.items()
+                    }
+                    for g, inner in groups.items()
+                }
+                if groups is not None
+                else None
+                for groups in row
+            ]
+            for row in self.model.shard_groups[layer_index]
+        ]
+        bias_pts = None
+        bias_list = self.model.shard_bias_slots.get(layer_index)
+        if bias_list is not None:
+            q_top = self.model.ctx.q_chain[level]
+            post_scale = scale * scale / q_top
+            bias_pts = [
+                None if vec is None
+                else self.cache.encode(vec, level - 1, post_scale)
+                for vec in bias_list
+            ]
+        self._linear_memo[key] = (blocks, bias_pts)
+        return blocks, bias_pts
+
     def activation_encodings(self, layer_index: int) -> list:
         """``(value, level, scale)`` of one PAF layer's plan constants.
 
@@ -227,8 +287,8 @@ class ModelArtifact:
         level = self.model.layer_input_levels()[layer_index]
         ctx = self.model.ctx
         scale = ctx.scale
-        for l in range(ctx.max_level, level, -1):
-            scale = scale * scale / ctx.q_chain[l]
+        for lvl in range(ctx.max_level, level, -1):
+            scale = scale * scale / ctx.q_chain[lvl]
         return plan.constant_encodings(ctx.q_chain, level, scale)
 
     def prewarm_activations(self) -> int:
@@ -248,7 +308,15 @@ class ModelArtifact:
         return count
 
     def forward(self, ct, ev=None):
-        """Encrypted forward using the pre-encoded linear layers."""
+        """Encrypted forward using the pre-encoded linear layers.
+
+        For a sharded model ``ct`` is the shard ciphertext *list*
+        (``encrypt_batch_shards``) and the return value the output shard
+        list — the pre-encoded path covers every block and merge
+        projection too.
+        """
+        if self.model.sharded:
+            return self.model.forward_shards(ct, encoded=self.encoded_linear, ev=ev)
         return self.model.forward(ct, encoded=self.encoded_linear, ev=ev)
 
     def warm(self, batch: int | None = None) -> "ModelArtifact":
@@ -257,8 +325,13 @@ class ModelArtifact:
         After this, serving any batch size hits only cached plaintexts
         (all batch sizes share the max-batch-tiled diagonals).
         """
-        xs = [np.zeros(self.model.size)] * (batch or 1)
-        self.forward(self.model.encrypt_batch(xs))
+        if self.model.sharded:
+            dim = sum(self.model.input_splits or [self.model.size])
+            xs = [np.zeros(dim)] * (batch or 1)
+            self.forward(self.model.encrypt_batch_shards(xs))
+        else:
+            xs = [np.zeros(self.model.size)] * (batch or 1)
+            self.forward(self.model.encrypt_batch(xs))
         return self
 
     def stats(self) -> dict:

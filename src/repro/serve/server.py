@@ -143,7 +143,13 @@ class InferenceServer:
         if not self._started:
             raise RuntimeError("server not started (use start() or a with-block)")
         x = np.asarray(x, dtype=np.float64).ravel()
-        if x.size > self.model.size:
+        if self.model.sharded:
+            expected = sum(self.model.input_splits or [self.model.size])
+            if x.size != expected:
+                raise ValueError(
+                    f"input dim {x.size} != sharded input dim {expected}"
+                )
+        elif x.size > self.model.size:
             raise ValueError(
                 f"input dim {x.size} exceeds layer size {self.model.size}"
             )
@@ -178,8 +184,18 @@ class InferenceServer:
         t0 = time.perf_counter()
         try:
             xs = [req.x for req in batch]
-            ct = self.model.encrypt_batch(xs, ev=ev)
-            ct = self.model.forward(ct, encoded=self.artifact.encoded_linear, ev=ev)
+            if self.model.sharded:
+                # multi-ciphertext models: one ciphertext per input shard,
+                # logits land whole on the last layer's single output shard
+                cts = self.model.encrypt_batch_shards(xs, ev=ev)
+                ct = self.model.forward_shards(
+                    cts, encoded=self.artifact.encoded_linear, ev=ev
+                )[0]
+            else:
+                ct = self.model.encrypt_batch(xs, ev=ev)
+                ct = self.model.forward(
+                    ct, encoded=self.artifact.encoded_linear, ev=ev
+                )
             logits = self.model.decrypt_logits(
                 ct, self.num_classes, batch=len(batch), ev=ev
             )

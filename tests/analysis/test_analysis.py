@@ -43,7 +43,7 @@ class TestPareto:
     )
     @settings(max_examples=30, deadline=None)
     def test_frontier_is_monotone(self, raw):
-        pts = [ParetoPoint(str(i), l, a) for i, (l, a) in enumerate(raw)]
+        pts = [ParetoPoint(str(i), lat, a) for i, (lat, a) in enumerate(raw)]
         frontier = pareto_frontier(pts)
         lats = [p.latency for p in frontier]
         accs = [p.accuracy for p in frontier]

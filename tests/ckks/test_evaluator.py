@@ -5,8 +5,8 @@ import pytest
 
 from repro.ckks import (
     CkksContext,
-    CkksParams,
     CkksEvaluator,
+    CkksParams,
     eval_composite_paf,
     eval_odd_poly,
     eval_paf_max,

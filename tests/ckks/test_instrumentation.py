@@ -8,7 +8,7 @@ the analytic cost model and the implementation cannot drift apart.
 import numpy as np
 import pytest
 
-from repro.ckks import CkksContext, CkksParams, CkksEvaluator, eval_paf_relu, keygen
+from repro.ckks import CkksContext, CkksEvaluator, CkksParams, eval_paf_relu, keygen
 from repro.ckks.instrumentation import CountingEvaluator
 from repro.fhe.latency import activation_op_counts, paf_op_counts
 from repro.paf import get_paf

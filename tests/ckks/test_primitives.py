@@ -6,7 +6,12 @@ from hypothesis import strategies as st
 
 from repro.ckks.context import CkksContext, CkksParams
 from repro.ckks.ntt import NttPlan
-from repro.ckks.primes import generate_primes, is_prime, primitive_root_of_unity
+from repro.ckks.primes import (
+    generate_primes,
+    generate_scale_tracking_primes,
+    is_prime,
+    primitive_root_of_unity,
+)
 from repro.ckks.rns import RnsPoly, crt_compose_centered, fast_base_convert
 
 
@@ -43,6 +48,38 @@ class TestPrimes:
     def test_oversized_request_rejected(self):
         with pytest.raises(ValueError):
             generate_primes(1024, [35])
+
+    def test_scale_tracking_chain_pins_canonical_schedule(self):
+        """The adaptive chain keeps S_l ≈ Δ at *every* level of a deep
+        chain, where nearest-to-Δ primes collapse double-exponentially."""
+        n, bits, depth = 512, 27, 31
+        delta = float(2**bits)
+        tracked = generate_scale_tracking_primes(n, bits, depth)
+        assert len(tracked) == depth + 2 and len(set(tracked)) == depth + 2
+        for p in tracked:
+            assert is_prime(p) and (p - 1) % (2 * n) == 0 and p < 2**30
+        s = delta
+        worst = 0.0
+        for level in range(depth, 0, -1):
+            s = s * s / tracked[level]
+            worst = max(worst, abs(s - delta) / delta)
+        assert worst < 1e-2  # bounded for any depth (one prime spacing-ish)
+
+        # the nearest-to-Delta chain diverges at this depth — the whole
+        # reason scale_tracking exists
+        naive = generate_primes(n, [29] + [bits] * depth + [29])
+        s = delta
+        for level in range(depth, 0, -1):
+            s = s * s / naive[level]
+        # double-exponential collapse: underflows to 0 (or blows far past Δ)
+        assert s == 0.0 or abs(s - delta) / delta > 1.0
+
+    def test_scale_tracking_context_opt_in(self):
+        tracked = CkksContext(
+            CkksParams(n=256, scale_bits=25, depth=4, scale_tracking=True)
+        )
+        default = CkksContext(CkksParams(n=256, scale_bits=25, depth=4))
+        assert len(tracked.q_chain) == len(default.q_chain) == 5
 
     def test_primitive_root(self):
         p = generate_primes(64, [25])[0]

@@ -8,7 +8,7 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.ckks import CkksContext, CkksParams, CkksEvaluator, keygen
+from repro.ckks import CkksContext, CkksEvaluator, CkksParams, keygen
 
 _ctx = None
 _ev = None

@@ -53,7 +53,6 @@ class TestExport:
         for _, layer in replaced_layers(model):
             for p in layer.sign.component_params():
                 p.data = p.data * 3.0
-        acc_mangled = evaluate_accuracy(model, ds.x_val, ds.y_val)
         restored = load_coefficients(model, path)
         assert len(restored) == 4
         acc_after = evaluate_accuracy(model, ds.x_val, ds.y_val)

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import SmartPAFConfig, SmartPAFScheduler, pretrain
-from repro.core.scheduler import run_training_group, ScheduleResult
+from repro.core.scheduler import ScheduleResult, run_training_group
 from repro.core.trainer import make_optimizer, set_trainable
 from repro.data import DataLoader
 from repro.data.synthetic import make_pattern_dataset
@@ -69,7 +69,7 @@ class TestSchedulerBranches:
         # AT may or may not fire per-step depending on accuracy dynamics;
         # over 4 sites x 4 groups it fires with near-certainty — and when
         # it does the event label records the new target.
-        at_events = [l for _, l in result.events if l.startswith("AT:")]
+        at_events = [label for _, label in result.events if label.startswith("AT:")]
         for label in at_events:
             assert label.split(":")[1] in ("paf", "other")
 
@@ -90,7 +90,7 @@ class TestSchedulerBranches:
         sched = SmartPAFScheduler(model, ds, lambda: get_paf("f1f1g1g1"), cfg)
         result = sched.run()
         dropout_layers = [m for m in model.modules() if isinstance(m, Dropout)]
-        fired = [l for _, l in result.events if l == "dropout"]
+        fired = [label for _, label in result.events if label == "dropout"]
         if fired:  # branch taken => p was raised
             assert any(d.p == 0.25 for d in dropout_layers)
         # the guard: at most one dropout event per step (p only rises once)

@@ -10,7 +10,7 @@ because keygen plus one encrypted forward is seconds, not milliseconds.
 
 import pytest
 
-from repro.fhe.toy import compiled_toy, compiled_toy_cnn
+from repro.fhe.toy import compiled_toy, compiled_toy_cnn, compiled_toy_resnet
 
 
 @pytest.fixture(scope="session")
@@ -29,3 +29,10 @@ def toy_plain_enc():
 def toy_cnn():
     """(plain model, compiled EncryptedNetwork) — the trained 2-conv CNN."""
     return compiled_toy_cnn(with_model=True)
+
+
+@pytest.fixture(scope="session")
+def toy_resnet():
+    """(plain model, compiled sharded EncryptedNetwork) — the trained
+    2-block toy ResNet, channels across 2 ciphertexts."""
+    return compiled_toy_resnet(with_model=True)

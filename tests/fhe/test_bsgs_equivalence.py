@@ -11,7 +11,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.ckks import CkksContext, CkksParams, CkksEvaluator, keygen
+from repro.ckks import CkksContext, CkksEvaluator, CkksParams, keygen
 from repro.fhe.linear import (
     bsgs_diagonals,
     diagonals_of,

@@ -443,13 +443,13 @@ class TestToyCnnEndToEnd:
     def test_level_schedule_consumed_exactly(self, toy_cnn):
         _, enc = toy_cnn
         ct = enc.forward(enc.encrypt_input(np.zeros(64)))
-        depth_needed = sum(enc._layer_depth(l) for l in enc.layers)
+        depth_needed = sum(enc._layer_depth(layer) for layer in enc.layers)
         assert enc.ctx.max_level - ct.level == depth_needed == 10
 
     def test_layer_input_levels_match_kind_costs(self, toy_cnn):
         _, enc = toy_cnn
         levels = enc.layer_input_levels()
-        kinds = [l.kind for l in enc.layers]
+        kinds = [layer.kind for layer in enc.layers]
         assert kinds == ["linear", "paf", "pool", "linear", "linear"]
         top = enc.ctx.max_level
         # conv(1) + PAF(6) + pool(1) + conv(1) then the dense head

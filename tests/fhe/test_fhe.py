@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.ckks import CkksContext, CkksParams, CkksEvaluator, keygen
+from repro.ckks import CkksContext, CkksEvaluator, CkksParams, keygen
 from repro.fhe import (
     analytic_relu_cost,
     compile_mlp,

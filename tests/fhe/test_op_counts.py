@@ -21,7 +21,7 @@ Acceptance invariants:
 import numpy as np
 import pytest
 
-from repro.ckks import CkksContext, CkksParams, CkksEvaluator, keygen
+from repro.ckks import CkksContext, CkksEvaluator, CkksParams, keygen
 from repro.ckks.instrumentation import CountingEvaluator
 from repro.ckks.poly_eval import eval_paf_relu
 from repro.ckks.poly_plan import plan_paf_relu
@@ -257,6 +257,59 @@ class TestCnnOpCounts:
     def test_galois_key_set_far_below_naive(self, compiled):
         naive_steps = {d for p in compiled.matvec_plans.values() for d in p.diag_steps}
         assert len(compiled.keys.galois) < len(naive_steps) // 3
+
+
+class TestResnetOpCounts:
+    """Full-forward regression anchors for the compiled toy ResNet
+    (stem + 2 BasicBlocks + pool + dense on 1x8x8, f1∘g2 PAFs, channels
+    sharded across 2 ciphertexts).
+
+    Sharding multiplies the activation cost by the shard count (each
+    shard runs the PAF) but keeps every conv block at O(√D) keyswitches
+    with one hoisted decomposition per *input shard* per layer; the two
+    residual merges cost 2 alignment corrections + adds each, and only
+    the downsampling block pays a projection matvec.
+    """
+
+    @pytest.fixture(scope="class")
+    def compiled(self, toy_resnet):
+        return toy_resnet[1]
+
+    def test_planned_forward_exact_counts(self, compiled):
+        counting = CountingEvaluator(compiled.ev)
+        cts = compiled.encrypt_batch_shards([np.zeros(64)])
+        counting.reset()
+        compiled.forward_shards(cts, ev=counting)
+        assert dict(counting.counts) == {
+            "hoist_decompose": 17,
+            "rotate_hoisted": 58,
+            "rotate": 120,
+            "mul_plain": 644,
+            "add": 621,
+            "add_plain": 21,
+            "mul": 48,          # 4 f1∘g2 PAFs x 2 shards x 6 + gate mults
+            "rescale": 123,
+            "align_correction": 20,
+            "mod_switch_to": 40,
+        }
+        # the opcount_baseline.json pins (CI gate) must stay in lockstep
+        assert counting.keyswitch_count == 226
+        assert counting.nonscalar_mult_count == 48
+
+    def test_every_conv_block_plans_bsgs(self, compiled):
+        for plans in compiled.shard_plans.values():
+            for row in plans:
+                for plan in row:
+                    if plan is not None:
+                        assert plan.use_bsgs
+                        assert plan.bsgs_keyswitches < plan.naive_keyswitches
+
+    def test_exact_scale_plans_everywhere(self, compiled):
+        """Sharded compilation must force exact-scale activation plans —
+        ladder drift doubles per level and overflows a 31-level chain."""
+        for plan in compiled.paf_plans.values():
+            assert plan.exact_scales
+            assert all(p.use_ps for p in plan.components)
 
 
 #: pinned nonscalar-mult counts of the encrypted PAF-ReLU per registry form:

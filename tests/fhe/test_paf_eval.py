@@ -17,8 +17,8 @@ from hypothesis import strategies as st
 
 from repro.ckks import (
     CkksContext,
-    CkksParams,
     CkksEvaluator,
+    CkksParams,
     eval_composite_paf,
     eval_odd_poly,
     eval_paf_max,

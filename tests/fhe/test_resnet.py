@@ -1,0 +1,552 @@
+"""Differential suite for multi-ciphertext residual compilation.
+
+Four rings of verification, cheapest first:
+
+* **multi-grid geometry**: :class:`~repro.fhe.packing.MultiGridLayout`
+  sharding/pooling invariants, no crypto;
+* **pure-numpy sharded lowering differentials** (hypothesis-driven): the
+  per-shard-pair conv/linear block matrices reproduce
+  ``repro.nn.functional`` across shard counts K ∈ {1, 2, 4};
+* **encrypted residual differentials**: level-alignment edge cases
+  (branch gaps of 0, 1 and 2 levels), identity and 1×1-projection
+  BasicBlocks on real ciphertexts vs the plaintext forward;
+* **the trained toy ResNet end to end**: 2 residual blocks, a stride-2
+  projection downsample, channels sharded across 2 ciphertexts — single
+  and SIMD-batched through :class:`repro.serve.artifact.ModelArtifact`,
+  decrypting to plaintext logits within rtol 1e-3.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ckks import CkksParams
+from repro.fhe.cnn import (
+    compile_cnn,
+    compile_resnet,
+    conv2d_shard_matrices,
+    linear_shard_matrices,
+)
+from repro.fhe.latency import (
+    analytic_residual_merge_cost,
+    analytic_sharded_matvec_cost,
+    residual_merge_op_counts,
+    sharded_matvec_op_counts,
+)
+from repro.fhe.linear import grouped_diagonals, shard_hoist_steps
+from repro.fhe.network import EncryptedNetwork, _Layer
+from repro.fhe.packing import GridLayout, MultiGridLayout
+from repro.nn import functional as F
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    Linear,
+)
+from repro.nn.models.resnet import BasicBlock, toy_resnet
+from repro.nn.module import Sequential
+from repro.nn.tensor import Tensor
+from repro.serve.artifact import ModelArtifact
+
+# deep-chain contexts need the scale-tracking prime schedule
+MINI_PARAMS = CkksParams(n=256, scale_bits=25, depth=4, scale_tracking=True)
+BLOCK_PARAMS = CkksParams(n=256, scale_bits=27, depth=16, scale_tracking=True)
+
+
+# ----------------------------------------------------------------------
+# MultiGridLayout geometry
+# ----------------------------------------------------------------------
+class TestMultiGridLayout:
+    def test_split_balances_contiguous_channels(self):
+        mg = MultiGridLayout.split(5, 4, 4, 2)
+        assert [g.channels for g in mg.shards] == [3, 2]
+        assert mg.channel_offsets == (0, 3)
+        assert mg.total_channels == 5
+        assert mg.shard_of(0) == (0, 0)
+        assert mg.shard_of(3) == (1, 0)
+        assert mg.shard_of(4) == (1, 1)
+
+    def test_never_more_shards_than_channels(self):
+        assert MultiGridLayout.split(1, 8, 8, 4).num_shards == 1
+        assert MultiGridLayout.split(3, 8, 8, 8).num_shards == 3
+
+    def test_pooled_keeps_shared_geometry(self):
+        mg = MultiGridLayout.split(4, 8, 8, 2).pooled(2, 2)
+        for g in mg.shards:
+            assert (g.height, g.width) == (4, 4)
+            assert (g.row_stride, g.col_stride) == (16, 2)
+        assert mg.span == mg.shards[0].span
+
+    def test_global_pooled_one_slot_per_channel(self):
+        mg = MultiGridLayout.split(4, 4, 4, 2).global_pooled()
+        np.testing.assert_array_equal(mg.shards[0].positions().ravel(), [0, 16])
+
+    def test_split_values_is_contiguous_nchw(self):
+        mg = MultiGridLayout.split(3, 2, 2, 2)
+        parts = mg.split_values(np.arange(12))
+        np.testing.assert_array_equal(parts[0], np.arange(8))
+        np.testing.assert_array_equal(parts[1], np.arange(8, 12))
+
+    def test_mismatched_geometry_rejected(self):
+        with pytest.raises(ValueError, match="geometries disagree"):
+            MultiGridLayout(
+                (GridLayout.dense(1, 4, 4), GridLayout.dense(1, 2, 2))
+            )
+
+    def test_wrong_value_count_rejected(self):
+        with pytest.raises(ValueError, match="expected"):
+            MultiGridLayout.split(2, 2, 2, 2).split_values(np.arange(9))
+
+
+# ----------------------------------------------------------------------
+# pure-numpy sharded lowering differentials (no crypto)
+# ----------------------------------------------------------------------
+def _apply_blocks(blocks, biases, in_mg, parts):
+    """Numpy model of encrypted_matvec_shards on scattered slot vectors."""
+    outs = []
+    for j, row in enumerate(blocks):
+        acc = None
+        for i, mat in enumerate(row):
+            if mat is None:
+                continue
+            g = in_mg.shards[i]
+            vec = np.zeros(mat.shape[1])
+            vec[g.positions().ravel()] = parts[i]
+            y = mat @ vec
+            acc = y if acc is None else acc + y
+        if biases is not None and biases[j] is not None:
+            acc = acc + biases[j]
+        outs.append(acc)
+    return outs
+
+
+conv_cases = st.tuples(
+    st.sampled_from([1, 2, 4]),  # shard count K
+    st.integers(1, 4),           # in channels
+    st.integers(1, 4),           # out channels
+    st.sampled_from([4, 5, 6]),  # H = W
+    st.sampled_from([1, 2]),     # stride
+    st.integers(0, 1),           # padding
+)
+
+
+class TestShardedConvLowering:
+    @settings(max_examples=60, deadline=None)
+    @given(conv_cases, st.integers(0, 10_000))
+    def test_blocks_match_functional_conv(self, case, seed):
+        k_shards, ic, oc, hw, stride, padding = case
+        if 3 > hw + 2 * padding:
+            return
+        rng = np.random.default_rng(seed)
+        conv = Conv2d(ic, oc, 3, stride=stride, padding=padding, rng=rng)
+        conv.bias.data = rng.normal(size=oc)
+        x = rng.normal(size=(1, ic, hw, hw))
+        ref = F.conv2d(
+            Tensor(x), conv.weight, conv.bias, stride, padding
+        ).data.ravel()
+
+        mg = MultiGridLayout.split(ic, hw, hw, k_shards)
+        blocks, biases, out_mg = conv2d_shard_matrices(
+            conv.weight.data, conv.bias.data, mg,
+            stride=stride, padding=padding, num_shards=k_shards,
+        )
+        got = np.concatenate(
+            _apply_blocks(blocks, biases, mg, mg.split_values(x.ravel()))
+        )
+        np.testing.assert_allclose(got, ref, atol=1e-10)
+        assert out_mg.num_elements == len(ref)
+        assert out_mg.num_shards == min(k_shards, oc)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.sampled_from([1, 2, 4]),
+        st.integers(2, 4),
+        st.integers(2, 5),
+        st.integers(0, 10_000),
+    )
+    def test_linear_head_reads_all_shards(self, k_shards, c, out_f, seed):
+        rng = np.random.default_rng(seed)
+        mg = MultiGridLayout.split(c, 4, 4, k_shards).pooled(2, 2)
+        w = rng.normal(size=(out_f, mg.num_elements))
+        blocks = linear_shard_matrices(w, mg)
+        assert len(blocks) == 1 and len(blocks[0]) == mg.num_shards
+        x = rng.normal(size=mg.num_elements)
+        bounds = np.cumsum([g.num_elements for g in mg.shards[:-1]])
+        got = _apply_blocks(blocks, None, mg, np.split(x, bounds))[0]
+        np.testing.assert_allclose(got, w @ x, atol=1e-10)
+
+    def test_channel_mismatch_rejected(self):
+        conv = Conv2d(2, 1, 3)
+        with pytest.raises(ValueError, match="channel mismatch"):
+            conv2d_shard_matrices(
+                conv.weight.data, None, MultiGridLayout.split(1, 4, 4, 1)
+            )
+
+    def test_grouped_diagonals_cover_both_plan_kinds(self):
+        """Naive-planned blocks regroup as one giant-step-0 group whose
+        hoist steps are exactly the nonzero diagonal indices."""
+        from repro.fhe.linear import diagonals_of, plan_matvec
+
+        w = np.eye(6) + np.diag(np.ones(5), 1)  # 2 diagonals: naive wins
+        diags = diagonals_of(w, 32)
+        plan = plan_matvec(diags.keys(), 6)
+        assert not plan.use_bsgs
+        groups = grouped_diagonals(diags, plan)
+        assert set(groups) == {0}
+        assert shard_hoist_steps([[groups]], 0) == [1]
+
+
+# ----------------------------------------------------------------------
+# encrypted residual differentials
+# ----------------------------------------------------------------------
+def _eater():
+    """A level-eater layer: masked identity multiply, one level, no rotation."""
+    return _Layer(kind="pool", shifts=((), ()), pool_scale=1.0)
+
+
+class TestLevelAlignment:
+    @pytest.mark.parametrize("gap", [0, 1, 2])
+    def test_identity_merge_across_level_gaps(self, gap):
+        """Residual add where the branches differ by 0, 1 and 2 levels:
+        the skip aligns to the main branch exactly, the output is
+        ``2·x``, and the merge consumes no level of its own."""
+        size = 8
+        layers = [_Layer(kind="linear", blocks=[[np.eye(size)]])]
+        layers.append(_Layer(kind="residual"))
+        tap = len(layers) - 1
+        for _ in range(gap):
+            layers.append(_eater())
+        layers.append(_Layer(kind="merge", tap=tap))
+        enc = EncryptedNetwork(layers, size=size, params=MINI_PARAMS, seed=0)
+        x = np.random.default_rng(gap).normal(size=size)
+        out = enc.forward_shards(enc.encrypt_batch_shards([x]))
+        got = enc.decrypt_logits(out[0], size)
+        np.testing.assert_allclose(got, 2 * x, atol=1e-3)
+        assert enc.ctx.max_level - out[0].level == 1 + gap
+
+    @pytest.mark.parametrize("gap", [1, 2])
+    def test_sharded_identity_merge_across_level_gaps(self, gap):
+        """The same alignment edge cases with K=2 shards: each shard's
+        skip aligns and adds independently."""
+        size = 4
+        eye = np.eye(size)
+        blocks = [[eye, None], [None, eye]]
+        layers = [_Layer(kind="linear", blocks=[row[:] for row in blocks])]
+        layers.append(_Layer(kind="residual"))
+        tap = len(layers) - 1
+        for _ in range(gap):
+            layers.append(_eater())
+        layers.append(_Layer(kind="merge", tap=tap))
+        enc = EncryptedNetwork(
+            layers, size=size, params=MINI_PARAMS, seed=0, input_shards=2
+        )
+        enc.input_splits = [size, size]
+        rng = np.random.default_rng(gap)
+        x = rng.normal(size=2 * size)
+        out = enc.forward_shards(enc.encrypt_batch_shards([x]))
+        got = np.concatenate(
+            [enc.decrypt_logits(ct, size) for ct in out]
+        )
+        np.testing.assert_allclose(got, 2 * x, atol=1e-3)
+
+    def test_projection_merge_needs_level_gap(self):
+        """A projection skip with a 0-level main branch cannot rescale
+        into alignment — rejected at construction."""
+        size = 4
+        layers = [
+            _Layer(kind="linear", blocks=[[np.eye(size)]]),
+            _Layer(kind="residual"),
+            _Layer(kind="merge", blocks=[[np.eye(size)]], tap=1),
+        ]
+        with pytest.raises(ValueError, match="projection skip needs"):
+            EncryptedNetwork(layers, size=size, params=MINI_PARAMS, seed=0)
+
+    def test_all_zero_output_shard_rejected_at_compile(self):
+        """An output shard whose every weight block is zero fails at
+        compile (like the single-ct all-zero-weight rejection), not on
+        the first encrypted forward."""
+        layers = [_Layer(kind="linear", blocks=[[np.zeros((4, 4))]])]
+        with pytest.raises(ValueError, match="no nonzero block"):
+            EncryptedNetwork(layers, size=4, params=MINI_PARAMS, seed=0)
+
+    def test_unbalanced_taps_rejected(self):
+        size = 4
+        layers = [
+            _Layer(kind="linear", blocks=[[np.eye(size)]]),
+            _Layer(kind="residual"),
+        ]
+        with pytest.raises(ValueError, match="never merged"):
+            EncryptedNetwork(layers, size=size, params=MINI_PARAMS, seed=0)
+        with pytest.raises(ValueError, match="no open residual tap"):
+            EncryptedNetwork(
+                [layers[0], _Layer(kind="merge", tap=0)],
+                size=size, params=MINI_PARAMS, seed=0,
+            )
+
+
+def _trained_block_net(stride: int, ch_out: int, seed: int = 3):
+    """Stem conv-BN + one BasicBlock + head, PAF-replaced and frozen."""
+    from repro.core import calibrate_static_scales, convert_to_static, replace_all
+    from repro.paf import get_paf
+
+    rng = np.random.default_rng(seed)
+    model = Sequential(
+        Conv2d(1, 2, 3, padding=1, bias=False, rng=rng),
+        BatchNorm2d(2, track_running_stats=True),
+        BasicBlock(2, ch_out, stride, rng=rng, track_running_stats=True),
+        Flatten(),
+        Linear(ch_out * (16 // (stride * stride)), 3, rng=rng),
+    )
+    xs = rng.normal(size=(8, 1, 4, 4))
+    model.train()
+    for _ in range(3):
+        model(Tensor(xs))  # populate BN running statistics
+    replace_all(model, get_paf("f1g2"), xs[:2])
+    calibrate_static_scales(model, [xs])
+    convert_to_static(model)
+    model.eval()
+    return model, rng
+
+
+class TestEncryptedBasicBlock:
+    def test_identity_skip_matches_plaintext(self):
+        model, rng = _trained_block_net(stride=1, ch_out=2)
+        enc = compile_resnet(model, (1, 4, 4), BLOCK_PARAMS, num_shards=2, seed=0)
+        kinds = [layer.kind for layer in enc.layers]
+        assert kinds == [
+            "linear", "residual", "linear", "paf", "linear", "merge",
+            "paf", "linear",
+        ]
+        assert enc.layers[5].blocks is None  # identity skip: no projection
+        x = rng.normal(size=(1, 1, 4, 4))
+        ref = model(Tensor(x)).data.ravel()
+        out = enc.forward_shards(enc.encrypt_input_shards(x.ravel()))
+        got = enc.decrypt_logits(out[0], 3)
+        np.testing.assert_allclose(got, ref, atol=2e-3)
+
+    def test_projection_skip_matches_plaintext(self):
+        """Stride-2 downsampling block: the 1×1-projection conv (BN
+        folded) runs on the saved branch and lands on the main branch's
+        reduced-resolution layout."""
+        model, rng = _trained_block_net(stride=2, ch_out=4)
+        enc = compile_resnet(model, (1, 4, 4), BLOCK_PARAMS, num_shards=2, seed=0)
+        merge = next(layer for layer in enc.layers if layer.kind == "merge")
+        assert merge.blocks is not None  # projection skip compiled
+        x = rng.normal(size=(1, 1, 4, 4))
+        ref = model(Tensor(x)).data.ravel()
+        out = enc.forward_shards(enc.encrypt_input_shards(x.ravel()))
+        got = enc.decrypt_logits(out[0], 3)
+        np.testing.assert_allclose(got, ref, atol=2e-3)
+
+    def test_branch_schedule_exposed(self):
+        model, _ = _trained_block_net(stride=2, ch_out=4)
+        enc = compile_resnet(model, (1, 4, 4), BLOCK_PARAMS, num_shards=2, seed=0)
+        levels = enc.layer_input_levels()
+        branch = enc.merge_branch_levels()
+        (merge_idx,) = branch
+        tap_idx = enc.merge_taps[merge_idx]
+        # the skip branch is read at the tap's level, 8 levels above the
+        # main branch (conv + PAF + conv)
+        assert branch[merge_idx] == levels[tap_idx]
+        assert branch[merge_idx] - levels[merge_idx] == 8
+
+
+class TestCompilerRejections:
+    def test_compile_cnn_rejects_residual_blocks(self):
+        model, _ = _trained_block_net(stride=1, ch_out=2)
+        with pytest.raises(TypeError, match="compile_resnet"):
+            compile_cnn(model, (1, 4, 4), BLOCK_PARAMS)
+
+    def test_leading_residual_block_rejected(self):
+        """A model opening with a block has no stem to zero the packed
+        input's replica half — compile must refuse."""
+        model = Sequential(BasicBlock(1, 1, 1, track_running_stats=True))
+        with pytest.raises(TypeError, match="stem"):
+            compile_resnet(model, (1, 4, 4), BLOCK_PARAMS, num_shards=1)
+
+    def test_standalone_bn_rejected(self):
+        model = Sequential(
+            Conv2d(1, 2, 3, padding=1),
+            AvgPool2d(2),
+            BatchNorm2d(2, track_running_stats=True),
+            Flatten(),
+            Linear(8, 2),
+        )
+        with pytest.raises(TypeError, match="standalone BatchNorm"):
+            compile_resnet(model, (1, 4, 4), MINI_PARAMS, num_shards=1)
+
+
+# ----------------------------------------------------------------------
+# analytic cost model consistency
+# ----------------------------------------------------------------------
+class TestShardedCostModel:
+    def test_predict_shards_round_trip(self):
+        """encrypt shards -> forward -> decrypt -> argmax matches the
+        plaintext prediction on a fast PAF-free mini net."""
+        rng = np.random.default_rng(5)
+        model = Sequential(
+            Conv2d(2, 4, 3, padding=1, rng=rng),
+            AvgPool2d(2),
+            Flatten(),
+            Linear(16, 3, rng=rng),
+        )
+        model.eval()
+        enc = compile_resnet(model, (2, 4, 4), MINI_PARAMS, num_shards=2, seed=0)
+        x = rng.normal(size=32)
+        ref = model(Tensor(x.reshape(1, 2, 4, 4))).data.ravel()
+        assert enc.predict_shards(x, 3) == int(np.argmax(ref))
+
+    def test_sharded_counts_match_measured_mini_net(self):
+        """The analytic per-layer sharded-matvec counts reproduce the
+        measured rotation/decompose counts of the executor."""
+        from repro.ckks.instrumentation import CountingEvaluator
+
+        rng = np.random.default_rng(0)
+        model = Sequential(
+            Conv2d(2, 4, 3, padding=1, rng=rng),
+            Flatten(),
+            Linear(64, 3, rng=rng),
+        )
+        model.eval()
+        enc = compile_resnet(model, (2, 4, 4), MINI_PARAMS, num_shards=2, seed=0)
+        counting = CountingEvaluator(enc.ev)
+        cts = enc.encrypt_batch_shards([np.zeros(32)])
+        counting.reset()
+        enc.forward_shards(cts, ev=counting)
+        expected = {"rotate": 0, "rotate_hoisted": 0, "hoist_decompose": 0,
+                    "pt_mult": 0, "rescale": 0}
+        for plans in enc.shard_plans.values():
+            c = sharded_matvec_op_counts(plans)
+            for k in expected:
+                expected[k] += c[k]
+        # the only extra keyswitches are the head layer's per-shard
+        # replication rotations (the conv's 2 output shards)
+        assert counting.counts["rotate"] == expected["rotate"] + 2
+        assert counting.counts["rotate_hoisted"] == expected["rotate_hoisted"]
+        assert counting.counts["hoist_decompose"] == expected["hoist_decompose"]
+        assert counting.counts["mul_plain"] == expected["pt_mult"]
+        assert counting.counts["rescale"] == expected["rescale"]
+
+    def test_merge_counts_identity_and_projection(self):
+        identity = residual_merge_op_counts(2)
+        assert identity == {
+            "rotate": 0, "rotate_hoisted": 0, "hoist_decompose": 0,
+            "pt_mult": 2, "rescale": 2, "add": 2,
+        }
+        gap0 = residual_merge_op_counts(2, level_gap=0)
+        assert gap0["pt_mult"] == 0 and gap0["add"] == 2
+        from repro.fhe.linear import diagonals_of, plan_matvec
+
+        w = np.random.default_rng(1).normal(size=(8, 8))
+        plan = plan_matvec(diagonals_of(w, 64).keys(), 8)
+        proj = residual_merge_op_counts(2, proj_plans=[[plan, None], [None, plan]])
+        assert proj["rotate"] == 2 * sum(1 for g in plan.giant_steps if g) + 2
+        assert proj["rescale"] == 2 + 2
+
+    def test_analytic_costs_price_every_charged_op(self):
+        """Unit-price micros make the cost equal the op-count total, and a
+        projection merge always costs more than an identity one."""
+        from repro.fhe.linear import diagonals_of, plan_matvec
+
+        micros = {k: 1.0 for k in (
+            "rotate", "rotate_hoisted", "hoist_decompose", "pt_mult",
+            "rescale", "add",
+        )}
+        w = np.random.default_rng(2).normal(size=(8, 8))
+        plan = plan_matvec(diagonals_of(w, 64).keys(), 8)
+        plans = [[plan, plan], [plan, plan]]
+        counts = sharded_matvec_op_counts(plans)
+        assert analytic_sharded_matvec_cost(plans, micros) == sum(counts.values())
+        identity_cost = analytic_residual_merge_cost(2, micros)
+        proj_cost = analytic_residual_merge_cost(2, micros, proj_plans=plans)
+        assert proj_cost > identity_cost > 0
+        # gap 0 drops the alignment ops but never the per-shard adds
+        assert analytic_residual_merge_cost(2, micros, level_gap=0) == 2
+
+
+# ----------------------------------------------------------------------
+# the trained toy ResNet, end to end (session-scoped compile)
+# ----------------------------------------------------------------------
+class TestToyResnetEndToEnd:
+    def test_acceptance_geometry(self, toy_resnet):
+        """≥2 residual blocks, ≥1 stride-2 downsample (projection merge),
+        channels sharded across ≥2 ciphertexts."""
+        _, enc = toy_resnet
+        kinds = [layer.kind for layer in enc.layers]
+        assert kinds.count("residual") == 2 and kinds.count("merge") == 2
+        merges = [layer for layer in enc.layers if layer.kind == "merge"]
+        assert sum(1 for m in merges if m.blocks is not None) == 1
+        widest = max(
+            len(plans) for plans in enc.shard_plans.values()
+        )
+        assert widest >= 2  # some layer writes >= 2 output shards
+        assert enc.sharded
+
+    def test_single_request_matches_plaintext_logits(self, toy_resnet):
+        model, enc = toy_resnet
+        rng = np.random.default_rng(11)
+        x = rng.normal(size=(1, 1, 8, 8))
+        ref = model(Tensor(x)).data.ravel()
+        out = enc.forward_shards(enc.encrypt_input_shards(x.ravel()))
+        got = enc.decrypt_logits(out[0], 3)
+        np.testing.assert_allclose(got, ref, rtol=1e-3, atol=1e-4)
+
+    def test_batched_via_serve_artifact(self, toy_resnet):
+        """The acceptance path: SIMD-batched requests through the
+        pre-encoded ModelArtifact match per-row plaintext logits, and a
+        second batch is a pure cache hit."""
+        model, enc = toy_resnet
+        rng = np.random.default_rng(12)
+        xs = [rng.normal(size=64) for _ in range(enc.max_batch)]
+        ref = model(Tensor(np.stack(xs).reshape(-1, 1, 8, 8))).data
+        artifact = ModelArtifact(enc)
+        artifact.prewarm_activations()
+        out = artifact.forward(enc.encrypt_batch_shards(xs))
+        got = enc.decrypt_logits(out[0], 3, batch=len(xs))
+        np.testing.assert_allclose(got, ref, rtol=1e-3, atol=1e-4)
+        misses_before = artifact.cache.misses
+        artifact.forward(enc.encrypt_batch_shards(xs))
+        assert artifact.cache.misses == misses_before
+
+    def test_inference_server_detects_sharded_model(self, toy_resnet):
+        """The full serving stack: InferenceServer routes sharded models
+        through encrypt_batch_shards/forward_shards and validates the
+        sharded input width at the door."""
+        from repro.serve import InferenceServer
+
+        model, enc = toy_resnet
+        rng = np.random.default_rng(13)
+        xs = [rng.normal(size=64) for _ in range(enc.max_batch)]
+        ref = model(Tensor(np.stack(xs).reshape(-1, 1, 8, 8))).data
+        with InferenceServer(
+            ModelArtifact(enc), num_classes=3, num_workers=1, warm=False,
+            max_wait_ms=50,
+        ) as srv:
+            with pytest.raises(ValueError, match="sharded input dim"):
+                srv.submit(np.zeros(63))
+            results = srv.predict_many(xs)
+        for row, res in zip(ref, results):
+            np.testing.assert_allclose(res.logits, row, rtol=1e-3, atol=1e-4)
+            assert res.prediction == int(np.argmax(row))
+
+    def test_level_schedule_consumed_exactly(self, toy_resnet):
+        _, enc = toy_resnet
+        out = enc.forward_shards(enc.encrypt_input_shards(np.zeros(64)))
+        depth_needed = enc._validate_schedule(enc.layers)
+        assert enc.ctx.max_level - out[0].level == depth_needed == 31
+
+    def test_galois_keys_cover_forward(self, toy_resnet):
+        """The compiled key set suffices (no KeyError in the fixture's
+        forwards) and stays far below one key per naive diagonal."""
+        _, enc = toy_resnet
+        naive_steps = {
+            d
+            for plans in enc.shard_plans.values()
+            for row in plans
+            for p in row
+            if p is not None
+            for d in p.diag_steps
+        }
+        assert len(enc.keys.galois) < len(naive_steps)

@@ -5,7 +5,7 @@ import pytest
 
 import repro.nn.functional as F
 from repro.nn import Adam, MaxPool2d, ReLU, Tensor
-from repro.nn.models import MLP, ResNet18, SmallCNN, VGG19, resnet18, vgg19
+from repro.nn.models import MLP, VGG19, ResNet18, SmallCNN, resnet18, vgg19
 
 
 def count_nonpoly(model):

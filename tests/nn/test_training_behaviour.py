@@ -3,7 +3,7 @@
 import numpy as np
 
 import repro.nn.functional as F
-from repro.nn import Adam, SGD, Tensor, no_grad
+from repro.nn import SGD, Adam, Tensor, no_grad
 from repro.nn.models import MLP, small_cnn
 
 

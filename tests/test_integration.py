@@ -65,7 +65,7 @@ class TestFullPipeline:
             lambda: get_paf("f1g2"),
             SmartPAFConfig.quick(epochs_per_group=1, max_groups_per_step=1),
         )
-        result = runner.fit(model, ds)
+        runner.fit(model, ds)
 
         enc = compile_mlp(model, CkksParams(n=1024, scale_bits=25, depth=9), seed=0)
         model.eval()

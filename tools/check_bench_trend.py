@@ -1,0 +1,168 @@
+"""Benchmark-trend gate for CI: latency-model cost must not creep upward.
+
+    python tools/check_bench_trend.py CURRENT.json
+        [--history benchmarks/bench_history.jsonl] [--tolerance 0.10]
+        [--append] [--opcounts OPCOUNTS.json]
+
+``CURRENT.json`` is the record emitted by
+``benchmarks/bench_resnet_forward.py --json``: per-model
+``model_cost_seconds`` (measured HE-op counts × pinned reference per-op
+timings — deterministic, so the gate tracks *plan* changes, not CI
+machine jitter).  The history is a JSONL file of timestamped records;
+each run compares against the **best (minimum) recorded cost** per
+model and fails when the current cost exceeds it by more than
+``--tolerance`` (default 10%).  Gating on the historical best — not the
+previous run — closes the slow-creep loophole where repeated
+sub-tolerance regressions each pass and compound; a *deliberate* cost
+increase (a bigger model, an accepted trade) is recorded by reseeding
+the history file, exactly like refreshing ``opcount_baseline.json``.
+
+``--append`` writes the current record (plus the optional op-count gate
+summary from ``--opcounts``) to the history afterwards — the CI job
+appends on every push to main and republishes the grown history as an
+artifact, so the trend survives across runs.  A failing check skips the
+append: a regressed record must never become the baseline the next push
+is compared against.  An empty or missing history seeds itself instead
+of failing.  Stdlib only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+GATED_METRIC = "model_cost_seconds"
+
+
+def load_history(path: Path) -> list:
+    """Parse the JSONL history; unparseable lines are skipped loudly."""
+    records = []
+    if not path.exists():
+        return records
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            print(f"note: skipping malformed history line {lineno}", file=sys.stderr)
+    return records
+
+
+def best_costs(history: list) -> dict:
+    """Per-model minimum recorded cost — the ratchet the gate holds."""
+    best: dict = {}
+    for record in history:
+        for model, rec in record.get("models", {}).items():
+            cost = rec.get(GATED_METRIC)
+            if cost is None:
+                continue
+            if model not in best or cost < best[model]:
+                best[model] = cost
+    return best
+
+
+def compare(history: list, current: dict, tolerance: float) -> tuple:
+    """Returns ``(regressions, improvements, notes)`` message lists.
+
+    Gates each model's current cost against its *best* historical record
+    so sub-tolerance regressions cannot compound run over run.
+    """
+    regressions: list = []
+    improvements: list = []
+    notes: list = []
+    best = best_costs(history)
+    cur_models = current.get("models", {})
+    for model, b in sorted(best.items()):
+        cur = cur_models.get(model)
+        if cur is None or cur.get(GATED_METRIC) is None:
+            regressions.append(f"{model}.{GATED_METRIC}: missing from current run")
+            continue
+        c = cur[GATED_METRIC]
+        if c > b * (1 + tolerance):
+            regressions.append(
+                f"{model}.{GATED_METRIC}: {c} vs best recorded {b} "
+                f"(+{(c - b) / b:.1%} > {tolerance:.0%} tolerance)"
+            )
+        elif c < b:
+            improvements.append(
+                f"{model}.{GATED_METRIC}: best {b} -> {c} ({(c - b) / b:.1%})"
+            )
+    for model in sorted(set(cur_models) - set(best)):
+        notes.append(f"{model}: first record (no trend yet)")
+    return regressions, improvements, notes
+
+
+def main(argv) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="JSON from bench_resnet_forward.py --json")
+    parser.add_argument(
+        "--history",
+        default=str(
+            Path(__file__).resolve().parent.parent
+            / "benchmarks" / "bench_history.jsonl"
+        ),
+    )
+    parser.add_argument("--tolerance", type=float, default=0.10)
+    parser.add_argument(
+        "--append",
+        action="store_true",
+        help="record the current run in the history after the check",
+    )
+    parser.add_argument(
+        "--opcounts",
+        help="op-count gate JSON (opcount_summary.py --json) to ride along "
+        "in the appended record",
+    )
+    args = parser.parse_args(argv[1:])
+
+    with open(args.current) as fh:
+        current = json.load(fh)
+    history_path = Path(args.history)
+    history = load_history(history_path)
+
+    if not history:
+        print("note: empty benchmark history — this run seeds the trend")
+        regressions: list = []
+    else:
+        regressions, improvements, notes = compare(history, current, args.tolerance)
+        for msg in notes:
+            print(f"note: {msg}")
+        for msg in improvements:
+            print(f"improved: {msg}")
+        for msg in regressions:
+            print(f"REGRESSION: {msg}", file=sys.stderr)
+
+    if args.append and regressions:
+        # a regressed record must never become the next run's baseline —
+        # appending it would green-light the regression on the next push
+        print(
+            "not appending: the regressed record would poison the trend "
+            "baseline", file=sys.stderr,
+        )
+    elif args.append:
+        record = {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "models": current.get("models", {}),
+        }
+        if args.opcounts:
+            with open(args.opcounts) as fh:
+                record["opcounts"] = json.load(fh).get("models", {})
+        history_path.parent.mkdir(parents=True, exist_ok=True)
+        with open(history_path, "a") as fh:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+        print(f"appended record #{len(history) + 1} to {history_path}")
+
+    print(
+        f"check_bench_trend: {len(history)} prior records, "
+        f"{len(regressions)} regressions"
+    )
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
