@@ -3,7 +3,7 @@
 The benchmark half of the CI trend gate (``tools/check_bench_trend.py``):
 
     PYTHONPATH=src python benchmarks/bench_resnet_forward.py [--json PATH]
-        [--skip-wall] [--from-opcounts OPCOUNTS.json]
+        [--skip-wall] [--from-opcounts OPCOUNTS.json] [--trace TRACE.json]
 
 Compiles the shared toy ResNet (:func:`repro.fhe.toy.compiled_toy_resnet`
 — 2 residual blocks, stride-2 projection skip, channels sharded across 2
@@ -33,25 +33,9 @@ import time
 import numpy as np
 
 from repro.ckks.instrumentation import CountingEvaluator
-from repro.fhe.latency import cost_from_counts
+from repro.fhe.latency import REFERENCE_MICROS, cost_from_counts
 from repro.fhe.toy import compiled_toy_resnet
-
-#: Reference per-op seconds, measured once via
-#: ``repro.fhe.latency.measure_op_micros(TOY_RESNET_PARAMS)`` on the
-#: baseline dev box and pinned so the model cost is machine-independent.
-#: ``align_correction`` is charged through its mul_plain + rescale
-#: (CountingEvaluator books all three), so it carries no price itself.
-REFERENCE_MICROS = {
-    "mul": 0.1396,
-    "mul_plain": 0.0033,
-    "rescale": 0.0102,
-    "add": 0.00017,
-    "add_plain": 0.00017,
-    "rotate": 0.1588,
-    "rotate_hoisted": 0.0304,
-    "hoist_decompose": 0.1167,
-    "mod_switch_to": 0.0005,
-}
+from repro.obs import TracingEvaluator, format_slack_report, slack_report
 
 
 def model_cost_seconds(counts: dict) -> float:
@@ -61,13 +45,20 @@ def model_cost_seconds(counts: dict) -> float:
     return cost_from_counts(counts, REFERENCE_MICROS)
 
 
-def bench(skip_wall: bool = False) -> dict:
+def bench(skip_wall: bool = False, trace_path: str | None = None) -> dict:
     enc = compiled_toy_resnet()
     in_dim = sum(enc.input_splits)
     counting = CountingEvaluator(enc.ev)
+    ev = TracingEvaluator(counting) if trace_path else counting
     cts = enc.encrypt_batch_shards([np.zeros(in_dim)])
     counting.reset()
-    enc.forward_shards(cts, ev=counting)
+    if trace_path:
+        ev.tracer.reset()
+    enc.forward_shards(cts, ev=ev)
+    if trace_path:
+        ev.tracer.write_json(trace_path, meta={"model": "toy_resnet"})
+        print(format_slack_report(slack_report(ev.tracer, model="toy_resnet")))
+        print()
     record = {
         "model_cost_seconds": round(model_cost_seconds(counting.counts), 4),
         "keyswitches": counting.keyswitch_count,
@@ -113,11 +104,20 @@ def main() -> int:
         help="derive the record from opcount_summary.py --json output "
         "instead of compiling and measuring (implies no wall clock)",
     )
+    parser.add_argument(
+        "--trace",
+        dest="trace_path",
+        help="write an execution trace (repro-trace-v1 JSON) of the "
+        "measured forward here and print its level-slack report "
+        "(incompatible with --from-opcounts, which runs no crypto)",
+    )
     args = parser.parse_args()
     if args.opcounts_path:
+        if args.trace_path:
+            parser.error("--trace needs a measured forward; drop --from-opcounts")
         result = from_opcounts(args.opcounts_path)
     else:
-        result = bench(skip_wall=args.skip_wall)
+        result = bench(skip_wall=args.skip_wall, trace_path=args.trace_path)
     for model, rec in result["models"].items():
         print(
             f"{model}: model_cost={rec['model_cost_seconds']}s "

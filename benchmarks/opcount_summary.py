@@ -16,10 +16,19 @@ Paterson–Stockmeyer, from ``bench_paf_eval``).
 that ``tools/check_opcounts.py`` gates against
 ``benchmarks/opcount_baseline.json``: a >2% keyswitch or nonscalar-mult
 regression on any pinned model fails CI.
+
+``--trace-dir DIR`` wraps each measured forward in a
+:class:`repro.obs.TracingEvaluator` and writes one execution trace
+(``repro-trace-v1`` JSON) per model — ``trace_toy_mlp.json``,
+``trace_toy_cnn.json``, ``trace_toy_resnet.json`` — which CI validates
+(``tools/check_trace.py``), slack-gates (``tools/check_slack.py``) and
+uploads as artifacts.  Tracing is non-perturbing, so the gated counts
+are identical with or without it.
 """
 
 import argparse
 import json
+import os
 
 import numpy as np
 
@@ -27,6 +36,7 @@ from bench_paf_eval import activation_count_table
 from repro.analysis.tables import format_table
 from repro.ckks.instrumentation import CountingEvaluator
 from repro.fhe.toy import compiled_toy, compiled_toy_cnn, compiled_toy_resnet
+from repro.obs import TracingEvaluator
 
 
 def plan_table(enc, title: str) -> str:
@@ -75,21 +85,40 @@ def shard_plan_table(enc, title: str) -> str:
     )
 
 
-def measure_forward(enc, in_dim: int, reference: bool = False) -> CountingEvaluator:
+def _trace_to(trace_dir: str | None, model: str) -> str | None:
+    if trace_dir is None:
+        return None
+    os.makedirs(trace_dir, exist_ok=True)
+    return os.path.join(trace_dir, f"trace_{model}.json")
+
+
+def measure_forward(
+    enc, in_dim: int, reference: bool = False, trace_path: str | None = None
+) -> CountingEvaluator:
     """Op counts of one encrypted forward on a zero input."""
     counting = CountingEvaluator(enc.ev)
+    ev = TracingEvaluator(counting) if trace_path else counting
     ct = enc.encrypt_batch([np.zeros(in_dim)])
     counting.reset()
-    enc.forward(ct, ev=counting, reference=reference)
+    enc.forward(ct, ev=ev, reference=reference)
+    if trace_path:
+        model = os.path.basename(trace_path)[len("trace_") : -len(".json")]
+        ev.tracer.write_json(trace_path, meta={"model": model})
     return counting
 
 
-def measure_forward_shards(enc, in_dim: int) -> CountingEvaluator:
+def measure_forward_shards(
+    enc, in_dim: int, trace_path: str | None = None
+) -> CountingEvaluator:
     """Op counts of one sharded encrypted forward on a zero input."""
     counting = CountingEvaluator(enc.ev)
+    ev = TracingEvaluator(counting) if trace_path else counting
     cts = enc.encrypt_batch_shards([np.zeros(in_dim)])
     counting.reset()
-    enc.forward_shards(cts, ev=counting)
+    enc.forward_shards(cts, ev=ev)
+    if trace_path:
+        model = os.path.basename(trace_path)[len("trace_") : -len(".json")]
+        ev.tracer.write_json(trace_path, meta={"model": model})
     return counting
 
 
@@ -122,7 +151,7 @@ def gate_metrics(counting: CountingEvaluator) -> dict:
     }
 
 
-def build_summary() -> tuple:
+def build_summary(trace_dir: str | None = None) -> tuple:
     """Returns ``(text summary, gate JSON dict)``."""
     sections = []
     models: dict = {}
@@ -132,7 +161,7 @@ def build_summary() -> tuple:
     sections.append(
         plan_table(mlp, "Per-layer matvec plans (toy 8-6-3 MLP serving model)")
     )
-    planned = measure_forward(mlp, 8)
+    planned = measure_forward(mlp, 8, trace_path=_trace_to(trace_dir, "toy_mlp"))
     reference = measure_forward(mlp, 8, reference=True)
     sections.append(
         format_table(
@@ -155,7 +184,7 @@ def build_summary() -> tuple:
             "pool-conv-dense on 1x8x8)",
         )
     )
-    cnn_planned = measure_forward(cnn, 64)
+    cnn_planned = measure_forward(cnn, 64, trace_path=_trace_to(trace_dir, "toy_cnn"))
     sections.append(
         format_table(
             _FORWARD_HEADER,
@@ -176,7 +205,9 @@ def build_summary() -> tuple:
             "pool-dense on 1x8x8, 2 shards)",
         )
     )
-    resnet_planned = measure_forward_shards(resnet, 64)
+    resnet_planned = measure_forward_shards(
+        resnet, 64, trace_path=_trace_to(trace_dir, "toy_resnet")
+    )
     sections.append(
         format_table(
             _FORWARD_HEADER,
@@ -197,8 +228,14 @@ def main() -> int:
     parser.add_argument(
         "--json", dest="json_path", help="write per-model gate metrics as JSON"
     )
+    parser.add_argument(
+        "--trace-dir",
+        dest="trace_dir",
+        help="write one repro-trace-v1 execution trace per model here "
+        "(trace_<model>.json)",
+    )
     args = parser.parse_args()
-    summary, gate = build_summary()
+    summary, gate = build_summary(trace_dir=args.trace_dir)
     print(summary)
     if args.outfile:
         with open(args.outfile, "w") as fh:

@@ -4,6 +4,14 @@ Wraps a :class:`~repro.ckks.evaluator.CkksEvaluator` and counts every
 homomorphic operation — the raw material of the analytic latency model and
 of tests asserting that the depth-optimal evaluator performs exactly the
 op counts the paper's cost analysis assumes.
+
+Also hosts the :func:`span` tracing hook the encrypted executors call at
+layer/executor boundaries.  An evaluator that carries a ``tracer``
+attribute (:class:`repro.obs.TracingEvaluator`) gets a real span; every
+other evaluator gets the shared no-op :data:`NULL_SPAN`, so tracing is
+a single failed attribute lookup per *span site* (per layer, not per
+homomorphic op) when disabled — and never touches ciphertext contents
+either way.
 """
 
 from __future__ import annotations
@@ -13,7 +21,57 @@ from dataclasses import dataclass
 
 from repro.ckks.evaluator import Ciphertext, CkksEvaluator
 
-__all__ = ["CountingEvaluator"]
+__all__ = ["CountingEvaluator", "span", "NULL_SPAN"]
+
+
+class _NullSpan:
+    """Inert stand-in for :class:`repro.obs.Span` when no tracer is attached.
+
+    ``__enter__`` returns itself so call sites can unconditionally invoke
+    the recording methods; all of them discard their arguments.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def ct_entry(self, ct) -> None:
+        """No-op twin of :meth:`repro.obs.Span.ct_entry`."""
+
+    def ct_exit(self, ct, level_slack: int | None = None) -> None:
+        """No-op twin of :meth:`repro.obs.Span.ct_exit`."""
+
+    def set(self, **attrs) -> None:
+        """No-op twin of :meth:`repro.obs.Span.set`."""
+
+
+#: the shared do-nothing span returned when ``ev`` has no tracer
+NULL_SPAN = _NullSpan()
+
+
+def span(ev, name: str, kind: str = "span", **attrs):
+    """Open a tracing span on ``ev``'s attached tracer, if any.
+
+    The instrumented executors (``repro.fhe.network``, ``repro.fhe.linear``,
+    ``repro.ckks.poly_eval``) call this at their boundaries::
+
+        with span(ev, "matvec:bsgs", kind="matvec") as sp:
+            sp.ct_entry(ct)
+            ...
+            sp.ct_exit(out)
+
+    With a bare :class:`~repro.ckks.evaluator.CkksEvaluator` (or a
+    :class:`CountingEvaluator`) this returns :data:`NULL_SPAN` and the
+    whole block is observationally free.
+    """
+    tracer = getattr(ev, "tracer", None)
+    if tracer is None:
+        return NULL_SPAN
+    return tracer.span(name, kind=kind, **attrs)
 
 _COUNTED = (
     "encrypt",

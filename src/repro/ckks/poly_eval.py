@@ -41,6 +41,7 @@ from typing import Optional
 import numpy as np
 
 from repro.ckks.evaluator import Ciphertext, CkksEvaluator
+from repro.ckks.instrumentation import span as trace_span
 from repro.ckks.poly_plan import (
     CompositePlan,
     PolyPlan,
@@ -257,13 +258,19 @@ def eval_odd_poly(
     exactly ``ceil(log2(d+1))`` levels for the highest nonzero degree
     ``d``.
     """
-    if reference:
-        return _eval_odd_ladder(ev, x, poly)
-    if plan is None:
+    if plan is None and not reference:
         plan = plan_odd_poly(poly)
-    if not plan.use_ps:
-        return _eval_odd_ladder(ev, x, poly)
-    return _eval_odd_ps(ev, x, plan)
+    use_ps = not reference and plan.use_ps
+    with trace_span(
+        ev,
+        "poly:ps" if use_ps else "poly:ladder",
+        kind="poly",
+        degree=poly.degree,
+    ) as sp:
+        sp.ct_entry(x)
+        out = _eval_odd_ps(ev, x, plan) if use_ps else _eval_odd_ladder(ev, x, poly)
+        sp.ct_exit(out)
+    return out
 
 
 def eval_composite_paf(
@@ -319,17 +326,23 @@ def eval_paf_relu(
     else:
         folded = plan.folded
         comp_plans = CompositePlan(plan.components)
-    # 0.5 * sign(x/scale)
-    half_sign = eval_composite_paf(
-        ev, x, folded, plan=comp_plans, reference=reference
-    )
-    gate = ev.add_plain(half_sign, 0.5)               # 0.5 + 0.5*sign
-    # exact-scale plans pin the gate product back onto the canonical
-    # schedule (rtol 0); the default tolerates sub-percent drift, which
-    # is fine at shallow depth but compounds on deep chains
-    rtol = 0.0 if plan is not None and plan.exact_scales else 0.01
-    x_down = ev.align_to(x, gate.level, gate.scale, rtol=rtol)
-    return ev.rescale(ev.mul(x_down, gate))
+    with trace_span(
+        ev, "paf:relu", kind="paf", components=len(folded.components)
+    ) as sp:
+        sp.ct_entry(x)
+        # 0.5 * sign(x/scale)
+        half_sign = eval_composite_paf(
+            ev, x, folded, plan=comp_plans, reference=reference
+        )
+        gate = ev.add_plain(half_sign, 0.5)           # 0.5 + 0.5*sign
+        # exact-scale plans pin the gate product back onto the canonical
+        # schedule (rtol 0); the default tolerates sub-percent drift, which
+        # is fine at shallow depth but compounds on deep chains
+        rtol = 0.0 if plan is not None and plan.exact_scales else 0.01
+        x_down = ev.align_to(x, gate.level, gate.scale, rtol=rtol)
+        out = ev.rescale(ev.mul(x_down, gate))
+        sp.ct_exit(out)
+    return out
 
 
 def eval_paf_max(

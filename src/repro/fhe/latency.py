@@ -31,6 +31,7 @@ from repro.paf.relu import relu_mult_depth
 
 __all__ = [
     "LatencyResult",
+    "REFERENCE_MICROS",
     "cost_from_counts",
     "measure_relu_latency",
     "measure_op_micros",
@@ -230,6 +231,26 @@ def analytic_activation_cost(
         + counts["pt_mult"] * micros["pt_mult"]
         + counts["rescale"] * max(micros["rescale"], 0.0)
     )
+
+
+#: Reference per-op seconds, measured once via
+#: :func:`measure_op_micros` on the baseline dev box and pinned so that
+#: model costs derived from op counts are machine-independent — the
+#: currency of the CI bench-trend gate (``bench_resnet_forward``) and of
+#: per-span modeled costs in trace reports.  ``align_correction`` is
+#: charged through its mul_plain + rescale (``CountingEvaluator`` books
+#: all three), so it carries no price itself.
+REFERENCE_MICROS = {
+    "mul": 0.1396,
+    "mul_plain": 0.0033,
+    "rescale": 0.0102,
+    "add": 0.00017,
+    "add_plain": 0.00017,
+    "rotate": 0.1588,
+    "rotate_hoisted": 0.0304,
+    "hoist_decompose": 0.1167,
+    "mod_switch_to": 0.0005,
+}
 
 
 def cost_from_counts(counts: dict, micros: dict) -> float:

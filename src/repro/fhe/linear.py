@@ -43,6 +43,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.ckks.evaluator import Ciphertext, CkksEvaluator
+from repro.ckks.instrumentation import span as trace_span
 
 __all__ = [
     "encrypted_matvec",
@@ -294,33 +295,38 @@ def encrypted_matvec_shards(
         raise ValueError(
             f"blocks must be K_out x {len(cts)} to match the input shards"
         )
-    rotated = []
-    for i, ct in enumerate(cts):
-        steps = shard_hoist_steps(blocks, i)
-        rot = ev.rotate_many(ct, steps) if steps else {}
-        rot[0] = ct
-        rotated.append(rot)
-    outs = []
-    for j, row in enumerate(blocks):
-        acc = None
-        for i in range(len(cts)):
-            groups = row[i]
-            if not groups:
-                continue
-            for g in sorted(groups):
-                inner = None
-                for b in sorted(groups[g]):
-                    term = ev.mul_plain(rotated[i][b], groups[g][b])
-                    inner = term if inner is None else ev.add(inner, term)
-                if g:
-                    inner = ev.rotate(inner, g)
-                acc = inner if acc is None else ev.add(acc, inner)
-        if acc is None:
-            raise ValueError(f"output shard {j} reads no nonzero block")
-        acc = ev.rescale(acc)
-        if bias_slots is not None and bias_slots[j] is not None:
-            acc = ev.add_plain(acc, bias_slots[j])
-        outs.append(acc)
+    with trace_span(
+        ev, "matvec:shards", kind="matvec", k_in=len(cts), k_out=len(blocks)
+    ) as sp:
+        sp.ct_entry(cts)
+        rotated = []
+        for i, ct in enumerate(cts):
+            steps = shard_hoist_steps(blocks, i)
+            rot = ev.rotate_many(ct, steps) if steps else {}
+            rot[0] = ct
+            rotated.append(rot)
+        outs = []
+        for j, row in enumerate(blocks):
+            acc = None
+            for i in range(len(cts)):
+                groups = row[i]
+                if not groups:
+                    continue
+                for g in sorted(groups):
+                    inner = None
+                    for b in sorted(groups[g]):
+                        term = ev.mul_plain(rotated[i][b], groups[g][b])
+                        inner = term if inner is None else ev.add(inner, term)
+                    if g:
+                        inner = ev.rotate(inner, g)
+                    acc = inner if acc is None else ev.add(acc, inner)
+            if acc is None:
+                raise ValueError(f"output shard {j} reads no nonzero block")
+            acc = ev.rescale(acc)
+            if bias_slots is not None and bias_slots[j] is not None:
+                acc = ev.add_plain(acc, bias_slots[j])
+            outs.append(acc)
+        sp.ct_exit(outs)
     return outs
 
 
@@ -357,13 +363,19 @@ def encrypted_matvec(
         diagonals = diagonals_of(w, ct_x.c0.ctx.slots)
     if not diagonals:
         raise ValueError("matrix has no nonzero diagonals")
-    acc = None
-    for d, vec in diagonals.items():
-        rotated = ev.rotate(ct_x, d) if d else ct_x
-        term = ev.mul_plain(rotated, vec)
-        acc = term if acc is None else ev.add(acc, term)
-    acc = ev.rescale(acc)
-    return _add_bias(ev, acc, ct_x.c0.ctx.slots, bias, bias_slots)
+    with trace_span(
+        ev, "matvec:naive", kind="matvec", diagonals=len(diagonals)
+    ) as sp:
+        sp.ct_entry(ct_x)
+        acc = None
+        for d, vec in diagonals.items():
+            rotated = ev.rotate(ct_x, d) if d else ct_x
+            term = ev.mul_plain(rotated, vec)
+            acc = term if acc is None else ev.add(acc, term)
+        acc = ev.rescale(acc)
+        acc = _add_bias(ev, acc, ct_x.c0.ctx.slots, bias, bias_slots)
+        sp.ct_exit(acc)
+    return acc
 
 
 def _add_bias(ev, acc, slots, bias, bias_slots):
@@ -412,16 +424,23 @@ def encrypted_matvec_bsgs(
     if not groups:
         raise ValueError("matrix has no nonzero diagonals")
     baby_steps = sorted({b for inner in groups.values() for b in inner if b})
-    rotated = ev.rotate_many(ct_x, baby_steps)
-    rotated[0] = ct_x  # baby step 0 needs no rotation (and no defensive copy)
-    acc = None
-    for g in sorted(groups):
-        inner = None
-        for b in sorted(groups[g]):
-            term = ev.mul_plain(rotated[b], groups[g][b])
-            inner = term if inner is None else ev.add(inner, term)
-        if g:
-            inner = ev.rotate(inner, g)
-        acc = inner if acc is None else ev.add(acc, inner)
-    acc = ev.rescale(acc)
-    return _add_bias(ev, acc, ct_x.c0.ctx.slots, bias, bias_slots)
+    with trace_span(
+        ev, "matvec:bsgs", kind="matvec",
+        babies=len(baby_steps), giants=len(groups),
+    ) as sp:
+        sp.ct_entry(ct_x)
+        rotated = ev.rotate_many(ct_x, baby_steps)
+        rotated[0] = ct_x  # baby step 0 needs no rotation (and no defensive copy)
+        acc = None
+        for g in sorted(groups):
+            inner = None
+            for b in sorted(groups[g]):
+                term = ev.mul_plain(rotated[b], groups[g][b])
+                inner = term if inner is None else ev.add(inner, term)
+            if g:
+                inner = ev.rotate(inner, g)
+            acc = inner if acc is None else ev.add(acc, inner)
+        acc = ev.rescale(acc)
+        acc = _add_bias(ev, acc, ct_x.c0.ctx.slots, bias, bias_slots)
+        sp.ct_exit(acc)
+    return acc

@@ -76,6 +76,7 @@ from repro.ckks import (
     keygen,
     plan_paf_relu,
 )
+from repro.ckks.instrumentation import span as trace_span
 from repro.core.paf_layer import PAFReLU
 from repro.fhe.linear import (
     bsgs_diagonals,
@@ -150,6 +151,11 @@ class EncryptedNetwork:
             raise ValueError(
                 f"context depth {params.depth} < required {depth_needed}"
             )
+        # suffix depths of the static schedule: levels the layers *after* i
+        # still need — a traced forward reports each layer's remaining
+        # level slack (exit level minus this) against them
+        depths = [self._layer_depth(layer) for layer in layers]
+        self._depth_after = [sum(depths[i + 1 :]) for i in range(len(layers))]
         self.ctx = CkksContext(params)
         slots = self.ctx.slots
         #: SIMD block geometry (shared with :mod:`repro.serve.packing`)
@@ -459,44 +465,58 @@ class EncryptedNetwork:
                 "reference path takes raw diagonals only"
             )
         ev = ev or self.ev
-        for i, layer in enumerate(self.layers):
-            if layer.kind == "linear":
-                if i > 0:
-                    ct = self._replicate(ct, ev)
-                bsgs = self.matvec_plans[i].use_bsgs and not reference
-                if not bsgs and i not in self.linear_diagonals:
-                    raise ValueError(
-                        "naive reference path unavailable: compile with "
-                        "reference_keys=True to retain flat diagonals and keys"
-                    )
-                if encoded is not None:
-                    payload, bias_slots = encoded(i, ct.level, ct.scale)
-                else:
-                    payload = self.linear_groups[i] if bsgs else self.linear_diagonals[i]
-                    bias_slots = self.linear_bias_slots.get(i)
-                if bsgs:
-                    ct = encrypted_matvec_bsgs(
-                        ev, ct, groups=payload, bias_slots=bias_slots
-                    )
-                else:
-                    ct = encrypted_matvec(
-                        ev, ct, diagonals=payload, bias_slots=bias_slots
-                    )
-            elif layer.kind == "pool":
-                ct = self._pool_forward(ct, i, ev, reference=reference)
-            elif layer.kind == "affine":
-                ct = ev.rescale(ev.mul_plain(ct, self.affine_scale_slots[i]))
-                ct = ev.add_plain(ct, self.affine_shift_slots[i])
-            else:
-                ct = eval_paf_relu(
-                    ev,
-                    ct,
-                    layer.paf,
-                    scale=layer.scale,
-                    plan=self.paf_plans[i],
-                    reference=reference,
-                )
+        with trace_span(ev, "forward", kind="forward", layers=len(self.layers)) as root:
+            root.ct_entry(ct)
+            for i, layer in enumerate(self.layers):
+                with self._layer_span(ev, i, layer) as sp:
+                    sp.ct_entry(ct)
+                    if layer.kind == "linear":
+                        if i > 0:
+                            ct = self._replicate(ct, ev)
+                        bsgs = self.matvec_plans[i].use_bsgs and not reference
+                        if not bsgs and i not in self.linear_diagonals:
+                            raise ValueError(
+                                "naive reference path unavailable: compile with "
+                                "reference_keys=True to retain flat diagonals and keys"
+                            )
+                        if encoded is not None:
+                            payload, bias_slots = encoded(i, ct.level, ct.scale)
+                        else:
+                            payload = (
+                                self.linear_groups[i] if bsgs else self.linear_diagonals[i]
+                            )
+                            bias_slots = self.linear_bias_slots.get(i)
+                        if bsgs:
+                            ct = encrypted_matvec_bsgs(
+                                ev, ct, groups=payload, bias_slots=bias_slots
+                            )
+                        else:
+                            ct = encrypted_matvec(
+                                ev, ct, diagonals=payload, bias_slots=bias_slots
+                            )
+                    elif layer.kind == "pool":
+                        ct = self._pool_forward(ct, i, ev, reference=reference)
+                    elif layer.kind == "affine":
+                        ct = ev.rescale(ev.mul_plain(ct, self.affine_scale_slots[i]))
+                        ct = ev.add_plain(ct, self.affine_shift_slots[i])
+                    else:
+                        ct = eval_paf_relu(
+                            ev,
+                            ct,
+                            layer.paf,
+                            scale=layer.scale,
+                            plan=self.paf_plans[i],
+                            reference=reference,
+                        )
+                    sp.ct_exit(ct, level_slack=ct.level - self._depth_after[i])
+            root.ct_exit(ct)
         return ct
+
+    def _layer_span(self, ev: CkksEvaluator, i: int, layer: _Layer):
+        """Per-layer tracing span (a shared no-op when ``ev`` has no tracer)."""
+        return trace_span(
+            ev, f"layer{i:02d}:{layer.kind}", kind="layer", layer=i, op=layer.kind
+        )
 
     def _pool_forward(
         self, ct: Ciphertext, i: int, ev: CkksEvaluator, reference: bool = False
@@ -518,17 +538,25 @@ class EncryptedNetwork:
         :meth:`_replicate` relies on.  One rescale: the pool consumes one
         level, like a linear layer.
         """
-        for stage in self.layers[i].shifts:
-            stage = [s for s in stage if s]
-            if not stage:
-                continue
-            if reference:
-                rotated = {s: ev.rotate(ct, s) for s in stage}
-            else:
-                rotated = ev.rotate_many(ct, stage)
-            for s in stage:
-                ct = ev.add(ct, rotated[s])
-        return ev.rescale(ev.mul_plain(ct, self.pool_masks[i]))
+        stages = [
+            [s for s in stage if s] for stage in self.layers[i].shifts
+        ]
+        with trace_span(
+            ev, "pool:reduce", kind="exec", stages=sum(1 for s in stages if s)
+        ) as sp:
+            sp.ct_entry(ct)
+            for stage in stages:
+                if not stage:
+                    continue
+                if reference:
+                    rotated = {s: ev.rotate(ct, s) for s in stage}
+                else:
+                    rotated = ev.rotate_many(ct, stage)
+                for s in stage:
+                    ct = ev.add(ct, rotated[s])
+            ct = ev.rescale(ev.mul_plain(ct, self.pool_masks[i]))
+            sp.ct_exit(ct)
+        return ct
 
     # ------------------------------------------------------------------
     # sharded encrypted forward
@@ -570,64 +598,84 @@ class EncryptedNetwork:
         ev = ev or self.ev
         cts = list(cts)
         stack: list = []
-        for i, layer in enumerate(self.layers):
-            if layer.kind == "linear":
-                if layer.blocks is None:
-                    raise ValueError(
-                        f"layer {i}: single-ciphertext linear inside a sharded "
-                        "network (compile it with shard blocks)"
-                    )
-                if i > 0:
-                    cts = [self._replicate(ct, ev) for ct in cts]
-                if encoded is not None:
-                    payload, biases = encoded(i, cts[0].level, cts[0].scale)
-                else:
-                    payload = self.shard_groups[i]
-                    biases = self.shard_bias_slots.get(i)
-                cts = encrypted_matvec_shards(ev, cts, payload, bias_slots=biases)
-            elif layer.kind == "residual":
-                stack.append(cts)
-            elif layer.kind == "merge":
-                skip = stack.pop()
-                if layer.blocks is not None:
-                    skip = [self._replicate(ct, ev) for ct in skip]
-                    if encoded is not None:
-                        payload, biases = encoded(i, skip[0].level, skip[0].scale)
+        with trace_span(
+            ev,
+            "forward_shards",
+            kind="forward",
+            layers=len(self.layers),
+            shards=len(cts),
+        ) as root:
+            root.ct_entry(cts)
+            for i, layer in enumerate(self.layers):
+                with self._layer_span(ev, i, layer) as sp:
+                    sp.ct_entry(cts)
+                    if layer.kind == "linear":
+                        if layer.blocks is None:
+                            raise ValueError(
+                                f"layer {i}: single-ciphertext linear inside a sharded "
+                                "network (compile it with shard blocks)"
+                            )
+                        if i > 0:
+                            cts = [self._replicate(ct, ev) for ct in cts]
+                        if encoded is not None:
+                            payload, biases = encoded(i, cts[0].level, cts[0].scale)
+                        else:
+                            payload = self.shard_groups[i]
+                            biases = self.shard_bias_slots.get(i)
+                        cts = encrypted_matvec_shards(ev, cts, payload, bias_slots=biases)
+                    elif layer.kind == "residual":
+                        stack.append(cts)
+                    elif layer.kind == "merge":
+                        skip = stack.pop()
+                        if layer.blocks is not None:
+                            skip = [self._replicate(ct, ev) for ct in skip]
+                            if encoded is not None:
+                                payload, biases = encoded(i, skip[0].level, skip[0].scale)
+                            else:
+                                payload = self.shard_groups[i]
+                                biases = self.shard_bias_slots.get(i)
+                            skip = encrypted_matvec_shards(
+                                ev, skip, payload, bias_slots=biases
+                            )
+                        if len(skip) != len(cts):
+                            raise ValueError(
+                                f"merge layer {i}: skip branch has {len(skip)} shards, "
+                                f"main branch {len(cts)}"
+                            )
+                        target = cts[0]
+                        # exact (rtol 0) alignment: the skip must land on the
+                        # main branch's scale precisely, or the embedded
+                        # mismatch rides every later squaring
+                        with trace_span(
+                            ev, "merge:align", kind="exec", shards=len(cts)
+                        ) as msp:
+                            msp.ct_entry(skip)
+                            skip = [
+                                ev.align_to(s, target.level, target.scale, rtol=0.0)
+                                for s in skip
+                            ]
+                            cts = [ev.add(c, s) for c, s in zip(cts, skip)]
+                            msp.ct_exit(cts)
+                    elif layer.kind == "pool":
+                        cts = [
+                            self._pool_forward(ct, i, ev, reference=reference)
+                            for ct in cts
+                        ]
+                    elif layer.kind == "paf":
+                        cts = [
+                            eval_paf_relu(
+                                ev, ct, layer.paf, scale=layer.scale,
+                                plan=self.paf_plans[i], reference=reference,
+                            )
+                            for ct in cts
+                        ]
                     else:
-                        payload = self.shard_groups[i]
-                        biases = self.shard_bias_slots.get(i)
-                    skip = encrypted_matvec_shards(ev, skip, payload, bias_slots=biases)
-                if len(skip) != len(cts):
-                    raise ValueError(
-                        f"merge layer {i}: skip branch has {len(skip)} shards, "
-                        f"main branch {len(cts)}"
-                    )
-                target = cts[0]
-                # exact (rtol 0) alignment: the skip must land on the main
-                # branch's scale precisely, or the embedded mismatch rides
-                # every later squaring
-                skip = [
-                    ev.align_to(s, target.level, target.scale, rtol=0.0)
-                    for s in skip
-                ]
-                cts = [ev.add(c, s) for c, s in zip(cts, skip)]
-            elif layer.kind == "pool":
-                cts = [
-                    self._pool_forward(ct, i, ev, reference=reference) for ct in cts
-                ]
-            elif layer.kind == "paf":
-                cts = [
-                    eval_paf_relu(
-                        ev, ct, layer.paf, scale=layer.scale,
-                        plan=self.paf_plans[i], reference=reference,
-                    )
-                    for ct in cts
-                ]
-            else:
-                raise ValueError(
-                    f"layer {i} kind {layer.kind!r} has no sharded execution "
-                    "(BatchNorm must be folded into a conv when sharding)"
-                )
+                        raise ValueError(
+                            f"layer {i} kind {layer.kind!r} has no sharded execution "
+                            "(BatchNorm must be folded into a conv when sharding)"
+                        )
+                    sp.ct_exit(cts, level_slack=cts[0].level - self._depth_after[i])
+            root.ct_exit(cts)
         return cts
 
     def predict_shards(self, x: np.ndarray, num_classes: int) -> int:

@@ -1,0 +1,30 @@
+"""Observability for compiled encrypted networks.
+
+Hierarchical execution tracing (:mod:`repro.obs.trace`): wrap any
+evaluator in :class:`TracingEvaluator` and every instrumented executor —
+:meth:`~repro.fhe.network.EncryptedNetwork.forward` /
+``forward_shards`` layer loops, the BSGS matvec, the
+Paterson–Stockmeyer PAF path, pools and residual merges — records spans
+with wall time, HE-op deltas and ciphertext level/scale state.  Traces
+export to JSON (``tools/trace_to_chrome.py`` converts to Chrome
+``chrome://tracing`` format) and feed the level/scale-slack report
+(:mod:`repro.obs.report`) that CI gates against
+``benchmarks/slack_baseline.json``.
+"""
+
+from repro.obs.report import (
+    format_slack_report,
+    slack_baseline_entry,
+    slack_report,
+)
+from repro.obs.trace import TRACE_FORMAT, Span, Tracer, TracingEvaluator
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "TracingEvaluator",
+    "TRACE_FORMAT",
+    "slack_report",
+    "format_slack_report",
+    "slack_baseline_entry",
+]

@@ -2,20 +2,30 @@
 
 Collected per batch by :class:`repro.serve.server.InferenceServer`;
 ``snapshot()`` renders the aggregate view the throughput benchmark and
-the ops dashboards read.  HE-op counts come from the existing
-:class:`repro.ckks.instrumentation.CountingEvaluator` proxies when the
-server runs instrumented.
+the ops dashboards read, and ``format_prometheus()`` renders the same
+numbers as a Prometheus text exposition.  HE-op counts come from the
+existing :class:`repro.ckks.instrumentation.CountingEvaluator` proxies
+when the server runs instrumented; per-layer latency histograms come
+from the execution tracer (:mod:`repro.obs`) when it runs traced.
+
+Memory is bounded: totals, maxima and histogram buckets are exact
+running aggregates, while raw samples (used only for percentiles) live
+in fixed-size deques — a server alive for millions of requests reports
+exact counts and *windowed* percentiles, never an unbounded list.
 """
 
 from __future__ import annotations
 
 import time
-from collections import Counter
+from collections import Counter, deque
 from threading import Lock
 
 import numpy as np
 
-__all__ = ["ServingMetrics", "percentile"]
+__all__ = ["ServingMetrics", "percentile", "LATENCY_BUCKETS_MS"]
+
+#: Cumulative histogram upper bounds (ms) for per-layer latency.
+LATENCY_BUCKETS_MS = (1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0)
 
 
 def percentile(values, q: float) -> float:
@@ -25,24 +35,92 @@ def percentile(values, q: float) -> float:
     return float(np.percentile(np.asarray(values, dtype=np.float64), q))
 
 
-class ServingMetrics:
-    """Thread-safe accumulator of per-batch serving observations."""
+class _LayerStats:
+    """Exact running aggregate + cumulative histogram for one layer."""
+
+    __slots__ = ("count", "sum_ms", "max_ms", "buckets")
 
     def __init__(self):
+        self.count = 0
+        self.sum_ms = 0.0
+        self.max_ms = 0.0
+        self.buckets = [0] * (len(LATENCY_BUCKETS_MS) + 1)  # last = +Inf
+
+    def observe(self, ms: float) -> None:
+        self.count += 1
+        self.sum_ms += ms
+        if ms > self.max_ms:
+            self.max_ms = ms
+        for i, bound in enumerate(LATENCY_BUCKETS_MS):
+            if ms <= bound:
+                self.buckets[i] += 1
+                return
+        self.buckets[-1] += 1
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "mean_ms": self.sum_ms / self.count if self.count else 0.0,
+            "max_ms": self.max_ms,
+            "sum_ms": self.sum_ms,
+        }
+
+
+class ServingMetrics:
+    """Thread-safe accumulator of per-batch serving observations.
+
+    ``max_samples`` bounds the percentile windows (``latencies_ms``,
+    ``batch_sizes``, ``batch_seconds``); everything else is an exact
+    running total regardless of how long the server lives.
+    """
+
+    def __init__(self, max_samples: int = 4096):
+        if max_samples < 1:
+            raise ValueError(f"max_samples must be >= 1, got {max_samples}")
+        self.max_samples = max_samples
         self._lock = Lock()
+        self._queue_depth_fn = None
         self.reset()
 
     def reset(self) -> None:
         with self._lock:
             self.requests_total = 0
             self.batches_total = 0
-            self.batch_sizes: list[int] = []
-            self.latencies_ms: list[float] = []
-            self.batch_seconds: list[float] = []
+            self.latency_sum_ms = 0.0
+            self.latency_count = 0
+            self.latency_max_ms = 0.0
+            self.batch_seconds_sum = 0.0
+            self.batch_sizes: deque[int] = deque(maxlen=self.max_samples)
+            self.latencies_ms: deque[float] = deque(maxlen=self.max_samples)
+            self.batch_seconds: deque[float] = deque(maxlen=self.max_samples)
             self.op_counts: Counter = Counter()
+            self.in_flight_batches = 0
+            self._layers: dict[str, _LayerStats] = {}
             self._started_at: float | None = None
             self._last_at: float | None = None
 
+    # ------------------------------------------------------------------
+    # gauges
+    # ------------------------------------------------------------------
+    def bind_queue_depth(self, depth_fn) -> None:
+        """Register a zero-arg callable polled for the queue-depth gauge
+        (the server binds ``len`` of its :class:`BatchQueue`)."""
+        self._queue_depth_fn = depth_fn
+
+    def queue_depth(self) -> int:
+        fn = self._queue_depth_fn
+        return int(fn()) if fn is not None else 0
+
+    def batch_started(self) -> None:
+        with self._lock:
+            self.in_flight_batches += 1
+
+    def batch_finished(self) -> None:
+        with self._lock:
+            self.in_flight_batches = max(0, self.in_flight_batches - 1)
+
+    # ------------------------------------------------------------------
+    # recording
     # ------------------------------------------------------------------
     def record_batch(
         self,
@@ -50,6 +128,7 @@ class ServingMetrics:
         batch_seconds: float,
         latencies_ms,
         op_counts: Counter | None = None,
+        layer_seconds: dict | None = None,
     ) -> None:
         now = time.perf_counter()
         with self._lock:
@@ -58,15 +137,41 @@ class ServingMetrics:
             self._last_at = now
             self.requests_total += batch_size
             self.batches_total += 1
+            self.batch_seconds_sum += batch_seconds
             self.batch_sizes.append(batch_size)
             self.batch_seconds.append(batch_seconds)
-            self.latencies_ms.extend(latencies_ms)
+            for ms in latencies_ms:
+                self.latency_sum_ms += ms
+                self.latency_count += 1
+                if ms > self.latency_max_ms:
+                    self.latency_max_ms = ms
+                self.latencies_ms.append(ms)
             if op_counts:
                 self.op_counts.update(op_counts)
+            if layer_seconds:
+                self._record_layers(layer_seconds)
+
+    def record_layer_seconds(self, layer_seconds: dict) -> None:
+        """Feed one traced forward's per-layer durations (``name ->
+        seconds``, e.g. from :meth:`repro.obs.Tracer.layer_spans`)."""
+        with self._lock:
+            self._record_layers(layer_seconds)
+
+    def _record_layers(self, layer_seconds: dict) -> None:
+        for name, seconds in layer_seconds.items():
+            stats = self._layers.get(name)
+            if stats is None:
+                stats = self._layers[name] = _LayerStats()
+            stats.observe(seconds * 1000.0)
 
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
-        """Aggregate view: throughput, batch sizes, latency percentiles, ops."""
+        """Aggregate view: throughput, batch sizes, latency percentiles,
+        queue/in-flight gauges, per-layer latency, ops.
+
+        Counts, means and maxima are exact; p50/p95 come from the last
+        ``max_samples`` observations.
+        """
         with self._lock:
             elapsed = (
                 (self._last_at - self._started_at)
@@ -78,15 +183,27 @@ class ServingMetrics:
                 "requests_total": self.requests_total,
                 "batches_total": self.batches_total,
                 "mean_batch_size": (
-                    float(np.mean(self.batch_sizes)) if self.batch_sizes else 0.0
+                    self.requests_total / self.batches_total
+                    if self.batches_total
+                    else 0.0
                 ),
                 "elapsed_seconds": elapsed,
                 "throughput_rps": self.requests_total / elapsed if elapsed > 0 else 0.0,
+                "queue_depth": self.queue_depth(),
+                "in_flight_batches": self.in_flight_batches,
                 "latency_ms": {
-                    "mean": float(np.mean(lat)) if lat else 0.0,
+                    "mean": (
+                        self.latency_sum_ms / self.latency_count
+                        if self.latency_count
+                        else 0.0
+                    ),
                     "p50": percentile(lat, 50),
                     "p95": percentile(lat, 95),
-                    "max": float(np.max(lat)) if lat else 0.0,
+                    "max": self.latency_max_ms,
+                },
+                "layers": {
+                    name: stats.as_dict()
+                    for name, stats in sorted(self._layers.items())
                 },
                 "he_ops": dict(self.op_counts),
             }
@@ -99,10 +216,71 @@ class ServingMetrics:
             f"requests={s['requests_total']}  batches={s['batches_total']}  "
             f"mean_batch={s['mean_batch_size']:.2f}",
             f"throughput={s['throughput_rps']:.2f} req/s over {s['elapsed_seconds']:.2f}s",
+            f"queue_depth={s['queue_depth']}  in_flight={s['in_flight_batches']}",
             f"latency_ms mean={lat['mean']:.1f}  p50={lat['p50']:.1f}  "
             f"p95={lat['p95']:.1f}  max={lat['max']:.1f}",
         ]
+        for name, stats in s["layers"].items():
+            lines.append(
+                f"layer {name}: n={stats['count']} "
+                f"mean={stats['mean_ms']:.1f}ms max={stats['max_ms']:.1f}ms"
+            )
         if s["he_ops"]:
             ops = "  ".join(f"{k}={v}" for k, v in sorted(s["he_ops"].items()))
             lines.append(f"he_ops: {ops}")
         return "\n".join(lines)
+
+    def format_prometheus(self, prefix: str = "repro_serve") -> str:
+        """Prometheus text exposition of the snapshot.
+
+        Counters/gauges are exact; per-layer latency is a cumulative
+        histogram (``_bucket``/``_sum``/``_count`` with ``le`` labels in
+        milliseconds); overall latency quantiles are windowed.
+        """
+        s = self.snapshot()
+        lat = s["latency_ms"]
+        out = [
+            f"# TYPE {prefix}_requests_total counter",
+            f"{prefix}_requests_total {s['requests_total']}",
+            f"# TYPE {prefix}_batches_total counter",
+            f"{prefix}_batches_total {s['batches_total']}",
+            f"# TYPE {prefix}_queue_depth gauge",
+            f"{prefix}_queue_depth {s['queue_depth']}",
+            f"# TYPE {prefix}_in_flight_batches gauge",
+            f"{prefix}_in_flight_batches {s['in_flight_batches']}",
+            f"# TYPE {prefix}_throughput_rps gauge",
+            f"{prefix}_throughput_rps {s['throughput_rps']:.6f}",
+            f"# TYPE {prefix}_request_latency_ms summary",
+            f'{prefix}_request_latency_ms{{quantile="0.5"}} {lat["p50"]:.6f}',
+            f'{prefix}_request_latency_ms{{quantile="0.95"}} {lat["p95"]:.6f}',
+            f"{prefix}_request_latency_ms_sum {self.latency_sum_ms:.6f}",
+            f"{prefix}_request_latency_ms_count {self.latency_count}",
+        ]
+        with self._lock:
+            layers = sorted(self._layers.items())
+        if layers:
+            out.append(f"# TYPE {prefix}_layer_latency_ms histogram")
+            for name, stats in layers:
+                cumulative = 0
+                for bound, n in zip(LATENCY_BUCKETS_MS, stats.buckets):
+                    cumulative += n
+                    out.append(
+                        f'{prefix}_layer_latency_ms_bucket'
+                        f'{{layer="{name}",le="{bound:g}"}} {cumulative}'
+                    )
+                out.append(
+                    f'{prefix}_layer_latency_ms_bucket'
+                    f'{{layer="{name}",le="+Inf"}} {stats.count}'
+                )
+                out.append(
+                    f'{prefix}_layer_latency_ms_sum{{layer="{name}"}} '
+                    f"{stats.sum_ms:.6f}"
+                )
+                out.append(
+                    f'{prefix}_layer_latency_ms_count{{layer="{name}"}} {stats.count}'
+                )
+        if s["he_ops"]:
+            out.append(f"# TYPE {prefix}_he_ops_total counter")
+            for op, n in sorted(s["he_ops"].items()):
+                out.append(f'{prefix}_he_ops_total{{op="{op}"}} {n}')
+        return "\n".join(out) + "\n"

@@ -7,7 +7,10 @@ blocks of a single ciphertext (:mod:`repro.serve.packing` /
 forward using the artifact's pre-encoded plaintexts
 (:mod:`repro.serve.artifact`), and demultiplexed back into per-client
 logits on decrypt.  Per-batch observations land in
-:class:`repro.serve.metrics.ServingMetrics`.
+:class:`repro.serve.metrics.ServingMetrics`; with ``trace=True`` each
+worker additionally runs a :class:`repro.obs.TracingEvaluator`, feeding
+per-layer durations into the metrics' latency histograms and keeping
+the last batch's span tree on ``last_trace``.
 """
 
 from __future__ import annotations
@@ -21,6 +24,7 @@ import numpy as np
 from repro.ckks.evaluator import CkksEvaluator
 from repro.ckks.instrumentation import CountingEvaluator
 from repro.fhe.network import EncryptedMLP
+from repro.obs import TracingEvaluator
 from repro.serve.artifact import ModelArtifact
 from repro.serve.metrics import ServingMetrics
 from repro.serve.queue import BatchQueue, Request, WorkerPool
@@ -58,6 +62,12 @@ class InferenceServer:
         keys (encoding caches are shared).
     instrument:
         Count homomorphic ops per batch into the metrics.
+    trace:
+        Run each batch under the execution tracer (implies
+        ``instrument``): per-layer durations feed the metrics' latency
+        histograms and the most recent batch's span tree is kept on
+        :attr:`last_trace`.  Tracing never perturbs ciphertexts — it
+        only reads levels and scales.
 
     Usage::
 
@@ -75,6 +85,7 @@ class InferenceServer:
         max_wait_ms: float = 8.0,
         num_workers: int = 1,
         instrument: bool = False,
+        trace: bool = False,
         warm: bool = True,
     ):
         self.artifact = model if isinstance(model, ModelArtifact) else ModelArtifact(model)
@@ -85,9 +96,12 @@ class InferenceServer:
             capacity if max_batch_size is None else max(1, min(max_batch_size, capacity))
         )
         self.metrics = ServingMetrics()
-        self._instrument = instrument
+        self._trace = trace
+        self._instrument = instrument or trace
+        self.last_trace: dict | None = None
         self._evaluators: list = [self._make_evaluator(i) for i in range(num_workers)]
         self._queue = BatchQueue(self.max_batch_size, max_wait_ms=max_wait_ms)
+        self.metrics.bind_queue_depth(self._queue.__len__)
         self._pool = WorkerPool(self._queue, self._handle_batch, num_workers=num_workers)
         self._started = False
         self._stopped = False
@@ -102,6 +116,8 @@ class InferenceServer:
         )
         if index > 0:
             ev.encoder = self.model.ev.encoder  # share the (caching) encoder
+        if self._trace:
+            return TracingEvaluator(CountingEvaluator(ev))
         return CountingEvaluator(ev) if self._instrument else ev
 
     # ------------------------------------------------------------------
@@ -168,6 +184,11 @@ class InferenceServer:
         futures = [self.submit(x) for x in xs]
         return [f.result(timeout=timeout) for f in futures]
 
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of the serving metrics (counters,
+        queue-depth / in-flight gauges, per-layer latency histograms)."""
+        return self.metrics.format_prometheus()
+
     # ------------------------------------------------------------------
     # batch execution (worker threads)
     # ------------------------------------------------------------------
@@ -181,6 +202,9 @@ class InferenceServer:
         ev = self._evaluators[worker_index]
         if self._instrument:
             ev.reset()
+        if self._trace:
+            ev.tracer.reset()
+        self.metrics.batch_started()
         t0 = time.perf_counter()
         try:
             xs = [req.x for req in batch]
@@ -203,6 +227,8 @@ class InferenceServer:
             for req in batch:
                 req.future.set_exception(exc)
             return
+        finally:
+            self.metrics.batch_finished()
         done = time.perf_counter()
         latencies = []
         for req, row in zip(batch, logits):
@@ -216,9 +242,17 @@ class InferenceServer:
                     batch_size=len(batch),
                 )
             )
+        layer_seconds = None
+        if self._trace:
+            tracer = ev.tracer
+            layer_seconds = {
+                sp.name: sp.duration_s for sp in tracer.layer_spans()
+            }
+            self.last_trace = tracer.to_dict(meta={"batch_size": len(batch)})
         self.metrics.record_batch(
             len(batch),
             done - t0,
             latencies,
             op_counts=ev.counts if self._instrument else None,
+            layer_seconds=layer_seconds,
         )

@@ -1,0 +1,28 @@
+"""Shared fixtures: compiled toy models for the observability suite.
+
+Session-scoped — keygen and compilation are paid once for the whole
+differential suite (the traced/untraced forwards themselves are the
+per-test work).
+"""
+
+import pytest
+
+from repro.fhe.toy import compiled_toy, compiled_toy_cnn, compiled_toy_resnet
+
+
+@pytest.fixture(scope="session")
+def toy_enc():
+    """Compiled 8 -> 6 -> 3 MLP in production form."""
+    return compiled_toy()
+
+
+@pytest.fixture(scope="session")
+def toy_cnn_enc():
+    """Compiled trained 2-conv CNN."""
+    return compiled_toy_cnn()
+
+
+@pytest.fixture(scope="session")
+def toy_resnet_enc():
+    """Compiled trained 2-block ResNet, channels across 2 ciphertexts."""
+    return compiled_toy_resnet()

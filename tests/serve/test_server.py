@@ -129,3 +129,57 @@ class TestServerPlumbing:
             ModelArtifact(enc), num_classes=3, max_batch_size=10_000, warm=False
         )
         assert srv.max_batch_size == enc.max_batch
+
+
+class TestTracedServing:
+    def test_trace_feeds_layer_histograms_and_last_trace(self, toy):
+        _, enc = toy
+        with InferenceServer(
+            ModelArtifact(enc),
+            num_classes=3,
+            max_batch_size=4,
+            max_wait_ms=20,
+            trace=True,
+        ) as srv:
+            results = srv.predict_many(np.zeros((3, 8)))
+        assert all(res.logits.shape == (3,) for res in results)
+        snap = srv.metrics.snapshot()
+        # trace implies instrument: op accounting still flows
+        assert snap["he_ops"]["rotate"] > 0
+        # per-layer durations landed in the latency histograms
+        assert set(snap["layers"]) == {
+            f"layer{i:02d}:{layer.kind}" for i, layer in enumerate(enc.layers)
+        }
+        assert all(s["count"] >= 1 for s in snap["layers"].values())
+        # the last batch's span tree is kept for inspection
+        assert srv.last_trace["format"] == "repro-trace-v1"
+        names = [sp["name"] for sp in srv.last_trace["spans"]]
+        assert names[0] == "forward"
+        assert srv.last_trace["batch_size"] == 3
+
+    def test_metrics_text_exposes_gauges_and_histograms(self, toy):
+        _, enc = toy
+        with InferenceServer(
+            ModelArtifact(enc), num_classes=3, max_wait_ms=20, trace=True
+        ) as srv:
+            srv.predict(np.ones(8), timeout=60.0)
+            text = srv.metrics_text()
+        assert "repro_serve_queue_depth 0" in text
+        assert "repro_serve_in_flight_batches 0" in text
+        assert "repro_serve_requests_total 1" in text
+        assert 'repro_serve_layer_latency_ms_bucket{layer="layer00:linear"' in text
+        assert 'repro_serve_layer_latency_ms_count{layer="layer01:paf"} 1' in text
+
+    def test_traced_serving_matches_untraced(self, toy):
+        # encryption is randomized, so server-level logits agree to
+        # noise precision; the bit-level guarantee is pinned by
+        # tests/obs/test_differential.py on a shared ciphertext
+        _, enc = toy
+        x = np.linspace(-1, 1, 8)
+        kwargs = dict(num_classes=3, max_wait_ms=20)
+        with InferenceServer(ModelArtifact(enc), **kwargs) as srv:
+            plain = srv.predict(x, timeout=60.0)
+        with InferenceServer(ModelArtifact(enc), trace=True, **kwargs) as srv:
+            traced = srv.predict(x, timeout=60.0)
+        np.testing.assert_allclose(plain.logits, traced.logits, atol=1e-3)
+        assert plain.prediction == traced.prediction

@@ -1,0 +1,114 @@
+"""Level-slack regression gate for CI.
+
+    python tools/check_slack.py TRACE.json [TRACE.json ...]
+                                [--baseline benchmarks/slack_baseline.json]
+                                [--update]
+
+Reads the per-layer ``level_slack`` attributes from ``repro-trace-v1``
+execution traces (levels remaining at layer exit beyond what the
+downstream schedule still consumes) and compares them against the
+checked-in baseline.  Slack is the repo's noise-budget headroom: a
+layer whose slack *drops* means some change deepened the circuit ahead
+of it — the kind of silent regression that later strands a model one
+level short — so any drop below the pinned value fails CI.  Extra
+slack passes with a reminder to refresh the baseline.
+
+``--update`` rewrites the baseline from the given traces instead of
+checking.  Stdlib only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = str(
+    Path(__file__).resolve().parent.parent / "benchmarks" / "slack_baseline.json"
+)
+
+
+def slack_of(trace: dict) -> tuple:
+    """Returns ``(model, {layer name: level slack})`` from one trace."""
+    model = trace.get("model", "unknown")
+    layers = {
+        sp["name"]: sp["attrs"]["level_slack"]
+        for sp in trace.get("spans", [])
+        if sp.get("kind") == "layer" and "level_slack" in sp.get("attrs", {})
+    }
+    return model, layers
+
+
+def compare(baseline: dict, current: dict) -> tuple:
+    """Returns ``(regressions, improvements)`` as message lists."""
+    regressions: list = []
+    improvements: list = []
+    for model, base in sorted(baseline.get("models", {}).items()):
+        cur = current.get(model)
+        if cur is None:
+            regressions.append(f"{model}: no trace for baselined model")
+            continue
+        for layer, b in sorted(base["layers"].items()):
+            c = cur.get(layer)
+            if c is None:
+                regressions.append(f"{model}.{layer}: missing from current trace")
+            elif c < b:
+                regressions.append(f"{model}.{layer}: slack {b} -> {c}")
+            elif c > b:
+                improvements.append(f"{model}.{layer}: slack {b} -> {c}")
+    return regressions, improvements
+
+
+def main(argv) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("traces", nargs="+", help="repro-trace-v1 JSON files")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE)
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline from these traces instead of checking",
+    )
+    args = parser.parse_args(argv[1:])
+
+    current: dict = {}
+    for path in args.traces:
+        with open(path) as fh:
+            model, layers = slack_of(json.load(fh))
+        if not layers:
+            print(f"NO SLACK DATA: {path} has no layer spans", file=sys.stderr)
+            return 1
+        current[model] = layers
+
+    if args.update:
+        models = {
+            model: {"layers": layers, "min_slack": min(layers.values())}
+            for model, layers in sorted(current.items())
+        }
+        with open(args.baseline, "w") as fh:
+            json.dump({"models": models}, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"check_slack: baseline updated ({len(models)} models)")
+        return 0
+
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    regressions, improvements = compare(baseline, current)
+    for msg in improvements:
+        print(f"improved: {msg}")
+    if improvements:
+        print(
+            "slack improved — refresh benchmarks/slack_baseline.json "
+            "(tools/check_slack.py --update) so the gate keeps the headroom"
+        )
+    for msg in regressions:
+        print(f"REGRESSION: {msg}", file=sys.stderr)
+    print(
+        f"check_slack: {len(baseline.get('models', {}))} pinned models, "
+        f"{len(regressions)} regressions"
+    )
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
