@@ -4,6 +4,7 @@ The benchmark half of the CI trend gate (``tools/check_bench_trend.py``):
 
     PYTHONPATH=src python benchmarks/bench_resnet_forward.py [--json PATH]
         [--skip-wall] [--from-opcounts OPCOUNTS.json] [--trace TRACE.json]
+        [--backend NAME] [--repeats K]
 
 Compiles the shared toy ResNet (:func:`repro.fhe.toy.compiled_toy_resnet`
 — 2 residual blocks, stride-2 projection skip, channels sharded across 2
@@ -14,8 +15,13 @@ ciphertexts) and reports, per model:
   per-op timings (:data:`REFERENCE_MICROS`).  Deterministic for a given
   compile, so the trend gate is immune to CI machine jitter — it moves
   only when the op counts (plans, sharding, merges) move.
-* ``wall_seconds`` — one measured forward on this machine (informational;
-  never gated).
+* ``wall_seconds`` / ``wall_seconds_by_backend`` /
+  ``wall_speedup_vectorized`` — measured forwards on this machine
+  (informational; never gated).  By default both kernel backends run the
+  *same* encrypted input (best of ``--repeats`` interleaved runs each),
+  the output ciphertexts are checked bit-identical, and the
+  reference/vectorized speedup is reported; ``--backend NAME`` restricts
+  to one backend.
 * ``keyswitches`` / ``nonscalar_mults`` — the op-count gate currencies,
   for cross-referencing against ``opcount_summary``.
 
@@ -45,8 +51,16 @@ def model_cost_seconds(counts: dict) -> float:
     return cost_from_counts(counts, REFERENCE_MICROS)
 
 
-def bench(skip_wall: bool = False, trace_path: str | None = None) -> dict:
+def bench(
+    skip_wall: bool = False,
+    trace_path: str | None = None,
+    backend: str | None = None,
+    repeats: int = 2,
+) -> dict:
     enc = compiled_toy_resnet()
+    ctx = enc.ctx
+    if backend is not None:
+        ctx.set_backend(backend)
     in_dim = sum(enc.input_splits)
     counting = CountingEvaluator(enc.ev)
     ev = TracingEvaluator(counting) if trace_path else counting
@@ -64,30 +78,71 @@ def bench(skip_wall: bool = False, trace_path: str | None = None) -> dict:
         "keyswitches": counting.keyswitch_count,
         "nonscalar_mults": counting.nonscalar_mult_count,
         "counts": {k: int(v) for k, v in sorted(counting.counts.items())},
+        "backend": ctx.backend.name,
     }
     if not skip_wall:
+        # Wall clock per backend, best-of-``repeats`` with the repeats
+        # interleaved (min is the standard noise-robust wall estimator,
+        # and interleaving decorrelates machine drift from the backend).
+        # Reusing one encrypted input across backends doubles as an
+        # end-to-end conformance check: the output ciphertexts must be
+        # bit-identical.
+        names = [ctx.backend.name] if backend is not None else ["reference", "vectorized"]
         cts = enc.encrypt_batch_shards([np.zeros(in_dim)])
-        t0 = time.perf_counter()
-        enc.forward_shards(cts)
-        record["wall_seconds"] = round(time.perf_counter() - t0, 3)
+        walls: dict = {}
+        outputs: dict = {}
+        for _ in range(max(1, repeats)):
+            for name in names:
+                ctx.set_backend(name)
+                t0 = time.perf_counter()
+                out = enc.forward_shards(cts)
+                dt = time.perf_counter() - t0
+                walls[name] = min(dt, walls.get(name, dt))
+                outputs.setdefault(name, out)
+        ctx.set_backend(record["backend"])
+        if len(names) > 1:
+            for ct_r, ct_v in zip(outputs["reference"], outputs["vectorized"]):
+                if not (
+                    np.array_equal(ct_r.c0.data, ct_v.c0.data)
+                    and np.array_equal(ct_r.c1.data, ct_v.c1.data)
+                ):  # pragma: no cover - conformance suite guards this
+                    raise AssertionError(
+                        "backend outputs diverged: reference and vectorized "
+                        "forwards must produce bit-identical ciphertexts"
+                    )
+            record["wall_seconds_by_backend"] = {
+                name: round(wall, 3) for name, wall in walls.items()
+            }
+            record["wall_speedup_vectorized"] = round(
+                walls["reference"] / walls["vectorized"], 2
+            )
+        record["wall_seconds"] = round(walls[names[0]], 3)
     return {"models": {"toy_resnet": record}}
 
 
 def from_opcounts(path: str) -> dict:
-    """Derive the record from an existing op-count gate JSON (no crypto)."""
+    """Derive the record from an existing op-count gate JSON (no crypto).
+
+    When the summary was produced with ``--check-backends`` (its header
+    records the verified backend names), a ``toy_resnet_vectorized``
+    entry rides along with the same counts — op counts are
+    backend-invariant by the conformance gate, so the vectorized
+    backend's deterministic cost is on the trend record too.
+    """
     with open(path) as fh:
-        models = json.load(fh)["models"]
+        payload = json.load(fh)
+    models = payload["models"]
     rec = models["toy_resnet"]
-    return {
-        "models": {
-            "toy_resnet": {
-                "model_cost_seconds": round(model_cost_seconds(rec["counts"]), 4),
-                "keyswitches": rec["keyswitches"],
-                "nonscalar_mults": rec["nonscalar_mults"],
-                "counts": rec["counts"],
-            }
-        }
+    entry = {
+        "model_cost_seconds": round(model_cost_seconds(rec["counts"]), 4),
+        "keyswitches": rec["keyswitches"],
+        "nonscalar_mults": rec["nonscalar_mults"],
+        "counts": rec["counts"],
     }
+    out = {"models": {"toy_resnet": entry}}
+    if "vectorized" in payload.get("backends", []):
+        out["models"]["toy_resnet_vectorized"] = dict(entry, backend="vectorized")
+    return out
 
 
 def main() -> int:
@@ -111,20 +166,44 @@ def main() -> int:
         "measured forward here and print its level-slack report "
         "(incompatible with --from-opcounts, which runs no crypto)",
     )
+    parser.add_argument(
+        "--backend",
+        help="measure only this kernel backend (default: measure "
+        "reference and vectorized and report the speedup)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=2,
+        help="wall-clock repeats per backend; the minimum is reported",
+    )
     args = parser.parse_args()
     if args.opcounts_path:
         if args.trace_path:
             parser.error("--trace needs a measured forward; drop --from-opcounts")
         result = from_opcounts(args.opcounts_path)
     else:
-        result = bench(skip_wall=args.skip_wall, trace_path=args.trace_path)
+        result = bench(
+            skip_wall=args.skip_wall,
+            trace_path=args.trace_path,
+            backend=args.backend,
+            repeats=args.repeats,
+        )
     for model, rec in result["models"].items():
-        print(
+        line = (
             f"{model}: model_cost={rec['model_cost_seconds']}s "
             f"keyswitches={rec['keyswitches']} "
             f"nonscalar_mults={rec['nonscalar_mults']} "
             f"wall={rec.get('wall_seconds', 'skipped')}"
         )
+        if "wall_speedup_vectorized" in rec:
+            by_backend = rec["wall_seconds_by_backend"]
+            line += (
+                f" (reference={by_backend['reference']}s "
+                f"vectorized={by_backend['vectorized']}s "
+                f"speedup={rec['wall_speedup_vectorized']}x)"
+            )
+        print(line)
     if args.json_path:
         with open(args.json_path, "w") as fh:
             json.dump(result, fh, indent=2, sort_keys=True)

@@ -34,6 +34,7 @@ import numpy as np
 
 from bench_paf_eval import activation_count_table
 from repro.analysis.tables import format_table
+from repro.ckks.backend import available_backends
 from repro.ckks.instrumentation import CountingEvaluator
 from repro.fhe.toy import compiled_toy, compiled_toy_cnn, compiled_toy_resnet
 from repro.obs import TracingEvaluator
@@ -151,7 +152,34 @@ def gate_metrics(counting: CountingEvaluator) -> dict:
     }
 
 
-def build_summary(trace_dir: str | None = None) -> tuple:
+def verify_backend_invariance(model: str, ctx, measure, base: dict) -> None:
+    """Re-measure ``model``'s forward under every other registered kernel
+    backend and fail loudly unless the gate JSON is byte-identical.
+
+    Kernel backends may only change *how* residue arithmetic executes,
+    never *which* HE ops run, so the serialized gate metrics must not
+    move by a single byte when the backend is swapped (docs/backends.md).
+    """
+    blob = json.dumps(base, sort_keys=True).encode()
+    orig = ctx.backend.name
+    for name in available_backends():
+        if name == orig:
+            continue
+        ctx.set_backend(name)
+        try:
+            other = json.dumps(gate_metrics(measure()), sort_keys=True).encode()
+        finally:
+            ctx.set_backend(orig)
+        if other != blob:
+            raise SystemExit(
+                f"op-count gate JSON for {model!r} is not backend-invariant: "
+                f"backend {name!r} diverges from {orig!r}. Kernel backends "
+                "may only change how residue arithmetic executes, never "
+                "which HE ops run — see docs/backends.md."
+            )
+
+
+def build_summary(trace_dir: str | None = None, check_backends: bool = False) -> tuple:
     """Returns ``(text summary, gate JSON dict)``."""
     sections = []
     models: dict = {}
@@ -172,6 +200,10 @@ def build_summary(trace_dir: str | None = None) -> tuple:
         )
     )
     models["toy_mlp"] = gate_metrics(planned)
+    if check_backends:
+        verify_backend_invariance(
+            "toy_mlp", mlp.ctx, lambda: measure_forward(mlp, 8), models["toy_mlp"]
+        )
 
     # --- toy CNN: planned path (the naive conv loop pays one keyswitch
     # per diagonal — 100+ for the strided conv — so the reference forward
@@ -194,6 +226,10 @@ def build_summary(trace_dir: str | None = None) -> tuple:
         )
     )
     models["toy_cnn"] = gate_metrics(cnn_planned)
+    if check_backends:
+        verify_backend_invariance(
+            "toy_cnn", cnn.ctx, lambda: measure_forward(cnn, 64), models["toy_cnn"]
+        )
 
     # --- toy ResNet: the sharded multi-ciphertext path (2 residual
     # blocks, stride-2 projection skip, channels across 2 ciphertexts) ---
@@ -217,9 +253,20 @@ def build_summary(trace_dir: str | None = None) -> tuple:
         )
     )
     models["toy_resnet"] = gate_metrics(resnet_planned)
+    if check_backends:
+        verify_backend_invariance(
+            "toy_resnet",
+            resnet.ctx,
+            lambda: measure_forward_shards(resnet, 64),
+            models["toy_resnet"],
+        )
 
     sections.append(activation_count_table())
-    return "\n\n".join(sections), {"models": models}
+    gate: dict = {"models": models}
+    if check_backends:
+        # record which backends the counts were verified invariant under
+        gate["backends"] = available_backends()
+    return "\n\n".join(sections), gate
 
 
 def main() -> int:
@@ -234,8 +281,16 @@ def main() -> int:
         help="write one repro-trace-v1 execution trace per model here "
         "(trace_<model>.json)",
     )
+    parser.add_argument(
+        "--check-backends",
+        action="store_true",
+        help="re-measure every forward under each registered kernel "
+        "backend and fail unless the gate JSON is byte-identical",
+    )
     args = parser.parse_args()
-    summary, gate = build_summary(trace_dir=args.trace_dir)
+    summary, gate = build_summary(
+        trace_dir=args.trace_dir, check_backends=args.check_backends
+    )
     print(summary)
     if args.outfile:
         with open(args.outfile, "w") as fh:

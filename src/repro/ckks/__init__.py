@@ -5,6 +5,14 @@ embedding encoder, public-key encryption, RNS-digit hybrid keyswitching,
 rescaling, slot rotation, and depth-optimal PAF evaluation on ciphertexts.
 """
 
+from repro.ckks.backend import (
+    KernelBackend,
+    ReferenceBackend,
+    VectorizedBackend,
+    available_backends,
+    register_backend,
+    resolve_backend,
+)
 from repro.ckks.context import CkksContext, CkksParams
 from repro.ckks.encoder import CkksEncoder, Plaintext
 from repro.ckks.evaluator import Ciphertext, CkksEvaluator
@@ -30,6 +38,12 @@ from repro.ckks.rns import RnsPoly, crt_compose_centered, fast_base_convert
 from repro.ckks.security import SecurityReport, security_report
 
 __all__ = [
+    "KernelBackend",
+    "ReferenceBackend",
+    "VectorizedBackend",
+    "available_backends",
+    "register_backend",
+    "resolve_backend",
     "CkksParams",
     "CkksContext",
     "CkksEncoder",

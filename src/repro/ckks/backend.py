@@ -1,0 +1,561 @@
+"""Pluggable kernel backends: the per-limb ↔ limb-batched seam.
+
+Every homomorphic operation in this repo bottoms out in a handful of
+exact modular-integer kernels over the ``(limbs, n)`` residue matrix of
+an :class:`~repro.ckks.rns.RnsPoly`: negacyclic NTTs, pointwise modular
+arithmetic, the rescale descent and the hoisted-keyswitch digit
+pipeline.  :class:`KernelBackend` names that seam; everything above it
+(``rns``, ``evaluator``, ``fhe/linear``, ``fhe/network``) calls only the
+interface and never touches a butterfly.
+
+Two implementations ship:
+
+* :class:`ReferenceBackend` — the original per-limb code paths, moved
+  here verbatim: one :class:`~repro.ckks.ntt.NttPlan` transform per
+  residue row, one Python-loop iteration per keyswitch digit.
+* :class:`VectorizedBackend` — the same arithmetic with the limb axis
+  folded into the numpy kernels: twiddle tables stacked ``(limbs, n)``
+  once per context, butterflies sweeping every limb (and every digit)
+  of a stack in one pass, and the keyswitch digit pipeline (decompose →
+  lift → NTT → key inner product → divide-by-P descent) fused into
+  whole-tensor batched operations.
+
+The two are **bit-identical**, not merely numerically close: all kernels
+are exact integer arithmetic mod 30-bit primes, and batching identical
+elementwise operations across rows cannot change any residue.  The
+cross-backend conformance suite (``tests/fhe/test_backend_conformance``)
+pins this — same ``c0/c1`` coefficients, same op counts, same decrypted
+outputs — which is what lets benchmarks compare backends as pure
+wall-time experiments.
+
+Selection: ``CkksParams(backend="vectorized")`` explicitly, else the
+``REPRO_BACKEND`` environment variable, else ``"reference"``.  A live
+context can switch with :meth:`CkksContext.set_backend` (exactness makes
+mid-stream switching safe).
+
+Overflow discipline (int64 throughout): primes are < 2^30, so any
+product of two residues is < 2^60 < 2^63.  The keyswitch inner product
+reduces each digit·key product mod its prime *before* summing over
+digits — at most ~64 summands each < 2^30 keeps the accumulator under
+2^36, so no chunking is needed at any supported depth.
+
+This module deliberately imports nothing from the rest of ``repro.ckks``
+(backends see only raw arrays, prime index lists and context
+attributes), so :mod:`repro.ckks.context` can own backend resolution
+without an import cycle.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+__all__ = [
+    "KernelBackend",
+    "ReferenceBackend",
+    "VectorizedBackend",
+    "available_backends",
+    "register_backend",
+    "resolve_backend",
+    "BACKEND_ENV_VAR",
+    "DEFAULT_BACKEND",
+]
+
+#: environment override consulted when ``CkksParams.backend`` is None
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+DEFAULT_BACKEND = "reference"
+
+
+class KernelBackend:
+    """Abstract kernel interface over one context's modulus chain.
+
+    All methods operate on raw int64 arrays whose second-to-last axis
+    runs over ``prime_indices`` (indices into ``ctx.all_primes``); the
+    last axis is the ring dimension.  Implementations must be exact —
+    the conformance suite asserts bit-identical results across
+    backends, so "fast but approximately right" is not a valid backend.
+    """
+
+    #: registry / selection name; subclasses override
+    name = "abstract"
+
+    def __init__(self, ctx):
+        self.ctx = ctx
+        self._digit_inv_cache: dict = {}
+
+    # ------------------------------------------------------------------
+    # pointwise modular arithmetic — exact (rows, n) numpy in both
+    # backends, shared here
+    # ------------------------------------------------------------------
+    def _primes_col(self, prime_indices) -> np.ndarray:
+        return self.ctx._primes_arr[np.asarray(prime_indices, dtype=np.int64)][:, None]
+
+    def modadd(self, a, b, prime_indices) -> np.ndarray:
+        return (a + b) % self._primes_col(prime_indices)
+
+    def modsub(self, a, b, prime_indices) -> np.ndarray:
+        return (a - b) % self._primes_col(prime_indices)
+
+    def modneg(self, a, prime_indices) -> np.ndarray:
+        return (-a) % self._primes_col(prime_indices)
+
+    def modmul(self, a, b, prime_indices) -> np.ndarray:
+        return a * b % self._primes_col(prime_indices)
+
+    def modscale(self, a, scalars, prime_indices) -> np.ndarray:
+        """Multiply each residue row by its per-prime scalar."""
+        return a * scalars[:, None] % self._primes_col(prime_indices)
+
+    # ------------------------------------------------------------------
+    # kernels implemented per backend
+    # ------------------------------------------------------------------
+    def ntt_forward(self, rows, prime_indices) -> np.ndarray:
+        """Forward negacyclic NTT of every residue row.
+
+        ``rows`` has shape ``(..., len(prime_indices), n)``; row ``i``
+        along the limb axis is transformed mod
+        ``ctx.all_primes[prime_indices[i]]``.
+        """
+        raise NotImplementedError
+
+    def ntt_inverse(self, rows, prime_indices) -> np.ndarray:
+        """Inverse negacyclic NTT of every residue row (same layout)."""
+        raise NotImplementedError
+
+    def reduce_coeffs(self, coeffs, prime_indices) -> np.ndarray:
+        """Reduce one int64 coefficient vector into ``(limbs, n)`` rows."""
+        raise NotImplementedError
+
+    def rescale(self, rows, level) -> np.ndarray:
+        """Rescale descent in coefficient domain: divide ``(level+1, n)``
+        chain rows by ``q_level`` with centred rounding, returning the
+        ``(level, n)`` rows of the level below."""
+        raise NotImplementedError
+
+    def hoist_decompose(self, rows, level) -> np.ndarray:
+        """Keyswitch digits of coefficient-domain chain ``rows``, in NTT
+        form over the extended basis ``(q_0..q_level, P)``.
+
+        Returns shape ``(level+1 digits, level+2 basis rows, n)``.  This
+        is the Galois-independent half of a keyswitch (digit scaling,
+        centring, extended-basis lift, forward NTTs) — computed once and
+        reused per rotation under hoisting.
+        """
+        raise NotImplementedError
+
+    def apply_keyswitch(self, digits, key_b, key_a, level, perm=None) -> tuple:
+        """Inner product of decomposed ``digits`` with stacked key
+        tensors (each ``(digits, level+2, n)``), then the divide-by-``P``
+        descent back onto the chain basis.
+
+        ``perm`` (an NTT-slot permutation) is applied to every digit
+        first — the per-rotation half of a hoisted Galois application.
+        Returns NTT-domain ``(b_rows, a_rows)``, each ``(level+1, n)``.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # shared keyswitch constants
+    # ------------------------------------------------------------------
+    def _extended_basis(self, level) -> list:
+        return list(range(level + 1)) + [len(self.ctx.all_primes) - 1]
+
+    def _digit_inverses(self, level) -> np.ndarray:
+        """``(Q_l/q_j)^{-1} mod q_j`` for every digit j — cached per level."""
+        inv = self._digit_inv_cache.get(level)
+        if inv is None:
+            q_primes = [int(p) for p in self.ctx.primes_at_level(level)]
+            q_l = 1
+            for p in q_primes:
+                q_l *= p
+            inv = np.array(
+                [pow((q_l // q_j) % q_j, q_j - 2, q_j) for q_j in q_primes],
+                dtype=np.int64,
+            )
+            self._digit_inv_cache[level] = inv
+        return inv
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"{type(self).__name__}(n={self.ctx.n})"
+
+
+class ReferenceBackend(KernelBackend):
+    """The original per-limb code paths, one row / one digit at a time."""
+
+    name = "reference"
+
+    def ntt_forward(self, rows, prime_indices):
+        out = np.empty_like(rows)
+        plans = self.ctx.plans
+        for r, idx in enumerate(prime_indices):
+            out[..., r, :] = plans[idx].forward(rows[..., r, :])
+        return out
+
+    def ntt_inverse(self, rows, prime_indices):
+        out = np.empty_like(rows)
+        plans = self.ctx.plans
+        for r, idx in enumerate(prime_indices):
+            out[..., r, :] = plans[idx].inverse(rows[..., r, :])
+        return out
+
+    def reduce_coeffs(self, coeffs, prime_indices):
+        rows = np.empty((len(prime_indices), self.ctx.n), dtype=np.int64)
+        for r, idx in enumerate(prime_indices):
+            rows[r] = coeffs % self.ctx.all_primes[idx]
+        return rows
+
+    def rescale(self, rows, level):
+        ctx = self.ctx
+        q_last = ctx.q_chain[level]
+        inv = ctx.rescale_inverses(level)
+        last = rows[level]
+        # centre the dropped residue for correct rounding
+        centered = np.where(last > q_last // 2, last - q_last, last)
+        out = np.empty((level, ctx.n), dtype=np.int64)
+        for j in range(level):
+            p = ctx.q_chain[j]
+            out[j] = (rows[j] - centered) % p * inv[j] % p
+        return out
+
+    def hoist_decompose(self, rows, level):
+        ctx = self.ctx
+        basis = self._extended_basis(level)
+        basis_primes = np.array([ctx.all_primes[i] for i in basis], dtype=np.int64)
+        q_primes = [int(p) for p in ctx.primes_at_level(level)]
+        inv = self._digit_inverses(level)
+
+        digits = np.empty((len(q_primes), len(basis), ctx.n), dtype=np.int64)
+        for j, q_j in enumerate(q_primes):
+            digit = rows[j] * inv[j] % q_j
+            # centre the digit, then lift exactly onto the extended basis
+            digit_c = np.where(digit > q_j // 2, digit - q_j, digit)
+            digits[j] = self.ntt_forward(digit_c[None, :] % basis_primes[:, None], basis)
+        return digits
+
+    def apply_keyswitch(self, digits, key_b, key_a, level, perm=None):
+        ctx = self.ctx
+        basis = self._extended_basis(level)
+        basis_primes = np.array([ctx.all_primes[i] for i in basis], dtype=np.int64)
+        p_special = ctx.special_prime
+
+        if perm is not None:
+            digits = digits[:, :, perm]
+        acc_b = np.zeros((len(basis), ctx.n), dtype=np.int64)
+        acc_a = np.zeros((len(basis), ctx.n), dtype=np.int64)
+        for j in range(digits.shape[0]):
+            acc_b = (acc_b + digits[j] * key_b[j]) % basis_primes[:, None]
+            acc_a = (acc_a + digits[j] * key_a[j]) % basis_primes[:, None]
+
+        out = []
+        plan_p = ctx.plans[basis[-1]]
+        p_inv = ctx.p_inverses(level)
+        for acc in (acc_b, acc_a):
+            # divide by P with centred rounding: (x - [x]_P) * P^{-1} mod q_j
+            prod_p_coeff = plan_p.inverse(acc[-1])
+            centered = np.where(
+                prod_p_coeff > p_special // 2, prod_p_coeff - p_special, prod_p_coeff
+            )
+            rows = np.empty((level + 1, ctx.n), dtype=np.int64)
+            for j in range(level + 1):
+                q_j = ctx.q_chain[j]
+                coeff_j = ctx.plans[j].inverse(acc[j])
+                rows[j] = (coeff_j - centered) % q_j * p_inv[j] % q_j
+            out.append(self.ntt_forward(rows, list(range(level + 1))))
+        return out[0], out[1]
+
+
+def _stockham_forward_limb(x, w_tab, p, n):
+    """One limb's forward NTT over a ``(rows, n)`` batch, scalar modulus.
+
+    Stockham-style storage: stage ``s`` keeps the data as
+    ``(rows, block, 2^s)`` with butterfly partners in the two contiguous
+    block halves, so every read and every arithmetic pass is contiguous
+    (the classic in-place layout strides badly once blocks shrink below a
+    cache line).  The butterflies themselves — pairings and ψ twiddles —
+    are exactly Cooley-Tukey's, so over exact modular integers the output
+    is bit-identical to :meth:`repro.ckks.ntt.NttPlan.forward`.
+
+    Reduction is deferred (Harvey-style laziness): only the twiddle
+    product is reduced per stage, the add/sub halves grow by one prime's
+    magnitude per stage, and values are re-canonicalised every 8 stages.
+    With p < 2^30 the multiplicand stays below 8p < 2^33, keeping every
+    product under 2^63 — exact int64 throughout.  Inputs must be
+    canonical residues (every in-tree caller's invariant).
+    """
+    rows = x.shape[0]
+    Y = np.ascontiguousarray(x).reshape(rows, n, 1)
+    t = n
+    m = 1
+    growth = 1  # |values| < growth · p
+    while m < n:
+        t //= 2
+        if growth == 8:  # next multiply needs |v| < 8p < 2^33
+            Y = Y % p
+            growth = 1
+        A = Y[:, :t, :]
+        B = Y[:, t:, :]
+        vw = B * w_tab[m : 2 * m]
+        vw %= p
+        Ynew = np.empty((rows, t, 2 * m), dtype=np.int64)
+        np.add(A, vw, out=Ynew[..., 0::2])
+        np.subtract(A, vw, out=Ynew[..., 1::2])
+        Y = Ynew
+        m *= 2
+        growth += 1
+    return Y.reshape(rows, n) % p
+
+
+def _stockham_forward_bcast(a, psi_rev, primes, n):
+    """Forward NTT with the limb axis carried through every stage.
+
+    Same Stockham dataflow as :func:`_stockham_forward_limb` with
+    per-limb moduli as a broadcast divisor — cheaper than the per-limb
+    loop when the leading batch is small (a handful of rows per limb
+    can't amortise ``limbs`` separate numpy passes).
+    """
+    batch, limbs = a.shape[0], a.shape[1]
+    Y = a.reshape(batch, limbs, n, 1)
+    p = primes[None, :, None, None]
+    t = n
+    m = 1
+    growth = 1
+    while m < n:
+        t //= 2
+        if growth == 8:
+            Y = Y % p
+            growth = 1
+        A = Y[:, :, :t, :]
+        B = Y[:, :, t:, :]
+        vw = B * psi_rev[:, m : 2 * m][None, :, None, :]
+        vw %= p
+        Ynew = np.empty((batch, limbs, t, 2 * m), dtype=np.int64)
+        np.add(A, vw, out=Ynew[..., 0::2])
+        np.subtract(A, vw, out=Ynew[..., 1::2])
+        Y = Ynew
+        m *= 2
+        growth += 1
+    return Y.reshape(batch, limbs, n) % primes[None, :, None]
+
+
+#: leading-batch size from which the per-limb scalar-modulus path wins
+#: over the broadcast path (hoisting tensors, keyswitch descents)
+_LIMB_MAJOR_MIN_BATCH = 3
+
+
+def _batched_ntt_forward(a, psi_rev, primes, n):
+    """Forward negacyclic NTT over a ``(..., limbs, n)`` stack.
+
+    ``psi_rev`` is ``(limbs, n)`` and ``primes`` is ``(limbs,)``; each
+    limb's butterflies run mod its own prime.  Dispatches between two
+    bit-identical Stockham kernels: large leading batches (hoisted digit
+    tensors) loop over limbs with a scalar modulus, small ones broadcast
+    the modulus across the limb axis.
+    """
+    shape = a.shape
+    limbs = shape[-2]
+    a = a.reshape(-1, limbs, n)
+    if a.shape[0] >= _LIMB_MAJOR_MIN_BATCH:
+        out = np.empty_like(a)
+        for i in range(limbs):
+            out[:, i, :] = _stockham_forward_limb(
+                a[:, i, :], psi_rev[i], int(primes[i]), n
+            )
+        return out.reshape(shape)
+    return _stockham_forward_bcast(a, psi_rev, primes, n).reshape(shape)
+
+
+def _batched_ntt_inverse(a, psi_inv_rev, n_inv, primes, n):
+    """Inverse (Gentleman-Sande) counterpart of :func:`_batched_ntt_forward`.
+
+    Same deferred-reduction discipline; both butterfly halves grow here
+    (u+v doubles the bound), so values are re-canonicalised every two
+    stages, and the n^{-1} scaling folds into the last stage's twiddles
+    so the output lands canonical without an extra full pass.  Inputs
+    must be canonical residues (every in-tree caller's invariant).
+    """
+    pcol = primes[:, None]
+    a = a.copy()  # C-contiguous working copy; butterflies run in place
+    shape = a.shape
+    limbs = shape[-2]
+    a = a.reshape(-1, limbs, n)
+    p = primes[None, :, None, None]
+    t = 1
+    m = n
+    growth = 1  # |values| < growth · p
+    while m > 1:
+        h = m // 2
+        if growth == 4:  # next stage forms u±v with |·| < 8p < 2^33
+            a %= primes[None, :, None]
+            growth = 1
+        view = a.reshape(-1, limbs, h, 2, t)
+        w = psi_inv_rev[:, h : 2 * h]
+        u = view[..., 0, :]
+        v = view[..., 1, :]
+        d = u - v
+        np.add(u, v, out=u)  # sum lands in place; d captured the difference
+        if h == 1:
+            # last stage: fold n^{-1} into both halves (exact — same
+            # residues as a separate final scaling pass)
+            w_scaled = w * n_inv[:, None] % pcol
+            u *= n_inv[None, :, None, None]
+            u %= p
+            d *= w_scaled[None, :, :, None]
+        else:
+            d *= w[None, :, :, None]
+        d %= p
+        view[..., 1, :] = d
+        t *= 2
+        m = h
+        growth *= 2
+    return a.reshape(shape)
+
+
+def _chunked_modsum(prods, pcol):
+    """Sum ``(terms, limbs, n)`` over the first axis mod ``pcol``.
+
+    Each term is a raw residue product ≤ (2^30 - 1)^2, so a chunk of 8
+    plus the (< 2^30) running accumulator stays below 2^63 - 2^34 + 2^30
+    — exact in int64 with one reduction per chunk instead of per term.
+    """
+    terms = prods.shape[0]
+    acc = prods[:8].sum(axis=0) % pcol
+    for k in range(8, terms, 8):
+        acc = (acc + prods[k : k + 8].sum(axis=0)) % pcol
+    return acc
+
+
+class VectorizedBackend(KernelBackend):
+    """Limb-batched kernels: the limb (and digit) axes live inside numpy.
+
+    Twiddle tables from the context's per-prime :class:`NttPlan`\\ s are
+    stacked once into ``(primes, n)`` arrays, so a transform of ``L``
+    limbs — or of a whole ``(digits, basis, n)`` keyswitch tensor — is
+    log2(n) butterfly stages of whole-tensor ops regardless of how many
+    rows ride along.  The keyswitch pipeline never drops back to Python
+    per digit: decompose, centre, lift, NTT, key inner product and the
+    divide-by-P descent each run as a single batched pass.
+    """
+
+    name = "vectorized"
+
+    def __init__(self, ctx):
+        super().__init__(ctx)
+        plans = ctx.plans
+        #: stacked twiddle tables, indexed by position in ``ctx.all_primes``
+        self._psi = np.stack([plan.psi_rev for plan in plans])
+        self._psi_inv = np.stack([plan.psi_inv_rev for plan in plans])
+        self._n_inv = np.array([plan.n_inv for plan in plans], dtype=np.int64)
+        self._primes = ctx._primes_arr
+
+    def _idx(self, prime_indices) -> np.ndarray:
+        return np.asarray(prime_indices, dtype=np.int64)
+
+    def ntt_forward(self, rows, prime_indices):
+        idx = self._idx(prime_indices)
+        return _batched_ntt_forward(rows, self._psi[idx], self._primes[idx], self.ctx.n)
+
+    def ntt_inverse(self, rows, prime_indices):
+        idx = self._idx(prime_indices)
+        return _batched_ntt_inverse(
+            rows, self._psi_inv[idx], self._n_inv[idx], self._primes[idx], self.ctx.n
+        )
+
+    def reduce_coeffs(self, coeffs, prime_indices):
+        return coeffs[None, :] % self._primes_col(prime_indices)
+
+    def rescale(self, rows, level):
+        q = self._primes[: level + 1]
+        q_last = int(q[level])
+        inv = self.ctx.rescale_inverses(level)
+        last = rows[level]
+        centered = np.where(last > q_last // 2, last - q_last, last)
+        qcol = q[:level, None]
+        return (rows[:level] - centered[None, :]) % qcol * inv[:, None] % qcol
+
+    def hoist_decompose(self, rows, level):
+        basis = self._extended_basis(level)
+        q = self._primes[: level + 1, None]
+        inv = self._digit_inverses(level)
+        digits = rows * inv[:, None] % q
+        centered = np.where(digits > q // 2, digits - q, digits)
+        basis_primes = self._primes[self._idx(basis)]
+        # lift every centred digit onto the extended basis in one shot:
+        # (digits, 1, n) % (1, basis, 1) -> (digits, basis, n)
+        lifted = centered[:, None, :] % basis_primes[None, :, None]
+        return self.ntt_forward(lifted, basis)
+
+    def apply_keyswitch(self, digits, key_b, key_a, level, perm=None):
+        ctx = self.ctx
+        basis = self._extended_basis(level)
+        bp = self._primes[self._idx(basis)]
+        p_special = ctx.special_prime
+
+        if perm is not None:
+            digits = digits[:, :, perm]
+        # lazy inner product: raw digit·key products are < 2^60, so up to
+        # 8 of them sum exactly in int64 (< 2^63) — reduce once per chunk
+        # of 8 digits instead of once per product
+        acc_b = _chunked_modsum(digits * key_b, bp[:, None])
+        acc_a = _chunked_modsum(digits * key_a, bp[:, None])
+
+        # both halves ride one batched descent: stack -> (2, basis, n)
+        coeff = self.ntt_inverse(np.stack([acc_b, acc_a]), basis)
+        last = coeff[:, -1, :]
+        centered = np.where(last > p_special // 2, last - p_special, last)
+        q = self._primes[: level + 1]
+        qcol = q[None, :, None]
+        p_inv = ctx.p_inverses(level)
+        rows = (coeff[:, : level + 1, :] - centered[:, None, :]) % qcol
+        rows = rows * p_inv[None, :, None] % qcol
+        out = self.ntt_forward(rows, list(range(level + 1)))
+        return out[0], out[1]
+
+
+# ----------------------------------------------------------------------
+# registry / resolution
+# ----------------------------------------------------------------------
+_REGISTRY: dict = {
+    ReferenceBackend.name: ReferenceBackend,
+    VectorizedBackend.name: VectorizedBackend,
+}
+
+
+def available_backends() -> list:
+    """Registered backend names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def register_backend(name: str, cls) -> None:
+    """Register a :class:`KernelBackend` subclass under ``name``.
+
+    New backends must pass the cross-backend conformance suite
+    (bit-identical ciphertexts, identical op counts) before they are
+    trustworthy — see ``docs/backends.md``.
+    """
+    if not (isinstance(cls, type) and issubclass(cls, KernelBackend)):
+        raise TypeError(f"{cls!r} is not a KernelBackend subclass")
+    _REGISTRY[name] = cls
+
+
+def resolve_backend(spec, ctx) -> KernelBackend:
+    """Instantiate the backend ``spec`` names for ``ctx``.
+
+    ``spec`` may be a registered name, an already-constructed
+    :class:`KernelBackend` bound to ``ctx``, or ``None`` — which falls
+    back to the ``REPRO_BACKEND`` environment variable and finally to
+    ``"reference"``.
+    """
+    if isinstance(spec, KernelBackend):
+        if spec.ctx is not ctx:
+            raise ValueError("backend instance is bound to a different context")
+        return spec
+    if spec is None:
+        spec = os.environ.get(BACKEND_ENV_VAR) or DEFAULT_BACKEND
+    try:
+        cls = _REGISTRY[spec]
+    except KeyError:
+        raise ValueError(
+            f"unknown kernel backend {spec!r}; available: {', '.join(available_backends())}"
+        ) from None
+    return cls(ctx)

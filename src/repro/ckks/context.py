@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.ckks.backend import resolve_backend
 from repro.ckks.ntt import NttPlan, _bit_reverse_indices
 from repro.ckks.primes import generate_primes, generate_scale_tracking_primes
 
@@ -38,6 +39,10 @@ class CkksParams:
     #: primes let the canonical schedule collapse double-exponentially
     #: (see :func:`repro.ckks.primes.generate_scale_tracking_primes`)
     scale_tracking: bool = False
+    #: kernel backend name (``"reference"`` / ``"vectorized"``); ``None``
+    #: resolves the ``REPRO_BACKEND`` env var, defaulting to reference —
+    #: see :mod:`repro.ckks.backend` (all backends are bit-identical)
+    backend: str | None = None
 
     @property
     def slots(self) -> int:
@@ -92,7 +97,7 @@ class CkksContext:
         self.special_prime = primes[-1]
         #: all primes, special last — index space for RNS rows
         self.all_primes = self.q_chain + [self.special_prime]
-        self.plans = [NttPlan(n, p) for p in self.all_primes]
+        self.plans = [NttPlan.get(n, p) for p in self.all_primes]
         self.scale = float(2**params.scale_bits)
 
         arr = np.array(self.all_primes, dtype=np.int64)
@@ -113,6 +118,8 @@ class CkksContext:
         # (c) Galois automorphisms as NTT-domain permutations (lazy per g)
         self._galois_perms: dict = {}
         self._bitrev = _bit_reverse_indices(n)
+        # kernel backend last: it reads the tables built above
+        self.backend = resolve_backend(params.backend, self)
 
     # ------------------------------------------------------------------
     @property
@@ -160,6 +167,20 @@ class CkksContext:
             perm = self._bitrev[(tg - 1) // 2]
             self._galois_perms[g] = perm
         return perm
+
+    def set_backend(self, backend=None):
+        """Swap the kernel backend on a live context.
+
+        ``backend`` is a registered name, a :class:`KernelBackend`
+        instance bound to this context, or ``None`` (re-resolve the
+        ``REPRO_BACKEND`` env var / default).  Backends are bit-identical
+        by contract, so switching mid-computation is safe — ciphertexts
+        produced before and after the switch interoperate exactly.  Used
+        by the conformance suite and ``--check-backends`` tooling to run
+        the same compiled model under every backend without re-keygen.
+        """
+        self.backend = resolve_backend(backend, self)
+        return self.backend
 
     def modulus_bits(self) -> float:
         """Total log2 of the ciphertext modulus (without the special prime)."""

@@ -38,6 +38,11 @@ class CkksEncoder:
     #: column chunk bounding the complex work matrix to ~32 MB
     _CHUNK = 1024
 
+    #: ring sizes up to this keep the full (N/2, N) embedding basis
+    #: cached — 8·N² bytes, so ≤ 32 MB at the threshold; larger rings
+    #: fall back to chunked recomputation
+    _CACHE_MAX_N = 2048
+
     def __init__(self, ctx: CkksContext):
         self.ctx = ctx
         n = ctx.n
@@ -50,6 +55,28 @@ class CkksEncoder:
             e = (e * 5) % (2 * n)
         #: angles θ_j with ζ_j = exp(i θ_j)
         self.theta = np.pi * exps.astype(np.float64) / n
+        # per-chunk basis caches (sign=-1 for embed, +1 for project);
+        # built lazily, exactly the arrays the uncached loop would form
+        self._basis_chunks: dict = {}
+
+    def _basis_chunk(self, sign: int, start: int, stop: int) -> np.ndarray:
+        """``exp(sign·i·θ_j·k)`` for columns ``start:stop``.
+
+        Recomputing the complex exponentials per encode dominates encode
+        cost once the NTTs are vectorised, so small rings cache them.
+        The cached arrays are byte-for-byte what the uncached path built,
+        and the chunked matmul structure is unchanged — embeddings (and
+        therefore ciphertexts) are bit-identical with and without the
+        cache.
+        """
+        key = (sign, start)
+        chunk = self._basis_chunks.get(key)
+        if chunk is None:
+            ks = np.arange(start, stop)
+            chunk = np.exp(sign * 1j * np.outer(self.theta, ks))
+            if self.ctx.n <= self._CACHE_MAX_N:
+                self._basis_chunks[key] = chunk
+        return chunk
 
     # ------------------------------------------------------------------
     def embed(self, values: np.ndarray) -> np.ndarray:
@@ -63,9 +90,9 @@ class CkksEncoder:
         z[: values.size] = values
         coeffs = np.empty(n, dtype=np.float64)
         for start in range(0, n, self._CHUNK):
-            ks = np.arange(start, min(start + self._CHUNK, n))
-            basis = np.exp(-1j * np.outer(self.theta, ks))  # conj(ζ_j^k)
-            coeffs[ks] = (2.0 / n) * np.real(z @ basis)
+            stop = min(start + self._CHUNK, n)
+            basis = self._basis_chunk(-1, start, stop)  # conj(ζ_j^k)
+            coeffs[start:stop] = (2.0 / n) * np.real(z @ basis)
         return coeffs
 
     def project(self, coeffs: np.ndarray) -> np.ndarray:
@@ -74,9 +101,9 @@ class CkksEncoder:
         out = np.zeros(self.ctx.slots, dtype=np.complex128)
         coeffs = np.asarray(coeffs, dtype=np.float64)
         for start in range(0, n, self._CHUNK):
-            ks = np.arange(start, min(start + self._CHUNK, n))
-            basis = np.exp(1j * np.outer(self.theta, ks))  # ζ_j^k
-            out += basis @ coeffs[ks]
+            stop = min(start + self._CHUNK, n)
+            basis = self._basis_chunk(1, start, stop)  # ζ_j^k
+            out += basis @ coeffs[start:stop]
         return out
 
     # ------------------------------------------------------------------

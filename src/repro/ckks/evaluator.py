@@ -181,17 +181,9 @@ class CkksEvaluator:
         if level < 1:
             raise ValueError("cannot rescale at level 0")
         q_last = self.ctx.q_chain[level]
-        inv = self.ctx.rescale_inverses(level)
 
         def down(poly: RnsPoly) -> RnsPoly:
-            coeff = poly.to_coeff()
-            last = coeff.data[level]
-            # centre the dropped residue for correct rounding
-            centered = np.where(last > q_last // 2, last - q_last, last)
-            rows = np.empty((level, self.ctx.n), dtype=np.int64)
-            for j in range(level):
-                p = self.ctx.q_chain[j]
-                rows[j] = (coeff.data[j] - centered) % p * inv[j] % p
+            rows = self.ctx.backend.rescale(poly.to_coeff().data, level)
             return RnsPoly(self.ctx, rows, list(range(level)), is_ntt=False).to_ntt()
 
         return Ciphertext(
@@ -267,26 +259,12 @@ class CkksEvaluator:
         permutation), and the automorphism is a pure NTT-slot permutation
         (:meth:`CkksContext.galois_ntt_permutation`).  Computing it once
         and permuting per rotation is rotation *hoisting*.
+
+        The digit pipeline itself (decompose, centre, lift, forward
+        NTTs) is a kernel-backend concern — per-digit loops on the
+        reference backend, one fused batched pass on the vectorized one.
         """
-        ctx = self.ctx
-        basis = list(range(level + 1)) + [len(ctx.all_primes) - 1]
-        basis_primes = np.array([ctx.all_primes[i] for i in basis], dtype=np.int64)
-
-        d_coeff = d.to_coeff()
-        q_primes = [int(p) for p in ctx.primes_at_level(level)]
-        q_l = 1
-        for p in q_primes:
-            q_l *= p
-
-        digits = np.empty((len(q_primes), len(basis), ctx.n), dtype=np.int64)
-        for j, q_j in enumerate(q_primes):
-            inv = pow((q_l // q_j) % q_j, q_j - 2, q_j)
-            digit = d_coeff.data[j] * inv % q_j
-            # centre the digit, then lift exactly onto the extended basis
-            digit_c = np.where(digit > q_j // 2, digit - q_j, digit)
-            rows = digit_c[None, :] % basis_primes[:, None]
-            digits[j] = RnsPoly(ctx, rows, basis, is_ntt=False).to_ntt().data
-        return digits
+        return self.ctx.backend.hoist_decompose(d.to_coeff().data, level)
 
     def _apply_keyswitch_keys(
         self, digits: np.ndarray, family, level: int, perm: np.ndarray | None = None
@@ -296,40 +274,17 @@ class CkksEvaluator:
 
         ``perm`` (an NTT-slot permutation) is applied to every digit first —
         this is the per-rotation half of a hoisted Galois application.
+        The arithmetic runs in the kernel backend against the family's
+        stacked key tensors.
         """
         ctx = self.ctx
-        keys = family.at_level(level)
-        special_idx = len(ctx.all_primes) - 1
-        p_special = ctx.special_prime
-        basis = list(range(level + 1)) + [special_idx]
-        basis_primes = np.array([ctx.all_primes[i] for i in basis], dtype=np.int64)
-
-        if perm is not None:
-            digits = digits[:, :, perm]
-        acc_b = np.zeros((len(basis), ctx.n), dtype=np.int64)
-        acc_a = np.zeros((len(basis), ctx.n), dtype=np.int64)
-        for j in range(digits.shape[0]):
-            acc_b = (acc_b + digits[j] * keys[j].b.data) % basis_primes[:, None]
-            acc_a = (acc_a + digits[j] * keys[j].a.data) % basis_primes[:, None]
-
-        out = []
-        plan_p = ctx.plans[special_idx]
-        p_inv = ctx.p_inverses(level)
-        for acc in (acc_b, acc_a):
-            # divide by P with centred rounding: (x - [x]_P) * P^{-1} mod q_j
-            prod_p_coeff = plan_p.inverse(acc[-1])
-            centered = np.where(
-                prod_p_coeff > p_special // 2, prod_p_coeff - p_special, prod_p_coeff
-            )
-            rows = np.empty((level + 1, ctx.n), dtype=np.int64)
-            for j in range(level + 1):
-                q_j = ctx.q_chain[j]
-                coeff_j = ctx.plans[j].inverse(acc[j])
-                rows[j] = (coeff_j - centered) % q_j * p_inv[j] % q_j
-            out.append(
-                RnsPoly(ctx, rows, list(range(level + 1)), is_ntt=False).to_ntt()
-            )
-        return out[0], out[1]
+        key_b, key_a = family.stacked_at_level(level)
+        rows_b, rows_a = ctx.backend.apply_keyswitch(digits, key_b, key_a, level, perm=perm)
+        chain = list(range(level + 1))
+        return (
+            RnsPoly(ctx, rows_b, chain, is_ntt=True),
+            RnsPoly(ctx, rows_a, chain, is_ntt=True),
+        )
 
     # ------------------------------------------------------------------
     # rotations

@@ -94,6 +94,7 @@ class KeySwitchFamily:
         self._w_coeffs = w_coeffs      # big-int (object) or int64 coefficients
         self._rng = np.random.default_rng(seed)
         self._cache: Dict[int, List[KeySwitchKey]] = {}
+        self._stacked: Dict[int, tuple] = {}
 
     def at_level(self, level: int) -> List[KeySwitchKey]:
         if level in self._cache:
@@ -128,6 +129,21 @@ class KeySwitchFamily:
             keys.append(KeySwitchKey(b=b, a=a))
         self._cache[level] = keys
         return keys
+
+    def stacked_at_level(self, level: int) -> tuple:
+        """The level's key components as two ``(digits, level+2, n)``
+        tensors ``(b, a)`` — the layout the kernel backends consume for
+        the batched keyswitch inner product.  Stacked once per level and
+        cached alongside :meth:`at_level`'s key list."""
+        stacked = self._stacked.get(level)
+        if stacked is None:
+            keys = self.at_level(level)
+            stacked = (
+                np.stack([k.b.data for k in keys]),
+                np.stack([k.a.data for k in keys]),
+            )
+            self._stacked[level] = stacked
+        return stacked
 
 
 @dataclass

@@ -31,6 +31,17 @@ def _bit_reverse_indices(n: int) -> np.ndarray:
 class NttPlan:
     """Precomputed tables for the negacyclic NTT modulo one prime."""
 
+    #: shared table cache — twiddles depend only on ``(n, p)``, so every
+    #: context (and every backend) over the same ring reuses one plan
+    _cache: dict = {}
+
+    @classmethod
+    def get(cls, n: int, p: int) -> "NttPlan":
+        plan = cls._cache.get((n, p))
+        if plan is None:
+            plan = cls._cache[(n, p)] = cls(n, p)
+        return plan
+
     def __init__(self, n: int, p: int):
         if n & (n - 1):
             raise ValueError(f"ring size must be a power of two, got {n}")

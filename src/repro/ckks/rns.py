@@ -1,8 +1,10 @@
 """RNS polynomials: residue rows over the modulus chain.
 
 An :class:`RnsPoly` stores one int64 row per active prime, either in
-coefficient or NTT (evaluation) domain.  All ring arithmetic is vectorised
-per-row; CRT composition to big integers happens only at the decrypt /
+coefficient or NTT (evaluation) domain.  All ring arithmetic and domain
+conversion dispatch to the context's kernel backend
+(:mod:`repro.ckks.backend`) — per-limb or limb-batched, bit-identical
+either way; CRT composition to big integers happens only at the decrypt /
 decode boundary (Python ints via object arrays).
 """
 
@@ -61,9 +63,7 @@ class RnsPoly:
         """Reduce int64-range coefficients (e.g. noise, secrets) into RNS."""
         prime_indices = list(prime_indices)
         coeffs = np.asarray(coeffs, dtype=np.int64)
-        rows = np.empty((len(prime_indices), ctx.n), dtype=np.int64)
-        for r, idx in enumerate(prime_indices):
-            rows[r] = coeffs % ctx.all_primes[idx]
+        rows = ctx.backend.reduce_coeffs(coeffs, prime_indices)
         return RnsPoly(ctx, rows, prime_indices, is_ntt=False)
 
     # ------------------------------------------------------------------
@@ -82,17 +82,13 @@ class RnsPoly:
     def to_ntt(self) -> "RnsPoly":
         if self.is_ntt:
             return self
-        rows = np.empty_like(self.data)
-        for r, idx in enumerate(self.prime_indices):
-            rows[r] = self.ctx.plans[idx].forward(self.data[r])
+        rows = self.ctx.backend.ntt_forward(self.data, self.prime_indices)
         return RnsPoly(self.ctx, rows, self.prime_indices, is_ntt=True)
 
     def to_coeff(self) -> "RnsPoly":
         if not self.is_ntt:
             return self
-        rows = np.empty_like(self.data)
-        for r, idx in enumerate(self.prime_indices):
-            rows[r] = self.ctx.plans[idx].inverse(self.data[r])
+        rows = self.ctx.backend.ntt_inverse(self.data, self.prime_indices)
         return RnsPoly(self.ctx, rows, self.prime_indices, is_ntt=False)
 
     # ------------------------------------------------------------------
@@ -108,7 +104,7 @@ class RnsPoly:
         self._check_compatible(other)
         return RnsPoly(
             self.ctx,
-            (self.data + other.data) % self._primes_col(),
+            self.ctx.backend.modadd(self.data, other.data, self.prime_indices),
             self.prime_indices,
             self.is_ntt,
         )
@@ -117,14 +113,17 @@ class RnsPoly:
         self._check_compatible(other)
         return RnsPoly(
             self.ctx,
-            (self.data - other.data) % self._primes_col(),
+            self.ctx.backend.modsub(self.data, other.data, self.prime_indices),
             self.prime_indices,
             self.is_ntt,
         )
 
     def __neg__(self) -> "RnsPoly":
         return RnsPoly(
-            self.ctx, (-self.data) % self._primes_col(), self.prime_indices, self.is_ntt
+            self.ctx,
+            self.ctx.backend.modneg(self.data, self.prime_indices),
+            self.prime_indices,
+            self.is_ntt,
         )
 
     def __mul__(self, other: "RnsPoly") -> "RnsPoly":
@@ -134,7 +133,7 @@ class RnsPoly:
             raise ValueError("ring multiply requires NTT domain")
         return RnsPoly(
             self.ctx,
-            self.data * other.data % self._primes_col(),
+            self.ctx.backend.modmul(self.data, other.data, self.prime_indices),
             self.prime_indices,
             True,
         )
@@ -146,7 +145,7 @@ class RnsPoly:
             scalars = scalars % self._primes_col()[:, 0]
         return RnsPoly(
             self.ctx,
-            self.data * scalars[:, None] % self._primes_col(),
+            self.ctx.backend.modscale(self.data, scalars, self.prime_indices),
             self.prime_indices,
             self.is_ntt,
         )

@@ -296,7 +296,8 @@ def encrypted_matvec_shards(
             f"blocks must be K_out x {len(cts)} to match the input shards"
         )
     with trace_span(
-        ev, "matvec:shards", kind="matvec", k_in=len(cts), k_out=len(blocks)
+        ev, "matvec:shards", kind="matvec", k_in=len(cts), k_out=len(blocks),
+        backend=cts[0].c0.ctx.backend.name,
     ) as sp:
         sp.ct_entry(cts)
         rotated = []
@@ -364,7 +365,8 @@ def encrypted_matvec(
     if not diagonals:
         raise ValueError("matrix has no nonzero diagonals")
     with trace_span(
-        ev, "matvec:naive", kind="matvec", diagonals=len(diagonals)
+        ev, "matvec:naive", kind="matvec", diagonals=len(diagonals),
+        backend=ct_x.c0.ctx.backend.name,
     ) as sp:
         sp.ct_entry(ct_x)
         acc = None
@@ -427,6 +429,7 @@ def encrypted_matvec_bsgs(
     with trace_span(
         ev, "matvec:bsgs", kind="matvec",
         babies=len(baby_steps), giants=len(groups),
+        backend=ct_x.c0.ctx.backend.name,
     ) as sp:
         sp.ct_entry(ct_x)
         rotated = ev.rotate_many(ct_x, baby_steps)

@@ -465,7 +465,13 @@ class EncryptedNetwork:
                 "reference path takes raw diagonals only"
             )
         ev = ev or self.ev
-        with trace_span(ev, "forward", kind="forward", layers=len(self.layers)) as root:
+        with trace_span(
+            ev,
+            "forward",
+            kind="forward",
+            layers=len(self.layers),
+            backend=self.ctx.backend.name,
+        ) as root:
             root.ct_entry(ct)
             for i, layer in enumerate(self.layers):
                 with self._layer_span(ev, i, layer) as sp:
@@ -604,6 +610,7 @@ class EncryptedNetwork:
             kind="forward",
             layers=len(self.layers),
             shards=len(cts),
+            backend=self.ctx.backend.name,
         ) as root:
             root.ct_entry(cts)
             for i, layer in enumerate(self.layers):

@@ -249,6 +249,7 @@ class Tracer:
                 "n": self.ctx.n,
                 "depth": self.ctx.params.depth,
                 "scale_bits": self.ctx.params.scale_bits,
+                "backend": self.ctx.backend.name,
             }
         if meta:
             header.update(meta)

@@ -184,10 +184,20 @@ class InferenceServer:
         futures = [self.submit(x) for x in xs]
         return [f.result(timeout=timeout) for f in futures]
 
+    @property
+    def backend(self) -> str:
+        """Name of the kernel backend executing this server's HE ops."""
+        return self.model.ctx.backend.name
+
     def metrics_text(self) -> str:
         """Prometheus text exposition of the serving metrics (counters,
-        queue-depth / in-flight gauges, per-layer latency histograms)."""
-        return self.metrics.format_prometheus()
+        queue-depth / in-flight gauges, per-layer latency histograms),
+        plus an info gauge naming the active kernel backend."""
+        info = (
+            "# TYPE repro_serve_backend_info gauge\n"
+            f'repro_serve_backend_info{{backend="{self.backend}"}} 1\n'
+        )
+        return info + self.metrics.format_prometheus()
 
     # ------------------------------------------------------------------
     # batch execution (worker threads)

@@ -19,8 +19,11 @@ from repro.paf.relu import relu_mult_depth
 
 
 @pytest.fixture(scope="module")
-def rt():
-    ctx = CkksContext(CkksParams(n=1024, scale_bits=25, depth=10))
+def rt(backend):
+    # parametrized over every registered kernel backend (tests/conftest.py):
+    # the whole homomorphic-correctness suite runs per backend, and the
+    # conformance suite separately pins the outputs bit-identical
+    ctx = CkksContext(CkksParams(n=1024, scale_bits=25, depth=10, backend=backend))
     keys = keygen(ctx, seed=0, galois_steps=(1, 3, "conj"))
     return ctx, CkksEvaluator(ctx, keys)
 

@@ -1,0 +1,24 @@
+"""Repo-wide fixtures: the kernel-backend axis.
+
+``backend`` parametrizes a test over every registered kernel backend
+(``reference``, ``vectorized``, plus anything registered via
+:func:`repro.ckks.backend.register_backend`).  All backends are
+bit-identical by contract (docs/backends.md), so any correctness test
+can take the fixture and run unchanged under each — the conformance
+suite (``tests/fhe/test_backend_conformance.py``) pins the contract
+itself down to the ciphertext bytes.
+
+Session scope keeps same-backend tests grouped, so module-scoped
+fixtures layered on top (e.g. the ckks evaluator runtime) are built
+once per backend rather than once per test.
+"""
+
+import pytest
+
+from repro.ckks.backend import available_backends
+
+
+@pytest.fixture(scope="session", params=available_backends())
+def backend(request):
+    """Name of the kernel backend under test."""
+    return request.param

@@ -1,0 +1,127 @@
+"""Cross-backend conformance: the bit-identity contract, end to end.
+
+Every registered kernel backend must be an *exact* drop-in
+(docs/backends.md): the same encrypted input pushed through the same
+compiled network must yield bit-identical output ciphertexts, identical
+HE-op totals, and identical decrypted plaintexts.  Modular integer
+arithmetic is exact, so this is an equality contract, not a tolerance
+one — each toy model's forward runs once per backend on **one**
+encryption (encryption draws from an advancing RNG, so re-encrypting
+per backend would compare unrelated ciphertexts) and the outputs are
+compared byte for byte.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ckks.backend import available_backends
+from repro.ckks.instrumentation import CountingEvaluator
+from repro.nn.tensor import Tensor
+
+
+def forward_under_each_backend(enc, run):
+    """``run(counting_ev)`` once per registered backend on the *same*
+    input; the entry backend is restored afterwards.
+
+    Returns ``{backend: (output shard list, op-count dict)}``.
+    """
+    ctx = enc.ctx
+    orig = ctx.backend.name
+    results = {}
+    try:
+        for name in available_backends():
+            ctx.set_backend(name)
+            counting = CountingEvaluator(enc.ev)
+            results[name] = (run(counting), dict(counting.counts))
+    finally:
+        ctx.set_backend(orig)
+    return results
+
+
+def decrypt_under_each_backend(enc, results, num_classes):
+    """Decrypt each backend's output shard 0 *under that backend*."""
+    ctx = enc.ctx
+    orig = ctx.backend.name
+    logits = {}
+    try:
+        for name, (cts, _) in results.items():
+            ctx.set_backend(name)
+            logits[name] = enc.decrypt_logits(cts[0], num_classes)
+    finally:
+        ctx.set_backend(orig)
+    return logits
+
+
+def assert_bit_identical(results):
+    """Every backend's ciphertexts and op totals must equal reference's."""
+    assert len(results) >= 2, "conformance needs at least two backends"
+    (ref_name, (ref_cts, ref_counts)), *rest = list(results.items())
+    assert ref_counts, "forward recorded no HE ops — nothing was compared"
+    for name, (cts, counts) in rest:
+        assert counts == ref_counts, (
+            f"{name} vs {ref_name}: HE-op totals differ — backends may "
+            f"only change how residue arithmetic executes, never which "
+            f"ops run: {counts} != {ref_counts}"
+        )
+        assert len(cts) == len(ref_cts)
+        for i, (a, b) in enumerate(zip(ref_cts, cts)):
+            assert np.array_equal(a.c0.data, b.c0.data) and np.array_equal(
+                a.c1.data, b.c1.data
+            ), f"{name} vs {ref_name}: output shard {i} is not bit-identical"
+            assert a.level == b.level and a.scale == b.scale
+
+
+class TestForwardConformance:
+    def test_registry_has_both_builtin_backends(self):
+        names = available_backends()
+        assert "reference" in names and "vectorized" in names
+
+    def test_toy_mlp(self, toy_plain_enc):
+        enc = toy_plain_enc
+        x = np.random.default_rng(21).normal(size=8)
+        ct = enc.encrypt_input(x)  # one encryption shared by all backends
+        results = forward_under_each_backend(
+            enc, lambda ev: [enc.forward(ct, ev=ev)]
+        )
+        assert_bit_identical(results)
+        logits = decrypt_under_each_backend(enc, results, 3)
+        ref = logits["reference"]
+        assert all(np.array_equal(got, ref) for got in logits.values())
+
+    def test_toy_cnn(self, toy_cnn):
+        model, enc = toy_cnn
+        x = np.random.default_rng(22).normal(size=(1, 1, 8, 8))
+        ct = enc.encrypt_input(x.ravel())
+        results = forward_under_each_backend(
+            enc, lambda ev: [enc.forward(ct, ev=ev)]
+        )
+        assert_bit_identical(results)
+        logits = decrypt_under_each_backend(enc, results, 3)
+        assert all(
+            np.array_equal(got, logits["reference"]) for got in logits.values()
+        )
+        # and the (shared) decryption matches the plaintext model
+        plain = model(Tensor(x)).data.ravel()
+        np.testing.assert_allclose(logits["reference"], plain, rtol=1e-3, atol=1e-4)
+
+    def test_toy_resnet_shards(self, toy_resnet):
+        model, enc = toy_resnet
+        x = np.random.default_rng(23).normal(size=64)
+        cts = enc.encrypt_input_shards(x)  # one encryption, both backends
+        results = forward_under_each_backend(
+            enc, lambda ev: enc.forward_shards(cts, ev=ev)
+        )
+        assert_bit_identical(results)
+        logits = decrypt_under_each_backend(enc, results, 3)
+        assert all(
+            np.array_equal(got, logits["reference"]) for got in logits.values()
+        )
+        plain = model(Tensor(x.reshape(1, 1, 8, 8))).data.ravel()
+        np.testing.assert_allclose(logits["reference"], plain, rtol=1e-3, atol=1e-4)
+
+    def test_set_backend_restores_and_rejects_unknown(self, toy_plain_enc):
+        ctx = toy_plain_enc.ctx
+        orig = ctx.backend.name
+        with pytest.raises(ValueError):
+            ctx.set_backend("no-such-backend")
+        assert ctx.backend.name == orig

@@ -1,0 +1,85 @@
+"""Tracing over the vectorized backend: invariants and parity.
+
+The execution tracer must be backend-agnostic: a traced forward under
+the ``vectorized`` kernel backend produces a trace that passes every
+``tools/check_trace.py`` invariant (schema, nesting, op accounting,
+level monotonicity), reports exactly the same per-layer HE-op deltas as
+the same forward under ``reference`` (op counts are evaluator-level and
+backend-invariant — docs/backends.md), and names the executing backend
+in its header so archived traces are attributable.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.obs import TracingEvaluator
+
+TOOLS = Path(__file__).resolve().parents[2] / "tools"
+
+
+def load_tool(name: str):
+    spec = importlib.util.spec_from_file_location(name, TOOLS / f"{name}.py")
+    mod = importlib.util.module_from_spec(spec)
+    sys.modules[name] = mod
+    spec.loader.exec_module(mod)
+    return mod
+
+
+@pytest.fixture(scope="module")
+def check_trace():
+    return load_tool("check_trace").check_trace
+
+
+@pytest.fixture(scope="module")
+def traces(toy_cnn_enc):
+    """One encryption, one traced CNN forward per backend.
+
+    The trace header reads the *live* backend, so the dict export is
+    captured while each backend is still active.
+    """
+    enc = toy_cnn_enc
+    ctx = enc.ctx
+    x = np.random.default_rng(31).normal(size=64)
+    ct = enc.encrypt_input(x)
+    out = {}
+    orig = ctx.backend.name
+    try:
+        for name in ("reference", "vectorized"):
+            ctx.set_backend(name)
+            tev = TracingEvaluator(enc.ev)
+            enc.forward(ct.copy(), ev=tev)
+            out[name] = (tev.tracer, tev.tracer.to_dict())
+    finally:
+        ctx.set_backend(orig)
+    return out
+
+
+class TestVectorizedBackendTracing:
+    def test_vectorized_trace_passes_all_invariants(self, traces, check_trace):
+        assert check_trace(traces["vectorized"][1], "vectorized") == []
+
+    def test_reference_trace_passes_all_invariants(self, traces, check_trace):
+        assert check_trace(traces["reference"][1], "reference") == []
+
+    def test_per_layer_op_deltas_identical(self, traces):
+        def layer_ops(tracer):
+            return [(sp.name, dict(sp.ops)) for sp in tracer.layer_spans()]
+
+        ref = layer_ops(traces["reference"][0])
+        vec = layer_ops(traces["vectorized"][0])
+        assert ref, "traced forward recorded no layer spans"
+        assert vec == ref
+
+    def test_header_names_executing_backend(self, traces):
+        for name, (_, exported) in traces.items():
+            assert exported["context"]["backend"] == name
+
+    def test_root_span_tagged_with_backend(self, traces):
+        for name, (tracer, _) in traces.items():
+            root = tracer.roots[0]
+            assert root.kind == "forward"
+            assert root.attrs["backend"] == name

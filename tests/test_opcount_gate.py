@@ -1,0 +1,129 @@
+"""The op-count gate's backend-invariance machinery, without crypto.
+
+Two halves, both stdlib-fast:
+
+* ``tools/check_opcounts.py --invariant`` — the CI-side byte-compare of
+  two summaries' gate metrics;
+* ``benchmarks/opcount_summary.py``'s ``verify_backend_invariance`` —
+  the producer-side re-measure-under-every-backend assertion (driven
+  here with fake contexts/counters so no model is compiled).
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+from types import SimpleNamespace
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[1]
+
+
+def load_module(path: Path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    mod = importlib.util.module_from_spec(spec)
+    sys.modules[path.stem] = mod
+    spec.loader.exec_module(mod)
+    return mod
+
+
+@pytest.fixture(scope="module")
+def check_opcounts():
+    return load_module(ROOT / "tools" / "check_opcounts.py")
+
+
+@pytest.fixture(scope="module")
+def opcount_summary():
+    sys.path.insert(0, str(ROOT / "benchmarks"))
+    try:
+        return load_module(ROOT / "benchmarks" / "opcount_summary.py")
+    finally:
+        sys.path.remove(str(ROOT / "benchmarks"))
+
+
+def summary(ks=10, counts=None):
+    return {
+        "models": {
+            "toy": {
+                "keyswitches": ks,
+                "nonscalar_mults": 3,
+                "counts": counts or {"rotate": 7, "mul": 3},
+            }
+        }
+    }
+
+
+class TestInvarianceCompare:
+    def test_identical_summaries_pass(self, check_opcounts):
+        assert check_opcounts.invariance_failures(summary(), summary()) == []
+
+    def test_diverging_metric_named(self, check_opcounts):
+        msgs = check_opcounts.invariance_failures(summary(10), summary(11))
+        assert len(msgs) == 1
+        assert "toy" in msgs[0] and "keyswitches: 10 != 11" in msgs[0]
+
+    def test_diverging_counts_dict_caught(self, check_opcounts):
+        msgs = check_opcounts.invariance_failures(
+            summary(), summary(counts={"rotate": 8, "mul": 3})
+        )
+        assert len(msgs) == 1 and "counts" in msgs[0]
+
+    def test_missing_model_reported_both_ways(self, check_opcounts):
+        empty = {"models": {}}
+        assert check_opcounts.invariance_failures(summary(), empty) == [
+            "toy: missing from second summary"
+        ]
+        assert check_opcounts.invariance_failures(empty, summary()) == [
+            "toy: missing from first summary"
+        ]
+
+    def test_cli_invariant_gate(self, check_opcounts, tmp_path):
+        a, b, base = tmp_path / "a.json", tmp_path / "b.json", tmp_path / "base.json"
+        a.write_text(json.dumps(summary()))
+        base.write_text(json.dumps(summary()))
+        b.write_text(json.dumps(summary(11)))
+        ok = ["prog", str(a), "--baseline", str(base), "--invariant", str(a)]
+        assert check_opcounts.main(ok) == 0
+        bad = ["prog", str(a), "--baseline", str(base), "--invariant", str(b)]
+        assert check_opcounts.main(bad) == 1
+
+
+class _FakeCtx:
+    def __init__(self):
+        self.backend = SimpleNamespace(name="reference")
+
+    def set_backend(self, name):
+        self.backend = SimpleNamespace(name=name)
+
+
+def fake_counting(keyswitches):
+    return SimpleNamespace(
+        keyswitch_count=keyswitches,
+        nonscalar_mult_count=2,
+        counts={"rotate": keyswitches - 2, "mul": 2},
+    )
+
+
+class TestVerifyBackendInvariance:
+    def test_invariant_measure_passes_and_restores_backend(self, opcount_summary):
+        ctx = _FakeCtx()
+        base = opcount_summary.gate_metrics(fake_counting(10))
+        opcount_summary.verify_backend_invariance(
+            "toy", ctx, lambda: fake_counting(10), base
+        )
+        assert ctx.backend.name == "reference"
+
+    def test_divergent_backend_fails_loudly(self, opcount_summary):
+        ctx = _FakeCtx()
+        base = opcount_summary.gate_metrics(fake_counting(10))
+
+        def measure():
+            # pretends the non-reference backend runs one extra keyswitch
+            return fake_counting(10 if ctx.backend.name == "reference" else 11)
+
+        with pytest.raises(SystemExit) as exc:
+            opcount_summary.verify_backend_invariance("toy", ctx, measure, base)
+        msg = str(exc.value)
+        assert "toy" in msg and "vectorized" in msg and "backends.md" in msg
+        assert ctx.backend.name == "reference"  # restored even on failure

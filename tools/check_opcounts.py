@@ -1,7 +1,7 @@
 """HE-op-count regression gate for CI.
 
     python tools/check_opcounts.py CURRENT.json [--baseline benchmarks/opcount_baseline.json]
-                                   [--tolerance 0.02]
+                                   [--tolerance 0.02] [--invariant OTHER.json]
 
 Compares the per-model gate metrics emitted by
 ``benchmarks/opcount_summary.py --json`` against the checked-in
@@ -17,6 +17,13 @@ The job fails when either metric regresses by more than ``--tolerance``
 disappears from the current run.  Improvements pass with a reminder to
 refresh the baseline so the gate keeps ratcheting downward.  Stdlib
 only.
+
+``--invariant OTHER.json`` additionally requires the two summaries'
+``models`` sections to be byte-identical once canonicalised — the
+backend-invariance gate: a summary measured under one kernel backend
+and a summary measured under another must report exactly the same op
+counts, because backends may only change how residue arithmetic
+executes, never which HE ops run (see docs/backends.md).
 """
 
 from __future__ import annotations
@@ -59,6 +66,33 @@ def compare(baseline: dict, current: dict, tolerance: float) -> tuple:
     return regressions, improvements, notes
 
 
+def invariance_failures(current: dict, other: dict) -> list:
+    """Byte-compare two summaries' ``models`` sections.
+
+    Returns one message per divergence; empty means byte-identical.
+    """
+    cur_models = current.get("models", {})
+    oth_models = other.get("models", {})
+    failures: list = []
+    for model in sorted(set(cur_models) - set(oth_models)):
+        failures.append(f"{model}: missing from second summary")
+    for model in sorted(set(oth_models) - set(cur_models)):
+        failures.append(f"{model}: missing from first summary")
+    for model in sorted(set(cur_models) & set(oth_models)):
+        a = json.dumps(cur_models[model], sort_keys=True).encode()
+        b = json.dumps(oth_models[model], sort_keys=True).encode()
+        if a != b:
+            cur, oth = cur_models[model], oth_models[model]
+            keys = sorted(set(cur) | set(oth))
+            diffs = [
+                f"{k}: {cur.get(k)!r} != {oth.get(k)!r}"
+                for k in keys
+                if cur.get(k) != oth.get(k)
+            ]
+            failures.append(f"{model}: {'; '.join(diffs)}")
+    return failures
+
+
 def main(argv) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("current", help="JSON from opcount_summary.py --json")
@@ -68,6 +102,12 @@ def main(argv) -> int:
                     / "benchmarks" / "opcount_baseline.json"),
     )
     parser.add_argument("--tolerance", type=float, default=0.02)
+    parser.add_argument(
+        "--invariant",
+        metavar="OTHER.json",
+        help="second summary that must report byte-identical op counts "
+        "(the kernel-backend invariance gate)",
+    )
     args = parser.parse_args(argv[1:])
 
     with open(args.baseline) as fh:
@@ -76,6 +116,14 @@ def main(argv) -> int:
         current = json.load(fh)
 
     regressions, improvements, notes = compare(baseline, current, args.tolerance)
+    if args.invariant:
+        with open(args.invariant) as fh:
+            other = json.load(fh)
+        for msg in invariance_failures(current, other):
+            regressions.append(
+                f"backend invariance broken — op counts must be identical "
+                f"under every kernel backend (docs/backends.md): {msg}"
+            )
     for msg in notes:
         print(f"note: {msg}")
     for msg in improvements:
