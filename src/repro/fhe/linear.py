@@ -273,6 +273,7 @@ def encrypted_matvec_shards(
     cts: list,
     blocks: list,
     bias_slots: list | None = None,
+    executor=None,
 ) -> list:
     """Block matvec over channel-sharded ciphertexts.
 
@@ -290,6 +291,13 @@ def encrypted_matvec_shards(
     ``bias_slots[j]`` (raw vector or pre-encoded post-rescale
     :class:`~repro.ckks.encoder.Plaintext`) is added to output shard
     ``j``; ``None`` entries skip the add.
+
+    ``executor`` is an optional
+    :class:`~repro.serve.executor.BlockExecutor`: the per-output-shard
+    accumulate/rescale chains are independent once the shared hoisted
+    rotations exist, so they are handed to ``executor.map_blocks`` as
+    zero-arg tasks (serial when ``None``).  Every op is deterministic,
+    so executor choice never changes the output ciphertexts.
     """
     if not blocks or any(len(row) != len(cts) for row in blocks):
         raise ValueError(
@@ -306,27 +314,35 @@ def encrypted_matvec_shards(
             rot = ev.rotate_many(ct, steps) if steps else {}
             rot[0] = ct
             rotated.append(rot)
-        outs = []
-        for j, row in enumerate(blocks):
-            acc = None
-            for i in range(len(cts)):
-                groups = row[i]
-                if not groups:
-                    continue
-                for g in sorted(groups):
-                    inner = None
-                    for b in sorted(groups[g]):
-                        term = ev.mul_plain(rotated[i][b], groups[g][b])
-                        inner = term if inner is None else ev.add(inner, term)
-                    if g:
-                        inner = ev.rotate(inner, g)
-                    acc = inner if acc is None else ev.add(acc, inner)
-            if acc is None:
-                raise ValueError(f"output shard {j} reads no nonzero block")
-            acc = ev.rescale(acc)
-            if bias_slots is not None and bias_slots[j] is not None:
-                acc = ev.add_plain(acc, bias_slots[j])
-            outs.append(acc)
+        def block_task(j, row):
+            def run():
+                acc = None
+                for i in range(len(cts)):
+                    groups = row[i]
+                    if not groups:
+                        continue
+                    for g in sorted(groups):
+                        inner = None
+                        for b in sorted(groups[g]):
+                            term = ev.mul_plain(rotated[i][b], groups[g][b])
+                            inner = term if inner is None else ev.add(inner, term)
+                        if g:
+                            inner = ev.rotate(inner, g)
+                        acc = inner if acc is None else ev.add(acc, inner)
+                if acc is None:
+                    raise ValueError(f"output shard {j} reads no nonzero block")
+                acc = ev.rescale(acc)
+                if bias_slots is not None and bias_slots[j] is not None:
+                    acc = ev.add_plain(acc, bias_slots[j])
+                return acc
+
+            return run
+
+        tasks = [block_task(j, row) for j, row in enumerate(blocks)]
+        if executor is None or len(tasks) <= 1:
+            outs = [task() for task in tasks]
+        else:
+            outs = executor.map_blocks(tasks, ctx=cts[0].c0.ctx)
         sp.ct_exit(outs)
     return outs
 

@@ -574,6 +574,7 @@ class EncryptedNetwork:
         encoded=None,
         ev: CkksEvaluator | None = None,
         reference: bool = False,
+        executor=None,
     ) -> list:
         """Encrypted forward over a channel-sharded ciphertext list.
 
@@ -600,6 +601,14 @@ class EncryptedNetwork:
         in :meth:`forward` (sharded matvecs have a single, grouped
         execution — their plan already names the cheaper path per
         block).
+
+        ``executor`` is an optional
+        :class:`~repro.serve.executor.BlockExecutor` scheduling the
+        independent shard-grid blocks — each linear layer's
+        per-output-shard chains, and the per-shard pool / PAF
+        applications between them — across threads or forked processes.
+        Deterministic ops make executor choice invisible in the
+        ciphertexts; it only buys wall time on multi-shard models.
         """
         ev = ev or self.ev
         cts = list(cts)
@@ -629,7 +638,9 @@ class EncryptedNetwork:
                         else:
                             payload = self.shard_groups[i]
                             biases = self.shard_bias_slots.get(i)
-                        cts = encrypted_matvec_shards(ev, cts, payload, bias_slots=biases)
+                        cts = encrypted_matvec_shards(
+                            ev, cts, payload, bias_slots=biases, executor=executor
+                        )
                     elif layer.kind == "residual":
                         stack.append(cts)
                     elif layer.kind == "merge":
@@ -642,7 +653,7 @@ class EncryptedNetwork:
                                 payload = self.shard_groups[i]
                                 biases = self.shard_bias_slots.get(i)
                             skip = encrypted_matvec_shards(
-                                ev, skip, payload, bias_slots=biases
+                                ev, skip, payload, bias_slots=biases, executor=executor
                             )
                         if len(skip) != len(cts):
                             raise ValueError(
@@ -664,18 +675,26 @@ class EncryptedNetwork:
                             cts = [ev.add(c, s) for c, s in zip(cts, skip)]
                             msp.ct_exit(cts)
                     elif layer.kind == "pool":
-                        cts = [
-                            self._pool_forward(ct, i, ev, reference=reference)
-                            for ct in cts
-                        ]
+                        cts = self._map_shards(
+                            executor,
+                            [
+                                lambda ct=ct, i=i: self._pool_forward(
+                                    ct, i, ev, reference=reference
+                                )
+                                for ct in cts
+                            ],
+                        )
                     elif layer.kind == "paf":
-                        cts = [
-                            eval_paf_relu(
-                                ev, ct, layer.paf, scale=layer.scale,
-                                plan=self.paf_plans[i], reference=reference,
-                            )
-                            for ct in cts
-                        ]
+                        cts = self._map_shards(
+                            executor,
+                            [
+                                lambda ct=ct, i=i: eval_paf_relu(
+                                    ev, ct, layer.paf, scale=layer.scale,
+                                    plan=self.paf_plans[i], reference=reference,
+                                )
+                                for ct in cts
+                            ],
+                        )
                     else:
                         raise ValueError(
                             f"layer {i} kind {layer.kind!r} has no sharded execution "
@@ -684,6 +703,12 @@ class EncryptedNetwork:
                     sp.ct_exit(cts, level_slack=cts[0].level - self._depth_after[i])
             root.ct_exit(cts)
         return cts
+
+    def _map_shards(self, executor, fns) -> list:
+        """Run per-shard closures, optionally on a block executor."""
+        if executor is None or len(fns) <= 1:
+            return [fn() for fn in fns]
+        return executor.map_blocks(fns, ctx=self.ctx)
 
     def predict_shards(self, x: np.ndarray, num_classes: int) -> int:
         """Sharded round trip: encrypt shards -> forward -> decrypt -> argmax."""

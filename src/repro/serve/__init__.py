@@ -22,14 +22,33 @@ Encoding caches (:mod:`repro.serve.artifact`)
     perform zero plaintext encoding.
 
 Admission + workers (:mod:`repro.serve.queue`)
-    Requests accumulate until the batch is full (``max_batch_size``) or
-    the oldest has waited ``max_wait_ms`` (flush-on-timeout); worker
-    threads drain batches, each with its own evaluator over shared keys.
+    Requests accumulate per ``(model, client)`` group until that group's
+    batch is full or its oldest request has waited ``max_wait_ms``
+    (flush-on-timeout); worker threads drain whole groups, each with its
+    own evaluator over that tenant's keys.  Admission is bounded: over
+    ``max_pending`` a submit sheds (:class:`QueueOverflow`) or, with
+    ``block=True``, waits for capacity (backpressure).
+
+Tenant keys (:mod:`repro.serve.keys`)
+    :class:`ClientKeyRegistry` derives one CKKS key chain per client and
+    generates each client's Galois keys *once* per rotation element
+    across all hosted models (shared-step dedup) — two tenants never
+    share secrets, yet share every key-independent encoding cache.
+
+Fault injection (:mod:`repro.serve.faults`)
+    :class:`FaultInjector` deterministically scripts worker crashes,
+    stalls, poisoned requests and wrong-key submissions against
+    submission/batch ordinals; the concurrency suite uses it to pin that
+    every failure surfaces as an explicit per-request error while the
+    server keeps serving.
 
 Facade + metrics (:mod:`repro.serve.server`, :mod:`repro.serve.metrics`)
-    :class:`InferenceServer` is the entry point: ``submit(x)`` returns a
-    future resolving to logits/prediction/latency; throughput, latency
-    percentiles and HE-op counts are aggregated per batch.
+    :class:`InferenceServer` is the entry point: ``submit(x, client_id=...,
+    model=...)`` returns a future resolving to logits/prediction/latency;
+    throughput, latency percentiles, HE-op counts, shed/error counters
+    and per-tenant series are aggregated per batch.  Sharded models can
+    schedule their block grid onto a :mod:`repro.serve.executor`
+    thread/process pool.
 
 Quickstart::
 
@@ -44,7 +63,25 @@ See ``benchmarks/bench_serve_throughput.py`` for the amortised-speedup
 measurement (batched vs sequential requests/sec).
 """
 
-from repro.serve.artifact import CachingEncoder, ModelArtifact, PlaintextCache
+from repro.serve.artifact import (
+    ArtifactMismatchError,
+    CachingEncoder,
+    ModelArtifact,
+    PlaintextCache,
+)
+from repro.serve.executor import (
+    BlockExecutor,
+    ProcessBlockExecutor,
+    ThreadBlockExecutor,
+    make_executor,
+)
+from repro.serve.faults import FaultInjector, PoisonedRequestError, WorkerCrashError
+from repro.serve.keys import (
+    DEFAULT_CLIENT,
+    ClientKeyRegistry,
+    KeyMismatchError,
+    UnknownClientError,
+)
 from repro.serve.metrics import ServingMetrics, percentile
 from repro.serve.packing import (
     BlockLayout,
@@ -53,8 +90,15 @@ from repro.serve.packing import (
     split_batches,
     unpack_blocks,
 )
-from repro.serve.queue import BatchQueue, Request, WorkerPool
-from repro.serve.server import InferenceResult, InferenceServer
+from repro.serve.queue import (
+    DEFAULT_MODEL,
+    BatchQueue,
+    QueueClosed,
+    QueueOverflow,
+    Request,
+    WorkerPool,
+)
+from repro.serve.server import InferenceResult, InferenceServer, UnknownModelError
 
 __all__ = [
     "BlockLayout",
@@ -65,9 +109,25 @@ __all__ = [
     "PlaintextCache",
     "CachingEncoder",
     "ModelArtifact",
+    "ArtifactMismatchError",
     "BatchQueue",
+    "QueueClosed",
+    "QueueOverflow",
     "Request",
     "WorkerPool",
+    "DEFAULT_MODEL",
+    "DEFAULT_CLIENT",
+    "ClientKeyRegistry",
+    "KeyMismatchError",
+    "UnknownClientError",
+    "UnknownModelError",
+    "FaultInjector",
+    "WorkerCrashError",
+    "PoisonedRequestError",
+    "BlockExecutor",
+    "ThreadBlockExecutor",
+    "ProcessBlockExecutor",
+    "make_executor",
     "ServingMetrics",
     "percentile",
     "InferenceResult",

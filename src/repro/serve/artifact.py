@@ -36,15 +36,26 @@ encoding — every encode is a dictionary hit.
 
 from __future__ import annotations
 
+import hashlib
+import pickle
 from collections import OrderedDict
 from threading import Lock
 
 import numpy as np
 
 from repro.ckks.encoder import Plaintext
+from repro.ckks.evaluator import CkksEvaluator
+from repro.ckks.rns import RnsPoly
 from repro.fhe.network import EncryptedNetwork, compile_mlp
 
-__all__ = ["PlaintextCache", "CachingEncoder", "ModelArtifact"]
+__all__ = ["PlaintextCache", "CachingEncoder", "ModelArtifact", "ArtifactMismatchError"]
+
+#: On-disk format tag for persisted encoding caches.
+_CACHE_FORMAT = "repro-artifact-cache-v1"
+
+
+class ArtifactMismatchError(RuntimeError):
+    """A persisted cache was built for a different compiled model."""
 
 
 class PlaintextCache:
@@ -104,6 +115,29 @@ class PlaintextCache:
             "misses": self.misses,
             "hit_rate": self.hit_rate,
         }
+
+    # ------------------------------------------------------------------
+    # persistence (raw arrays only — no locks, no context objects)
+    # ------------------------------------------------------------------
+    def export_entries(self) -> list:
+        """Cache contents as picklable tuples, LRU order preserved."""
+        with self._lock:
+            return [
+                (key, pt.poly.data, tuple(pt.poly.prime_indices), pt.poly.is_ntt, pt.scale)
+                for key, pt in self._entries.items()
+            ]
+
+    def import_entries(self, ctx, entries) -> int:
+        """Rebuild plaintexts against ``ctx`` and install them (warm-start)."""
+        count = 0
+        with self._lock:
+            for key, data, prime_indices, is_ntt, scale in entries:
+                poly = RnsPoly(ctx, data, list(prime_indices), is_ntt)
+                self._entries[key] = Plaintext(poly=poly, scale=scale)
+                count += 1
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+        return count
 
 
 class CachingEncoder:
@@ -307,17 +341,31 @@ class ModelArtifact:
                 count += 1
         return count
 
-    def forward(self, ct, ev=None):
+    def forward(self, ct, ev=None, executor=None):
         """Encrypted forward using the pre-encoded linear layers.
 
         For a sharded model ``ct`` is the shard ciphertext *list*
         (``encrypt_batch_shards``) and the return value the output shard
         list — the pre-encoded path covers every block and merge
-        projection too.
+        projection too.  ``executor`` (sharded models only) schedules
+        the independent shard-grid blocks on a
+        :class:`~repro.serve.executor.BlockExecutor`.
         """
         if self.model.sharded:
-            return self.model.forward_shards(ct, encoded=self.encoded_linear, ev=ev)
+            return self.model.forward_shards(
+                ct, encoded=self.encoded_linear, ev=ev, executor=executor
+            )
         return self.model.forward(ct, encoded=self.encoded_linear, ev=ev)
+
+    def fresh_evaluator(self, seed: int = 1):
+        """A new evaluator over the model's own baked keys, sharing the
+        (caching) encoder — what a worker thread runs the default
+        tenant's batches with.  Stub models used by the concurrency
+        harness override this hook instead of faking a full key chain.
+        """
+        ev = CkksEvaluator(self.model.ctx, self.model.keys, seed=seed)
+        ev.encoder = self.model.ev.encoder
+        return ev
 
     def warm(self, batch: int | None = None) -> "ModelArtifact":
         """Run one zero-input forward to populate every cache entry.
@@ -336,3 +384,86 @@ class ModelArtifact:
 
     def stats(self) -> dict:
         return self.cache.stats()
+
+    # ------------------------------------------------------------------
+    # persistence / warm-start
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Digest of everything a cache entry's validity depends on.
+
+        Covers the CKKS arithmetic (ring degree, full prime ladder,
+        canonical scale) and the compiled layer stack (kinds, weights,
+        biases, shard blocks, pool/affine constants) — the exact inputs
+        that determine which ``(value, level, scale)`` keys a forward
+        encodes.  A persisted cache from a different compile must be
+        rejected, not silently half-hit.
+        """
+        h = hashlib.sha256()
+        ctx = self.model.ctx
+        h.update(f"{ctx.n}|{float(ctx.scale)}|".encode())
+        h.update(",".join(str(int(p)) for p in ctx.all_primes).encode())
+        for layer in self.model.layers:
+            h.update(f"|{layer.kind}|{layer.scale}|{layer.pool_scale}".encode())
+            for arr in (layer.weight, layer.bias, layer.affine_scale, layer.affine_shift):
+                if arr is not None:
+                    h.update(np.ascontiguousarray(arr, dtype=np.float64).tobytes())
+            if layer.blocks is not None:
+                for row in layer.blocks:
+                    for mat in row:
+                        h.update(
+                            b"0" if mat is None
+                            else np.ascontiguousarray(mat, dtype=np.float64).tobytes()
+                        )
+        return h.hexdigest()
+
+    def save_cache(self, path) -> int:
+        """Persist the encoding cache (pickle); returns the entry count.
+
+        The payload is raw RNS arrays plus the model fingerprint —
+        context objects, locks and evaluators never touch the disk.
+        """
+        entries = self.cache.export_entries()
+        payload = {
+            "format": _CACHE_FORMAT,
+            "fingerprint": self.fingerprint(),
+            "entries": entries,
+        }
+        with open(path, "wb") as fh:
+            pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        return len(entries)
+
+    def load_cache(self, path) -> int:
+        """Warm-start from a persisted cache; returns entries installed.
+
+        Validates the format tag and the model fingerprint
+        (:class:`ArtifactMismatchError` on any mismatch), rebuilds every
+        plaintext against this model's context, and re-memoises the
+        per-layer linear tuples — after this, steady-state serving hits
+        the cache without ever running :meth:`warm`'s forward pass.
+        """
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+        if not isinstance(payload, dict) or payload.get("format") != _CACHE_FORMAT:
+            raise ArtifactMismatchError(f"{path}: not a {_CACHE_FORMAT} file")
+        if payload.get("fingerprint") != self.fingerprint():
+            raise ArtifactMismatchError(
+                f"{path}: cache was built for a different compiled model "
+                "(parameters or weights changed) — re-warm and re-save"
+            )
+        count = self.cache.import_entries(self.model.ctx, payload["entries"])
+        # rebuild the per-layer memo from the now-hot cache: every encode
+        # below is a dictionary hit, so this is pure assembly
+        self._linear_memo.clear()
+        levels = self.model.layer_input_levels()
+        branch_levels = self.model.merge_branch_levels()
+        ctx = self.model.ctx
+        for i, layer in enumerate(self.model.layers):
+            if layer.kind == "linear" or (
+                layer.kind == "merge" and i in self.model.shard_groups
+            ):
+                level = branch_levels[i] if layer.kind == "merge" else levels[i]
+                scale = ctx.scale
+                for lvl in range(ctx.max_level, level, -1):
+                    scale = scale * scale / ctx.q_chain[lvl]
+                self.encoded_linear(i, level, scale)
+        return count

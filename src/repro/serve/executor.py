@@ -1,0 +1,160 @@
+"""Shard-grid block executors: schedule independent HE blocks across cores.
+
+A sharded linear layer is a ``K_out × K_in`` grid of matvec blocks; the
+per-input-shard hoisted rotations are shared, but each *output* shard's
+accumulate-rescale chain is independent of the others — as are the
+per-shard PAF and pool applications between layers.  Those independent
+closures are the scheduling unit here: :func:`encrypted_matvec_shards`
+and :meth:`EncryptedNetwork.forward_shards` hand a list of zero-arg
+tasks to an executor's :meth:`~BlockExecutor.map_blocks` and get the
+results back *in order*.
+
+Three implementations:
+
+* :class:`BlockExecutor` — serial, the default everywhere; zero
+  overhead and the baseline the others must match bit-for-bit.
+* :class:`ThreadBlockExecutor` — a thread pool.  Numpy releases the GIL
+  inside the big NTT/mod kernels, so shards overlap meaningfully even
+  in-process.
+* :class:`ProcessBlockExecutor` — a fork-based process pool built *per
+  call*, so the task closures (ciphertexts, pre-encoded plaintexts,
+  evaluator) ride into the children via fork with zero pickling.
+  Children return stripped ``(c0, c1, scale, level)`` arrays which are
+  rebuilt against the parent's context — results are bit-identical to
+  serial execution (the conformance test pins this).
+
+Every HE op in this simulator is deterministic given its inputs, so
+executor choice can never change a ciphertext — only wall time.  Op
+*counters* are the one observable difference: a
+:class:`~repro.ckks.instrumentation.CountingEvaluator` undercounts under
+the thread executor (racy increments) and misses child-process work
+entirely under the process executor.  Gated op-count measurements must
+run serial; executors are for throughput.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.ckks.evaluator import Ciphertext
+from repro.ckks.rns import RnsPoly
+
+__all__ = [
+    "BlockExecutor",
+    "ThreadBlockExecutor",
+    "ProcessBlockExecutor",
+    "make_executor",
+]
+
+
+class BlockExecutor:
+    """Serial executor: run each block task in the calling thread."""
+
+    name = "serial"
+
+    def map_blocks(self, tasks, ctx=None) -> list:
+        """Run zero-arg ``tasks`` and return their results in order."""
+        return [task() for task in tasks]
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "BlockExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class ThreadBlockExecutor(BlockExecutor):
+    """Run block tasks on a shared thread pool (GIL-released numpy)."""
+
+    name = "thread"
+
+    def __init__(self, workers: int | None = None):
+        self.workers = workers or min(8, os.cpu_count() or 1)
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-block"
+        )
+
+    def map_blocks(self, tasks, ctx=None) -> list:
+        return list(self._pool.map(lambda task: task(), tasks))
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+def _strip(ct: Ciphertext) -> tuple:
+    return (ct.c0.data, ct.c1.data, ct.scale, ct.level)
+
+
+def _rebuild(stripped: tuple, ctx) -> Ciphertext:
+    c0, c1, scale, level = stripped
+    indices = list(range(level + 1))
+    return Ciphertext(
+        c0=RnsPoly(ctx, c0, indices, is_ntt=True),
+        c1=RnsPoly(ctx, c1, indices, is_ntt=True),
+        scale=scale,
+        level=level,
+    )
+
+
+#: The forked children's view of the parent's task list (set per call,
+#: immediately before the fork, so inheritance needs no pickling).
+_FORK_TASKS: list = []
+
+
+def _run_fork_task(index: int) -> tuple:
+    ct = _FORK_TASKS[index]()
+    return _strip(ct)
+
+
+class ProcessBlockExecutor(BlockExecutor):
+    """Fork a process pool per call; children inherit the closures.
+
+    Forking per ``map_blocks`` call looks expensive but is the only
+    layout that needs *no pickling of closures*: ciphertexts, plaintext
+    payloads and the evaluator already live in the parent's memory and
+    arrive in the children copy-on-write.  Only the stripped result
+    arrays cross back.  Tasks must return a single
+    :class:`~repro.ckks.evaluator.Ciphertext` (which every shard-grid
+    block does), and ``ctx`` is required to rebuild results.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int | None = None):
+        if "fork" not in mp.get_all_start_methods():
+            raise RuntimeError(
+                "ProcessBlockExecutor needs the fork start method "
+                "(use ThreadBlockExecutor on this platform)"
+            )
+        self.workers = workers or max(1, (os.cpu_count() or 2) - 1)
+
+    def map_blocks(self, tasks, ctx=None) -> list:
+        tasks = list(tasks)
+        if len(tasks) <= 1:
+            return [task() for task in tasks]
+        if ctx is None:
+            raise ValueError("ProcessBlockExecutor.map_blocks needs ctx to rebuild results")
+        global _FORK_TASKS
+        _FORK_TASKS = tasks
+        try:
+            with mp.get_context("fork").Pool(min(self.workers, len(tasks))) as pool:
+                stripped = pool.map(_run_fork_task, range(len(tasks)))
+        finally:
+            _FORK_TASKS = []
+        return [_rebuild(s, ctx) for s in stripped]
+
+
+def make_executor(name: str, workers: int | None = None) -> BlockExecutor:
+    """Executor by name: ``serial`` | ``thread`` | ``process``."""
+    if name == "serial":
+        return BlockExecutor()
+    if name == "thread":
+        return ThreadBlockExecutor(workers)
+    if name == "process":
+        return ProcessBlockExecutor(workers)
+    raise ValueError(f"unknown executor {name!r} (serial | thread | process)")

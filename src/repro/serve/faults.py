@@ -1,0 +1,155 @@
+"""Deterministic fault injection for the serving stack.
+
+Concurrency bugs don't show up in bit-identity suites — they show up
+when a worker dies holding a batch, a tenant submits under the wrong
+keys, or admission sheds under load.  :class:`FaultInjector` makes those
+events *scripted and repeatable*: faults are scheduled against global
+submission / batch ordinals (not wall time, not randomness), so a
+seeded test replays the same failure at the same point every run.
+
+Four fault kinds, matching the failure modes ``docs/serving.md``
+documents:
+
+* :meth:`~FaultInjector.crash_worker` — the handler dies mid-batch
+  (:class:`WorkerCrashError` raised inside the worker).  The server must
+  fail that batch's futures explicitly and keep serving.
+* :meth:`~FaultInjector.slow_worker` — the worker stalls for a fixed
+  duration before executing; latency spikes but nothing is lost.
+* :meth:`~FaultInjector.poison_request` — one submission is marked bad
+  at admission and detected during batch assembly.  Only *that* request
+  fails (:class:`PoisonedRequestError`); its batch neighbours are served.
+* :meth:`~FaultInjector.mismatch_keys` — a batch's payload is encrypted
+  under the wrong client's keys.  The server's ciphertext integrity
+  check must surface :class:`~repro.serve.keys.KeyMismatchError` rather
+  than return garbage logits.
+
+The injector is plugged into :class:`~repro.serve.server.InferenceServer`
+(``fault_injector=``), which calls the ``on_submit`` / ``split_poisoned``
+/ ``on_batch_start`` hooks; ``fired`` counts what actually triggered, so
+tests assert every scheduled fault really happened.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from threading import Lock
+
+__all__ = ["WorkerCrashError", "PoisonedRequestError", "FaultInjector"]
+
+
+class WorkerCrashError(RuntimeError):
+    """Injected: the worker executing a batch died mid-flight."""
+
+
+class PoisonedRequestError(RuntimeError):
+    """Injected: one request was corrupt and failed alone in its batch."""
+
+
+class FaultInjector:
+    """Scripted fault schedule over submission and batch ordinals.
+
+    Submissions are numbered 0, 1, 2… in admission order (under the
+    server's submit path, which is serialized per call site); batches
+    are numbered 0, 1, 2… in the order workers claim them.  Scheduling
+    is explicit — no clocks, no RNG — so a test that pins its submission
+    schedule gets bit-repeatable failures.
+    """
+
+    def __init__(self):
+        self._lock = Lock()
+        self._submissions = 0
+        self._batches = 0
+        self._poison_at: set[int] = set()
+        self._crash_at: set[int] = set()
+        self._slow_at: dict[int, float] = {}
+        self._mismatch_at: set[int] = set()
+        self._poisoned_ids: set[int] = set()
+        #: fault kind -> times it actually triggered
+        self.fired: Counter = Counter()
+
+    # ------------------------------------------------------------------
+    # scheduling (tests call these)
+    # ------------------------------------------------------------------
+    def poison_request(self, submission_index: int) -> "FaultInjector":
+        """Poison the ``submission_index``-th submitted request."""
+        with self._lock:
+            self._poison_at.add(int(submission_index))
+        return self
+
+    def crash_worker(self, batch_index: int) -> "FaultInjector":
+        """Crash the worker handling the ``batch_index``-th batch."""
+        with self._lock:
+            self._crash_at.add(int(batch_index))
+        return self
+
+    def slow_worker(self, batch_index: int, seconds: float = 0.05) -> "FaultInjector":
+        """Stall the worker handling the ``batch_index``-th batch."""
+        with self._lock:
+            self._slow_at[int(batch_index)] = float(seconds)
+        return self
+
+    def mismatch_keys(self, batch_index: int) -> "FaultInjector":
+        """Encrypt the ``batch_index``-th batch under the wrong keys."""
+        with self._lock:
+            self._mismatch_at.add(int(batch_index))
+        return self
+
+    # ------------------------------------------------------------------
+    # server-side hooks
+    # ------------------------------------------------------------------
+    def on_submit(self, request) -> None:
+        """Count one admission; mark it poisoned if scheduled."""
+        with self._lock:
+            index = self._submissions
+            self._submissions += 1
+            if index in self._poison_at:
+                self._poisoned_ids.add(id(request))
+
+    def split_poisoned(self, batch: list) -> tuple[list, list]:
+        """Partition a claimed batch into (clean, poisoned) requests."""
+        with self._lock:
+            if not self._poisoned_ids:
+                return batch, []
+            poisoned = [req for req in batch if id(req) in self._poisoned_ids]
+            self._poisoned_ids.difference_update(id(req) for req in poisoned)
+            self.fired["poison"] += len(poisoned)
+        bad = {id(req) for req in poisoned}
+        clean = [req for req in batch if id(req) not in bad]
+        return clean, poisoned
+
+    def on_batch_start(self, group, batch, worker_index: int) -> set:
+        """Apply batch-ordinal faults; returns directives for the server.
+
+        Raises :class:`WorkerCrashError` for a scheduled crash, sleeps
+        through a scheduled stall, and returns ``{"key_mismatch"}`` when
+        the server should encrypt this batch under the wrong keys.
+        """
+        with self._lock:
+            index = self._batches
+            self._batches += 1
+            crash = index in self._crash_at
+            stall = self._slow_at.get(index)
+            mismatch = index in self._mismatch_at
+            if crash:
+                self.fired["crash"] += 1
+            if stall is not None:
+                self.fired["slow"] += 1
+            if mismatch:
+                self.fired["mismatch"] += 1
+        if stall is not None:
+            time.sleep(stall)
+        if crash:
+            raise WorkerCrashError(
+                f"fault injection: worker {worker_index} crashed on batch {index} "
+                f"(group {group})"
+            )
+        return {"key_mismatch"} if mismatch else set()
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "submissions": self._submissions,
+                "batches": self._batches,
+                "fired": dict(self.fired),
+            }

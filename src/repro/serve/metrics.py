@@ -35,6 +35,36 @@ def percentile(values, q: float) -> float:
     return float(np.percentile(np.asarray(values, dtype=np.float64), q))
 
 
+def _escape_label(value) -> str:
+    """Escape a Prometheus label value (backslash, quote, newline)."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+class _TenantStats:
+    """Exact per-(model, client) counters."""
+
+    __slots__ = ("requests", "batches", "errors", "shed")
+
+    def __init__(self):
+        self.requests = 0
+        self.batches = 0
+        self.errors = 0
+        self.shed = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "errors": self.errors,
+            "shed": self.shed,
+        }
+
+
 class _LayerStats:
     """Exact running aggregate + cumulative histogram for one layer."""
 
@@ -95,6 +125,9 @@ class ServingMetrics:
             self.batch_seconds: deque[float] = deque(maxlen=self.max_samples)
             self.op_counts: Counter = Counter()
             self.in_flight_batches = 0
+            self.shed_total = 0
+            self.errors: Counter = Counter()   # error kind -> count
+            self._tenants: dict[tuple, _TenantStats] = {}
             self._layers: dict[str, _LayerStats] = {}
             self._started_at: float | None = None
             self._last_at: float | None = None
@@ -109,7 +142,8 @@ class ServingMetrics:
 
     def queue_depth(self) -> int:
         fn = self._queue_depth_fn
-        return int(fn()) if fn is not None else 0
+        # clamp: a gauge must never go negative, whatever the callable does
+        return max(0, int(fn())) if fn is not None else 0
 
     def batch_started(self) -> None:
         with self._lock:
@@ -122,6 +156,33 @@ class ServingMetrics:
     # ------------------------------------------------------------------
     # recording
     # ------------------------------------------------------------------
+    def _tenant(self, model, client) -> _TenantStats | None:
+        """Per-tenant bucket (``None`` when the batch carries no labels).
+        Callers hold ``self._lock``."""
+        if model is None and client is None:
+            return None
+        key = (model or "default", client or "default")
+        stats = self._tenants.get(key)
+        if stats is None:
+            stats = self._tenants[key] = _TenantStats()
+        return stats
+
+    def record_shed(self, count: int = 1, model=None, client=None) -> None:
+        """Count load-shed requests (rejected with ``QueueOverflow``)."""
+        with self._lock:
+            self.shed_total += count
+            tenant = self._tenant(model, client)
+            if tenant is not None:
+                tenant.shed += count
+
+    def record_error(self, kind: str, count: int = 1, model=None, client=None) -> None:
+        """Count requests failed with an explicit per-request error."""
+        with self._lock:
+            self.errors[kind] += count
+            tenant = self._tenant(model, client)
+            if tenant is not None:
+                tenant.errors += count
+
     def record_batch(
         self,
         batch_size: int,
@@ -129,6 +190,8 @@ class ServingMetrics:
         latencies_ms,
         op_counts: Counter | None = None,
         layer_seconds: dict | None = None,
+        model=None,
+        client=None,
     ) -> None:
         now = time.perf_counter()
         with self._lock:
@@ -137,6 +200,10 @@ class ServingMetrics:
             self._last_at = now
             self.requests_total += batch_size
             self.batches_total += 1
+            tenant = self._tenant(model, client)
+            if tenant is not None:
+                tenant.requests += batch_size
+                tenant.batches += 1
             self.batch_seconds_sum += batch_seconds
             self.batch_sizes.append(batch_size)
             self.batch_seconds.append(batch_seconds)
@@ -206,6 +273,12 @@ class ServingMetrics:
                     for name, stats in sorted(self._layers.items())
                 },
                 "he_ops": dict(self.op_counts),
+                "shed_total": self.shed_total,
+                "errors": dict(self.errors),
+                "tenants": {
+                    f"{model}/{client}": stats.as_dict()
+                    for (model, client), stats in sorted(self._tenants.items())
+                },
             }
 
     def format(self) -> str:
@@ -255,7 +328,29 @@ class ServingMetrics:
             f'{prefix}_request_latency_ms{{quantile="0.95"}} {lat["p95"]:.6f}',
             f"{prefix}_request_latency_ms_sum {self.latency_sum_ms:.6f}",
             f"{prefix}_request_latency_ms_count {self.latency_count}",
+            f"# TYPE {prefix}_shed_total counter",
+            f"{prefix}_shed_total {s['shed_total']}",
         ]
+        if s["errors"]:
+            out.append(f"# TYPE {prefix}_request_errors_total counter")
+            for kind, n in sorted(s["errors"].items()):
+                out.append(
+                    f'{prefix}_request_errors_total{{kind="{_escape_label(kind)}"}} {n}'
+                )
+        with self._lock:
+            tenants = sorted(self._tenants.items())
+        if tenants:
+            for metric, attr in (
+                ("tenant_requests_total", "requests"),
+                ("tenant_errors_total", "errors"),
+                ("tenant_shed_total", "shed"),
+            ):
+                out.append(f"# TYPE {prefix}_{metric} counter")
+                for (model, client), stats in tenants:
+                    out.append(
+                        f'{prefix}_{metric}{{model="{_escape_label(model)}",'
+                        f'client="{_escape_label(client)}"}} {getattr(stats, attr)}'
+                    )
         with self._lock:
             layers = sorted(self._layers.items())
         if layers:

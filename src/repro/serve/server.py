@@ -1,16 +1,26 @@
-"""The batched encrypted-inference server facade.
+"""The multi-tenant batched encrypted-inference server facade.
 
-``submit(x)`` returns a future; behind it, requests are grouped into
-SIMD batches (:mod:`repro.serve.queue`), packed into disjoint slot
-blocks of a single ciphertext (:mod:`repro.serve.packing` /
-:meth:`EncryptedMLP.encrypt_batch`), pushed through one encrypted
-forward using the artifact's pre-encoded plaintexts
-(:mod:`repro.serve.artifact`), and demultiplexed back into per-client
-logits on decrypt.  Per-batch observations land in
-:class:`repro.serve.metrics.ServingMetrics`; with ``trace=True`` each
-worker additionally runs a :class:`repro.obs.TracingEvaluator`, feeding
-per-layer durations into the metrics' latency histograms and keeping
-the last batch's span tree on ``last_trace``.
+``submit(x, client_id=..., model=...)`` returns a future; behind it,
+requests are grouped per ``(model, client)`` into SIMD batches
+(:mod:`repro.serve.queue` — two tenants never share a ciphertext),
+packed into disjoint slot blocks, pushed through one encrypted forward
+using the artifact's pre-encoded plaintexts (:mod:`repro.serve.artifact`
+— key-independent, so every tenant shares them), and demultiplexed back
+into per-client logits on decrypt.  Client key material comes from a
+:class:`~repro.serve.keys.ClientKeyRegistry`; the default tenant uses
+the model's own baked keys, so a single-model single-tenant server works
+exactly as before.
+
+Admission is bounded (``max_pending``): a full queue **sheds** with
+:class:`~repro.serve.queue.QueueOverflow` (or applies backpressure with
+``submit(..., block=True)``).  Per-batch observations land in
+:class:`repro.serve.metrics.ServingMetrics` with per-tenant labels; with
+``trace=True`` each worker additionally runs a
+:class:`repro.obs.TracingEvaluator`.  A
+:class:`~repro.serve.faults.FaultInjector` can be plugged in to script
+worker crashes, stalls, poisoned requests and key-mismatch submissions —
+every injected failure surfaces as an explicit per-request error while
+the server keeps serving (the concurrency suite pins this).
 """
 
 from __future__ import annotations
@@ -18,18 +28,34 @@ from __future__ import annotations
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass
+from threading import Lock
 
 import numpy as np
 
-from repro.ckks.evaluator import CkksEvaluator
 from repro.ckks.instrumentation import CountingEvaluator
-from repro.fhe.network import EncryptedMLP
 from repro.obs import TracingEvaluator
 from repro.serve.artifact import ModelArtifact
+from repro.serve.faults import FaultInjector, PoisonedRequestError, WorkerCrashError
+from repro.serve.keys import (
+    DEFAULT_CLIENT,
+    ClientKeyRegistry,
+    KeyMismatchError,
+    UnknownClientError,
+)
 from repro.serve.metrics import ServingMetrics
-from repro.serve.queue import BatchQueue, Request, WorkerPool
+from repro.serve.queue import (
+    DEFAULT_MODEL,
+    BatchQueue,
+    QueueOverflow,
+    Request,
+    WorkerPool,
+)
 
-__all__ = ["InferenceResult", "InferenceServer"]
+__all__ = ["InferenceResult", "InferenceServer", "UnknownModelError"]
+
+
+class UnknownModelError(KeyError):
+    """A request named a model this server does not host."""
 
 
 @dataclass(frozen=True)
@@ -40,46 +66,67 @@ class InferenceResult:
     prediction: int
     latency_ms: float   #: enqueue -> logits, including batching wait
     batch_size: int     #: how many requests shared the ciphertext
+    model: str = DEFAULT_MODEL
+    client_id: str = DEFAULT_CLIENT
 
 
 class InferenceServer:
-    """Batched encrypted-inference server over a compiled model artifact.
+    """Multi-tenant batched encrypted-inference server.
 
     Parameters
     ----------
     model:
-        A :class:`ModelArtifact` or a bare :class:`EncryptedMLP` (wrapped
-        into an artifact automatically).
+        A :class:`ModelArtifact`, a bare :class:`EncryptedMLP` (wrapped
+        automatically), or a ``{name: artifact-or-network}`` dict to
+        serve several models from one worker pool.
     num_classes:
-        Logit count demultiplexed per client.
+        Logit count demultiplexed per client — an int (shared) or a
+        ``{model_name: int}`` dict.
     max_batch_size:
-        Admission cap; clamped to the ciphertext's SIMD capacity
-        (``slots // (2·size)``).
+        Admission cap; clamped per model to the ciphertext's SIMD
+        capacity (``slots // (2·size)``).
     max_wait_ms:
         Flush deadline for a partially filled batch.
     num_workers:
-        Worker threads; each gets its own evaluator against the shared
-        keys (encoding caches are shared).
-    instrument:
-        Count homomorphic ops per batch into the metrics.
-    trace:
-        Run each batch under the execution tracer (implies
-        ``instrument``): per-layer durations feed the metrics' latency
-        histograms and the most recent batch's span tree is kept on
-        :attr:`last_trace`.  Tracing never perturbs ciphertexts — it
-        only reads levels and scales.
+        Worker threads; each gets its own evaluator per (model, client)
+        against shared keys (encoding caches are shared).
+    max_pending:
+        Total admission bound.  A non-blocking submit over it sheds with
+        :class:`QueueOverflow`; ``submit(..., block=True)`` waits
+        (backpressure).  ``None`` = unbounded (the old behavior).
+    key_registry:
+        :class:`ClientKeyRegistry` for non-default tenants (one is
+        created when omitted).  ``register_client`` proxies to it.
+    fault_injector:
+        Optional :class:`~repro.serve.faults.FaultInjector` — the
+        deterministic failure-mode harness.
+    shard_executor:
+        Optional :class:`~repro.serve.executor.BlockExecutor` scheduling
+        sharded models' block grids across threads/processes.  Ignored
+        while tracing (the tracer's span stack is per-thread).
+    integrity_tol:
+        Ciphertext integrity bound: after a forward whose final layer is
+        linear, the replica half of block 0 must decrypt to ~0 (the
+        matvec zeroes it).  Garbage there — the signature of a
+        key-mismatch submission — fails the batch with
+        :class:`KeyMismatchError`.  ``None`` disables the check.
+    instrument / trace / warm:
+        As before: op counting, execution tracing, cache warm-up.
 
     Usage::
 
-        with InferenceServer(artifact, num_classes=10) as srv:
-            futures = [srv.submit(x) for x in requests]
-            results = [f.result() for f in futures]
+        with InferenceServer({"mlp": art_a, "resnet": art_b},
+                             num_classes={"mlp": 3, "resnet": 3},
+                             key_registry=registry) as srv:
+            srv.register_client("alice")
+            fut = srv.submit(x, client_id="alice", model="mlp")
+            result = fut.result()
     """
 
     def __init__(
         self,
-        model: ModelArtifact | EncryptedMLP,
-        num_classes: int,
+        model,
+        num_classes,
         *,
         max_batch_size: int | None = None,
         max_wait_ms: float = 8.0,
@@ -87,58 +134,151 @@ class InferenceServer:
         instrument: bool = False,
         trace: bool = False,
         warm: bool = True,
+        max_pending: int | None = None,
+        key_registry: ClientKeyRegistry | None = None,
+        fault_injector: FaultInjector | None = None,
+        shard_executor=None,
+        integrity_tol: float | None = 0.25,
     ):
-        self.artifact = model if isinstance(model, ModelArtifact) else ModelArtifact(model)
-        self.model = self.artifact.model
-        self.num_classes = num_classes
-        capacity = self.model.max_batch
-        self.max_batch_size = (
-            capacity if max_batch_size is None else max(1, min(max_batch_size, capacity))
+        if isinstance(model, dict):
+            if not model:
+                raise ValueError("need at least one model to serve")
+            self.artifacts = {
+                name: (m if isinstance(m, ModelArtifact) else ModelArtifact(m))
+                for name, m in model.items()
+            }
+        else:
+            wrapped = model if isinstance(model, ModelArtifact) else ModelArtifact(model)
+            self.artifacts = {DEFAULT_MODEL: wrapped}
+        #: back-compat single-model aliases (None when serving several)
+        self.artifact = (
+            next(iter(self.artifacts.values())) if len(self.artifacts) == 1 else None
         )
+        self.model = self.artifact.model if self.artifact is not None else None
+
+        if isinstance(num_classes, dict):
+            missing = set(self.artifacts) - set(num_classes)
+            if missing:
+                raise ValueError(f"num_classes missing models: {sorted(missing)}")
+            self._num_classes = {name: int(num_classes[name]) for name in self.artifacts}
+        else:
+            self._num_classes = {name: int(num_classes) for name in self.artifacts}
+        self.num_classes = num_classes
+
+        self._capacity: dict[str, int] = {}
+        for name, art in self.artifacts.items():
+            cap = art.model.max_batch
+            if max_batch_size is not None:
+                cap = max(1, min(max_batch_size, cap))
+            self._capacity[name] = cap
+        self.max_batch_size = max(self._capacity.values())
+
+        self.key_registry = key_registry if key_registry is not None else ClientKeyRegistry()
+        self.faults = fault_injector
+        self.shard_executor = shard_executor
         self.metrics = ServingMetrics()
         self._trace = trace
         self._instrument = instrument or trace
+        self._integrity_tol = integrity_tol
+        # the replica-half guard assumes a linear final layer (the matvec
+        # zeroes those slots); models without that invariant opt out
+        self._integrity_ok = {
+            name: bool(getattr(art.model, "layers", None))
+            and art.model.layers[-1].kind == "linear"
+            for name, art in self.artifacts.items()
+        }
         self.last_trace: dict | None = None
-        self._evaluators: list = [self._make_evaluator(i) for i in range(num_workers)]
-        self._queue = BatchQueue(self.max_batch_size, max_wait_ms=max_wait_ms)
+        self._num_workers = num_workers
+        self._evaluators: dict[tuple, object] = {}
+        self._ev_lock = Lock()
+        self._mismatch_registry: ClientKeyRegistry | None = None
+        self._queue = BatchQueue(
+            lambda group: self._capacity[group[0]],
+            max_wait_ms=max_wait_ms,
+            max_pending=max_pending,
+        )
         self.metrics.bind_queue_depth(self._queue.__len__)
         self._pool = WorkerPool(self._queue, self._handle_batch, num_workers=num_workers)
         self._started = False
         self._stopped = False
+        self._lifecycle = Lock()
         if warm:
-            self.artifact.warm()
+            for art in self.artifacts.values():
+                art.warm()
 
-    def _make_evaluator(self, index: int):
-        ev = (
-            self.model.ev
-            if index == 0
-            else CkksEvaluator(self.model.ctx, self.model.keys, seed=1000 + index)
-        )
-        if index > 0:
-            ev.encoder = self.model.ev.encoder  # share the (caching) encoder
+    # ------------------------------------------------------------------
+    # tenants and evaluators
+    # ------------------------------------------------------------------
+    def register_client(self, client_id: str, seed: int | None = None) -> str:
+        """Admit a tenant (proxies :meth:`ClientKeyRegistry.register`)."""
+        return self.key_registry.register(client_id, seed=seed)
+
+    def _wrap(self, ev):
         if self._trace:
             return TracingEvaluator(CountingEvaluator(ev))
         return CountingEvaluator(ev) if self._instrument else ev
+
+    def _evaluator_for(self, worker_index: int, model_name: str, client_id: str):
+        """Per-(worker, model, client) evaluator, created lazily.
+
+        One worker thread runs one batch at a time, so each cached
+        evaluator is only ever used by its own thread — reset()/tracer
+        state per batch is safe.  Worker 0 of the default tenant reuses
+        the model's own evaluator (back-compat with warm-up encodes).
+        """
+        key = (worker_index, model_name, client_id)
+        with self._ev_lock:
+            ev = self._evaluators.get(key)
+        if ev is not None:
+            return ev
+        art = self.artifacts[model_name]
+        if client_id == DEFAULT_CLIENT:
+            if worker_index == 0:
+                base = art.model.ev
+            else:
+                # stub models (the concurrency harness) carry their own hook
+                fresh = getattr(art.model, "fresh_evaluator", None)
+                base = (fresh or art.fresh_evaluator)(seed=1000 + worker_index)
+        else:
+            base = self.key_registry.evaluator_for(
+                client_id, art.model, seed=1000 + worker_index
+            )
+        ev = self._wrap(base)
+        with self._ev_lock:
+            return self._evaluators.setdefault(key, ev)
+
+    def _mismatch_evaluator(self, model_name: str):
+        """An evaluator over deliberately-wrong keys (fault injection)."""
+        with self._ev_lock:
+            if self._mismatch_registry is None:
+                self._mismatch_registry = ClientKeyRegistry()
+                self._mismatch_registry.register("__mismatch__", seed=0xBAD5EED)
+        return self._mismatch_registry.evaluator_for(
+            "__mismatch__", self.artifacts[model_name].model
+        )
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def start(self) -> "InferenceServer":
-        if self._stopped:
-            raise RuntimeError(
-                "server already stopped; construct a new InferenceServer"
-            )
-        if not self._started:
-            self._pool.start()
-            self._started = True
+        with self._lifecycle:
+            if self._stopped:
+                raise RuntimeError(
+                    "server already stopped; construct a new InferenceServer"
+                )
+            if not self._started:
+                self._pool.start()
+                self._started = True
         return self
 
     def stop(self, timeout: float = 30.0) -> None:
-        """Terminal: drains in-flight work, fails leftovers, frees workers."""
-        if self._started:
+        """Terminal: drains in-flight work (bounded), fails leftovers,
+        frees workers.  Idempotent and safe to race from several threads."""
+        with self._lifecycle:
+            was_started, self._started = self._started, False
+            self._stopped = self._stopped or was_started
+        if was_started:
             self._pool.stop(timeout=timeout)
-            self._started = False
-            self._stopped = True
 
     def __enter__(self) -> "InferenceServer":
         return self.start()
@@ -149,59 +289,126 @@ class InferenceServer:
     # ------------------------------------------------------------------
     # client API
     # ------------------------------------------------------------------
-    def submit(self, x: np.ndarray) -> Future:
+    def _resolve_model(self, model: str | None) -> str:
+        if model is None:
+            if len(self.artifacts) == 1:
+                return next(iter(self.artifacts))
+            raise UnknownModelError(
+                f"server hosts {sorted(self.artifacts)}; submit(..., model=...) required"
+            )
+        if model not in self.artifacts:
+            raise UnknownModelError(
+                f"unknown model {model!r} (hosted: {sorted(self.artifacts)})"
+            )
+        return model
+
+    def submit(
+        self,
+        x: np.ndarray,
+        *,
+        client_id: str = DEFAULT_CLIENT,
+        model: str | None = None,
+        block: bool = False,
+        timeout: float | None = None,
+    ) -> Future:
         """Enqueue one input; resolves to an :class:`InferenceResult`.
 
         Inputs are validated here, *before* admission: a bad request
-        (wrong width, NaN/inf) must fail alone at the door rather than
-        poison every neighbour sharing its ciphertext batch.
+        (wrong width, NaN/inf, unknown model or client) must fail alone
+        at the door rather than poison every neighbour sharing its
+        ciphertext batch.  Over ``max_pending`` the request is shed with
+        :class:`QueueOverflow` unless ``block=True`` (backpressure,
+        bounded by ``timeout`` seconds).
         """
         if not self._started:
             raise RuntimeError("server not started (use start() or a with-block)")
+        name = self._resolve_model(model)
+        net = self.artifacts[name].model
         x = np.asarray(x, dtype=np.float64).ravel()
-        if self.model.sharded:
-            expected = sum(self.model.input_splits or [self.model.size])
+        if net.sharded:
+            expected = sum(net.input_splits or [net.size])
             if x.size != expected:
                 raise ValueError(
                     f"input dim {x.size} != sharded input dim {expected}"
                 )
-        elif x.size > self.model.size:
+        elif x.size > net.size:
             raise ValueError(
-                f"input dim {x.size} exceeds layer size {self.model.size}"
+                f"input dim {x.size} exceeds layer size {net.size}"
             )
         if not np.all(np.isfinite(x)):
             raise ValueError("input contains non-finite values")
-        req = Request(x=x)
-        self._queue.put(req)
+        if client_id != DEFAULT_CLIENT and client_id not in self.key_registry:
+            raise UnknownClientError(
+                f"client {client_id!r} is not registered (register_client first)"
+            )
+        req = Request(x=x, client_id=client_id, model_name=name)
+        if self.faults is not None:
+            self.faults.on_submit(req)
+        try:
+            self._queue.put(req, block=block, timeout=timeout)
+        except QueueOverflow:
+            self.metrics.record_shed(model=name, client=client_id)
+            raise
         return req.future
 
-    def predict(self, x: np.ndarray, timeout: float | None = None) -> InferenceResult:
+    def predict(self, x: np.ndarray, timeout: float | None = None, **kw) -> InferenceResult:
         """Synchronous submit + wait."""
-        return self.submit(x).result(timeout=timeout)
+        return self.submit(x, **kw).result(timeout=timeout)
 
-    def predict_many(self, xs, timeout: float | None = None) -> list[InferenceResult]:
+    def predict_many(self, xs, timeout: float | None = None, **kw) -> list[InferenceResult]:
         """Submit a burst and gather (lets the batcher pack them together)."""
-        futures = [self.submit(x) for x in xs]
+        futures = [self.submit(x, **kw) for x in xs]
         return [f.result(timeout=timeout) for f in futures]
 
     @property
     def backend(self) -> str:
         """Name of the kernel backend executing this server's HE ops."""
-        return self.model.ctx.backend.name
+        art = self.artifact or next(iter(self.artifacts.values()))
+        return art.model.ctx.backend.name
 
     def metrics_text(self) -> str:
         """Prometheus text exposition of the serving metrics (counters,
-        queue-depth / in-flight gauges, per-layer latency histograms),
-        plus an info gauge naming the active kernel backend."""
-        info = (
-            "# TYPE repro_serve_backend_info gauge\n"
-            f'repro_serve_backend_info{{backend="{self.backend}"}} 1\n'
-        )
-        return info + self.metrics.format_prometheus()
+        queue-depth / in-flight gauges, shed/error counters, per-tenant
+        series, per-layer latency histograms), plus an info gauge naming
+        the active kernel backend per hosted model."""
+        lines = ["# TYPE repro_serve_backend_info gauge"]
+        if self.artifact is not None:
+            lines.append(f'repro_serve_backend_info{{backend="{self.backend}"}} 1')
+        else:
+            for name, art in sorted(self.artifacts.items()):
+                lines.append(
+                    f'repro_serve_backend_info{{backend="{art.model.ctx.backend.name}",'
+                    f'model="{name}"}} 1'
+                )
+        return "\n".join(lines) + "\n" + self.metrics.format_prometheus()
 
     # ------------------------------------------------------------------
     # batch execution (worker threads)
     # ------------------------------------------------------------------
+    def _check_integrity(self, model_name: str, ct, ev) -> None:
+        """Replica-half guard: block 0's slots ``[size, 2·size)`` must
+        decrypt to ~0 after a linear final layer.  A key-mismatch
+        submission decrypts to uniform garbage there — structurally
+        detectable, unlike the logits themselves."""
+        tol = self._integrity_tol
+        if tol is None or not self._integrity_ok[model_name]:
+            return
+        net = self.artifacts[model_name].model
+        values = ev.decrypt(ct, num_values=2 * net.size)
+        guard = np.asarray(values[net.size : 2 * net.size])
+        if not np.all(np.isfinite(guard)) or float(np.max(np.abs(guard))) > tol:
+            raise KeyMismatchError(
+                "ciphertext integrity check failed: replica slots decrypted to "
+                f"|max|={float(np.max(np.abs(guard))):.3g} (> {tol}) — the batch "
+                "was not encrypted under the keys it was evaluated with"
+            )
+
+    def _fail_batch(self, batch, exc, model_name, client_id, kind) -> None:
+        for req in batch:
+            if not req.future.done():
+                req.future.set_exception(exc)
+        self.metrics.record_error(kind, len(batch), model=model_name, client=client_id)
+
     def _handle_batch(self, batch: list[Request], worker_index: int) -> None:
         # claim each future; one a client cancelled while queued drops out
         # here, so set_result below can never hit an InvalidStateError and
@@ -209,33 +416,58 @@ class InferenceServer:
         batch = [req for req in batch if req.future.set_running_or_notify_cancel()]
         if not batch:
             return
-        ev = self._evaluators[worker_index]
+        model_name, client_id = batch[0].group
+        art = self.artifacts[model_name]
+        net = art.model
+        directives: set = set()
+        if self.faults is not None:
+            batch, poisoned = self.faults.split_poisoned(batch)
+            if poisoned:
+                exc = PoisonedRequestError(
+                    "fault injection: request poisoned during batch assembly"
+                )
+                self._fail_batch(poisoned, exc, model_name, client_id, "poisoned")
+            if not batch:
+                return
+            try:
+                directives = self.faults.on_batch_start(
+                    batch[0].group, batch, worker_index
+                )
+            except WorkerCrashError as exc:
+                self._fail_batch(batch, exc, model_name, client_id, "worker_crash")
+                return
+        ev = self._evaluator_for(worker_index, model_name, client_id)
         if self._instrument:
             ev.reset()
         if self._trace:
             ev.tracer.reset()
+        executor = self.shard_executor if not self._trace else None
         self.metrics.batch_started()
         t0 = time.perf_counter()
         try:
             xs = [req.x for req in batch]
-            if self.model.sharded:
-                # multi-ciphertext models: one ciphertext per input shard,
-                # logits land whole on the last layer's single output shard
-                cts = self.model.encrypt_batch_shards(xs, ev=ev)
-                ct = self.model.forward_shards(
-                    cts, encoded=self.artifact.encoded_linear, ev=ev
+            encrypt_ev = ev
+            if "key_mismatch" in directives:
+                encrypt_ev = self._mismatch_evaluator(model_name)
+            if net.sharded:
+                cts = net.encrypt_batch_shards(xs, ev=encrypt_ev)
+                ct = net.forward_shards(
+                    cts, encoded=art.encoded_linear, ev=ev, executor=executor
                 )[0]
             else:
-                ct = self.model.encrypt_batch(xs, ev=ev)
-                ct = self.model.forward(
-                    ct, encoded=self.artifact.encoded_linear, ev=ev
-                )
-            logits = self.model.decrypt_logits(
-                ct, self.num_classes, batch=len(batch), ev=ev
+                ct = net.encrypt_batch(xs, ev=encrypt_ev)
+                ct = net.forward(ct, encoded=art.encoded_linear, ev=ev)
+            logits = net.decrypt_logits(
+                ct, self._num_classes[model_name], batch=len(batch), ev=ev
             )
+            self._check_integrity(model_name, ct, ev)
         except Exception as exc:
-            for req in batch:
-                req.future.set_exception(exc)
+            kind = (
+                "key_mismatch"
+                if isinstance(exc, KeyMismatchError)
+                else "execution"
+            )
+            self._fail_batch(batch, exc, model_name, client_id, kind)
             return
         finally:
             self.metrics.batch_finished()
@@ -250,6 +482,8 @@ class InferenceServer:
                     prediction=int(np.argmax(row)),
                     latency_ms=latency_ms,
                     batch_size=len(batch),
+                    model=model_name,
+                    client_id=client_id,
                 )
             )
         layer_seconds = None
@@ -265,4 +499,6 @@ class InferenceServer:
             latencies,
             op_counts=ev.counts if self._instrument else None,
             layer_seconds=layer_seconds,
+            model=model_name,
+            client=client_id,
         )

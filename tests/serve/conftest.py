@@ -1,11 +1,20 @@
-"""Shared fixtures: one compiled toy model for the whole serve suite."""
+"""Shared fixtures: compiled toy models for the whole serve suite."""
 
 import pytest
 
-from repro.fhe.toy import compiled_toy
+from repro.fhe.toy import compiled_toy, compiled_toy_resnet
+from repro.serve.artifact import ModelArtifact
 
 
 @pytest.fixture(scope="session")
 def toy():
     """(plain model, compiled EncryptedMLP) — 8 -> 6 -> 3 MLP with an f1∘g2 PAF."""
     return compiled_toy(with_model=True)
+
+
+@pytest.fixture(scope="session")
+def toy_resnet_artifact():
+    """Warmed artifact of the sharded toy ResNet (the executor/scale cases)."""
+    art = ModelArtifact(compiled_toy_resnet())
+    art.warm()
+    return art

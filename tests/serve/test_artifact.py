@@ -179,3 +179,81 @@ class TestActivationPrewarm:
             assert np.array_equal(out_a.c1.data, out_b.c1.data)
         finally:
             enc.ev.encoder = original_encoder
+
+
+class TestPersistence:
+    def test_export_import_entries_round_trip(self, toy):
+        _, enc = toy
+        art = ModelArtifact(enc)
+        art.warm()
+        entries = art.cache.export_entries()
+        assert len(entries) == len(art.cache)
+        art2 = ModelArtifact(enc)
+        assert art2.cache.import_entries(enc.ctx, entries) == len(entries)
+        # an imported plaintext is bit-identical to the original
+        key = entries[0][0]
+        pt_a = art.cache._entries[key]
+        pt_b = art2.cache._entries[key]
+        np.testing.assert_array_equal(pt_a.poly.data, pt_b.poly.data)
+        assert pt_a.scale == pt_b.scale
+
+    def test_save_load_cache_warm_starts(self, toy, tmp_path):
+        _, enc = toy
+        art = ModelArtifact(enc)
+        art.warm()
+        path = tmp_path / "toy.cache"
+        saved = art.save_cache(path)
+        assert saved == len(art.cache)
+
+        cold = ModelArtifact(enc)
+        assert cold.load_cache(path) == saved
+        # the per-layer memo was rebuilt: a forward hits only the cache
+        misses_before = cold.cache.misses
+        x = np.random.default_rng(2).normal(size=8)
+        ct = enc.encrypt_batch([x])
+        cold.forward(ct)
+        assert cold.cache.misses == misses_before
+
+    def test_loaded_forward_bit_identical(self, toy, tmp_path):
+        _, enc = toy
+        art = ModelArtifact(enc)
+        art.warm()
+        path = tmp_path / "toy.cache"
+        art.save_cache(path)
+        warm2 = ModelArtifact(enc)
+        warm2.load_cache(path)
+        x = np.random.default_rng(3).normal(size=8)
+        ct = enc.encrypt_batch([x])  # one encryption, two forwards
+        a = enc.decrypt_logits(art.forward(ct), 3, batch=1)
+        b = enc.decrypt_logits(warm2.forward(ct), 3, batch=1)
+        np.testing.assert_array_equal(a, b)
+
+    def test_fingerprint_is_stable_and_model_sensitive(self, toy):
+        _, enc = toy
+        art = ModelArtifact(enc)
+        assert art.fingerprint() == ModelArtifact(enc).fingerprint()
+
+    def test_load_rejects_other_models_cache(self, toy, tmp_path):
+        from repro.fhe.toy import compiled_toy_cnn
+        from repro.serve import ArtifactMismatchError
+
+        _, enc = toy
+        art = ModelArtifact(enc)
+        art.warm()
+        path = tmp_path / "toy.cache"
+        art.save_cache(path)
+        other = ModelArtifact(compiled_toy_cnn())
+        with pytest.raises(ArtifactMismatchError, match="different compiled model"):
+            other.load_cache(path)
+
+    def test_load_rejects_foreign_format(self, toy, tmp_path):
+        import pickle
+
+        from repro.serve import ArtifactMismatchError
+
+        _, enc = toy
+        path = tmp_path / "bogus.cache"
+        with open(path, "wb") as fh:
+            pickle.dump({"format": "something-else", "entries": []}, fh)
+        with pytest.raises(ArtifactMismatchError):
+            ModelArtifact(enc).load_cache(path)

@@ -139,3 +139,108 @@ class TestFormat:
         assert "queue_depth=1" in text
         assert "in_flight=0" in text
         assert "layer l0" in text
+
+
+class TestTenantSeries:
+    def test_shed_and_error_counters_with_labels(self):
+        m = ServingMetrics()
+        m.record_shed(2, model="mlp", client="alice")
+        m.record_error("poisoned", model="mlp", client="alice")
+        m.record_error("worker_crash", 3)
+        m.record_batch(2, 0.01, [5.0], model="mlp", client="alice")
+        s = m.snapshot()
+        assert s["shed_total"] == 2
+        assert s["errors"] == {"poisoned": 1, "worker_crash": 3}
+        assert s["tenants"]["mlp/alice"] == {
+            "requests": 2,
+            "batches": 1,
+            "errors": 1,
+            "shed": 2,
+        }
+        text = m.format_prometheus()
+        assert "repro_serve_shed_total 2" in text
+        assert 'repro_serve_request_errors_total{kind="poisoned"} 1' in text
+        assert (
+            'repro_serve_tenant_requests_total{model="mlp",client="alice"} 2'
+            in text
+        )
+
+    def test_label_values_are_escaped(self):
+        m = ServingMetrics()
+        m.record_error('we"ird\nkind', model='m"1', client="a\\b")
+        text = m.format_prometheus()
+        assert '\\"' in text and "\\n" in text and "\\\\" in text
+        # label values stay properly delimited: an even number of
+        # *unescaped* quotes per line, and no raw newline inside a value
+        import re
+
+        for line in text.splitlines():
+            assert len(re.findall(r'(?<!\\)"', line)) % 2 == 0
+
+
+class TestPrometheusUnderConcurrency:
+    def test_concurrent_updates_keep_exposition_parseable(self):
+        """Writers hammer every mutator while readers render the
+        exposition: each rendered line must parse as a comment or a
+        ``name{labels} value`` sample, and gauges never go negative."""
+        import re
+        import threading
+
+        m = ServingMetrics(max_samples=64)
+        depth = [0]
+        m.bind_queue_depth(lambda: depth[0])
+        sample = re.compile(
+            r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9.e+-]+(e[+-][0-9]+)?$"
+        )
+        failures = []
+        stop = threading.Event()
+
+        def writer(seed):
+            i = 0
+            while not stop.is_set():
+                m.batch_started()
+                depth[0] = (seed + i) % 7  # gauge source wobbles, stays >= 0
+                m.record_batch(
+                    2,
+                    0.001,
+                    [1.0, 2.0],
+                    op_counts=Counter(rotate=1),
+                    layer_seconds={"l0": 0.001},
+                    model=f"m{seed % 2}",
+                    client="alice",
+                )
+                m.record_shed(model=f"m{seed % 2}", client="alice")
+                m.record_error("execution", model=f"m{seed % 2}", client="alice")
+                m.batch_finished()
+                i += 1
+
+        def reader():
+            while not stop.is_set():
+                text = m.format_prometheus()
+                for line in text.splitlines():
+                    if line.startswith("#"):
+                        continue
+                    if not sample.match(line):
+                        failures.append(f"unparseable: {line!r}")
+                        return
+                    value = float(line.rsplit(" ", 1)[1])
+                    name = line.split("{")[0].split(" ")[0]
+                    if value < 0 and not name.endswith("_ms"):
+                        failures.append(f"negative sample: {line!r}")
+                        return
+
+        writers = [threading.Thread(target=writer, args=(s,)) for s in range(3)]
+        readers = [threading.Thread(target=reader) for _ in range(2)]
+        for t in writers + readers:
+            t.start()
+        import time
+
+        time.sleep(0.4)
+        stop.set()
+        for t in writers + readers:
+            t.join(timeout=5.0)
+        assert failures == []
+        s = m.snapshot()
+        assert s["in_flight_batches"] >= 0
+        assert s["queue_depth"] >= 0
+        assert s["requests_total"] == 2 * s["batches_total"]

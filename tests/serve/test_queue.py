@@ -1,4 +1,5 @@
-"""Admission queue: batching, flush-on-timeout, worker pool plumbing."""
+"""Admission queue: batching, flush-on-timeout, grouping, shedding,
+bounded shutdown, worker pool plumbing."""
 
 import threading
 import time
@@ -6,11 +7,17 @@ import time
 import numpy as np
 import pytest
 
-from repro.serve.queue import BatchQueue, QueueClosed, Request, WorkerPool
+from repro.serve.queue import (
+    BatchQueue,
+    QueueClosed,
+    QueueOverflow,
+    Request,
+    WorkerPool,
+)
 
 
-def _req(v=0.0):
-    return Request(x=np.array([v]))
+def _req(v=0.0, client="default", model="default"):
+    return Request(x=np.array([v]), client_id=client, model_name=model)
 
 
 class TestBatchQueue:
@@ -58,6 +65,137 @@ class TestBatchQueue:
             BatchQueue(max_batch_size=0)
         with pytest.raises(ValueError):
             BatchQueue(max_batch_size=1, max_wait_ms=-1)
+
+
+class TestGroupedAdmission:
+    def test_batches_never_mix_groups(self):
+        q = BatchQueue(max_batch_size=8, max_wait_ms=5)
+        for i in range(3):
+            q.put(_req(i, client="alice"))
+        for i in range(3):
+            q.put(_req(10 + i, client="bob"))
+        got = [q.next_batch(), q.next_batch()]
+        for batch in got:
+            assert len({r.group for r in batch}) == 1
+        clients = {batch[0].client_id for batch in got}
+        assert clients == {"alice", "bob"}
+
+    def test_oldest_group_served_first(self):
+        q = BatchQueue(max_batch_size=8, max_wait_ms=1)
+        q.put(_req(0, client="alice"))
+        time.sleep(0.01)
+        q.put(_req(1, client="bob"))
+        assert q.next_batch()[0].client_id == "alice"
+        assert q.next_batch()[0].client_id == "bob"
+
+    def test_per_group_capacity_callable(self):
+        q = BatchQueue(
+            max_batch_size=lambda group: 1 if group[0] == "small" else 4,
+            max_wait_ms=5,
+        )
+        for i in range(2):
+            q.put(_req(i, model="small"))
+        for i in range(4):
+            q.put(_req(i, model="big"))
+        sizes = {}
+        for _ in range(3):
+            batch = q.next_batch()
+            sizes.setdefault(batch[0].model_name, []).append(len(batch))
+        assert sizes == {"small": [1, 1], "big": [4]}
+
+    def test_pending_by_group(self):
+        q = BatchQueue(max_batch_size=4, max_wait_ms=5)
+        q.put(_req(0, client="alice"))
+        q.put(_req(1, client="alice"))
+        q.put(_req(2, client="bob", model="m2"))
+        assert q.pending_by_group() == {
+            ("default", "alice"): 2,
+            ("m2", "bob"): 1,
+        }
+
+
+class TestBoundedAdmission:
+    def test_overflow_sheds_nonblocking(self):
+        q = BatchQueue(max_batch_size=4, max_wait_ms=5, max_pending=2)
+        q.put(_req(0))
+        q.put(_req(1))
+        with pytest.raises(QueueOverflow):
+            q.put(_req(2))
+        assert len(q) == 2  # the shed request was never admitted
+
+    def test_blocking_put_waits_for_capacity(self):
+        q = BatchQueue(max_batch_size=1, max_wait_ms=1, max_pending=1)
+        q.put(_req(0))
+        admitted = threading.Event()
+
+        def producer():
+            q.put(_req(1), block=True, timeout=5.0)
+            admitted.set()
+
+        t = threading.Thread(target=producer)
+        t.start()
+        time.sleep(0.05)
+        assert not admitted.is_set()  # backpressure: held until a drain
+        q.next_batch()
+        assert admitted.wait(timeout=5.0)
+        t.join()
+
+    def test_blocking_put_times_out(self):
+        q = BatchQueue(max_batch_size=1, max_wait_ms=1, max_pending=1)
+        q.put(_req(0))
+        with pytest.raises(QueueOverflow):
+            q.put(_req(1), block=True, timeout=0.05)
+
+
+class TestShutdown:
+    def test_shutdown_is_idempotent(self):
+        q = BatchQueue(max_batch_size=2, max_wait_ms=5)
+        req = _req()
+        q.put(req)
+        first = q.shutdown(drain_timeout=0.05)
+        assert [r.x[0] for r in first] == [0.0]
+        assert isinstance(req.future.exception(), QueueClosed)
+        # second and third calls: no error, nothing further to fail
+        assert q.shutdown(drain_timeout=0.05) == []
+        assert q.shutdown(drain_timeout=0.05) == []
+
+    def test_shutdown_waits_for_concurrent_drain(self):
+        q = BatchQueue(max_batch_size=1, max_wait_ms=1)
+        for i in range(3):
+            q.put(_req(i))
+
+        def consumer():
+            while True:
+                batch = q.next_batch(poll_timeout=0.05)
+                for r in batch:
+                    r.future.set_result(r.x[0])
+                if not batch and q.closed:
+                    return
+
+        t = threading.Thread(target=consumer)
+        t.start()
+        leftovers = q.shutdown(drain_timeout=5.0)
+        t.join(timeout=5.0)
+        assert leftovers == []  # the consumer got them all within the bound
+
+    def test_shutdown_bounded_when_nobody_drains(self):
+        q = BatchQueue(max_batch_size=2, max_wait_ms=5)
+        reqs = [_req(i) for i in range(4)]
+        for r in reqs:
+            q.put(r)
+        t0 = time.perf_counter()
+        leftovers = q.shutdown(drain_timeout=0.2)
+        assert time.perf_counter() - t0 < 2.0
+        assert len(leftovers) == 4
+        assert all(isinstance(r.future.exception(), QueueClosed) for r in reqs)
+
+    def test_shutdown_skips_already_resolved_futures(self):
+        q = BatchQueue(max_batch_size=2, max_wait_ms=5)
+        req = _req()
+        req.future.set_result("early")
+        q.put(req)
+        q.shutdown(drain_timeout=0.05)
+        assert req.future.result() == "early"  # not clobbered by QueueClosed
 
 
 class TestWorkerPool:

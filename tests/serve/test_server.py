@@ -183,3 +183,78 @@ class TestTracedServing:
             traced = srv.predict(x, timeout=60.0)
         np.testing.assert_allclose(plain.logits, traced.logits, atol=1e-3)
         assert plain.prediction == traced.prediction
+
+
+class TestMultiTenantServing:
+    def test_registered_clients_get_correct_logits_under_own_keys(self, toy):
+        """Two tenants with distinct secrets share one worker pool and
+        one encoding cache — and both decrypt to the plaintext model's
+        logits."""
+        from repro.serve import ClientKeyRegistry
+
+        model, enc = toy
+        reg = ClientKeyRegistry()
+        srv = InferenceServer(
+            ModelArtifact(enc),
+            num_classes=3,
+            max_wait_ms=2.0,
+            num_workers=2,
+            key_registry=reg,
+        )
+        srv.register_client("alice")
+        srv.register_client("bob")
+        rng = np.random.default_rng(17)
+        xs = [rng.normal(size=8) for _ in range(3)]
+        with srv:
+            results = [
+                srv.predict(xs[0], client_id="alice", timeout=60),
+                srv.predict(xs[1], client_id="bob", timeout=60),
+                srv.predict(xs[2], timeout=60),  # default tenant
+            ]
+        with no_grad():
+            refs = [model(Tensor(x.reshape(1, -1))).data.ravel() for x in xs]
+        for res, ref in zip(results, refs):
+            np.testing.assert_allclose(res.logits, ref, atol=1e-2)
+        assert [r.client_id for r in results] == ["alice", "bob", "default"]
+        # both tenants' chains were derived, with galois material per client
+        stats = reg.stats()
+        assert stats["clients"] == 2
+        assert stats["chains"] == 2
+
+    def test_multi_model_server_routes_and_reports(self, toy):
+        _, enc = toy
+        srv = InferenceServer(
+            {"m1": ModelArtifact(enc), "m2": ModelArtifact(enc)},
+            num_classes={"m1": 3, "m2": 3},
+            max_wait_ms=2.0,
+        )
+        rng = np.random.default_rng(5)
+        with srv:
+            r1 = srv.predict(rng.normal(size=8), model="m1", timeout=60)
+            r2 = srv.predict(rng.normal(size=8), model="m2", timeout=60)
+        assert (r1.model, r2.model) == ("m1", "m2")
+        assert srv.artifact is None  # no single-model alias with two models
+        text = srv.metrics_text()
+        assert 'model="m1"' in text and 'model="m2"' in text
+        snap = srv.metrics.snapshot()
+        assert snap["tenants"]["m1/default"]["requests"] == 1
+        assert snap["tenants"]["m2/default"]["requests"] == 1
+
+    def test_single_model_surface_unchanged(self, toy):
+        """Back-compat: the one-model constructor keeps its old attrs and
+        its old metrics_text backend line."""
+        _, enc = toy
+        srv = InferenceServer(ModelArtifact(enc), num_classes=3)
+        assert srv.model is enc
+        assert srv.artifact is not None
+        assert srv.max_batch_size == enc.max_batch
+        line = f'repro_serve_backend_info{{backend="{srv.backend}"}} 1'
+        assert line in srv.metrics_text()
+
+    def test_num_classes_dict_must_cover_models(self, toy):
+        _, enc = toy
+        with pytest.raises(ValueError, match="missing models"):
+            InferenceServer(
+                {"a": ModelArtifact(enc), "b": ModelArtifact(enc)},
+                num_classes={"a": 3},
+            )
