@@ -1,0 +1,221 @@
+"""Encrypted toy-transformer forward: wall clock + deterministic model cost.
+
+The transformer leg of the CI trend gate (``tools/check_bench_trend.py``):
+
+    PYTHONPATH=src python benchmarks/bench_transformer_forward.py [--json PATH]
+        [--skip-wall] [--from-opcounts OPCOUNTS.json] [--trace TRACE.json]
+        [--backend NAME] [--repeats K] [--base BENCH.json]
+
+Compiles the shared toy transformer
+(:func:`repro.fhe.toy.compiled_toy_transformer` — one self-attention +
+GELU MLP block over 4 token shards, depth 33) and reports, per model:
+
+* ``model_cost_seconds`` — the analytic latency-model cost: measured
+  HE-op counts of one token-sharded forward multiplied by *pinned*
+  reference per-op timings (:data:`REFERENCE_MICROS`).  Deterministic
+  for a given compile, so the trend gate is immune to CI machine jitter
+  — it moves only when the op counts (projection plans, the attention
+  dance, the PAF plans) move.
+* ``wall_seconds`` / ``wall_seconds_by_backend`` /
+  ``wall_speedup_vectorized`` — measured forwards on this machine
+  (informational; never gated), best-of-``--repeats`` interleaved runs
+  per backend with the output ciphertexts checked bit-identical.
+* ``keyswitches`` / ``nonscalar_mults`` — the op-count gate currencies,
+  for cross-referencing against ``opcount_summary``.
+
+``--from-opcounts`` derives the record from an ``opcount_summary.py
+--json`` file instead of compiling and measuring again — the CI
+bench-trend job uses it so the toy transformer trains exactly once per
+run.  ``--base`` merges another benchmark record (e.g.
+``bench_resnet.json``) so one combined JSON covers every model on the
+ratchet.
+"""
+
+import argparse
+import json
+import time
+
+import numpy as np
+
+from repro.ckks.instrumentation import CountingEvaluator
+from repro.fhe.latency import REFERENCE_MICROS, cost_from_counts
+from repro.fhe.toy import compiled_toy_transformer
+from repro.obs import TracingEvaluator, format_slack_report, slack_report
+
+
+def model_cost_seconds(counts: dict) -> float:
+    """Op counts × pinned reference timings (the library's shared dot
+    product, so the gated metric can never drift from the analytic cost
+    model's accounting)."""
+    return cost_from_counts(counts, REFERENCE_MICROS)
+
+
+def bench(
+    skip_wall: bool = False,
+    trace_path: str | None = None,
+    backend: str | None = None,
+    repeats: int = 2,
+) -> dict:
+    enc = compiled_toy_transformer()
+    ctx = enc.ctx
+    if backend is not None:
+        ctx.set_backend(backend)
+    in_dim = sum(enc.input_splits)
+    counting = CountingEvaluator(enc.ev)
+    ev = TracingEvaluator(counting) if trace_path else counting
+    cts = enc.encrypt_batch_shards([np.zeros(in_dim)])
+    counting.reset()
+    if trace_path:
+        ev.tracer.reset()
+    enc.forward_shards(cts, ev=ev)
+    if trace_path:
+        ev.tracer.write_json(trace_path, meta={"model": "toy_transformer"})
+        print(format_slack_report(slack_report(ev.tracer, model="toy_transformer")))
+        print()
+    record = {
+        "model_cost_seconds": round(model_cost_seconds(counting.counts), 4),
+        "keyswitches": counting.keyswitch_count,
+        "nonscalar_mults": counting.nonscalar_mult_count,
+        "counts": {k: int(v) for k, v in sorted(counting.counts.items())},
+        "backend": ctx.backend.name,
+    }
+    if not skip_wall:
+        # Interleaved best-of-``repeats`` wall clock per backend on one
+        # shared encrypted input; reusing the input doubles as an
+        # end-to-end conformance check (outputs must be bit-identical).
+        names = [ctx.backend.name] if backend is not None else ["reference", "vectorized"]
+        cts = enc.encrypt_batch_shards([np.zeros(in_dim)])
+        walls: dict = {}
+        outputs: dict = {}
+        for _ in range(max(1, repeats)):
+            for name in names:
+                ctx.set_backend(name)
+                t0 = time.perf_counter()
+                out = enc.forward_shards(cts)
+                dt = time.perf_counter() - t0
+                walls[name] = min(dt, walls.get(name, dt))
+                outputs.setdefault(name, out)
+        ctx.set_backend(record["backend"])
+        if len(names) > 1:
+            for ct_r, ct_v in zip(outputs["reference"], outputs["vectorized"]):
+                if not (
+                    np.array_equal(ct_r.c0.data, ct_v.c0.data)
+                    and np.array_equal(ct_r.c1.data, ct_v.c1.data)
+                ):  # pragma: no cover - conformance suite guards this
+                    raise AssertionError(
+                        "backend outputs diverged: reference and vectorized "
+                        "forwards must produce bit-identical ciphertexts"
+                    )
+            record["wall_seconds_by_backend"] = {
+                name: round(wall, 3) for name, wall in walls.items()
+            }
+            record["wall_speedup_vectorized"] = round(
+                walls["reference"] / walls["vectorized"], 2
+            )
+        record["wall_seconds"] = round(walls[names[0]], 3)
+    return {"models": {"toy_transformer": record}}
+
+
+def from_opcounts(path: str) -> dict:
+    """Derive the record from an existing op-count gate JSON (no crypto).
+
+    When the summary was produced with ``--check-backends`` (its header
+    records the verified backend names), a ``toy_transformer_vectorized``
+    entry rides along with the same counts — op counts are
+    backend-invariant by the conformance gate.
+    """
+    with open(path) as fh:
+        payload = json.load(fh)
+    rec = payload["models"]["toy_transformer"]
+    entry = {
+        "model_cost_seconds": round(model_cost_seconds(rec["counts"]), 4),
+        "keyswitches": rec["keyswitches"],
+        "nonscalar_mults": rec["nonscalar_mults"],
+        "counts": rec["counts"],
+    }
+    out = {"models": {"toy_transformer": entry}}
+    if "vectorized" in payload.get("backends", []):
+        out["models"]["toy_transformer_vectorized"] = dict(entry, backend="vectorized")
+    return out
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", dest="json_path", help="write the record here")
+    parser.add_argument(
+        "--skip-wall",
+        action="store_true",
+        help="skip the wall-clock forward (model cost only)",
+    )
+    parser.add_argument(
+        "--from-opcounts",
+        dest="opcounts_path",
+        help="derive the record from opcount_summary.py --json output "
+        "instead of compiling and measuring (implies no wall clock)",
+    )
+    parser.add_argument(
+        "--trace",
+        dest="trace_path",
+        help="write an execution trace (repro-trace-v1 JSON) of the "
+        "measured forward here and print its level-slack report "
+        "(incompatible with --from-opcounts, which runs no crypto)",
+    )
+    parser.add_argument(
+        "--backend",
+        help="measure only this kernel backend (default: measure "
+        "reference and vectorized and report the speedup)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=2,
+        help="wall-clock repeats per backend; the minimum is reported",
+    )
+    parser.add_argument(
+        "--base",
+        help="merge this benchmark record's models into the output "
+        "(must not redefine any model measured here)",
+    )
+    args = parser.parse_args()
+    if args.opcounts_path:
+        if args.trace_path:
+            parser.error("--trace needs a measured forward; drop --from-opcounts")
+        result = from_opcounts(args.opcounts_path)
+    else:
+        result = bench(
+            skip_wall=args.skip_wall,
+            trace_path=args.trace_path,
+            backend=args.backend,
+            repeats=args.repeats,
+        )
+    if args.base:
+        with open(args.base) as fh:
+            base = json.load(fh)
+        overlap = set(base.get("models", {})) & set(result["models"])
+        if overlap:
+            raise SystemExit(f"--base record redefines {sorted(overlap)}")
+        result["models"].update(base["models"])
+    for model, rec in result["models"].items():
+        line = (
+            f"{model}: model_cost={rec['model_cost_seconds']}s "
+            f"keyswitches={rec['keyswitches']} "
+            f"nonscalar_mults={rec['nonscalar_mults']} "
+            f"wall={rec.get('wall_seconds', 'skipped')}"
+        )
+        if "wall_speedup_vectorized" in rec:
+            by_backend = rec["wall_seconds_by_backend"]
+            line += (
+                f" (reference={by_backend['reference']}s "
+                f"vectorized={by_backend['vectorized']}s "
+                f"speedup={rec['wall_speedup_vectorized']}x)"
+            )
+        print(line)
+    if args.json_path:
+        with open(args.json_path, "w") as fh:
+            json.dump(result, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -36,7 +36,12 @@ from bench_paf_eval import activation_count_table
 from repro.analysis.tables import format_table
 from repro.ckks.backend import available_backends
 from repro.ckks.instrumentation import CountingEvaluator
-from repro.fhe.toy import compiled_toy, compiled_toy_cnn, compiled_toy_resnet
+from repro.fhe.toy import (
+    compiled_toy,
+    compiled_toy_cnn,
+    compiled_toy_resnet,
+    compiled_toy_transformer,
+)
 from repro.obs import TracingEvaluator
 
 
@@ -94,14 +99,14 @@ def _trace_to(trace_dir: str | None, model: str) -> str | None:
 
 
 def measure_forward(
-    enc, in_dim: int, reference: bool = False, trace_path: str | None = None
+    enc, in_dim: int, mode: str = "plan", trace_path: str | None = None
 ) -> CountingEvaluator:
     """Op counts of one encrypted forward on a zero input."""
     counting = CountingEvaluator(enc.ev)
     ev = TracingEvaluator(counting) if trace_path else counting
     ct = enc.encrypt_batch([np.zeros(in_dim)])
     counting.reset()
-    enc.forward(ct, ev=ev, reference=reference)
+    enc.forward(ct, ev=ev, mode=mode)
     if trace_path:
         model = os.path.basename(trace_path)[len("trace_") : -len(".json")]
         ev.tracer.write_json(trace_path, meta={"model": model})
@@ -190,7 +195,7 @@ def build_summary(trace_dir: str | None = None, check_backends: bool = False) ->
         plan_table(mlp, "Per-layer matvec plans (toy 8-6-3 MLP serving model)")
     )
     planned = measure_forward(mlp, 8, trace_path=_trace_to(trace_dir, "toy_mlp"))
-    reference = measure_forward(mlp, 8, reference=True)
+    reference = measure_forward(mlp, 8, mode="reference")
     sections.append(
         format_table(
             _FORWARD_HEADER,
@@ -259,6 +264,37 @@ def build_summary(trace_dir: str | None = None, check_backends: bool = False) ->
             resnet.ctx,
             lambda: measure_forward_shards(resnet, 64),
             models["toy_resnet"],
+        )
+
+    # --- toy transformer: the token-sharded attention + GELU MLP block
+    # (qkv/o BSGS matvecs per token, PS-evaluated softmax exp, Newton
+    # reciprocal normaliser, dense GELU) ---
+    transformer = compiled_toy_transformer()
+    sections.append(
+        shard_plan_table(
+            transformer,
+            "Per-block matvec plans (toy transformer: single-head attention "
+            "+ GELU MLP over 4 token shards, dim 8)",
+        )
+    )
+    tfm_planned = measure_forward_shards(
+        transformer, 32, trace_path=_trace_to(trace_dir, "toy_transformer")
+    )
+    sections.append(
+        format_table(
+            _FORWARD_HEADER,
+            [forward_row("planned", tfm_planned)],
+            title="Measured op counts: one encrypted transformer forward "
+            "(sharded BSGS projections + PS softmax exp + Newton reciprocal)",
+        )
+    )
+    models["toy_transformer"] = gate_metrics(tfm_planned)
+    if check_backends:
+        verify_backend_invariance(
+            "toy_transformer",
+            transformer.ctx,
+            lambda: measure_forward_shards(transformer, 32),
+            models["toy_transformer"],
         )
 
     sections.append(activation_count_table())

@@ -44,20 +44,23 @@ from repro.ckks.evaluator import Ciphertext, CkksEvaluator
 from repro.ckks.instrumentation import span as trace_span
 from repro.ckks.poly_plan import (
     CompositePlan,
+    DensePolyPlan,
     PolyPlan,
     ReluPlan,
     fold_relu_composite,
     plan_composite,
+    plan_dense_poly,
     plan_odd_poly,
     plan_paf_relu,
 )
-from repro.paf.polynomial import CompositePAF, OddPolynomial
+from repro.paf.polynomial import CompositePAF, OddPolynomial, Polynomial
 
 __all__ = [
     "eval_odd_poly",
     "eval_composite_paf",
     "eval_paf_relu",
     "eval_paf_max",
+    "eval_dense_poly",
 ]
 
 
@@ -341,6 +344,201 @@ def eval_paf_relu(
         rtol = 0.0 if plan is not None and plan.exact_scales else 0.01
         x_down = ev.align_to(x, gate.level, gate.scale, rtol=rtol)
         out = ev.rescale(ev.mul(x_down, gate))
+        sp.ct_exit(out)
+    return out
+
+
+def _canonical_descent(ev: CkksEvaluator, level: int, scale: float, depth: int):
+    """``(level - depth, scale)`` on the canonical rescale schedule."""
+    s = scale
+    for lvl in range(level, level - depth, -1):
+        s = s * s / ev.ctx.q_chain[lvl]
+    return level - depth, s
+
+
+def _eval_dense_ladder(
+    ev: CkksEvaluator, x: Ciphertext, poly: Polynomial
+) -> Ciphertext:
+    """Term-by-term ladder for a dense polynomial (reference path).
+
+    Identical shape to :func:`_eval_odd_ladder` with every exponent
+    admitted: bit 0 of ``k-1`` merges the leaf against ``x`` itself
+    (even exponents), and the constant ``c₀`` is a free trailing
+    plaintext add.
+
+    Every cross-level align is exact (rtol 0): the dense tier runs
+    inside deep transformer chains where a tolerated sub-percent drift
+    squares at each downstream multiplication and underflows the scale
+    to zero long before the chain bottoms out.  With exact aligns every
+    intermediate stays on the canonical per-level schedule by induction
+    (rungs and leaves are canonical, and products of canonical
+    same-level operands are canonical).
+    """
+    degree = poly.degree
+    ladder = _power_ladder(ev, x, max(degree - 1, 1))
+
+    terms: list[Ciphertext] = []
+    for k, c in enumerate(poly.coeffs):
+        if k == 0 or c == 0.0:
+            continue
+        leaf = ev.mul_plain_rescale(x, float(c))
+        if k == 1:
+            terms.append(leaf)
+            continue
+        heap: list[tuple] = [(-leaf.level, 0, leaf)]
+        tiebreak = 1
+        rem, rung = k - 1, 1
+        while rem:
+            if rem & 1:
+                ct = ladder[rung]
+                heap.append((-ct.level, tiebreak, ct))
+                tiebreak += 1
+            rem >>= 1
+            rung *= 2
+        heapq.heapify(heap)
+        while len(heap) > 1:
+            _, _, a = heapq.heappop(heap)
+            _, _, b = heapq.heappop(heap)
+            lo_op, hi_op = (a, b) if a.level <= b.level else (b, a)
+            hi_op = ev.align_to(hi_op, lo_op.level, lo_op.scale, rtol=0.0)
+            prod = ev.rescale(ev.mul(hi_op, lo_op))
+            heapq.heappush(heap, (-prod.level, tiebreak, prod))
+            tiebreak += 1
+        terms.append(heap[0][2])
+
+    anchor = min(terms, key=lambda t: t.level)
+    acc: Optional[Ciphertext] = None
+    for t in terms:
+        t = ev.align_to(t, anchor.level, anchor.scale, rtol=0.0)
+        acc = t if acc is None else ev.add(acc, t)
+    if poly.coeffs[0] != 0.0:
+        acc = ev.add_plain(acc, float(poly.coeffs[0]))
+    return acc
+
+
+def _eval_dense_ps(
+    ev: CkksEvaluator, x: Ciphertext, plan: DensePolyPlan
+) -> Ciphertext:
+    """Execute a compiled :class:`~repro.ckks.poly_plan.DensePolyPlan`.
+
+    Exactly ``plan.ps_mults`` nonscalar multiplications; every operand
+    pair aligns exactly (rtol 0) so the canonical per-level scale
+    schedule is never left — the dense tier always runs inside deep
+    (transformer) chains, where tolerated drift compounds.
+    """
+    rungs: dict = {0: x}
+    current = x
+    for e in range(1, plan.rung_top + 1):
+        current = ev.rescale(ev.square(current))
+        rungs[e] = current
+    giant = None
+    if plan.giant_count:
+        base = rungs.get(plan.beta - 1, x)
+        giant = ev.rescale(ev.square(base))           # x^w
+
+    def mul_align(a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        if a.level > b.level:
+            a = ev.align_to(a, b.level, b.scale, rtol=0.0)
+        elif b.level > a.level:
+            b = ev.align_to(b, a.level, a.scale, rtol=0.0)
+        return ev.rescale(ev.mul(a, b))
+
+    def add_align(a: Optional[Ciphertext], b: Optional[Ciphertext]):
+        if a is None or b is None:
+            return b if a is None else a
+        if a.level > b.level:
+            a = ev.align_to(a, b.level, b.scale, rtol=0.0)
+        elif b.level > a.level:
+            b = ev.align_to(b, a.level, a.scale, rtol=0.0)
+        return ev.add(a, b)
+
+    def block_ct(terms) -> tuple:
+        """(ciphertext part or None, plaintext constant) of one block.
+
+        Constant parts (local exponent 0 — the window divides the
+        term's exponent exactly) stay plaintext here; the caller folds
+        them in with a free add or a scalar giant product.
+        """
+        acc: Optional[Ciphertext] = None
+        const = 0.0
+        for local, c, term_rungs in terms:
+            if local == 0:
+                const += c
+                continue
+            t = ev.mul_plain_rescale(x, c)
+            for e in term_rungs:                      # ascending merges
+                t = mul_align(t, rungs[e])
+            acc = add_align(acc, t)
+        return acc, const
+
+    blocks = dict(plan.blocks)
+    maxpos = max(blocks)
+    if maxpos == 0:
+        out, _ = block_ct(blocks[0])                  # block 0 has no constants
+    else:
+        # Horner over block positions; while every block seen so far was
+        # constant-only the accumulator stays plaintext, and its giant
+        # product is a scalar mult (uncounted in plan.ps_mults)
+        acc, acc_const = block_ct(blocks[maxpos])
+        if acc is not None and acc_const:
+            acc = ev.add_plain(acc, acc_const)
+        for pos in range(maxpos - 1, -1, -1):
+            if acc is not None:
+                acc = mul_align(giant, acc)
+            else:
+                acc = ev.mul_plain_rescale(giant, acc_const)
+            if pos in blocks:
+                b_ct, b_const = block_ct(blocks[pos])
+                if b_ct is not None:
+                    acc = add_align(acc, b_ct)
+                if b_const:
+                    acc = ev.add_plain(acc, b_const)
+        out = acc
+    if plan.constant:
+        out = ev.add_plain(out, plan.constant)
+    # land exactly at the budgeted depth (the IR level_cost contract):
+    # a cheap plan that finished shallow descends the rest exactly
+    tgt_level, tgt_scale = _canonical_descent(
+        ev, x.level, x.scale, plan.mult_depth
+    )
+    return ev.align_to(out, tgt_level, tgt_scale, rtol=0.0)
+
+
+def eval_dense_poly(
+    ev: CkksEvaluator,
+    x: Ciphertext,
+    poly: Polynomial,
+    plan: DensePolyPlan | None = None,
+    reference: bool = False,
+) -> Ciphertext:
+    """Evaluate a dense polynomial at a ciphertext, depth-exactly.
+
+    The dense twin of :func:`eval_odd_poly` for the transformer-tier
+    activations (GELU, the softmax ``exp``): follows the compiled
+    :class:`~repro.ckks.poly_plan.DensePolyPlan` (compiled on the fly
+    when not supplied) or, under ``reference=True``, the term-by-term
+    ladder.  Both paths consume exactly ``⌈log₂(d+1)⌉`` levels and
+    return the canonical scale of the target level — the constant term
+    is a free plaintext add.
+    """
+    if plan is None:
+        plan = plan_dense_poly(poly)
+    use_ps = not reference and plan.use_ps
+    with trace_span(
+        ev,
+        "poly:dense-ps" if use_ps else "poly:dense-ladder",
+        kind="poly",
+        degree=poly.degree,
+    ) as sp:
+        sp.ct_entry(x)
+        if use_ps:
+            out = _eval_dense_ps(ev, x, plan)
+        else:
+            out = _eval_dense_ladder(ev, x, poly)
+            tgt_level, tgt_scale = _canonical_descent(
+                ev, x.level, x.scale, plan.mult_depth
+            )
+            out = ev.align_to(out, tgt_level, tgt_scale, rtol=0.0)
         sp.ct_exit(out)
     return out
 

@@ -44,7 +44,12 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.paf.polynomial import CompositePAF, OddPolynomial, mult_depth_of_degree
+from repro.paf.polynomial import (
+    CompositePAF,
+    OddPolynomial,
+    Polynomial,
+    mult_depth_of_degree,
+)
 
 __all__ = [
     "TermPlan",
@@ -52,10 +57,13 @@ __all__ = [
     "PolyPlan",
     "CompositePlan",
     "ReluPlan",
+    "DensePolyPlan",
     "plan_odd_poly",
     "plan_composite",
     "plan_paf_relu",
+    "plan_dense_poly",
     "ladder_nonscalar_mults",
+    "dense_ladder_nonscalar_mults",
     "fold_relu_composite",
 ]
 
@@ -479,6 +487,184 @@ class ReluPlan:
                 level -= 1
         out.append((0.5, level, scale))
         return out
+
+
+# ----------------------------------------------------------------------
+# dense (non-odd) polynomial plans — the exp/GELU tier
+# ----------------------------------------------------------------------
+def _dense_terms(poly: Polynomial) -> tuple:
+    """``(constant, [(exponent, coeff), ...])`` with exponents ≥ 1."""
+    terms = [(k, float(c)) for k, c in enumerate(poly.coeffs) if k >= 1 and c != 0.0]
+    if not terms:
+        raise ValueError("dense polynomial has no nonzero non-constant terms")
+    return float(poly.coeffs[0]), terms
+
+
+def dense_ladder_nonscalar_mults(poly: Polynomial) -> int:
+    """Nonscalar mults of the reference ladder for a dense polynomial.
+
+    Like :func:`ladder_nonscalar_mults` with all exponents admitted: the
+    shared rungs ``x^(2^e)`` up to the largest power of two ≤ ``d - 1``,
+    plus ``popcount(k-1)`` merges per nonzero term (bit 0 of ``k-1``
+    merges against ``x`` itself for even exponents).  The constant term
+    is a free plaintext add.
+
+    >>> from repro.paf.polynomial import Polynomial
+    >>> dense_ladder_nonscalar_mults(Polynomial([0.1, 0.5, 0.4, 0.2]))
+    3
+    """
+    _, terms = _dense_terms(poly)
+    degree = terms[-1][0]
+    rungs = 0
+    rung = 1
+    while degree > 1 and rung * 2 <= degree - 1:
+        rungs += 1
+        rung *= 2
+    return rungs + sum(bin(k - 1).count("1") for k, _ in terms)
+
+
+def _dense_rung_bits(value: int) -> tuple:
+    """Ascending ``log2`` exponents of the set bits of ``value`` (any
+    parity — bit 0 names the ``x¹`` rung)."""
+    bits = []
+    e = 0
+    while value:
+        if value & 1:
+            bits.append(e)
+        value >>= 1
+        e += 1
+    return tuple(bits)
+
+
+@dataclass(frozen=True)
+class DensePolyPlan:
+    """Compiled giant-step-Horner Paterson–Stockmeyer plan for a dense
+    polynomial.
+
+    The dense twin of :class:`PolyPlan` for the transformer-tier
+    activations (GELU, the softmax ``exp``): exponents of *any* parity,
+    a constant term (one plaintext add), baby window ``w = 2^β`` and a
+    single giant ``x^w`` consumed by a Horner chain over the blocks —
+    at the toy degrees in use (3–8) the Horner combine is never beaten
+    by a balanced tree within the ladder's
+    ``⌈log₂(d+1)⌉`` depth budget, so only that shape is planned.
+    ``use_ps`` is a strict nonscalar-mult win exactly like the odd
+    planner; ``exact_scales`` forces PS on ties for deep chains.
+
+    >>> from repro.paf.polynomial import Polynomial
+    >>> p = Polynomial([0.3, 0.1, -0.2, 0.05, 0.4, 0.0, 0.0, 0.1, 0.02])
+    >>> plan = plan_dense_poly(p)                 # degree 8, ladder: 11
+    >>> plan.use_ps, plan.nonscalar_mults, plan.mult_depth
+    (True, 6, 4)
+    """
+
+    degree: int          #: highest nonzero exponent
+    mult_depth: int      #: levels consumed (the ladder's budget, both paths)
+    window: int          #: baby window ``w = 2^beta``
+    use_ps: bool
+    constant: float      #: ``c₀`` — one trailing plaintext add, no level
+    blocks: tuple        #: ``(position, ((exponent, coeff, rungs), ...))``
+    rung_top: int        #: shared rungs ``x^(2^e)``, ``e = 1..rung_top``
+    giant_count: int     #: 1 when more than one block (``x^w``), else 0
+    combine_mults: int   #: *nonscalar* Horner giant products (constant-
+                         #: accumulator steps are scalar mults)
+    ladder_mults: int    #: reference ladder nonscalar count
+
+    @property
+    def beta(self) -> int:
+        return self.window.bit_length() - 1
+
+    @property
+    def ps_mults(self) -> int:
+        return (
+            self.rung_top
+            + self.giant_count
+            + sum(len(rungs) for _, terms in self.blocks for _, _, rungs in terms)
+            + self.combine_mults
+        )
+
+    @property
+    def nonscalar_mults(self) -> int:
+        return self.ps_mults if self.use_ps else self.ladder_mults
+
+
+def plan_dense_poly(poly: Polynomial, exact_scales: bool = False) -> DensePolyPlan:
+    """Compile the cheapest depth-preserving dense-polynomial plan.
+
+    Searches baby windows ``w = 2^β`` for the giant-step-Horner
+    decomposition with the fewest nonscalar mults whose depth stays
+    within the ladder's ``⌈log₂(d+1)⌉`` budget.  A term whose exponent
+    is an exact multiple of the window (local exponent 0) rides the
+    block sum as a plaintext constant — no leaf product at all.
+    ``exact_scales`` forces the PS executor on ties (the deep-chain
+    scale discipline of :func:`plan_odd_poly`).
+    """
+    constant, terms = _dense_terms(poly)
+    degree = terms[-1][0]
+    budget = mult_depth_of_degree(degree)
+    ladder = dense_ladder_nonscalar_mults(poly)
+
+    best = None
+    for beta in range(1, budget + 1):
+        window = 2**beta
+        grouped: dict = {}
+        for k, c in terms:
+            pos = k // window
+            local = k - window * pos
+            rungs = _dense_rung_bits(local - 1) if local >= 1 else ()
+            grouped.setdefault(pos, []).append((local, c, rungs))
+        maxpos = max(grouped)
+        # depth: blocks are ≤ beta deep; the Horner accumulator takes one
+        # level per giant product walking maxpos positions down to 0
+        block_depth = max(
+            (
+                max(1, math.ceil(math.log2(local + 1)))
+                for ts in grouped.values()
+                for local, _, _ in ts
+                if local >= 1
+            ),
+            default=0,
+        )
+        depth = max(block_depth, beta if maxpos else 0) + maxpos
+        if depth > budget:
+            continue
+        max_rung_used = max(
+            (rungs[-1] for ts in grouped.values() for _, _, rungs in ts if rungs),
+            default=0,
+        )
+        rung_top = max(max_rung_used, beta - 1 if maxpos else 0)
+        giants = 1 if maxpos else 0
+        merge = sum(len(rungs) for ts in grouped.values() for _, _, rungs in ts)
+        # Horner steps multiply the accumulator by the giant once per
+        # position; a constant-only *top* block (the window divides the
+        # degree exactly) starts the accumulator as a plain constant, so
+        # its first giant product is a scalar mult, not a nonscalar one —
+        # after that the accumulator is a ciphertext for good
+        top_has_ct = any(local >= 1 for local, _, _ in grouped[maxpos])
+        combine = maxpos if top_has_ct else max(maxpos - 1, 0)
+        total = rung_top + giants + merge + combine
+        key = (total, depth, beta)
+        if best is None or key < best[0]:
+            best = (key, window, grouped, rung_top, giants, combine)
+    if best is None:
+        raise ValueError(
+            f"no depth-{budget} giant-step decomposition for degree {degree}"
+        )
+    _, window, grouped, rung_top, giants, combine = best
+    return DensePolyPlan(
+        degree=degree,
+        mult_depth=budget,
+        window=window,
+        use_ps=best[0][0] < ladder or exact_scales,
+        constant=constant,
+        blocks=tuple(
+            (pos, tuple(ts)) for pos, ts in sorted(grouped.items())
+        ),
+        rung_top=rung_top,
+        giant_count=giants,
+        combine_mults=combine,
+        ladder_mults=ladder,
+    )
 
 
 def plan_paf_relu(

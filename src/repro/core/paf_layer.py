@@ -29,9 +29,10 @@ import numpy as np
 
 from repro.nn.module import Module, Parameter
 from repro.nn.tensor import Tensor
-from repro.paf.polynomial import CompositePAF, OddPolynomial
+from repro.paf.polynomial import CompositePAF, OddPolynomial, Polynomial
+from repro.paf.transformer import RangeReducedExp, paf_softmax
 
-__all__ = ["PAFSign", "PAFReLU", "PAFMaxPool2d"]
+__all__ = ["PAFSign", "PAFReLU", "PAFMaxPool2d", "PAFGELU", "PAFSoftmax"]
 
 #: guard against pathological scales when all activations are ~0
 _MIN_SCALE = 1e-6
@@ -236,4 +237,63 @@ class PAFMaxPool2d(_ScaledPAFBase):
         return (
             f"PAFMaxPool2d({self.sign.paf_name}, k={self.kernel_size}, "
             f"s={self.stride}, p={self.padding}, scale={self.scale_mode})"
+        )
+
+
+class PAFGELU(Module):
+    """Dense-polynomial GELU for FHE deployment (inference only).
+
+    Unlike the sign-composites there is no input-scale stage: the fit's
+    ``interval`` was calibrated (with margin) on the profiled pre-GELU
+    activations, so the polynomial is evaluated on the raw input — the
+    exact arithmetic the encrypted :class:`~repro.fhe.ir.PolyNode` runs.
+    """
+
+    def __init__(self, poly: Polynomial):
+        super().__init__()
+        self.poly = poly
+
+    def forward(self, x: Tensor) -> Tensor:
+        return Tensor(self.poly(x.data))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        lo, hi = self.poly.interval
+        return f"PAFGELU(deg={self.poly.degree}, domain=[{lo:.3g}, {hi:.3g}])"
+
+
+class PAFSoftmax(Module):
+    """Mean-stabilised softmax PAF for FHE deployment (inference only).
+
+    Operator-for-operator the encrypted attention lowering: centre the
+    scores by their window mean, exponentiate with the range-reduced
+    ``exp`` fit, normalise by the affine-seeded Newton reciprocal of the
+    exp sum.
+    """
+
+    def __init__(
+        self,
+        exp: RangeReducedExp,
+        recip_init: tuple,
+        recip_iters: int = 2,
+        axis: int = -1,
+    ):
+        super().__init__()
+        self.exp = exp
+        self.recip_init = (float(recip_init[0]), float(recip_init[1]))
+        self.recip_iters = recip_iters
+        self.axis = axis
+
+    def forward(self, x: Tensor) -> Tensor:
+        return Tensor(
+            paf_softmax(
+                x.data, self.exp, self.recip_init, self.recip_iters, self.axis
+            )
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        lo, hi = self.exp.interval
+        return (
+            f"PAFSoftmax(exp deg={self.exp.poly.degree}"
+            f"^2^{self.exp.squarings}, scores=[{lo:.3g}, {hi:.3g}], "
+            f"newton={self.recip_iters})"
         )

@@ -29,6 +29,7 @@ __all__ = [
     "trace_nonpoly_order",
     "replace_site",
     "replace_all",
+    "replace_transformer_nonpoly",
     "replaced_layers",
     "nonpoly_graph",
 ]
@@ -185,3 +186,93 @@ def nonpoly_graph(model: Module, sample_input: Optional[np.ndarray] = None) -> n
     for a, b in zip(sites, sites[1:]):
         g.add_edge(a.order, b.order)
     return g
+
+
+def _padded_interval(values: np.ndarray, margin: float) -> tuple:
+    """Observed range widened by ``margin`` of its half-width per side."""
+    lo, hi = float(np.min(values)), float(np.max(values))
+    centre, half = 0.5 * (lo + hi), 0.5 * (hi - lo)
+    half = max(half * (1.0 + margin), 1e-3)
+    return (centre - half, centre + half)
+
+
+def replace_transformer_nonpoly(
+    model: Module,
+    sample_input: np.ndarray,
+    *,
+    margin: float = 0.25,
+    exp_degree: int = 3,
+    exp_squarings: int = 2,
+    gelu_degree: int = 8,
+    recip_iters: int = 2,
+) -> dict:
+    """Profile and swap a transformer's softmax / GELU for dense PAFs.
+
+    Runs ``sample_input`` through the model recording every
+    :class:`~repro.nn.layers.Softmax` input (attention scores) and
+    :class:`~repro.nn.layers.GELU` input (pre-activations), calibrates
+    the PAF domains to the observed ranges padded by ``margin``, then
+    replaces the modules with :class:`~repro.core.paf_layer.PAFSoftmax`
+    / :class:`~repro.core.paf_layer.PAFGELU` in place.  Returns the new
+    modules keyed by dotted site name.
+    """
+    from repro.core.paf_layer import PAFGELU, PAFSoftmax
+    from repro.nn.layers import GELU, Softmax
+    from repro.paf.transformer import affine_recip_init, exp_paf, gelu_paf
+
+    sites = []
+    for parent_name, parent in model.named_modules():
+        for attr, child in list(parent._modules.items()):
+            if isinstance(child, (Softmax, GELU)):
+                name = f"{parent_name}.{attr}" if parent_name else attr
+                sites.append((name, parent, attr, child))
+    if not sites:
+        raise ValueError("model has no Softmax/GELU sites to replace")
+
+    records: dict = {name: [] for name, *_ in sites}
+
+    class _InputProbe(Module):
+        def __init__(self, inner, name):
+            super().__init__()
+            self.inner = inner
+            self._name = name
+
+        def forward(self, x: Tensor) -> Tensor:
+            records[self._name].append(np.asarray(x.data, dtype=np.float64))
+            return self.inner(x)
+
+    for name, parent, attr, child in sites:
+        setattr(parent, attr, _InputProbe(child, name))
+    try:
+        was_training = model.training
+        model.eval()
+        with no_grad():
+            model(Tensor(np.asarray(sample_input)))
+        model.train(was_training)
+    finally:
+        for name, parent, attr, child in sites:
+            setattr(parent, attr, child)
+
+    replaced: dict = {}
+    for name, parent, attr, child in sites:
+        seen = np.concatenate([r.ravel() for r in records[name]])
+        stacked = np.concatenate(records[name], axis=0)
+        if isinstance(child, Softmax):
+            axis = child.axis
+            centred = stacked - stacked.mean(axis=axis, keepdims=True)
+            exp = exp_paf(
+                _padded_interval(centred, margin), exp_degree, exp_squarings
+            )
+            sums = exp(centred).sum(axis=axis)
+            # the sum is positive by construction (even squaring count);
+            # pad multiplicatively so the seed interval stays positive
+            init = affine_recip_init(
+                (float(sums.min()) / (1.0 + margin), float(sums.max()) * (1.0 + margin))
+            )
+            new: Module = PAFSoftmax(exp, init, recip_iters, axis=axis)
+        else:
+            new = PAFGELU(gelu_paf(_padded_interval(seen, margin), gelu_degree))
+        new.training = parent.training
+        setattr(parent, attr, new)
+        replaced[name] = new
+    return replaced

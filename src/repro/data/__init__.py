@@ -1,7 +1,13 @@
 """Synthetic datasets standing in for CIFAR-10 / ImageNet-1k (offline)."""
 
 from repro.data.loader import DataLoader
-from repro.data.synthetic import Dataset, cifar10_like, imagenet_like, make_pattern_dataset
+from repro.data.synthetic import (
+    Dataset,
+    cifar10_like,
+    imagenet_like,
+    make_pattern_dataset,
+    make_sequence_dataset,
+)
 
 __all__ = [
     "DataLoader",
@@ -9,4 +15,5 @@ __all__ = [
     "cifar10_like",
     "imagenet_like",
     "make_pattern_dataset",
+    "make_sequence_dataset",
 ]

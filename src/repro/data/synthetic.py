@@ -23,7 +23,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["Dataset", "make_pattern_dataset", "cifar10_like", "imagenet_like"]
+__all__ = [
+    "Dataset",
+    "make_pattern_dataset",
+    "make_sequence_dataset",
+    "cifar10_like",
+    "imagenet_like",
+]
 
 
 @dataclass
@@ -147,6 +153,59 @@ def make_pattern_dataset(
     # Normalise with train statistics (channel-wise), as real pipelines do.
     mu = x_train.mean(axis=(0, 2, 3), keepdims=True)
     sd = x_train.std(axis=(0, 2, 3), keepdims=True) + 1e-8
+    x_train = (x_train - mu) / sd
+    x_val = (x_val - mu) / sd
+
+    return Dataset(x_train, y_train, x_val, y_val, num_classes, name=name)
+
+
+def make_sequence_dataset(
+    num_classes: int,
+    n_train: int,
+    n_val: int,
+    seq: int = 4,
+    dim: int = 8,
+    noise: float = 0.3,
+    jitter: float = 0.15,
+    seed: int = 0,
+    name: str = "sequences",
+) -> Dataset:
+    """Class-conditional token sequences for the toy transformer.
+
+    Each class owns a trajectory of ``seq`` token prototypes plus a
+    class-specific positional wave (a sinusoid over token index whose
+    frequency/phase depend on the class), so both token *content* and
+    token *order* carry label signal; per-sample amplitude jitter and
+    additive noise provide intra-class variation.  Samples are
+    ``(seq, dim)`` float64, normalised with train statistics.
+    """
+    rng = np.random.default_rng(seed)
+    protos = rng.normal(0.0, 1.0, size=(num_classes, seq, dim))
+    wave_freq = rng.uniform(0.5, 2.0, size=num_classes)
+    wave_dir = rng.normal(0.0, 1.0, size=(num_classes, dim))
+    wave_dir /= np.linalg.norm(wave_dir, axis=1, keepdims=True)
+
+    positions = np.arange(seq, dtype=np.float64)
+
+    def render(labels: np.ndarray, sample_rng: np.random.Generator) -> np.ndarray:
+        n = len(labels)
+        amp = sample_rng.uniform(0.7, 1.3, size=(n, 1, 1))
+        phase = sample_rng.normal(0.0, jitter, size=(n, 1))
+        wave = np.sin(
+            wave_freq[labels][:, None] * positions[None, :] + phase
+        )  # (n, seq)
+        x = protos[labels] * amp
+        x = x + wave[:, :, None] * wave_dir[labels][:, None, :]
+        x = x + sample_rng.normal(0.0, noise, size=x.shape)
+        return x
+
+    y_train = rng.integers(0, num_classes, n_train)
+    y_val = rng.integers(0, num_classes, n_val)
+    x_train = render(y_train, np.random.default_rng(seed + 1))
+    x_val = render(y_val, np.random.default_rng(seed + 2))
+
+    mu = x_train.mean(axis=(0, 1), keepdims=True)
+    sd = x_train.std(axis=(0, 1), keepdims=True) + 1e-8
     x_train = (x_train - mu) / sd
     x_val = (x_val - mu) / sd
 

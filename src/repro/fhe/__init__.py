@@ -38,7 +38,23 @@ from repro.fhe.linear import (
     plan_matvec,
     required_rotation_steps,
 )
-from repro.fhe.network import EncryptedMLP, EncryptedNetwork, compile_mlp
+from repro.fhe.ir import (
+    AffineNode,
+    AttentionNode,
+    ConvNode,
+    Graph,
+    IRNode,
+    MatvecNode,
+    MergeNode,
+    PafNode,
+    PolyNode,
+    PoolNode,
+    ReduceNode,
+    ResidualTapNode,
+    compile_network,
+    propagate_intervals,
+)
+from repro.fhe.network import EncryptedNetwork, compile_mlp
 from repro.fhe.packing import (
     BlockLayout,
     GridLayout,
@@ -46,6 +62,21 @@ from repro.fhe.packing import (
     pack_batch,
     unpack_blocks,
 )
+
+
+def __getattr__(name: str):
+    # lazy so importing the package doesn't itself warn; the alias warns
+    # at first *use*, from here or from repro.fhe.network
+    if name == "EncryptedMLP":
+        import warnings
+
+        warnings.warn(
+            "EncryptedMLP is a deprecated alias; use EncryptedNetwork",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return EncryptedNetwork
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "LatencyResult",
@@ -66,8 +97,22 @@ __all__ = [
     "bsgs_diagonals",
     "EncryptedMLP",
     "EncryptedNetwork",
+    "compile_network",
     "compile_mlp",
     "compile_cnn",
+    "IRNode",
+    "Graph",
+    "MatvecNode",
+    "ConvNode",
+    "PoolNode",
+    "PafNode",
+    "PolyNode",
+    "AffineNode",
+    "ResidualTapNode",
+    "MergeNode",
+    "ReduceNode",
+    "AttentionNode",
+    "propagate_intervals",
     "conv2d_layout_matrix",
     "linear_layout_matrix",
     "fold_bn_into_conv",

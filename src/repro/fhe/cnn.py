@@ -42,7 +42,18 @@ import numpy as np
 
 from repro.ckks import CkksParams
 from repro.core.paf_layer import PAFMaxPool2d, PAFReLU
-from repro.fhe.network import EncryptedNetwork, _Layer
+from repro.fhe.ir import (
+    AffineNode,
+    ConvNode,
+    Graph,
+    IRNode,
+    MatvecNode,
+    MergeNode,
+    PafNode,
+    PoolNode,
+    ResidualTapNode,
+)
+from repro.fhe.network import EncryptedNetwork
 from repro.fhe.packing import GridLayout, MultiGridLayout
 from repro.nn.layers import (
     AvgPool2d,
@@ -391,7 +402,7 @@ def compile_cnn(
     ops = _op_sequence(model)
     grid: GridLayout | None = GridLayout.dense(*input_shape)
     positions: np.ndarray | None = None  # set once the activation is flat
-    layers: list[_Layer] = []
+    layers: list[IRNode] = []
     spans: list[int] = [grid.span]
 
     def _require_grid(name: str) -> GridLayout:
@@ -419,39 +430,50 @@ def compile_cnn(
             mat, bias_vec, grid = conv2d_layout_matrix(
                 w, b, g, stride=mod.stride, padding=mod.padding
             )
-            layers.append(_Layer(kind="linear", weight=mat, bias=bias_vec))
+            layers.append(
+                ConvNode(
+                    weight=mat,
+                    bias=bias_vec,
+                    in_channels=g.channels,
+                    out_channels=grid.channels,
+                    kernel_size=mod.kernel_size,
+                    stride=mod.stride,
+                    padding=mod.padding,
+                    layout=grid,
+                )
+            )
             spans.extend(mat.shape)
         elif isinstance(mod, BatchNorm2d):
             g = _require_grid(name)
             scale_vec, shift_vec = bn_affine_vectors(mod, g)
             layers.append(
-                _Layer(kind="affine", affine_scale=scale_vec, affine_shift=shift_vec)
+                AffineNode(affine_scale=scale_vec, affine_shift=shift_vec)
             )
         elif isinstance(mod, PAFReLU):
             layers.append(
-                _Layer(kind="paf", paf=mod.sign.to_composite(), scale=mod.static_scale)
+                PafNode(paf=mod.sign.to_composite(), scale=mod.static_scale)
             )
         elif isinstance(mod, AvgPool2d):
             g = _require_grid(name)
             k = mod.kernel_size
+            grid = g.pooled(k, mod.stride)
             layers.append(
-                _Layer(
-                    kind="pool",
+                PoolNode(
                     shifts=avg_pool_shifts(g, k, k),
                     pool_scale=1.0 / (k * k),
+                    layout=grid,
                 )
             )
-            grid = g.pooled(k, mod.stride)
         elif isinstance(mod, GlobalAvgPool2d):
             g = _require_grid(name)
+            grid = g.global_pooled()
             layers.append(
-                _Layer(
-                    kind="pool",
+                PoolNode(
                     shifts=avg_pool_shifts(g, g.height, g.width),
                     pool_scale=1.0 / (g.height * g.width),
+                    layout=grid,
                 )
             )
-            grid = g.global_pooled()
         elif isinstance(mod, Flatten):
             positions = _require_grid(name).positions().ravel()
             grid = None
@@ -462,22 +484,25 @@ def compile_cnn(
                 grid = None
             mat = linear_layout_matrix(mod.weight.data, positions)
             bias_vec = mod.bias.data.copy() if mod.bias is not None else None
-            layers.append(_Layer(kind="linear", weight=mat, bias=bias_vec))
+            layers.append(MatvecNode(weight=mat, bias=bias_vec))
             spans.extend(mat.shape)
             positions = np.arange(mod.out_features)
         i += 1
 
-    if not any(layer.kind == "linear" for layer in layers):
+    if not any(isinstance(layer, MatvecNode) for layer in layers):
         raise ValueError("model has no Conv2d or Linear layers to compile")
     size = max(spans)
     # zero-pad every lowered matrix to square so the diagonal layout is uniform
     for layer in layers:
-        if layer.kind == "linear":
+        if isinstance(layer, MatvecNode):
             padded = np.zeros((size, size))
             padded[: layer.weight.shape[0], : layer.weight.shape[1]] = layer.weight
             layer.weight = padded
     return EncryptedNetwork(
-        layers, size=size, params=params, seed=seed, reference_keys=reference_keys
+        Graph(layers, size=size),
+        params=params,
+        seed=seed,
+        reference_keys=reference_keys,
     )
 
 
@@ -525,7 +550,7 @@ def compile_resnet(
     ops = _op_sequence(model)
     mgrid = MultiGridLayout.split(*input_shape, num_shards=num_shards)
     input_mgrid = mgrid
-    layers: list[_Layer] = []
+    layers: list[IRNode] = []
     spans: list[int] = [mgrid.span]
 
     def lower_conv(conv: Conv2d, bn: BatchNorm2d | None, grid_in: MultiGridLayout):
@@ -543,7 +568,7 @@ def compile_resnet(
                     spans.extend(mat.shape)
         return blocks, bias_shards, out
 
-    def lower_paf(name: str, mod) -> _Layer:
+    def lower_paf(name: str, mod) -> PafNode:
         if isinstance(mod, ReLU):
             raise TypeError(
                 f"layer {name!r} is an exact ReLU — run SMART-PAF replacement "
@@ -551,7 +576,7 @@ def compile_resnet(
             )
         if not isinstance(mod, PAFReLU):
             raise TypeError(f"layer {name!r}: expected a PAF activation")
-        return _Layer(kind="paf", paf=mod.sign.to_composite(), scale=mod.static_scale)
+        return PafNode(paf=mod.sign.to_composite(), scale=mod.static_scale)
 
     def consume_bn(seq: list, idx: int) -> tuple:
         """(BN to fold or None, next index) — BN must follow its conv."""
@@ -565,9 +590,19 @@ def compile_resnet(
         name, mod = ops[i]
         if isinstance(mod, Conv2d):
             bn, i = consume_bn(ops, i)
+            in_channels = mgrid.total_channels
             blocks, bias_shards, mgrid = lower_conv(mod, bn, mgrid)
             layers.append(
-                _Layer(kind="linear", blocks=blocks, bias_shards=bias_shards)
+                ConvNode(
+                    blocks=blocks,
+                    bias_shards=bias_shards,
+                    in_channels=in_channels,
+                    out_channels=mgrid.total_channels,
+                    kernel_size=mod.kernel_size,
+                    stride=mod.stride,
+                    padding=mod.padding,
+                    layout=mgrid,
+                )
             )
             continue
         if isinstance(mod, BasicBlock):
@@ -578,7 +613,7 @@ def compile_resnet(
                     "(the packed input still carries its replica half)"
                 )
             tap_grid = mgrid
-            layers.append(_Layer(kind="residual"))
+            layers.append(ResidualTapNode())
             tap_idx = len(layers) - 1
             inner = [
                 (f"{name}.conv1", mod.conv1), (f"{name}.bn1", mod.bn1),
@@ -590,9 +625,19 @@ def compile_resnet(
                 iname, imod = inner[j]
                 if isinstance(imod, Conv2d):
                     bn, j = consume_bn(inner, j)
+                    in_channels = mgrid.total_channels
                     blocks, bias_shards, mgrid = lower_conv(imod, bn, mgrid)
                     layers.append(
-                        _Layer(kind="linear", blocks=blocks, bias_shards=bias_shards)
+                        ConvNode(
+                            blocks=blocks,
+                            bias_shards=bias_shards,
+                            in_channels=in_channels,
+                            out_channels=mgrid.total_channels,
+                            kernel_size=imod.kernel_size,
+                            stride=imod.stride,
+                            padding=imod.padding,
+                            layout=mgrid,
+                        )
                     )
                     continue
                 layers.append(lower_paf(iname, imod))
@@ -604,7 +649,7 @@ def compile_resnet(
                         f"changed the layout ({tap_grid} -> {mgrid}) — the "
                         "block needs a projection downsample"
                     )
-                layers.append(_Layer(kind="merge", tap=tap_idx))
+                layers.append(MergeNode(tap=tap_idx))
             else:
                 ds = list(mod.downsample._modules.values())
                 if len(ds) != 2 or not isinstance(ds[0], Conv2d) \
@@ -619,9 +664,8 @@ def compile_resnet(
                         f"the main branch on {mgrid}"
                     )
                 layers.append(
-                    _Layer(
-                        kind="merge", blocks=proj_blocks,
-                        bias_shards=proj_bias, tap=tap_idx,
+                    MergeNode(
+                        blocks=proj_blocks, bias_shards=proj_bias, tap=tap_idx
                     )
                 )
             layers.append(lower_paf(f"{name}.relu2", mod.relu2))
@@ -636,32 +680,28 @@ def compile_resnet(
             layers.append(lower_paf(name, mod))
         elif isinstance(mod, AvgPool2d):
             k = mod.kernel_size
-            layers.append(
-                _Layer(
-                    kind="pool",
-                    shifts=avg_pool_shifts(mgrid.shards[0], k, k),
-                    pool_scale=1.0 / (k * k),
-                )
-            )
+            shifts = avg_pool_shifts(mgrid.shards[0], k, k)
             mgrid = mgrid.pooled(k, mod.stride)
+            layers.append(
+                PoolNode(shifts=shifts, pool_scale=1.0 / (k * k), layout=mgrid)
+            )
         elif isinstance(mod, GlobalAvgPool2d):
             g = mgrid.shards[0]
+            shifts = avg_pool_shifts(g, g.height, g.width)
+            mgrid = mgrid.global_pooled()
             layers.append(
-                _Layer(
-                    kind="pool",
-                    shifts=avg_pool_shifts(g, g.height, g.width),
+                PoolNode(
+                    shifts=shifts,
                     pool_scale=1.0 / (g.height * g.width),
+                    layout=mgrid,
                 )
             )
-            mgrid = mgrid.global_pooled()
         elif isinstance(mod, Flatten):
             pass  # pure relabelling: linear heads read the grid directly
         elif isinstance(mod, Linear):
             blocks = linear_shard_matrices(mod.weight.data, mgrid)
             bias_vec = mod.bias.data.copy() if mod.bias is not None else None
-            layers.append(
-                _Layer(kind="linear", blocks=blocks, bias_shards=[bias_vec])
-            )
+            layers.append(MatvecNode(blocks=blocks, bias_shards=[bias_vec]))
             for row in blocks:
                 for mat in row:
                     if mat is not None:
@@ -674,9 +714,9 @@ def compile_resnet(
             )
         i += 1
 
-    if not any(layer.kind == "linear" for layer in layers):
+    if not any(isinstance(layer, MatvecNode) for layer in layers):
         raise ValueError("model has no Conv2d or Linear layers to compile")
-    if layers[0].kind != "linear":
+    if not isinstance(layers[0], MatvecNode):
         raise TypeError(
             "the sharded compiler needs the first compiled layer to be a "
             "conv/linear (the packed input still carries its replica half)"
@@ -691,13 +731,14 @@ def compile_resnet(
                     padded = np.zeros((size, size))
                     padded[: mat.shape[0], : mat.shape[1]] = mat
                     row[k] = padded
-    enc = EncryptedNetwork(
-        layers,
-        size=size,
+    return EncryptedNetwork(
+        Graph(
+            layers,
+            size=size,
+            input_shards=input_mgrid.num_shards,
+            input_splits=[g.num_elements for g in input_mgrid.shards],
+        ),
         params=params,
         seed=seed,
         reference_keys=reference_keys,
-        input_shards=input_mgrid.num_shards,
     )
-    enc.input_splits = [g.num_elements for g in input_mgrid.shards]
-    return enc

@@ -1,0 +1,568 @@
+"""Typed graph IR for encrypted-network compilation.
+
+Every compiled network — MLP, CNN, ResNet, transformer block — is a
+linear sequence of **typed nodes**, each carrying its payload (weights,
+polynomial plans, rotation shifts), its layout metadata (the
+:class:`~repro.fhe.packing.GridLayout` view of the activations it
+consumes/produces where one exists), its **level consumption** on the
+canonical CKKS scale schedule (:meth:`IRNode.level_cost`) and an
+optional **domain interval** (propagated by
+:func:`propagate_intervals`, consumed by the polynomial-approximation
+planners).  The model-family compilers (``compile_mlp`` in
+:mod:`repro.fhe.network`, ``compile_cnn`` / ``compile_resnet`` in
+:mod:`repro.fhe.cnn`, the transformer lowering here) all lower INTO
+this IR; :func:`compile_network` is the single entrypoint that
+dispatches on the model's module tree; and
+:class:`~repro.fhe.network.EncryptedNetwork` executes the node list by
+*type* dispatch — one handler per node class — instead of string
+``kind`` comparisons.
+
+Node taxonomy (see ``docs/graph-ir.md``):
+
+========================  ======  ======================================
+node                      levels  executes as
+========================  ======  ======================================
+:class:`MatvecNode`       1       Halevi-Shoup matvec (BSGS or naive per
+                                  its :class:`~repro.fhe.linear.MatvecPlan`);
+                                  carries a ``K_out x K_in`` block grid
+                                  instead of a single weight when sharded
+:class:`ConvNode`         1       a :class:`MatvecNode` whose matrix was
+                                  lowered from a Conv2d at compile time —
+                                  same executor, extra conv provenance
+                                  and grid-layout metadata
+:class:`PoolNode`         1       rotate-and-sum average pool + masked
+                                  ``1/window`` multiply
+:class:`PafNode`          d+1     composite sign-PAF ReLU via its
+                                  :class:`~repro.ckks.poly_plan.ReluPlan`
+:class:`PolyNode`         dep(p)  dense (non-odd) polynomial via its
+                                  :class:`~repro.ckks.poly_plan.DensePolyPlan`
+                                  — the GELU / exp tier
+:class:`AffineNode`       1       slot-wise plaintext scale-and-shift
+                                  (unfolded BatchNorm)
+:class:`ResidualTapNode`  0       pushes the live shard list on the
+                                  branch stack
+:class:`MergeNode`        0       pops the matching tap, optional
+                                  projection, exact align + add
+:class:`ReduceNode`       0       cross-shard sum (sequence pooling);
+                                  any scalar is folded into the next
+                                  matvec, so only ct-ct adds execute
+:class:`AttentionNode`    17+     one self-attention block: per-shard
+                                  Q/K/V projections, ct-ct score
+                                  products with rotate-and-sum reduce,
+                                  mean-stabilised PS-evaluated softmax
+                                  (exp poly, range-reduction squarings,
+                                  Newton reciprocal), probability-
+                                  weighted value mixing and the output
+                                  projection
+========================  ======  ======================================
+
+The **level/scale metadata contract**: a node's :meth:`~IRNode.level_cost`
+is the number of chain levels it consumes on the *main* branch, and
+every execution path through a node must consume exactly that many
+rescales — the static schedule (`EncryptedNetwork.layer_input_levels`,
+the serve artifact's pre-encoding coordinates, and the slack gate) is
+derived from these numbers without running a forward pass.  Skip
+branches ride the main branch's level gap via exact ``align_to``
+corrections and consume zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.paf.polynomial import CompositePAF, Polynomial
+from repro.paf.relu import relu_mult_depth
+
+__all__ = [
+    "IRNode",
+    "MatvecNode",
+    "ConvNode",
+    "PoolNode",
+    "PafNode",
+    "PolyNode",
+    "AffineNode",
+    "ResidualTapNode",
+    "MergeNode",
+    "ReduceNode",
+    "AttentionNode",
+    "Graph",
+    "compile_network",
+    "propagate_intervals",
+]
+
+
+@dataclass
+class IRNode:
+    """Base class for graph-IR nodes.
+
+    Subclasses declare their own payload fields; the class-level
+    fallbacks below exist so cross-cutting readers (the serve
+    artifact's fingerprint, generic introspection) can ``getattr`` any
+    payload off any node without per-type special cases.
+    """
+
+    #: span / schedule label (stable across the IR redesign: trace span
+    #: names and slack-baseline keys are ``layer{i:02d}:{kind}``)
+    kind = "node"
+    # class-level payload fallbacks (subclasses override as fields)
+    weight = None
+    bias = None
+    blocks = None
+    bias_shards = None
+    paf = None
+    scale = 1.0
+    shifts: tuple = ()
+    pool_scale = 1.0
+    affine_scale = None
+    affine_shift = None
+    tap = None
+    #: optional domain interval ``(lo, hi)`` of this node's *output*
+    #: values, set by :func:`propagate_intervals` or the compiler
+    interval = None
+    #: optional layout metadata (e.g. a GridLayout) of the output
+    layout = None
+
+    def level_cost(self) -> int:
+        """Chain levels this node consumes on the main branch."""
+        return 1
+
+
+@dataclass
+class MatvecNode(IRNode):
+    """A Halevi-Shoup matvec: single square ``weight`` or, when sharded,
+    a ``K_out x K_in`` grid of slot-space ``blocks`` (``None`` marks an
+    all-zero block) with per-output-shard ``bias_shards``."""
+
+    kind = "linear"
+    source = "linear"
+    weight: np.ndarray | None = None
+    bias: np.ndarray | None = None
+    blocks: list | None = None
+    bias_shards: list | None = None
+    interval: tuple | None = None
+    layout: object | None = None
+
+
+@dataclass
+class ConvNode(MatvecNode):
+    """A conv lowered to a matvec at compile time (im2col into slot
+    space); keeps the conv provenance and the activation grids so layout
+    and interval propagation can see through the lowering.  Executes
+    exactly as :class:`MatvecNode` — ``kind`` stays ``"linear"`` so span
+    names, the slack baseline and op-count gates are unchanged."""
+
+    source = "conv"
+    in_channels: int = 0
+    out_channels: int = 0
+    kernel_size: int = 0
+    stride: int = 1
+    padding: int = 0
+
+
+@dataclass
+class PoolNode(IRNode):
+    """Average pool: per-stage nonzero rotation steps ``shifts``
+    (column shifts, then row shifts) and the ``1/window`` scalar."""
+
+    kind = "pool"
+    shifts: tuple = ()
+    pool_scale: float = 1.0
+    interval: tuple | None = None
+    layout: object | None = None
+
+
+@dataclass
+class PafNode(IRNode):
+    """A composite sign-PAF ReLU activation with its static scale."""
+
+    kind = "paf"
+    paf: CompositePAF | None = None
+    scale: float = 1.0
+    interval: tuple | None = None
+
+    def level_cost(self) -> int:
+        return relu_mult_depth(self.paf)
+
+
+@dataclass
+class PolyNode(IRNode):
+    """A dense (non-odd) polynomial activation — the exp/GELU tier.
+
+    ``poly`` is a :class:`repro.paf.polynomial.Polynomial` whose
+    ``interval`` declares the domain it approximates over; the compiler
+    checks the propagated input interval against it.
+    """
+
+    kind = "poly"
+    poly: Polynomial | None = None
+    interval: tuple | None = None
+
+    def level_cost(self) -> int:
+        from repro.paf.polynomial import mult_depth_of_degree
+
+        return mult_depth_of_degree(self.poly.degree)
+
+
+@dataclass
+class AffineNode(IRNode):
+    """Slot-wise plaintext scale-and-shift (an unfolded BatchNorm)."""
+
+    kind = "affine"
+    affine_scale: np.ndarray | None = None
+    affine_shift: np.ndarray | None = None
+    interval: tuple | None = None
+
+
+@dataclass
+class ResidualTapNode(IRNode):
+    """Pushes the live shard list onto the branch stack (free)."""
+
+    kind = "residual"
+
+    def level_cost(self) -> int:
+        return 0
+
+
+@dataclass
+class MergeNode(IRNode):
+    """Pops the matching tap, optionally projects the skip branch
+    (1x1-conv block grid), aligns it exactly to the main branch's
+    (level, scale) and adds shard-by-shard.  ``tap`` is the node index
+    of the matching :class:`ResidualTapNode`."""
+
+    kind = "merge"
+    tap: int | None = None
+    blocks: list | None = None
+    bias_shards: list | None = None
+
+    def level_cost(self) -> int:
+        return 0
+
+
+@dataclass
+class ReduceNode(IRNode):
+    """Cross-shard reduction (sequence pooling for the transformer
+    head): sums the live shards into one.  Any scalar factor (e.g. the
+    ``1/T`` of a mean) must be folded into the adjacent matvec by the
+    compiler, so execution is pure ct-ct adds and consumes no level."""
+
+    kind = "reduce"
+    mode: str = "shard_sum"
+
+    def level_cost(self) -> int:
+        return 0
+
+
+@dataclass
+class AttentionNode(IRNode):
+    """One encrypted self-attention block over token shards.
+
+    Input: ``seq`` token shards, each a replicated-packed vector of
+    ``dim`` model features.  Executes per-shard Q/K/V matvecs (weights
+    below, zero-padded square), all-pairs score products with
+    rotate-and-sum dot-product reduction (``1/sqrt(dim)`` folded into
+    the score placement masks), the mean-stabilised softmax PAF
+    (``exp_poly`` evaluated by its Paterson-Stockmeyer plan, then
+    ``exp_squarings`` range-reduction squarings, then the affine-seeded
+    Newton reciprocal ``recip_init`` / ``recip_iters``), and the
+    probability-weighted value mixing plus output projection.
+    """
+
+    kind = "attention"
+    seq: int = 0
+    dim: int = 0
+    #: scalar folded into the score placement masks (``1/dim`` for the
+    #: muP-scaled toy model; ``1/sqrt(dim)`` for classic attention)
+    score_scale: float = 0.0
+    wq: np.ndarray | None = None
+    wk: np.ndarray | None = None
+    wv: np.ndarray | None = None
+    wo: np.ndarray | None = None
+    bq: np.ndarray | None = None
+    bk: np.ndarray | None = None
+    bv: np.ndarray | None = None
+    bo: np.ndarray | None = None
+    #: dense polynomial approximating exp(z / 2**exp_squarings) on the
+    #: stabilised score interval
+    exp_poly: Polynomial | None = None
+    exp_squarings: int = 2
+    #: affine Newton seed ``y0 = a + b * S`` for 1/S over the calibrated
+    #: sum interval
+    recip_init: tuple = (0.0, 0.0)
+    recip_iters: int = 2
+    interval: tuple | None = None
+
+    def level_cost(self) -> int:
+        """Exact level consumption of the attention dance.
+
+        qkv(1) + score mul(1) + score mask(1) + mean mask(1) +
+        exp poly + squarings + exp window mask(1) +
+        recip: affine seed(1) + 2 per Newton iteration +
+        probs mul(1) + extract mask(1) + value mul(1) + Wo matvec(1).
+        """
+        from repro.paf.polynomial import mult_depth_of_degree
+
+        return (
+            9
+            + mult_depth_of_degree(self.exp_poly.degree)
+            + self.exp_squarings
+            + 2 * self.recip_iters
+        )
+
+
+@dataclass
+class Graph:
+    """A validated node sequence plus its packing geometry.
+
+    ``size`` is the square slot span every matvec was padded to;
+    ``input_shards`` / ``input_splits`` describe the multi-ciphertext
+    input packing (1 / ``None`` for single-ciphertext networks).
+    """
+
+    nodes: list
+    size: int
+    input_shards: int = 1
+    input_splits: list | None = None
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.validate()
+
+    @property
+    def sharded(self) -> bool:
+        """True when execution must go through ``forward_shards``."""
+        return self.input_shards > 1 or any(
+            isinstance(n, (ResidualTapNode, MergeNode, ReduceNode, AttentionNode))
+            or getattr(n, "blocks", None) is not None
+            for n in self.nodes
+        )
+
+    def total_depth(self) -> int:
+        """Total main-chain level consumption (validates structure)."""
+        return self.validate()
+
+    def validate(self) -> int:
+        """Validate residual structure; return the main-chain depth.
+
+        Taps and merges must pair up like brackets, and a merge whose
+        skip branch carries a projection needs a main-branch gap of at
+        least one level (the projection's own rescale descends through
+        it; the alignment correction needs no level of its own).
+        """
+        level = 0
+        stack: list = []
+        for i, node in enumerate(self.nodes):
+            if isinstance(node, ResidualTapNode):
+                stack.append(level)
+            elif isinstance(node, MergeNode):
+                if not stack:
+                    raise ValueError(f"merge node {i} has no open residual tap")
+                gap = level - stack.pop()
+                if node.tap is None:
+                    raise ValueError(f"merge node {i} has no matching residual tap")
+                if node.blocks is not None and gap < 1:
+                    raise ValueError(
+                        f"merge node {i}: projection skip needs a main-branch "
+                        f"depth of >= 1 level, got {gap}"
+                    )
+            else:
+                level += node.level_cost()
+        if stack:
+            raise ValueError(f"{len(stack)} residual tap(s) never merged")
+        return level
+
+    def input_levels(self, max_level: int) -> dict:
+        """Chain level at which the ciphertext enters each node."""
+        level = max_level
+        levels = {}
+        for i, node in enumerate(self.nodes):
+            levels[i] = level
+            level -= node.level_cost()
+        return levels
+
+
+# ----------------------------------------------------------------------
+# domain-interval propagation
+# ----------------------------------------------------------------------
+def _matvec_interval(weight: np.ndarray, bias, interval: tuple) -> tuple:
+    """Output bound of ``Wx + b`` for ``x`` slot-wise in ``interval``."""
+    lo, hi = interval
+    pos = np.clip(weight, 0.0, None)
+    neg = np.clip(weight, None, 0.0)
+    out_hi = pos.sum(axis=1) * hi + neg.sum(axis=1) * lo
+    out_lo = pos.sum(axis=1) * lo + neg.sum(axis=1) * hi
+    if bias is not None:
+        b = np.zeros(weight.shape[0])
+        b[: len(bias)] = bias
+        out_hi = out_hi + b
+        out_lo = out_lo + b
+    return float(out_lo.min()), float(out_hi.max())
+
+
+def _poly_interval(poly, interval: tuple, n: int = 2001) -> tuple:
+    grid = np.linspace(interval[0], interval[1], n)
+    vals = poly(grid)
+    return float(vals.min()), float(vals.max())
+
+
+def propagate_intervals(graph: Graph, input_interval: tuple) -> list:
+    """Propagate slot-value domain intervals through the node sequence.
+
+    Sets each node's ``interval`` to a conservative bound of its
+    *output* values given ``input_interval`` on the network input, and
+    returns the list of per-node intervals.  This is what lets the
+    polynomial planners check their declared approximation domains
+    against the data a layer can actually see.  Sharded matvec grids
+    are bounded block-row-wise; attention outputs are bounded by the
+    value interval (probabilities are near-convex weights, padded by
+    the reciprocal's calibration slack recorded on the node).
+    """
+    cur = (float(input_interval[0]), float(input_interval[1]))
+    out: list = []
+    stack: list = []
+    for node in graph.nodes:
+        if isinstance(node, ResidualTapNode):
+            stack.append(cur)
+        elif isinstance(node, MergeNode):
+            skip = stack.pop()
+            if node.blocks is not None:
+                lo, hi = 0.0, 0.0
+                for row in node.blocks:
+                    row_lo, row_hi = 0.0, 0.0
+                    for mat in row:
+                        if mat is None:
+                            continue
+                        b_lo, b_hi = _matvec_interval(mat, None, skip)
+                        row_lo += b_lo
+                        row_hi += b_hi
+                    lo = min(lo, row_lo)
+                    hi = max(hi, row_hi)
+                skip = (lo, hi)
+            cur = (cur[0] + min(skip[0], 0.0), cur[1] + max(skip[1], 0.0))
+        elif isinstance(node, AttentionNode):
+            # probabilities are an (approximately) convex combination of
+            # the per-token values; bound by the projected value range
+            v_int = _matvec_interval(node.wv, node.bv, cur)
+            cur = _matvec_interval(node.wo, node.bo, v_int)
+        elif isinstance(node, MatvecNode):
+            if node.blocks is not None:
+                lo, hi = 0.0, 0.0
+                for row in node.blocks:
+                    row_lo, row_hi = 0.0, 0.0
+                    for mat in row:
+                        if mat is None:
+                            continue
+                        b_lo, b_hi = _matvec_interval(mat, None, cur)
+                        row_lo += b_lo
+                        row_hi += b_hi
+                    lo = min(lo, row_lo)
+                    hi = max(hi, row_hi)
+                biases = [
+                    b for b in (node.bias_shards or []) if b is not None
+                ]
+                if biases:
+                    b_lo = min(float(np.min(b)) for b in biases)
+                    b_hi = max(float(np.max(b)) for b in biases)
+                    lo, hi = lo + min(b_lo, 0.0), hi + max(b_hi, 0.0)
+                cur = (lo, hi)
+            else:
+                cur = _matvec_interval(node.weight, node.bias, cur)
+        elif isinstance(node, PafNode):
+            # a calibrated sign-PAF ReLU maps into ~[min(lo,0), hi]
+            cur = (min(cur[0], 0.0), max(cur[1], 0.0))
+        elif isinstance(node, PolyNode):
+            cur = _poly_interval(node.poly, cur)
+        elif isinstance(node, PoolNode):
+            pass  # an average stays inside the input interval
+        elif isinstance(node, AffineNode):
+            s, t = node.affine_scale, node.affine_shift
+            cands = np.concatenate(
+                [np.asarray(s) * cur[0] + t, np.asarray(s) * cur[1] + t]
+            )
+            cur = (float(cands.min()), float(cands.max()))
+        elif isinstance(node, ReduceNode):
+            # shard sum of K in-interval vectors; the compiler folds the
+            # 1/K of a mean into the next matvec, so scale by shard count
+            cur = (
+                min(cur[0] * graph.input_shards, 0.0),
+                max(cur[1] * graph.input_shards, 0.0),
+            )
+        node.interval = cur
+        out.append(cur)
+    return out
+
+
+# ----------------------------------------------------------------------
+# the single compile entrypoint
+# ----------------------------------------------------------------------
+def compile_network(
+    model,
+    params,
+    *,
+    input_shape: tuple | None = None,
+    num_shards: int | None = None,
+    seed: int = 0,
+    reference_keys: bool = False,
+    fold_bn: bool = True,
+):
+    """Compile any supported ``repro.nn`` model for encrypted inference.
+
+    The single entrypoint of the FHE compilation pipeline: inspects the
+    model's module tree and lowers it into the graph IR —
+
+    * Linear / PAF stacks -> the MLP lowering (``compile_mlp``);
+    * Conv2d stacks -> the CNN lowering (needs ``input_shape``);
+    * module trees containing residual ``BasicBlock``s -> the sharded
+      ResNet lowering (needs ``input_shape``; ``num_shards`` defaults
+      to 1);
+    * :class:`repro.nn.models.transformer.ToyTransformer` (attention +
+      MLP block) -> the token-sharded transformer lowering.
+
+    Returns the compiled :class:`~repro.fhe.network.EncryptedNetwork`.
+    ``reference_keys`` additionally generates the Galois keys the naive
+    reference paths need (differential testing); ``fold_bn`` controls
+    BatchNorm folding on the CNN path.
+    """
+    from repro.nn.layers import Conv2d
+
+    if getattr(model, "is_transformer", False):
+        from repro.fhe.transformer import compile_transformer
+
+        return compile_transformer(
+            model, params, seed=seed, reference_keys=reference_keys
+        )
+    has_conv = any(isinstance(m, Conv2d) for _, m in model.named_modules())
+    if not has_conv:
+        from repro.fhe.network import compile_mlp
+
+        return compile_mlp(model, params, seed=seed, reference_keys=reference_keys)
+    if input_shape is None:
+        raise ValueError("convolutional models need input_shape=(C, H, W)")
+    from repro.nn.models.resnet import BasicBlock
+
+    has_residual = any(isinstance(m, BasicBlock) for _, m in model.named_modules())
+    if has_residual:
+        from repro.fhe.cnn import compile_resnet
+
+        return compile_resnet(
+            model,
+            input_shape,
+            params,
+            num_shards=num_shards or 1,
+            seed=seed,
+            reference_keys=reference_keys,
+        )
+    if num_shards not in (None, 1):
+        raise ValueError("plain CNNs compile single-ciphertext (num_shards=1)")
+    from repro.fhe.cnn import compile_cnn
+
+    return compile_cnn(
+        model,
+        input_shape,
+        params,
+        seed=seed,
+        reference_keys=reference_keys,
+        fold_bn=fold_bn,
+    )

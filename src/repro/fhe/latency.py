@@ -79,14 +79,20 @@ def measure_relu_latency(
     paf: CompositePAF,
     params: CkksParams | None = None,
     repeats: int = 1,
-    reference: bool = False,
+    reference: bool | None = None,
+    *,
+    mode: str | None = None,
 ) -> LatencyResult:
     """Wall-clock encrypted PAF-ReLU latency (median of ``repeats``).
 
-    ``reference=True`` measures the term-by-term ladder path instead of
-    the default Paterson–Stockmeyer plan (same depth, more nonscalar
-    mults) — ``benchmarks/bench_paf_eval.py`` sweeps both.
+    ``mode="reference"`` measures the term-by-term ladder path instead
+    of the default Paterson–Stockmeyer plan (same depth, more nonscalar
+    mults) — ``benchmarks/bench_paf_eval.py`` sweeps both.  The boolean
+    ``reference=`` spelling is deprecated.
     """
+    from repro.fhe.network import resolve_mode
+
+    reference = resolve_mode(mode, reference, owner="measure_relu_latency")
     params = params or CkksParams(n=2048, scale_bits=25, depth=relu_mult_depth(paf) + 1)
     if params.depth < relu_mult_depth(paf):
         raise ValueError(

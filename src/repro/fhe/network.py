@@ -1,4 +1,4 @@
-"""Compile a PAF-approximated network to fully-encrypted CKKS inference.
+"""Execute graph-IR-compiled networks on fully-encrypted CKKS ciphertexts.
 
 The end-to-end private-inference path of the paper's Fig. 2: the client
 encrypts an input vector; the server evaluates linear layers (Halevi-Shoup
@@ -29,41 +29,21 @@ affines apply shard-by-shard.  :meth:`EncryptedNetwork.forward_shards`
 is the sharded executor; the single-ciphertext :meth:`forward` path is
 unchanged for networks compiled without sharding.
 
-Six layer kinds execute on ciphertexts:
-
-* ``linear`` — a :class:`~repro.fhe.linear.MatvecPlan`-compiled matvec:
-  BSGS (``O(√D)`` keyswitches, hoisted baby rotations, pre-rotated
-  diagonals cached at compile time) where strictly cheaper, the naive
-  diagonal loop otherwise;
-* ``paf`` — a compiled :class:`~repro.ckks.poly_plan.ReluPlan`
-  (Paterson–Stockmeyer vs ladder per component);
-* ``pool`` — average pooling as two hoisted rotate-and-sum stages
-  (column shifts then row shifts) followed by one masked plaintext
-  scalar multiply (``1/window``, tiled over ``[0, size)`` of each block
-  — which simultaneously re-zeroes the replica halves the rotations
-  smeared into);
-* ``affine`` — a slot-wise plaintext scale-and-shift (an *unfolded*
-  BatchNorm; the CNN compiler folds BN into the adjacent conv by
-  default, so this kind only appears with ``fold_bn=False``);
-* ``residual`` — a *tap*: pushes the live shard list onto a branch
-  stack (zero homomorphic cost, zero levels);
-* ``merge`` — pops the matching tap, optionally applies a 1×1-projection
-  block matvec to the saved (skip) branch, **aligns the shallow branch
-  to the deep branch's (level, scale)** with
-  :meth:`~repro.ckks.evaluator.CkksEvaluator.align_to` (an exact
-  plaintext correction riding the level gap — no extra depth), and adds
-  shard-by-shard.  The chain level after a merge equals the main
-  branch's, so taps and merges consume zero levels of the schedule.
-
-The Galois key set is sized from the union of the chosen matvec plans'
-rotation steps, every pool's shift steps, and the replication step — for
-BSGS layers that is ``n1 + n2 - 2`` keys instead of one per nonzero
-diagonal.
+Networks are **typed node sequences** from :mod:`repro.fhe.ir` — the
+string-``kind`` layer records of earlier versions are gone.  The
+executor dispatches on node *type*: each :class:`~repro.fhe.ir.IRNode`
+subclass has one compile handler (builds the per-node caches: matvec
+plans, pre-rotated diagonal groups, activation plans, masks) and one
+execution handler per path (single-ciphertext / sharded); see
+``docs/graph-ir.md`` for the taxonomy, the level/scale metadata
+contract, and how to add an op.  :func:`repro.fhe.ir.compile_network`
+is the single compile entrypoint; :func:`compile_mlp` is the
+Linear/PAF-stack lowering it dispatches to.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
 
 import numpy as np
 
@@ -78,6 +58,19 @@ from repro.ckks import (
 )
 from repro.ckks.instrumentation import span as trace_span
 from repro.core.paf_layer import PAFReLU
+from repro.fhe.ir import (
+    AffineNode,
+    AttentionNode,
+    Graph,
+    IRNode,
+    MatvecNode,
+    MergeNode,
+    PafNode,
+    PolyNode,
+    PoolNode,
+    ReduceNode,
+    ResidualTapNode,
+)
 from repro.fhe.linear import (
     bsgs_diagonals,
     diagonals_of,
@@ -91,75 +84,93 @@ from repro.fhe.linear import (
 from repro.fhe.packing import BlockLayout, pack_batch, unpack_blocks
 from repro.nn.layers import Linear, ReLU
 from repro.nn.module import Module
-from repro.paf.polynomial import CompositePAF
-from repro.paf.relu import relu_mult_depth
 
-__all__ = ["EncryptedNetwork", "EncryptedMLP", "compile_mlp"]
+__all__ = ["EncryptedNetwork", "EncryptedMLP", "compile_mlp", "resolve_mode"]
 
 
-@dataclass
-class _Layer:
-    kind: str  # "linear" | "paf" | "pool" | "affine" | "residual" | "merge"
-    weight: np.ndarray | None = None
-    bias: np.ndarray | None = None
-    paf: CompositePAF | None = None
-    scale: float = 1.0
-    #: pool: per-stage nonzero rotation steps ((col shifts), (row shifts))
-    shifts: tuple = field(default_factory=tuple)
-    #: pool: the plaintext scalar (1 / window area)
-    pool_scale: float = 1.0
-    #: affine: per-slot multiplier / addend over ``[0, size)`` of a block
-    affine_scale: np.ndarray | None = None
-    affine_shift: np.ndarray | None = None
-    #: sharded linear / merge projection: K_out x K_in grid of slot-space
-    #: matrices (``None`` marks an all-zero block)
-    blocks: list | None = None
-    #: sharded linear / merge projection: per-output-shard bias vectors
-    bias_shards: list | None = None
-    #: merge: layer index of the matching ``residual`` tap
-    tap: int | None = None
+def resolve_mode(mode: str | None, reference, *, owner: str) -> bool:
+    """Normalise the ``mode=`` / deprecated ``reference=`` pair.
+
+    Returns True when the reference implementations should run.
+    ``mode`` must be ``"plan"`` (compiled BSGS / Paterson-Stockmeyer
+    paths) or ``"reference"`` (naive diagonals, per-step rotations, the
+    activation ladder); the boolean ``reference=`` spelling still works
+    but emits a :class:`DeprecationWarning`.
+    """
+    if reference is not None:
+        warnings.warn(
+            f"{owner}(reference=...) is deprecated; pass "
+            "mode=\"reference\" or mode=\"plan\" instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        if mode is not None:
+            raise ValueError("pass either mode= or the deprecated reference=, not both")
+        return bool(reference)
+    if mode is None:
+        return False
+    if mode not in ("plan", "reference"):
+        raise ValueError(f'mode must be "plan" or "reference", got {mode!r}')
+    return mode == "reference"
+
+
+def _dispatch(table: dict, node: IRNode):
+    """Resolve a handler for ``node`` by walking its class MRO."""
+    for klass in type(node).__mro__:
+        if klass in table:
+            return table[klass]
+    raise ValueError(f"no handler for IR node type {type(node).__name__}")
 
 
 class EncryptedNetwork:
     """A network compiled for encrypted inference (single or SIMD-batched).
 
-    Built by :func:`compile_mlp` (Linear/PAF stacks) and
-    :func:`repro.fhe.cnn.compile_cnn` (Conv/BN/Pool stacks lowered to the
-    same layer kinds).  ``EncryptedMLP`` is a backwards-compatible alias.
+    Built from a :class:`repro.fhe.ir.Graph` (or a bare node list) by
+    the family lowerings behind :func:`repro.fhe.ir.compile_network` —
+    :func:`compile_mlp` for Linear/PAF stacks,
+    :func:`repro.fhe.cnn.compile_cnn` / ``compile_resnet`` for conv
+    stacks, :func:`repro.fhe.transformer.compile_transformer` for the
+    attention+MLP block.
     """
 
     def __init__(
         self,
-        layers,
-        size: int,
-        params: CkksParams,
+        graph,
+        size: int | None = None,
+        params: CkksParams | None = None,
         seed: int = 0,
         reference_keys: bool = False,
         input_shards: int = 1,
     ):
-        self.layers = layers
-        self.size = size
+        if isinstance(graph, Graph):
+            self.graph = graph
+        else:
+            self.graph = Graph(list(graph), size=size, input_shards=input_shards)
+        if size is not None and size != self.graph.size:
+            raise ValueError(f"size {size} != graph size {self.graph.size}")
+        self.layers = self.graph.nodes
+        self.size = self.graph.size
         #: ciphertexts per request on the sharded path (1 = single-ct)
-        self.num_input_shards = input_shards
-        #: True when any layer is sharded or residual — forward must go
+        self.num_input_shards = self.graph.input_shards
+        if self.graph.input_splits is not None:
+            self.input_splits = list(self.graph.input_splits)
+        #: True when any node is sharded / branching — forward must go
         #: through :meth:`forward_shards`
-        self.sharded = input_shards > 1 or any(
-            layer.blocks is not None or layer.kind in ("residual", "merge") for layer in layers
-        )
-        depth_needed = self._validate_schedule(layers)
+        self.sharded = self.graph.sharded
+        depth_needed = self.graph.validate()
         if params.depth < depth_needed:
             raise ValueError(
                 f"context depth {params.depth} < required {depth_needed}"
             )
-        # suffix depths of the static schedule: levels the layers *after* i
+        # suffix depths of the static schedule: levels the nodes *after* i
         # still need — a traced forward reports each layer's remaining
         # level slack (exit level minus this) against them
-        depths = [self._layer_depth(layer) for layer in layers]
-        self._depth_after = [sum(depths[i + 1 :]) for i in range(len(layers))]
+        depths = [node.level_cost() for node in self.layers]
+        self._depth_after = [sum(depths[i + 1 :]) for i in range(len(self.layers))]
         self.ctx = CkksContext(params)
         slots = self.ctx.slots
         #: SIMD block geometry (shared with :mod:`repro.serve.packing`)
-        self.layout = BlockLayout(size=size, slots=slots)
+        self.layout = BlockLayout(size=self.size, slots=slots)
         #: one request occupies ``2·size`` slots (vector + wraparound replica)
         self.block_stride = self.layout.stride
         #: SIMD capacity: how many requests fit one ciphertext
@@ -174,7 +185,7 @@ class EncryptedNetwork:
         # reference path) — holding both would double plaintext memory.
         self.linear_diagonals: dict[int, dict] = {}
         self.linear_bias_slots: dict[int, np.ndarray] = {}
-        #: per-layer matvec execution plan (BSGS vs naive reference)
+        #: per-node matvec execution plan (BSGS vs naive reference)
         self.matvec_plans: dict = {}
         #: pre-rotated giant-step diagonal groups for the BSGS layers
         self.linear_groups: dict[int, dict] = {}
@@ -182,6 +193,8 @@ class EncryptedNetwork:
         #: (Paterson–Stockmeyer vs ladder chosen per component, with the
         #: static scale and the ReLU ½ already folded into coefficients)
         self.paf_plans: dict = {}
+        #: per-PolyNode :class:`~repro.ckks.poly_plan.DensePolyPlan`
+        self.poly_plans: dict = {}
         #: pool masks: ``1/window`` over ``[0, size)`` of every block, zero
         #: elsewhere — the pool's scalar multiply doubles as the cleanup
         #: that re-zeroes replica halves after the rotate-and-sum stages
@@ -189,122 +202,29 @@ class EncryptedNetwork:
         #: affine (unfolded BN) slot vectors, tiled like the biases
         self.affine_scale_slots: dict[int, np.ndarray] = {}
         self.affine_shift_slots: dict[int, np.ndarray] = {}
-        #: sharded linear / merge-projection layers: K_out x K_in grids of
+        #: sharded linear / merge-projection nodes: K_out x K_in grids of
         #: MatvecPlans (None = all-zero block), grouped diagonal payloads
         #: and per-output-shard tiled biases
         self.shard_plans: dict[int, list] = {}
         self.shard_groups: dict[int, list] = {}
         self.shard_bias_slots: dict[int, list] = {}
-        #: merge layer index -> matching residual tap index
+        #: merge node index -> matching residual tap index
         self.merge_taps: dict[int, int] = {}
-        pool_steps: set = set()
-        shard_steps: set = set()
-        for i, layer in enumerate(layers):
-            if layer.blocks is not None:  # sharded linear or merge projection
-                plans_grid: list = []
-                groups_grid: list = []
-                for row in layer.blocks:
-                    plan_row: list = []
-                    group_row: list = []
-                    for mat in row:
-                        if mat is None or not np.any(mat):
-                            plan_row.append(None)
-                            group_row.append(None)
-                            continue
-                        diags = diagonals_of(
-                            mat,
-                            slots,
-                            num_blocks=self.max_batch,
-                            block_stride=self.block_stride,
-                        )
-                        plan = plan_matvec(diags.keys(), size)
-                        plan_row.append(plan)
-                        group_row.append(grouped_diagonals(diags, plan))
-                        shard_steps.update(plan.rotation_steps())
-                    if not any(g is not None for g in group_row):
-                        # fail at compile like the single-ct path's
-                        # all-zero-weight rejection, not at forward time
-                        raise ValueError(
-                            f"layer {i}: output shard {len(plans_grid)} reads "
-                            "no nonzero block (all-zero weight row)"
-                        )
-                    plans_grid.append(plan_row)
-                    groups_grid.append(group_row)
-                self.shard_plans[i] = plans_grid
-                self.shard_groups[i] = groups_grid
-                if layer.bias_shards is not None:
-                    tiled = []
-                    for vec in layer.bias_shards:
-                        if vec is None:
-                            tiled.append(None)
-                            continue
-                        base = np.zeros(size)
-                        base[: len(vec)] = vec
-                        tiled.append(
-                            tile_blocks(base, slots, self.max_batch, self.block_stride)
-                        )
-                    self.shard_bias_slots[i] = tiled
-            if layer.kind == "merge":
-                if layer.tap is None:
-                    raise ValueError(f"merge layer {i} has no matching residual tap")
-                self.merge_taps[i] = layer.tap
-                continue
-            if layer.kind == "paf":
-                # sharded (deep residual) networks need exact-scale plans:
-                # ladder-tolerated sub-percent drift doubles per rescale
-                # and overflows the modulus past ~20 levels
-                self.paf_plans[i] = plan_paf_relu(
-                    layer.paf, layer.scale, exact_scales=self.sharded
-                )
-            if layer.kind == "pool":
-                for stage in layer.shifts:
-                    pool_steps.update(s for s in stage if s)
-                self.pool_masks[i] = tile_blocks(
-                    np.full(size, layer.pool_scale),
-                    slots,
-                    self.max_batch,
-                    self.block_stride,
-                )
-            if layer.kind == "affine":
-                for name, vec, store in (
-                    ("scale", layer.affine_scale, self.affine_scale_slots),
-                    ("shift", layer.affine_shift, self.affine_shift_slots),
-                ):
-                    if vec is None or len(vec) > size:
-                        raise ValueError(
-                            f"affine layer {i} needs a {name} vector of length <= {size}"
-                        )
-                    base = np.zeros(size)
-                    base[: len(vec)] = vec
-                    store[i] = tile_blocks(
-                        base, slots, self.max_batch, self.block_stride
-                    )
-            if layer.kind == "linear" and layer.blocks is None:
-                diags = diagonals_of(
-                    layer.weight,
-                    slots,
-                    num_blocks=self.max_batch,
-                    block_stride=self.block_stride,
-                )
-                plan = plan_matvec(diags.keys(), size)
-                self.matvec_plans[i] = plan
-                if plan.use_bsgs:
-                    self.linear_groups[i] = bsgs_diagonals(diags, plan)
-                if not plan.use_bsgs or reference_keys:
-                    self.linear_diagonals[i] = diags
-                if layer.bias is not None:
-                    bias = np.zeros(size)
-                    bias[: len(layer.bias)] = layer.bias
-                    self.linear_bias_slots[i] = tile_blocks(
-                        bias, slots, self.max_batch, self.block_stride
-                    )
+        #: per-AttentionNode compiled state (projection plans/groups,
+        #: placement and broadcast masks, softmax plan and constants)
+        self.attention_states: dict = {}
+        self._reference_keys = reference_keys
+        self._pool_steps: set = set()
+        self._shard_steps: set = set()
+        for i, node in enumerate(self.layers):
+            _dispatch(self._COMPILE, node)(self, i, node)
         # Galois keys cover exactly the planned rotation steps (baby +
         # giant for BSGS layers, per-diagonal for naive ones);
         # ``reference_keys`` additionally covers the naive path of every
         # layer so the reference implementation can run side by side.
         steps = {s for plan in self.matvec_plans.values() for s in plan.rotation_steps()}
-        steps |= pool_steps
-        steps |= shard_steps
+        steps |= self._pool_steps
+        steps |= self._shard_steps
         if reference_keys:
             steps |= {d for plan in self.matvec_plans.values() for d in plan.diag_steps}
         # right-rotation by `size` restores the wraparound replica block
@@ -315,45 +235,146 @@ class EncryptedNetwork:
         self.keys = keygen(self.ctx, seed=seed, galois_steps=tuple(sorted(steps)))
         self.ev = CkksEvaluator(self.ctx, self.keys)
 
-    @staticmethod
-    def _layer_depth(layer: _Layer) -> int:
-        """Levels one layer consumes *on the main chain*: matvec/pool/
-        affine rescale once, PAF activations their full multiplication
-        depth.  Residual taps and merges are free — the skip branch's
-        projection and alignment ride the level gap the main branch
-        already opened."""
-        if layer.kind in ("residual", "merge"):
-            return 0
-        return relu_mult_depth(layer.paf) if layer.kind == "paf" else 1
+    # ------------------------------------------------------------------
+    # per-node-type compilation
+    # ------------------------------------------------------------------
+    def _compile_block_grid(self, i: int, node) -> None:
+        """Compile a ``K_out × K_in`` grid of matvec blocks (sharded
+        linear layers and merge projections share this)."""
+        slots = self.ctx.slots
+        plans_grid: list = []
+        groups_grid: list = []
+        for row in node.blocks:
+            plan_row: list = []
+            group_row: list = []
+            for mat in row:
+                if mat is None or not np.any(mat):
+                    plan_row.append(None)
+                    group_row.append(None)
+                    continue
+                diags = diagonals_of(
+                    mat,
+                    slots,
+                    num_blocks=self.max_batch,
+                    block_stride=self.block_stride,
+                )
+                plan = plan_matvec(diags.keys(), self.size)
+                plan_row.append(plan)
+                group_row.append(grouped_diagonals(diags, plan))
+                self._shard_steps.update(plan.rotation_steps())
+            if not any(g is not None for g in group_row):
+                # fail at compile like the single-ct path's
+                # all-zero-weight rejection, not at forward time
+                raise ValueError(
+                    f"layer {i}: output shard {len(plans_grid)} reads "
+                    "no nonzero block (all-zero weight row)"
+                )
+            plans_grid.append(plan_row)
+            groups_grid.append(group_row)
+        self.shard_plans[i] = plans_grid
+        self.shard_groups[i] = groups_grid
+        if node.bias_shards is not None:
+            slots = self.ctx.slots
+            tiled = []
+            for vec in node.bias_shards:
+                if vec is None:
+                    tiled.append(None)
+                    continue
+                base = np.zeros(self.size)
+                base[: len(vec)] = vec
+                tiled.append(
+                    tile_blocks(base, slots, self.max_batch, self.block_stride)
+                )
+            self.shard_bias_slots[i] = tiled
 
-    @classmethod
-    def _validate_schedule(cls, layers) -> int:
-        """Total main-chain depth, validating the residual structure.
+    def _compile_matvec(self, i: int, node: MatvecNode) -> None:
+        if node.blocks is not None:
+            self._compile_block_grid(i, node)
+            return
+        slots = self.ctx.slots
+        diags = diagonals_of(
+            node.weight,
+            slots,
+            num_blocks=self.max_batch,
+            block_stride=self.block_stride,
+        )
+        plan = plan_matvec(diags.keys(), self.size)
+        self.matvec_plans[i] = plan
+        if plan.use_bsgs:
+            self.linear_groups[i] = bsgs_diagonals(diags, plan)
+        if not plan.use_bsgs or self._reference_keys:
+            self.linear_diagonals[i] = diags
+        if node.bias is not None:
+            bias = np.zeros(self.size)
+            bias[: len(node.bias)] = node.bias
+            self.linear_bias_slots[i] = tile_blocks(
+                bias, slots, self.max_batch, self.block_stride
+            )
 
-        Taps and merges must pair up like brackets, and a merge whose
-        skip branch carries a projection needs a main-branch gap of at
-        least one level (the projection's own rescale descends through
-        it; the alignment correction needs no level of its own).
-        """
-        level = 0  # counts consumed levels from the top
-        stack: list = []
-        for i, layer in enumerate(layers):
-            if layer.kind == "residual":
-                stack.append(level)
-            elif layer.kind == "merge":
-                if not stack:
-                    raise ValueError(f"merge layer {i} has no open residual tap")
-                gap = level - stack.pop()
-                if layer.blocks is not None and gap < 1:
-                    raise ValueError(
-                        f"merge layer {i}: projection skip needs a main-branch "
-                        f"depth of >= 1 level, got {gap}"
-                    )
-            else:
-                level += cls._layer_depth(layer)
-        if stack:
-            raise ValueError(f"{len(stack)} residual tap(s) never merged")
-        return level
+    def _compile_merge(self, i: int, node: MergeNode) -> None:
+        if node.blocks is not None:
+            self._compile_block_grid(i, node)
+        if node.tap is None:
+            raise ValueError(f"merge layer {i} has no matching residual tap")
+        self.merge_taps[i] = node.tap
+
+    def _compile_paf(self, i: int, node: PafNode) -> None:
+        # sharded (deep residual) networks need exact-scale plans:
+        # ladder-tolerated sub-percent drift doubles per rescale
+        # and overflows the modulus past ~20 levels
+        self.paf_plans[i] = plan_paf_relu(
+            node.paf, node.scale, exact_scales=self.sharded
+        )
+
+    def _compile_poly(self, i: int, node: PolyNode) -> None:
+        from repro.ckks.poly_plan import plan_dense_poly
+
+        self.poly_plans[i] = plan_dense_poly(node.poly, exact_scales=self.sharded)
+
+    def _compile_pool(self, i: int, node: PoolNode) -> None:
+        for stage in node.shifts:
+            self._pool_steps.update(s for s in stage if s)
+        self.pool_masks[i] = tile_blocks(
+            np.full(self.size, node.pool_scale),
+            self.ctx.slots,
+            self.max_batch,
+            self.block_stride,
+        )
+
+    def _compile_affine(self, i: int, node: AffineNode) -> None:
+        for name, vec, store in (
+            ("scale", node.affine_scale, self.affine_scale_slots),
+            ("shift", node.affine_shift, self.affine_shift_slots),
+        ):
+            if vec is None or len(vec) > self.size:
+                raise ValueError(
+                    f"affine layer {i} needs a {name} vector of length <= {self.size}"
+                )
+            base = np.zeros(self.size)
+            base[: len(vec)] = vec
+            store[i] = tile_blocks(
+                base, self.ctx.slots, self.max_batch, self.block_stride
+            )
+
+    def _compile_noop(self, i: int, node) -> None:
+        pass
+
+    def _compile_attention(self, i: int, node: AttentionNode) -> None:
+        from repro.fhe.transformer import compile_attention_state
+
+        self.attention_states[i] = compile_attention_state(self, i, node)
+
+    _COMPILE = {
+        MatvecNode: _compile_matvec,
+        MergeNode: _compile_merge,
+        PafNode: _compile_paf,
+        PolyNode: _compile_poly,
+        PoolNode: _compile_pool,
+        AffineNode: _compile_affine,
+        ResidualTapNode: _compile_noop,
+        ReduceNode: _compile_noop,
+        AttentionNode: _compile_attention,
+    }
 
     # ------------------------------------------------------------------
     # packing
@@ -377,8 +398,8 @@ class EncryptedNetwork:
     # ------------------------------------------------------------------
     # sharded packing
     # ------------------------------------------------------------------
-    #: element counts per input shard (set by the sharded compiler); the
-    #: flat NCHW input splits contiguously into these
+    #: element counts per input shard (set by the sharded compilers); the
+    #: flat input splits contiguously into these
     input_splits: list | None = None
 
     def split_input(self, x) -> list:
@@ -425,24 +446,28 @@ class EncryptedNetwork:
         *,
         encoded=None,
         ev: CkksEvaluator | None = None,
-        reference: bool = False,
+        mode: str | None = None,
+        reference: bool | None = None,
     ) -> Ciphertext:
         """Encrypted forward pass over all packed blocks at once.
 
-        Linear layers (Linear weights and compile-time-lowered convs
-        alike) follow their compiled :class:`MatvecPlan` — BSGS with
-        hoisted baby rotations where that is strictly cheaper, the naive
-        diagonal loop otherwise.  PAF activations follow their compiled
-        :class:`~repro.ckks.poly_plan.ReluPlan` — Paterson–Stockmeyer
-        per component where strictly fewer nonscalar mults, the
-        term-by-term ladder otherwise.  Pool layers run their
-        rotate-and-sum plan (:meth:`_pool_forward`); affine layers one
-        slot-wise multiply + shift.  ``reference=True`` forces the
-        reference implementations everywhere: the naive diagonal loop
-        for every linear layer (compile with ``reference_keys=True`` so
-        its Galois keys exist), per-step rotations instead of hoisted
-        batches for every pool, *and* the ladder for every activation —
-        the differential-testing baseline.
+        The single-ciphertext IR executor: each node type has one
+        handler.  Matvec nodes (Linear weights and compile-time-lowered
+        convs alike) follow their compiled :class:`MatvecPlan` — BSGS
+        with hoisted baby rotations where that is strictly cheaper, the
+        naive diagonal loop otherwise.  PAF activations follow their
+        compiled :class:`~repro.ckks.poly_plan.ReluPlan` —
+        Paterson–Stockmeyer per component where strictly fewer
+        nonscalar mults, the term-by-term ladder otherwise.  Pool nodes
+        run their rotate-and-sum plan (:meth:`_pool_forward`); affine
+        nodes one slot-wise multiply + shift.  ``mode="reference"``
+        forces the reference implementations everywhere: the naive
+        diagonal loop for every linear layer (compile with
+        ``reference_keys=True`` so its Galois keys exist), per-step
+        rotations instead of hoisted batches for every pool, *and* the
+        ladder for every activation — the differential-testing
+        baseline.  ``mode="plan"`` (the default) runs the compiled
+        plans; the boolean ``reference=`` spelling is deprecated.
 
         ``encoded`` is an optional provider of pre-encoded plaintexts for
         the linear layers — ``encoded(layer_index, level, scale)`` must
@@ -454,6 +479,7 @@ class EncryptedNetwork:
         fly.  ``ev`` overrides the evaluator (worker pools run one
         evaluator per thread against the shared keys).
         """
+        reference = resolve_mode(mode, reference, owner="forward")
         if self.sharded:
             raise ValueError(
                 "this network is compiled for multi-ciphertext execution — "
@@ -473,55 +499,70 @@ class EncryptedNetwork:
             backend=self.ctx.backend.name,
         ) as root:
             root.ct_entry(ct)
-            for i, layer in enumerate(self.layers):
-                with self._layer_span(ev, i, layer) as sp:
+            for i, node in enumerate(self.layers):
+                with self._layer_span(ev, i, node) as sp:
                     sp.ct_entry(ct)
-                    if layer.kind == "linear":
-                        if i > 0:
-                            ct = self._replicate(ct, ev)
-                        bsgs = self.matvec_plans[i].use_bsgs and not reference
-                        if not bsgs and i not in self.linear_diagonals:
-                            raise ValueError(
-                                "naive reference path unavailable: compile with "
-                                "reference_keys=True to retain flat diagonals and keys"
-                            )
-                        if encoded is not None:
-                            payload, bias_slots = encoded(i, ct.level, ct.scale)
-                        else:
-                            payload = (
-                                self.linear_groups[i] if bsgs else self.linear_diagonals[i]
-                            )
-                            bias_slots = self.linear_bias_slots.get(i)
-                        if bsgs:
-                            ct = encrypted_matvec_bsgs(
-                                ev, ct, groups=payload, bias_slots=bias_slots
-                            )
-                        else:
-                            ct = encrypted_matvec(
-                                ev, ct, diagonals=payload, bias_slots=bias_slots
-                            )
-                    elif layer.kind == "pool":
-                        ct = self._pool_forward(ct, i, ev, reference=reference)
-                    elif layer.kind == "affine":
-                        ct = ev.rescale(ev.mul_plain(ct, self.affine_scale_slots[i]))
-                        ct = ev.add_plain(ct, self.affine_shift_slots[i])
-                    else:
-                        ct = eval_paf_relu(
-                            ev,
-                            ct,
-                            layer.paf,
-                            scale=layer.scale,
-                            plan=self.paf_plans[i],
-                            reference=reference,
-                        )
+                    handler = _dispatch(self._EXEC_SINGLE, node)
+                    ct = handler(self, i, node, ct, ev, reference, encoded)
                     sp.ct_exit(ct, level_slack=ct.level - self._depth_after[i])
             root.ct_exit(ct)
         return ct
 
-    def _layer_span(self, ev: CkksEvaluator, i: int, layer: _Layer):
+    # --- single-ciphertext node handlers -------------------------------
+    def _exec_matvec(self, i, node, ct, ev, reference, encoded):
+        if i > 0:
+            ct = self._replicate(ct, ev)
+        bsgs = self.matvec_plans[i].use_bsgs and not reference
+        if not bsgs and i not in self.linear_diagonals:
+            raise ValueError(
+                "naive reference path unavailable: compile with "
+                "reference_keys=True to retain flat diagonals and keys"
+            )
+        if encoded is not None:
+            payload, bias_slots = encoded(i, ct.level, ct.scale)
+        else:
+            payload = self.linear_groups[i] if bsgs else self.linear_diagonals[i]
+            bias_slots = self.linear_bias_slots.get(i)
+        if bsgs:
+            return encrypted_matvec_bsgs(ev, ct, groups=payload, bias_slots=bias_slots)
+        return encrypted_matvec(ev, ct, diagonals=payload, bias_slots=bias_slots)
+
+    def _exec_pool(self, i, node, ct, ev, reference, encoded):
+        return self._pool_forward(ct, i, ev, reference=reference)
+
+    def _exec_affine(self, i, node, ct, ev, reference, encoded):
+        ct = ev.rescale(ev.mul_plain(ct, self.affine_scale_slots[i]))
+        return ev.add_plain(ct, self.affine_shift_slots[i])
+
+    def _exec_paf(self, i, node, ct, ev, reference, encoded):
+        return eval_paf_relu(
+            ev,
+            ct,
+            node.paf,
+            scale=node.scale,
+            plan=self.paf_plans[i],
+            reference=reference,
+        )
+
+    def _exec_poly(self, i, node, ct, ev, reference, encoded):
+        from repro.ckks.poly_eval import eval_dense_poly
+
+        return eval_dense_poly(
+            ev, ct, node.poly, plan=self.poly_plans[i], reference=reference
+        )
+
+    _EXEC_SINGLE = {
+        MatvecNode: _exec_matvec,
+        PoolNode: _exec_pool,
+        AffineNode: _exec_affine,
+        PafNode: _exec_paf,
+        PolyNode: _exec_poly,
+    }
+
+    def _layer_span(self, ev: CkksEvaluator, i: int, node: IRNode):
         """Per-layer tracing span (a shared no-op when ``ev`` has no tracer)."""
         return trace_span(
-            ev, f"layer{i:02d}:{layer.kind}", kind="layer", layer=i, op=layer.kind
+            ev, f"layer{i:02d}:{node.kind}", kind="layer", layer=i, op=node.kind
         )
 
     def _pool_forward(
@@ -533,7 +574,7 @@ class EncryptedNetwork:
         column stride), stage 2 the window rows — separable, so ``2(k-1)``
         keyswitches instead of ``k²-1``.  Each stage's rotations act on
         one ciphertext and share a hoisted decomposition
-        (``reference=True`` rotates one by one instead).  Valid sums land
+        (``reference`` mode rotates one by one instead).  Valid sums land
         at the window-corner slots of the input grid (the compile-time
         :class:`~repro.fhe.packing.GridLayout` the next layer's matrix is
         lowered against); everything else — including the replica halves
@@ -573,7 +614,8 @@ class EncryptedNetwork:
         *,
         encoded=None,
         ev: CkksEvaluator | None = None,
-        reference: bool = False,
+        mode: str | None = None,
+        reference: bool | None = None,
         executor=None,
     ) -> list:
         """Encrypted forward over a channel-sharded ciphertext list.
@@ -581,14 +623,15 @@ class EncryptedNetwork:
         The multi-ciphertext twin of :meth:`forward`: ``cts`` is one
         ciphertext per input shard (``encrypt_batch_shards``), and the
         return value one per output shard of the last layer (a compiled
-        classifier head always lands on a single shard).  Linear layers
+        classifier head always lands on a single shard).  Matvec nodes
         run :func:`~repro.fhe.linear.encrypted_matvec_shards` over their
         ``K_out × K_in`` grouped-diagonal blocks; ``residual`` taps push
         the live shard list onto a branch stack; ``merge`` pops it,
         applies the projection blocks (if any) to the *saved* branch at
         its own — higher — level, aligns the skip to the main branch's
         exact (level, scale) via ``align_to`` and adds shard-wise.  PAF,
-        pool and (unsupported here) affine layers apply per shard.
+        pool, dense-poly and attention nodes apply per shard / per the
+        node's own dance; ``reduce`` sums the live shards into one.
 
         ``encoded`` is the same pre-encoded-plaintext provider contract
         as :meth:`forward`, extended to sharded layers: for a sharded
@@ -596,11 +639,11 @@ class EncryptedNetwork:
         ``(blocks, biases)`` with the grid/list structure of
         ``shard_groups[i]`` / ``shard_bias_slots.get(i)`` but holding
         :class:`~repro.ckks.Plaintext` values; merges are queried at the
-        *saved branch's* (level, scale).  ``reference=True`` selects the
-        per-step rotation pool path and the ladder activation path, as
-        in :meth:`forward` (sharded matvecs have a single, grouped
+        *saved branch's* (level, scale).  ``mode="reference"`` selects
+        the per-step rotation pool path and the ladder activation path,
+        as in :meth:`forward` (sharded matvecs have a single, grouped
         execution — their plan already names the cheaper path per
-        block).
+        block); the boolean ``reference=`` spelling is deprecated.
 
         ``executor`` is an optional
         :class:`~repro.serve.executor.BlockExecutor` scheduling the
@@ -610,6 +653,7 @@ class EncryptedNetwork:
         Deterministic ops make executor choice invisible in the
         ciphertexts; it only buys wall time on multi-shard models.
         """
+        reference = resolve_mode(mode, reference, owner="forward_shards")
         ev = ev or self.ev
         cts = list(cts)
         stack: list = []
@@ -622,87 +666,139 @@ class EncryptedNetwork:
             backend=self.ctx.backend.name,
         ) as root:
             root.ct_entry(cts)
-            for i, layer in enumerate(self.layers):
-                with self._layer_span(ev, i, layer) as sp:
+            for i, node in enumerate(self.layers):
+                with self._layer_span(ev, i, node) as sp:
                     sp.ct_entry(cts)
-                    if layer.kind == "linear":
-                        if layer.blocks is None:
-                            raise ValueError(
-                                f"layer {i}: single-ciphertext linear inside a sharded "
-                                "network (compile it with shard blocks)"
-                            )
-                        if i > 0:
-                            cts = [self._replicate(ct, ev) for ct in cts]
-                        if encoded is not None:
-                            payload, biases = encoded(i, cts[0].level, cts[0].scale)
-                        else:
-                            payload = self.shard_groups[i]
-                            biases = self.shard_bias_slots.get(i)
-                        cts = encrypted_matvec_shards(
-                            ev, cts, payload, bias_slots=biases, executor=executor
-                        )
-                    elif layer.kind == "residual":
-                        stack.append(cts)
-                    elif layer.kind == "merge":
-                        skip = stack.pop()
-                        if layer.blocks is not None:
-                            skip = [self._replicate(ct, ev) for ct in skip]
-                            if encoded is not None:
-                                payload, biases = encoded(i, skip[0].level, skip[0].scale)
-                            else:
-                                payload = self.shard_groups[i]
-                                biases = self.shard_bias_slots.get(i)
-                            skip = encrypted_matvec_shards(
-                                ev, skip, payload, bias_slots=biases, executor=executor
-                            )
-                        if len(skip) != len(cts):
-                            raise ValueError(
-                                f"merge layer {i}: skip branch has {len(skip)} shards, "
-                                f"main branch {len(cts)}"
-                            )
-                        target = cts[0]
-                        # exact (rtol 0) alignment: the skip must land on the
-                        # main branch's scale precisely, or the embedded
-                        # mismatch rides every later squaring
-                        with trace_span(
-                            ev, "merge:align", kind="exec", shards=len(cts)
-                        ) as msp:
-                            msp.ct_entry(skip)
-                            skip = [
-                                ev.align_to(s, target.level, target.scale, rtol=0.0)
-                                for s in skip
-                            ]
-                            cts = [ev.add(c, s) for c, s in zip(cts, skip)]
-                            msp.ct_exit(cts)
-                    elif layer.kind == "pool":
-                        cts = self._map_shards(
-                            executor,
-                            [
-                                lambda ct=ct, i=i: self._pool_forward(
-                                    ct, i, ev, reference=reference
-                                )
-                                for ct in cts
-                            ],
-                        )
-                    elif layer.kind == "paf":
-                        cts = self._map_shards(
-                            executor,
-                            [
-                                lambda ct=ct, i=i: eval_paf_relu(
-                                    ev, ct, layer.paf, scale=layer.scale,
-                                    plan=self.paf_plans[i], reference=reference,
-                                )
-                                for ct in cts
-                            ],
-                        )
-                    else:
-                        raise ValueError(
-                            f"layer {i} kind {layer.kind!r} has no sharded execution "
-                            "(BatchNorm must be folded into a conv when sharding)"
-                        )
+                    handler = _dispatch(self._EXEC_SHARDED, node)
+                    cts = handler(
+                        self, i, node, cts, ev, reference, encoded, executor, stack
+                    )
                     sp.ct_exit(cts, level_slack=cts[0].level - self._depth_after[i])
             root.ct_exit(cts)
         return cts
+
+    # --- sharded node handlers ----------------------------------------
+    def _exec_matvec_shards(self, i, node, cts, ev, reference, encoded, executor, stack):
+        if node.blocks is None:
+            raise ValueError(
+                f"layer {i}: single-ciphertext linear inside a sharded "
+                "network (compile it with shard blocks)"
+            )
+        if i > 0:
+            cts = [self._replicate(ct, ev) for ct in cts]
+        if encoded is not None:
+            payload, biases = encoded(i, cts[0].level, cts[0].scale)
+        else:
+            payload = self.shard_groups[i]
+            biases = self.shard_bias_slots.get(i)
+        return encrypted_matvec_shards(
+            ev, cts, payload, bias_slots=biases, executor=executor
+        )
+
+    def _exec_residual_shards(self, i, node, cts, ev, reference, encoded, executor, stack):
+        stack.append(cts)
+        return cts
+
+    def _exec_merge_shards(self, i, node, cts, ev, reference, encoded, executor, stack):
+        skip = stack.pop()
+        if node.blocks is not None:
+            skip = [self._replicate(ct, ev) for ct in skip]
+            if encoded is not None:
+                payload, biases = encoded(i, skip[0].level, skip[0].scale)
+            else:
+                payload = self.shard_groups[i]
+                biases = self.shard_bias_slots.get(i)
+            skip = encrypted_matvec_shards(
+                ev, skip, payload, bias_slots=biases, executor=executor
+            )
+        if len(skip) != len(cts):
+            raise ValueError(
+                f"merge layer {i}: skip branch has {len(skip)} shards, "
+                f"main branch {len(cts)}"
+            )
+        target = cts[0]
+        # exact (rtol 0) alignment: the skip must land on the
+        # main branch's scale precisely, or the embedded
+        # mismatch rides every later squaring
+        with trace_span(
+            ev, "merge:align", kind="exec", shards=len(cts)
+        ) as msp:
+            msp.ct_entry(skip)
+            skip = [
+                ev.align_to(s, target.level, target.scale, rtol=0.0)
+                for s in skip
+            ]
+            cts = [ev.add(c, s) for c, s in zip(cts, skip)]
+            msp.ct_exit(cts)
+        return cts
+
+    def _exec_pool_shards(self, i, node, cts, ev, reference, encoded, executor, stack):
+        return self._map_shards(
+            executor,
+            [
+                lambda ct=ct, i=i: self._pool_forward(ct, i, ev, reference=reference)
+                for ct in cts
+            ],
+        )
+
+    def _exec_paf_shards(self, i, node, cts, ev, reference, encoded, executor, stack):
+        return self._map_shards(
+            executor,
+            [
+                lambda ct=ct, i=i: eval_paf_relu(
+                    ev, ct, node.paf, scale=node.scale,
+                    plan=self.paf_plans[i], reference=reference,
+                )
+                for ct in cts
+            ],
+        )
+
+    def _exec_poly_shards(self, i, node, cts, ev, reference, encoded, executor, stack):
+        from repro.ckks.poly_eval import eval_dense_poly
+
+        return self._map_shards(
+            executor,
+            [
+                lambda ct=ct, i=i: eval_dense_poly(
+                    ev, ct, node.poly, plan=self.poly_plans[i], reference=reference
+                )
+                for ct in cts
+            ],
+        )
+
+    def _exec_reduce_shards(self, i, node, cts, ev, reference, encoded, executor, stack):
+        with trace_span(ev, "reduce:shards", kind="exec", shards=len(cts)) as sp:
+            sp.ct_entry(cts)
+            acc = cts[0]
+            for ct in cts[1:]:
+                acc = ev.add(acc, ct)
+            sp.ct_exit(acc)
+        return [acc]
+
+    def _exec_attention_shards(self, i, node, cts, ev, reference, encoded, executor, stack):
+        from repro.fhe.transformer import attention_forward
+
+        return attention_forward(
+            self, i, node, cts, ev, reference=reference, executor=executor
+        )
+
+    def _exec_affine_shards(self, i, node, cts, ev, reference, encoded, executor, stack):
+        raise ValueError(
+            f"layer {i} kind {node.kind!r} has no sharded execution "
+            "(BatchNorm must be folded into a conv when sharding)"
+        )
+
+    _EXEC_SHARDED = {
+        MatvecNode: _exec_matvec_shards,
+        ResidualTapNode: _exec_residual_shards,
+        MergeNode: _exec_merge_shards,
+        PoolNode: _exec_pool_shards,
+        PafNode: _exec_paf_shards,
+        PolyNode: _exec_poly_shards,
+        ReduceNode: _exec_reduce_shards,
+        AttentionNode: _exec_attention_shards,
+        AffineNode: _exec_affine_shards,
+    }
 
     def _map_shards(self, executor, fns) -> list:
         """Run per-shard closures, optionally on a block executor."""
@@ -722,17 +818,13 @@ class EncryptedNetwork:
         """Chain level at which the ciphertext enters each layer.
 
         A fixed network visits every layer at one deterministic level:
-        each linear, pool and affine layer consumes one (its single
-        rescale), each PAF activation ``mult_depth + 1``.
+        each node consumes exactly its :meth:`~repro.fhe.ir.IRNode.level_cost`
+        (matvec/pool/affine one rescale, PAF activations their full
+        multiplication depth, taps/merges/reduces zero).
         ``repro.serve.artifact`` uses this to pre-encode activation
         constants without running a forward pass.
         """
-        level = self.ctx.max_level
-        levels = {}
-        for i, layer in enumerate(self.layers):
-            levels[i] = level
-            level -= self._layer_depth(layer)
-        return levels
+        return self.graph.input_levels(self.ctx.max_level)
 
     def merge_branch_levels(self) -> dict:
         """Level at which each merge's *skip* branch material is read.
@@ -778,8 +870,15 @@ class EncryptedNetwork:
         return logits.argmax(axis=1)
 
 
-#: Backwards-compatible alias (the MLP compiler predates the CNN one).
-EncryptedMLP = EncryptedNetwork
+def __getattr__(name: str):
+    if name == "EncryptedMLP":
+        warnings.warn(
+            "EncryptedMLP is a deprecated alias; use EncryptedNetwork",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return EncryptedNetwork
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def compile_mlp(
@@ -787,27 +886,26 @@ def compile_mlp(
 ) -> EncryptedNetwork:
     """Compile a (PAF-approximated) ``repro.nn`` MLP for encrypted inference.
 
-    Accepts models whose module tree is Linear / ReLU / PAFReLU layers
-    only (e.g. ``repro.nn.models.MLP`` after SMART-PAF replacement).
+    The Linear/PAF-stack lowering behind
+    :func:`repro.fhe.ir.compile_network`: accepts models whose module
+    tree is Linear / ReLU / PAFReLU layers only (e.g.
+    ``repro.nn.models.MLP`` after SMART-PAF replacement), and lowers
+    them to :class:`~repro.fhe.ir.MatvecNode` / PafNode sequences.
     Exact ReLU layers are rejected — replace them first; that is the whole
     point of the paper.  ``reference_keys`` additionally generates the
     Galois keys the naive reference path needs (differential testing).
     """
-    layers: list[_Layer] = []
+    nodes: list[IRNode] = []
     widths: list[int] = []
     for name, mod in model.named_modules():
         if isinstance(mod, Linear):
             w = mod.weight.data.copy()
             b = mod.bias.data.copy() if mod.bias is not None else None
-            layers.append(_Layer(kind="linear", weight=w, bias=b))
+            nodes.append(MatvecNode(weight=w, bias=b))
             widths.extend(w.shape)
         elif isinstance(mod, PAFReLU):
-            layers.append(
-                _Layer(
-                    kind="paf",
-                    paf=mod.sign.to_composite(),
-                    scale=mod.static_scale,
-                )
+            nodes.append(
+                PafNode(paf=mod.sign.to_composite(), scale=mod.static_scale)
             )
         elif isinstance(mod, ReLU):
             raise TypeError(
@@ -816,11 +914,11 @@ def compile_mlp(
             )
     size = max(widths)
     # zero-pad weights to square so the diagonal layout is uniform
-    for layer in layers:
-        if layer.kind == "linear":
+    for node in nodes:
+        if isinstance(node, MatvecNode):
             padded = np.zeros((size, size))
-            padded[: layer.weight.shape[0], : layer.weight.shape[1]] = layer.weight
-            layer.weight = padded
+            padded[: node.weight.shape[0], : node.weight.shape[1]] = node.weight
+            node.weight = padded
     return EncryptedNetwork(
-        layers, size=size, params=params, seed=seed, reference_keys=reference_keys
+        Graph(nodes, size=size), params=params, seed=seed, reference_keys=reference_keys
     )

@@ -30,14 +30,17 @@ __all__ = [
     "compiled_toy",
     "compiled_toy_cnn",
     "compiled_toy_resnet",
+    "compiled_toy_transformer",
     "toy_cnn_model",
     "toy_resnet_model",
+    "toy_transformer_model",
     "TOY_PARAMS",
     "TOY_CNN_PARAMS",
     "TOY_CNN_INPUT_SHAPE",
     "TOY_RESNET_PARAMS",
     "TOY_RESNET_INPUT_SHAPE",
     "TOY_RESNET_SHARDS",
+    "TOY_TRANSFORMER_PARAMS",
 ]
 
 #: the toy MLP's CKKS parameter set (small ring, depth for one f1∘g2 PAF)
@@ -63,6 +66,13 @@ TOY_RESNET_INPUT_SHAPE = (1, 8, 8)
 
 #: ciphertexts the toy ResNet's channels shard across
 TOY_RESNET_SHARDS = 2
+
+#: the toy transformer's CKKS parameter set — depth 33 covers the
+#: identity embed(1) + attention(25: 9 fixed + deg-5 exp(3) + 3
+#: squarings + 5 Newton iterations(10)) + fc1(1) + deg-12 GELU(4) +
+#: fc2(1) + head(1); n=512 gives 8 SIMD request blocks at square size
+#: 16.  ``scale_tracking`` is mandatory past ~20 levels
+TOY_TRANSFORMER_PARAMS = CkksParams(n=512, scale_bits=27, depth=33, scale_tracking=True)
 
 
 def compiled_toy(
@@ -204,6 +214,84 @@ def compiled_toy_resnet(
         params or TOY_RESNET_PARAMS,
         num_shards=num_shards,
         seed=0,
+    )
+    return (model, enc) if with_model else enc
+
+
+def toy_transformer_model(epochs: int = 2, seed: int = 0):
+    """Train the plaintext toy transformer on synthetic token sequences.
+
+    Architecture: :class:`repro.nn.models.transformer.ToyTransformer`
+    with seq=4, dim=8, ff=16, 3 classes — one self-attention block and
+    a GELU MLP, both residual, mean-pooled into a linear head.  The
+    light schedule (2 epochs, lr 0.02) reaches full validation accuracy
+    while leaving the centred attention scores and GELU pre-activations
+    inside the ranges the dense PAFs approximate to ~1e-4 — heavier
+    training sharpens attention into exp ranges no low-degree
+    polynomial tracks.  Deterministic for a fixed ``seed``; returns
+    ``(model, dataset)`` with the model left in train mode (callers
+    decide when to PAF-replace).
+    """
+    from repro.data.synthetic import make_sequence_dataset
+    from repro.nn.functional import cross_entropy
+    from repro.nn.models import toy_transformer
+    from repro.nn.optim import SGD
+    from repro.nn.tensor import Tensor
+
+    model = toy_transformer(seq=4, dim=8, ff=16, num_classes=3, seed=seed)
+    data = make_sequence_dataset(
+        num_classes=3, n_train=96, n_val=24, seq=4, dim=8, seed=seed
+    )
+    opt = SGD(model.parameters(), lr=0.02, momentum=0.9)
+    batch = 16
+    for _ in range(epochs):
+        for start in range(0, data.n_train, batch):
+            xb = data.x_train[start : start + batch]
+            yb = data.y_train[start : start + batch]
+            loss = cross_entropy(model(Tensor(xb)), yb)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+    return model, data
+
+
+def compiled_toy_transformer(
+    reference_keys: bool = False,
+    with_model: bool = False,
+    params: CkksParams | None = None,
+) -> EncryptedNetwork | tuple:
+    """Train, PAF-replace, calibrate and compile the toy transformer.
+
+    The shared fixture behind the encrypted-attention differential
+    tests, the transformer op-count gate and
+    ``bench_transformer_forward``: trains the plaintext model, swaps
+    its softmax / GELU for calibrated dense PAFs
+    (:func:`repro.core.surgery.replace_transformer_nonpoly` on the
+    training set), and lowers through the token-sharded transformer
+    path of :func:`repro.fhe.ir.compile_network`.  ``with_model`` also
+    returns the PAF-approximated plaintext model (in eval mode) — the
+    rtol reference for decrypted logits.
+    """
+    from repro.core.surgery import replace_transformer_nonpoly
+    from repro.fhe.ir import compile_network
+
+    model, data = toy_transformer_model()
+    # deg-12 GELU costs the same 4 levels as deg-8 (ceil(log2(d+1)));
+    # 5 Newton iterations cover the calibrated sum interval's ~12x ratio
+    replace_transformer_nonpoly(
+        model,
+        data.x_train,
+        exp_degree=5,
+        exp_squarings=3,
+        gelu_degree=12,
+        recip_iters=5,
+    )
+    model.eval()
+    enc = compile_network(
+        model,
+        params or TOY_TRANSFORMER_PARAMS,
+        seed=0,
+        reference_keys=reference_keys,
     )
     return (model, enc) if with_model else enc
 

@@ -6,12 +6,14 @@ from repro.nn.layers import (
     BatchNorm2d,
     Conv2d,
     Dropout,
+    GELU,
     Flatten,
     GlobalAvgPool2d,
     Identity,
     Linear,
     MaxPool2d,
     ReLU,
+    Softmax,
 )
 from repro.nn.module import Module, Parameter, Sequential
 from repro.nn.optim import SGD, Adam
@@ -30,6 +32,8 @@ __all__ = [
     "Linear",
     "BatchNorm2d",
     "ReLU",
+    "GELU",
+    "Softmax",
     "MaxPool2d",
     "AvgPool2d",
     "GlobalAvgPool2d",

@@ -242,6 +242,47 @@ def batch_norm2d(
     return Tensor._make(out, (x, gamma, beta), backward)
 
 
+# tanh-form GELU constants (Hendrycks-Gimpel); the dense-polynomial PAF
+# in ``repro.paf.transformer`` targets exactly this formula, so the PAF
+# and the plaintext model approximate the same function
+_GELU_C = 0.044715
+_GELU_S = float(np.sqrt(2.0 / np.pi))
+
+
+def gelu(x: Tensor) -> Tensor:
+    """GELU in its tanh form: ``0.5 x (1 + tanh(s (x + c x^3)))``."""
+    xd = x.data
+    inner = _GELU_S * (xd + _GELU_C * xd**3)
+    t = np.tanh(inner)
+    out = 0.5 * xd * (1.0 + t)
+
+    def backward(g):
+        d_inner = _GELU_S * (1.0 + 3.0 * _GELU_C * xd**2)
+        grad = 0.5 * (1.0 + t) + 0.5 * xd * (1.0 - t**2) * d_inner
+        return (g * grad,)
+
+    return Tensor._make(out, (x,), backward)
+
+
+def layer_norm(
+    x: Tensor,
+    gain: Optional[Tensor] = None,
+    bias: Optional[Tensor] = None,
+    axis: int = -1,
+    eps: float = 1e-5,
+) -> Tensor:
+    """LayerNorm over ``axis`` with optional affine parameters."""
+    mu = x.mean(axis=axis, keepdims=True)
+    centered = x - mu
+    var = (centered * centered).mean(axis=axis, keepdims=True)
+    out = centered * (var + eps) ** -0.5
+    if gain is not None:
+        out = out * gain
+    if bias is not None:
+        out = out + bias
+    return out
+
+
 def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator) -> Tensor:
     """Inverted dropout; identity when ``not training`` or ``p == 0``."""
     if not training or p <= 0:

@@ -22,6 +22,8 @@ __all__ = [
     "Linear",
     "BatchNorm2d",
     "ReLU",
+    "GELU",
+    "Softmax",
     "MaxPool2d",
     "AvgPool2d",
     "GlobalAvgPool2d",
@@ -134,6 +136,34 @@ class ReLU(Module):
 
     def __repr__(self) -> str:  # pragma: no cover
         return "ReLU()"
+
+
+class GELU(Module):
+    """Exact tanh-form GELU — replaced by a dense-polynomial PAF under FHE."""
+
+    is_nonpolynomial = True
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.gelu(x)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "GELU()"
+
+
+class Softmax(Module):
+    """Exact softmax — replaced by the mean-stabilised PAF under FHE."""
+
+    is_nonpolynomial = True
+
+    def __init__(self, axis: int = -1):
+        super().__init__()
+        self.axis = axis
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.softmax(x, axis=self.axis)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Softmax(axis={self.axis})"
 
 
 class MaxPool2d(Module):

@@ -2,9 +2,12 @@
 
 from repro.nn.models.resnet import BasicBlock, ResNet18, resnet18
 from repro.nn.models.simple import MLP, SmallCNN, mlp, small_cnn
+from repro.nn.models.transformer import ToyTransformer, toy_transformer
 from repro.nn.models.vgg import VGG19, vgg19
 
 __all__ = [
+    "ToyTransformer",
+    "toy_transformer",
     "BasicBlock",
     "ResNet18",
     "resnet18",

@@ -36,8 +36,25 @@ from repro.paf.minimax import (
     minimax_composite,
     remez_odd_sign,
 )
-from repro.paf.polynomial import CompositePAF, OddPolynomial, mult_depth_of_degree
+from repro.paf.polynomial import (
+    CompositePAF,
+    OddPolynomial,
+    Polynomial,
+    mult_depth_of_degree,
+)
 from repro.paf.quadratic import QuadraticReLU, hermite_quadratic_coeffs, quadratic_relu
+from repro.paf.transformer import (
+    RangeReducedExp,
+    affine_recip_init,
+    exp_paf,
+    fit_polynomial,
+    gelu_paf,
+    gelu_reference,
+    newton_recip,
+    paf_layer_norm,
+    paf_softmax,
+    rsqrt_paf,
+)
 from repro.paf.relu import (
     maxpool_mult_depth,
     paf_max,
@@ -83,4 +100,15 @@ __all__ = [
     "QuadraticReLU",
     "hermite_quadratic_coeffs",
     "quadratic_relu",
+    "Polynomial",
+    "fit_polynomial",
+    "RangeReducedExp",
+    "exp_paf",
+    "gelu_reference",
+    "gelu_paf",
+    "rsqrt_paf",
+    "affine_recip_init",
+    "newton_recip",
+    "paf_softmax",
+    "paf_layer_norm",
 ]

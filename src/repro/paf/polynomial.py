@@ -22,6 +22,7 @@ import numpy as np
 
 __all__ = [
     "OddPolynomial",
+    "Polynomial",
     "CompositePAF",
     "mult_depth_of_degree",
 ]
@@ -146,6 +147,95 @@ class OddPolynomial:
             f"{c:+.6g}*x^{2 * i + 1}" for i, c in enumerate(self.coeffs)
         )
         return f"OddPolynomial<{label}, deg={self.degree}>({terms})"
+
+
+@dataclass(frozen=True)
+class Polynomial:
+    """A dense (general, non-odd) polynomial with a declared domain.
+
+    The approximation tier beyond ``sign``-composites: exp, GELU and
+    rsqrt fits are general polynomials (they need even powers and a
+    constant term), stored by their full coefficient vector
+
+        p(x) = c_0 + c_1 x + ... + c_d x^d
+
+    together with the ``interval`` the fit is valid over — the domain
+    contract that :func:`repro.fhe.ir.propagate_intervals` checks
+    against the data a layer can actually see.
+
+    Parameters
+    ----------
+    coeffs:
+        ``(c_0, c_1, ..., c_d)`` — coefficient of ``x**i`` at index
+        ``i``; the leading coefficient must be nonzero.
+    interval:
+        ``(lo, hi)`` domain the approximation is declared over.
+    name:
+        Optional label (e.g. ``"exp"``, ``"gelu"``).
+    """
+
+    coeffs: tuple = field()
+    interval: tuple = field()
+    name: str = ""
+
+    def __init__(self, coeffs: Iterable[float], interval=(-1.0, 1.0), name: str = ""):
+        coeffs = tuple(float(c) for c in coeffs)
+        if len(coeffs) < 2:
+            raise ValueError("Polynomial needs degree >= 1 (two coefficients)")
+        if coeffs[-1] == 0.0:
+            raise ValueError("leading coefficient must be nonzero (trim first)")
+        lo, hi = (float(interval[0]), float(interval[1]))
+        if not lo < hi:
+            raise ValueError(f"interval must satisfy lo < hi, got ({lo}, {hi})")
+        object.__setattr__(self, "coeffs", coeffs)
+        object.__setattr__(self, "interval", (lo, hi))
+        object.__setattr__(self, "name", name)
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @property
+    def degree(self) -> int:
+        return len(self.coeffs) - 1
+
+    @property
+    def mult_depth(self) -> int:
+        """Depth under exponentiation by squaring: ``ceil(log2(d + 1))``."""
+        return mult_depth_of_degree(self.degree)
+
+    def contains(self, interval) -> bool:
+        """Whether a propagated data interval sits inside the fit domain."""
+        return self.interval[0] <= interval[0] and interval[1] <= self.interval[1]
+
+    # ------------------------------------------------------------------
+    # evaluation / transforms
+    # ------------------------------------------------------------------
+    def __call__(self, x):
+        """Evaluate at ``x`` (scalar or ndarray) by Horner's rule."""
+        x = np.asarray(x, dtype=np.float64)
+        acc = np.full_like(x, self.coeffs[-1])
+        for c in self.coeffs[-2::-1]:
+            acc = acc * x + c
+        return acc
+
+    def scaled_input(self, scale: float) -> "Polynomial":
+        """Return ``q`` with ``q(x) = p(x / scale)`` (interval rescaled)."""
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        new = [c / scale**i for i, c in enumerate(self.coeffs)]
+        lo, hi = self.interval
+        return Polynomial(new, interval=(lo * scale, hi * scale), name=self.name)
+
+    def scaled_output(self, scale: float) -> "Polynomial":
+        """Return ``q`` with ``q(x) = scale * p(x)``."""
+        return Polynomial(
+            [scale * c for c in self.coeffs], interval=self.interval, name=self.name
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = self.name or "poly"
+        lo, hi = self.interval
+        return f"Polynomial<{label}, deg={self.degree}, domain=[{lo:.3g}, {hi:.3g}]>"
 
 
 class CompositePAF:

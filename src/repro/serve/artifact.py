@@ -7,10 +7,11 @@ pure waste, since the model weights never change and a fixed network
 visits each linear layer at one deterministic ``(level, scale)`` pair.
 
 :class:`ModelArtifact` wraps a compiled
-:class:`~repro.fhe.network.EncryptedNetwork` — an MLP from
-:func:`~repro.fhe.network.compile_mlp` or a CNN from
-:func:`~repro.fhe.cnn.compile_cnn`; pool masks and affine vectors ride
-the activation-constant cache below — with two caches keyed on
+:class:`~repro.fhe.network.EncryptedNetwork` — any model lowered by
+:func:`~repro.fhe.ir.compile_network` (MLP, CNN, sharded ResNet or
+transformer; :meth:`ModelArtifact.compile` runs that compile and wraps
+in one step); pool masks and affine vectors ride the
+activation-constant cache below — with two caches keyed on
 ``(value digest, level, scale)``:
 
 * the explicit diagonal/bias path — :meth:`ModelArtifact.encoded_linear`
@@ -38,6 +39,7 @@ from __future__ import annotations
 
 import hashlib
 import pickle
+import warnings
 from collections import OrderedDict
 from threading import Lock
 
@@ -46,7 +48,7 @@ import numpy as np
 from repro.ckks.encoder import Plaintext
 from repro.ckks.evaluator import CkksEvaluator
 from repro.ckks.rns import RnsPoly
-from repro.fhe.network import EncryptedNetwork, compile_mlp
+from repro.fhe.network import EncryptedNetwork
 
 __all__ = ["PlaintextCache", "CachingEncoder", "ModelArtifact", "ArtifactMismatchError"]
 
@@ -193,37 +195,82 @@ class ModelArtifact:
             model.ev.encoder = CachingEncoder(base_encoder, self.cache)
 
     @classmethod
-    def compile(cls, nn_model, params, seed: int = 0, **kwargs) -> "ModelArtifact":
-        """``compile_mlp`` + wrap, in one step."""
-        return cls(compile_mlp(nn_model, params, seed=seed), **kwargs)
+    def compile(
+        cls,
+        nn_model,
+        params,
+        seed: int = 0,
+        *,
+        input_shape: tuple | None = None,
+        num_shards: int | None = None,
+        reference_keys: bool = False,
+        fold_bn: bool = True,
+        **kwargs,
+    ) -> "ModelArtifact":
+        """:func:`repro.fhe.ir.compile_network` + wrap, in one step.
+
+        The single serving-side compile entry: dispatches on the model's
+        module tree exactly like ``compile_network`` — Linear/PAF stacks
+        to the MLP lowering, conv stacks to the CNN lowering (needs
+        ``input_shape``), residual nets to the sharded ResNet lowering,
+        transformers to the token-sharded attention lowering.  A sharded
+        compile yields an artifact whose :meth:`forward` takes and
+        returns shard *lists*, with every per-shard-pair diagonal block
+        (including merge projections, keyed at the skip branch's level)
+        pre-encoded through the same cache.  Remaining ``kwargs`` go to
+        the :class:`ModelArtifact` constructor.
+        """
+        from repro.fhe.ir import compile_network
+
+        return cls(
+            compile_network(
+                nn_model,
+                params,
+                input_shape=input_shape,
+                num_shards=num_shards,
+                seed=seed,
+                reference_keys=reference_keys,
+                fold_bn=fold_bn,
+            ),
+            **kwargs,
+        )
 
     @classmethod
     def compile_cnn(
         cls, nn_model, input_shape, params, seed: int = 0, **kwargs
     ) -> "ModelArtifact":
-        """``repro.fhe.cnn.compile_cnn`` + wrap, in one step."""
-        from repro.fhe.cnn import compile_cnn
-
-        return cls(compile_cnn(nn_model, input_shape, params, seed=seed), **kwargs)
+        """Deprecated spelling of :meth:`compile` with ``input_shape=``."""
+        warnings.warn(
+            "ModelArtifact.compile_cnn is deprecated; use "
+            "ModelArtifact.compile(model, params, input_shape=...) — the "
+            "unified entry dispatches on the model type",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return cls.compile(
+            nn_model, params, seed=seed, input_shape=input_shape, **kwargs
+        )
 
     @classmethod
     def compile_resnet(
         cls, nn_model, input_shape, params, num_shards: int = 2,
         seed: int = 0, **kwargs,
     ) -> "ModelArtifact":
-        """``repro.fhe.cnn.compile_resnet`` + wrap, in one step.
-
-        The wrapped network runs multi-ciphertext: :meth:`forward` takes
-        and returns shard *lists*, and every per-shard-pair diagonal
-        block (including merge projections, keyed at the skip branch's
-        level) is pre-encoded through the same cache.
-        """
-        from repro.fhe.cnn import compile_resnet
-
-        return cls(
-            compile_resnet(
-                nn_model, input_shape, params, num_shards=num_shards, seed=seed
-            ),
+        """Deprecated spelling of :meth:`compile` with ``num_shards=``."""
+        warnings.warn(
+            "ModelArtifact.compile_resnet is deprecated; use "
+            "ModelArtifact.compile(model, params, input_shape=..., "
+            "num_shards=...) — the unified entry dispatches on the model "
+            "type",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return cls.compile(
+            nn_model,
+            params,
+            seed=seed,
+            input_shape=input_shape,
+            num_shards=num_shards,
             **kwargs,
         )
 

@@ -58,6 +58,28 @@ class UnknownModelError(KeyError):
     """A request named a model this server does not host."""
 
 
+def _as_artifact(model, params) -> ModelArtifact:
+    """Normalise anything the server accepts into a :class:`ModelArtifact`.
+
+    Artifacts pass through; compiled networks are wrapped; an
+    *uncompiled* ``repro.nn`` module is compiled through the unified
+    :meth:`ModelArtifact.compile` entry (which dispatches on the model
+    type) — that path needs the server's ``params``.
+    """
+    if isinstance(model, ModelArtifact):
+        return model
+    from repro.nn.module import Module
+
+    if isinstance(model, Module):
+        if params is None:
+            raise ValueError(
+                "an uncompiled repro.nn model needs params= — the server "
+                "compiles it via ModelArtifact.compile(model, params)"
+            )
+        return ModelArtifact.compile(model, params)
+    return ModelArtifact(model)
+
+
 @dataclass(frozen=True)
 class InferenceResult:
     """What a client gets back for one request."""
@@ -76,9 +98,12 @@ class InferenceServer:
     Parameters
     ----------
     model:
-        A :class:`ModelArtifact`, a bare :class:`EncryptedMLP` (wrapped
-        automatically), or a ``{name: artifact-or-network}`` dict to
-        serve several models from one worker pool.
+        A :class:`ModelArtifact`, a bare compiled
+        :class:`~repro.fhe.network.EncryptedNetwork` (wrapped
+        automatically), an *uncompiled* ``repro.nn`` module (compiled
+        through :meth:`ModelArtifact.compile` — requires ``params``),
+        or a ``{name: any-of-those}`` dict to serve several models from
+        one worker pool.
     num_classes:
         Logit count demultiplexed per client — an int (shared) or a
         ``{model_name: int}`` dict.
@@ -110,6 +135,10 @@ class InferenceServer:
         matvec zeroes it).  Garbage there — the signature of a
         key-mismatch submission — fails the batch with
         :class:`KeyMismatchError`.  ``None`` disables the check.
+    params:
+        :class:`~repro.ckks.params.CkksParams` used to compile any
+        *uncompiled* ``repro.nn`` models passed in ``model`` (ignored
+        for artifacts and already-compiled networks).
     instrument / trace / warm:
         As before: op counting, execution tracing, cache warm-up.
 
@@ -139,17 +168,16 @@ class InferenceServer:
         fault_injector: FaultInjector | None = None,
         shard_executor=None,
         integrity_tol: float | None = 0.25,
+        params=None,
     ):
         if isinstance(model, dict):
             if not model:
                 raise ValueError("need at least one model to serve")
             self.artifacts = {
-                name: (m if isinstance(m, ModelArtifact) else ModelArtifact(m))
-                for name, m in model.items()
+                name: _as_artifact(m, params) for name, m in model.items()
             }
         else:
-            wrapped = model if isinstance(model, ModelArtifact) else ModelArtifact(model)
-            self.artifacts = {DEFAULT_MODEL: wrapped}
+            self.artifacts = {DEFAULT_MODEL: _as_artifact(model, params)}
         #: back-compat single-model aliases (None when serving several)
         self.artifact = (
             next(iter(self.artifacts.values())) if len(self.artifacts) == 1 else None

@@ -10,7 +10,12 @@ because keygen plus one encrypted forward is seconds, not milliseconds.
 
 import pytest
 
-from repro.fhe.toy import compiled_toy, compiled_toy_cnn, compiled_toy_resnet
+from repro.fhe.toy import (
+    compiled_toy,
+    compiled_toy_cnn,
+    compiled_toy_resnet,
+    compiled_toy_transformer,
+)
 
 
 @pytest.fixture(scope="session")
@@ -29,6 +34,14 @@ def toy_plain_enc():
 def toy_cnn():
     """(plain model, compiled EncryptedNetwork) — the trained 2-conv CNN."""
     return compiled_toy_cnn(with_model=True)
+
+
+@pytest.fixture(scope="session")
+def toy_transformer():
+    """(PAF-approximated plain model, compiled EncryptedNetwork) — the
+    trained single-block toy transformer, with naive Galois keys for
+    the reference differential."""
+    return compiled_toy_transformer(with_model=True, reference_keys=True)
 
 
 @pytest.fixture(scope="session")

@@ -164,8 +164,8 @@ class TestEndToEndNetwork:
         xs = rng.normal(size=(batch, 8))
         ct = enc.encrypt_batch(xs)
         bsgs = enc.decrypt_logits(enc.forward(ct), 3, batch=batch)
-        naive = enc.decrypt_logits(enc.forward(ct, reference=True), 3, batch=batch)
-        # reference=True also swaps the activation path (ladder instead of
+        naive = enc.decrypt_logits(enc.forward(ct, mode="reference"), 3, batch=batch)
+        # mode="reference" also swaps the activation path (ladder instead of
         # Paterson–Stockmeyer), whose noise differs slightly — the bar is
         # wider than the matvec-only 1e-3 (activation differentials are
         # pinned tightly in tests/fhe/test_paf_eval.py)
@@ -180,7 +180,7 @@ class TestEndToEndNetwork:
         enc = compiled
         ct = enc.encrypt_batch([np.zeros(8)])
         with pytest.raises(ValueError):
-            enc.forward(ct, encoded=lambda *a: None, reference=True)
+            enc.forward(ct, encoded=lambda *a: None, mode="reference")
 
     def test_production_compile_drops_reference_diagonals(self, toy_plain_enc):
         """Without reference_keys, BSGS layers keep only their pre-rotated
@@ -192,4 +192,4 @@ class TestEndToEndNetwork:
             assert i in enc.linear_groups
             assert i not in enc.linear_diagonals
         with pytest.raises(ValueError, match="reference_keys"):
-            enc.forward(enc.encrypt_batch([np.zeros(8)]), reference=True)
+            enc.forward(enc.encrypt_batch([np.zeros(8)]), mode="reference")

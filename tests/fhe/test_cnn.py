@@ -335,7 +335,7 @@ class TestEncryptedDifferentials:
         np.testing.assert_allclose(got, ref, atol=2e-3)
 
     def test_reference_pool_path_matches_planned(self):
-        """reference=True rotates one by one — same values, same sums."""
+        """mode="reference" rotates one by one — same values, same sums."""
         rng = np.random.default_rng(3)
         model = _mini_paf_net(
             Conv2d(1, 1, 3, padding=1, rng=rng), AvgPool2d(2),
@@ -346,7 +346,7 @@ class TestEncryptedDifferentials:
         x = rng.normal(size=16)
         planned = enc.decrypt_logits(enc.forward(enc.encrypt_input(x)), 2)
         reference = enc.decrypt_logits(
-            enc.forward(enc.encrypt_input(x), reference=True), 2
+            enc.forward(enc.encrypt_input(x), mode="reference"), 2
         )
         np.testing.assert_allclose(planned, reference, atol=1e-4)
 
@@ -443,7 +443,7 @@ class TestToyCnnEndToEnd:
     def test_level_schedule_consumed_exactly(self, toy_cnn):
         _, enc = toy_cnn
         ct = enc.forward(enc.encrypt_input(np.zeros(64)))
-        depth_needed = sum(enc._layer_depth(layer) for layer in enc.layers)
+        depth_needed = sum(layer.level_cost() for layer in enc.layers)
         assert enc.ctx.max_level - ct.level == depth_needed == 10
 
     def test_layer_input_levels_match_kind_costs(self, toy_cnn):

@@ -1,0 +1,211 @@
+"""The typed graph IR: structure validation, intervals, round-trip.
+
+The api_redesign contract in three parts:
+
+* **structural validation**: residual taps/merges must pair like
+  brackets, projection merges need a main-branch level gap;
+* **domain-interval propagation**: the bounds each polynomial planner
+  checks its declared approximation domain against;
+* **round-trip equivalence**: the typed-IR executor against a pinned
+  straight-line twin of the pre-redesign string-``kind`` loop — same
+  caches, same primitives, same order.  Ciphertexts must be
+  bit-identical and :class:`CountingEvaluator` totals equal, in both
+  plan and reference modes: the redesign moved *dispatch*, not math.
+
+Plus the deprecation shims the redesign left behind (``EncryptedMLP``,
+boolean ``forward(reference=)``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.ckks.instrumentation import CountingEvaluator
+from repro.ckks.poly_eval import eval_paf_relu
+from repro.fhe.ir import (
+    AttentionNode,
+    Graph,
+    MatvecNode,
+    MergeNode,
+    PafNode,
+    PolyNode,
+    ResidualTapNode,
+    propagate_intervals,
+)
+from repro.fhe.linear import encrypted_matvec, encrypted_matvec_bsgs
+from repro.paf.polynomial import Polynomial
+
+
+def _eye_node(size=4):
+    return MatvecNode(weight=np.eye(size))
+
+
+# ----------------------------------------------------------------------
+# structural validation
+# ----------------------------------------------------------------------
+class TestGraphValidation:
+    def test_total_depth_sums_level_costs(self):
+        g = Graph([_eye_node(), PolyNode(poly=Polynomial((0.0, 1.0, 1.0)))], size=4)
+        assert g.total_depth() == 1 + 2
+
+    def test_merge_without_tap_rejected(self):
+        with pytest.raises(ValueError, match="no open residual tap"):
+            Graph([_eye_node(), MergeNode(tap=0)], size=4)
+
+    def test_unmerged_tap_rejected(self):
+        with pytest.raises(ValueError, match="never merged"):
+            Graph([ResidualTapNode(), _eye_node()], size=4)
+
+    def test_projection_merge_needs_level_gap(self):
+        proj = MergeNode(tap=0, blocks=[[np.eye(4)]])
+        with pytest.raises(ValueError, match="depth of >= 1"):
+            Graph([ResidualTapNode(), proj], size=4)
+
+    def test_balanced_residual_accepted(self):
+        g = Graph(
+            [ResidualTapNode(), _eye_node(), MergeNode(tap=0)], size=4
+        )
+        assert g.total_depth() == 1
+
+    def test_input_levels_descend_by_cost(self):
+        g = Graph([_eye_node(), PolyNode(poly=Polynomial((0.0, 1.0, 1.0)))], size=4)
+        levels = g.input_levels(10)
+        assert levels == {0: 10, 1: 9}
+
+
+# ----------------------------------------------------------------------
+# domain-interval propagation
+# ----------------------------------------------------------------------
+class TestIntervalPropagation:
+    def test_matvec_interval_is_row_wise_bound(self):
+        w = np.array([[1.0, -2.0], [0.5, 0.5]])
+        node = MatvecNode(weight=w)
+        g = Graph([node], size=2)
+        (got,) = propagate_intervals(g, (-1.0, 1.0))
+        # row 0: |1| + |-2| = 3 → [-3, 3]; row 1 tighter
+        assert got == (-3.0, 3.0)
+
+    def test_poly_interval_is_range_over_domain(self):
+        node = PolyNode(poly=Polynomial((0.0, 0.0, 1.0)))  # x^2
+        g = Graph([node], size=2)
+        (got,) = propagate_intervals(g, (-2.0, 1.0))
+        # grid-sampled range: the minimum lands near (not exactly on) 0
+        assert got[0] == pytest.approx(0.0, abs=1e-5)
+        assert got[1] == pytest.approx(4.0)
+
+    def test_intervals_recorded_on_nodes(self):
+        node = _eye_node(2)
+        g = Graph([node], size=2)
+        propagate_intervals(g, (-1.5, 2.5))
+        assert node.interval == (-1.5, 2.5)
+
+    def test_attention_bounded_by_projected_values(self, toy_transformer):
+        _, enc = toy_transformer
+        att = next(n for n in enc.graph.nodes if isinstance(n, AttentionNode))
+        propagate_intervals(enc.graph, (-3.0, 3.0))
+        lo, hi = att.interval
+        assert lo < 0 < hi and hi - lo < 200.0  # finite, conservative
+
+
+# ----------------------------------------------------------------------
+# round-trip equivalence vs the pre-redesign execution order
+# ----------------------------------------------------------------------
+def _legacy_forward(enc, ct, ev, reference=False):
+    """Straight-line twin of the pre-redesign string-``kind`` loop.
+
+    Pinned copy of the old ``EncryptedNetwork.forward`` body for
+    linear/paf stacks (the only kinds the pre-IR MLP path executed):
+    replicate-then-matvec per linear layer, ``eval_paf_relu`` per
+    activation, reading the same compiled caches the IR executor reads.
+    """
+    for i, node in enumerate(enc.graph.nodes):
+        if isinstance(node, MatvecNode):
+            if i > 0:
+                ct = enc._replicate(ct, ev)
+            bsgs = enc.matvec_plans[i].use_bsgs and not reference
+            bias_slots = enc.linear_bias_slots.get(i)
+            if bsgs:
+                ct = encrypted_matvec_bsgs(
+                    ev, ct, groups=enc.linear_groups[i], bias_slots=bias_slots
+                )
+            else:
+                ct = encrypted_matvec(
+                    ev, ct, diagonals=enc.linear_diagonals[i], bias_slots=bias_slots
+                )
+        elif isinstance(node, PafNode):
+            ct = eval_paf_relu(
+                ev,
+                ct,
+                node.paf,
+                scale=node.scale,
+                plan=enc.paf_plans[i],
+                reference=reference,
+            )
+        else:  # pragma: no cover - the MLP graph has no other kinds
+            raise AssertionError(f"unexpected node {type(node).__name__}")
+    return ct
+
+
+def _assert_bit_identical(a, b):
+    assert a.level == b.level and a.scale == b.scale
+    assert np.array_equal(a.c0.data, b.c0.data)
+    assert np.array_equal(a.c1.data, b.c1.data)
+
+
+class TestRoundTripEquivalence:
+    @pytest.mark.parametrize("mode", ["plan", "reference"])
+    def test_ir_executor_bit_identical_to_legacy(self, toy_reference_enc, mode):
+        enc = toy_reference_enc
+        rng = np.random.default_rng(7)
+        ct = enc.encrypt_input(rng.normal(0.0, 1.0, 8))
+        reference = mode == "reference"
+
+        counting_ir = CountingEvaluator(enc.ev)
+        out_ir = enc.forward(ct, ev=counting_ir, mode=mode)
+
+        counting_legacy = CountingEvaluator(enc.ev)
+        out_legacy = _legacy_forward(enc, ct, counting_legacy, reference=reference)
+
+        _assert_bit_identical(out_ir, out_legacy)
+        assert counting_ir.counts == counting_legacy.counts
+
+    def test_decrypted_logits_agree_across_modes(self, toy_reference_enc):
+        enc = toy_reference_enc
+        rng = np.random.default_rng(8)
+        x = rng.normal(0.0, 1.0, 8)
+        ct = enc.encrypt_input(x)
+        lp = enc.ev.decrypt(enc.forward(ct, mode="plan"), num_values=3)
+        lr = enc.ev.decrypt(enc.forward(ct, mode="reference"), num_values=3)
+        np.testing.assert_allclose(lp, lr, rtol=1e-3, atol=1e-3)
+
+
+# ----------------------------------------------------------------------
+# deprecation shims
+# ----------------------------------------------------------------------
+class TestDeprecationShims:
+    def test_encrypted_mlp_alias_warns(self):
+        import repro.fhe.network as network
+
+        with pytest.warns(DeprecationWarning, match="EncryptedMLP"):
+            alias = network.EncryptedMLP
+        assert alias is network.EncryptedNetwork
+
+    def test_boolean_reference_kwarg_warns(self, toy_reference_enc):
+        enc = toy_reference_enc
+        ct = enc.encrypt_input(np.zeros(8))
+        with pytest.warns(DeprecationWarning, match="mode="):
+            out = enc.forward(ct, reference=True)
+        want = enc.forward(ct, mode="reference")
+        _assert_bit_identical(out, want)
+
+    def test_mode_and_reference_together_rejected(self, toy_reference_enc):
+        enc = toy_reference_enc
+        ct = enc.encrypt_input(np.zeros(8))
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="not both"):
+                enc.forward(ct, mode="plan", reference=False)
+
+    def test_unknown_mode_rejected(self, toy_reference_enc):
+        enc = toy_reference_enc
+        ct = enc.encrypt_input(np.zeros(8))
+        with pytest.raises(ValueError, match="mode must be"):
+            enc.forward(ct, mode="naive")

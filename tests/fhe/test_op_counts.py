@@ -168,7 +168,7 @@ class TestNetworkOpCounts:
 
     def test_naive_forward_exact_counts(self, compiled):
         """Reference everywhere: naive diagonal loop + ladder activation."""
-        counting = self._forward_counts(compiled, reference=True)
+        counting = self._forward_counts(compiled, mode="reference")
         assert dict(counting.counts) == {
             "rotate": 15,           # 7 per dense 8-wide layer + 1 replication
             "mul_plain": 21,
@@ -183,7 +183,7 @@ class TestNetworkOpCounts:
 
     def test_planned_forward_saves_keyswitches_end_to_end(self, compiled):
         bsgs = self._forward_counts(compiled)
-        naive = self._forward_counts(compiled, reference=True)
+        naive = self._forward_counts(compiled, mode="reference")
         # BSGS cuts rotations AND the PS activation cuts relin keyswitches
         assert bsgs.keyswitch_count < naive.keyswitch_count
         assert bsgs.nonscalar_mult_count < naive.nonscalar_mult_count

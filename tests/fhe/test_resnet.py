@@ -35,7 +35,8 @@ from repro.fhe.latency import (
     sharded_matvec_op_counts,
 )
 from repro.fhe.linear import grouped_diagonals, shard_hoist_steps
-from repro.fhe.network import EncryptedNetwork, _Layer
+from repro.fhe.ir import MatvecNode, MergeNode, PoolNode, ResidualTapNode
+from repro.fhe.network import EncryptedNetwork
 from repro.fhe.packing import GridLayout, MultiGridLayout
 from repro.nn import functional as F
 from repro.nn.layers import (
@@ -203,7 +204,7 @@ class TestShardedConvLowering:
 # ----------------------------------------------------------------------
 def _eater():
     """A level-eater layer: masked identity multiply, one level, no rotation."""
-    return _Layer(kind="pool", shifts=((), ()), pool_scale=1.0)
+    return PoolNode(shifts=((), ()), pool_scale=1.0)
 
 
 class TestLevelAlignment:
@@ -213,12 +214,12 @@ class TestLevelAlignment:
         the skip aligns to the main branch exactly, the output is
         ``2·x``, and the merge consumes no level of its own."""
         size = 8
-        layers = [_Layer(kind="linear", blocks=[[np.eye(size)]])]
-        layers.append(_Layer(kind="residual"))
+        layers = [MatvecNode(blocks=[[np.eye(size)]])]
+        layers.append(ResidualTapNode())
         tap = len(layers) - 1
         for _ in range(gap):
             layers.append(_eater())
-        layers.append(_Layer(kind="merge", tap=tap))
+        layers.append(MergeNode(tap=tap))
         enc = EncryptedNetwork(layers, size=size, params=MINI_PARAMS, seed=0)
         x = np.random.default_rng(gap).normal(size=size)
         out = enc.forward_shards(enc.encrypt_batch_shards([x]))
@@ -233,12 +234,12 @@ class TestLevelAlignment:
         size = 4
         eye = np.eye(size)
         blocks = [[eye, None], [None, eye]]
-        layers = [_Layer(kind="linear", blocks=[row[:] for row in blocks])]
-        layers.append(_Layer(kind="residual"))
+        layers = [MatvecNode(blocks=[row[:] for row in blocks])]
+        layers.append(ResidualTapNode())
         tap = len(layers) - 1
         for _ in range(gap):
             layers.append(_eater())
-        layers.append(_Layer(kind="merge", tap=tap))
+        layers.append(MergeNode(tap=tap))
         enc = EncryptedNetwork(
             layers, size=size, params=MINI_PARAMS, seed=0, input_shards=2
         )
@@ -256,9 +257,9 @@ class TestLevelAlignment:
         into alignment — rejected at construction."""
         size = 4
         layers = [
-            _Layer(kind="linear", blocks=[[np.eye(size)]]),
-            _Layer(kind="residual"),
-            _Layer(kind="merge", blocks=[[np.eye(size)]], tap=1),
+            MatvecNode(blocks=[[np.eye(size)]]),
+            ResidualTapNode(),
+            MergeNode(blocks=[[np.eye(size)]], tap=1),
         ]
         with pytest.raises(ValueError, match="projection skip needs"):
             EncryptedNetwork(layers, size=size, params=MINI_PARAMS, seed=0)
@@ -267,21 +268,21 @@ class TestLevelAlignment:
         """An output shard whose every weight block is zero fails at
         compile (like the single-ct all-zero-weight rejection), not on
         the first encrypted forward."""
-        layers = [_Layer(kind="linear", blocks=[[np.zeros((4, 4))]])]
+        layers = [MatvecNode(blocks=[[np.zeros((4, 4))]])]
         with pytest.raises(ValueError, match="no nonzero block"):
             EncryptedNetwork(layers, size=4, params=MINI_PARAMS, seed=0)
 
     def test_unbalanced_taps_rejected(self):
         size = 4
         layers = [
-            _Layer(kind="linear", blocks=[[np.eye(size)]]),
-            _Layer(kind="residual"),
+            MatvecNode(blocks=[[np.eye(size)]]),
+            ResidualTapNode(),
         ]
         with pytest.raises(ValueError, match="never merged"):
             EncryptedNetwork(layers, size=size, params=MINI_PARAMS, seed=0)
         with pytest.raises(ValueError, match="no open residual tap"):
             EncryptedNetwork(
-                [layers[0], _Layer(kind="merge", tap=0)],
+                [layers[0], MergeNode(tap=0)],
                 size=size, params=MINI_PARAMS, seed=0,
             )
 
@@ -534,7 +535,7 @@ class TestToyResnetEndToEnd:
     def test_level_schedule_consumed_exactly(self, toy_resnet):
         _, enc = toy_resnet
         out = enc.forward_shards(enc.encrypt_input_shards(np.zeros(64)))
-        depth_needed = enc._validate_schedule(enc.layers)
+        depth_needed = enc.graph.total_depth()
         assert enc.ctx.max_level - out[0].level == depth_needed == 31
 
     def test_galois_keys_cover_forward(self, toy_resnet):

@@ -257,3 +257,44 @@ class TestPersistence:
             pickle.dump({"format": "something-else", "entries": []}, fh)
         with pytest.raises(ArtifactMismatchError):
             ModelArtifact(enc).load_cache(path)
+
+
+class TestUnifiedCompile:
+    """``ModelArtifact.compile`` dispatches on model type; old names shim."""
+
+    def test_compile_dispatches_mlp_and_matches_direct(self, toy):
+        from repro.fhe.toy import TOY_PARAMS
+
+        model, enc = toy
+        art = ModelArtifact.compile(model, TOY_PARAMS, cache_activations=False)
+        assert [type(n) for n in art.model.graph.nodes] == [
+            type(n) for n in enc.graph.nodes
+        ]
+        x = np.linspace(-1, 1, 8)
+        got = art.model.ev.decrypt(
+            art.forward(art.model.encrypt_batch([x])), num_values=3
+        )
+        want = enc.ev.decrypt(enc.forward(enc.encrypt_batch([x])), num_values=3)
+        # independent compile -> fresh keys and encryption randomness;
+        # only the approximation, not the bits, is shared
+        np.testing.assert_allclose(got, want, atol=1e-3)
+
+    def test_compile_cnn_shim_warns_and_delegates(self, toy):
+        from repro.fhe.toy import TOY_PARAMS
+
+        model, _ = toy
+        with pytest.warns(DeprecationWarning, match="ModelArtifact.compile"):
+            art = ModelArtifact.compile_cnn(
+                model, (1, 8, 8), TOY_PARAMS, cache_activations=False
+            )
+        assert isinstance(art, ModelArtifact)
+
+    def test_compile_resnet_shim_warns_and_delegates(self, toy):
+        from repro.fhe.toy import TOY_PARAMS
+
+        model, _ = toy
+        with pytest.warns(DeprecationWarning, match="ModelArtifact.compile"):
+            art = ModelArtifact.compile_resnet(
+                model, (1, 8, 8), TOY_PARAMS, cache_activations=False
+            )
+        assert isinstance(art, ModelArtifact)

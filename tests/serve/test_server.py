@@ -258,3 +258,22 @@ class TestMultiTenantServing:
                 {"a": ModelArtifact(enc), "b": ModelArtifact(enc)},
                 num_classes={"a": 3},
             )
+
+
+class TestUncompiledModelRouting:
+    """A bare ``repro.nn`` module routes through ``ModelArtifact.compile``."""
+
+    def test_bare_module_compiles_and_serves(self, toy):
+        from repro.fhe.toy import TOY_PARAMS
+
+        model, _ = toy
+        with InferenceServer(
+            model, num_classes=3, params=TOY_PARAMS, warm=False, max_wait_ms=20
+        ) as srv:
+            res = srv.submit(np.zeros(8)).result()
+        assert res.logits.shape == (3,)
+
+    def test_bare_module_without_params_rejected(self, toy):
+        model, _ = toy
+        with pytest.raises(ValueError, match="params"):
+            InferenceServer(model, num_classes=3)
