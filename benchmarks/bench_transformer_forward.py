@@ -122,7 +122,11 @@ def from_opcounts(path: str) -> dict:
     When the summary was produced with ``--check-backends`` (its header
     records the verified backend names), a ``toy_transformer_vectorized``
     entry rides along with the same counts — op counts are
-    backend-invariant by the conformance gate.
+    backend-invariant by the conformance gate.  When the summary carries
+    the 2-block ``toy_transformer_stacked`` model (the refresh demo), a
+    ``bench_transformer_stacked`` record rides the trend ratchet too:
+    its model cost prices the auto-placed recrypt refresh's
+    decrypt/encrypt boundary ops alongside the usual keyswitch currency.
     """
     with open(path) as fh:
         payload = json.load(fh)
@@ -136,6 +140,14 @@ def from_opcounts(path: str) -> dict:
     out = {"models": {"toy_transformer": entry}}
     if "vectorized" in payload.get("backends", []):
         out["models"]["toy_transformer_vectorized"] = dict(entry, backend="vectorized")
+    stacked = payload["models"].get("toy_transformer_stacked")
+    if stacked is not None:
+        out["models"]["bench_transformer_stacked"] = {
+            "model_cost_seconds": round(model_cost_seconds(stacked["counts"]), 4),
+            "keyswitches": stacked["keyswitches"],
+            "nonscalar_mults": stacked["nonscalar_mults"],
+            "counts": stacked["counts"],
+        }
     return out
 
 

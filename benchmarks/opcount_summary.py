@@ -20,7 +20,10 @@ regression on any pinned model fails CI.
 ``--trace-dir DIR`` wraps each measured forward in a
 :class:`repro.obs.TracingEvaluator` and writes one execution trace
 (``repro-trace-v1`` JSON) per model — ``trace_toy_mlp.json``,
-``trace_toy_cnn.json``, ``trace_toy_resnet.json`` — which CI validates
+``trace_toy_cnn.json``, ``trace_toy_resnet.json``,
+``trace_toy_transformer.json``, ``trace_toy_transformer_stacked.json``
+(the refresh demo; its mid-chain level raise is legal only inside the
+``refresh:recrypt`` span) — which CI validates
 (``tools/check_trace.py``), slack-gates (``tools/check_slack.py``) and
 uploads as artifacts.  Tracing is non-perturbing, so the gated counts
 are identical with or without it.
@@ -41,6 +44,7 @@ from repro.fhe.toy import (
     compiled_toy_cnn,
     compiled_toy_resnet,
     compiled_toy_transformer,
+    compiled_toy_transformer_stacked,
 )
 from repro.obs import TracingEvaluator
 
@@ -295,6 +299,32 @@ def build_summary(trace_dir: str | None = None, check_backends: bool = False) ->
             transformer.ctx,
             lambda: measure_forward_shards(transformer, 32),
             models["toy_transformer"],
+        )
+
+    # --- stacked transformer: the depth-wall demo — two blocks cost
+    # ~64 raw levels against the same 33-level chain, so the compile
+    # succeeds only through the auto refresh policy (one exactness-gated
+    # recrypt refresh at the block boundary); its decrypt/encrypt counts
+    # are the refresh's client-boundary cost, gated like everything else ---
+    stacked = compiled_toy_transformer_stacked()
+    stacked_planned = measure_forward_shards(
+        stacked, 32, trace_path=_trace_to(trace_dir, "toy_transformer_stacked")
+    )
+    sections.append(
+        format_table(
+            _FORWARD_HEADER,
+            [forward_row("planned", stacked_planned)],
+            title="Measured op counts: one encrypted stacked-transformer "
+            "forward (2 blocks + auto-placed recrypt refresh between them)",
+        )
+    )
+    models["toy_transformer_stacked"] = gate_metrics(stacked_planned)
+    if check_backends:
+        verify_backend_invariance(
+            "toy_transformer_stacked",
+            stacked.ctx,
+            lambda: measure_forward_shards(stacked, 32),
+            models["toy_transformer_stacked"],
         )
 
     sections.append(activation_count_table())

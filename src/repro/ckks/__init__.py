@@ -5,6 +5,17 @@ embedding encoder, public-key encryption, RNS-digit hybrid keyswitching,
 rescaling, slot rotation, and depth-optimal PAF evaluation on ciphertexts.
 """
 
+from repro.ckks.bootstrap import (
+    RefreshPlan,
+    RefreshPrecisionError,
+    canonical_scale,
+    coeff_to_slot,
+    eval_mod,
+    mod_raise,
+    plan_refresh,
+    refresh,
+    slot_to_coeff,
+)
 from repro.ckks.backend import (
     KernelBackend,
     ReferenceBackend,
@@ -71,4 +82,13 @@ __all__ = [
     "ladder_nonscalar_mults",
     "SecurityReport",
     "security_report",
+    "RefreshPlan",
+    "RefreshPrecisionError",
+    "canonical_scale",
+    "coeff_to_slot",
+    "eval_mod",
+    "mod_raise",
+    "plan_refresh",
+    "refresh",
+    "slot_to_coeff",
 ]

@@ -377,6 +377,7 @@ def compile_cnn(
     seed: int = 0,
     reference_keys: bool = False,
     fold_bn: bool = True,
+    policy=None,
 ) -> EncryptedNetwork:
     """Compile a (PAF-approximated) conv net for encrypted inference.
 
@@ -397,6 +398,9 @@ def compile_cnn(
     plans.  ``reference_keys`` additionally generates the naive-path
     Galois keys (differential testing), exactly like :func:`compile_mlp`.
     """
+    if policy is not None:
+        seed, reference_keys = policy.seed, policy.reference_keys
+        fold_bn = policy.fold_bn
     if len(input_shape) != 3:
         raise ValueError(f"input_shape must be (C, H, W), got {input_shape}")
     ops = _op_sequence(model)
@@ -503,6 +507,7 @@ def compile_cnn(
         params=params,
         seed=seed,
         reference_keys=reference_keys,
+        policy=policy,
     )
 
 
@@ -513,6 +518,7 @@ def compile_resnet(
     num_shards: int = 2,
     seed: int = 0,
     reference_keys: bool = False,
+    policy=None,
 ) -> EncryptedNetwork:
     """Compile a (PAF-approximated) residual CNN to multi-ciphertext FHE.
 
@@ -543,6 +549,8 @@ def compile_resnet(
     linear) — the packed input carries its wraparound replica, and only
     a matvec re-establishes the replica-zero invariant taps rely on.
     """
+    if policy is not None:
+        seed, reference_keys = policy.seed, policy.reference_keys
     if len(input_shape) != 3:
         raise ValueError(f"input_shape must be (C, H, W), got {input_shape}")
     if num_shards < 1:
@@ -741,4 +749,5 @@ def compile_resnet(
         params=params,
         seed=seed,
         reference_keys=reference_keys,
+        policy=policy,
     )

@@ -54,6 +54,13 @@ node                      levels  executes as
                                   Newton reciprocal), probability-
                                   weighted value mixing and the output
                                   projection
+:class:`RefreshNode`      0*      exactness-gated level refresh
+                                  (:func:`repro.ckks.bootstrap.refresh`)
+                                  — *raises* the chain level back to the
+                                  top minus its ``pipeline_levels``
+                                  instead of consuming any, resetting
+                                  the depth budget for the nodes after
+                                  it (see ``docs/bootstrapping.md``)
 ========================  ======  ======================================
 
 The **level/scale metadata contract**: a node's :meth:`~IRNode.level_cost`
@@ -68,7 +75,8 @@ corrections and consume zero.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, replace as dc_replace
 
 import numpy as np
 
@@ -87,7 +95,10 @@ __all__ = [
     "MergeNode",
     "ReduceNode",
     "AttentionNode",
+    "RefreshNode",
     "Graph",
+    "CompilePolicy",
+    "apply_refresh_policy",
     "compile_network",
     "propagate_intervals",
 ]
@@ -313,6 +324,39 @@ class AttentionNode(IRNode):
 
 
 @dataclass
+class RefreshNode(IRNode):
+    """An exactness-gated level refresh (simplified CKKS bootstrapping).
+
+    Executes :func:`repro.ckks.bootstrap.refresh` under the plan the
+    network compiles for it: the ciphertext re-enters the schedule at
+    ``max_level - pipeline_levels`` regardless of how far it had
+    descended, and the decrypted values are gated to stay within
+    ``rtol`` of the pre-refresh values
+    (:class:`~repro.ckks.bootstrap.RefreshPrecisionError` on breach).
+
+    ``level_cost()`` is 0 on the *declared-consumption* axis the other
+    nodes use — a refresh never descends below where it starts — but
+    :meth:`Graph.validate` treats it as a schedule *reset*: the depth
+    requirement of a graph with refreshes is the maximum over the
+    segments between them, each post-refresh segment charged the
+    refresh's own ``pipeline_levels`` (0 for ``recrypt``, the full
+    CtS → EvalMod → StC pipeline for ``evalmod``).
+    """
+
+    kind = "refresh"
+    #: ``"recrypt"`` (decrypt/re-encrypt simulation, exact byte-identical
+    #: across backends) or ``"evalmod"`` (homomorphic CtS/EvalMod/StC)
+    method: str = "recrypt"
+    #: levels the refresh pipeline itself consumes below the top
+    pipeline_levels: int = 0
+    #: precision gate on the decrypted values (None = method default)
+    rtol: float | None = None
+
+    def level_cost(self) -> int:
+        return 0
+
+
+@dataclass
 class Graph:
     """A validated node sequence plus its packing geometry.
 
@@ -344,14 +388,25 @@ class Graph:
         return self.validate()
 
     def validate(self) -> int:
-        """Validate residual structure; return the main-chain depth.
+        """Validate residual structure; return the required chain depth.
 
         Taps and merges must pair up like brackets, and a merge whose
         skip branch carries a projection needs a main-branch gap of at
         least one level (the projection's own rescale descends through
         it; the alignment correction needs no level of its own).
+
+        A :class:`RefreshNode` resets the descent: the returned depth is
+        the maximum over the segments between refreshes, each
+        post-refresh segment charged the refresh's ``pipeline_levels``
+        up front (the refreshed ciphertext re-enters at ``max_level -
+        pipeline_levels``).  A refresh inside an open residual bracket
+        is rejected — the saved tap branch would sit *below* the
+        refreshed main branch and the merge's exact alignment could
+        never recover the gap.
         """
         level = 0
+        peak = 0
+        offset = 0  # pipeline levels charged at the current segment's start
         stack: list = []
         for i, node in enumerate(self.nodes):
             if isinstance(node, ResidualTapNode):
@@ -367,19 +422,36 @@ class Graph:
                         f"merge node {i}: projection skip needs a main-branch "
                         f"depth of >= 1 level, got {gap}"
                     )
+            elif isinstance(node, RefreshNode):
+                if stack:
+                    raise ValueError(
+                        f"refresh node {i} inside an open residual tap — "
+                        "refreshes are only legal between bracket pairs"
+                    )
+                peak = max(peak, offset + level)
+                level = 0
+                offset = node.pipeline_levels
             else:
                 level += node.level_cost()
         if stack:
             raise ValueError(f"{len(stack)} residual tap(s) never merged")
-        return level
+        return max(peak, offset + level)
 
     def input_levels(self, max_level: int) -> dict:
-        """Chain level at which the ciphertext enters each node."""
+        """Chain level at which the ciphertext enters each node.
+
+        A refresh re-enters the schedule at ``max_level -
+        pipeline_levels``; every other node descends by its
+        ``level_cost``.
+        """
         level = max_level
         levels = {}
         for i, node in enumerate(self.nodes):
             levels[i] = level
-            level -= node.level_cost()
+            if isinstance(node, RefreshNode):
+                level = max_level - node.pipeline_levels
+            else:
+                level -= node.level_cost()
         return levels
 
 
@@ -495,17 +567,185 @@ def propagate_intervals(graph: Graph, input_interval: tuple) -> list:
 
 
 # ----------------------------------------------------------------------
+# compile policy + refresh placement
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CompilePolicy:
+    """Everything a compile decides beyond the model and the CKKS params.
+
+    The single policy object accepted by :func:`compile_network` and
+    :meth:`repro.serve.artifact.ModelArtifact.compile` — it replaces the
+    former pile of loose keyword arguments (``input_shape`` /
+    ``num_shards`` / ``seed`` / ``reference_keys`` / ``fold_bn``), and
+    adds the refresh policy that decides how a model deeper than the
+    prime chain still compiles (``docs/bootstrapping.md``):
+
+    * ``refresh="auto"`` (default) — if the graph's required depth
+      exceeds the schedule, search insertion points greedily by level
+      slack (latest bracket-depth-0 boundary before each underflow) and
+      insert :class:`RefreshNode`\\ s there; a model that fits compiles
+      exactly as before, with no refresh.
+    * ``refresh="never"`` — never insert; a too-deep model fails to
+      compile (the pre-refresh behaviour).
+    * ``refresh=(i, j, ...)`` — explicit insertion points: refresh
+      *before* the node at each listed index of the lowered graph.
+
+    ``rtol=None`` leaves the precision gate at the refresh method's
+    default (1e-3 for ``recrypt``, 5e-2 for ``evalmod``); ``backend``
+    overrides the kernel backend the params name.
+    """
+
+    refresh: str | tuple = "auto"
+    refresh_method: str = "recrypt"
+    rtol: float | None = None
+    backend: str | None = None
+    input_shape: tuple | None = None
+    num_shards: int | None = None
+    seed: int = 0
+    reference_keys: bool = False
+    fold_bn: bool = True
+
+    def __post_init__(self):
+        if isinstance(self.refresh, list):
+            object.__setattr__(self, "refresh", tuple(self.refresh))
+        if isinstance(self.refresh, str):
+            if self.refresh not in ("auto", "never"):
+                raise ValueError(
+                    f'refresh must be "auto", "never" or explicit positions, '
+                    f"got {self.refresh!r}"
+                )
+        elif not (
+            isinstance(self.refresh, tuple)
+            and all(isinstance(p, int) and p >= 0 for p in self.refresh)
+        ):
+            raise ValueError(
+                f"explicit refresh positions must be non-negative node "
+                f"indices, got {self.refresh!r}"
+            )
+        if self.refresh_method not in ("recrypt", "evalmod"):
+            raise ValueError(
+                f'refresh_method must be "recrypt" or "evalmod", '
+                f"got {self.refresh_method!r}"
+            )
+
+
+def _auto_refresh_positions(nodes, max_level: int, pipeline_levels: int) -> list:
+    """Greedy insertion search: positions (pre-insertion indices) where a
+    refresh must run so the descent never underflows the chain.
+
+    Simulates the level descent from ``max_level``; on underflow,
+    inserts at the *last* bracket-depth-0 boundary seen (greedy by level
+    slack — refreshing as late as possible minimises the refresh count,
+    since every refresh buys the full ``max_level - pipeline_levels``
+    budget for the nodes after it) and replays.  Raises when a single
+    bracket-enclosed segment is deeper than the refreshed budget itself.
+    """
+    refreshed = max_level - pipeline_levels
+    if refreshed <= 0:
+        raise ValueError(
+            f"refresh pipeline consumes {pipeline_levels} levels — the whole "
+            f"depth-{max_level} schedule; deepen the chain"
+        )
+    positions: list = []
+    while True:
+        level = max_level
+        bracket = 0
+        boundary = None
+        underflow = None
+        for i, node in enumerate(nodes):
+            if i in positions:
+                level = refreshed
+            if bracket == 0 and level < refreshed and i not in positions:
+                boundary = i
+            if isinstance(node, ResidualTapNode):
+                bracket += 1
+            elif isinstance(node, MergeNode):
+                bracket -= 1
+            level -= node.level_cost()
+            if level < 0:
+                underflow = i
+                break
+        if underflow is None:
+            return positions
+        if boundary is None:
+            raise ValueError(
+                f"node {underflow} underflows the chain and no refresh "
+                f"boundary precedes it: one segment needs more than the "
+                f"refreshed budget of {refreshed} levels"
+            )
+        positions.append(boundary)
+
+
+def apply_refresh_policy(
+    graph: Graph,
+    max_level: int,
+    policy: CompilePolicy,
+    *,
+    pipeline_levels: int = 0,
+    rtol: float | None = None,
+) -> tuple:
+    """Insert :class:`RefreshNode`\\ s into ``graph`` per ``policy``.
+
+    ``pipeline_levels`` / ``rtol`` come from the compiled
+    :class:`~repro.ckks.bootstrap.RefreshPlan` (the caller plans once
+    per network).  Returns the inserted node indices (post-insertion);
+    merge ``tap`` indices at or after each insertion point shift by one,
+    and the placement is recorded in ``graph.metadata["refresh"]``.
+    """
+    if policy.refresh == "never":
+        return ()
+    if policy.refresh == "auto":
+        positions = _auto_refresh_positions(graph.nodes, max_level, pipeline_levels)
+    else:
+        positions = sorted(set(policy.refresh))
+        if any(p >= len(graph.nodes) for p in positions):
+            raise ValueError(
+                f"explicit refresh positions {positions} exceed the graph's "
+                f"{len(graph.nodes)} nodes"
+            )
+    if not positions:
+        return ()
+    positions = sorted(positions)
+    for node in graph.nodes:
+        if isinstance(node, MergeNode) and node.tap is not None:
+            node.tap += sum(1 for p in positions if p <= node.tap)
+    inserted = []
+    for n_before, p in enumerate(positions):
+        idx = p + n_before
+        graph.nodes.insert(
+            idx,
+            RefreshNode(
+                method=policy.refresh_method,
+                pipeline_levels=pipeline_levels,
+                rtol=rtol,
+            ),
+        )
+        inserted.append(idx)
+    graph.metadata["refresh"] = {
+        "method": policy.refresh_method,
+        "positions": list(inserted),
+        "pipeline_levels": pipeline_levels,
+    }
+    graph.validate()  # bracket structure + segment depths still coherent
+    return tuple(inserted)
+
+
+# ----------------------------------------------------------------------
 # the single compile entrypoint
 # ----------------------------------------------------------------------
+_UNSET = object()
+
+
 def compile_network(
     model,
     params,
     *,
-    input_shape: tuple | None = None,
-    num_shards: int | None = None,
-    seed: int = 0,
-    reference_keys: bool = False,
-    fold_bn: bool = True,
+    policy: CompilePolicy | None = None,
+    input_shape=_UNSET,
+    num_shards=_UNSET,
+    seed=_UNSET,
+    reference_keys=_UNSET,
+    fold_bn=_UNSET,
 ):
     """Compile any supported ``repro.nn`` model for encrypted inference.
 
@@ -517,28 +757,61 @@ def compile_network(
     * module trees containing residual ``BasicBlock``s -> the sharded
       ResNet lowering (needs ``input_shape``; ``num_shards`` defaults
       to 1);
-    * :class:`repro.nn.models.transformer.ToyTransformer` (attention +
-      MLP block) -> the token-sharded transformer lowering.
+    * transformer models (``is_transformer`` marker — one or more
+      attention + MLP blocks) -> the token-sharded transformer lowering.
+
+    Everything beyond the model and params rides in ``policy``
+    (:class:`CompilePolicy`) — packing geometry, seeds, reference keys,
+    BatchNorm folding, and the refresh policy that lets a model deeper
+    than the prime chain compile by inserting
+    :class:`RefreshNode`\\ s.  The loose keyword spellings
+    (``input_shape=``, ``num_shards=``, ``seed=``, ``reference_keys=``,
+    ``fold_bn=``) are deprecated shims for one release — they fold into
+    a policy and warn.
 
     Returns the compiled :class:`~repro.fhe.network.EncryptedNetwork`.
-    ``reference_keys`` additionally generates the Galois keys the naive
-    reference paths need (differential testing); ``fold_bn`` controls
-    BatchNorm folding on the CNN path.
     """
+    legacy = {
+        name: value
+        for name, value in (
+            ("input_shape", input_shape),
+            ("num_shards", num_shards),
+            ("seed", seed),
+            ("reference_keys", reference_keys),
+            ("fold_bn", fold_bn),
+        )
+        if value is not _UNSET
+    }
+    if legacy:
+        names = ", ".join(f"{k}=" for k in legacy)
+        warnings.warn(
+            f"compile_network({names}) is deprecated; pass "
+            f"policy=CompilePolicy({names}...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if policy is not None:
+            raise ValueError(
+                "pass either policy= or the deprecated loose kwargs, not both"
+            )
+        policy = CompilePolicy(**legacy)
+    if policy is None:
+        policy = CompilePolicy()
+    if policy.backend is not None and policy.backend != params.backend:
+        params = dc_replace(params, backend=policy.backend)
+
     from repro.nn.layers import Conv2d
 
     if getattr(model, "is_transformer", False):
         from repro.fhe.transformer import compile_transformer
 
-        return compile_transformer(
-            model, params, seed=seed, reference_keys=reference_keys
-        )
+        return compile_transformer(model, params, policy=policy)
     has_conv = any(isinstance(m, Conv2d) for _, m in model.named_modules())
     if not has_conv:
         from repro.fhe.network import compile_mlp
 
-        return compile_mlp(model, params, seed=seed, reference_keys=reference_keys)
-    if input_shape is None:
+        return compile_mlp(model, params, policy=policy)
+    if policy.input_shape is None:
         raise ValueError("convolutional models need input_shape=(C, H, W)")
     from repro.nn.models.resnet import BasicBlock
 
@@ -548,21 +821,19 @@ def compile_network(
 
         return compile_resnet(
             model,
-            input_shape,
+            policy.input_shape,
             params,
-            num_shards=num_shards or 1,
-            seed=seed,
-            reference_keys=reference_keys,
+            num_shards=policy.num_shards or 1,
+            policy=policy,
         )
-    if num_shards not in (None, 1):
+    if policy.num_shards not in (None, 1):
         raise ValueError("plain CNNs compile single-ciphertext (num_shards=1)")
     from repro.fhe.cnn import compile_cnn
 
     return compile_cnn(
         model,
-        input_shape,
+        policy.input_shape,
         params,
-        seed=seed,
-        reference_keys=reference_keys,
-        fold_bn=fold_bn,
+        fold_bn=policy.fold_bn,
+        policy=policy,
     )

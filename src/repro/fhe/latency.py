@@ -41,12 +41,14 @@ __all__ = [
     "analytic_pool_cost",
     "analytic_sharded_matvec_cost",
     "analytic_residual_merge_cost",
+    "analytic_refresh_cost",
     "paf_op_counts",
     "activation_op_counts",
     "matvec_op_counts",
     "pool_op_counts",
     "sharded_matvec_op_counts",
     "residual_merge_op_counts",
+    "refresh_op_counts",
 ]
 
 
@@ -79,7 +81,6 @@ def measure_relu_latency(
     paf: CompositePAF,
     params: CkksParams | None = None,
     repeats: int = 1,
-    reference: bool | None = None,
     *,
     mode: str | None = None,
 ) -> LatencyResult:
@@ -87,12 +88,13 @@ def measure_relu_latency(
 
     ``mode="reference"`` measures the term-by-term ladder path instead
     of the default Paterson–Stockmeyer plan (same depth, more nonscalar
-    mults) — ``benchmarks/bench_paf_eval.py`` sweeps both.  The boolean
-    ``reference=`` spelling is deprecated.
+    mults) — ``benchmarks/bench_paf_eval.py`` sweeps both.
     """
-    from repro.fhe.network import resolve_mode
-
-    reference = resolve_mode(mode, reference, owner="measure_relu_latency")
+    if mode not in (None, "plan", "reference"):
+        raise ValueError(
+            f"measure_relu_latency mode must be 'plan' or 'reference', got {mode!r}"
+        )
+    reference = mode == "reference"
     params = params or CkksParams(n=2048, scale_bits=25, depth=relu_mult_depth(paf) + 1)
     if params.depth < relu_mult_depth(paf):
         raise ValueError(
@@ -252,10 +254,17 @@ REFERENCE_MICROS = {
     "rescale": 0.0102,
     "add": 0.00017,
     "add_plain": 0.00017,
+    "sub": 0.00017,
     "rotate": 0.1588,
     "rotate_hoisted": 0.0304,
     "hoist_decompose": 0.1167,
     "mod_switch_to": 0.0005,
+    # client-boundary ops, priced for the refresh cost model (the
+    # precision gate decrypts twice; recrypt re-encodes once) — measured
+    # on the same baseline box, normalised through the pinned mul rate
+    "conjugate": 0.1735,
+    "encrypt": 0.0398,
+    "decrypt": 0.0176,
 }
 
 
@@ -409,3 +418,151 @@ def analytic_residual_merge_cost(
 def analytic_matvec_cost(plan: MatvecPlan, micros: dict) -> float:
     """Estimated encrypted-matvec seconds from op counts × per-op times."""
     return cost_from_counts(matvec_op_counts(plan), micros)
+
+
+class _ShadowCiphertext:
+    """``(level, scale)`` shadow of a ciphertext — no ring data."""
+
+    __slots__ = ("level", "scale")
+
+    def __init__(self, level: int, scale: float):
+        self.level = level
+        self.scale = scale
+
+
+class _ShadowEvaluator:
+    """Replays executor control flow on ciphertext shadows, counting ops.
+
+    Implements exactly the evaluator surface the Paterson–Stockmeyer
+    executors touch, with the same level/scale arithmetic as
+    :class:`~repro.ckks.evaluator.CkksEvaluator` and the booking
+    conventions of
+    :class:`~repro.ckks.instrumentation.CountingEvaluator`, so the
+    refresh cost model prices the dense ``cos`` stage by running the
+    *real* executor (alignment corrections included) instead of
+    re-deriving its branch structure here and drifting from it.
+    """
+
+    def __init__(self, ctx):
+        self.ctx = ctx
+        self.counts: dict = {}
+
+    def _book(self, op: str, n: int = 1) -> None:
+        self.counts[op] = self.counts.get(op, 0) + n
+
+    def rescale(self, a):
+        self._book("rescale")
+        return _ShadowCiphertext(a.level - 1, a.scale / self.ctx.q_chain[a.level])
+
+    def square(self, a):
+        self._book("mul")
+        return _ShadowCiphertext(a.level, a.scale * a.scale)
+
+    def mul(self, a, b):
+        self._book("mul")
+        return _ShadowCiphertext(a.level, a.scale * b.scale)
+
+    def mul_rescale(self, a, b):
+        return self.rescale(self.mul(a, b))
+
+    def mul_plain(self, a, value, scale: float | None = None):
+        self._book("mul_plain")
+        pt_scale = a.scale if scale is None else scale
+        return _ShadowCiphertext(a.level, a.scale * pt_scale)
+
+    def mul_plain_rescale(self, a, value):
+        return self.rescale(self.mul_plain(a, value))
+
+    def add(self, a, b):
+        self._book("add")
+        return _ShadowCiphertext(a.level, a.scale)
+
+    def add_plain(self, a, value):
+        self._book("add_plain")
+        return _ShadowCiphertext(a.level, a.scale)
+
+    def mod_switch_to(self, a, level: int):
+        if level != a.level:
+            self._book("mod_switch_to")
+        return _ShadowCiphertext(level, a.scale)
+
+    def align_to(self, a, level: int, scale: float, rtol: float = 0.01):
+        if a.level == level or abs(a.scale - scale) / scale <= rtol:
+            if a.level != level:
+                self._book("mod_switch_to")
+            return _ShadowCiphertext(level, a.scale)
+        self._book("align_correction")
+        self._book("mul_plain")
+        self._book("rescale")
+        return _ShadowCiphertext(level, scale)
+
+
+def refresh_op_counts(plan) -> dict:
+    """Homomorphic op counts of one level refresh under ``plan``.
+
+    ``plan`` is a :class:`repro.ckks.bootstrap.RefreshPlan`; keys follow
+    :class:`~repro.ckks.instrumentation.CountingEvaluator` naming so the
+    result dots directly with :data:`REFERENCE_MICROS`.  Both methods pay
+    the precision gate's two decryptions (input reference + output
+    check).  ``recrypt`` additionally re-encodes at the top of the chain —
+    priced at the ``encrypt`` rate, which the canonical-embedding encode
+    dominates (the encode is not an evaluator op, so a
+    ``CountingEvaluator`` around a recrypt sees the two decrypts only).
+    ``evalmod`` counts the real pipeline op-exactly — ModRaise's modulus
+    switch, the CoeffToSlot BSGS matvec (plus its extra headroom rescale,
+    one conjugation and the half-separation add/sub), EvalMod on *both*
+    coefficient halves (replayed through the actual Paterson–Stockmeyer
+    executor on a :class:`_ShadowEvaluator`), and the SlotToCoeff matvec
+    — ``tests/ckks/test_bootstrap.py`` pins it against measured counts.
+    """
+    if plan.method == "recrypt":
+        return {"decrypt": 2, "encrypt": 1}
+    from repro.ckks.bootstrap import canonical_scale, eval_mod
+
+    counts: dict = {"decrypt": 2, "mod_switch_to": 1}
+
+    def book(extra: dict, times: int = 1) -> None:
+        for op, n in extra.items():
+            counts[op] = counts.get(op, 0) + n * times
+
+    def matvec(mv_plan) -> dict:
+        mv = matvec_op_counts(mv_plan)
+        # both refresh matrices are dense: every one of the ring's slot
+        # diagonals carries a plaintext multiply, and their products
+        # fold with diagonals-1 ciphertext adds
+        return {
+            "rotate": mv["rotate"],
+            "rotate_hoisted": mv["rotate_hoisted"],
+            "hoist_decompose": mv["hoist_decompose"],
+            "mul_plain": plan.ctx.slots,
+            "add": plan.ctx.slots - 1,
+            "rescale": mv["rescale"],
+        }
+
+    book(matvec(plan.cts_plan))
+    book({"rescale": 1, "conjugate": 1, "add": 1, "sub": 1})  # headroom + halves
+    # EvalMod enters two levels below the top of the chain (the CtS
+    # matvec's rescale plus the headroom rescale), on the canonical scale
+    shadow = _ShadowEvaluator(plan.ctx)
+    entry = plan.ctx.max_level - 2
+    eval_mod(
+        shadow,
+        _ShadowCiphertext(entry, canonical_scale(plan.ctx, entry)),
+        plan,
+    )
+    book(shadow.counts, times=2)              # both coefficient halves
+    book({"add": 1})                          # recombine the halves
+    book(matvec(plan.stc_plan))
+    return counts
+
+
+def analytic_refresh_cost(plan, micros: dict) -> float:
+    """Estimated refresh seconds from op counts × per-op times.
+
+    This is the latency side of :class:`repro.fhe.ir.RefreshNode`'s cost
+    model: its ``level_cost()`` is zero (a refresh *restores* levels; the
+    pipeline depth is charged to the segment budget instead) and this
+    function prices its wall-clock — what the greedy placement in
+    ``compile_network`` weighs against running a shallower PAF.
+    """
+    return cost_from_counts(refresh_op_counts(plan), micros)

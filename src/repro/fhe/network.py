@@ -43,8 +43,6 @@ Linear/PAF-stack lowering it dispatches to.
 
 from __future__ import annotations
 
-import warnings
-
 import numpy as np
 
 from repro.ckks import (
@@ -61,6 +59,7 @@ from repro.core.paf_layer import PAFReLU
 from repro.fhe.ir import (
     AffineNode,
     AttentionNode,
+    CompilePolicy,
     Graph,
     IRNode,
     MatvecNode,
@@ -69,7 +68,9 @@ from repro.fhe.ir import (
     PolyNode,
     PoolNode,
     ReduceNode,
+    RefreshNode,
     ResidualTapNode,
+    apply_refresh_policy,
 )
 from repro.fhe.linear import (
     bsgs_diagonals,
@@ -85,28 +86,16 @@ from repro.fhe.packing import BlockLayout, pack_batch, unpack_blocks
 from repro.nn.layers import Linear, ReLU
 from repro.nn.module import Module
 
-__all__ = ["EncryptedNetwork", "EncryptedMLP", "compile_mlp", "resolve_mode"]
+__all__ = ["EncryptedNetwork", "compile_mlp"]
 
 
-def resolve_mode(mode: str | None, reference, *, owner: str) -> bool:
-    """Normalise the ``mode=`` / deprecated ``reference=`` pair.
+def _resolve_mode(mode: str | None) -> bool:
+    """Validate ``mode=`` and return True for the reference paths.
 
-    Returns True when the reference implementations should run.
-    ``mode`` must be ``"plan"`` (compiled BSGS / Paterson-Stockmeyer
-    paths) or ``"reference"`` (naive diagonals, per-step rotations, the
-    activation ladder); the boolean ``reference=`` spelling still works
-    but emits a :class:`DeprecationWarning`.
+    ``mode`` must be ``None`` / ``"plan"`` (compiled BSGS /
+    Paterson-Stockmeyer paths) or ``"reference"`` (naive diagonals,
+    per-step rotations, the activation ladder).
     """
-    if reference is not None:
-        warnings.warn(
-            f"{owner}(reference=...) is deprecated; pass "
-            "mode=\"reference\" or mode=\"plan\" instead",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-        if mode is not None:
-            raise ValueError("pass either mode= or the deprecated reference=, not both")
-        return bool(reference)
     if mode is None:
         return False
     if mode not in ("plan", "reference"):
@@ -141,6 +130,7 @@ class EncryptedNetwork:
         seed: int = 0,
         reference_keys: bool = False,
         input_shards: int = 1,
+        policy: CompilePolicy | None = None,
     ):
         if isinstance(graph, Graph):
             self.graph = graph
@@ -148,12 +138,20 @@ class EncryptedNetwork:
             self.graph = Graph(list(graph), size=size, input_shards=input_shards)
         if size is not None and size != self.graph.size:
             raise ValueError(f"size {size} != graph size {self.graph.size}")
-        self.layers = self.graph.nodes
         self.size = self.graph.size
         #: ciphertexts per request on the sharded path (1 = single-ct)
         self.num_input_shards = self.graph.input_shards
         if self.graph.input_splits is not None:
             self.input_splits = list(self.graph.input_splits)
+        self.ctx = CkksContext(params)
+        #: the refresh policy this network compiled under (None = legacy
+        #: construction; equivalent to ``CompilePolicy(refresh="never")``)
+        self.policy = policy
+        #: per-(method, rtol) :class:`~repro.ckks.bootstrap.RefreshPlan`
+        self._refresh_plan_cache: dict = {}
+        if policy is not None:
+            self._place_refreshes(policy)
+        self.layers = self.graph.nodes
         #: True when any node is sharded / branching — forward must go
         #: through :meth:`forward_shards`
         self.sharded = self.graph.sharded
@@ -164,10 +162,14 @@ class EncryptedNetwork:
             )
         # suffix depths of the static schedule: levels the nodes *after* i
         # still need — a traced forward reports each layer's remaining
-        # level slack (exit level minus this) against them
-        depths = [node.level_cost() for node in self.layers]
-        self._depth_after = [sum(depths[i + 1 :]) for i in range(len(self.layers))]
-        self.ctx = CkksContext(params)
+        # level slack (exit level minus this) against them.  A refresh
+        # resets the requirement: nodes before it need nothing held back.
+        self._depth_after = [0] * len(self.layers)
+        req = 0
+        for i in range(len(self.layers) - 1, -1, -1):
+            self._depth_after[i] = req
+            node = self.layers[i]
+            req = 0 if isinstance(node, RefreshNode) else req + node.level_cost()
         slots = self.ctx.slots
         #: SIMD block geometry (shared with :mod:`repro.serve.packing`)
         self.layout = BlockLayout(size=self.size, slots=slots)
@@ -213,9 +215,12 @@ class EncryptedNetwork:
         #: per-AttentionNode compiled state (projection plans/groups,
         #: placement and broadcast masks, softmax plan and constants)
         self.attention_states: dict = {}
+        #: per-RefreshNode :class:`~repro.ckks.bootstrap.RefreshPlan`
+        self.refresh_plans: dict = {}
         self._reference_keys = reference_keys
         self._pool_steps: set = set()
         self._shard_steps: set = set()
+        self._needs_conj = False
         for i, node in enumerate(self.layers):
             _dispatch(self._COMPILE, node)(self, i, node)
         # Galois keys cover exactly the planned rotation steps (baby +
@@ -232,8 +237,53 @@ class EncryptedNetwork:
         # each block, so the shifted-in neighbour-block slots are zero)
         self._replicate_step = slots - self.size
         steps.add(self._replicate_step)
-        self.keys = keygen(self.ctx, seed=seed, galois_steps=tuple(sorted(steps)))
+        galois: tuple = tuple(sorted(steps))
+        if self._needs_conj:
+            # evalmod refreshes separate conjugate halves homomorphically
+            galois = galois + ("conj",)
+        self.keys = keygen(self.ctx, seed=seed, galois_steps=galois)
         self.ev = CkksEvaluator(self.ctx, self.keys)
+
+    # ------------------------------------------------------------------
+    # refresh placement
+    # ------------------------------------------------------------------
+    def _refresh_plan_for(self, method: str, rtol: float | None):
+        """Plan (and memoise) one refresh configuration against the context."""
+        from repro.ckks.bootstrap import plan_refresh
+
+        key = (method, rtol)
+        plan = self._refresh_plan_cache.get(key)
+        if plan is None:
+            plan = plan_refresh(self.ctx, method=method, rtol=rtol)
+            self._refresh_plan_cache[key] = plan
+            # a None rtol resolves to the method default: alias the
+            # resolved key so the node-level lookup reuses this plan
+            self._refresh_plan_cache.setdefault((method, plan.rtol), plan)
+        return plan
+
+    def _place_refreshes(self, policy: CompilePolicy) -> None:
+        """Insert :class:`~repro.fhe.ir.RefreshNode`\\ s per the policy.
+
+        ``refresh="auto"`` plans the refresh pipeline only when the
+        graph actually overflows the schedule, so fitting models skip
+        the (evalmod-expensive) planning entirely and compile with an
+        unchanged node list.
+        """
+        if policy.refresh == "never":
+            return
+        if (
+            policy.refresh == "auto"
+            and self.graph.validate() <= self.ctx.max_level
+        ):
+            return
+        plan = self._refresh_plan_for(policy.refresh_method, policy.rtol)
+        apply_refresh_policy(
+            self.graph,
+            self.ctx.max_level,
+            policy,
+            pipeline_levels=plan.pipeline_levels,
+            rtol=plan.rtol,
+        )
 
     # ------------------------------------------------------------------
     # per-node-type compilation
@@ -364,6 +414,20 @@ class EncryptedNetwork:
 
         self.attention_states[i] = compile_attention_state(self, i, node)
 
+    def _compile_refresh(self, i: int, node: RefreshNode) -> None:
+        plan = self._refresh_plan_for(node.method, node.rtol)
+        if node.pipeline_levels != plan.pipeline_levels:
+            raise ValueError(
+                f"refresh node {i} declares {node.pipeline_levels} pipeline "
+                f"levels but the plan consumes {plan.pipeline_levels}"
+            )
+        self.refresh_plans[i] = plan
+        for step in plan.galois_steps():
+            if step == "conj":
+                self._needs_conj = True
+            else:
+                self._shard_steps.add(step)
+
     _COMPILE = {
         MatvecNode: _compile_matvec,
         MergeNode: _compile_merge,
@@ -374,6 +438,7 @@ class EncryptedNetwork:
         ResidualTapNode: _compile_noop,
         ReduceNode: _compile_noop,
         AttentionNode: _compile_attention,
+        RefreshNode: _compile_refresh,
     }
 
     # ------------------------------------------------------------------
@@ -447,7 +512,6 @@ class EncryptedNetwork:
         encoded=None,
         ev: CkksEvaluator | None = None,
         mode: str | None = None,
-        reference: bool | None = None,
     ) -> Ciphertext:
         """Encrypted forward pass over all packed blocks at once.
 
@@ -467,7 +531,7 @@ class EncryptedNetwork:
         rotations instead of hoisted batches for every pool, *and* the
         ladder for every activation — the differential-testing
         baseline.  ``mode="plan"`` (the default) runs the compiled
-        plans; the boolean ``reference=`` spelling is deprecated.
+        plans.
 
         ``encoded`` is an optional provider of pre-encoded plaintexts for
         the linear layers — ``encoded(layer_index, level, scale)`` must
@@ -479,7 +543,7 @@ class EncryptedNetwork:
         fly.  ``ev`` overrides the evaluator (worker pools run one
         evaluator per thread against the shared keys).
         """
-        reference = resolve_mode(mode, reference, owner="forward")
+        reference = _resolve_mode(mode)
         if self.sharded:
             raise ValueError(
                 "this network is compiled for multi-ciphertext execution — "
@@ -551,12 +615,18 @@ class EncryptedNetwork:
             ev, ct, node.poly, plan=self.poly_plans[i], reference=reference
         )
 
+    def _exec_refresh(self, i, node, ct, ev, reference, encoded):
+        from repro.ckks.bootstrap import refresh
+
+        return refresh(ev, ct, self.refresh_plans[i])
+
     _EXEC_SINGLE = {
         MatvecNode: _exec_matvec,
         PoolNode: _exec_pool,
         AffineNode: _exec_affine,
         PafNode: _exec_paf,
         PolyNode: _exec_poly,
+        RefreshNode: _exec_refresh,
     }
 
     def _layer_span(self, ev: CkksEvaluator, i: int, node: IRNode):
@@ -615,7 +685,6 @@ class EncryptedNetwork:
         encoded=None,
         ev: CkksEvaluator | None = None,
         mode: str | None = None,
-        reference: bool | None = None,
         executor=None,
     ) -> list:
         """Encrypted forward over a channel-sharded ciphertext list.
@@ -643,7 +712,7 @@ class EncryptedNetwork:
         the per-step rotation pool path and the ladder activation path,
         as in :meth:`forward` (sharded matvecs have a single, grouped
         execution — their plan already names the cheaper path per
-        block); the boolean ``reference=`` spelling is deprecated.
+        block).
 
         ``executor`` is an optional
         :class:`~repro.serve.executor.BlockExecutor` scheduling the
@@ -653,7 +722,7 @@ class EncryptedNetwork:
         Deterministic ops make executor choice invisible in the
         ciphertexts; it only buys wall time on multi-shard models.
         """
-        reference = resolve_mode(mode, reference, owner="forward_shards")
+        reference = _resolve_mode(mode)
         ev = ev or self.ev
         cts = list(cts)
         stack: list = []
@@ -788,6 +857,14 @@ class EncryptedNetwork:
             "(BatchNorm must be folded into a conv when sharding)"
         )
 
+    def _exec_refresh_shards(self, i, node, cts, ev, reference, encoded, executor, stack):
+        from repro.ckks.bootstrap import refresh
+
+        plan = self.refresh_plans[i]
+        return self._map_shards(
+            executor, [lambda ct=ct: refresh(ev, ct, plan) for ct in cts]
+        )
+
     _EXEC_SHARDED = {
         MatvecNode: _exec_matvec_shards,
         ResidualTapNode: _exec_residual_shards,
@@ -798,6 +875,7 @@ class EncryptedNetwork:
         ReduceNode: _exec_reduce_shards,
         AttentionNode: _exec_attention_shards,
         AffineNode: _exec_affine_shards,
+        RefreshNode: _exec_refresh_shards,
     }
 
     def _map_shards(self, executor, fns) -> list:
@@ -870,19 +948,12 @@ class EncryptedNetwork:
         return logits.argmax(axis=1)
 
 
-def __getattr__(name: str):
-    if name == "EncryptedMLP":
-        warnings.warn(
-            "EncryptedMLP is a deprecated alias; use EncryptedNetwork",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return EncryptedNetwork
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
-
-
 def compile_mlp(
-    model: Module, params: CkksParams, seed: int = 0, reference_keys: bool = False
+    model: Module,
+    params: CkksParams,
+    seed: int = 0,
+    reference_keys: bool = False,
+    policy: CompilePolicy | None = None,
 ) -> EncryptedNetwork:
     """Compile a (PAF-approximated) ``repro.nn`` MLP for encrypted inference.
 
@@ -894,7 +965,11 @@ def compile_mlp(
     Exact ReLU layers are rejected — replace them first; that is the whole
     point of the paper.  ``reference_keys`` additionally generates the
     Galois keys the naive reference path needs (differential testing).
+    A ``policy`` (:class:`~repro.fhe.ir.CompilePolicy`) overrides
+    ``seed`` / ``reference_keys`` and carries the refresh policy.
     """
+    if policy is not None:
+        seed, reference_keys = policy.seed, policy.reference_keys
     nodes: list[IRNode] = []
     widths: list[int] = []
     for name, mod in model.named_modules():
@@ -920,5 +995,9 @@ def compile_mlp(
             padded[: node.weight.shape[0], : node.weight.shape[1]] = node.weight
             node.weight = padded
     return EncryptedNetwork(
-        Graph(nodes, size=size), params=params, seed=seed, reference_keys=reference_keys
+        Graph(nodes, size=size),
+        params=params,
+        seed=seed,
+        reference_keys=reference_keys,
+        policy=policy,
     )

@@ -31,9 +31,11 @@ __all__ = [
     "compiled_toy_cnn",
     "compiled_toy_resnet",
     "compiled_toy_transformer",
+    "compiled_toy_transformer_stacked",
     "toy_cnn_model",
     "toy_resnet_model",
     "toy_transformer_model",
+    "toy_transformer_stacked_model",
     "TOY_PARAMS",
     "TOY_CNN_PARAMS",
     "TOY_CNN_INPUT_SHAPE",
@@ -273,7 +275,7 @@ def compiled_toy_transformer(
     rtol reference for decrypted logits.
     """
     from repro.core.surgery import replace_transformer_nonpoly
-    from repro.fhe.ir import compile_network
+    from repro.fhe.ir import CompilePolicy, compile_network
 
     model, data = toy_transformer_model()
     # deg-12 GELU costs the same 4 levels as deg-8 (ceil(log2(d+1)));
@@ -290,9 +292,81 @@ def compiled_toy_transformer(
     enc = compile_network(
         model,
         params or TOY_TRANSFORMER_PARAMS,
+        policy=CompilePolicy(seed=0, reference_keys=reference_keys),
+    )
+    return (model, enc) if with_model else enc
+
+
+def toy_transformer_stacked_model(epochs: int = 2, seed: int = 0):
+    """Train the 2-block stacked toy transformer (same data/schedule).
+
+    :class:`repro.nn.models.transformer.StackedToyTransformer` with
+    seq=4, dim=8, ff=16, 3 classes, two blocks — the refresh demo model:
+    each block costs ~32 encrypted levels, so the stack cannot fit any
+    practical prime chain without a mid-network refresh.  Returns
+    ``(model, dataset)`` with the model in train mode.
+    """
+    from repro.data.synthetic import make_sequence_dataset
+    from repro.nn.functional import cross_entropy
+    from repro.nn.models import toy_transformer_stacked
+    from repro.nn.optim import SGD
+    from repro.nn.tensor import Tensor
+
+    model = toy_transformer_stacked(
+        seq=4, dim=8, ff=16, num_classes=3, num_blocks=2, seed=seed
+    )
+    data = make_sequence_dataset(
+        num_classes=3, n_train=96, n_val=24, seq=4, dim=8, seed=seed
+    )
+    opt = SGD(model.parameters(), lr=0.02, momentum=0.9)
+    batch = 16
+    for _ in range(epochs):
+        for start in range(0, data.n_train, batch):
+            xb = data.x_train[start : start + batch]
+            yb = data.y_train[start : start + batch]
+            loss = cross_entropy(model(Tensor(xb)), yb)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+    return model, data
+
+
+def compiled_toy_transformer_stacked(
+    reference_keys: bool = False,
+    with_model: bool = False,
+    params: CkksParams | None = None,
+) -> EncryptedNetwork | tuple:
+    """Train, PAF-replace and compile the 2-block stacked transformer.
+
+    The depth-wall fixture: both blocks together validate to ~64 levels
+    against a 33-level chain, so :class:`repro.fhe.ir.CompilePolicy`'s
+    automatic placement must insert a :class:`repro.fhe.ir.RefreshNode`
+    between the blocks for compilation to succeed at all.  The refresh is
+    exactness-gated at rtol 1e-3; decrypted logits are pinned against
+    the PAF-approximated plaintext model at the same tolerance by the
+    differential tests and the stacked op-count/bench gates.
+    """
+    from repro.core.surgery import replace_transformer_nonpoly
+    from repro.fhe.ir import CompilePolicy, compile_network
+
+    model, data = toy_transformer_stacked_model()
+    replace_transformer_nonpoly(
+        model,
+        data.x_train,
+        exp_degree=5,
+        exp_squarings=3,
+        gelu_degree=12,
+        recip_iters=5,
+    )
+    model.eval()
+    policy = CompilePolicy(
+        refresh="auto",
+        refresh_method="recrypt",
+        rtol=1e-3,
         seed=0,
         reference_keys=reference_keys,
     )
+    enc = compile_network(model, params or TOY_TRANSFORMER_PARAMS, policy=policy)
     return (model, enc) if with_model else enc
 
 

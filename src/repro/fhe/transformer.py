@@ -280,7 +280,8 @@ def attention_forward(
     return outs
 
 
-def compile_transformer(model, params, *, seed: int = 0, reference_keys: bool = False):
+def compile_transformer(model, params, *, seed: int = 0, reference_keys: bool = False,
+                        policy=None):
     """Lower a :class:`~repro.nn.models.transformer.ToyTransformer`.
 
     One ciphertext shard per token.  The lowering opens with an
@@ -289,7 +290,7 @@ def compile_transformer(model, params, *, seed: int = 0, reference_keys: bool = 
     linear layer, the residual adds) relies on matvec outputs having
     *zero* replica halves — the embed's masked diagonal-0 multiply (no
     rotations) re-establishes that invariant, so the first residual tap
-    saves a clean copy of the input.  The block's residual adds become
+    saves a clean copy of the input.  Each block's residual adds become
     tap/merge pairs; the GELU MLP is a diagonal shard grid (the same
     weights applied to every token shard); the mean pool is a shard-sum
     reduce with ``1/seq`` folded into the classification head.  The
@@ -297,6 +298,12 @@ def compile_transformer(model, params, *, seed: int = 0, reference_keys: bool = 
     (:func:`repro.core.surgery.replace_transformer_nonpoly`) — the
     softmax/GELU domains are frozen into the IR, exactly like the
     static scales of a compiled MLP.
+
+    A :class:`~repro.nn.models.transformer.StackedToyTransformer`
+    (``model.blocks``) lowers block by block onto the same shard layout;
+    when the stacked depth exceeds ``params.depth``, ``policy``'s refresh
+    placement (:class:`repro.fhe.ir.CompilePolicy`, default ``"auto"``)
+    is what makes the graph schedulable at all.
     """
     from repro.core.paf_layer import PAFGELU, PAFSoftmax
     from repro.fhe.ir import (
@@ -310,18 +317,21 @@ def compile_transformer(model, params, *, seed: int = 0, reference_keys: bool = 
     )
     from repro.fhe.network import EncryptedNetwork
 
-    if not isinstance(model.softmax, PAFSoftmax) or not isinstance(
-        model.act, PAFGELU
-    ):
-        raise ValueError(
-            "transformer compilation needs calibrated PAF modules — run "
-            "replace_transformer_nonpoly(model, samples) first"
-        )
+    if policy is not None:
+        seed, reference_keys = policy.seed, policy.reference_keys
+    blocks = getattr(model, "blocks", None) or [model]
+    for blk in blocks:
+        if not isinstance(blk.softmax, PAFSoftmax) or not isinstance(
+            blk.act, PAFGELU
+        ):
+            raise ValueError(
+                "transformer compilation needs calibrated PAF modules — run "
+                "replace_transformer_nonpoly(model, samples) first"
+            )
     seq, dim, ff = model.seq, model.dim, model.ff
     size = 1
     while size < max(dim, ff, model.num_classes):
         size *= 2
-    sm = model.softmax
     weight = lambda lin: np.asarray(lin.weight.data, dtype=np.float64)
     bias = lambda lin: np.asarray(lin.bias.data, dtype=np.float64)
 
@@ -331,46 +341,56 @@ def compile_transformer(model, params, *, seed: int = 0, reference_keys: bool = 
             [mat if i == j else None for j in range(seq)] for i in range(seq)
         ]
 
-    attention = AttentionNode(
-        seq=seq,
-        dim=dim,
-        score_scale=getattr(model, "score_scale", 0.0) or 1.0 / np.sqrt(dim),
-        wq=weight(model.wq),
-        wk=weight(model.wk),
-        wv=weight(model.wv),
-        wo=weight(model.wo),
-        bq=bias(model.wq),
-        bk=bias(model.wk),
-        bv=bias(model.wv),
-        bo=bias(model.wo),
-        exp_poly=sm.exp.poly,
-        exp_squarings=sm.exp.squarings,
-        recip_init=sm.recip_init,
-        recip_iters=sm.recip_iters,
-    )
-    nodes = [
-        MatvecNode(blocks=diag_grid(np.eye(dim))),
-        ResidualTapNode(),
-        attention,
-        MergeNode(tap=1),
-        ResidualTapNode(),
-        MatvecNode(blocks=diag_grid(weight(model.fc1)), bias_shards=[bias(model.fc1)] * seq),
-        PolyNode(poly=model.act.poly),
-        MatvecNode(blocks=diag_grid(weight(model.fc2)), bias_shards=[bias(model.fc2)] * seq),
-        MergeNode(tap=4),
+    nodes = [MatvecNode(blocks=diag_grid(np.eye(dim)))]
+    for blk in blocks:
+        sm = blk.softmax
+        attention = AttentionNode(
+            seq=seq,
+            dim=dim,
+            score_scale=getattr(blk, "score_scale", 0.0) or 1.0 / np.sqrt(dim),
+            wq=weight(blk.wq),
+            wk=weight(blk.wk),
+            wv=weight(blk.wv),
+            wo=weight(blk.wo),
+            bq=bias(blk.wq),
+            bk=bias(blk.wk),
+            bv=bias(blk.wv),
+            bo=bias(blk.wo),
+            exp_poly=sm.exp.poly,
+            exp_squarings=sm.exp.squarings,
+            recip_init=sm.recip_init,
+            recip_iters=sm.recip_iters,
+        )
+        attn_tap = len(nodes)
+        nodes += [
+            ResidualTapNode(),
+            attention,
+            MergeNode(tap=attn_tap),
+        ]
+        mlp_tap = len(nodes)
+        nodes += [
+            ResidualTapNode(),
+            MatvecNode(blocks=diag_grid(weight(blk.fc1)), bias_shards=[bias(blk.fc1)] * seq),
+            PolyNode(poly=blk.act.poly),
+            MatvecNode(blocks=diag_grid(weight(blk.fc2)), bias_shards=[bias(blk.fc2)] * seq),
+            MergeNode(tap=mlp_tap),
+        ]
+    nodes += [
         ReduceNode(),
         MatvecNode(
             blocks=[[_pad_square(weight(model.head) / seq, size)]],
             bias_shards=[bias(model.head)],
         ),
     ]
+    name = "toy_transformer" if len(blocks) == 1 else "toy_transformer_stacked"
     graph = Graph(
         nodes,
         size=size,
         input_shards=seq,
         input_splits=[dim] * seq,
-        metadata={"model": "toy_transformer"},
+        metadata={"model": name, "num_blocks": len(blocks)},
     )
     return EncryptedNetwork(
-        graph, params=params, seed=seed, reference_keys=reference_keys
+        graph, params=params, seed=seed, reference_keys=reference_keys,
+        policy=policy,
     )

@@ -28,7 +28,13 @@ from repro.nn.layers import GELU, Linear, Softmax
 from repro.nn.module import Module
 from repro.nn.tensor import Tensor
 
-__all__ = ["ToyTransformer", "toy_transformer"]
+__all__ = [
+    "ToyTransformer",
+    "TransformerBlock",
+    "StackedToyTransformer",
+    "toy_transformer",
+    "toy_transformer_stacked",
+]
 
 
 class ToyTransformer(Module):
@@ -96,3 +102,110 @@ class ToyTransformer(Module):
 
 def toy_transformer(**kwargs) -> ToyTransformer:
     return ToyTransformer(**kwargs)
+
+
+class TransformerBlock(Module):
+    """One residual attention + GELU-MLP block, no classification head.
+
+    The per-block unit of :class:`StackedToyTransformer`; attribute
+    layout (``wq``/``wk``/``wv``/``wo``/``softmax``/``fc1``/``act``/
+    ``fc2``/``score_scale``) mirrors :class:`ToyTransformer` so the FHE
+    lowering reads both through one code path.
+    """
+
+    def __init__(
+        self,
+        seq: int,
+        dim: int,
+        ff: int,
+        rng: np.random.Generator,
+        proj_init_scale: float = ToyTransformer.proj_init_scale,
+    ):
+        super().__init__()
+        self.seq = seq
+        self.dim = dim
+        self.ff = ff
+        self.proj_init_scale = proj_init_scale
+        self.wq = Linear(dim, dim, rng=rng)
+        self.wk = Linear(dim, dim, rng=rng)
+        self.wv = Linear(dim, dim, rng=rng)
+        self.wo = Linear(dim, dim, rng=rng)
+        self.softmax = Softmax(axis=-1)
+        self.fc1 = Linear(dim, ff, rng=rng)
+        self.act = GELU()
+        self.fc2 = Linear(ff, dim, rng=rng)
+        self.score_scale = 1.0 / dim
+        for lin in (self.wo, self.fc1):
+            lin.weight.data *= self.proj_init_scale
+
+    def attention_scores(self, x: Tensor) -> Tensor:
+        q = self.wq(x)
+        k = self.wk(x)
+        return (q @ k.transpose(0, 2, 1)) * self.score_scale
+
+    def forward(self, x: Tensor) -> Tensor:
+        probs = self.softmax(self.attention_scores(x))
+        x = x + self.wo(probs @ self.wv(x))
+        return x + self.fc2(self.act(self.fc1(x)))
+
+
+class StackedToyTransformer(Module):
+    """``num_blocks`` residual transformer blocks + mean-pool head.
+
+    The depth-wall demo model: at two blocks the encrypted lowering costs
+    more levels than any practical prime chain carries, so compilation
+    succeeds only through refresh placement
+    (:class:`repro.fhe.ir.CompilePolicy`).  Blocks register as child
+    modules ``block0``, ``block1``, … (the :attr:`blocks` property walks
+    them in order) and each carries its own softmax/GELU sites, so
+    :func:`repro.core.surgery.replace_transformer_nonpoly` calibrates a
+    PAF per site.
+    """
+
+    is_transformer = True
+
+    def __init__(
+        self,
+        seq: int = 4,
+        dim: int = 8,
+        ff: int = 16,
+        num_classes: int = 3,
+        num_blocks: int = 2,
+        seed: Optional[int] = None,
+    ):
+        super().__init__()
+        if num_blocks < 1:
+            raise ValueError(f"num_blocks must be >= 1, got {num_blocks}")
+        rng = np.random.default_rng(seed)
+        self.seq = seq
+        self.dim = dim
+        self.ff = ff
+        self.num_classes = num_classes
+        self.num_blocks = num_blocks
+        # residual-stream writers shrink with depth (the 1/sqrt(blocks)
+        # discipline): the stream's variance stays put as blocks stack,
+        # which keeps every block's GELU pre-activations and attention
+        # scores inside the narrow ranges low-degree PAFs evaluate
+        # accurately under fixed-point CKKS arithmetic
+        proj = ToyTransformer.proj_init_scale / float(np.sqrt(num_blocks))
+        for b in range(num_blocks):
+            setattr(
+                self,
+                f"block{b}",
+                TransformerBlock(seq, dim, ff, rng=rng, proj_init_scale=proj),
+            )
+        self.head = Linear(dim, num_classes, rng=rng)
+
+    @property
+    def blocks(self) -> list:
+        """The stacked blocks, in execution order."""
+        return [getattr(self, f"block{b}") for b in range(self.num_blocks)]
+
+    def forward(self, x: Tensor) -> Tensor:
+        for blk in self.blocks:
+            x = blk(x)
+        return self.head(x.mean(axis=1))
+
+
+def toy_transformer_stacked(**kwargs) -> StackedToyTransformer:
+    return StackedToyTransformer(**kwargs)

@@ -199,80 +199,61 @@ class ModelArtifact:
         cls,
         nn_model,
         params,
-        seed: int = 0,
+        seed: int | None = None,
         *,
+        policy=None,
         input_shape: tuple | None = None,
         num_shards: int | None = None,
-        reference_keys: bool = False,
-        fold_bn: bool = True,
+        reference_keys: bool | None = None,
+        fold_bn: bool | None = None,
         **kwargs,
     ) -> "ModelArtifact":
         """:func:`repro.fhe.ir.compile_network` + wrap, in one step.
 
-        The single serving-side compile entry: dispatches on the model's
-        module tree exactly like ``compile_network`` — Linear/PAF stacks
-        to the MLP lowering, conv stacks to the CNN lowering (needs
-        ``input_shape``), residual nets to the sharded ResNet lowering,
-        transformers to the token-sharded attention lowering.  A sharded
-        compile yields an artifact whose :meth:`forward` takes and
-        returns shard *lists*, with every per-shard-pair diagonal block
-        (including merge projections, keyed at the skip branch's level)
-        pre-encoded through the same cache.  Remaining ``kwargs`` go to
-        the :class:`ModelArtifact` constructor.
+        The single serving-side compile entry: all compile options ride
+        one :class:`repro.fhe.ir.CompilePolicy` (``policy=``) — refresh
+        placement, backend, input shape, shard count, seed — and
+        dispatch on the model's module tree matches ``compile_network``:
+        Linear/PAF stacks to the MLP lowering, conv stacks to the CNN
+        lowering (policy ``input_shape``), residual nets to the sharded
+        ResNet lowering, transformers to the token-sharded attention
+        lowering.  A sharded compile yields an artifact whose
+        :meth:`forward` takes and returns shard *lists*, with every
+        per-shard-pair diagonal block (including merge projections,
+        keyed at the skip branch's level) pre-encoded through the same
+        cache.  Remaining ``kwargs`` go to the :class:`ModelArtifact`
+        constructor.  The loose kwargs (``seed=``, ``input_shape=``,
+        ``num_shards=``, ``reference_keys=``, ``fold_bn=``) are a
+        deprecated spelling folded into a policy for one release.
         """
-        from repro.fhe.ir import compile_network
+        from repro.fhe.ir import CompilePolicy, compile_network
 
-        return cls(
-            compile_network(
-                nn_model,
-                params,
-                input_shape=input_shape,
-                num_shards=num_shards,
-                seed=seed,
-                reference_keys=reference_keys,
-                fold_bn=fold_bn,
-            ),
-            **kwargs,
-        )
-
-    @classmethod
-    def compile_cnn(
-        cls, nn_model, input_shape, params, seed: int = 0, **kwargs
-    ) -> "ModelArtifact":
-        """Deprecated spelling of :meth:`compile` with ``input_shape=``."""
-        warnings.warn(
-            "ModelArtifact.compile_cnn is deprecated; use "
-            "ModelArtifact.compile(model, params, input_shape=...) — the "
-            "unified entry dispatches on the model type",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return cls.compile(
-            nn_model, params, seed=seed, input_shape=input_shape, **kwargs
-        )
-
-    @classmethod
-    def compile_resnet(
-        cls, nn_model, input_shape, params, num_shards: int = 2,
-        seed: int = 0, **kwargs,
-    ) -> "ModelArtifact":
-        """Deprecated spelling of :meth:`compile` with ``num_shards=``."""
-        warnings.warn(
-            "ModelArtifact.compile_resnet is deprecated; use "
-            "ModelArtifact.compile(model, params, input_shape=..., "
-            "num_shards=...) — the unified entry dispatches on the model "
-            "type",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return cls.compile(
-            nn_model,
-            params,
-            seed=seed,
-            input_shape=input_shape,
-            num_shards=num_shards,
-            **kwargs,
-        )
+        legacy = {
+            name: value
+            for name, value in [
+                ("seed", seed),
+                ("input_shape", input_shape),
+                ("num_shards", num_shards),
+                ("reference_keys", reference_keys),
+                ("fold_bn", fold_bn),
+            ]
+            if value is not None
+        }
+        if legacy:
+            if policy is not None:
+                raise ValueError(
+                    "pass either policy= or the deprecated loose kwargs, "
+                    f"not both: {sorted(legacy)}"
+                )
+            names = ", ".join(f"{k}=" for k in sorted(legacy))
+            warnings.warn(
+                f"ModelArtifact.compile({names}) is deprecated; pass "
+                "policy=CompilePolicy(...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            policy = CompilePolicy(**legacy)
+        return cls(compile_network(nn_model, params, policy=policy), **kwargs)
 
     # ------------------------------------------------------------------
     def encoded_linear(self, layer_index: int, level: int, scale: float):
@@ -359,7 +340,7 @@ class ModelArtifact:
         """``(value, level, scale)`` of one PAF layer's plan constants.
 
         The layer's input level comes from the model's static schedule
-        (:meth:`~repro.fhe.network.EncryptedMLP.layer_input_levels`), its
+        (:meth:`~repro.fhe.network.EncryptedNetwork.layer_input_levels`), its
         input scale from the canonical scale invariant — both
         deterministic for a fixed network, so the returned coordinates
         are exactly those the evaluator will encode at.

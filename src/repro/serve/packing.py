@@ -1,7 +1,7 @@
 """SIMD block layout for batched encrypted inference (serving view).
 
 The geometry itself lives in :mod:`repro.fhe.packing` (single source of
-truth, shared with :class:`repro.fhe.network.EncryptedMLP`); this module
+truth, shared with :class:`repro.fhe.network.EncryptedNetwork`); this module
 re-exports it and adds the request-stream helpers the serving layer
 needs: deriving a layout from a compiled model and chunking an incoming
 request list into admissible batches.
@@ -15,7 +15,7 @@ __all__ = ["BlockLayout", "layout_for", "pack_batch", "unpack_blocks", "split_ba
 
 
 def layout_for(model) -> BlockLayout:
-    """The :class:`BlockLayout` of a compiled :class:`~repro.fhe.network.EncryptedMLP`."""
+    """The :class:`BlockLayout` of a compiled :class:`~repro.fhe.network.EncryptedNetwork`."""
     return model.layout
 
 

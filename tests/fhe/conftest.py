@@ -15,6 +15,7 @@ from repro.fhe.toy import (
     compiled_toy_cnn,
     compiled_toy_resnet,
     compiled_toy_transformer,
+    compiled_toy_transformer_stacked,
 )
 
 
@@ -42,6 +43,14 @@ def toy_transformer():
     trained single-block toy transformer, with naive Galois keys for
     the reference differential."""
     return compiled_toy_transformer(with_model=True, reference_keys=True)
+
+
+@pytest.fixture(scope="session")
+def toy_transformer_stacked():
+    """(PAF-approximated plain model, compiled EncryptedNetwork) — the
+    trained 2-block stacked transformer, compiled through the auto
+    refresh policy (the depth-wall demo)."""
+    return compiled_toy_transformer_stacked(with_model=True)
 
 
 @pytest.fixture(scope="session")

@@ -12,8 +12,9 @@ The api_redesign contract in three parts:
   bit-identical and :class:`CountingEvaluator` totals equal, in both
   plan and reference modes: the redesign moved *dispatch*, not math.
 
-Plus the deprecation shims the redesign left behind (``EncryptedMLP``,
-boolean ``forward(reference=)``).
+Plus the :class:`CompilePolicy` surface the refresh redesign added —
+validation, refresh placement, and the one-release loose-kwarg shim on
+``compile_network``.
 """
 
 import numpy as np
@@ -23,12 +24,16 @@ from repro.ckks.instrumentation import CountingEvaluator
 from repro.ckks.poly_eval import eval_paf_relu
 from repro.fhe.ir import (
     AttentionNode,
+    CompilePolicy,
     Graph,
     MatvecNode,
     MergeNode,
     PafNode,
     PolyNode,
+    RefreshNode,
     ResidualTapNode,
+    apply_refresh_policy,
+    compile_network,
     propagate_intervals,
 )
 from repro.fhe.linear import encrypted_matvec, encrypted_matvec_bsgs
@@ -179,33 +184,153 @@ class TestRoundTripEquivalence:
 
 
 # ----------------------------------------------------------------------
-# deprecation shims
+# compile policy: validation, refresh placement, loose-kwarg shim
 # ----------------------------------------------------------------------
-class TestDeprecationShims:
-    def test_encrypted_mlp_alias_warns(self):
-        import repro.fhe.network as network
-
-        with pytest.warns(DeprecationWarning, match="EncryptedMLP"):
-            alias = network.EncryptedMLP
-        assert alias is network.EncryptedNetwork
-
-    def test_boolean_reference_kwarg_warns(self, toy_reference_enc):
-        enc = toy_reference_enc
-        ct = enc.encrypt_input(np.zeros(8))
-        with pytest.warns(DeprecationWarning, match="mode="):
-            out = enc.forward(ct, reference=True)
-        want = enc.forward(ct, mode="reference")
-        _assert_bit_identical(out, want)
-
-    def test_mode_and_reference_together_rejected(self, toy_reference_enc):
-        enc = toy_reference_enc
-        ct = enc.encrypt_input(np.zeros(8))
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ValueError, match="not both"):
-                enc.forward(ct, mode="plan", reference=False)
-
+class TestCompilePolicy:
     def test_unknown_mode_rejected(self, toy_reference_enc):
         enc = toy_reference_enc
         ct = enc.encrypt_input(np.zeros(8))
         with pytest.raises(ValueError, match="mode must be"):
             enc.forward(ct, mode="naive")
+
+    def test_bad_refresh_string_rejected(self):
+        with pytest.raises(ValueError, match="refresh must be"):
+            CompilePolicy(refresh="sometimes")
+
+    def test_bad_refresh_positions_rejected(self):
+        with pytest.raises(ValueError, match="non-negative node"):
+            CompilePolicy(refresh=(2, -1))
+
+    def test_bad_refresh_method_rejected(self):
+        with pytest.raises(ValueError, match="refresh_method"):
+            CompilePolicy(refresh_method="modraise")
+
+    def test_refresh_list_normalised_to_tuple(self):
+        assert CompilePolicy(refresh=[3, 1]).refresh == (3, 1)
+
+    def test_loose_kwargs_warn_and_fold_into_policy(self, paf_mlp_model):
+        from repro.fhe.toy import TOY_PARAMS
+
+        with pytest.warns(DeprecationWarning, match="policy=CompilePolicy"):
+            enc = compile_network(paf_mlp_model, TOY_PARAMS, seed=1)
+        assert enc.policy.seed == 1
+
+    def test_loose_kwargs_and_policy_together_rejected(self, paf_mlp_model):
+        from repro.fhe.toy import TOY_PARAMS
+
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="not both"):
+                compile_network(
+                    paf_mlp_model, TOY_PARAMS, seed=1, policy=CompilePolicy()
+                )
+
+    def test_policy_compile_matches_explicit_kwargs(self, paf_mlp_model):
+        from repro.fhe.toy import TOY_PARAMS
+
+        enc = compile_network(
+            paf_mlp_model, TOY_PARAMS, policy=CompilePolicy(seed=3)
+        )
+        assert enc.policy.seed == 3
+        assert not any(isinstance(n, RefreshNode) for n in enc.graph.nodes)
+
+
+@pytest.fixture(scope="module")
+def paf_mlp_model():
+    """A small PAF-replaced MLP ready for ``compile_network``."""
+    from repro.core import calibrate_static_scales, convert_to_static, replace_all
+    from repro.nn.models import mlp
+    from repro.paf import get_paf
+
+    rng = np.random.default_rng(0)
+    model = mlp(8, hidden=(6,), num_classes=3, seed=0)
+    replace_all(model, get_paf("f1g2"), np.zeros((1, 8)))
+    calibrate_static_scales(model, [rng.normal(size=(64, 8))])
+    convert_to_static(model)
+    model.eval()
+    return model
+
+
+def _poly_chain(n, depth_each=2):
+    """``n`` PolyNodes costing ``depth_each`` levels apiece."""
+    poly = Polynomial((0.0, 1.0, 1.0))  # degree 2 -> 2 levels
+    return [PolyNode(poly=poly) for _ in range(n)]
+
+
+class TestRefreshPlacement:
+    def test_fitting_graph_gets_no_refresh(self):
+        g = Graph(_poly_chain(2), size=4)
+        assert apply_refresh_policy(g, 10, CompilePolicy()) == ()
+        assert not any(isinstance(n, RefreshNode) for n in g.nodes)
+
+    def test_never_policy_skips_even_when_too_deep(self):
+        g = Graph(_poly_chain(6), size=4)
+        assert apply_refresh_policy(g, 5, CompilePolicy(refresh="never")) == ()
+
+    def test_auto_inserts_latest_possible_refresh(self):
+        # 6 nodes x 2 levels = 12 > 9; refreshed budget 9-1=8 covers four
+        # nodes, so the greedy search refreshes right before node 4
+        g = Graph(_poly_chain(6), size=4)
+        inserted = apply_refresh_policy(
+            g, 9, CompilePolicy(), pipeline_levels=1
+        )
+        assert inserted == (4,)
+        assert isinstance(g.nodes[4], RefreshNode)
+        assert g.nodes[4].level_cost() == 0
+        assert g.metadata["refresh"]["positions"] == [4]
+
+    def test_auto_inserts_multiple_refreshes_for_very_deep_chains(self):
+        g = Graph(_poly_chain(10), size=4)  # 20 levels over a 6-chain
+        inserted = apply_refresh_policy(
+            g, 6, CompilePolicy(), pipeline_levels=0
+        )
+        assert len(inserted) >= 3
+        level, budget = 6, 6
+        for node in g.nodes:
+            if isinstance(node, RefreshNode):
+                level = budget
+            level -= node.level_cost()
+            assert level >= 0  # placement actually rescues the descent
+
+    def test_refresh_never_lands_inside_residual_bracket(self):
+        poly = Polynomial((0.0, 1.0, 1.0))
+        nodes = [
+            ResidualTapNode(),
+            PolyNode(poly=poly),
+            PolyNode(poly=poly),
+            MergeNode(tap=0),
+            PolyNode(poly=poly),
+        ]
+        g = Graph(nodes, size=4)  # 6 levels of cost
+        inserted = apply_refresh_policy(g, 5, CompilePolicy())
+        # only legal boundary past the deficit is after the merge
+        assert inserted == (4,)
+        assert isinstance(g.nodes[4], RefreshNode)
+        # the merge's tap still points at the (unshifted) tap node
+        merge = next(n for n in g.nodes if isinstance(n, MergeNode))
+        assert isinstance(g.nodes[merge.tap], ResidualTapNode)
+
+    def test_merge_tap_shifts_past_insertion(self):
+        poly = Polynomial((0.0, 1.0, 1.0))
+        nodes = [
+            PolyNode(poly=poly),
+            PolyNode(poly=poly),
+            ResidualTapNode(),
+            PolyNode(poly=poly),
+            MergeNode(tap=2),
+        ]
+        g = Graph(nodes, size=4)
+        inserted = apply_refresh_policy(g, 7, CompilePolicy(refresh=(2,)))
+        assert inserted == (2,)
+        merge = next(n for n in g.nodes if isinstance(n, MergeNode))
+        assert merge.tap == 3
+        assert isinstance(g.nodes[merge.tap], ResidualTapNode)
+
+    def test_segment_deeper_than_budget_rejected(self):
+        g = Graph(_poly_chain(4), size=4)
+        with pytest.raises(ValueError, match="deepen the chain"):
+            apply_refresh_policy(g, 3, CompilePolicy(), pipeline_levels=3)
+
+    def test_explicit_positions_out_of_range_rejected(self):
+        g = Graph(_poly_chain(2), size=4)
+        with pytest.raises(ValueError, match="exceed the graph"):
+            apply_refresh_policy(g, 10, CompilePolicy(refresh=(7,)))

@@ -8,7 +8,7 @@ from repro.serve.artifact import ModelArtifact
 
 @pytest.fixture(scope="session")
 def toy():
-    """(plain model, compiled EncryptedMLP) — 8 -> 6 -> 3 MLP with an f1∘g2 PAF."""
+    """(plain model, compiled EncryptedNetwork) — 8 -> 6 -> 3 MLP with an f1∘g2 PAF."""
     return compiled_toy(with_model=True)
 
 

@@ -279,22 +279,40 @@ class TestUnifiedCompile:
         # only the approximation, not the bits, is shared
         np.testing.assert_allclose(got, want, atol=1e-3)
 
-    def test_compile_cnn_shim_warns_and_delegates(self, toy):
+    def test_loose_kwargs_warn_and_fold_into_policy(self, toy):
         from repro.fhe.toy import TOY_PARAMS
 
         model, _ = toy
-        with pytest.warns(DeprecationWarning, match="ModelArtifact.compile"):
-            art = ModelArtifact.compile_cnn(
-                model, (1, 8, 8), TOY_PARAMS, cache_activations=False
+        with pytest.warns(DeprecationWarning, match="policy=CompilePolicy"):
+            art = ModelArtifact.compile(
+                model, TOY_PARAMS, seed=1, cache_activations=False
             )
         assert isinstance(art, ModelArtifact)
+        assert art.model.policy.seed == 1
 
-    def test_compile_resnet_shim_warns_and_delegates(self, toy):
+    def test_policy_and_loose_kwargs_together_rejected(self, toy):
+        from repro.fhe.ir import CompilePolicy
         from repro.fhe.toy import TOY_PARAMS
 
         model, _ = toy
-        with pytest.warns(DeprecationWarning, match="ModelArtifact.compile"):
-            art = ModelArtifact.compile_resnet(
-                model, (1, 8, 8), TOY_PARAMS, cache_activations=False
+        with pytest.raises(ValueError, match="not both"):
+            ModelArtifact.compile(
+                model, TOY_PARAMS, seed=1, policy=CompilePolicy()
             )
-        assert isinstance(art, ModelArtifact)
+
+    def test_policy_carries_compile_options(self, toy):
+        from repro.fhe.ir import CompilePolicy
+        from repro.fhe.toy import TOY_PARAMS
+
+        model, _ = toy
+        art = ModelArtifact.compile(
+            model,
+            TOY_PARAMS,
+            policy=CompilePolicy(seed=2),
+            cache_activations=False,
+        )
+        assert art.model.policy.seed == 2
+
+    def test_per_family_classmethods_removed(self):
+        assert not hasattr(ModelArtifact, "compile_cnn")
+        assert not hasattr(ModelArtifact, "compile_resnet")

@@ -105,7 +105,7 @@ class TestSplitBatches:
             split_batches([1], 0)
 
 
-class TestParityWithEncryptedMLP:
+class TestParityWithEncryptedNetwork:
     def test_layout_matches_model(self, toy):
         _, enc = toy
         lay = layout_for(enc)

@@ -17,7 +17,10 @@ as artifacts:
   root's totals — the tracer's books must balance against the
   ``CountingEvaluator`` aggregate;
 * **levels** — rescaling only consumes modulus levels, so no span may
-  exit at a higher level than it entered.
+  exit at a higher level than it entered.  The one legitimate exception
+  is a level refresh: spans named ``refresh:*`` (and any span containing
+  one, which inherits the raise) may exit higher; the strict rule holds
+  everywhere else.
 
 Exit 1 with one line per violation.  Stdlib only.
 """
@@ -78,6 +81,16 @@ def check_trace(trace: dict, label: str = "trace") -> list:
         if sp["parent"] is not None:
             children[sp["parent"]].append(sp)
 
+    # spans allowed to raise the chain level: a refresh itself, plus every
+    # ancestor enclosing one (the raise propagates to their exit levels)
+    refreshing: set = set()
+    for sp in spans:
+        if str(sp["name"]).startswith("refresh:"):
+            i = sp["id"]
+            while i is not None:
+                refreshing.add(i)
+                i = spans[i]["parent"]
+
     for sp in spans:
         # child intervals nest inside the parent's
         for child in children[sp["id"]]:
@@ -97,9 +110,10 @@ def check_trace(trace: dict, label: str = "trace") -> list:
                     f"{label}: span {sp['id']} ({sp['name']}) ops[{op}]="
                     f"{sp['ops'].get(op, 0)} < children's {n}"
                 )
-        # rescaling only ever consumes levels
+        # rescaling only ever consumes levels — refreshes excepted
         entry, exit_ = sp.get("entry"), sp.get("exit")
-        if entry and exit_ and exit_["level"] > entry["level"]:
+        if sp["id"] not in refreshing \
+                and entry and exit_ and exit_["level"] > entry["level"]:
             errors.append(
                 f"{label}: span {sp['id']} ({sp['name']}) exits at level "
                 f"{exit_['level']} above entry level {entry['level']}"
